@@ -1,0 +1,38 @@
+// Command faultsim runs the paper's §5.4 fault-injection experiment
+// (Table 3): a sort-shaped job on a 300-machine simulated cluster under
+// fault-free, 5%, 10% and 5%+FuxiMaster-kill scenarios, reporting the
+// slowdown of each relative to the fault-free run.
+//
+// Usage:
+//
+//	faultsim [-racks N] [-machines N] [-instances N] [-workers N]
+//	         [-duration-ms N] [-seed N]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/experiments"
+)
+
+func main() {
+	opt := experiments.DefaultFaultOptions()
+	flag.IntVar(&opt.Racks, "racks", opt.Racks, "racks in the simulated cluster")
+	flag.IntVar(&opt.MachinesPerRack, "machines", opt.MachinesPerRack, "machines per rack")
+	flag.IntVar(&opt.Instances, "instances", opt.Instances, "map instances of the sort job")
+	flag.IntVar(&opt.Workers, "workers", opt.Workers, "max concurrent workers per phase")
+	flag.Int64Var(&opt.DurationMS, "duration-ms", opt.DurationMS, "per-instance execution time")
+	flag.Int64Var(&opt.Seed, "seed", opt.Seed, "simulation seed")
+	flag.Parse()
+
+	fmt.Printf("faultsim: %d machines, %d+%d instances, %d workers\n\n",
+		opt.Racks*opt.MachinesPerRack, opt.Instances, opt.Instances/2, opt.Workers)
+	rows, err := experiments.RunFaultMatrix(opt)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "faultsim:", err)
+		os.Exit(1)
+	}
+	experiments.PrintTable3(os.Stdout, rows)
+}

@@ -1,0 +1,54 @@
+// Command fuxisim runs the paper's §5.2 synthetic-workload experiment on
+// the simulated cluster and prints Figure 9 (scheduling time), Figure 10
+// (planned/obtained utilization) and Table 2 (scheduling overheads).
+//
+// Usage:
+//
+//	fuxisim [-exp fig9|fig10|table2|all] [-racks N] [-machines N]
+//	        [-jobs N] [-scale N] [-duration SEC] [-seed N]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/experiments"
+)
+
+func main() {
+	opt := experiments.DefaultSyntheticOptions()
+	exp := flag.String("exp", "all", "experiment: fig9, fig10, table2 or all")
+	flag.IntVar(&opt.Racks, "racks", opt.Racks, "racks in the simulated cluster")
+	flag.IntVar(&opt.MachinesPerRack, "machines", opt.MachinesPerRack, "machines per rack")
+	flag.IntVar(&opt.ConcurrentJobs, "jobs", opt.ConcurrentJobs, "concurrent jobs held running")
+	flag.IntVar(&opt.JobScale, "scale", opt.JobScale, "divide the paper's instance counts by this")
+	flag.IntVar(&opt.DurationSimSec, "duration", opt.DurationSimSec, "steady-state virtual seconds")
+	flag.Int64Var(&opt.Seed, "seed", opt.Seed, "simulation seed")
+	flag.Parse()
+
+	fmt.Printf("fuxisim: %d machines, %d concurrent jobs, instance scale 1/%d, %ds steady state\n\n",
+		opt.Racks*opt.MachinesPerRack, opt.ConcurrentJobs, opt.JobScale, opt.DurationSimSec)
+	res, err := experiments.RunSynthetic(opt)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "fuxisim:", err)
+		os.Exit(1)
+	}
+	switch *exp {
+	case "fig9":
+		res.PrintFig9(os.Stdout)
+	case "fig10":
+		res.PrintFig10(os.Stdout)
+	case "table2":
+		res.PrintTable2(os.Stdout)
+	case "all":
+		res.PrintFig9(os.Stdout)
+		fmt.Println()
+		res.PrintFig10(os.Stdout)
+		fmt.Println()
+		res.PrintTable2(os.Stdout)
+	default:
+		fmt.Fprintf(os.Stderr, "fuxisim: unknown experiment %q\n", *exp)
+		os.Exit(2)
+	}
+}

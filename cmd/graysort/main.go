@@ -1,0 +1,50 @@
+// Command graysort reproduces Table 4's GraySort comparison and §5.3's
+// PetaSort run: framework overhead factors are measured by driving a
+// sort-shaped workload through the real Fuxi stack and the YARN-style
+// baseline on a scaled simulated cluster, then combined with a hardware
+// phase model of each record-setting configuration.
+//
+// Usage:
+//
+//	graysort [-seed N] [-kernel N]
+//
+// With -kernel N > 0, the tool additionally runs the real in-memory sort
+// kernel over N million gensort-style records as a sanity check.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math/rand"
+	"os"
+	"time"
+
+	"repro/internal/experiments"
+	"repro/internal/graysort"
+)
+
+func main() {
+	seed := flag.Int64("seed", 1, "simulation seed")
+	kernel := flag.Int("kernel", 0, "also sort N million real records in memory")
+	flag.Parse()
+
+	if err := experiments.RunGraySort(os.Stdout, *seed); err != nil {
+		fmt.Fprintln(os.Stderr, "graysort:", err)
+		os.Exit(1)
+	}
+
+	if *kernel > 0 {
+		n := *kernel * 1_000_000
+		recs := graysort.Generate(rand.New(rand.NewSource(*seed)), n)
+		start := time.Now()
+		sorted := graysort.Sort(recs)
+		elapsed := time.Since(start)
+		if !graysort.Sorted(sorted) {
+			fmt.Fprintln(os.Stderr, "graysort: kernel produced unsorted output")
+			os.Exit(1)
+		}
+		mb := float64(n) * graysort.RecordSize / 1e6
+		fmt.Printf("\nkernel: sorted %d records (%.0f MB) in %v (%.1f MB/s single-core)\n",
+			n, mb, elapsed.Round(time.Millisecond), mb/elapsed.Seconds())
+	}
+}

@@ -1,0 +1,22 @@
+// Command tracestats generates the production-shaped synthetic trace and
+// prints its Table 1 statistics (instances, workers and tasks: average,
+// maximum and total) next to the paper's production numbers.
+//
+// Usage:
+//
+//	tracestats [-jobs N] [-seed N]
+package main
+
+import (
+	"flag"
+	"os"
+
+	"repro/internal/experiments"
+)
+
+func main() {
+	jobs := flag.Int("jobs", 0, "trace size in jobs (0 = default 920, the paper's 91,990 at 1/100)")
+	seed := flag.Int64("seed", 1, "generator seed")
+	flag.Parse()
+	experiments.RunTable1(os.Stdout, *jobs, *seed)
+}

@@ -1,0 +1,19 @@
+// Package repro is a from-scratch Go reproduction of "Fuxi: a
+// Fault-Tolerant Resource Management and Job Scheduling System at Internet
+// Scale" (Zhang et al., VLDB 2014): the incremental resource-management
+// protocol with locality-tree scheduling, user-transparent failover for
+// FuxiMaster / FuxiAgent / JobMaster, the multi-level machine blacklist and
+// backup-instance scheme, plus every substrate the paper depends on
+// (simulated cluster, network, lock service, DFS) and a YARN-style baseline
+// for comparison.
+//
+// Entry points:
+//
+//   - internal/core: the Cluster facade (boot a cluster, submit jobs)
+//   - internal/experiments: regenerate every table and figure of §5
+//   - cmd/fuxisim, cmd/faultsim, cmd/graysort, cmd/tracestats: experiment CLIs
+//   - examples/: runnable walkthroughs of the public API
+//
+// See README.md for a tour, DESIGN.md for the system inventory, and
+// EXPERIMENTS.md for paper-vs-measured results.
+package repro

@@ -1,0 +1,82 @@
+// Failover: the paper's user-transparent failure recovery (§4.3.1) in one
+// run. While a job executes, this example kills the primary FuxiMaster (the
+// hot standby takes over and re-collects soft state), crashes the JobMaster
+// (a successor recovers from the instance snapshot and the still-running
+// workers), and halts a machine (the heartbeat timeout revokes its
+// containers and instances migrate) — and the job still completes.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/core"
+	"repro/internal/job"
+	"repro/internal/sim"
+)
+
+func main() {
+	cluster, err := core.NewCluster(core.Config{
+		Racks: 3, MachinesPerRack: 4, Seed: 99,
+		Standby: true, // hot-standby FuxiMaster pair
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	desc := &job.Description{
+		Name: "survivor",
+		Tasks: map[string]job.TaskSpec{
+			"map":    {Instances: 24, CPUMilli: 1000, MemoryMB: 2048, DurationMS: 8000},
+			"reduce": {Instances: 6, CPUMilli: 1000, MemoryMB: 4096, DurationMS: 8000},
+		},
+		Pipes: []job.Pipe{{
+			Source:      job.AccessPoint{AccessPoint: "map:out"},
+			Destination: job.AccessPoint{AccessPoint: "reduce:in"},
+		}},
+	}
+	handle, err := cluster.SubmitJob(desc, core.JobOptions{Config: job.Config{
+		FullSyncInterval: 5 * sim.Second,
+		Backup:           job.BackupConfig{Enabled: true},
+	}})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	step := func(s string) { fmt.Printf("t=%4.0fs  %s\n", cluster.Now().Seconds(), s) }
+
+	cluster.Run(5 * sim.Second)
+	step("job running; killing the primary FuxiMaster")
+	cluster.KillPrimaryMaster()
+
+	cluster.Run(10 * sim.Second)
+	if p := cluster.Primary(); p != nil {
+		step(fmt.Sprintf("standby took over (election epoch %d); allocations kept", p.Epoch()))
+	} else {
+		log.Fatal("no master took over")
+	}
+
+	step("crashing the JobMaster; workers keep running")
+	if err := handle.CrashJobMaster(); err != nil {
+		log.Fatal(err)
+	}
+	cluster.Run(3 * sim.Second)
+	step(fmt.Sprintf("%d workers still alive during the JobMaster outage", handle.Rt.Live()))
+	if err := handle.RestartJobMaster(); err != nil {
+		log.Fatal(err)
+	}
+	cluster.Run(8 * sim.Second)
+	step("JobMaster successor recovered from snapshot + worker reports")
+
+	step("halting machine r000m000")
+	cluster.KillMachine("r000m000")
+
+	for !handle.Done() && cluster.Now() < 20*sim.Minute {
+		cluster.Run(5 * sim.Second)
+	}
+	if !handle.Done() {
+		log.Fatal("job failed to survive the fault sequence")
+	}
+	step(fmt.Sprintf("job finished in %.1fs despite master, JobMaster and node failures",
+		handle.ElapsedSeconds()))
+}

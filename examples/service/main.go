@@ -1,0 +1,111 @@
+// Service: the paper's "long running service" task model (§6), built
+// directly on the application-master framework rather than the DAG job
+// layer. A service master keeps N replicas running indefinitely: failed
+// workers are replaced, revoked containers are re-requested, and a virtual
+// resource ("FrontendSlot") caps per-node replica concurrency the way
+// §3.2.1 describes for ASort.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/appmaster"
+	"repro/internal/core"
+	"repro/internal/protocol"
+	"repro/internal/resource"
+	"repro/internal/sim"
+)
+
+const (
+	replicas = 6
+	slotDim  = "FrontendSlot"
+)
+
+func main() {
+	cluster, err := core.NewCluster(core.Config{Racks: 2, MachinesPerRack: 3, Seed: 5})
+	if err != nil {
+		log.Fatal(err)
+	}
+	// Each node admits at most 1 frontend replica (anti-affinity through a
+	// virtual resource). Virtual capacity is adjustable at runtime.
+	for _, m := range cluster.Top.Machines() {
+		cluster.Scheduler().SetVirtualResource(m, slotDim, 1)
+	}
+
+	unit := resource.ScheduleUnit{
+		ID: 1, Priority: 10, MaxCount: replicas,
+		Size: resource.New(2000, 8192).With(slotDim, 1),
+	}
+
+	var am *appmaster.AM
+	seq := 0
+	running := map[string]string{} // worker -> machine
+	am = cluster.NewAppMaster(appmaster.Config{
+		App: "frontend", Units: []resource.ScheduleUnit{unit},
+		FullSyncInterval: 10 * sim.Second,
+	}, appmaster.Callbacks{
+		OnGrant: func(unitID int, machine string, count int) {
+			for i := 0; i < count; i++ {
+				seq++
+				id := fmt.Sprintf("fe-%03d", seq)
+				am.StartWorker(unitID, machine, id)
+			}
+		},
+		OnRevoke: func(unitID int, machine string, count int) {
+			// Containers lost (node death, preemption): ask for
+			// replacements anywhere.
+			am.Request(unitID, resource.LocalityHint{Type: resource.LocalityCluster, Count: count})
+		},
+		OnWorker: func(s protocol.WorkerStatus) {
+			switch s.State {
+			case protocol.WorkerRunning:
+				running[s.WorkerID] = s.Machine
+			case protocol.WorkerFailed:
+				delete(running, s.WorkerID)
+				// Replace the crashed replica in its still-held container.
+				if am.Held(1, s.Machine) > 0 {
+					seq++
+					am.StartWorker(1, s.Machine, fmt.Sprintf("fe-%03d", seq))
+				}
+			case protocol.WorkerFinished:
+				delete(running, s.WorkerID)
+			}
+		},
+	})
+	cluster.Run(100 * sim.Millisecond)
+	am.Request(1, resource.LocalityHint{Type: resource.LocalityCluster, Count: replicas})
+	cluster.Run(5 * sim.Second)
+
+	report := func(when string) {
+		perMachine := map[string]int{}
+		for _, m := range running {
+			perMachine[m]++
+		}
+		fmt.Printf("t=%4.0fs  %s: %d replicas on %d machines\n",
+			cluster.Now().Seconds(), when, len(running), len(perMachine))
+		for m, n := range perMachine {
+			if n > 1 {
+				fmt.Printf("  anti-affinity violated on %s (%d replicas)\n", m, n)
+			}
+		}
+	}
+	report("service up")
+
+	// A replica's machine dies; the master revokes, the service re-requests
+	// and is back to full strength.
+	var victim string
+	for _, m := range running {
+		victim = m
+		break
+	}
+	fmt.Printf("t=%4.0fs  killing machine %s\n", cluster.Now().Seconds(), victim)
+	cluster.KillMachine(victim)
+	cluster.Run(15 * sim.Second)
+	report("after node death")
+
+	if len(running) != replicas {
+		log.Fatalf("service degraded: %d/%d replicas", len(running), replicas)
+	}
+	fmt.Println("service healed transparently")
+}

@@ -1,0 +1,517 @@
+// Package agent implements FuxiAgent, the per-machine daemon (paper §2.2).
+// Its two roles are status collection (periodic heartbeats with local
+// allocations and a plugin-derived health score) and process management with
+// isolation: workers start only inside granted capacity ("resource capacity
+// ensurance"), excess processes are killed when capacity shrinks, and the
+// machine-overload guard kills the worst over-user.
+//
+// The daemon and the worker processes it supervises fail independently: a
+// daemon crash leaves processes running (its failover re-adopts them, paper
+// §4.3.1), while a machine crash kills everything.
+package agent
+
+import (
+	"fmt"
+
+	"repro/internal/protocol"
+	"repro/internal/resource"
+	"repro/internal/sim"
+	"repro/internal/topology"
+	"repro/internal/transport"
+)
+
+// Config tunes a FuxiAgent.
+type Config struct {
+	// HeartbeatInterval is the AgentHeartbeat period.
+	HeartbeatInterval sim.Time
+	// WorkerStartDelay models process start cost: package download plus
+	// exec (the paper's Table 2 attributes its 11.84 s worker-start
+	// overhead to downloading ~400 MB worker binaries).
+	WorkerStartDelay sim.Time
+}
+
+// DefaultConfig returns production-flavoured defaults.
+func DefaultConfig() Config {
+	return Config{
+		HeartbeatInterval: sim.Second,
+		WorkerStartDelay:  500 * sim.Millisecond,
+	}
+}
+
+type capKey struct {
+	app    string
+	unitID int
+}
+
+type capEntry struct {
+	size  resource.Vector
+	count int
+}
+
+// Proc is one supervised worker process.
+type Proc struct {
+	App    string
+	UnitID int
+	ID     string
+	Size   resource.Vector
+	State  protocol.WorkerState
+	// Usage is the measured consumption; fault injection inflates it to
+	// trigger the overload killer. It defaults to Size.
+	Usage resource.Vector
+
+	startTimer sim.Cancel
+}
+
+// Agent is the per-machine daemon.
+type Agent struct {
+	Machine string
+
+	cfg Config
+	eng *sim.Engine
+	net *transport.Net
+	cap resource.Vector
+
+	// procs is the machine's OS process table: it belongs to the machine,
+	// not the daemon, so it survives daemon crashes.
+	procs map[string]*Proc
+
+	capacity  map[capKey]*capEntry
+	daemonUp  bool
+	machineUp bool
+	broken    bool // disk corrupted: processes cannot be launched
+	health    int
+	// HealthCollector is the plugin hook combining disk statistics,
+	// machine load and network I/O into one score (paper §4.3.2); tests
+	// and fault injectors override it.
+	HealthCollector func() int
+
+	seq    protocol.Sequencer
+	dedup  *protocol.Dedup
+	timers []sim.Cancel
+
+	// KilledForCapacity and KilledForOverload count enforcement actions.
+	KilledForCapacity int
+	KilledForOverload int
+}
+
+// New starts a FuxiAgent for machine m and registers its endpoint.
+func New(cfg Config, eng *sim.Engine, net *transport.Net, m *topology.Machine) *Agent {
+	a := &Agent{
+		Machine:   m.Name,
+		cfg:       cfg,
+		eng:       eng,
+		net:       net,
+		cap:       m.Capacity,
+		procs:     make(map[string]*Proc),
+		capacity:  make(map[capKey]*capEntry),
+		daemonUp:  true,
+		machineUp: true,
+		health:    100,
+		dedup:     protocol.NewDedup(),
+	}
+	a.HealthCollector = func() int { return a.health }
+	net.Register(a.endpoint(), a.handle)
+	a.timers = append(a.timers, eng.Every(cfg.HeartbeatInterval, a.tick))
+	return a
+}
+
+func (a *Agent) endpoint() string { return protocol.AgentEndpoint(a.Machine) }
+
+// SetHealth sets the base health score returned by the default collector.
+func (a *Agent) SetHealth(score int) { a.health = score }
+
+// Up reports whether both the machine and the daemon are running.
+func (a *Agent) Up() bool { return a.machineUp && a.daemonUp }
+
+// Procs returns the live process table (authoritative machine state).
+func (a *Agent) Procs() map[string]*Proc { return a.procs }
+
+// Proc returns one process by worker ID (nil when absent).
+func (a *Agent) Proc(workerID string) *Proc { return a.procs[workerID] }
+
+// Capacity returns the granted container count for (app, unit).
+func (a *Agent) Capacity(app string, unitID int) int {
+	if e := a.capacity[capKey{app, unitID}]; e != nil {
+		return e.count
+	}
+	return 0
+}
+
+// ---------------------------------------------------------------------------
+// heartbeat and enforcement
+// ---------------------------------------------------------------------------
+
+func (a *Agent) tick() {
+	if !a.Up() {
+		return
+	}
+	a.enforceOverload()
+	a.sendHeartbeat()
+}
+
+func (a *Agent) sendHeartbeat() {
+	allocs := make(map[string]map[int]int, len(a.capacity))
+	for k, e := range a.capacity {
+		if e.count <= 0 {
+			continue
+		}
+		if allocs[k.app] == nil {
+			allocs[k.app] = make(map[int]int)
+		}
+		allocs[k.app][k.unitID] = e.count
+	}
+	a.net.Send(a.endpoint(), protocol.MasterEndpoint, protocol.AgentHeartbeat{
+		Machine:     a.Machine,
+		Allocations: allocs,
+		HealthScore: a.HealthCollector(),
+		Seq:         a.seq.Next(),
+	})
+}
+
+// enforceOverload kills processes while measured physical usage (CPU,
+// memory) exceeds machine capacity, choosing "the process whose real
+// resource usage exceeds its own resource usage most" (paper §2.2).
+// Virtual resources are scheduler-side concurrency tokens, not measurable
+// machine load, so they are excluded here.
+func (a *Agent) enforceOverload() {
+	for {
+		var total resource.Vector
+		for _, p := range a.procs {
+			if p.State == protocol.WorkerRunning {
+				total = total.Add(p.Usage)
+			}
+		}
+		if a.cap.CPUMilli() >= total.CPUMilli() && a.cap.MemoryMB() >= total.MemoryMB() {
+			return
+		}
+		var victim *Proc
+		worst := float64(-1)
+		for _, p := range a.procs {
+			if p.State != protocol.WorkerRunning {
+				continue
+			}
+			over := p.Usage.Sub(p.Size).DominantShare(a.cap)
+			if over > worst || (over == worst && (victim == nil || p.ID < victim.ID)) {
+				worst = over
+				victim = p
+			}
+		}
+		if victim == nil {
+			return
+		}
+		a.KilledForOverload++
+		a.killProc(victim, "killed: machine overload")
+	}
+}
+
+// ---------------------------------------------------------------------------
+// message handling
+// ---------------------------------------------------------------------------
+
+func (a *Agent) handle(from string, msg transport.Message) {
+	if !a.Up() {
+		return
+	}
+	switch t := msg.(type) {
+	case protocol.CapacityUpdate:
+		if a.dedup.Observe(from+"/cap", t.Seq) == protocol.Duplicate {
+			return
+		}
+		a.applyCapacity(t.App, t.UnitID, t.Size, t.Delta)
+	case protocol.CapacitySync:
+		a.applyCapacitySync(t)
+	case protocol.WorkPlan:
+		if a.dedup.Observe(from+"/plan/"+t.WorkerID, t.Seq) == protocol.Duplicate {
+			return
+		}
+		a.startWorker(from, t)
+	case protocol.StopWorker:
+		a.stopWorker(t)
+	case protocol.MasterHello:
+		// New primary collecting soft state: report immediately, and
+		// forget the dead master's sequence numbers (the successor starts
+		// a fresh sequencer).
+		a.dedup.Reset(from + "/cap")
+		a.sendHeartbeat()
+	case protocol.WorkerListReply:
+		a.adoptWorkers(t)
+	}
+}
+
+func (a *Agent) applyCapacity(app string, unitID int, size resource.Vector, delta int) {
+	k := capKey{app, unitID}
+	e := a.capacity[k]
+	if e == nil {
+		e = &capEntry{size: size}
+		a.capacity[k] = e
+	}
+	e.size = size
+	e.count += delta
+	if e.count < 0 {
+		e.count = 0
+	}
+	if e.count == 0 {
+		delete(a.capacity, k)
+	}
+	a.ensureCapacity(k, e)
+}
+
+// ensureCapacity kills excess processes when granted capacity shrank below
+// the number of running workers and the application master did not stop one
+// itself (paper §2.2 "resource capacity ensurance").
+func (a *Agent) ensureCapacity(k capKey, e *capEntry) {
+	count := 0
+	if e != nil {
+		count = e.count
+	}
+	var owned []*Proc
+	for _, p := range a.procs {
+		if p.App == k.app && p.UnitID == k.unitID {
+			owned = append(owned, p)
+		}
+	}
+	for len(owned) > count {
+		// Kill deterministically: highest worker ID (most recent) first.
+		idx := 0
+		for i := 1; i < len(owned); i++ {
+			if owned[i].ID > owned[idx].ID {
+				idx = i
+			}
+		}
+		victim := owned[idx]
+		owned = append(owned[:idx], owned[idx+1:]...)
+		a.KilledForCapacity++
+		a.killProc(victim, "killed: capacity revoked")
+	}
+}
+
+// SetBroken simulates the PartialWorkerFailure fault of the paper's §5.4:
+// "Disk I/O hang or unstable network connection ... we can then simulate it
+// by making disk corrupted. The processes thus can not be launched."
+func (a *Agent) SetBroken(broken bool) { a.broken = broken }
+
+func (a *Agent) startWorker(from string, t protocol.WorkPlan) {
+	if _, dup := a.procs[t.WorkerID]; dup {
+		return
+	}
+	if a.broken {
+		a.net.Send(a.endpoint(), from, protocol.WorkerStatus{
+			Machine: a.Machine, App: t.App, WorkerID: t.WorkerID,
+			State:         protocol.WorkerFailed,
+			FailureDetail: "disk corrupted: process cannot be launched",
+			Seq:           a.seq.Next(),
+		})
+		return
+	}
+	k := capKey{t.App, t.UnitID}
+	e := a.capacity[k]
+	running := 0
+	for _, p := range a.procs {
+		if p.App == t.App && p.UnitID == t.UnitID {
+			running++
+		}
+	}
+	if e == nil || running >= e.count {
+		// No granted capacity: refuse (isolation rule one).
+		a.net.Send(a.endpoint(), from, protocol.WorkerStatus{
+			Machine: a.Machine, App: t.App, WorkerID: t.WorkerID,
+			State:         protocol.WorkerFailed,
+			FailureDetail: fmt.Sprintf("no capacity for app %s unit %d on %s", t.App, t.UnitID, a.Machine),
+			Seq:           a.seq.Next(),
+		})
+		return
+	}
+	p := &Proc{App: t.App, UnitID: t.UnitID, ID: t.WorkerID, Size: t.Size, Usage: t.Size, State: protocol.WorkerStarting}
+	a.procs[t.WorkerID] = p
+	p.startTimer = a.eng.After(a.cfg.WorkerStartDelay, func() {
+		if a.procs[t.WorkerID] != p || !a.machineUp {
+			return
+		}
+		p.State = protocol.WorkerRunning
+		// First status report: the AM measures worker-start overhead from
+		// plan to this message (Table 2).
+		a.net.Send(a.endpoint(), p.App, protocol.WorkerStatus{
+			Machine: a.Machine, App: p.App, WorkerID: p.ID,
+			State: protocol.WorkerRunning, Seq: a.seq.Next(),
+		})
+	})
+}
+
+func (a *Agent) stopWorker(t protocol.StopWorker) {
+	p := a.procs[t.WorkerID]
+	if p == nil || p.App != t.App {
+		return
+	}
+	if p.startTimer != nil {
+		p.startTimer()
+	}
+	delete(a.procs, t.WorkerID)
+	p.State = protocol.WorkerFinished
+	a.net.Send(a.endpoint(), p.App, protocol.WorkerStatus{
+		Machine: a.Machine, App: p.App, WorkerID: p.ID,
+		State: protocol.WorkerFinished, Seq: a.seq.Next(),
+	})
+}
+
+// killProc force-terminates a process and notifies its application master.
+func (a *Agent) killProc(p *Proc, detail string) {
+	if p.startTimer != nil {
+		p.startTimer()
+	}
+	delete(a.procs, p.ID)
+	p.State = protocol.WorkerFailed
+	if a.Up() {
+		a.net.Send(a.endpoint(), p.App, protocol.WorkerStatus{
+			Machine: a.Machine, App: p.App, WorkerID: p.ID,
+			State: protocol.WorkerFailed, FailureDetail: detail, Seq: a.seq.Next(),
+		})
+	}
+}
+
+// CrashWorker simulates a worker process crash (fault injection). Per paper
+// §2.2, "FuxiAgent watches the worker's status and restarts it if it
+// crashes" — the agent restarts the process after the start delay and the
+// application master is told about the failure.
+func (a *Agent) CrashWorker(workerID, detail string) {
+	p := a.procs[workerID]
+	if p == nil {
+		return
+	}
+	a.killProc(p, detail)
+	if !a.Up() {
+		return
+	}
+	// Auto-restart inside the still-granted container.
+	a.startWorker(p.App, protocol.WorkPlan{
+		App: p.App, UnitID: p.UnitID, WorkerID: p.ID, Size: p.Size, Seq: a.seq.Next(),
+	})
+}
+
+// ---------------------------------------------------------------------------
+// failure and failover
+// ---------------------------------------------------------------------------
+
+// CrashDaemon stops the FuxiAgent daemon only: worker processes keep
+// running; heartbeats and process management stop.
+func (a *Agent) CrashDaemon() {
+	if !a.daemonUp {
+		return
+	}
+	a.daemonUp = false
+	for _, c := range a.timers {
+		c()
+	}
+	a.timers = nil
+	a.net.Unregister(a.endpoint())
+	// In-memory daemon state is lost.
+	a.capacity = make(map[capKey]*capEntry)
+	a.dedup = protocol.NewDedup()
+}
+
+// RestartDaemon brings the daemon back: it adopts the running processes it
+// finds ("existing running tasks will be adopted rather than being killed"),
+// asks FuxiMaster for the granted capacity table, and asks each application
+// for its expected worker list.
+func (a *Agent) RestartDaemon() {
+	if a.daemonUp || !a.machineUp {
+		return
+	}
+	a.daemonUp = true
+	a.net.Register(a.endpoint(), a.handle)
+	a.timers = append(a.timers, a.eng.Every(a.cfg.HeartbeatInterval, a.tick))
+
+	a.net.Send(a.endpoint(), protocol.MasterEndpoint, protocol.CapacityQuery{
+		Machine: a.Machine, Seq: a.seq.Next(),
+	})
+	apps := map[string]bool{}
+	for _, p := range a.procs {
+		apps[p.App] = true
+	}
+	for app := range apps {
+		a.net.Send(a.endpoint(), app, protocol.WorkerListRequest{Machine: a.Machine, Seq: a.seq.Next()})
+	}
+}
+
+func (a *Agent) applyCapacitySync(t protocol.CapacitySync) {
+	a.capacity = make(map[capKey]*capEntry, len(t.Entries))
+	for _, e := range t.Entries {
+		if e.Count > 0 {
+			a.capacity[capKey{e.App, e.UnitID}] = &capEntry{size: e.Size, count: e.Count}
+		}
+	}
+	for k, e := range a.capacity {
+		a.ensureCapacity(k, e)
+	}
+	// Processes whose capacity vanished entirely while the daemon was down:
+	for _, p := range a.procs {
+		if a.capacity[capKey{p.App, p.UnitID}] == nil {
+			a.KilledForCapacity++
+			a.killProc(p, "killed: capacity revoked during daemon outage")
+		}
+	}
+}
+
+// adoptWorkers reconciles the process table against the application's
+// expected worker list: unknown processes are killed, expected-but-missing
+// workers are reported failed so the application can reschedule.
+func (a *Agent) adoptWorkers(t protocol.WorkerListReply) {
+	expect := map[string]protocol.WorkPlan{}
+	for _, w := range t.Workers {
+		expect[w.WorkerID] = w
+	}
+	for id, p := range a.procs {
+		if p.App != t.App {
+			continue
+		}
+		if _, ok := expect[id]; !ok {
+			a.killProc(p, "killed: not in application worker list")
+		}
+		delete(expect, id)
+	}
+	for id, w := range expect {
+		a.net.Send(a.endpoint(), t.App, protocol.WorkerStatus{
+			Machine: a.Machine, App: t.App, WorkerID: id,
+			State:         protocol.WorkerFailed,
+			FailureDetail: "lost during agent outage",
+			Seq:           a.seq.Next(),
+		})
+		_ = w
+	}
+}
+
+// CrashMachine halts the whole node: all processes die silently (no
+// failure reports escape a dead machine) and the endpoint goes dark so the
+// master's heartbeat timeout fires.
+func (a *Agent) CrashMachine() {
+	if !a.machineUp {
+		return
+	}
+	a.machineUp = false
+	for _, c := range a.timers {
+		c()
+	}
+	a.timers = nil
+	for id, p := range a.procs {
+		if p.startTimer != nil {
+			p.startTimer()
+		}
+		p.State = protocol.WorkerFailed
+		delete(a.procs, id)
+	}
+	a.capacity = make(map[capKey]*capEntry)
+	a.net.SetDown(a.endpoint(), true)
+}
+
+// RestartMachine boots the node fresh: empty process table, daemon up,
+// heartbeats resume (the master will MachineUp it).
+func (a *Agent) RestartMachine() {
+	if a.machineUp {
+		return
+	}
+	a.machineUp = true
+	a.daemonUp = true
+	a.dedup = protocol.NewDedup()
+	a.net.SetDown(a.endpoint(), false)
+	a.net.Register(a.endpoint(), a.handle)
+	a.timers = append(a.timers, a.eng.Every(a.cfg.HeartbeatInterval, a.tick))
+}

@@ -1,0 +1,440 @@
+// Package appmaster provides the application-master framework every Fuxi
+// computation paradigm builds on (paper §2.2): incremental demand tracking
+// against FuxiMaster, a container ledger that separates resource grants from
+// the tasks that run in them (§3.2.3 — containers are reused across task
+// instances instead of being reclaimed per task as in YARN), worker
+// lifecycle via FuxiAgents, and the periodic full-state safety sync.
+package appmaster
+
+import (
+	"sort"
+
+	"repro/internal/protocol"
+	"repro/internal/resource"
+	"repro/internal/sim"
+	"repro/internal/topology"
+	"repro/internal/transport"
+)
+
+// Config describes one application.
+type Config struct {
+	// App is both the application name and its transport endpoint.
+	App        string
+	QuotaGroup string
+	Units      []resource.ScheduleUnit
+	// FullSyncInterval is the period of the FullDemandSync safety message
+	// (0 disables it; the protocol then relies purely on deltas).
+	FullSyncInterval sim.Time
+}
+
+// Callbacks let the computation layer react to resource and worker events.
+// All callbacks are optional.
+type Callbacks struct {
+	// OnGrant fires when count containers of a unit arrive on machine.
+	OnGrant func(unitID int, machine string, count int)
+	// OnRevoke fires when count containers of a unit are revoked from
+	// machine (preemption, node death, blacklisting).
+	OnRevoke func(unitID int, machine string, count int)
+	// OnWorker fires for every WorkerStatus report.
+	OnWorker func(protocol.WorkerStatus)
+	// OnMessage receives application-level messages addressed to the app
+	// endpoint that are not part of the resource protocol (e.g. worker →
+	// job-master task reports).
+	OnMessage func(from string, msg any)
+}
+
+type locTarget struct {
+	typ   resource.LocalityType
+	value string
+}
+
+// AM is one application master.
+type AM struct {
+	cfg Config
+	eng *sim.Engine
+	net *transport.Net
+	top *topology.Topology
+	cb  Callbacks
+
+	units map[int]resource.ScheduleUnit
+	// outstanding is this side's view of still-unfulfilled demand.
+	outstanding map[int]map[locTarget]int
+	// held is the container ledger: unit -> machine -> count.
+	held map[int]map[string]int
+	// workers tracks every worker this application asked agents to run.
+	workers map[string]*Worker
+
+	seq     protocol.Sequencer
+	dedup   *protocol.Dedup
+	timers  []sim.Cancel
+	stopped bool
+}
+
+// Worker is the application's view of one worker process.
+type Worker struct {
+	ID      string
+	Machine string
+	UnitID  int
+	State   protocol.WorkerState
+	// PlannedAt is when the work plan was sent; the first Running report
+	// minus PlannedAt is the paper's "worker start overhead" (Table 2).
+	PlannedAt sim.Time
+	RunningAt sim.Time
+}
+
+// New creates and starts an application master: it registers its endpoint
+// and announces itself to FuxiMaster.
+func New(cfg Config, eng *sim.Engine, net *transport.Net, top *topology.Topology, cb Callbacks) *AM {
+	a := &AM{
+		cfg: cfg, eng: eng, net: net, top: top, cb: cb,
+		units:       make(map[int]resource.ScheduleUnit, len(cfg.Units)),
+		outstanding: make(map[int]map[locTarget]int),
+		held:        make(map[int]map[string]int),
+		workers:     make(map[string]*Worker),
+		dedup:       protocol.NewDedup(),
+	}
+	for _, u := range cfg.Units {
+		a.units[u.ID] = u
+		a.outstanding[u.ID] = make(map[locTarget]int)
+		a.held[u.ID] = make(map[string]int)
+	}
+	net.Register(cfg.App, a.handle)
+	a.send(protocol.MasterEndpoint, protocol.RegisterApp{
+		App: cfg.App, QuotaGroup: cfg.QuotaGroup, Units: cfg.Units, Seq: a.seq.Next(),
+	})
+	if cfg.FullSyncInterval > 0 {
+		a.timers = append(a.timers, eng.Every(cfg.FullSyncInterval, a.fullSync))
+	}
+	return a
+}
+
+func (a *AM) send(to string, msg transport.Message) { a.net.Send(a.cfg.App, to, msg) }
+
+// Request adds (or with negative counts, withdraws) demand and sends the
+// incremental update. This is the only message needed no matter how much of
+// the demand is eventually fulfilled — FuxiMaster queues the remainder.
+func (a *AM) Request(unitID int, hints ...resource.LocalityHint) {
+	out := a.outstanding[unitID]
+	if out == nil {
+		return
+	}
+	var valid []resource.LocalityHint
+	for _, h := range hints {
+		if h.Count == 0 {
+			continue
+		}
+		k := locTarget{h.Type, h.Value}
+		n := out[k] + h.Count
+		if n < 0 {
+			h.Count -= n // clamp withdrawal at zero outstanding
+			n = 0
+		}
+		if h.Count == 0 {
+			continue
+		}
+		out[k] = n
+		valid = append(valid, h)
+	}
+	if len(valid) == 0 {
+		return
+	}
+	a.send(protocol.MasterEndpoint, protocol.DemandUpdate{
+		App: a.cfg.App, UnitID: unitID, Deltas: valid, Seq: a.seq.Next(),
+	})
+}
+
+// ReturnContainers gives count held containers on machine back to
+// FuxiMaster (workers inside them must already be stopped).
+func (a *AM) ReturnContainers(unitID int, machine string, count int) {
+	if count <= 0 || a.held[unitID][machine] < count {
+		return
+	}
+	a.held[unitID][machine] -= count
+	if a.held[unitID][machine] == 0 {
+		delete(a.held[unitID], machine)
+	}
+	a.send(protocol.MasterEndpoint, protocol.GrantReturn{
+		App: a.cfg.App, UnitID: unitID, Machine: machine, Count: count, Seq: a.seq.Next(),
+	})
+}
+
+// StartWorker sends a work plan to machine's agent for one held container.
+func (a *AM) StartWorker(unitID int, machine, workerID string) {
+	u, ok := a.units[unitID]
+	if !ok {
+		return
+	}
+	a.workers[workerID] = &Worker{
+		ID: workerID, Machine: machine, UnitID: unitID,
+		State: protocol.WorkerStarting, PlannedAt: a.eng.Now(),
+	}
+	a.send(protocol.AgentEndpoint(machine), protocol.WorkPlan{
+		App: a.cfg.App, UnitID: unitID, WorkerID: workerID, Size: u.Size, Seq: a.seq.Next(),
+	})
+}
+
+// AdoptWorker records a worker that is already running (discovered through
+// failover status reports) without sending a new work plan.
+func (a *AM) AdoptWorker(unitID int, machine, workerID string) {
+	if _, ok := a.workers[workerID]; ok {
+		return
+	}
+	a.workers[workerID] = &Worker{
+		ID: workerID, Machine: machine, UnitID: unitID,
+		State: protocol.WorkerRunning, PlannedAt: a.eng.Now(), RunningAt: a.eng.Now(),
+	}
+}
+
+// Crash simulates the application-master process dying: the endpoint goes
+// dark and timers stop, but nothing is sent to FuxiMaster — grants stay
+// allocated, exactly the state a failover successor inherits.
+func (a *AM) Crash() {
+	if a.stopped {
+		return
+	}
+	a.stopped = true
+	for _, c := range a.timers {
+		c()
+	}
+	a.net.Unregister(a.cfg.App)
+}
+
+// StopWorker terminates a worker (the container stays held for reuse).
+func (a *AM) StopWorker(workerID string) {
+	w := a.workers[workerID]
+	if w == nil {
+		return
+	}
+	delete(a.workers, workerID)
+	a.send(protocol.AgentEndpoint(w.Machine), protocol.StopWorker{
+		App: a.cfg.App, WorkerID: workerID, Seq: a.seq.Next(),
+	})
+}
+
+// StopWorkerOn sends a stop directly to a machine's agent for a worker the
+// application no longer tracks (e.g. reaping an agent-auto-restarted copy
+// of a worker the application already replaced).
+func (a *AM) StopWorkerOn(machine, workerID string) {
+	a.send(protocol.AgentEndpoint(machine), protocol.StopWorker{
+		App: a.cfg.App, WorkerID: workerID, Seq: a.seq.Next(),
+	})
+}
+
+// ReportBadMachine escalates a job-level blacklist verdict to FuxiMaster.
+func (a *AM) ReportBadMachine(machine string) {
+	a.send(protocol.MasterEndpoint, protocol.BadMachineReport{
+		App: a.cfg.App, Machine: machine, Seq: a.seq.Next(),
+	})
+}
+
+// Unregister ends the application: all resources return to the cluster.
+func (a *AM) Unregister() {
+	if a.stopped {
+		return
+	}
+	a.stopped = true
+	for _, c := range a.timers {
+		c()
+	}
+	a.send(protocol.MasterEndpoint, protocol.UnregisterApp{App: a.cfg.App, Seq: a.seq.Next()})
+	a.net.Unregister(a.cfg.App)
+}
+
+// Held returns the container count held for unit on machine.
+func (a *AM) Held(unitID int, machine string) int { return a.held[unitID][machine] }
+
+// HeldTotal returns all containers held for a unit.
+func (a *AM) HeldTotal(unitID int) int {
+	n := 0
+	for _, c := range a.held[unitID] {
+		n += c
+	}
+	return n
+}
+
+// HeldMachines returns the sorted machines holding containers for a unit.
+func (a *AM) HeldMachines(unitID int) []string {
+	out := make([]string, 0, len(a.held[unitID]))
+	for m, c := range a.held[unitID] {
+		if c > 0 {
+			out = append(out, m)
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// ObtainedTotal sums the resource vectors of all held containers (the
+// paper's AM_obtained metric).
+func (a *AM) ObtainedTotal() resource.Vector {
+	var t resource.Vector
+	for unitID, machines := range a.held {
+		u := a.units[unitID]
+		for _, c := range machines {
+			t = t.Add(u.Size.Scale(int64(c)))
+		}
+	}
+	return t
+}
+
+// Outstanding returns this side's view of unfulfilled demand for a unit.
+func (a *AM) Outstanding(unitID int) int {
+	n := 0
+	for _, c := range a.outstanding[unitID] {
+		n += c
+	}
+	return n
+}
+
+// Worker returns the application's view of a worker (nil when unknown).
+func (a *AM) Worker(id string) *Worker { return a.workers[id] }
+
+// ---------------------------------------------------------------------------
+// message handling
+// ---------------------------------------------------------------------------
+
+func (a *AM) handle(from string, msg transport.Message) {
+	if a.stopped {
+		return
+	}
+	switch t := msg.(type) {
+	case protocol.GrantUpdate:
+		if a.dedup.Observe(from+"/grant", t.Seq) == protocol.Duplicate {
+			return
+		}
+		a.applyGrant(t)
+	case protocol.WorkerStatus:
+		a.applyWorkerStatus(t)
+	case protocol.MasterHello:
+		// New primary rebuilding soft state: re-send configuration and the
+		// full resource picture (paper Figure 7). Already-assigned
+		// resources are kept throughout. The successor uses a fresh
+		// sequencer, so forget the dead master's sequence numbers.
+		a.dedup.Reset(from + "/grant")
+		a.send(protocol.MasterEndpoint, protocol.RegisterApp{
+			App: a.cfg.App, QuotaGroup: a.cfg.QuotaGroup, Units: a.cfg.Units, Seq: a.seq.Next(),
+		})
+		a.fullSync()
+	case protocol.WorkerListRequest:
+		a.replyWorkerList(t.Machine)
+	default:
+		if a.cb.OnMessage != nil {
+			a.cb.OnMessage(from, msg)
+		}
+	}
+}
+
+func (a *AM) applyGrant(t protocol.GrantUpdate) {
+	for _, ch := range t.Changes {
+		if ch.Delta > 0 {
+			a.held[t.UnitID][ch.Machine] += ch.Delta
+			a.consumeOutstanding(t.UnitID, ch.Machine, ch.Delta)
+			if a.cb.OnGrant != nil {
+				a.cb.OnGrant(t.UnitID, ch.Machine, ch.Delta)
+			}
+		} else if ch.Delta < 0 {
+			n := -ch.Delta
+			if a.held[t.UnitID][ch.Machine] < n {
+				n = a.held[t.UnitID][ch.Machine]
+			}
+			if n == 0 {
+				continue
+			}
+			a.held[t.UnitID][ch.Machine] -= n
+			if a.held[t.UnitID][ch.Machine] == 0 {
+				delete(a.held[t.UnitID], ch.Machine)
+			}
+			if a.cb.OnRevoke != nil {
+				a.cb.OnRevoke(t.UnitID, ch.Machine, n)
+			}
+		}
+	}
+}
+
+// consumeOutstanding mirrors the master's grant accounting on the demand
+// view: a grant on machine M consumes machine-level demand on M first, then
+// rack-level demand on rack(M), then cluster-level demand. Any residual
+// divergence is repaired by the periodic full sync.
+func (a *AM) consumeOutstanding(unitID int, machine string, count int) {
+	out := a.outstanding[unitID]
+	take := func(k locTarget) {
+		for count > 0 && out[k] > 0 {
+			out[k]--
+			count--
+		}
+		if out[k] == 0 {
+			delete(out, k)
+		}
+	}
+	take(locTarget{resource.LocalityMachine, machine})
+	take(locTarget{resource.LocalityRack, a.top.RackOf(machine)})
+	take(locTarget{resource.LocalityCluster, ""})
+}
+
+func (a *AM) applyWorkerStatus(t protocol.WorkerStatus) {
+	w := a.workers[t.WorkerID]
+	if w != nil {
+		w.State = t.State
+		if t.State == protocol.WorkerRunning && w.RunningAt == 0 {
+			w.RunningAt = a.eng.Now()
+		}
+		if t.State == protocol.WorkerFailed || t.State == protocol.WorkerFinished {
+			delete(a.workers, t.WorkerID)
+		}
+	}
+	if a.cb.OnWorker != nil {
+		a.cb.OnWorker(t)
+	}
+}
+
+func (a *AM) replyWorkerList(machine string) {
+	var plans []protocol.WorkPlan
+	ids := make([]string, 0)
+	for id, w := range a.workers {
+		if w.Machine == machine {
+			ids = append(ids, id)
+		}
+	}
+	sort.Strings(ids)
+	for _, id := range ids {
+		w := a.workers[id]
+		plans = append(plans, protocol.WorkPlan{
+			App: a.cfg.App, UnitID: w.UnitID, WorkerID: w.ID, Size: a.units[w.UnitID].Size,
+		})
+	}
+	a.send(protocol.AgentEndpoint(machine), protocol.WorkerListReply{
+		App: a.cfg.App, Workers: plans, Seq: a.seq.Next(),
+	})
+}
+
+// fullSync sends the complete demand and grant picture to FuxiMaster.
+func (a *AM) fullSync() {
+	demand := make(map[int][]resource.LocalityHint, len(a.outstanding))
+	for unitID, out := range a.outstanding {
+		var hints []resource.LocalityHint
+		for k, c := range out {
+			if c > 0 {
+				hints = append(hints, resource.LocalityHint{Type: k.typ, Value: k.value, Count: c})
+			}
+		}
+		sort.Slice(hints, func(i, j int) bool {
+			if hints[i].Type != hints[j].Type {
+				return hints[i].Type < hints[j].Type
+			}
+			return hints[i].Value < hints[j].Value
+		})
+		demand[unitID] = hints
+	}
+	heldCopy := make(map[int]map[string]int, len(a.held))
+	for unitID, machines := range a.held {
+		mc := make(map[string]int, len(machines))
+		for m, c := range machines {
+			mc[m] = c
+		}
+		heldCopy[unitID] = mc
+	}
+	a.send(protocol.MasterEndpoint, protocol.FullDemandSync{
+		App: a.cfg.App, QuotaGroup: a.cfg.QuotaGroup, Units: a.cfg.Units,
+		Demand: demand, Held: heldCopy, Seq: a.seq.Current(),
+	})
+}

@@ -1,0 +1,327 @@
+package appmaster
+
+import (
+	"testing"
+
+	"repro/internal/protocol"
+	"repro/internal/resource"
+	"repro/internal/sim"
+	"repro/internal/topology"
+	"repro/internal/transport"
+)
+
+type harness struct {
+	eng      *sim.Engine
+	net      *transport.Net
+	top      *topology.Topology
+	am       *AM
+	toMaster []transport.Message
+	toAgent  map[string][]transport.Message
+	grants   []string
+	revokes  []string
+	statuses []protocol.WorkerStatus
+}
+
+func newHarness(t *testing.T, fullSync sim.Time) *harness {
+	t.Helper()
+	eng := sim.NewEngine(5)
+	net := transport.NewNet(eng)
+	top, err := topology.Build(topology.Spec{
+		Racks: 2, MachinesPerRack: 2, MachineCapacity: resource.New(12000, 96*1024),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	h := &harness{eng: eng, net: net, top: top, toAgent: map[string][]transport.Message{}}
+	net.Register(protocol.MasterEndpoint, func(_ string, m transport.Message) {
+		h.toMaster = append(h.toMaster, m)
+	})
+	for _, name := range top.Machines() {
+		name := name
+		net.Register(protocol.AgentEndpoint(name), func(_ string, m transport.Message) {
+			h.toAgent[name] = append(h.toAgent[name], m)
+		})
+	}
+	h.am = New(Config{
+		App:              "app1",
+		Units:            []resource.ScheduleUnit{{ID: 1, Priority: 100, MaxCount: 20, Size: resource.New(1000, 2048)}},
+		FullSyncInterval: fullSync,
+	}, eng, net, top, Callbacks{
+		OnGrant:  func(u int, m string, c int) { h.grants = append(h.grants, m) },
+		OnRevoke: func(u int, m string, c int) { h.revokes = append(h.revokes, m) },
+		OnWorker: func(s protocol.WorkerStatus) { h.statuses = append(h.statuses, s) },
+	})
+	return h
+}
+
+func (h *harness) grant(machine string, delta int, seq uint64) {
+	h.net.Send(protocol.MasterEndpoint, "app1", protocol.GrantUpdate{
+		App: "app1", UnitID: 1,
+		Changes: []protocol.MachineDelta{{Machine: machine, Delta: delta}},
+		Seq:     seq,
+	})
+	h.eng.Run(h.eng.Now() + 10*sim.Millisecond)
+}
+
+func TestRegistersOnStart(t *testing.T) {
+	h := newHarness(t, 0)
+	h.eng.Run(10 * sim.Millisecond)
+	if len(h.toMaster) != 1 {
+		t.Fatalf("messages = %d", len(h.toMaster))
+	}
+	reg, ok := h.toMaster[0].(protocol.RegisterApp)
+	if !ok || reg.App != "app1" || len(reg.Units) != 1 {
+		t.Errorf("register = %+v", h.toMaster[0])
+	}
+}
+
+func TestRequestSendsIncrementalDelta(t *testing.T) {
+	h := newHarness(t, 0)
+	h.am.Request(1, resource.LocalityHint{Type: resource.LocalityCluster, Count: 10})
+	h.eng.Run(10 * sim.Millisecond)
+	var dem *protocol.DemandUpdate
+	for _, m := range h.toMaster {
+		if d, ok := m.(protocol.DemandUpdate); ok {
+			dem = &d
+		}
+	}
+	if dem == nil || dem.Deltas[0].Count != 10 {
+		t.Fatalf("demand = %+v", dem)
+	}
+	if h.am.Outstanding(1) != 10 {
+		t.Errorf("outstanding = %d", h.am.Outstanding(1))
+	}
+}
+
+func TestWithdrawClampsAtZero(t *testing.T) {
+	h := newHarness(t, 0)
+	h.am.Request(1, resource.LocalityHint{Type: resource.LocalityCluster, Count: 5})
+	h.am.Request(1, resource.LocalityHint{Type: resource.LocalityCluster, Count: -8})
+	if h.am.Outstanding(1) != 0 {
+		t.Errorf("outstanding = %d, want 0", h.am.Outstanding(1))
+	}
+}
+
+func TestGrantUpdatesLedgerAndOutstanding(t *testing.T) {
+	h := newHarness(t, 0)
+	h.am.Request(1, resource.LocalityHint{Type: resource.LocalityCluster, Count: 10})
+	h.grant("r000m000", 4, 1)
+	if h.am.Held(1, "r000m000") != 4 {
+		t.Errorf("held = %d", h.am.Held(1, "r000m000"))
+	}
+	if h.am.Outstanding(1) != 6 {
+		t.Errorf("outstanding = %d, want 6", h.am.Outstanding(1))
+	}
+	if len(h.grants) != 1 {
+		t.Errorf("grant callbacks = %d", len(h.grants))
+	}
+}
+
+func TestGrantConsumesMachineDemandFirst(t *testing.T) {
+	h := newHarness(t, 0)
+	h.am.Request(1,
+		resource.LocalityHint{Type: resource.LocalityMachine, Value: "r000m000", Count: 2},
+		resource.LocalityHint{Type: resource.LocalityCluster, Count: 3})
+	h.grant("r000m000", 2, 1)
+	// Machine-level demand must be consumed before cluster-level.
+	if h.am.Outstanding(1) != 3 {
+		t.Errorf("outstanding = %d, want 3 (cluster remainder)", h.am.Outstanding(1))
+	}
+	h.grant("r001m000", 1, 2)
+	if h.am.Outstanding(1) != 2 {
+		t.Errorf("outstanding = %d, want 2", h.am.Outstanding(1))
+	}
+}
+
+func TestRevocationCallbackAndClamp(t *testing.T) {
+	h := newHarness(t, 0)
+	h.am.Request(1, resource.LocalityHint{Type: resource.LocalityCluster, Count: 4})
+	h.grant("r000m000", 4, 1)
+	h.grant("r000m000", -2, 2)
+	if h.am.Held(1, "r000m000") != 2 {
+		t.Errorf("held = %d", h.am.Held(1, "r000m000"))
+	}
+	if len(h.revokes) != 1 {
+		t.Errorf("revoke callbacks = %d", len(h.revokes))
+	}
+	// Over-revocation clamps instead of going negative.
+	h.grant("r000m000", -99, 3)
+	if h.am.Held(1, "r000m000") != 0 {
+		t.Errorf("held = %d, want 0", h.am.Held(1, "r000m000"))
+	}
+}
+
+func TestDuplicateGrantIgnored(t *testing.T) {
+	h := newHarness(t, 0)
+	h.am.Request(1, resource.LocalityHint{Type: resource.LocalityCluster, Count: 10})
+	h.grant("r000m000", 4, 7)
+	h.grant("r000m000", 4, 7) // replay
+	if h.am.Held(1, "r000m000") != 4 {
+		t.Errorf("held = %d after replay, want 4", h.am.Held(1, "r000m000"))
+	}
+}
+
+func TestReturnContainersSendsAndDecrements(t *testing.T) {
+	h := newHarness(t, 0)
+	h.am.Request(1, resource.LocalityHint{Type: resource.LocalityCluster, Count: 5})
+	h.grant("r000m000", 5, 1)
+	h.am.ReturnContainers(1, "r000m000", 2)
+	h.eng.Run(h.eng.Now() + 10*sim.Millisecond)
+	if h.am.Held(1, "r000m000") != 3 {
+		t.Errorf("held = %d", h.am.Held(1, "r000m000"))
+	}
+	found := false
+	for _, m := range h.toMaster {
+		if r, ok := m.(protocol.GrantReturn); ok && r.Count == 2 {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("no GrantReturn sent")
+	}
+	// Over-return is refused locally.
+	h.am.ReturnContainers(1, "r000m000", 99)
+	if h.am.Held(1, "r000m000") != 3 {
+		t.Error("over-return changed ledger")
+	}
+}
+
+func TestStartStopWorkerMessages(t *testing.T) {
+	h := newHarness(t, 0)
+	h.am.StartWorker(1, "r000m000", "w1")
+	h.eng.Run(10 * sim.Millisecond)
+	msgs := h.toAgent["r000m000"]
+	if len(msgs) != 1 {
+		t.Fatalf("agent messages = %d", len(msgs))
+	}
+	if wp, ok := msgs[0].(protocol.WorkPlan); !ok || wp.WorkerID != "w1" {
+		t.Errorf("plan = %+v", msgs[0])
+	}
+	if h.am.Worker("w1") == nil {
+		t.Fatal("worker not tracked")
+	}
+	h.am.StopWorker("w1")
+	h.eng.Run(h.eng.Now() + 10*sim.Millisecond)
+	if h.am.Worker("w1") != nil {
+		t.Error("worker still tracked after stop")
+	}
+	if _, ok := h.toAgent["r000m000"][1].(protocol.StopWorker); !ok {
+		t.Error("no StopWorker sent")
+	}
+}
+
+func TestWorkerStatusTracksOverhead(t *testing.T) {
+	h := newHarness(t, 0)
+	h.am.StartWorker(1, "r000m000", "w1")
+	h.eng.Run(5 * sim.Second)
+	h.net.Send(protocol.AgentEndpoint("r000m000"), "app1", protocol.WorkerStatus{
+		Machine: "r000m000", App: "app1", WorkerID: "w1", State: protocol.WorkerRunning, Seq: 1,
+	})
+	h.eng.Run(h.eng.Now() + 10*sim.Millisecond)
+	w := h.am.Worker("w1")
+	if w == nil || w.State != protocol.WorkerRunning {
+		t.Fatalf("worker = %+v", w)
+	}
+	if w.RunningAt <= w.PlannedAt {
+		t.Error("start overhead not measurable")
+	}
+	if len(h.statuses) != 1 {
+		t.Errorf("status callbacks = %d", len(h.statuses))
+	}
+}
+
+func TestMasterHelloTriggersReRegisterAndFullSync(t *testing.T) {
+	h := newHarness(t, 0)
+	h.am.Request(1, resource.LocalityHint{Type: resource.LocalityCluster, Count: 10})
+	h.grant("r000m000", 4, 1)
+	h.toMaster = nil
+	h.net.Send(protocol.MasterEndpoint, "app1", protocol.MasterHello{Epoch: 2, Seq: 99})
+	h.eng.Run(h.eng.Now() + 10*sim.Millisecond)
+	var sawReg, sawSync bool
+	for _, m := range h.toMaster {
+		switch s := m.(type) {
+		case protocol.RegisterApp:
+			sawReg = true
+		case protocol.FullDemandSync:
+			sawSync = true
+			if s.Held[1]["r000m000"] != 4 {
+				t.Errorf("sync held = %v", s.Held)
+			}
+			total := 0
+			for _, hnt := range s.Demand[1] {
+				total += hnt.Count
+			}
+			if total != 6 {
+				t.Errorf("sync demand = %d, want 6", total)
+			}
+		}
+	}
+	if !sawReg || !sawSync {
+		t.Errorf("reg=%v sync=%v", sawReg, sawSync)
+	}
+}
+
+func TestPeriodicFullSync(t *testing.T) {
+	h := newHarness(t, sim.Second)
+	h.eng.Run(3500 * sim.Millisecond)
+	syncs := 0
+	for _, m := range h.toMaster {
+		if _, ok := m.(protocol.FullDemandSync); ok {
+			syncs++
+		}
+	}
+	if syncs < 3 {
+		t.Errorf("full syncs = %d, want >= 3", syncs)
+	}
+}
+
+func TestWorkerListRequestReplied(t *testing.T) {
+	h := newHarness(t, 0)
+	h.am.StartWorker(1, "r000m000", "w1")
+	h.am.StartWorker(1, "r000m000", "w2")
+	h.am.StartWorker(1, "r000m001", "w3")
+	h.net.Send(protocol.AgentEndpoint("r000m000"), "app1", protocol.WorkerListRequest{Machine: "r000m000", Seq: 1})
+	h.eng.Run(h.eng.Now() + 10*sim.Millisecond)
+	var reply *protocol.WorkerListReply
+	for _, m := range h.toAgent["r000m000"] {
+		if r, ok := m.(protocol.WorkerListReply); ok {
+			reply = &r
+		}
+	}
+	if reply == nil {
+		t.Fatal("no reply")
+	}
+	if len(reply.Workers) != 2 {
+		t.Errorf("reply workers = %d, want 2 (only that machine's)", len(reply.Workers))
+	}
+}
+
+func TestUnregisterStopsEverything(t *testing.T) {
+	h := newHarness(t, sim.Second)
+	h.am.Unregister()
+	h.toMaster = nil
+	h.eng.Run(5 * sim.Second)
+	for _, m := range h.toMaster {
+		if _, ok := m.(protocol.FullDemandSync); ok {
+			t.Error("full sync after unregister")
+		}
+	}
+	if h.net.Registered("app1") {
+		t.Error("endpoint still registered")
+	}
+}
+
+func TestObtainedTotal(t *testing.T) {
+	h := newHarness(t, 0)
+	h.am.Request(1, resource.LocalityHint{Type: resource.LocalityCluster, Count: 5})
+	h.grant("r000m000", 3, 1)
+	h.grant("r001m000", 2, 2)
+	want := resource.New(1000, 2048).Scale(5)
+	if !h.am.ObtainedTotal().Equal(want) {
+		t.Errorf("obtained = %v, want %v", h.am.ObtainedTotal(), want)
+	}
+	ms := h.am.HeldMachines(1)
+	if len(ms) != 2 || ms[0] != "r000m000" || ms[1] != "r001m000" {
+		t.Errorf("machines = %v", ms)
+	}
+}

@@ -1,0 +1,132 @@
+// Package blacklist implements the job-level half of Fuxi's multi-level
+// machine blacklist (paper §4.3.2): failures recorded per instance escalate
+// a machine into a task's blacklist once enough distinct instances mark it,
+// and into the job's blacklist once enough distinct tasks mark it — the
+// "bottom-up approach to distinguish temporary abnormality from persistent
+// bad machines". The job level is where the application master decides to
+// escalate further to FuxiMaster via a BadMachineReport.
+package blacklist
+
+// Config sets the escalation thresholds.
+type Config struct {
+	// InstanceThreshold is how many distinct instances of one task must
+	// mark a machine before the task blacklists it.
+	InstanceThreshold int
+	// TaskThreshold is how many distinct tasks must blacklist a machine
+	// before the whole job does.
+	TaskThreshold int
+	// MaxPerTask bounds each task's blacklist size; 0 means unlimited
+	// (the paper's "upper bound limit can be configured" abuse guard).
+	MaxPerTask int
+}
+
+// DefaultConfig returns the thresholds used by the Fuxi job framework.
+func DefaultConfig() Config {
+	return Config{InstanceThreshold: 3, TaskThreshold: 2, MaxPerTask: 20}
+}
+
+// MultiLevel tracks failure marks for one job.
+type MultiLevel struct {
+	cfg Config
+	// marks[task][machine] = set of instance IDs that failed there.
+	marks map[string]map[string]map[int]bool
+	// taskBlack[task] = machines the task refuses.
+	taskBlack map[string]map[string]bool
+	// jobBlack = machines the whole job refuses.
+	jobBlack map[string]bool
+	// escalated marks job-level machines already reported upstream.
+	escalated map[string]bool
+}
+
+// New returns an empty tracker.
+func New(cfg Config) *MultiLevel {
+	if cfg.InstanceThreshold <= 0 {
+		cfg.InstanceThreshold = 1
+	}
+	if cfg.TaskThreshold <= 0 {
+		cfg.TaskThreshold = 1
+	}
+	return &MultiLevel{
+		cfg:       cfg,
+		marks:     make(map[string]map[string]map[int]bool),
+		taskBlack: make(map[string]map[string]bool),
+		jobBlack:  make(map[string]bool),
+		escalated: make(map[string]bool),
+	}
+}
+
+// RecordFailure notes that instance of task failed on machine. It returns
+// true when this record newly escalated the machine to the job level (the
+// caller should consider reporting it to FuxiMaster).
+func (b *MultiLevel) RecordFailure(task string, instance int, machine string) bool {
+	byMachine := b.marks[task]
+	if byMachine == nil {
+		byMachine = make(map[string]map[int]bool)
+		b.marks[task] = byMachine
+	}
+	insts := byMachine[machine]
+	if insts == nil {
+		insts = make(map[int]bool)
+		byMachine[machine] = insts
+	}
+	insts[instance] = true
+
+	// Instance -> task escalation.
+	if len(insts) >= b.cfg.InstanceThreshold && !b.taskBlack[task][machine] {
+		tb := b.taskBlack[task]
+		if tb == nil {
+			tb = make(map[string]bool)
+			b.taskBlack[task] = tb
+		}
+		if b.cfg.MaxPerTask == 0 || len(tb) < b.cfg.MaxPerTask {
+			tb[machine] = true
+		}
+	}
+
+	// Task -> job escalation.
+	if !b.jobBlack[machine] {
+		tasksMarking := 0
+		for _, tb := range b.taskBlack {
+			if tb[machine] {
+				tasksMarking++
+			}
+		}
+		if tasksMarking >= b.cfg.TaskThreshold {
+			b.jobBlack[machine] = true
+			if !b.escalated[machine] {
+				b.escalated[machine] = true
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// TaskBlacklisted reports whether task refuses machine (job-level bans
+// apply to every task).
+func (b *MultiLevel) TaskBlacklisted(task, machine string) bool {
+	return b.jobBlack[machine] || b.taskBlack[task][machine]
+}
+
+// JobBlacklisted reports whether the whole job refuses machine.
+func (b *MultiLevel) JobBlacklisted(machine string) bool { return b.jobBlack[machine] }
+
+// TaskBlacklist returns the number of machines task refuses (excluding
+// job-level entries).
+func (b *MultiLevel) TaskBlacklist(task string) int { return len(b.taskBlack[task]) }
+
+// JobBlacklist returns the job-level blacklist size.
+func (b *MultiLevel) JobBlacklist() int { return len(b.jobBlack) }
+
+// Forgive clears a machine everywhere — used when an administrator repairs
+// a node or detection proved temporary.
+func (b *MultiLevel) Forgive(machine string) {
+	delete(b.jobBlack, machine)
+	delete(b.escalated, machine)
+	for _, tb := range b.taskBlack {
+		delete(tb, machine)
+	}
+	for _, byMachine := range b.marks {
+		delete(byMachine, machine)
+	}
+}

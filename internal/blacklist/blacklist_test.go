@@ -1,0 +1,104 @@
+package blacklist
+
+import "testing"
+
+func TestInstanceToTaskEscalation(t *testing.T) {
+	b := New(Config{InstanceThreshold: 3, TaskThreshold: 2})
+	b.RecordFailure("t1", 1, "m1")
+	b.RecordFailure("t1", 2, "m1")
+	if b.TaskBlacklisted("t1", "m1") {
+		t.Fatal("blacklisted below threshold")
+	}
+	b.RecordFailure("t1", 3, "m1")
+	if !b.TaskBlacklisted("t1", "m1") {
+		t.Fatal("not blacklisted at threshold")
+	}
+	// Other tasks are unaffected.
+	if b.TaskBlacklisted("t2", "m1") {
+		t.Error("task blacklist leaked across tasks")
+	}
+}
+
+func TestSameInstanceRepeatCountsOnce(t *testing.T) {
+	b := New(Config{InstanceThreshold: 3, TaskThreshold: 2})
+	for i := 0; i < 10; i++ {
+		b.RecordFailure("t1", 7, "m1") // same instance repeatedly
+	}
+	if b.TaskBlacklisted("t1", "m1") {
+		t.Error("one flapping instance blacklisted the machine (wants distinct instances)")
+	}
+}
+
+func TestTaskToJobEscalation(t *testing.T) {
+	b := New(Config{InstanceThreshold: 2, TaskThreshold: 2})
+	escalations := 0
+	mark := func(task string, i1, i2 int) {
+		if b.RecordFailure(task, i1, "m1") {
+			escalations++
+		}
+		if b.RecordFailure(task, i2, "m1") {
+			escalations++
+		}
+	}
+	mark("t1", 1, 2)
+	if b.JobBlacklisted("m1") {
+		t.Fatal("job-level too early")
+	}
+	mark("t2", 1, 2)
+	if !b.JobBlacklisted("m1") {
+		t.Fatal("no job-level escalation")
+	}
+	if escalations != 1 {
+		t.Errorf("escalation signals = %d, want exactly 1", escalations)
+	}
+	// Job-level ban applies to every task.
+	if !b.TaskBlacklisted("t99", "m1") {
+		t.Error("job ban not global")
+	}
+}
+
+func TestMaxPerTaskBound(t *testing.T) {
+	b := New(Config{InstanceThreshold: 1, TaskThreshold: 99, MaxPerTask: 2})
+	b.RecordFailure("t1", 1, "m1")
+	b.RecordFailure("t1", 2, "m2")
+	b.RecordFailure("t1", 3, "m3")
+	if b.TaskBlacklist("t1") != 2 {
+		t.Errorf("task blacklist = %d, want capped at 2", b.TaskBlacklist("t1"))
+	}
+	if b.TaskBlacklisted("t1", "m3") {
+		t.Error("cap exceeded")
+	}
+}
+
+func TestForgive(t *testing.T) {
+	b := New(Config{InstanceThreshold: 1, TaskThreshold: 1})
+	b.RecordFailure("t1", 1, "m1")
+	if !b.JobBlacklisted("m1") {
+		t.Fatal("setup failed")
+	}
+	b.Forgive("m1")
+	if b.JobBlacklisted("m1") || b.TaskBlacklisted("t1", "m1") {
+		t.Error("machine not forgiven")
+	}
+	// Re-escalation after forgiveness signals again.
+	if !b.RecordFailure("t1", 2, "m1") {
+		t.Error("no escalation signal after forgiveness")
+	}
+}
+
+func TestZeroConfigDefaultsSane(t *testing.T) {
+	b := New(Config{})
+	if !b.RecordFailure("t1", 1, "m1") {
+		t.Error("thresholds of 0 should clamp to 1 and escalate immediately")
+	}
+	if b.JobBlacklist() != 1 {
+		t.Errorf("job blacklist = %d", b.JobBlacklist())
+	}
+}
+
+func TestDefaultConfig(t *testing.T) {
+	c := DefaultConfig()
+	if c.InstanceThreshold <= 0 || c.TaskThreshold <= 0 {
+		t.Error("bad defaults")
+	}
+}

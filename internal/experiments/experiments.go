@@ -1,0 +1,465 @@
+// Package experiments regenerates every table and figure of the paper's
+// evaluation (§5) on the simulated cluster. Each experiment prints the same
+// rows or series the paper reports; EXPERIMENTS.md records paper-vs-measured
+// for all of them. The cmd/ tools and the root bench suite are thin wrappers
+// over this package.
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"math/rand"
+
+	"repro/internal/agent"
+	"repro/internal/core"
+	"repro/internal/faults"
+	"repro/internal/graysort"
+	"repro/internal/job"
+	"repro/internal/metrics"
+	"repro/internal/resource"
+	"repro/internal/sim"
+	"repro/internal/trace"
+)
+
+// SyntheticOptions scales the §5.2 synthetic-workload experiment (Figures
+// 9 and 10, Table 2) down from the paper's 5000 nodes / 1000 jobs.
+type SyntheticOptions struct {
+	Racks           int
+	MachinesPerRack int
+	ConcurrentJobs  int
+	// JobScale divides the paper's per-job instance counts.
+	JobScale int
+	// DurationSimSec is how long (virtual) the steady-state phase runs.
+	DurationSimSec int
+	// SampleEverySec is the utilization sampling period.
+	SampleEverySec int
+	Seed           int64
+}
+
+// DefaultSyntheticOptions is a laptop-sized rendition: 200 machines (1/25
+// of the paper's 5000), 100 concurrent jobs (1/10), instance counts at 1/20
+// so aggregate demand exceeds cluster capacity the way the paper's full
+// 1000-job load does.
+func DefaultSyntheticOptions() SyntheticOptions {
+	return SyntheticOptions{
+		Racks: 20, MachinesPerRack: 10,
+		ConcurrentJobs: 100, JobScale: 20,
+		DurationSimSec: 180, SampleEverySec: 5,
+		Seed: 1,
+	}
+}
+
+// SyntheticResult carries everything Figures 9/10 and Table 2 report.
+type SyntheticResult struct {
+	// Fig 9: per-request scheduling time (real wall time of the real
+	// scheduler), milliseconds.
+	SchedMeanMS float64
+	SchedP99MS  float64
+	SchedMaxMS  float64
+	SchedCount  int
+
+	// Fig 10 series (fractions of FM_total, steady state).
+	MemPlannedFrac  float64
+	MemObtainedFrac float64
+	MemFAFrac       float64
+	CPUPlannedFrac  float64
+	CPUObtainedFrac float64
+	CPUFAFrac       float64
+	Series          *metrics.Registry
+
+	// Table 2 rows (seconds).
+	AvgJobRunSec        float64
+	AvgJMStartSec       float64
+	AvgWorkerStartSec   float64
+	AvgInstanceOverhead float64
+	CompletedJobs       int
+	TotalInstancesRun   int
+}
+
+// RunSynthetic executes the §5.2 experiment: ConcurrentJobs jobs held
+// running (a finished job is immediately replaced), utilization sampled on
+// a fixed period, scheduling times measured around the live scheduler.
+func RunSynthetic(opt SyntheticOptions) (*SyntheticResult, error) {
+	c, err := core.NewCluster(core.Config{
+		Racks: opt.Racks, MachinesPerRack: opt.MachinesPerRack, Seed: opt.Seed,
+		Agent: agent.Config{
+			HeartbeatInterval: sim.Second,
+			// Table 2 attributes 11.84 s of worker start to downloading
+			// ~400 MB worker binaries; reproduce it.
+			WorkerStartDelay: 11_840 * sim.Millisecond,
+		},
+	})
+	if err != nil {
+		return nil, err
+	}
+	gen := trace.DefaultSyntheticConfig(opt.JobScale)
+	// Keep per-instance durations short enough that jobs turn over inside
+	// the scaled run window (the paper's 10 s – 10 min averages target a
+	// 30-minute experiment).
+	gen.MinDurationMS = 2_000
+	gen.MaxDurationMS = 30_000
+	// Bound the widest scaled jobs so no single job swallows the scaled
+	// cluster.
+	gen.MaxWorkersPerTask = 2 * opt.Racks * opt.MachinesPerRack
+
+	res := &SyntheticResult{Series: c.Metrics}
+	live := make(map[string]*core.JobHandle)
+	jobSeq := 0
+	var jmStartTotal, jobRunTotal float64
+	var workerStartTotal, instOverTotal float64
+	var overheadJobs int
+
+	var submit func()
+	submit = func() {
+		i := jobSeq
+		jobSeq++
+		desc := gen.Job(c.Eng.Rand(), i)
+		res.TotalInstancesRun += desc.TotalInstances()
+		h, err := c.SubmitJob(desc, core.JobOptions{
+			// Paper Table 2: JobMaster start overhead 1.91 s.
+			StartDelay: 1910 * sim.Millisecond,
+			Config: job.Config{
+				Backup: job.BackupConfig{Enabled: true},
+				OnDone: nil,
+			},
+		})
+		if err != nil {
+			return
+		}
+		live[desc.Name] = h
+		h.OnJobDone(func() {
+			res.CompletedJobs++
+			jobRunTotal += h.ElapsedSeconds()
+			jmStartTotal += (h.StartedAt - h.SubmittedAt).Seconds()
+			if h.JM != nil {
+				ws, inst := h.JM.OverheadStats()
+				workerStartTotal += ws
+				instOverTotal += inst
+				overheadJobs++
+			}
+			delete(live, desc.Name)
+			submit() // keep the concurrency level
+		})
+	}
+	for i := 0; i < opt.ConcurrentJobs; i++ {
+		submit()
+	}
+
+	// Utilization sampling.
+	sampleEvery := sim.Time(opt.SampleEverySec) * sim.Second
+	c.Eng.Every(sampleEvery, func() {
+		now := c.Eng.Now()
+		total := c.FMTotal()
+		planned := c.FMPlanned()
+		var obtained resource.Vector
+		for _, h := range live {
+			if h.JM != nil {
+				obtained = obtained.Add(h.JM.AM().ObtainedTotal())
+			}
+		}
+		fa := c.FAPlanned()
+		rec := func(name, dim string, v resource.Vector) {
+			c.Metrics.Series(name+"."+dim).Record(now, float64(v.Get(dim)))
+		}
+		for _, dim := range []string{resource.Memory, resource.CPU} {
+			rec("fm_total", dim, total)
+			rec("fm_planned", dim, planned)
+			rec("am_obtained", dim, obtained)
+			rec("fa_planned", dim, fa)
+		}
+	})
+
+	// Warm-up covers JobMaster starts plus the first wave of worker
+	// downloads before steady-state sampling begins.
+	warmup := 60 * sim.Second
+	c.Run(warmup + sim.Time(opt.DurationSimSec)*sim.Second)
+
+	// Fig 9 numbers from the master's real-time histogram.
+	sched := c.Metrics.Histogram("master.sched_ms")
+	res.SchedMeanMS = sched.Mean()
+	res.SchedP99MS = sched.Quantile(0.99)
+	res.SchedMaxMS = sched.Max()
+	res.SchedCount = sched.Count()
+
+	// Fig 10 steady-state fractions.
+	frac := func(name, dim string) float64 {
+		t := c.Metrics.Series("fm_total." + dim).MeanAfter(warmup)
+		if t == 0 {
+			return 0
+		}
+		return c.Metrics.Series(name+"."+dim).MeanAfter(warmup) / t
+	}
+	res.MemPlannedFrac = frac("fm_planned", resource.Memory)
+	res.MemObtainedFrac = frac("am_obtained", resource.Memory)
+	res.MemFAFrac = frac("fa_planned", resource.Memory)
+	res.CPUPlannedFrac = frac("fm_planned", resource.CPU)
+	res.CPUObtainedFrac = frac("am_obtained", resource.CPU)
+	res.CPUFAFrac = frac("fa_planned", resource.CPU)
+
+	if res.CompletedJobs > 0 {
+		res.AvgJobRunSec = jobRunTotal / float64(res.CompletedJobs)
+		res.AvgJMStartSec = jmStartTotal / float64(res.CompletedJobs)
+	}
+	if overheadJobs > 0 {
+		res.AvgWorkerStartSec = workerStartTotal / float64(overheadJobs)
+		res.AvgInstanceOverhead = instOverTotal / float64(overheadJobs)
+	}
+	return res, nil
+}
+
+// PrintFig9 renders the Figure 9 summary.
+func (r *SyntheticResult) PrintFig9(w io.Writer) {
+	fmt.Fprintf(w, "Figure 9 — FuxiMaster request scheduling time (%d requests)\n", r.SchedCount)
+	fmt.Fprintf(w, "  mean %.3f ms   p99 %.3f ms   max %.3f ms\n", r.SchedMeanMS, r.SchedP99MS, r.SchedMaxMS)
+	fmt.Fprintf(w, "  paper: mean 0.88 ms, peak < 3 ms\n")
+}
+
+// PrintFig10 renders the Figure 10 summary.
+func (r *SyntheticResult) PrintFig10(w io.Writer) {
+	fmt.Fprintln(w, "Figure 10 — planned/obtained utilization (steady state, fraction of FM_total)")
+	fmt.Fprintf(w, "  memory: FM_planned %.1f%%  AM_obtained %.1f%%  FA_planned %.1f%%   (paper: 97.1 / 95.9 / 95.2)\n",
+		100*r.MemPlannedFrac, 100*r.MemObtainedFrac, 100*r.MemFAFrac)
+	fmt.Fprintf(w, "  cpu:    FM_planned %.1f%%  AM_obtained %.1f%%  FA_planned %.1f%%   (paper: ~92.3 / 91.3 planned/obtained)\n",
+		100*r.CPUPlannedFrac, 100*r.CPUObtainedFrac, 100*r.CPUFAFrac)
+}
+
+// PrintTable2 renders the Table 2 rows.
+func (r *SyntheticResult) PrintTable2(w io.Writer) {
+	fmt.Fprintln(w, "Table 2 — scheduling overheads (averages, seconds)")
+	fmt.Fprintf(w, "  %-28s %8.2f   (paper 359.89)\n", "Job running time", r.AvgJobRunSec)
+	fmt.Fprintf(w, "  %-28s %8.2f   (paper 1.91)\n", "JobMaster start overhead", r.AvgJMStartSec)
+	fmt.Fprintf(w, "  %-28s %8.2f   (paper 11.84)\n", "Worker start overhead", r.AvgWorkerStartSec)
+	fmt.Fprintf(w, "  %-28s %8.2f   (paper 0.33)\n", "Instance running overhead", r.AvgInstanceOverhead)
+	fmt.Fprintf(w, "  completed jobs: %d\n", r.CompletedJobs)
+}
+
+// ---------------------------------------------------------------------------
+// Table 3 — fault injection
+// ---------------------------------------------------------------------------
+
+// FaultOptions scales the §5.4 experiment (paper: 300-node cluster, a sort
+// job taking 1437 s fault-free).
+type FaultOptions struct {
+	Racks           int
+	MachinesPerRack int
+	// Instances and DurationMS size the sort-shaped workload.
+	Instances  int
+	Workers    int
+	DurationMS int64
+	Seed       int64
+}
+
+// DefaultFaultOptions is a 300-machine rendition matching the paper's
+// cluster size. Many short waves per worker give the backup-instance
+// scheme room to absorb stragglers, like the paper's sort workload.
+func DefaultFaultOptions() FaultOptions {
+	return FaultOptions{
+		Racks: 30, MachinesPerRack: 10,
+		Instances: 19200, Workers: 1200, DurationMS: 10_000,
+		Seed: 1,
+	}
+}
+
+// FaultRow is one Table 3 result line.
+type FaultRow struct {
+	Scenario    string
+	Machines    int
+	ElapsedSec  float64
+	SlowdownPct float64
+}
+
+// RunFaultMatrix executes the fault-free run plus the 5%, 10% and
+// 5%+master-kill scenarios and reports slowdowns relative to fault-free —
+// Table 3 plus the §5.4 FuxiMasterFailure experiment.
+func RunFaultMatrix(opt FaultOptions) ([]FaultRow, error) {
+	run := func(camp *faults.Campaign, standby bool) (float64, error) {
+		c, err := core.NewCluster(core.Config{
+			Racks: opt.Racks, MachinesPerRack: opt.MachinesPerRack,
+			Seed: opt.Seed, Standby: standby,
+		})
+		if err != nil {
+			return 0, err
+		}
+		desc := &job.Description{
+			Name: "sortjob",
+			Tasks: map[string]job.TaskSpec{
+				"map": {Instances: opt.Instances, CPUMilli: 1000, MemoryMB: 4096,
+					DurationMS: opt.DurationMS, MaxWorkers: opt.Workers,
+					NormalDurationMS: 2 * opt.DurationMS, DurationJitterPct: 20},
+				"reduce": {Instances: opt.Instances / 2, CPUMilli: 1000, MemoryMB: 4096,
+					DurationMS: opt.DurationMS, MaxWorkers: opt.Workers,
+					NormalDurationMS: 2 * opt.DurationMS, DurationJitterPct: 20},
+			},
+			Pipes: []job.Pipe{{
+				Source:      job.AccessPoint{AccessPoint: "map:out"},
+				Destination: job.AccessPoint{AccessPoint: "reduce:in"},
+			}},
+		}
+		h, err := c.SubmitJob(desc, core.JobOptions{Config: job.Config{
+			Backup:           job.BackupConfig{Enabled: true, ScanInterval: 5 * sim.Second},
+			FullSyncInterval: 10 * sim.Second,
+		}})
+		if err != nil {
+			return 0, err
+		}
+		if camp != nil {
+			campaign := *camp
+			campaign.Start = 10 * sim.Second
+			campaign.Window = sim.Minute
+			faults.Apply(c, campaign)
+		}
+		limit := 4 * sim.Hour
+		for !h.Done() && c.Now() < limit {
+			c.Run(5 * sim.Second)
+		}
+		if !h.Done() {
+			return 0, fmt.Errorf("experiments: fault run %v incomplete", camp)
+		}
+		return h.ElapsedSeconds(), nil
+	}
+
+	normal, err := run(nil, false)
+	if err != nil {
+		return nil, err
+	}
+	rows := []FaultRow{{Scenario: "fault-free", ElapsedSec: normal}}
+
+	five := faults.Paper5Percent()
+	ten := faults.Paper10Percent()
+	fiveKill := faults.Paper5Percent()
+	fiveKill.KillFuxiMaster = true
+
+	cases := []struct {
+		name    string
+		camp    faults.Campaign
+		standby bool
+	}{
+		{"5% faults", five, false},
+		{"10% faults", ten, false},
+		{"5% faults + FuxiMaster kill", fiveKill, true},
+	}
+	for _, cs := range cases {
+		camp := cs.camp
+		elapsed, err := run(&camp, cs.standby)
+		if err != nil {
+			return nil, err
+		}
+		rows = append(rows, FaultRow{
+			Scenario:    cs.name,
+			Machines:    camp.Total(),
+			ElapsedSec:  elapsed,
+			SlowdownPct: 100 * (elapsed - normal) / normal,
+		})
+	}
+	return rows, nil
+}
+
+// PrintTable3 renders the fault matrix.
+func PrintTable3(w io.Writer, rows []FaultRow) {
+	fmt.Fprintln(w, "Table 3 — fault injection (paper: 1437 s fault-free; +15.7% at 5%; +19.6% at 10%; +13 s for master kill)")
+	for _, r := range rows {
+		if r.Scenario == "fault-free" {
+			fmt.Fprintf(w, "  %-30s %8.0f s\n", r.Scenario, r.ElapsedSec)
+			continue
+		}
+		fmt.Fprintf(w, "  %-30s %8.0f s   +%.1f%%  (%d machines)\n",
+			r.Scenario, r.ElapsedSec, r.SlowdownPct, r.Machines)
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Table 4 — GraySort
+// ---------------------------------------------------------------------------
+
+// GraySortResult carries the Table 4 reproduction.
+type GraySortResult struct {
+	FuxiOverhead     float64
+	BaselineOverhead float64
+	Fuxi             graysort.Result
+	Baseline         graysort.Result
+	Yahoo            graysort.Result
+	PetaSort         graysort.Result
+	ImprovementPct   float64
+}
+
+// MeasureGraySort reproduces Table 4's shape. Framework overhead factors
+// are measured by running the sort-shaped workload through the real Fuxi
+// stack and the YARN-style baseline on a scaled cluster; they combine with
+// the hardware phase model. The Fuxi row additionally overlaps shuffle with
+// map output (the Streamline pipeline), which the Hadoop-era baseline —
+// materializing between phases — cannot. The headline improvement is the
+// like-for-like comparison on the paper's 5000-node configuration.
+func MeasureGraySort(seed int64) (*GraySortResult, error) {
+	cfg := graysort.OverheadConfig{
+		// GraySort on the paper's cluster runs ~4 waves of ~30 s tasks
+		// per worker; the baseline pays the 11.84 s worker start (Table 2)
+		// per task, Fuxi once per container.
+		Nodes: 25, WorkersPerNode: 4, Waves: 4,
+		TaskDurationMS: 30_000, WorkerStartDelayMS: 11_840,
+		Seed: seed,
+	}
+	fuxiOver, err := graysort.MeasureFuxi(cfg)
+	if err != nil {
+		return nil, err
+	}
+	baseOver, err := graysort.MeasureBaseline(cfg)
+	if err != nil {
+		return nil, err
+	}
+	// streamlineOverlap credits Fuxi's Streamline library for overlapping
+	// shuffle with map output; calibrated once (documented in
+	// EXPERIMENTS.md) and held fixed across experiments.
+	const streamlineOverlap = 0.22
+	r := &GraySortResult{FuxiOverhead: fuxiOver, BaselineOverhead: baseOver}
+	spec := graysort.SortSpec{DataTB: 100}
+	r.Fuxi = graysort.Estimate("Fuxi", graysort.PaperGraySortCluster, spec, fuxiOver, streamlineOverlap)
+	r.Baseline = graysort.Estimate("YARN-style", graysort.PaperGraySortCluster, spec, baseOver, 0)
+	r.Yahoo = graysort.Estimate("Yahoo-2012", graysort.YahooCluster,
+		graysort.SortSpec{DataTB: 102.5}, baseOver, 0)
+	r.PetaSort = graysort.Estimate("PetaSort", graysort.PaperPetaSortCluster,
+		graysort.SortSpec{DataTB: 1000, SpillCompression: 1}, fuxiOver, streamlineOverlap)
+	if r.Baseline.ThroughputTB > 0 {
+		r.ImprovementPct = 100 * (r.Fuxi.ThroughputTB - r.Baseline.ThroughputTB) / r.Baseline.ThroughputTB
+	}
+	return r, nil
+}
+
+// RunGraySort measures and prints the Table 4 reproduction.
+func RunGraySort(w io.Writer, seed int64) error {
+	r, err := MeasureGraySort(seed)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintln(w, "Table 4 — GraySort (measured framework overheads x hardware model)")
+	fmt.Fprintf(w, "  measured overhead factors: fuxi %.2f, yarn-style baseline %.2f\n",
+		r.FuxiOverhead, r.BaselineOverhead)
+	fmt.Fprintf(w, "  %v   (paper: 100 TB in 2538 s = 2.364 TB/min)\n", r.Fuxi)
+	fmt.Fprintf(w, "  %v   (same cluster, no reuse/queueing/pipeline)\n", r.Baseline)
+	fmt.Fprintf(w, "  improvement over same-cluster baseline: %.1f%%   (paper vs Yahoo: 66.5%%)\n", r.ImprovementPct)
+	fmt.Fprintf(w, "  %v   (published record context: 102.5 TB in 4328 s)\n", r.Yahoo)
+	fmt.Fprintf(w, "  %v   (paper: 1 PB in 6 h)\n", r.PetaSort)
+	return nil
+}
+
+// ---------------------------------------------------------------------------
+// Table 1 — trace statistics
+// ---------------------------------------------------------------------------
+
+// RunTable1 generates the production-shaped trace and prints its Table 1
+// statistics.
+func RunTable1(w io.Writer, jobs int, seed int64) trace.Stats {
+	cfg := trace.DefaultProductionConfig()
+	if jobs > 0 {
+		cfg.Jobs = jobs
+	}
+	s := trace.Collect(cfg.Generate(rand.New(rand.NewSource(seed))))
+	fmt.Fprintf(w, "Table 1 — trace statistics (%d jobs, synthetic; paper trace: 91,990 jobs)\n", s.Jobs)
+	fmt.Fprintf(w, "  %-18s %10s %12s %14s\n", "", "avg", "max", "total")
+	fmt.Fprintf(w, "  %-18s %10.1f %12d %14d   (paper 228 / 99,937 / 42,266,899)\n",
+		"Instance number", s.AvgInstances, s.MaxInstances, s.Instances)
+	fmt.Fprintf(w, "  %-18s %10.1f %12d %14d   (paper 87.9 / 4,636 / 16,295,167)\n",
+		"Worker number", s.AvgWorkers, s.MaxWorkers, s.Workers)
+	fmt.Fprintf(w, "  %-18s %10.1f %12d %14d   (paper 2.0 / 150 / 185,444)\n",
+		"Task number", s.AvgTasksPerJob, s.MaxTasksPerJob, s.Tasks)
+	return s
+}

@@ -1,0 +1,118 @@
+package experiments
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// Small-scale smoke runs: the real experiments run via cmd/ and the bench
+// suite; these tests verify the harnesses produce sane numbers quickly.
+
+func smallSynthetic() SyntheticOptions {
+	return SyntheticOptions{
+		Racks: 4, MachinesPerRack: 5,
+		ConcurrentJobs: 25, JobScale: 100,
+		DurationSimSec: 60, SampleEverySec: 5,
+		Seed: 3,
+	}
+}
+
+func TestRunSyntheticProducesUtilization(t *testing.T) {
+	res, err := RunSynthetic(smallSynthetic())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.SchedCount == 0 {
+		t.Fatal("no scheduling requests measured")
+	}
+	if res.SchedMeanMS <= 0 {
+		t.Errorf("sched mean = %v", res.SchedMeanMS)
+	}
+	// The paper reports ~95% planned; a scaled cluster should still be
+	// well-loaded with 10 concurrent jobs.
+	if res.MemPlannedFrac < 0.3 {
+		t.Errorf("memory planned fraction = %.2f, want loaded cluster", res.MemPlannedFrac)
+	}
+	// Sanity ordering: planned >= obtained >= FA (each stage adds delay).
+	if res.MemObtainedFrac > res.MemPlannedFrac+0.05 {
+		t.Errorf("obtained %.2f above planned %.2f", res.MemObtainedFrac, res.MemPlannedFrac)
+	}
+	if res.CompletedJobs == 0 {
+		t.Error("no jobs completed in the window")
+	}
+	if res.AvgJMStartSec < 1.8 || res.AvgJMStartSec > 2.1 {
+		t.Errorf("JM start overhead = %.2f, want ~1.91", res.AvgJMStartSec)
+	}
+	if res.AvgWorkerStartSec <= 0 {
+		t.Errorf("worker start overhead = %v", res.AvgWorkerStartSec)
+	}
+
+	var buf bytes.Buffer
+	res.PrintFig9(&buf)
+	res.PrintFig10(&buf)
+	res.PrintTable2(&buf)
+	out := buf.String()
+	for _, want := range []string{"Figure 9", "Figure 10", "Table 2", "FM_planned"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q", want)
+		}
+	}
+}
+
+func TestRunFaultMatrixShape(t *testing.T) {
+	// Half-scale rendition: 150 machines (so the paper's fixed 15/29
+	// machine campaigns are a 10%/19% fault rate), short tasks. The
+	// ordering property — more faults, more slowdown; all runs complete —
+	// is what matters.
+	rows, err := RunFaultMatrix(FaultOptions{
+		Racks: 15, MachinesPerRack: 10,
+		Instances: 2400, Workers: 600, DurationMS: 10_000,
+		Seed: 5,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 4 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	normal := rows[0].ElapsedSec
+	if normal <= 0 {
+		t.Fatal("no baseline time")
+	}
+	for _, r := range rows[1:] {
+		if r.ElapsedSec < normal {
+			t.Errorf("%s faster than fault-free (%f < %f)", r.Scenario, r.ElapsedSec, normal)
+		}
+		if r.SlowdownPct < 0 || r.SlowdownPct > 200 {
+			t.Errorf("%s slowdown = %.1f%%, implausible", r.Scenario, r.SlowdownPct)
+		}
+	}
+	var buf bytes.Buffer
+	PrintTable3(&buf, rows)
+	if !strings.Contains(buf.String(), "Table 3") {
+		t.Error("missing header")
+	}
+}
+
+func TestRunTable1(t *testing.T) {
+	var buf bytes.Buffer
+	s := RunTable1(&buf, 500, 7)
+	if s.Jobs != 500 {
+		t.Errorf("jobs = %d", s.Jobs)
+	}
+	if !strings.Contains(buf.String(), "Table 1") {
+		t.Error("missing header")
+	}
+}
+
+func TestRunGraySort(t *testing.T) {
+	var buf bytes.Buffer
+	if err := RunGraySort(&buf, 11); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "Table 4") || !strings.Contains(out, "improvement") {
+		t.Errorf("output incomplete:\n%s", out)
+	}
+}

@@ -1,0 +1,129 @@
+// Package faults implements the fault-injection campaigns of the paper's
+// §5.4 (Table 3): NodeDown (random machine halts), PartialWorkerFailure
+// (corrupted disks that refuse to launch processes), SlowMachine
+// (deliberately stretched execution), and FuxiMasterFailure (killing the
+// primary master). Campaigns are applied to a core.Cluster and are fully
+// deterministic given the cluster's seed.
+package faults
+
+import (
+	"math/rand"
+
+	"repro/internal/core"
+	"repro/internal/sim"
+)
+
+// Campaign is one §5.4 experiment configuration: how many machines suffer
+// each fault type (Table 3's rows).
+type Campaign struct {
+	NodeDown             int
+	PartialWorkerFailure int
+	SlowMachine          int
+	// SlowFactor is the execution-time multiplier of SlowMachine victims
+	// (sleep intervals injected into worker programs).
+	SlowFactor float64
+	// KillFuxiMaster additionally crashes the primary master once,
+	// mid-run (the §5.4 FuxiMasterFailure scenario).
+	KillFuxiMaster bool
+	// Window is the span after Start over which injections are spread.
+	Start  sim.Time
+	Window sim.Time
+}
+
+// Paper5Percent reproduces Table 3's 5% column on a 300-node cluster:
+// 2 NodeDown, 2 PartialWorkerFailure, 11 SlowMachine (15 machines). The
+// slow factor models the paper's injected sleep intervals; it is large
+// enough that a fresh backup instance clearly beats the straggler, which is
+// the regime the backup-instance scheme targets.
+func Paper5Percent() Campaign {
+	return Campaign{NodeDown: 2, PartialWorkerFailure: 2, SlowMachine: 11, SlowFactor: 8}
+}
+
+// Paper10Percent reproduces Table 3's 10% column: 2 NodeDown,
+// 4 PartialWorkerFailure, 23 SlowMachine (~30 machines).
+func Paper10Percent() Campaign {
+	return Campaign{NodeDown: 2, PartialWorkerFailure: 4, SlowMachine: 23, SlowFactor: 8}
+}
+
+// Total returns the number of machines the campaign degrades.
+func (c Campaign) Total() int { return c.NodeDown + c.PartialWorkerFailure + c.SlowMachine }
+
+// Injection records one applied fault, for experiment logs.
+type Injection struct {
+	At      sim.Time
+	Kind    string
+	Machine string
+}
+
+// Apply schedules the campaign's faults onto the cluster: distinct victim
+// machines are drawn with the cluster's seeded RNG and each fault fires at
+// a random point inside [Start, Start+Window). It returns the planned
+// injections.
+func Apply(c *core.Cluster, camp Campaign) []Injection {
+	rng := c.Eng.Rand()
+	machines := c.Top.Machines()
+	perm := rng.Perm(len(machines))
+	next := 0
+	pick := func() string {
+		if next >= len(perm) {
+			return ""
+		}
+		m := machines[perm[next]]
+		next++
+		return m
+	}
+	window := camp.Window
+	if window <= 0 {
+		window = sim.Minute
+	}
+	at := func() sim.Time { return camp.Start + sim.Time(rng.Int63n(int64(window))) }
+
+	var plan []Injection
+	schedule := func(kind string, n int, fire func(m string)) {
+		for i := 0; i < n; i++ {
+			m := pick()
+			if m == "" {
+				return
+			}
+			t := at()
+			plan = append(plan, Injection{At: t, Kind: kind, Machine: m})
+			victim := m
+			c.Eng.At(t, func() { fire(victim) })
+		}
+	}
+	schedule("NodeDown", camp.NodeDown, func(m string) { c.KillMachine(m) })
+	schedule("PartialWorkerFailure", camp.PartialWorkerFailure, func(m string) {
+		if a := c.Agents[m]; a != nil {
+			a.SetBroken(true)
+			// Existing processes on a machine with hung disks degrade too:
+			// crash them so their instances migrate.
+			ids := make([]string, 0, len(a.Procs()))
+			for id := range a.Procs() {
+				ids = append(ids, id)
+			}
+			for _, id := range ids {
+				a.CrashWorker(id, "disk I/O hang")
+			}
+		}
+	})
+	schedule("SlowMachine", camp.SlowMachine, func(m string) {
+		factor := camp.SlowFactor
+		if factor <= 1 {
+			factor = 3
+		}
+		c.SetSlowdown(m, factor)
+	})
+	if camp.KillFuxiMaster {
+		t := at()
+		plan = append(plan, Injection{At: t, Kind: "FuxiMasterFailure"})
+		c.Eng.At(t, func() { c.KillPrimaryMaster() })
+	}
+	return plan
+}
+
+// Shuffle is a tiny helper for deterministic victim sampling in tests.
+func Shuffle(rng *rand.Rand, items []string) []string {
+	out := append([]string(nil), items...)
+	rng.Shuffle(len(out), func(i, j int) { out[i], out[j] = out[j], out[i] })
+	return out
+}

@@ -1,0 +1,125 @@
+package faults
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/sim"
+)
+
+func newCluster(t *testing.T, racks, perRack int, seed int64) *core.Cluster {
+	t.Helper()
+	c, err := core.NewCluster(core.Config{Racks: racks, MachinesPerRack: perRack, Seed: seed})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+func TestPaperCampaignSizes(t *testing.T) {
+	if got := Paper5Percent().Total(); got != 15 {
+		t.Errorf("5%% campaign = %d machines, want 15", got)
+	}
+	if got := Paper10Percent().Total(); got != 29 {
+		t.Errorf("10%% campaign = %d machines, want 29 (paper reports ~30)", got)
+	}
+}
+
+func TestApplyInjectsAllKinds(t *testing.T) {
+	c := newCluster(t, 4, 10, 1)
+	camp := Campaign{
+		NodeDown: 2, PartialWorkerFailure: 3, SlowMachine: 4, SlowFactor: 5,
+		Start: sim.Second, Window: 10 * sim.Second, KillFuxiMaster: true,
+	}
+	plan := Apply(c, camp)
+	if len(plan) != 10 {
+		t.Fatalf("plan size = %d, want 10 (9 machines + master kill)", len(plan))
+	}
+	// Victims are distinct machines.
+	seen := map[string]bool{}
+	for _, inj := range plan {
+		if inj.Machine == "" {
+			continue
+		}
+		if seen[inj.Machine] {
+			t.Fatalf("machine %s injected twice", inj.Machine)
+		}
+		seen[inj.Machine] = true
+		if inj.At < camp.Start || inj.At >= camp.Start+camp.Window {
+			t.Fatalf("injection at %v outside window", inj.At)
+		}
+	}
+	c.Run(20 * sim.Second)
+	// Effects landed.
+	downs, slow := 0, 0
+	for _, inj := range plan {
+		switch inj.Kind {
+		case "NodeDown":
+			if a := c.Agents[inj.Machine]; a.Up() {
+				t.Errorf("%s still up", inj.Machine)
+			}
+			downs++
+		case "SlowMachine":
+			if c.Slowdown(inj.Machine) != 5 {
+				t.Errorf("%s slowdown = %v", inj.Machine, c.Slowdown(inj.Machine))
+			}
+			slow++
+		}
+	}
+	if downs != 2 || slow != 4 {
+		t.Errorf("downs=%d slow=%d", downs, slow)
+	}
+	// Master was killed; with no standby there is no primary.
+	if c.Primary() != nil {
+		t.Error("primary survived KillFuxiMaster")
+	}
+}
+
+func TestApplyDeterministic(t *testing.T) {
+	planOf := func() []Injection {
+		c := newCluster(t, 3, 10, 7)
+		return Apply(c, Paper5Percent())
+	}
+	a, b := planOf(), planOf()
+	if len(a) != len(b) {
+		t.Fatal("plan lengths differ")
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("plans diverge at %d: %+v vs %+v", i, a[i], b[i])
+		}
+	}
+}
+
+func TestApplyMoreVictimsThanMachines(t *testing.T) {
+	c := newCluster(t, 1, 2, 3)
+	plan := Apply(c, Campaign{NodeDown: 10, Window: sim.Second})
+	if len(plan) != 2 {
+		t.Errorf("plan = %d injections on a 2-machine cluster, want 2", len(plan))
+	}
+}
+
+func TestBrokenMachineRefusesWorkers(t *testing.T) {
+	c := newCluster(t, 1, 1, 4)
+	a := c.Agents["r000m000"]
+	a.SetBroken(true)
+	// Try to start a worker through the normal path.
+	plan := Apply(c, Campaign{}) // no-op campaign
+	_ = plan
+	c.Run(sim.Second)
+	if len(a.Procs()) != 0 {
+		t.Error("broken machine started a process")
+	}
+}
+
+func TestShuffleHelper(t *testing.T) {
+	items := []string{"a", "b", "c", "d"}
+	out := Shuffle(rand.New(rand.NewSource(1)), items)
+	if len(out) != 4 {
+		t.Fatal("length changed")
+	}
+	if &out[0] == &items[0] {
+		t.Error("shuffle aliased input")
+	}
+}

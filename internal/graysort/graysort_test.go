@@ -1,0 +1,165 @@
+package graysort
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestHardwareModelScalesWithData(t *testing.T) {
+	small := HardwareModel(PaperGraySortCluster, SortSpec{DataTB: 50})
+	big := HardwareModel(PaperGraySortCluster, SortSpec{DataTB: 100})
+	if big.TotalSec() <= small.TotalSec() {
+		t.Error("more data should take longer")
+	}
+	ratio := big.TotalSec() / small.TotalSec()
+	if ratio < 1.9 || ratio > 2.1 {
+		t.Errorf("scaling ratio = %.2f, want ~2", ratio)
+	}
+}
+
+func TestHardwareModelScalesWithNodes(t *testing.T) {
+	half := PaperGraySortCluster
+	half.Nodes = 2500
+	a := HardwareModel(PaperGraySortCluster, SortSpec{DataTB: 100})
+	b := HardwareModel(half, SortSpec{DataTB: 100})
+	if b.TotalSec() <= a.TotalSec() {
+		t.Error("fewer nodes should take longer")
+	}
+	if (HardwareModel(ClusterSpec{}, SortSpec{DataTB: 1})) != (PhaseTimes{}) {
+		t.Error("zero-node model should be zero")
+	}
+}
+
+func TestHardwareModelCompression(t *testing.T) {
+	plain := HardwareModel(PaperPetaSortCluster, SortSpec{DataTB: 1000, SpillCompression: 1})
+	comp := HardwareModel(PaperPetaSortCluster, SortSpec{DataTB: 1000, SpillCompression: 2})
+	if comp.ShuffleSec >= plain.ShuffleSec {
+		t.Error("compression should shrink shuffle")
+	}
+	// Spill writes/reads shrink with compression but the raw input read and
+	// final output write do not, so the disk phases shrink by less than 2x.
+	if comp.ReadSortSec >= plain.ReadSortSec {
+		t.Error("compression should shrink the spill-write share of the map phase")
+	}
+	if comp.ReadSortSec <= plain.ReadSortSec/2 {
+		t.Error("raw input read must not compress away")
+	}
+}
+
+func TestEstimateShape(t *testing.T) {
+	// With the same hardware, the framework with lower overhead wins.
+	fuxi := Estimate("fuxi", PaperGraySortCluster, SortSpec{DataTB: 100}, 1.3, 0.3)
+	hadoop := Estimate("hadoop", PaperGraySortCluster, SortSpec{DataTB: 100}, 2.6, 0.3)
+	if fuxi.ThroughputTB <= hadoop.ThroughputTB {
+		t.Error("lower overhead must give higher throughput")
+	}
+	if fuxi.ElapsedSec <= 0 || fuxi.ThroughputTB <= 0 {
+		t.Errorf("bad result %+v", fuxi)
+	}
+	// Overhead below 1 clamps.
+	r := Estimate("x", PaperGraySortCluster, SortSpec{DataTB: 100}, 0.1, 0)
+	if r.Overhead != 1 {
+		t.Errorf("overhead = %v, want clamped 1", r.Overhead)
+	}
+	// Overlap cannot beat the slowest phase.
+	p := HardwareModel(PaperGraySortCluster, SortSpec{DataTB: 100})
+	r2 := Estimate("y", PaperGraySortCluster, SortSpec{DataTB: 100}, 1, 0.99)
+	if r2.ElapsedSec < maxPhase(p)-1e-9 {
+		t.Errorf("elapsed %.1f beats slowest phase %.1f", r2.ElapsedSec, maxPhase(p))
+	}
+}
+
+func TestSortKernel(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	recs := Generate(rng, 1000)
+	if recs.Count() != 1000 {
+		t.Fatalf("count = %d", recs.Count())
+	}
+	if Sorted(recs) {
+		t.Fatal("random records already sorted (suspicious)")
+	}
+	sorted := Sort(recs)
+	if !Sorted(sorted) {
+		t.Fatal("Sort did not sort")
+	}
+	if sorted.Count() != 1000 {
+		t.Fatalf("lost records: %d", sorted.Count())
+	}
+	// Input untouched.
+	if Sorted(recs) {
+		t.Error("Sort mutated its input")
+	}
+}
+
+func TestMerge(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	a := Sort(Generate(rng, 100))
+	b := Sort(Generate(rng, 150))
+	c := Sort(Generate(rng, 1))
+	merged := Merge([]Records{a, b, c})
+	if merged.Count() != 251 {
+		t.Fatalf("merged count = %d", merged.Count())
+	}
+	if !Sorted(merged) {
+		t.Fatal("merge output unsorted")
+	}
+}
+
+func TestPartitionRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	recs := Generate(rng, 2000)
+	parts := Partition(recs, 8)
+	if len(parts) != 8 {
+		t.Fatalf("parts = %d", len(parts))
+	}
+	total := 0
+	for _, p := range parts {
+		total += p.Count()
+	}
+	if total != 2000 {
+		t.Fatalf("partitioned total = %d", total)
+	}
+	// Sorting each partition then concatenating yields a fully sorted
+	// stream (range partitioning by leading key byte).
+	var all Records
+	for _, p := range parts {
+		all = append(all, Sort(p)...)
+	}
+	if !Sorted(all) {
+		t.Error("range-partitioned sort not globally ordered")
+	}
+}
+
+func TestOverheadConfigIdeal(t *testing.T) {
+	cfg := OverheadConfig{Nodes: 10, WorkersPerNode: 2, Waves: 3, TaskDurationMS: 2000}
+	if got := cfg.IdealSec(); got != 12 {
+		t.Errorf("ideal = %v, want 12", got)
+	}
+	if cfg.instances() != 60 {
+		t.Errorf("instances = %d", cfg.instances())
+	}
+}
+
+func TestMeasuredOverheadsOrdering(t *testing.T) {
+	// The headline shape of Table 4: Fuxi's measured overhead factor must
+	// be materially below the YARN-style baseline's on the same workload.
+	cfg := OverheadConfig{
+		Nodes: 10, WorkersPerNode: 4, Waves: 4,
+		TaskDurationMS: 15_000, WorkerStartDelayMS: 2_000, Seed: 42,
+	}
+	fuxi, err := MeasureFuxi(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	base, err := MeasureBaseline(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("overhead factors: fuxi=%.2f baseline=%.2f", fuxi, base)
+	if fuxi < 1 {
+		t.Errorf("fuxi factor %.2f below 1 (impossible)", fuxi)
+	}
+	if base <= fuxi {
+		t.Errorf("baseline factor %.2f not above fuxi %.2f", base, fuxi)
+	}
+}

@@ -1,0 +1,121 @@
+package graysort
+
+import (
+	"fmt"
+
+	"repro/internal/agent"
+	"repro/internal/baseline"
+	"repro/internal/core"
+	"repro/internal/job"
+	"repro/internal/resource"
+	"repro/internal/sim"
+	"repro/internal/topology"
+)
+
+// OverheadConfig shapes the scaled sort-shaped run used to measure a
+// framework's scheduling overhead factor. The workload is Waves waves of
+// one instance per worker across the whole scaled cluster, for a map phase
+// and a reduce phase.
+type OverheadConfig struct {
+	// Nodes is the scaled cluster size (e.g. 50 standing in for 5000).
+	Nodes int
+	// WorkersPerNode concurrent containers per machine.
+	WorkersPerNode int
+	// Waves of instances each worker processes per phase.
+	Waves int
+	// TaskDurationMS is the per-instance execution time, derived from the
+	// hardware model's per-phase time.
+	TaskDurationMS int64
+	// WorkerStartDelayMS is the process launch cost (binary download +
+	// exec). Fuxi pays it once per worker; the baseline pays it once per
+	// instance because containers are never reused.
+	WorkerStartDelayMS int64
+	Seed               int64
+}
+
+// IdealSec is the perfect-scheduler makespan: both phases run their waves
+// back to back with zero scheduling cost (one worker start absorbed).
+func (c OverheadConfig) IdealSec() float64 {
+	return 2 * float64(c.Waves) * float64(c.TaskDurationMS) / 1000
+}
+
+func (c OverheadConfig) instances() int { return c.Nodes * c.WorkersPerNode * c.Waves }
+
+// MeasureFuxi runs the sort-shaped DAG through the full Fuxi stack and
+// returns the measured overhead factor (makespan / ideal). Fuxi pays the
+// worker start cost once per container and reuses it across waves.
+func MeasureFuxi(cfg OverheadConfig) (float64, error) {
+	racks := (cfg.Nodes + 9) / 10
+	perRack := (cfg.Nodes + racks - 1) / racks
+	c, err := core.NewCluster(core.Config{
+		Racks: racks, MachinesPerRack: perRack, Seed: cfg.Seed,
+		Agent: agent.Config{
+			HeartbeatInterval: sim.Second,
+			WorkerStartDelay:  sim.Time(cfg.WorkerStartDelayMS) * sim.Millisecond,
+		},
+	})
+	if err != nil {
+		return 0, err
+	}
+	n := cfg.instances()
+	workers := cfg.Nodes * cfg.WorkersPerNode
+	desc := &job.Description{
+		Name: "graysort",
+		Tasks: map[string]job.TaskSpec{
+			"map": {Instances: n, CPUMilli: 1000, MemoryMB: 4096,
+				DurationMS: cfg.TaskDurationMS, MaxWorkers: workers},
+			"reduce": {Instances: n, CPUMilli: 1000, MemoryMB: 4096,
+				DurationMS: cfg.TaskDurationMS, MaxWorkers: workers},
+		},
+		Pipes: []job.Pipe{{
+			Source:      job.AccessPoint{AccessPoint: "map:out"},
+			Destination: job.AccessPoint{AccessPoint: "reduce:in"},
+		}},
+	}
+	h, err := c.SubmitJob(desc, core.JobOptions{Config: job.Config{
+		Backup: job.BackupConfig{Enabled: true},
+	}})
+	if err != nil {
+		return 0, err
+	}
+	limit := sim.Time(float64(cfg.IdealSec())*20+600) * sim.Second
+	for !h.Done() && c.Now() < limit {
+		c.Run(sim.Second)
+	}
+	if !h.Done() {
+		return 0, fmt.Errorf("graysort: fuxi run incomplete after %v", limit)
+	}
+	return h.ElapsedSeconds() / cfg.IdealSec(), nil
+}
+
+// MeasureBaseline runs the same shape through the YARN-style baseline: map
+// then reduce as two sequential applications, each paying the per-instance
+// container-reallocation and process-start cost.
+func MeasureBaseline(cfg OverheadConfig) (float64, error) {
+	racks := (cfg.Nodes + 9) / 10
+	perRack := (cfg.Nodes + racks - 1) / racks
+	top, err := topology.Build(topology.Spec{
+		Racks: racks, MachinesPerRack: perRack,
+		MachineCapacity: topology.PaperTestbedMachine(),
+	})
+	if err != nil {
+		return 0, err
+	}
+	total := 0.0
+	for _, phase := range []string{"map", "reduce"} {
+		res, err := baseline.RunWorkload(top, baseline.AMConfig{
+			App:           "sort-" + phase,
+			Size:          resource.New(1000, 4096),
+			Instances:     cfg.instances(),
+			Duration:      sim.Time(cfg.TaskDurationMS) * sim.Millisecond,
+			MaxContainers: cfg.Nodes * cfg.WorkersPerNode,
+			Heartbeat:     sim.Second,
+			StartDelay:    sim.Time(cfg.WorkerStartDelayMS) * sim.Millisecond,
+		}, cfg.Seed+int64(len(phase)))
+		if err != nil {
+			return 0, err
+		}
+		total += res.MakespanSec
+	}
+	return total / cfg.IdealSec(), nil
+}

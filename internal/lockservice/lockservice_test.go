@@ -1,0 +1,148 @@
+package lockservice
+
+import (
+	"testing"
+
+	"repro/internal/sim"
+)
+
+func TestTryAcquireMutex(t *testing.T) {
+	eng := sim.NewEngine(1)
+	s := New(eng)
+	if !s.TryAcquire("master", "A", 100) {
+		t.Fatal("first acquire failed")
+	}
+	if s.TryAcquire("master", "B", 100) {
+		t.Fatal("second holder acquired held lock")
+	}
+	if s.Holder("master") != "A" {
+		t.Errorf("holder = %q", s.Holder("master"))
+	}
+}
+
+func TestReacquireRenews(t *testing.T) {
+	eng := sim.NewEngine(1)
+	s := New(eng)
+	s.TryAcquire("l", "A", 100)
+	eng.Run(50)
+	if !s.TryAcquire("l", "A", 100) {
+		t.Fatal("self re-acquire failed")
+	}
+	eng.Run(120) // original lease would have expired at 100
+	if s.Holder("l") != "A" {
+		t.Error("renewed lease expired early")
+	}
+	eng.Run(200)
+	if s.Holder("l") != "" {
+		t.Error("lease did not expire after renewal TTL")
+	}
+}
+
+func TestLeaseExpiryWakesWaiter(t *testing.T) {
+	eng := sim.NewEngine(1)
+	s := New(eng)
+	s.TryAcquire("master", "primary", 1000)
+	became := sim.Time(-1)
+	s.AcquireOrWait("master", "standby", 1000, func() { became = eng.Now() })
+	// primary "crashes" (never renews); lease expires at t=1000.
+	eng.Run(1500)
+	if became != 1000 {
+		t.Errorf("standby became primary at %v, want 1000", became)
+	}
+	if s.Holder("master") != "standby" {
+		t.Errorf("holder = %q", s.Holder("master"))
+	}
+	// The standby never renews either, so its own lease lapses at 2000.
+	eng.Run(2500)
+	if s.Holder("master") != "" {
+		t.Errorf("holder after standby lease lapse = %q", s.Holder("master"))
+	}
+}
+
+func TestRenewKeepsHolderAlive(t *testing.T) {
+	eng := sim.NewEngine(1)
+	s := New(eng)
+	s.TryAcquire("l", "A", 100)
+	eng.Every(50, func() { s.Renew("l", "A") })
+	eng.Run(1000)
+	if s.Holder("l") != "A" {
+		t.Errorf("holder after renewals = %q", s.Holder("l"))
+	}
+}
+
+func TestRenewByNonHolderFails(t *testing.T) {
+	eng := sim.NewEngine(1)
+	s := New(eng)
+	s.TryAcquire("l", "A", 100)
+	if s.Renew("l", "B") {
+		t.Error("non-holder renew succeeded")
+	}
+	if s.Renew("unknown", "A") {
+		t.Error("renew of unknown lock succeeded")
+	}
+}
+
+func TestReleaseWakesWaiter(t *testing.T) {
+	eng := sim.NewEngine(1)
+	s := New(eng)
+	s.TryAcquire("l", "A", 10000)
+	got := false
+	s.AcquireOrWait("l", "B", 10000, func() { got = true })
+	s.Release("l", "A")
+	if !got {
+		t.Error("waiter not woken on release")
+	}
+	if s.Holder("l") != "B" {
+		t.Errorf("holder = %q", s.Holder("l"))
+	}
+}
+
+func TestReleaseByNonHolderIgnored(t *testing.T) {
+	eng := sim.NewEngine(1)
+	s := New(eng)
+	s.TryAcquire("l", "A", 10000)
+	s.Release("l", "B")
+	if s.Holder("l") != "A" {
+		t.Error("non-holder release took effect")
+	}
+}
+
+func TestCancelledWaiterSkipped(t *testing.T) {
+	eng := sim.NewEngine(1)
+	s := New(eng)
+	s.TryAcquire("l", "A", 10000)
+	gotB, gotC := false, false
+	cancelB := s.AcquireOrWait("l", "B", 10000, func() { gotB = true })
+	s.AcquireOrWait("l", "C", 10000, func() { gotC = true })
+	cancelB()
+	s.Release("l", "A")
+	if gotB {
+		t.Error("cancelled waiter invoked")
+	}
+	if !gotC {
+		t.Error("next waiter not invoked")
+	}
+}
+
+func TestAcquireOrWaitImmediateWhenFree(t *testing.T) {
+	eng := sim.NewEngine(1)
+	s := New(eng)
+	got := false
+	s.AcquireOrWait("l", "A", 100, func() { got = true })
+	if !got {
+		t.Error("immediate acquire not invoked")
+	}
+}
+
+func TestExpiryThenReacquireByThirdParty(t *testing.T) {
+	eng := sim.NewEngine(1)
+	s := New(eng)
+	s.TryAcquire("l", "A", 100)
+	eng.Run(150)
+	if s.Holder("l") != "" {
+		t.Fatalf("lock not expired: %q", s.Holder("l"))
+	}
+	if !s.TryAcquire("l", "C", 100) {
+		t.Error("acquire after expiry failed")
+	}
+}

@@ -1,0 +1,87 @@
+package master
+
+import "repro/internal/resource"
+
+// AppConfig is the hard-state record of one application: exactly the
+// information the paper says must survive a FuxiMaster crash ("only hard
+// states like job description need to be recorded"). Everything else —
+// demand, grants, free pool — is soft state recollected from live peers.
+type AppConfig struct {
+	Name  string
+	Group string
+	Units []resource.ScheduleUnit
+}
+
+// Snapshot is one durable checkpoint image.
+type Snapshot struct {
+	Epoch     int
+	Apps      []AppConfig
+	Blacklist []string
+}
+
+// CheckpointStore models the durable storage shared by the hot-standby
+// FuxiMaster pair. Writes happen only on job submission/stop and blacklist
+// changes — the paper's "light-weighted checkpoint" that avoids bookkeeping
+// on the scheduling fast path.
+type CheckpointStore struct {
+	epoch     int
+	apps      map[string]AppConfig
+	order     []string
+	blacklist []string
+	// Writes counts checkpoint mutations, demonstrating in tests that the
+	// fast path never touches the store.
+	Writes int
+}
+
+// NewCheckpointStore returns an empty store.
+func NewCheckpointStore() *CheckpointStore {
+	return &CheckpointStore{apps: make(map[string]AppConfig)}
+}
+
+// BumpEpoch increments and returns the election epoch (durable so a third
+// promotion is distinguishable from the second).
+func (c *CheckpointStore) BumpEpoch() int {
+	c.epoch++
+	c.Writes++
+	return c.epoch
+}
+
+// SaveApp records an application's configuration.
+func (c *CheckpointStore) SaveApp(a AppConfig) {
+	if _, ok := c.apps[a.Name]; !ok {
+		c.order = append(c.order, a.Name)
+	}
+	c.apps[a.Name] = a
+	c.Writes++
+}
+
+// RemoveApp deletes an application's record (job stopped).
+func (c *CheckpointStore) RemoveApp(name string) {
+	if _, ok := c.apps[name]; !ok {
+		return
+	}
+	delete(c.apps, name)
+	for i, n := range c.order {
+		if n == name {
+			c.order = append(c.order[:i], c.order[i+1:]...)
+			break
+		}
+	}
+	c.Writes++
+}
+
+// SetBlacklist replaces the persisted cluster blacklist.
+func (c *CheckpointStore) SetBlacklist(machines []string) {
+	c.blacklist = append([]string(nil), machines...)
+	c.Writes++
+}
+
+// Load returns the current snapshot (copies; the caller may mutate freely).
+func (c *CheckpointStore) Load() Snapshot {
+	s := Snapshot{Epoch: c.epoch}
+	for _, name := range c.order {
+		s.Apps = append(s.Apps, c.apps[name])
+	}
+	s.Blacklist = append([]string(nil), c.blacklist...)
+	return s
+}

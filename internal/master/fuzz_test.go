@@ -1,0 +1,193 @@
+package master
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+
+	"repro/internal/resource"
+)
+
+// TestSchedulerInvariantsUnderRandomOps drives the scheduler with random
+// operation sequences — demand changes, returns, machine failures and
+// recoveries, blacklisting, app churn — and checks the accounting
+// invariants after every step. This is the property the whole resource
+// layer rests on: free + granted == capacity on every machine, held counts
+// consistent, quota usage exact.
+func TestSchedulerInvariantsUnderRandomOps(t *testing.T) {
+	for seed := int64(1); seed <= 10; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		top := testTop(t, 3, 4)
+		s := NewScheduler(top, Options{
+			EnablePreemption: true,
+			Groups: map[string]resource.Vector{
+				"gold":   resource.New(24_000, 192*1024),
+				"bronze": resource.New(12_000, 96*1024),
+			},
+		})
+		machines := top.Machines()
+		groups := []string{"", "gold", "bronze"}
+		apps := []string{"a", "b", "c", "d"}
+		registered := map[string]bool{}
+
+		register := func(app string) {
+			if registered[app] {
+				return
+			}
+			units := []resource.ScheduleUnit{
+				{ID: 1, Priority: 50 + rng.Intn(200), MaxCount: 1 + rng.Intn(40),
+					Size: resource.New(int64(500+rng.Intn(4)*500), int64(1024*(1+rng.Intn(8))))},
+				{ID: 2, Priority: 50 + rng.Intn(200), MaxCount: 1 + rng.Intn(10),
+					Size: resource.New(2000, 8192)},
+			}
+			if err := s.RegisterApp(app, groups[rng.Intn(len(groups))], units); err != nil {
+				t.Fatalf("seed %d: register: %v", seed, err)
+			}
+			registered[app] = true
+		}
+		for _, a := range apps {
+			register(a)
+		}
+
+		for step := 0; step < 400; step++ {
+			app := apps[rng.Intn(len(apps))]
+			unitID := 1 + rng.Intn(2)
+			switch op := rng.Intn(10); {
+			case op < 4: // demand change
+				if !registered[app] {
+					register(app)
+					break
+				}
+				var h resource.LocalityHint
+				switch rng.Intn(3) {
+				case 0:
+					h = resource.LocalityHint{Type: resource.LocalityMachine,
+						Value: machines[rng.Intn(len(machines))], Count: rng.Intn(9) - 2}
+				case 1:
+					h = resource.LocalityHint{Type: resource.LocalityRack,
+						Value: top.Racks()[rng.Intn(len(top.Racks()))], Count: rng.Intn(9) - 2}
+				default:
+					h = resource.LocalityHint{Type: resource.LocalityCluster, Count: rng.Intn(17) - 4}
+				}
+				if _, err := s.UpdateDemand(app, unitID, []resource.LocalityHint{h}); err != nil {
+					t.Fatalf("seed %d step %d: demand: %v", seed, step, err)
+				}
+			case op < 6: // return something held
+				if !registered[app] {
+					break
+				}
+				granted := s.Granted(app, unitID)
+				for m, n := range granted {
+					k := 1 + rng.Intn(n)
+					if _, err := s.Return(app, unitID, m, k); err != nil {
+						t.Fatalf("seed %d step %d: return: %v", seed, step, err)
+					}
+					break
+				}
+			case op < 7: // machine down/up
+				m := machines[rng.Intn(len(machines))]
+				if s.Down(m) {
+					s.MachineUp(m)
+				} else {
+					s.MachineDown(m)
+				}
+			case op < 8: // blacklist toggle
+				m := machines[rng.Intn(len(machines))]
+				s.SetBlacklisted(m, !s.Blacklisted(m), rng.Intn(2) == 0)
+			default: // app churn
+				if registered[app] && rng.Intn(3) == 0 {
+					s.UnregisterApp(app)
+					registered[app] = false
+				} else {
+					register(app)
+				}
+			}
+			if bad := s.CheckInvariants(); len(bad) > 0 {
+				t.Fatalf("seed %d step %d: invariants violated: %v", seed, step, bad)
+			}
+		}
+	}
+}
+
+// TestSchedulerDeterministic re-runs an identical operation sequence and
+// requires bit-identical decision streams — the reproducibility guarantee
+// every experiment in this repo rests on.
+func TestSchedulerDeterministic(t *testing.T) {
+	run := func() []Decision {
+		rng := rand.New(rand.NewSource(99))
+		top := testTop(t, 2, 5)
+		s := NewScheduler(top, Options{EnablePreemption: true})
+		var log []Decision
+		for _, app := range []string{"a", "b", "c"} {
+			mustRegister(t, s, app, "", unit(1, 50+rng.Intn(100), 20, 1000, 4096))
+		}
+		machines := top.Machines()
+		for step := 0; step < 200; step++ {
+			app := []string{"a", "b", "c"}[rng.Intn(3)]
+			switch rng.Intn(3) {
+			case 0:
+				ds, err := s.UpdateDemand(app, 1, []resource.LocalityHint{
+					{Type: resource.LocalityCluster, Count: rng.Intn(7) - 2}})
+				if err != nil {
+					t.Fatal(err)
+				}
+				log = append(log, ds...)
+			case 1:
+				granted := s.Granted(app, 1)
+				ms := make([]string, 0, len(granted))
+				for m := range granted {
+					ms = append(ms, m)
+				}
+				sort.Strings(ms)
+				if len(ms) > 0 {
+					m := ms[rng.Intn(len(ms))]
+					ds, err := s.Return(app, 1, m, 1+rng.Intn(granted[m]))
+					if err != nil {
+						t.Fatal(err)
+					}
+					log = append(log, ds...)
+				}
+			default:
+				m := machines[rng.Intn(len(machines))]
+				if s.Down(m) {
+					log = append(log, s.MachineUp(m)...)
+				} else {
+					log = append(log, s.MachineDown(m)...)
+				}
+			}
+		}
+		return log
+	}
+	a, b := run(), run()
+	if len(a) != len(b) {
+		t.Fatalf("decision counts differ: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("decision %d differs: %+v vs %+v", i, a[i], b[i])
+		}
+	}
+}
+
+// TestSchedulerDrainToEmpty checks that after unregistering everything and
+// recovering all machines, the scheduler returns to its pristine state.
+func TestSchedulerDrainToEmpty(t *testing.T) {
+	top := testTop(t, 2, 3)
+	s := NewScheduler(top, Options{})
+	for _, app := range []string{"x", "y", "z"} {
+		mustRegister(t, s, app, "", unit(1, 100, 30, 1000, 2048))
+		mustDemand(t, s, app, 1, clusterHint(30))
+	}
+	s.MachineDown(top.Machines()[0])
+	s.MachineUp(top.Machines()[0])
+	for _, app := range []string{"x", "y", "z"} {
+		s.UnregisterApp(app)
+	}
+	if !s.TotalFree().Equal(s.TotalCapacity()) {
+		t.Errorf("free %v != capacity %v after drain", s.TotalFree(), s.TotalCapacity())
+	}
+	if !s.PlannedTotal().IsZero() {
+		t.Errorf("planned %v after drain", s.PlannedTotal())
+	}
+	checkInv(t, s)
+}

@@ -1,0 +1,188 @@
+package master
+
+import (
+	"sort"
+
+	"repro/internal/resource"
+	"repro/internal/sim"
+)
+
+// waitKey identifies one (application, ScheduleUnit) waiting in the tree.
+type waitKey struct {
+	app  string
+	unit int
+}
+
+// waitEntry is one queued demand: count units wanted by key at one locality
+// node. Entries at the same node merge; seq preserves FIFO among equal
+// priorities (paper §3.3: "all applications waiting on the same tree are
+// sorted by priority and submission time").
+type waitEntry struct {
+	key      waitKey
+	priority int
+	seq      uint64
+	level    resource.LocalityType
+	node     string // machine or rack name; "" at cluster level
+	count    int
+	// enqueuedAt feeds the optional anti-starvation aging: long-waiting
+	// entries gain effective priority (§7 lists starvation guards as
+	// future work; this is that extension).
+	enqueuedAt sim.Time
+}
+
+// effectivePriority applies aging: boostPerSec priority points per second
+// waited (0 disables).
+func (e *waitEntry) effectivePriority(now sim.Time, boostPerSec float64) int {
+	if boostPerSec <= 0 {
+		return e.priority
+	}
+	boost := int(boostPerSec * (now - e.enqueuedAt).Seconds())
+	p := e.priority - boost
+	if p < 0 {
+		p = 0
+	}
+	return p
+}
+
+type treeIdx struct {
+	key   waitKey
+	level resource.LocalityType
+	node  string
+}
+
+// localityTree holds the three-level waiting queues of the FuxiMaster
+// scheduler (paper §3.3). Each machine, each rack, and the cluster has its
+// own queue; a freed machine consults only its own queue, its rack's queue
+// and the cluster queue.
+type localityTree struct {
+	queues map[treeQueueID][]*waitEntry
+	index  map[treeIdx]*waitEntry
+	seq    uint64
+}
+
+type treeQueueID struct {
+	level resource.LocalityType
+	node  string
+}
+
+func newLocalityTree() *localityTree {
+	return &localityTree{
+		queues: make(map[treeQueueID][]*waitEntry),
+		index:  make(map[treeIdx]*waitEntry),
+	}
+}
+
+// add increments the waiting count for key at (level, node), creating the
+// entry at the queue tail when new. Negative deltas decrement, flooring at
+// zero. It returns the entry's resulting count.
+func (t *localityTree) add(key waitKey, priority int, level resource.LocalityType, node string, delta int, now sim.Time) int {
+	idx := treeIdx{key: key, level: level, node: node}
+	e := t.index[idx]
+	if e == nil {
+		if delta <= 0 {
+			return 0
+		}
+		t.seq++
+		e = &waitEntry{key: key, priority: priority, seq: t.seq, level: level, node: node, enqueuedAt: now}
+		t.index[idx] = e
+		qid := treeQueueID{level: level, node: node}
+		t.queues[qid] = append(t.queues[qid], e)
+	}
+	if e.count == 0 && delta > 0 {
+		e.enqueuedAt = now // waiting clock restarts after a zero crossing
+	}
+	e.count += delta
+	if e.count < 0 {
+		e.count = 0
+	}
+	return e.count
+}
+
+// get returns the current waiting count for key at (level, node).
+func (t *localityTree) get(key waitKey, level resource.LocalityType, node string) int {
+	if e := t.index[treeIdx{key: key, level: level, node: node}]; e != nil {
+		return e.count
+	}
+	return 0
+}
+
+// removeApp drops every entry belonging to app.
+func (t *localityTree) removeApp(app string) {
+	for idx, e := range t.index {
+		if idx.key.app == app {
+			e.count = 0 // tombstone; compacted lazily
+			delete(t.index, idx)
+		}
+	}
+}
+
+// candidatesFor returns the live waiting entries eligible to receive
+// resources freed on machine (in rack): the machine queue, the rack queue,
+// and the cluster queue, ordered by (aged priority, level, seq).
+// Machine-level waiters precede rack/cluster waiters at equal priority
+// (paper §3.3).
+func (t *localityTree) candidatesFor(machine, rack string, now sim.Time, agingBoost float64) []*waitEntry {
+	var out []*waitEntry
+	collect := func(level resource.LocalityType, node string) {
+		qid := treeQueueID{level: level, node: node}
+		q := t.queues[qid]
+		live := q[:0]
+		for _, e := range q {
+			if e.count > 0 {
+				live = append(live, e)
+				out = append(out, e)
+			} else if _, present := t.index[treeIdx{key: e.key, level: e.level, node: e.node}]; present {
+				// Zero count but still indexed: keep its queue position so a
+				// future demand increase resumes at the original seq.
+				live = append(live, e)
+			}
+		}
+		t.queues[qid] = live
+	}
+	collect(resource.LocalityMachine, machine)
+	collect(resource.LocalityRack, rack)
+	collect(resource.LocalityCluster, "")
+	sort.SliceStable(out, func(i, j int) bool {
+		a, b := out[i], out[j]
+		pa, pb := a.effectivePriority(now, agingBoost), b.effectivePriority(now, agingBoost)
+		if pa != pb {
+			return pa < pb
+		}
+		if a.level != b.level {
+			return a.level < b.level
+		}
+		return a.seq < b.seq
+	})
+	return out
+}
+
+// totalWaiting sums all waiting counts for a key across the tree (used in
+// tests and state dumps).
+func (t *localityTree) totalWaiting(key waitKey) int {
+	n := 0
+	for idx, e := range t.index {
+		if idx.key == key {
+			n += e.count
+		}
+	}
+	return n
+}
+
+// waitingByLevel reports the per-level aggregate counts for a key, mirroring
+// the paper's Figure 5 view of the scheduling tree.
+func (t *localityTree) waitingByLevel(key waitKey) (machine, rack, cluster int) {
+	for idx, e := range t.index {
+		if idx.key != key {
+			continue
+		}
+		switch idx.level {
+		case resource.LocalityMachine:
+			machine += e.count
+		case resource.LocalityRack:
+			rack += e.count
+		case resource.LocalityCluster:
+			cluster += e.count
+		}
+	}
+	return
+}

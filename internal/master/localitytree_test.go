@@ -1,0 +1,121 @@
+package master
+
+import (
+	"testing"
+
+	"repro/internal/resource"
+)
+
+func key(app string) waitKey { return waitKey{app: app, unit: 1} }
+
+func TestTreeAddAndGet(t *testing.T) {
+	tr := newLocalityTree()
+	if got := tr.add(key("a"), 10, resource.LocalityMachine, "m1", 5, 0); got != 5 {
+		t.Errorf("count = %d", got)
+	}
+	if got := tr.add(key("a"), 10, resource.LocalityMachine, "m1", 3, 0); got != 8 {
+		t.Errorf("merged count = %d", got)
+	}
+	if got := tr.get(key("a"), resource.LocalityMachine, "m1"); got != 8 {
+		t.Errorf("get = %d", got)
+	}
+	if got := tr.get(key("a"), resource.LocalityRack, "r1"); got != 0 {
+		t.Errorf("absent get = %d", got)
+	}
+}
+
+func TestTreeNegativeFloorsAtZero(t *testing.T) {
+	tr := newLocalityTree()
+	tr.add(key("a"), 10, resource.LocalityCluster, "", 5, 0)
+	if got := tr.add(key("a"), 10, resource.LocalityCluster, "", -99, 0); got != 0 {
+		t.Errorf("floored count = %d", got)
+	}
+	// A pure decrement on a non-existent entry must not create one.
+	if got := tr.add(key("b"), 10, resource.LocalityCluster, "", -1, 0); got != 0 {
+		t.Errorf("ghost entry count = %d", got)
+	}
+	if tr.totalWaiting(key("b")) != 0 {
+		t.Error("decrement created an entry")
+	}
+}
+
+func TestCandidatesOrdering(t *testing.T) {
+	tr := newLocalityTree()
+	// Same priority: machine-level beats rack beats cluster; FIFO within.
+	tr.add(key("clusterA"), 100, resource.LocalityCluster, "", 1, 0)
+	tr.add(key("rackA"), 100, resource.LocalityRack, "r1", 1, 0)
+	tr.add(key("machineA"), 100, resource.LocalityMachine, "m1", 1, 0)
+	tr.add(key("machineB"), 100, resource.LocalityMachine, "m1", 1, 0)
+	// Higher priority (smaller) cluster waiter beats them all.
+	tr.add(key("urgent"), 1, resource.LocalityCluster, "", 1, 0)
+
+	got := tr.candidatesFor("m1", "r1", 0, 0)
+	want := []string{"urgent", "machineA", "machineB", "rackA", "clusterA"}
+	if len(got) != len(want) {
+		t.Fatalf("candidates = %d, want %d", len(got), len(want))
+	}
+	for i, w := range want {
+		if got[i].key.app != w {
+			t.Errorf("candidate %d = %s, want %s", i, got[i].key.app, w)
+		}
+	}
+}
+
+func TestCandidatesScopedToMachineAndRack(t *testing.T) {
+	tr := newLocalityTree()
+	tr.add(key("other"), 1, resource.LocalityMachine, "m2", 1, 0)
+	tr.add(key("otherRack"), 1, resource.LocalityRack, "r2", 1, 0)
+	tr.add(key("mine"), 100, resource.LocalityMachine, "m1", 1, 0)
+	got := tr.candidatesFor("m1", "r1", 0, 0)
+	if len(got) != 1 || got[0].key.app != "mine" {
+		t.Errorf("candidates = %v", got)
+	}
+}
+
+func TestRemoveApp(t *testing.T) {
+	tr := newLocalityTree()
+	tr.add(key("a"), 1, resource.LocalityMachine, "m1", 2, 0)
+	tr.add(key("a"), 1, resource.LocalityCluster, "", 3, 0)
+	tr.add(key("b"), 1, resource.LocalityCluster, "", 1, 0)
+	tr.removeApp("a")
+	if tr.totalWaiting(key("a")) != 0 {
+		t.Error("app a still waiting")
+	}
+	if tr.totalWaiting(key("b")) != 1 {
+		t.Error("app b affected")
+	}
+	got := tr.candidatesFor("m1", "r1", 0, 0)
+	if len(got) != 1 || got[0].key.app != "b" {
+		t.Errorf("candidates after removal = %v", got)
+	}
+}
+
+func TestZeroCountEntriesKeepQueuePosition(t *testing.T) {
+	tr := newLocalityTree()
+	tr.add(key("first"), 100, resource.LocalityCluster, "", 1, 0)
+	tr.add(key("second"), 100, resource.LocalityCluster, "", 1, 0)
+	// first's demand is satisfied then re-raised: its seq (queue position)
+	// must survive the zero crossing.
+	tr.add(key("first"), 100, resource.LocalityCluster, "", -1, 0)
+	_ = tr.candidatesFor("m", "r", 0, 0) // compaction pass with zero count
+	tr.add(key("first"), 100, resource.LocalityCluster, "", 1, 0)
+	got := tr.candidatesFor("m", "r", 0, 0)
+	if len(got) != 2 || got[0].key.app != "first" {
+		t.Errorf("order after zero crossing = %v", got)
+	}
+}
+
+func TestWaitingByLevel(t *testing.T) {
+	tr := newLocalityTree()
+	tr.add(key("a"), 1, resource.LocalityMachine, "m1", 2, 0)
+	tr.add(key("a"), 1, resource.LocalityMachine, "m2", 3, 0)
+	tr.add(key("a"), 1, resource.LocalityRack, "r1", 4, 0)
+	tr.add(key("a"), 1, resource.LocalityCluster, "", 5, 0)
+	m, r, c := tr.waitingByLevel(key("a"))
+	if m != 5 || r != 4 || c != 5 {
+		t.Errorf("by level = %d/%d/%d, want 5/4/5", m, r, c)
+	}
+	if tr.totalWaiting(key("a")) != 14 {
+		t.Errorf("total = %d", tr.totalWaiting(key("a")))
+	}
+}

@@ -1,0 +1,669 @@
+package master
+
+import (
+	"sort"
+	"time"
+
+	"repro/internal/lockservice"
+	"repro/internal/metrics"
+	"repro/internal/protocol"
+	"repro/internal/resource"
+	"repro/internal/sim"
+	"repro/internal/topology"
+	"repro/internal/transport"
+)
+
+// Config tunes one FuxiMaster process.
+type Config struct {
+	// ProcessName uniquely names this master process (e.g. "fm-1"); the
+	// hot-standby pair shares LockName and the logical MasterEndpoint.
+	ProcessName string
+	// LockName is the election lock (default "fuximaster-lock").
+	LockName string
+	// LockTTL is the lease duration; RenewEvery the renewal period.
+	LockTTL    sim.Time
+	RenewEvery sim.Time
+	// HeartbeatTimeout declares an agent dead when silent this long.
+	HeartbeatTimeout sim.Time
+	// HeartbeatScan is the period of the dead-agent scan (the paper's
+	// "heavy but not emergent requests ... captured at a fixed time
+	// interval ... in a roll-up manner").
+	HeartbeatScan sim.Time
+	// RecoveryWindow is how long a newly-promoted primary collects soft
+	// state before resuming normal scheduling.
+	RecoveryWindow sim.Time
+	// BatchWindow, when positive, coalesces DemandUpdates per application
+	// and flushes them per window (the paper's batch-mode merging of
+	// "frequently changing resource requests from one application"). Zero
+	// processes every update immediately.
+	BatchWindow sim.Time
+	// HealthScoreThreshold and HealthScoreStrikes drive score-based
+	// graylisting: an agent reporting below the threshold for this many
+	// consecutive heartbeats is blacklisted ("once the score is too low
+	// for a long time").
+	HealthScoreThreshold int
+	HealthScoreStrikes   int
+	// BadReportThreshold is how many distinct applications must report a
+	// machine bad before FuxiMaster disables it cluster-wide.
+	BadReportThreshold int
+	// BlacklistCap bounds the cluster blacklist ("to avoid abuse ... an
+	// upper bound limit can be configured").
+	BlacklistCap int
+	// Sched passes through scheduler options (quota groups, preemption).
+	Sched Options
+}
+
+// DefaultConfig returns production-flavoured defaults for a process name.
+func DefaultConfig(process string) Config {
+	return Config{
+		ProcessName:          process,
+		LockName:             "fuximaster-lock",
+		LockTTL:              3 * sim.Second,
+		RenewEvery:           sim.Second,
+		HeartbeatTimeout:     3 * sim.Second,
+		HeartbeatScan:        sim.Second,
+		RecoveryWindow:       2 * sim.Second,
+		HealthScoreThreshold: 30,
+		HealthScoreStrikes:   3,
+		BadReportThreshold:   2,
+		BlacklistCap:         50,
+	}
+}
+
+// Master is one FuxiMaster process of the hot-standby pair. When it holds
+// the election lock it registers the logical MasterEndpoint, drives the
+// Scheduler, and dispatches grant/revoke messages; otherwise it waits.
+type Master struct {
+	cfg  Config
+	eng  *sim.Engine
+	net  *transport.Net
+	lock *lockservice.Service
+	top  *topology.Topology
+	ckpt *CheckpointStore
+	reg  *metrics.Registry
+
+	sched      *Scheduler
+	primary    bool
+	crashed    bool
+	recovering bool
+	restored   map[string]bool // machines whose allocations were restored this recovery
+	epoch      int
+
+	seq       protocol.Sequencer
+	dedup     *protocol.Dedup
+	lastBeat  map[string]sim.Time
+	strikes   map[string]int
+	badVotes  map[string]map[string]bool         // machine -> set of reporting apps
+	pendDem   map[string][]protocol.DemandUpdate // app -> buffered updates (batch mode)
+	flushArm  bool
+	timers    []sim.Cancel
+	lockAbort sim.Cancel
+}
+
+// NewMaster wires a master process to the simulation. Both hot-standby
+// processes share the same CheckpointStore (it models durable storage) and
+// lock service. The master starts in standby and competes for the lock
+// immediately.
+func NewMaster(cfg Config, eng *sim.Engine, net *transport.Net, lock *lockservice.Service,
+	top *topology.Topology, ckpt *CheckpointStore, reg *metrics.Registry) *Master {
+	if reg == nil {
+		reg = metrics.NewRegistry()
+	}
+	m := &Master{
+		cfg: cfg, eng: eng, net: net, lock: lock, top: top, ckpt: ckpt, reg: reg,
+		dedup:    protocol.NewDedup(),
+		lastBeat: make(map[string]sim.Time),
+		strikes:  make(map[string]int),
+		badVotes: make(map[string]map[string]bool),
+		pendDem:  make(map[string][]protocol.DemandUpdate),
+	}
+	m.compete()
+	return m
+}
+
+// compete (re-)enters the election.
+func (m *Master) compete() {
+	m.lockAbort = m.lock.AcquireOrWait(m.cfg.LockName, m.cfg.ProcessName, m.cfg.LockTTL, m.promote)
+}
+
+// promote turns this process into the primary: rebuild hard state from the
+// checkpoint, collect soft state from agents and application masters, then
+// resume scheduling (paper §4.3.1 / Figure 7).
+func (m *Master) promote() {
+	if m.crashed {
+		return
+	}
+	m.primary = true
+	m.epoch = m.ckpt.BumpEpoch()
+	sched := m.cfg.Sched
+	if sched.Clock == nil {
+		sched.Clock = m.eng.Now
+	}
+	m.sched = NewScheduler(m.top, sched)
+
+	// Hard state: application configurations and the cluster blacklist.
+	snap := m.ckpt.Load()
+	for _, app := range snap.Apps {
+		// Hard-state apps re-register silently; their demand arrives via
+		// FullDemandSync during the recovery window.
+		_ = m.sched.RegisterApp(app.Name, app.Group, app.Units)
+	}
+	for _, b := range snap.Blacklist {
+		m.sched.SetBlacklisted(b, true, false)
+	}
+
+	m.net.Register(protocol.MasterEndpoint, m.handle)
+	m.timers = append(m.timers,
+		m.eng.Every(m.cfg.RenewEvery, m.renew),
+		m.eng.Every(m.cfg.HeartbeatScan, m.scanHeartbeats))
+
+	// Soft state: everyone re-sends. Fresh clusters (epoch 1) skip the
+	// recovery pause.
+	if m.epoch > 1 {
+		m.recovering = true
+		m.restored = make(map[string]bool)
+		hello := protocol.MasterHello{Epoch: m.epoch, Seq: m.seq.Next()}
+		for _, mc := range m.top.Machines() {
+			m.net.Send(protocol.MasterEndpoint, protocol.AgentEndpoint(mc), hello)
+		}
+		for _, app := range snap.Apps {
+			m.net.Send(protocol.MasterEndpoint, app.Name, hello)
+		}
+		m.timers = append(m.timers, m.eng.After(m.cfg.RecoveryWindow, m.finishRecovery))
+	}
+}
+
+func (m *Master) finishRecovery() {
+	if !m.primary || m.crashed {
+		return
+	}
+	m.recovering = false
+	// One full assignment pass over all machines places demand collected
+	// during recovery.
+	m.dispatch(m.sched.assignOnMachines(m.top.Machines()))
+}
+
+func (m *Master) renew() {
+	if m.crashed || !m.primary {
+		return
+	}
+	if !m.lock.Renew(m.cfg.LockName, m.cfg.ProcessName) {
+		// Deposed (e.g. a long GC pause let the lease lapse): stand down.
+		m.demote()
+	}
+}
+
+func (m *Master) demote() {
+	m.primary = false
+	for _, c := range m.timers {
+		c()
+	}
+	m.timers = nil
+	if !m.crashed {
+		m.compete()
+	}
+}
+
+// Crash kills this process: it stops renewing, drops its endpoint and all
+// in-memory state. Soft state is lost; hard state survives in the
+// checkpoint store. The standby takes over when the lease expires.
+func (m *Master) Crash() {
+	if m.crashed {
+		return
+	}
+	m.crashed = true
+	if m.lockAbort != nil {
+		m.lockAbort()
+	}
+	for _, c := range m.timers {
+		c()
+	}
+	m.timers = nil
+	if m.primary {
+		m.primary = false
+		// The endpoint stays registered until the successor replaces it;
+		// mark it unreachable by dropping the handler.
+		m.net.Unregister(protocol.MasterEndpoint)
+	}
+	m.sched = nil
+}
+
+// Restart revives a crashed process as a standby competing for the lock.
+func (m *Master) Restart() {
+	if !m.crashed {
+		return
+	}
+	m.crashed = false
+	m.dedup = protocol.NewDedup()
+	m.lastBeat = make(map[string]sim.Time)
+	m.strikes = make(map[string]int)
+	m.badVotes = make(map[string]map[string]bool)
+	m.pendDem = make(map[string][]protocol.DemandUpdate)
+	m.compete()
+}
+
+// IsPrimary reports whether this process currently leads.
+func (m *Master) IsPrimary() bool { return m.primary && !m.crashed }
+
+// Scheduler exposes the live scheduling core (nil on standbys), for metrics
+// sampling by experiment harnesses.
+func (m *Master) Scheduler() *Scheduler {
+	if !m.IsPrimary() {
+		return nil
+	}
+	return m.sched
+}
+
+// Epoch returns the election epoch of this process's last promotion.
+func (m *Master) Epoch() int { return m.epoch }
+
+// ---------------------------------------------------------------------------
+// message handling
+// ---------------------------------------------------------------------------
+
+func (m *Master) handle(from string, msg transport.Message) {
+	if !m.primary || m.crashed {
+		return
+	}
+	start := time.Now()
+	switch t := msg.(type) {
+	case protocol.RegisterApp:
+		if m.dedup.Observe(from+"/reg", t.Seq) == protocol.Duplicate {
+			return
+		}
+		m.handleRegister(t)
+	case protocol.DemandUpdate:
+		if m.dedup.Observe(from+"/dem", t.Seq) == protocol.Duplicate {
+			return
+		}
+		m.handleDemand(t)
+	case protocol.GrantReturn:
+		if m.dedup.Observe(from+"/ret", t.Seq) == protocol.Duplicate {
+			return
+		}
+		m.handleReturn(t)
+	case protocol.UnregisterApp:
+		if m.dedup.Observe(from+"/unreg", t.Seq) == protocol.Duplicate {
+			return
+		}
+		m.handleUnregister(t)
+	case protocol.FullDemandSync:
+		m.handleFullSync(t)
+	case protocol.AgentHeartbeat:
+		m.handleHeartbeat(t)
+	case protocol.CapacityQuery:
+		m.handleCapacityQuery(t)
+	case protocol.BadMachineReport:
+		if m.dedup.Observe(from+"/bad", t.Seq) == protocol.Duplicate {
+			return
+		}
+		m.handleBadReport(t)
+	}
+	m.reg.Histogram("master.request_ms").Observe(float64(time.Since(start).Nanoseconds()) / 1e6)
+}
+
+func (m *Master) handleRegister(t protocol.RegisterApp) {
+	if m.sched.Registered(t.App) {
+		return // failover re-registration; config already restored
+	}
+	if err := m.sched.RegisterApp(t.App, t.QuotaGroup, t.Units); err != nil {
+		return
+	}
+	// Hard state changes only on job submission/stop (paper §4.3.1).
+	m.ckpt.SaveApp(AppConfig{Name: t.App, Group: t.QuotaGroup, Units: t.Units})
+}
+
+func (m *Master) handleDemand(t protocol.DemandUpdate) {
+	if m.cfg.BatchWindow > 0 {
+		m.bufferDemand(t)
+		return
+	}
+	m.applyDemand(t)
+}
+
+func (m *Master) applyDemand(t protocol.DemandUpdate) {
+	start := time.Now()
+	ds, err := m.sched.UpdateDemand(t.App, t.UnitID, t.Deltas)
+	m.reg.Histogram("master.sched_ms").Observe(float64(time.Since(start).Nanoseconds()) / 1e6)
+	if err != nil {
+		return
+	}
+	m.dispatch(ds)
+}
+
+func (m *Master) bufferDemand(t protocol.DemandUpdate) {
+	m.pendDem[t.App] = append(m.pendDem[t.App], t)
+	if !m.flushArm {
+		m.flushArm = true
+		m.eng.After(m.cfg.BatchWindow, m.flushDemand)
+	}
+}
+
+// locTarget identifies one locality node for batch merging.
+type locTarget struct {
+	typ   resource.LocalityType
+	value string
+}
+
+func (m *Master) flushDemand() {
+	m.flushArm = false
+	if !m.primary || m.crashed {
+		return
+	}
+	pend := m.pendDem
+	m.pendDem = make(map[string][]protocol.DemandUpdate)
+	apps := make([]string, 0, len(pend))
+	for app := range pend {
+		apps = append(apps, app)
+	}
+	sort.Strings(apps)
+	// Merge per (app, unit, locality target) before scheduling: the
+	// paper's compact batch handling of "frequently changing resource
+	// requests from one application".
+	for _, app := range apps {
+		merged := map[int]map[locTarget]int{}
+		var unitOrder []int
+		for _, p := range pend[app] {
+			if merged[p.UnitID] == nil {
+				merged[p.UnitID] = map[locTarget]int{}
+				unitOrder = append(unitOrder, p.UnitID)
+			}
+			for _, h := range p.Deltas {
+				merged[p.UnitID][locTarget{h.Type, h.Value}] += h.Count
+			}
+		}
+		for _, unitID := range unitOrder {
+			var deltas []resource.LocalityHint
+			for k, c := range merged[unitID] {
+				if c != 0 {
+					deltas = append(deltas, resource.LocalityHint{Type: k.typ, Value: k.value, Count: c})
+				}
+			}
+			sort.Slice(deltas, func(i, j int) bool {
+				if deltas[i].Type != deltas[j].Type {
+					return deltas[i].Type < deltas[j].Type
+				}
+				return deltas[i].Value < deltas[j].Value
+			})
+			m.applyDemand(protocol.DemandUpdate{App: app, UnitID: unitID, Deltas: deltas})
+		}
+	}
+}
+
+func (m *Master) handleReturn(t protocol.GrantReturn) {
+	start := time.Now()
+	ds, err := m.sched.Return(t.App, t.UnitID, t.Machine, t.Count)
+	m.reg.Histogram("master.sched_ms").Observe(float64(time.Since(start).Nanoseconds()) / 1e6)
+	if err != nil {
+		return
+	}
+	// The agent must release capacity even though the app initiated it.
+	m.sendCapacity(t.App, t.UnitID, t.Machine, -t.Count)
+	m.dispatch(ds)
+}
+
+func (m *Master) handleUnregister(t protocol.UnregisterApp) {
+	// Tell the agents to release the app's capacity before the scheduler
+	// state disappears.
+	for _, u := range m.sched.Units(t.App) {
+		for mc, n := range m.sched.Granted(t.App, u.ID) {
+			m.sendCapacity(t.App, u.ID, mc, -n)
+		}
+	}
+	ds := m.sched.UnregisterApp(t.App)
+	m.ckpt.RemoveApp(t.App)
+	m.dispatch(ds)
+}
+
+func (m *Master) handleFullSync(t protocol.FullDemandSync) {
+	if !m.sched.Registered(t.App) {
+		_ = m.sched.RegisterApp(t.App, t.QuotaGroup, t.Units)
+		m.ckpt.SaveApp(AppConfig{Name: t.App, Group: t.QuotaGroup, Units: t.Units})
+	}
+	// Demand reconciliation: force tree counts to the app's view. When the
+	// sync surfaces demand the master had lost (a dropped delta), run an
+	// assignment pass so it doesn't starve waiting for the next free-up.
+	raised := false
+	for _, u := range m.sched.Units(t.App) {
+		if m.reconcileDemand(t.App, u.ID, t.Demand[u.ID]) {
+			raised = true
+		}
+	}
+	if raised && !m.recovering {
+		m.dispatch(m.sched.assignOnMachines(m.top.Machines()))
+	}
+	// Grant reconciliation: during recovery the agents' reports are
+	// authoritative and arrive separately; outside recovery the master's
+	// ledger is authoritative and differences are re-announced to the app.
+	if !m.recovering {
+		for _, u := range m.sched.Units(t.App) {
+			m.reconcileHeld(t.App, u.ID, t.Held[u.ID])
+		}
+	}
+	// The sync carries the app's current sequence number; re-baseline every
+	// per-channel high-water mark so a restarted application master (fresh
+	// sequencer) is not mistaken for a replayer.
+	for _, ch := range []string{"/dem", "/ret", "/unreg", "/bad", "/reg"} {
+		m.dedup.ResetTo(t.App+ch, t.Seq)
+	}
+}
+
+// reconcileDemand forces the tree counts for (app, unit) to the app's view
+// and reports whether any count increased.
+func (m *Master) reconcileDemand(app string, unitID int, want []resource.LocalityHint) bool {
+	key := waitKey{app: app, unit: unitID}
+	st := m.sched.apps[app]
+	if st == nil {
+		return false
+	}
+	u := st.units[unitID]
+	if u == nil {
+		return false
+	}
+	target := map[locTarget]int{}
+	for _, h := range want {
+		target[locTarget{h.Type, h.Value}] += h.Count
+	}
+	raised := false
+	// Zero out entries not in the app's view; set entries that are.
+	for idx, e := range m.sched.tree.index {
+		if idx.key != key {
+			continue
+		}
+		n := locTarget{idx.level, idx.node}
+		if tc, ok := target[n]; ok {
+			if tc > e.count {
+				raised = true
+			}
+			e.count = tc
+			delete(target, n)
+		} else {
+			e.count = 0
+		}
+	}
+	// Insert missing entries in a deterministic order: new tree entries get
+	// queue positions (seq) at insertion, and map iteration order must not
+	// leak into scheduling order.
+	missing := make([]locTarget, 0, len(target))
+	for n, c := range target {
+		if c > 0 {
+			missing = append(missing, n)
+		}
+	}
+	sort.Slice(missing, func(i, j int) bool {
+		if missing[i].typ != missing[j].typ {
+			return missing[i].typ < missing[j].typ
+		}
+		return missing[i].value < missing[j].value
+	})
+	for _, n := range missing {
+		m.sched.tree.add(key, u.def.Priority, n.typ, n.value, target[n], m.sched.now())
+		raised = true
+	}
+	return raised
+}
+
+func (m *Master) reconcileHeld(app string, unitID int, appView map[string]int) {
+	masterView := m.sched.Granted(app, unitID)
+	var fixes []protocol.MachineDelta
+	for mc, n := range masterView {
+		if appView[mc] != n {
+			fixes = append(fixes, protocol.MachineDelta{Machine: mc, Delta: n - appView[mc]})
+		}
+	}
+	for mc, n := range appView {
+		if _, ok := masterView[mc]; !ok && n > 0 {
+			fixes = append(fixes, protocol.MachineDelta{Machine: mc, Delta: -n})
+		}
+	}
+	if len(fixes) > 0 {
+		m.net.Send(protocol.MasterEndpoint, app, protocol.GrantUpdate{
+			App: app, UnitID: unitID, Changes: fixes, Seq: m.seq.Next(),
+		})
+	}
+}
+
+func (m *Master) handleHeartbeat(t protocol.AgentHeartbeat) {
+	mc := t.Machine
+	first := m.lastBeat[mc] == 0
+	m.lastBeat[mc] = m.eng.Now()
+	if m.sched.Down(mc) {
+		// The node recovered (or its network partition healed).
+		m.dispatch(m.sched.MachineUp(mc))
+	}
+	_ = first
+	if m.recovering && !m.restored[mc] {
+		// Restore exactly once per machine per recovery: a second
+		// heartbeat inside the window must not double the allocations.
+		m.restored[mc] = true
+		for app, units := range t.Allocations {
+			for unitID, n := range units {
+				m.sched.RestoreGrant(app, unitID, mc, n)
+			}
+		}
+	}
+	// Health-score graylisting.
+	if t.HealthScore < m.cfg.HealthScoreThreshold {
+		m.strikes[mc]++
+		if m.strikes[mc] >= m.cfg.HealthScoreStrikes && !m.sched.Blacklisted(mc) {
+			m.blacklist(mc)
+		}
+	} else {
+		m.strikes[mc] = 0
+		if m.sched.Blacklisted(mc) && len(m.badVotes[mc]) < m.cfg.BadReportThreshold {
+			// Score recovered and job votes don't pin it: rehabilitate.
+			m.dispatch(m.sched.SetBlacklisted(mc, false, false))
+			m.ckpt.SetBlacklist(m.currentBlacklist())
+		}
+	}
+}
+
+// handleCapacityQuery answers a restarting agent with its full granted
+// capacity table (agent failover, paper §4.3.1).
+func (m *Master) handleCapacityQuery(t protocol.CapacityQuery) {
+	var entries []protocol.CapacityEntry
+	for _, app := range m.sched.Apps() {
+		for _, u := range m.sched.Units(app) {
+			if n := m.sched.Granted(app, u.ID)[t.Machine]; n > 0 {
+				entries = append(entries, protocol.CapacityEntry{
+					App: app, UnitID: u.ID, Size: u.Size, Count: n,
+				})
+			}
+		}
+	}
+	m.net.Send(protocol.MasterEndpoint, protocol.AgentEndpoint(t.Machine), protocol.CapacitySync{
+		Machine: t.Machine, Entries: entries, Seq: m.seq.Next(),
+	})
+}
+
+func (m *Master) handleBadReport(t protocol.BadMachineReport) {
+	votes := m.badVotes[t.Machine]
+	if votes == nil {
+		votes = make(map[string]bool)
+		m.badVotes[t.Machine] = votes
+	}
+	votes[t.App] = true
+	if len(votes) >= m.cfg.BadReportThreshold && !m.sched.Blacklisted(t.Machine) {
+		m.blacklist(t.Machine)
+	}
+}
+
+func (m *Master) blacklist(mc string) {
+	if m.cfg.BlacklistCap > 0 && len(m.currentBlacklist()) >= m.cfg.BlacklistCap {
+		return // bounded, per the paper's abuse guard
+	}
+	m.dispatch(m.sched.SetBlacklisted(mc, true, false))
+	// The cluster blacklist is hard state (paper §4.3.1).
+	m.ckpt.SetBlacklist(m.currentBlacklist())
+}
+
+func (m *Master) currentBlacklist() []string {
+	var out []string
+	for _, mc := range m.top.Machines() {
+		if m.sched.Blacklisted(mc) {
+			out = append(out, mc)
+		}
+	}
+	return out
+}
+
+func (m *Master) scanHeartbeats() {
+	if !m.primary || m.crashed {
+		return
+	}
+	now := m.eng.Now()
+	for _, mc := range m.top.Machines() {
+		last := m.lastBeat[mc]
+		if last == 0 {
+			continue // never heard from (agent not started yet)
+		}
+		if now-last > m.cfg.HeartbeatTimeout && !m.sched.Down(mc) {
+			// Heartbeat timeout: remove from scheduling and revoke so job
+			// masters migrate instances (paper §4.3.2).
+			m.dispatch(m.sched.MachineDown(mc))
+		}
+	}
+}
+
+// dispatch fans scheduling decisions out as GrantUpdates to application
+// masters and CapacityUpdates to the affected agents.
+func (m *Master) dispatch(ds []Decision) {
+	if len(ds) == 0 {
+		return
+	}
+	// Coalesce per (app, unit) for the AM side, mirroring the paper's
+	// "(M1,3), (M2,4)" multi-machine response form.
+	type auKey struct {
+		app  string
+		unit int
+	}
+	byApp := map[auKey][]protocol.MachineDelta{}
+	var order []auKey
+	for _, d := range ds {
+		k := auKey{d.App, d.UnitID}
+		if byApp[k] == nil {
+			order = append(order, k)
+		}
+		byApp[k] = append(byApp[k], protocol.MachineDelta{Machine: d.Machine, Delta: d.Delta})
+		m.sendCapacity(d.App, d.UnitID, d.Machine, d.Delta)
+	}
+	for _, k := range order {
+		m.net.Send(protocol.MasterEndpoint, k.app, protocol.GrantUpdate{
+			App: k.app, UnitID: k.unit, Changes: byApp[k], Seq: m.seq.Next(),
+		})
+	}
+}
+
+func (m *Master) sendCapacity(app string, unitID int, machine string, delta int) {
+	st := m.sched.apps[app]
+	if st == nil {
+		return
+	}
+	u := st.units[unitID]
+	if u == nil {
+		return
+	}
+	m.net.Send(protocol.MasterEndpoint, protocol.AgentEndpoint(machine), protocol.CapacityUpdate{
+		App: app, UnitID: unitID, Size: u.def.Size, Delta: delta, Seq: m.seq.Next(),
+	})
+}

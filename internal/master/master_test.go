@@ -1,0 +1,243 @@
+package master
+
+import (
+	"testing"
+
+	"repro/internal/lockservice"
+	"repro/internal/metrics"
+	"repro/internal/protocol"
+	"repro/internal/resource"
+	"repro/internal/sim"
+	"repro/internal/transport"
+)
+
+// masterHarness wires one or two Master processes with a scripted AM and
+// agent side, for focused protocol tests below the core integration level.
+type masterHarness struct {
+	eng   *sim.Engine
+	net   *transport.Net
+	lock  *lockservice.Service
+	ckpt  *CheckpointStore
+	reg   *metrics.Registry
+	m1    *Master
+	toApp []transport.Message
+	seq   protocol.Sequencer
+}
+
+func newMasterHarness(t *testing.T, cfg Config) *masterHarness {
+	t.Helper()
+	eng := sim.NewEngine(9)
+	h := &masterHarness{
+		eng:  eng,
+		net:  transport.NewNet(eng),
+		lock: lockservice.New(eng),
+		ckpt: NewCheckpointStore(),
+		reg:  metrics.NewRegistry(),
+	}
+	top := testTop(t, 2, 2)
+	h.m1 = NewMaster(cfg, eng, h.net, h.lock, top, h.ckpt, h.reg)
+	h.net.Register("app1", func(_ string, m transport.Message) { h.toApp = append(h.toApp, m) })
+	return h
+}
+
+func (h *masterHarness) send(msg transport.Message) {
+	h.net.Send("app1", protocol.MasterEndpoint, msg)
+	h.eng.Run(h.eng.Now() + 10*sim.Millisecond)
+}
+
+func (h *masterHarness) registerApp(t *testing.T) {
+	t.Helper()
+	h.send(protocol.RegisterApp{
+		App: "app1",
+		Units: []resource.ScheduleUnit{
+			{ID: 1, Priority: 100, MaxCount: 100, Size: resource.New(1000, 2048)},
+		},
+		Seq: h.seq.Next(),
+	})
+}
+
+func TestMasterCheckpointOnlyOnJobBoundaries(t *testing.T) {
+	h := newMasterHarness(t, DefaultConfig("fm-1"))
+	h.registerApp(t)
+	w := h.ckpt.Writes
+	// The scheduling fast path — demand, grants, returns — must not touch
+	// the checkpoint store (paper §4.3.1's light-weighted checkpoint).
+	for i := 0; i < 10; i++ {
+		h.send(protocol.DemandUpdate{App: "app1", UnitID: 1,
+			Deltas: []resource.LocalityHint{{Type: resource.LocalityCluster, Count: 1}},
+			Seq:    h.seq.Next()})
+	}
+	if h.ckpt.Writes != w {
+		t.Errorf("fast path wrote %d checkpoints", h.ckpt.Writes-w)
+	}
+	h.send(protocol.UnregisterApp{App: "app1", Seq: h.seq.Next()})
+	if h.ckpt.Writes == w {
+		t.Error("job stop did not checkpoint")
+	}
+}
+
+func TestMasterBatchWindowMergesDemand(t *testing.T) {
+	cfg := DefaultConfig("fm-1")
+	cfg.BatchWindow = 50 * sim.Millisecond
+	h := newMasterHarness(t, cfg)
+	h.registerApp(t)
+	// A burst of 20 single-container updates inside one window.
+	for i := 0; i < 20; i++ {
+		h.net.Send("app1", protocol.MasterEndpoint, protocol.DemandUpdate{
+			App: "app1", UnitID: 1,
+			Deltas: []resource.LocalityHint{{Type: resource.LocalityCluster, Count: 1}},
+			Seq:    h.seq.Next(),
+		})
+	}
+	h.eng.Run(h.eng.Now() + sim.Second)
+	// One merged scheduling pass, all 20 granted.
+	if calls := h.reg.Histogram("master.sched_ms").Count(); calls != 1 {
+		t.Errorf("scheduler invocations = %d, want 1 (merged)", calls)
+	}
+	if held := h.m1.Scheduler().Held("app1", 1); held != 20 {
+		t.Errorf("held = %d, want 20", held)
+	}
+}
+
+func TestMasterBatchMergesCancellations(t *testing.T) {
+	cfg := DefaultConfig("fm-1")
+	cfg.BatchWindow = 50 * sim.Millisecond
+	h := newMasterHarness(t, cfg)
+	h.registerApp(t)
+	// +5 then -5 inside one window: nothing should be scheduled.
+	for _, d := range []int{5, -5} {
+		h.net.Send("app1", protocol.MasterEndpoint, protocol.DemandUpdate{
+			App: "app1", UnitID: 1,
+			Deltas: []resource.LocalityHint{{Type: resource.LocalityCluster, Count: d}},
+			Seq:    h.seq.Next(),
+		})
+	}
+	h.eng.Run(h.eng.Now() + sim.Second)
+	if held := h.m1.Scheduler().Held("app1", 1); held != 0 {
+		t.Errorf("held = %d, want 0 (cancelled in batch)", held)
+	}
+}
+
+func TestMasterCapacityQueryAnswersFullTable(t *testing.T) {
+	h := newMasterHarness(t, DefaultConfig("fm-1"))
+	h.registerApp(t)
+	h.send(protocol.DemandUpdate{App: "app1", UnitID: 1,
+		Deltas: []resource.LocalityHint{{Type: resource.LocalityCluster, Count: 8}},
+		Seq:    h.seq.Next()})
+
+	var sync *protocol.CapacitySync
+	machine := ""
+	for m, n := range h.m1.Scheduler().Granted("app1", 1) {
+		if n > 0 {
+			machine = m
+			break
+		}
+	}
+	if machine == "" {
+		t.Fatal("nothing granted")
+	}
+	h.net.Register(protocol.AgentEndpoint(machine), func(_ string, msg transport.Message) {
+		if s, ok := msg.(protocol.CapacitySync); ok {
+			sync = &s
+		}
+	})
+	h.net.Send(protocol.AgentEndpoint(machine), protocol.MasterEndpoint,
+		protocol.CapacityQuery{Machine: machine, Seq: 1})
+	h.eng.Run(h.eng.Now() + 10*sim.Millisecond)
+	if sync == nil {
+		t.Fatal("no CapacitySync reply")
+	}
+	want := h.m1.Scheduler().Granted("app1", 1)[machine]
+	found := false
+	for _, e := range sync.Entries {
+		if e.App == "app1" && e.UnitID == 1 && e.Count == want {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("sync entries = %+v, want app1/1 count %d", sync.Entries, want)
+	}
+}
+
+func TestMasterDuplicateDemandIgnored(t *testing.T) {
+	h := newMasterHarness(t, DefaultConfig("fm-1"))
+	h.registerApp(t)
+	msg := protocol.DemandUpdate{App: "app1", UnitID: 1,
+		Deltas: []resource.LocalityHint{{Type: resource.LocalityCluster, Count: 3}},
+		Seq:    h.seq.Next()}
+	h.send(msg)
+	h.send(msg) // replay
+	if held := h.m1.Scheduler().Held("app1", 1); held != 3 {
+		t.Errorf("held = %d after replay, want 3", held)
+	}
+}
+
+func TestMasterDuplicateReturnIgnored(t *testing.T) {
+	h := newMasterHarness(t, DefaultConfig("fm-1"))
+	h.registerApp(t)
+	h.send(protocol.DemandUpdate{App: "app1", UnitID: 1,
+		Deltas: []resource.LocalityHint{{Type: resource.LocalityCluster, Count: 4}},
+		Seq:    h.seq.Next()})
+	var machine string
+	for m := range h.m1.Scheduler().Granted("app1", 1) {
+		machine = m
+		break
+	}
+	ret := protocol.GrantReturn{App: "app1", UnitID: 1, Machine: machine, Count: 1, Seq: h.seq.Next()}
+	h.send(ret)
+	h.send(ret) // replayed by the network
+	if held := h.m1.Scheduler().Held("app1", 1); held != 3 {
+		t.Errorf("held = %d after replayed return, want 3", held)
+	}
+}
+
+func TestMasterBlacklistCapBoundsList(t *testing.T) {
+	cfg := DefaultConfig("fm-1")
+	cfg.BlacklistCap = 1
+	cfg.BadReportThreshold = 1
+	h := newMasterHarness(t, cfg)
+	h.registerApp(t)
+	h.send(protocol.BadMachineReport{App: "app1", Machine: "r000m000", Seq: h.seq.Next()})
+	h.send(protocol.BadMachineReport{App: "app1", Machine: "r000m001", Seq: h.seq.Next()})
+	s := h.m1.Scheduler()
+	count := 0
+	for _, m := range []string{"r000m000", "r000m001"} {
+		if s.Blacklisted(m) {
+			count++
+		}
+	}
+	if count != 1 {
+		t.Errorf("blacklisted = %d, want capped at 1", count)
+	}
+}
+
+func TestMasterDemotesWhenLeaseLost(t *testing.T) {
+	cfg := DefaultConfig("fm-1")
+	h := newMasterHarness(t, cfg)
+	if !h.m1.IsPrimary() {
+		t.Fatal("not primary at start")
+	}
+	// Steal the lock out from under it (models a lease lapse during a long
+	// pause); the next renewal must demote the master.
+	h.lock.Release(cfg.LockName, cfg.ProcessName)
+	h.lock.TryAcquire(cfg.LockName, "intruder", sim.Hour)
+	h.eng.Run(h.eng.Now() + 2*cfg.RenewEvery)
+	if h.m1.IsPrimary() {
+		t.Error("master still primary after losing its lease")
+	}
+}
+
+func TestMasterCrashAndRestartRejoinsElection(t *testing.T) {
+	cfg := DefaultConfig("fm-1")
+	h := newMasterHarness(t, cfg)
+	h.m1.Crash()
+	if h.m1.IsPrimary() {
+		t.Fatal("crashed master still primary")
+	}
+	h.eng.Run(h.eng.Now() + 2*cfg.LockTTL)
+	h.m1.Restart()
+	h.eng.Run(h.eng.Now() + 2*cfg.LockTTL)
+	if !h.m1.IsPrimary() {
+		t.Error("restarted master did not re-win the vacant election")
+	}
+}

@@ -1,0 +1,183 @@
+package master
+
+import (
+	"testing"
+
+	"repro/internal/resource"
+)
+
+func TestPriorityPreemptionWithinGroup(t *testing.T) {
+	// One machine. Low-priority app holds everything; high-priority app in
+	// the same group arrives late — paper §3.4: "Applications with lowest
+	// priority in its quota group will be preempted to make space".
+	s := NewScheduler(testTop(t, 1, 1), Options{EnablePreemption: true})
+	mustRegister(t, s, "low", "", unit(1, 500, 12, 1000, 4096))
+	mustDemand(t, s, "low", 1, clusterHint(12))
+	mustRegister(t, s, "high", "", unit(1, 10, 4, 1000, 4096))
+	ds := mustDemand(t, s, "high", 1, clusterHint(4))
+
+	revoked, granted := 0, 0
+	for _, d := range ds {
+		if d.Delta < 0 {
+			if d.App != "low" || d.Reason != ReasonRevokePriority {
+				t.Errorf("unexpected revocation %v", d)
+			}
+			revoked += -d.Delta
+		} else if d.App == "high" {
+			granted += d.Delta
+		}
+	}
+	if revoked < 4 {
+		t.Errorf("revoked %d, want >= 4", revoked)
+	}
+	if granted != 4 {
+		t.Errorf("high granted %d, want 4", granted)
+	}
+	checkInv(t, s)
+}
+
+func TestNoPreemptionAtEqualPriority(t *testing.T) {
+	s := NewScheduler(testTop(t, 1, 1), Options{EnablePreemption: true})
+	mustRegister(t, s, "first", "", unit(1, 100, 12, 1000, 4096))
+	mustDemand(t, s, "first", 1, clusterHint(12))
+	mustRegister(t, s, "second", "", unit(1, 100, 4, 1000, 4096))
+	ds := mustDemand(t, s, "second", 1, clusterHint(4))
+	for _, d := range ds {
+		if d.Delta < 0 {
+			t.Errorf("equal-priority preemption occurred: %v", d)
+		}
+	}
+	if s.Waiting("second", 1) != 4 {
+		t.Errorf("second should wait; waiting = %d", s.Waiting("second", 1))
+	}
+	checkInv(t, s)
+}
+
+func TestNoPreemptionWhenDisabled(t *testing.T) {
+	s := NewScheduler(testTop(t, 1, 1), Options{EnablePreemption: false})
+	mustRegister(t, s, "low", "", unit(1, 500, 12, 1000, 4096))
+	mustDemand(t, s, "low", 1, clusterHint(12))
+	mustRegister(t, s, "high", "", unit(1, 10, 4, 1000, 4096))
+	ds := mustDemand(t, s, "high", 1, clusterHint(4))
+	if len(ds) != 0 {
+		t.Errorf("decisions with preemption off: %v", ds)
+	}
+	checkInv(t, s)
+}
+
+func TestQuotaPreemptionAcrossGroups(t *testing.T) {
+	// Two groups each guaranteed half the (single) machine. Group B's app
+	// grabbed everything while A was idle (work-conserving); A's app then
+	// arrives and must be able to reach A's minimum via preemption.
+	half := resource.New(6000, 48*1024)
+	s := NewScheduler(testTop(t, 1, 1), Options{
+		EnablePreemption: true,
+		Groups:           map[string]resource.Vector{"A": half, "B": half},
+	})
+	mustRegister(t, s, "bapp", "B", unit(1, 100, 12, 1000, 8192))
+	mustDemand(t, s, "bapp", 1, clusterHint(12)) // uses whole machine
+	if s.Held("bapp", 1) != 12 {
+		t.Fatalf("bapp held = %d", s.Held("bapp", 1))
+	}
+
+	mustRegister(t, s, "aapp", "A", unit(1, 100, 6, 1000, 8192))
+	ds := mustDemand(t, s, "aapp", 1, clusterHint(6))
+	revoked, granted := 0, 0
+	for _, d := range ds {
+		if d.Delta < 0 {
+			if d.Reason != ReasonRevokeQuota || d.App != "bapp" {
+				t.Errorf("unexpected revocation %v", d)
+			}
+			revoked += -d.Delta
+		} else if d.App == "aapp" {
+			granted += d.Delta
+		}
+	}
+	if revoked == 0 || granted == 0 {
+		t.Fatalf("revoked=%d granted=%d, want both > 0", revoked, granted)
+	}
+	// A must not exceed its guaranteed minimum through preemption.
+	if use := s.GroupUsage("A"); !half.Contains(use) {
+		t.Errorf("group A usage %v exceeds min %v via preemption", use, half)
+	}
+	checkInv(t, s)
+}
+
+func TestQuotaPreemptionNotTriggeredAboveMin(t *testing.T) {
+	// Requester's group already at its minimum: no quota preemption even
+	// though another group is over-using.
+	quarter := resource.New(3000, 24*1024)
+	s := NewScheduler(testTop(t, 1, 1), Options{
+		EnablePreemption: true,
+		Groups:           map[string]resource.Vector{"A": quarter, "B": quarter},
+	})
+	mustRegister(t, s, "bapp", "B", unit(1, 100, 9, 1000, 8192))
+	mustDemand(t, s, "bapp", 1, clusterHint(9))
+	mustRegister(t, s, "aapp", "A", unit(1, 100, 12, 1000, 8192))
+	ds := mustDemand(t, s, "aapp", 1, clusterHint(12)) // gets 3 free, then at min
+	for _, d := range ds {
+		if d.Delta < 0 {
+			t.Errorf("preemption beyond minimum: %v", d)
+		}
+	}
+	if s.Held("aapp", 1) != 3 {
+		t.Errorf("aapp held = %d, want 3 (the free remainder)", s.Held("aapp", 1))
+	}
+	checkInv(t, s)
+}
+
+func TestWorkConservingAcrossGroups(t *testing.T) {
+	// Paper §3.4: "When applications from one quota group are idle and
+	// cannot take up all resources, applications from other quota groups
+	// can exploit it instead."
+	half := resource.New(6000, 48*1024)
+	s := NewScheduler(testTop(t, 1, 1), Options{
+		EnablePreemption: true,
+		Groups:           map[string]resource.Vector{"A": half, "B": half},
+	})
+	mustRegister(t, s, "bapp", "B", unit(1, 100, 12, 1000, 8192))
+	ds := mustDemand(t, s, "bapp", 1, clusterHint(12))
+	if grantTotal(ds) != 12 {
+		t.Errorf("granted %d, want 12 (borrow idle group's share)", grantTotal(ds))
+	}
+	checkInv(t, s)
+}
+
+func TestPreemptionSelectsLowestPriorityVictimFirst(t *testing.T) {
+	s := NewScheduler(testTop(t, 1, 1), Options{EnablePreemption: true})
+	mustRegister(t, s, "mid", "", unit(1, 300, 6, 1000, 8192))
+	mustRegister(t, s, "low", "", unit(1, 900, 6, 1000, 8192))
+	mustDemand(t, s, "mid", 1, clusterHint(6))
+	mustDemand(t, s, "low", 1, clusterHint(6))
+	mustRegister(t, s, "high", "", unit(1, 10, 2, 1000, 8192))
+	ds := mustDemand(t, s, "high", 1, clusterHint(2))
+	for _, d := range ds {
+		if d.Delta < 0 && d.App != "low" {
+			t.Errorf("victim = %s, want lowest-priority app 'low' (%v)", d.App, ds)
+		}
+	}
+	checkInv(t, s)
+}
+
+func TestPreemptionRespectsDeficitBound(t *testing.T) {
+	// Victim holds 12; requester needs only 2: don't preempt more than the
+	// deficit (allowing for unit-size rounding).
+	s := NewScheduler(testTop(t, 1, 1), Options{EnablePreemption: true})
+	mustRegister(t, s, "low", "", unit(1, 500, 12, 1000, 8192))
+	mustDemand(t, s, "low", 1, clusterHint(12))
+	mustRegister(t, s, "high", "", unit(1, 10, 2, 1000, 8192))
+	ds := mustDemand(t, s, "high", 1, clusterHint(2))
+	revoked := 0
+	for _, d := range ds {
+		if d.Delta < 0 {
+			revoked += -d.Delta
+		}
+	}
+	if revoked != 2 {
+		t.Errorf("revoked %d, want exactly the deficit 2", revoked)
+	}
+	if s.Held("low", 1) != 10 {
+		t.Errorf("low held = %d, want 10", s.Held("low", 1))
+	}
+	checkInv(t, s)
+}

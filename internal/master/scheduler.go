@@ -1,0 +1,514 @@
+// Package master implements FuxiMaster: the central resource scheduler of
+// the paper. The Scheduler type is the pure scheduling core — locality-tree
+// based incremental scheduling (§3.3), multi-dimensional free-pool matching
+// (§3.2.1), quota groups with two-level preemption (§3.4) — and the Master
+// type wraps it with the network protocol, heartbeats, blacklisting,
+// checkpointing and hot-standby failover (§4.3.1).
+package master
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/resource"
+	"repro/internal/sim"
+	"repro/internal/topology"
+)
+
+// Reason labels why a Decision was made, for metrics and tests.
+type Reason int
+
+const (
+	// ReasonGrant is a normal allocation from the free pool.
+	ReasonGrant Reason = iota
+	// ReasonRevokePriority is a revocation by priority preemption.
+	ReasonRevokePriority
+	// ReasonRevokeQuota is a revocation by quota preemption.
+	ReasonRevokeQuota
+	// ReasonRevokeNodeDown is a revocation because the machine died.
+	ReasonRevokeNodeDown
+	// ReasonRevokeBlacklist is a revocation because the machine was
+	// blacklisted.
+	ReasonRevokeBlacklist
+)
+
+func (r Reason) String() string {
+	switch r {
+	case ReasonGrant:
+		return "grant"
+	case ReasonRevokePriority:
+		return "revoke-priority"
+	case ReasonRevokeQuota:
+		return "revoke-quota"
+	case ReasonRevokeNodeDown:
+		return "revoke-nodedown"
+	case ReasonRevokeBlacklist:
+		return "revoke-blacklist"
+	default:
+		return "unknown"
+	}
+}
+
+// Decision is one scheduling outcome: Delta > 0 grants containers of the
+// app's unit on Machine; Delta < 0 revokes them.
+type Decision struct {
+	App     string
+	UnitID  int
+	Machine string
+	Delta   int
+	Reason  Reason
+}
+
+// Options configures a Scheduler.
+type Options struct {
+	// Groups maps quota-group name to its guaranteed minimum share. Apps in
+	// groups may exceed the minimum while the cluster has idle resources
+	// (work-conserving); preemption enforces minimums under contention.
+	Groups map[string]resource.Vector
+	// EnablePreemption turns on the two-level preemption of §3.4.
+	EnablePreemption bool
+	// Clock supplies the current virtual time for starvation aging; nil
+	// pins the clock at zero (aging then has no effect).
+	Clock func() sim.Time
+	// AgingBoostPerSecond is the anti-starvation extension (§7 future
+	// work): every waiting entry gains this many priority points per
+	// second queued, so low-priority demand cannot starve behind a steady
+	// stream of high-priority arrivals. 0 disables aging.
+	AgingBoostPerSecond float64
+}
+
+// DefaultGroup is the quota group used when an app registers with "".
+const DefaultGroup = "default"
+
+type unitState struct {
+	def     resource.ScheduleUnit
+	granted map[string]int // machine -> container count
+	held    int
+}
+
+type appState struct {
+	name  string
+	group string
+	units map[int]*unitState
+}
+
+type groupState struct {
+	min   resource.Vector
+	usage resource.Vector
+	apps  map[string]bool
+}
+
+// Scheduler is the FuxiMaster scheduling core. It is deterministic and
+// single-threaded; the Master wrapper serializes access.
+type Scheduler struct {
+	top    *topology.Topology
+	opts   Options
+	free   map[string]resource.Vector
+	down   map[string]bool
+	black  map[string]bool
+	apps   map[string]*appState
+	groups map[string]*groupState
+	tree   *localityTree
+	cursor int // rotating first-fit cursor for cluster-level placement
+}
+
+// NewScheduler returns an empty scheduler over the topology with every
+// machine's full capacity in the free pool.
+func NewScheduler(top *topology.Topology, opts Options) *Scheduler {
+	s := &Scheduler{
+		top:    top,
+		opts:   opts,
+		free:   make(map[string]resource.Vector, top.Size()),
+		down:   make(map[string]bool),
+		black:  make(map[string]bool),
+		apps:   make(map[string]*appState),
+		groups: make(map[string]*groupState),
+		tree:   newLocalityTree(),
+	}
+	for _, m := range top.Machines() {
+		s.free[m] = top.Machine(m).Capacity
+	}
+	for g, min := range opts.Groups {
+		s.groups[g] = &groupState{min: min, apps: make(map[string]bool)}
+	}
+	if _, ok := s.groups[DefaultGroup]; !ok {
+		s.groups[DefaultGroup] = &groupState{apps: make(map[string]bool)}
+	}
+	return s
+}
+
+// RegisterApp adds an application with its ScheduleUnit definitions. The
+// quota group must exist (empty means DefaultGroup).
+func (s *Scheduler) RegisterApp(app, group string, units []resource.ScheduleUnit) error {
+	if app == "" {
+		return fmt.Errorf("master: empty app name")
+	}
+	if _, dup := s.apps[app]; dup {
+		return fmt.Errorf("master: app %q already registered", app)
+	}
+	if group == "" {
+		group = DefaultGroup
+	}
+	g, ok := s.groups[group]
+	if !ok {
+		return fmt.Errorf("master: unknown quota group %q", group)
+	}
+	st := &appState{name: app, group: group, units: make(map[int]*unitState, len(units))}
+	for _, u := range units {
+		if err := u.Validate(); err != nil {
+			return fmt.Errorf("master: app %q: %w", app, err)
+		}
+		if _, dup := st.units[u.ID]; dup {
+			return fmt.Errorf("master: app %q: duplicate unit %d", app, u.ID)
+		}
+		st.units[u.ID] = &unitState{def: u, granted: make(map[string]int)}
+	}
+	s.apps[app] = st
+	g.apps[app] = true
+	return nil
+}
+
+// Registered reports whether the app is known.
+func (s *Scheduler) Registered(app string) bool { _, ok := s.apps[app]; return ok }
+
+// UnregisterApp removes the application, frees everything it holds and
+// reassigns the freed resources to waiting applications.
+func (s *Scheduler) UnregisterApp(app string) []Decision {
+	st, ok := s.apps[app]
+	if !ok {
+		return nil
+	}
+	var touched []string
+	for _, u := range st.units {
+		for m, n := range u.granted {
+			s.releaseOn(st, u, m, n)
+			touched = append(touched, m)
+		}
+	}
+	s.tree.removeApp(app)
+	delete(s.groups[st.group].apps, app)
+	delete(s.apps, app)
+	return s.assignOnMachines(touched)
+}
+
+// UpdateDemand applies incremental per-locality demand deltas for one unit
+// (paper §3.2.2: "quantities can be either positive or negative"). Positive
+// deltas are satisfied from the free pool immediately where possible and
+// queued in the locality tree otherwise; negative deltas cancel queued
+// demand (never granted containers — use Return for those).
+func (s *Scheduler) UpdateDemand(app string, unitID int, hints []resource.LocalityHint) ([]Decision, error) {
+	st, u, err := s.lookup(app, unitID)
+	if err != nil {
+		return nil, err
+	}
+	key := waitKey{app: app, unit: unitID}
+	var out []Decision
+	for _, h := range hints {
+		if h.Count == 0 {
+			continue
+		}
+		if h.Count < 0 {
+			s.tree.add(key, u.def.Priority, h.Type, h.Value, h.Count, s.now())
+			continue
+		}
+		remaining := h.Count
+		granted := s.placeImmediate(st, u, h, remaining, &out)
+		remaining -= granted
+		if remaining > 0 {
+			s.tree.add(key, u.def.Priority, h.Type, h.Value, remaining, s.now())
+		}
+	}
+	if s.opts.EnablePreemption {
+		out = append(out, s.preemptFor(st, u)...)
+	}
+	return out, nil
+}
+
+// Return releases count granted containers on machine back to the pool and
+// immediately reschedules the freed resources (paper §3.1 steps 3–4: a
+// return triggers event-driven reassignment).
+func (s *Scheduler) Return(app string, unitID int, machine string, count int) ([]Decision, error) {
+	st, u, err := s.lookup(app, unitID)
+	if err != nil {
+		return nil, err
+	}
+	if count <= 0 {
+		return nil, fmt.Errorf("master: non-positive return count %d", count)
+	}
+	if u.granted[machine] < count {
+		return nil, fmt.Errorf("master: app %q unit %d returns %d on %s but holds %d",
+			app, unitID, count, machine, u.granted[machine])
+	}
+	s.releaseOn(st, u, machine, count)
+	return s.assignOnMachines([]string{machine}), nil
+}
+
+// MachineDown removes a dead machine from scheduling: all grants on it are
+// revoked (the paper's "resource revocation is sent to JobMaster so that the
+// JobMaster could migrate running instances").
+func (s *Scheduler) MachineDown(machine string) []Decision {
+	if s.down[machine] || s.top.Machine(machine) == nil {
+		return nil
+	}
+	s.down[machine] = true
+	return s.evacuate(machine, ReasonRevokeNodeDown)
+}
+
+// MachineUp restores a recovered machine to the pool with the given
+// allocations already running on it (from the agent's report; empty for a
+// fresh machine) and schedules its free remainder.
+func (s *Scheduler) MachineUp(machine string) []Decision {
+	if !s.down[machine] || s.top.Machine(machine) == nil {
+		return nil
+	}
+	delete(s.down, machine)
+	s.free[machine] = s.top.Machine(machine).Capacity
+	return s.assignOnMachines([]string{machine})
+}
+
+// SetBlacklisted marks a machine unschedulable (or clears the mark). When
+// revokeExisting is true, current grants are revoked too — FuxiMaster's
+// behaviour for heartbeat-timeout machines; score-based graylisting keeps
+// running work.
+func (s *Scheduler) SetBlacklisted(machine string, blacklisted, revokeExisting bool) []Decision {
+	if s.top.Machine(machine) == nil {
+		return nil
+	}
+	if !blacklisted {
+		if !s.black[machine] {
+			return nil
+		}
+		delete(s.black, machine)
+		return s.assignOnMachines([]string{machine})
+	}
+	s.black[machine] = true
+	if revokeExisting {
+		return s.evacuate(machine, ReasonRevokeBlacklist)
+	}
+	return nil
+}
+
+// Blacklisted reports whether machine is currently blacklisted.
+func (s *Scheduler) Blacklisted(machine string) bool { return s.black[machine] }
+
+// Down reports whether machine is marked down.
+func (s *Scheduler) Down(machine string) bool { return s.down[machine] }
+
+// ---------------------------------------------------------------------------
+// internals
+// ---------------------------------------------------------------------------
+
+func (s *Scheduler) lookup(app string, unitID int) (*appState, *unitState, error) {
+	st, ok := s.apps[app]
+	if !ok {
+		return nil, nil, fmt.Errorf("master: unknown app %q", app)
+	}
+	u, ok := st.units[unitID]
+	if !ok {
+		return nil, nil, fmt.Errorf("master: app %q: unknown unit %d", app, unitID)
+	}
+	return st, u, nil
+}
+
+func (s *Scheduler) schedulable(machine string) bool {
+	return !s.down[machine] && !s.black[machine]
+}
+
+// now reads the configured clock (zero when none is wired).
+func (s *Scheduler) now() sim.Time {
+	if s.opts.Clock == nil {
+		return 0
+	}
+	return s.opts.Clock()
+}
+
+// grantOn commits k containers of u on machine and records the decision.
+func (s *Scheduler) grantOn(st *appState, u *unitState, machine string, k int, out *[]Decision) {
+	total := u.def.Size.Scale(int64(k))
+	s.free[machine] = s.free[machine].Sub(total)
+	u.granted[machine] += k
+	u.held += k
+	s.groups[st.group].usage = s.groups[st.group].usage.Add(total)
+	*out = append(*out, Decision{App: st.name, UnitID: u.def.ID, Machine: machine, Delta: k, Reason: ReasonGrant})
+}
+
+// releaseOn returns k containers of u on machine to the free pool (no
+// decision emitted; callers emit revocations themselves when the release
+// was not requested by the app).
+func (s *Scheduler) releaseOn(st *appState, u *unitState, machine string, k int) {
+	total := u.def.Size.Scale(int64(k))
+	if !s.down[machine] {
+		s.free[machine] = s.free[machine].Add(total)
+	}
+	u.granted[machine] -= k
+	if u.granted[machine] <= 0 {
+		delete(u.granted, machine)
+	}
+	u.held -= k
+	s.groups[st.group].usage = s.groups[st.group].usage.Sub(total)
+}
+
+// headroom returns how many more containers the app may hold for this unit.
+func (u *unitState) headroom() int {
+	h := u.def.MaxCount - u.held
+	if h < 0 {
+		return 0
+	}
+	return h
+}
+
+// placeImmediate satisfies up to want containers for hint h from the free
+// pool, appending grant decisions. It returns the number granted.
+func (s *Scheduler) placeImmediate(st *appState, u *unitState, h resource.LocalityHint, want int, out *[]Decision) int {
+	if want > u.headroom() {
+		want = u.headroom()
+	}
+	if want <= 0 {
+		return 0
+	}
+	granted := 0
+	tryMachine := func(m string, cap int) {
+		if granted >= want || !s.schedulable(m) {
+			return
+		}
+		k := int(s.free[m].FitCount(u.def.Size))
+		if k > want-granted {
+			k = want - granted
+		}
+		if cap > 0 && k > cap {
+			k = cap
+		}
+		if k > 0 {
+			s.grantOn(st, u, m, k, out)
+			granted += k
+		}
+	}
+	switch h.Type {
+	case resource.LocalityMachine:
+		tryMachine(h.Value, 0)
+	case resource.LocalityRack:
+		for _, m := range s.top.MachinesInRack(h.Value) {
+			if granted >= want {
+				break
+			}
+			tryMachine(m, 0)
+		}
+	case resource.LocalityCluster:
+		// Cluster-level placement considers load balance (paper §3.3):
+		// spread the request across machines in slices, scanning from a
+		// rotating cursor so consecutive requests start at different
+		// machines. perPass caps how much one machine takes per sweep.
+		machines := s.top.Machines()
+		n := len(machines)
+		if n == 0 {
+			break
+		}
+		perPass := (want + n - 1) / n
+		for pass := 0; pass < n && granted < want; pass++ {
+			before := granted
+			for i := 0; i < n && granted < want; i++ {
+				tryMachine(machines[(s.cursor+i)%n], perPass)
+			}
+			if granted == before {
+				break // nothing fits anywhere
+			}
+		}
+		s.cursor = (s.cursor + 1) % n
+	}
+	return granted
+}
+
+// assignOnMachines reschedules freed capacity on the given machines by
+// walking each machine's locality-tree candidates (paper §3.1: "when {2CPU,
+// 10GB} frees up on machine A, we only need to make a decision on which
+// application in machine A's waiting queue should get this resource").
+func (s *Scheduler) assignOnMachines(machines []string) []Decision {
+	var out []Decision
+	seen := make(map[string]bool, len(machines))
+	for _, m := range machines {
+		if seen[m] {
+			continue
+		}
+		seen[m] = true
+		s.assignOnMachine(m, &out)
+	}
+	return out
+}
+
+func (s *Scheduler) assignOnMachine(machine string, out *[]Decision) {
+	if !s.schedulable(machine) {
+		return
+	}
+	rack := s.top.RackOf(machine)
+	for {
+		candidates := s.tree.candidatesFor(machine, rack, s.now(), s.opts.AgingBoostPerSecond)
+		progress := false
+		for _, e := range candidates {
+			if e.count <= 0 {
+				continue
+			}
+			st := s.apps[e.key.app]
+			if st == nil {
+				continue
+			}
+			u := st.units[e.key.unit]
+			if u == nil {
+				continue
+			}
+			want := e.count
+			if hr := u.headroom(); want > hr {
+				want = hr
+			}
+			if want <= 0 {
+				continue
+			}
+			k := int(s.free[machine].FitCount(u.def.Size))
+			if k > want {
+				k = want
+			}
+			if k <= 0 {
+				continue
+			}
+			s.grantOn(st, u, machine, k, out)
+			e.count -= k
+			progress = true
+		}
+		if !progress {
+			return
+		}
+	}
+}
+
+// evacuate revokes every grant on machine and reschedules the demand
+// elsewhere is left to the apps (they re-request); the freed pool entry is
+// zeroed for down machines and restored for blacklisted ones.
+func (s *Scheduler) evacuate(machine string, reason Reason) []Decision {
+	var out []Decision
+	appNames := make([]string, 0, len(s.apps))
+	for name := range s.apps {
+		appNames = append(appNames, name)
+	}
+	sort.Strings(appNames)
+	for _, name := range appNames {
+		st := s.apps[name]
+		unitIDs := make([]int, 0, len(st.units))
+		for id := range st.units {
+			unitIDs = append(unitIDs, id)
+		}
+		sort.Ints(unitIDs)
+		for _, id := range unitIDs {
+			u := st.units[id]
+			if n := u.granted[machine]; n > 0 {
+				s.releaseOn(st, u, machine, n)
+				out = append(out, Decision{App: name, UnitID: id, Machine: machine, Delta: -n, Reason: reason})
+			}
+		}
+	}
+	if s.down[machine] {
+		s.free[machine] = resource.Vector{}
+	} else {
+		// Blacklisted but alive: capacity exists yet is unschedulable.
+		s.free[machine] = s.top.Machine(machine).Capacity
+	}
+	return out
+}

@@ -1,0 +1,235 @@
+package master
+
+import (
+	"sort"
+
+	"repro/internal/resource"
+)
+
+// Inspection and state-transfer methods used by metrics, tests, and the
+// failover path.
+
+// FreeOn returns the current free vector on machine.
+func (s *Scheduler) FreeOn(machine string) resource.Vector { return s.free[machine] }
+
+// TotalFree sums the free pool over schedulable machines.
+func (s *Scheduler) TotalFree() resource.Vector {
+	var t resource.Vector
+	for m, f := range s.free {
+		if s.schedulable(m) {
+			t = t.Add(f)
+		}
+	}
+	return t
+}
+
+// TotalCapacity sums capacity over machines that are up (the paper's
+// FM_total).
+func (s *Scheduler) TotalCapacity() resource.Vector {
+	var t resource.Vector
+	for _, m := range s.top.Machines() {
+		if !s.down[m] {
+			t = t.Add(s.top.Machine(m).Capacity)
+		}
+	}
+	return t
+}
+
+// PlannedTotal sums all granted resources (the paper's FM_planned: "the
+// total amount of assigned resources to all application masters").
+func (s *Scheduler) PlannedTotal() resource.Vector {
+	var t resource.Vector
+	for _, st := range s.apps {
+		for _, u := range st.units {
+			t = t.Add(u.def.Size.Scale(int64(u.held)))
+		}
+	}
+	return t
+}
+
+// Granted returns the app's current per-machine container counts for a
+// unit (a copy).
+func (s *Scheduler) Granted(app string, unitID int) map[string]int {
+	st, ok := s.apps[app]
+	if !ok {
+		return nil
+	}
+	u, ok := st.units[unitID]
+	if !ok {
+		return nil
+	}
+	out := make(map[string]int, len(u.granted))
+	for m, n := range u.granted {
+		out[m] = n
+	}
+	return out
+}
+
+// Held returns the total containers held by app for a unit.
+func (s *Scheduler) Held(app string, unitID int) int {
+	if st, ok := s.apps[app]; ok {
+		if u, ok := st.units[unitID]; ok {
+			return u.held
+		}
+	}
+	return 0
+}
+
+// Waiting returns the tree's total queued count for (app, unit).
+func (s *Scheduler) Waiting(app string, unitID int) int {
+	return s.tree.totalWaiting(waitKey{app: app, unit: unitID})
+}
+
+// WaitingByLevel reports queued counts per locality level for (app, unit),
+// mirroring the paper's Figure 5 scheduling-tree view.
+func (s *Scheduler) WaitingByLevel(app string, unitID int) (machine, rack, cluster int) {
+	return s.tree.waitingByLevel(waitKey{app: app, unit: unitID})
+}
+
+// GroupUsage returns a quota group's current usage vector.
+func (s *Scheduler) GroupUsage(group string) resource.Vector {
+	if g, ok := s.groups[group]; ok {
+		return g.usage
+	}
+	return resource.Vector{}
+}
+
+// Apps returns the sorted registered application names.
+func (s *Scheduler) Apps() []string {
+	out := make([]string, 0, len(s.apps))
+	for name := range s.apps {
+		out = append(out, name)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// AppGroup returns the quota group of an app ("" when unknown).
+func (s *Scheduler) AppGroup(app string) string {
+	if st, ok := s.apps[app]; ok {
+		return st.group
+	}
+	return ""
+}
+
+// Units returns the app's ScheduleUnit definitions sorted by ID.
+func (s *Scheduler) Units(app string) []resource.ScheduleUnit {
+	st, ok := s.apps[app]
+	if !ok {
+		return nil
+	}
+	out := make([]resource.ScheduleUnit, 0, len(st.units))
+	for _, u := range st.units {
+		out = append(out, u.def)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}
+
+// RestoreGrant force-installs a grant without emitting decisions — the
+// failover path uses it to rebuild soft state from FuxiAgent allocation
+// reports ("each FuxiAgent re-sends the resource allocation on this machine
+// for each application master", Figure 7). Unknown apps or units are
+// ignored: their agents' processes will be reconciled once the app
+// re-registers.
+func (s *Scheduler) RestoreGrant(app string, unitID int, machine string, count int) bool {
+	st, ok := s.apps[app]
+	if !ok {
+		return false
+	}
+	u, ok := st.units[unitID]
+	if !ok || count <= 0 || s.top.Machine(machine) == nil {
+		return false
+	}
+	total := u.def.Size.Scale(int64(count))
+	s.free[machine] = s.free[machine].Sub(total)
+	u.granted[machine] += count
+	u.held += count
+	s.groups[st.group].usage = s.groups[st.group].usage.Add(total)
+	return true
+}
+
+// SetVirtualResource changes the amount of a named virtual resource on one
+// machine (paper §3.2.1: "The total virtual resource on each node can be
+// changed at any time"). Raising it may immediately satisfy queued demand;
+// lowering it never revokes running work — the dimension simply stays
+// oversubscribed until containers return. The returned decisions are any
+// new grants.
+func (s *Scheduler) SetVirtualResource(machine, dim string, amount int64) []Decision {
+	m := s.top.Machine(machine)
+	if m == nil || dim == resource.CPU || dim == resource.Memory {
+		return nil
+	}
+	old := m.Capacity.Get(dim)
+	m.Capacity = m.Capacity.With(dim, amount)
+	// The free pool moves by the capacity delta; it may go negative on the
+	// virtual dimension (oversubscription), which only blocks further
+	// grants.
+	s.free[machine] = s.free[machine].Add(resource.FromMap(map[string]int64{dim: amount - old}))
+	if amount > old && s.schedulable(machine) {
+		return s.assignOnMachines([]string{machine})
+	}
+	return nil
+}
+
+// CheckInvariants verifies internal consistency; tests call it after
+// scenario steps. It returns a non-nil error description slice when any
+// invariant is violated.
+func (s *Scheduler) CheckInvariants() []string {
+	var bad []string
+	// Per machine: free + granted == capacity, free non-negative.
+	for _, m := range s.top.Machines() {
+		used := resource.Vector{}
+		for _, st := range s.apps {
+			for _, u := range st.units {
+				used = used.Add(u.def.Size.Scale(int64(u.granted[m])))
+			}
+		}
+		if s.down[m] {
+			continue
+		}
+		cap := s.top.Machine(m).Capacity
+		if !s.free[m].Add(used).Equal(cap) {
+			bad = append(bad, "machine "+m+": free+used != capacity: "+s.free[m].String()+" + "+used.String()+" != "+cap.String())
+		}
+		if s.free[m].CPUMilli() < 0 || s.free[m].MemoryMB() < 0 {
+			// Physical dimensions may never go negative; virtual ones may
+			// (administratively lowering a virtual resource below current
+			// usage leaves the dimension oversubscribed by design).
+			bad = append(bad, "machine "+m+": negative physical free "+s.free[m].String())
+		}
+	}
+	// Per app/unit: held == sum(granted), held <= MaxCount.
+	for name, st := range s.apps {
+		for id, u := range st.units {
+			sum := 0
+			for _, n := range u.granted {
+				sum += n
+			}
+			if sum != u.held {
+				bad = append(bad, "app "+name+": unit held mismatch")
+			}
+			if u.held > u.def.MaxCount {
+				bad = append(bad, "app "+name+": unit over MaxCount")
+			}
+			_ = id
+		}
+	}
+	// Group usage equals sum of member grants.
+	for gname, g := range s.groups {
+		var sum resource.Vector
+		for app := range g.apps {
+			st := s.apps[app]
+			if st == nil {
+				continue
+			}
+			for _, u := range st.units {
+				sum = sum.Add(u.def.Size.Scale(int64(u.held)))
+			}
+		}
+		if !sum.Equal(g.usage) {
+			bad = append(bad, "group "+gname+": usage mismatch "+g.usage.String()+" != "+sum.String())
+		}
+	}
+	return bad
+}

@@ -1,0 +1,185 @@
+// Package metrics records the time series and latency distributions the
+// paper's evaluation reports: utilization curves (Figure 10), per-request
+// scheduling times (Figure 9), and overhead averages (Table 2).
+package metrics
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"repro/internal/sim"
+)
+
+// Point is one sample of a time series.
+type Point struct {
+	At    sim.Time
+	Value float64
+}
+
+// Series is an append-only time series.
+type Series struct {
+	Name   string
+	points []Point
+}
+
+// NewSeries returns an empty named series.
+func NewSeries(name string) *Series { return &Series{Name: name} }
+
+// Record appends a sample.
+func (s *Series) Record(at sim.Time, v float64) {
+	s.points = append(s.points, Point{At: at, Value: v})
+}
+
+// Points returns the samples in insertion order. The caller must not modify
+// the returned slice.
+func (s *Series) Points() []Point { return s.points }
+
+// Len returns the sample count.
+func (s *Series) Len() int { return len(s.points) }
+
+// Mean returns the average value (0 for an empty series).
+func (s *Series) Mean() float64 {
+	if len(s.points) == 0 {
+		return 0
+	}
+	sum := 0.0
+	for _, p := range s.points {
+		sum += p.Value
+	}
+	return sum / float64(len(s.points))
+}
+
+// Max returns the maximum value (0 for an empty series).
+func (s *Series) Max() float64 {
+	max := math.Inf(-1)
+	for _, p := range s.points {
+		if p.Value > max {
+			max = p.Value
+		}
+	}
+	if math.IsInf(max, -1) {
+		return 0
+	}
+	return max
+}
+
+// MeanAfter averages samples taken at or after t — used to report
+// steady-state utilization, skipping ramp-up.
+func (s *Series) MeanAfter(t sim.Time) float64 {
+	sum, n := 0.0, 0
+	for _, p := range s.points {
+		if p.At >= t {
+			sum += p.Value
+			n++
+		}
+	}
+	if n == 0 {
+		return 0
+	}
+	return sum / float64(n)
+}
+
+// Histogram collects latency-style samples and reports order statistics.
+type Histogram struct {
+	Name    string
+	samples []float64
+	sorted  bool
+}
+
+// NewHistogram returns an empty named histogram.
+func NewHistogram(name string) *Histogram { return &Histogram{Name: name} }
+
+// Observe adds one sample.
+func (h *Histogram) Observe(v float64) {
+	h.samples = append(h.samples, v)
+	h.sorted = false
+}
+
+// Count returns the sample count.
+func (h *Histogram) Count() int { return len(h.samples) }
+
+// Mean returns the average (0 when empty).
+func (h *Histogram) Mean() float64 {
+	if len(h.samples) == 0 {
+		return 0
+	}
+	sum := 0.0
+	for _, v := range h.samples {
+		sum += v
+	}
+	return sum / float64(len(h.samples))
+}
+
+// Quantile returns the q-quantile (0 <= q <= 1) by nearest-rank; 0 when
+// empty.
+func (h *Histogram) Quantile(q float64) float64 {
+	if len(h.samples) == 0 {
+		return 0
+	}
+	if !h.sorted {
+		sort.Float64s(h.samples)
+		h.sorted = true
+	}
+	if q <= 0 {
+		return h.samples[0]
+	}
+	if q >= 1 {
+		return h.samples[len(h.samples)-1]
+	}
+	idx := int(math.Ceil(q*float64(len(h.samples)))) - 1
+	if idx < 0 {
+		idx = 0
+	}
+	return h.samples[idx]
+}
+
+// Max returns the largest sample (0 when empty).
+func (h *Histogram) Max() float64 { return h.Quantile(1) }
+
+// Summary renders "name: n=... mean=... p50=... p99=... max=...".
+func (h *Histogram) Summary() string {
+	return fmt.Sprintf("%s: n=%d mean=%.3f p50=%.3f p99=%.3f max=%.3f",
+		h.Name, h.Count(), h.Mean(), h.Quantile(0.5), h.Quantile(0.99), h.Max())
+}
+
+// Registry groups series and histograms for one experiment run.
+type Registry struct {
+	series map[string]*Series
+	hists  map[string]*Histogram
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{series: make(map[string]*Series), hists: make(map[string]*Histogram)}
+}
+
+// Series returns (creating on demand) the named series.
+func (r *Registry) Series(name string) *Series {
+	s, ok := r.series[name]
+	if !ok {
+		s = NewSeries(name)
+		r.series[name] = s
+	}
+	return s
+}
+
+// Histogram returns (creating on demand) the named histogram.
+func (r *Registry) Histogram(name string) *Histogram {
+	h, ok := r.hists[name]
+	if !ok {
+		h = NewHistogram(name)
+		r.hists[name] = h
+	}
+	return h
+}
+
+// SeriesNames returns the sorted names of registered series.
+func (r *Registry) SeriesNames() []string {
+	out := make([]string, 0, len(r.series))
+	for k := range r.series {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}

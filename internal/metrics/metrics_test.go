@@ -1,0 +1,145 @@
+package metrics
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/sim"
+)
+
+func TestSeriesBasics(t *testing.T) {
+	s := NewSeries("mem")
+	if s.Mean() != 0 || s.Max() != 0 || s.Len() != 0 {
+		t.Error("empty series stats not zero")
+	}
+	s.Record(0, 10)
+	s.Record(100, 20)
+	s.Record(200, 30)
+	if s.Len() != 3 {
+		t.Errorf("len = %d", s.Len())
+	}
+	if s.Mean() != 20 {
+		t.Errorf("mean = %v", s.Mean())
+	}
+	if s.Max() != 30 {
+		t.Errorf("max = %v", s.Max())
+	}
+}
+
+func TestSeriesMeanAfter(t *testing.T) {
+	s := NewSeries("x")
+	s.Record(0, 100) // ramp-up outlier
+	s.Record(sim.Second, 10)
+	s.Record(2*sim.Second, 20)
+	if got := s.MeanAfter(sim.Second); got != 15 {
+		t.Errorf("MeanAfter = %v, want 15", got)
+	}
+	if got := s.MeanAfter(10 * sim.Second); got != 0 {
+		t.Errorf("MeanAfter past end = %v, want 0", got)
+	}
+}
+
+func TestHistogramQuantiles(t *testing.T) {
+	h := NewHistogram("lat")
+	for i := 1; i <= 100; i++ {
+		h.Observe(float64(i))
+	}
+	if got := h.Quantile(0.5); got != 50 {
+		t.Errorf("p50 = %v, want 50", got)
+	}
+	if got := h.Quantile(0.99); got != 99 {
+		t.Errorf("p99 = %v, want 99", got)
+	}
+	if got := h.Max(); got != 100 {
+		t.Errorf("max = %v", got)
+	}
+	if got := h.Quantile(0); got != 1 {
+		t.Errorf("p0 = %v, want 1", got)
+	}
+	if got := h.Mean(); got != 50.5 {
+		t.Errorf("mean = %v, want 50.5", got)
+	}
+}
+
+func TestHistogramEmpty(t *testing.T) {
+	h := NewHistogram("lat")
+	if h.Quantile(0.5) != 0 || h.Mean() != 0 || h.Max() != 0 {
+		t.Error("empty histogram stats not zero")
+	}
+}
+
+func TestHistogramObserveAfterQuantile(t *testing.T) {
+	h := NewHistogram("lat")
+	h.Observe(5)
+	_ = h.Quantile(0.5)
+	h.Observe(1) // must re-sort
+	if got := h.Quantile(0); got != 1 {
+		t.Errorf("min after late observe = %v, want 1", got)
+	}
+}
+
+func TestSummaryFormat(t *testing.T) {
+	h := NewHistogram("sched")
+	h.Observe(1)
+	s := h.Summary()
+	if !strings.HasPrefix(s, "sched: n=1") {
+		t.Errorf("summary = %q", s)
+	}
+}
+
+func TestRegistry(t *testing.T) {
+	r := NewRegistry()
+	a := r.Series("a")
+	if r.Series("a") != a {
+		t.Error("Series not memoized")
+	}
+	h := r.Histogram("h")
+	if r.Histogram("h") != h {
+		t.Error("Histogram not memoized")
+	}
+	r.Series("b")
+	names := r.SeriesNames()
+	if len(names) != 2 || names[0] != "a" || names[1] != "b" {
+		t.Errorf("names = %v", names)
+	}
+}
+
+func TestPropQuantileMonotone(t *testing.T) {
+	f := func(vals []float64, q1, q2 float64) bool {
+		h := NewHistogram("p")
+		for _, v := range vals {
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				continue
+			}
+			h.Observe(v)
+		}
+		a := math.Abs(math.Mod(q1, 1))
+		b := math.Abs(math.Mod(q2, 1))
+		if a > b {
+			a, b = b, a
+		}
+		return h.Quantile(a) <= h.Quantile(b)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPropMeanBetweenMinMax(t *testing.T) {
+	f := func(vals []int16) bool {
+		if len(vals) == 0 {
+			return true
+		}
+		h := NewHistogram("p")
+		for _, v := range vals {
+			h.Observe(float64(v))
+		}
+		m := h.Mean()
+		return m >= h.Quantile(0)-1e-9 && m <= h.Max()+1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,185 @@
+package pangu
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/resource"
+	"repro/internal/topology"
+)
+
+func testTop(t *testing.T, racks, perRack int) *topology.Topology {
+	t.Helper()
+	top, err := topology.Build(topology.Spec{
+		Racks: racks, MachinesPerRack: perRack,
+		MachineCapacity: resource.New(12000, 96*1024),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return top
+}
+
+func TestCreateChunking(t *testing.T) {
+	fs := New(testTop(t, 4, 10), rand.New(rand.NewSource(1)))
+	f, err := fs.Create("pangu://input", 1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(f.Chunks) != 4 { // 256+256+256+232
+		t.Errorf("chunks = %d, want 4", len(f.Chunks))
+	}
+	var total int64
+	for _, c := range f.Chunks {
+		total += c.SizeMB
+	}
+	if total != 1000 {
+		t.Errorf("chunk sizes sum to %d, want 1000", total)
+	}
+	if last := f.Chunks[3].SizeMB; last != 232 {
+		t.Errorf("tail chunk = %d, want 232", last)
+	}
+}
+
+func TestReplicasDistinctMachinesAndRackAware(t *testing.T) {
+	top := testTop(t, 4, 10)
+	fs := New(top, rand.New(rand.NewSource(2)))
+	f, err := fs.Create("f", 256*20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, c := range f.Chunks {
+		if len(c.Replicas) != 3 {
+			t.Fatalf("chunk %d has %d replicas", c.Index, len(c.Replicas))
+		}
+		seen := map[string]bool{}
+		for _, m := range c.Replicas {
+			if seen[m] {
+				t.Fatalf("chunk %d: duplicate replica machine %s", c.Index, m)
+			}
+			seen[m] = true
+		}
+		if top.RackOf(c.Replicas[0]) == top.RackOf(c.Replicas[1]) {
+			t.Fatalf("chunk %d: first two replicas on same rack", c.Index)
+		}
+	}
+}
+
+func TestSingleRackFallback(t *testing.T) {
+	// With one rack, rack-aware placement can't be satisfied; replicas must
+	// still be distinct machines.
+	fs := New(testTop(t, 1, 5), rand.New(rand.NewSource(3)))
+	f, err := fs.Create("f", 256)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := f.Chunks[0]
+	if len(c.Replicas) != 3 {
+		t.Fatalf("replicas = %d", len(c.Replicas))
+	}
+}
+
+func TestReplicasCappedByClusterSize(t *testing.T) {
+	fs := New(testTop(t, 1, 2), rand.New(rand.NewSource(4)))
+	f, err := fs.Create("f", 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := len(f.Chunks[0].Replicas); got != 2 {
+		t.Errorf("replicas = %d, want 2 (cluster size)", got)
+	}
+}
+
+func TestDuplicateAndBadCreate(t *testing.T) {
+	fs := New(testTop(t, 2, 2), rand.New(rand.NewSource(5)))
+	if _, err := fs.Create("f", 10); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := fs.Create("f", 10); err == nil {
+		t.Error("duplicate create accepted")
+	}
+	if _, err := fs.Create("g", 0); err == nil {
+		t.Error("zero-size create accepted")
+	}
+}
+
+func TestOpenAndDelete(t *testing.T) {
+	fs := New(testTop(t, 2, 4), rand.New(rand.NewSource(6)))
+	if _, err := fs.Open("missing"); err == nil {
+		t.Error("open of missing file succeeded")
+	}
+	f, _ := fs.Create("f", 512)
+	got, err := fs.Open("f")
+	if err != nil || got != f {
+		t.Fatalf("open: %v", err)
+	}
+	m := f.Chunks[0].Replicas[0]
+	if fs.UsageMB(m) == 0 {
+		t.Error("usage not accounted")
+	}
+	fs.Delete("f")
+	if _, err := fs.Open("f"); err == nil {
+		t.Error("open after delete succeeded")
+	}
+	var totalUsage int64
+	for _, name := range fs.top.Machines() {
+		totalUsage += fs.UsageMB(name)
+	}
+	if totalUsage != 0 {
+		t.Errorf("usage after delete = %d, want 0", totalUsage)
+	}
+	fs.Delete("f") // idempotent
+}
+
+func TestChunkLocations(t *testing.T) {
+	fs := New(testTop(t, 2, 4), rand.New(rand.NewSource(7)))
+	f, _ := fs.Create("f", 600)
+	locs := fs.ChunkLocations("f", 1)
+	if len(locs) != 3 {
+		t.Fatalf("locations = %v", locs)
+	}
+	if fs.ChunkLocations("f", 99) != nil {
+		t.Error("out-of-range index returned locations")
+	}
+	if fs.ChunkLocations("nope", 0) != nil {
+		t.Error("missing file returned locations")
+	}
+	_ = f
+}
+
+func TestLoseMachine(t *testing.T) {
+	fs := New(testTop(t, 3, 5), rand.New(rand.NewSource(8)))
+	f, _ := fs.Create("f", 256*10)
+	victim := f.Chunks[0].Replicas[0]
+	lost := fs.LoseMachine(victim)
+	if lost == 0 {
+		t.Fatal("no chunks lost a replica")
+	}
+	for _, c := range f.Chunks {
+		for _, m := range c.Replicas {
+			if m == victim {
+				t.Fatalf("chunk %d still lists lost machine", c.Index)
+			}
+		}
+		if len(c.Replicas) < 2 {
+			t.Fatalf("chunk %d under-replicated below 2", c.Index)
+		}
+	}
+}
+
+func TestPlacementUsesAllMachinesEventually(t *testing.T) {
+	top := testTop(t, 4, 5)
+	fs := New(top, rand.New(rand.NewSource(9)))
+	if _, err := fs.Create("big", 256*200); err != nil {
+		t.Fatal(err)
+	}
+	unused := 0
+	for _, m := range top.Machines() {
+		if fs.UsageMB(m) == 0 {
+			unused++
+		}
+	}
+	if unused > 2 {
+		t.Errorf("%d of %d machines unused after 200 chunks", unused, top.Size())
+	}
+}

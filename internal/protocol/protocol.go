@@ -1,0 +1,313 @@
+// Package protocol defines the wire messages of Fuxi's incremental resource
+// management protocol (paper §3) and the sequencing helpers that make delta
+// exchange safe over an unreliable network: per-sender sequence numbers give
+// receivers duplicate suppression and gap detection, and periodic full-state
+// sync messages repair any divergence ("as a safety measurement, application
+// masters exchange with FuxiMaster the full state of resources periodically
+// to fix any possible inconsistency").
+package protocol
+
+import (
+	"repro/internal/resource"
+)
+
+// ---------------------------------------------------------------------------
+// Application master <-> FuxiMaster
+// ---------------------------------------------------------------------------
+
+// RegisterApp announces an application to FuxiMaster, carrying everything
+// the scheduler must know up front: the ScheduleUnit definitions, the quota
+// group, and the first demand. It is also re-sent during FuxiMaster failover
+// so the new primary can rebuild soft state (paper Figure 7).
+type RegisterApp struct {
+	App        string
+	QuotaGroup string
+	Units      []resource.ScheduleUnit
+	Seq        uint64
+}
+
+// DemandUpdate carries incremental changes to an application's resource
+// demand: per-locality count deltas for one ScheduleUnit. Counts may be
+// negative (demand withdrawal). An application that never changes its mind
+// sends exactly one DemandUpdate per unit for its whole lifetime.
+type DemandUpdate struct {
+	App    string
+	UnitID int
+	Deltas []resource.LocalityHint
+	Seq    uint64
+}
+
+// GrantReturn gives granted resources back to FuxiMaster: count containers
+// of the unit on one machine are released. Sent when workers exit and the
+// application has no further use for the containers.
+type GrantReturn struct {
+	App     string
+	UnitID  int
+	Machine string
+	Count   int
+	Seq     uint64
+}
+
+// MachineDelta is one (machine, ±count) entry of a grant response, matching
+// the paper's "(M1,3), (M2,4), ..., (Mn,1)" notation; negative counts are
+// revocations.
+type MachineDelta struct {
+	Machine string
+	Delta   int
+}
+
+// GrantUpdate notifies an application master of scheduling results for one
+// of its units: grants (positive) and revocations (negative).
+type GrantUpdate struct {
+	App     string
+	UnitID  int
+	Changes []MachineDelta
+	Seq     uint64
+}
+
+// FullDemandSync is the periodic full-state safety message from an
+// application master: the complete current demand and held grants. The
+// receiver reconciles its view to match exactly.
+type FullDemandSync struct {
+	App        string
+	QuotaGroup string
+	Units      []resource.ScheduleUnit
+	// Demand[unitID] lists the full (not delta) per-locality wanted counts.
+	Demand map[int][]resource.LocalityHint
+	// Held[unitID][machine] is the application's view of current grants.
+	Held map[int]map[string]int
+	Seq  uint64
+}
+
+// UnregisterApp releases everything the application holds.
+type UnregisterApp struct {
+	App string
+	Seq uint64
+}
+
+// ---------------------------------------------------------------------------
+// FuxiAgent <-> FuxiMaster
+// ---------------------------------------------------------------------------
+
+// AgentHeartbeat reports a node's health and its current per-application
+// allocations. The allocation map is what the failover master uses to
+// rebuild the free pool ("each FuxiAgent re-sends the resource allocation on
+// this machine for each application master").
+type AgentHeartbeat struct {
+	Machine string
+	// Allocations[app][unitID] is the number of containers held.
+	Allocations map[string]map[int]int
+	// HealthScore in [0,100]; derived from the agent's plugin collectors
+	// (disk statistics, machine load, network I/O). 100 is healthy.
+	HealthScore int
+	Seq         uint64
+}
+
+// CapacityUpdate tells an agent the granted capacity for one application
+// unit changed (the agent enforces "resource capacity ensurance": it kills a
+// process when capacity drops below running processes and the application
+// master does not act).
+type CapacityUpdate struct {
+	App    string
+	UnitID int
+	Size   resource.Vector
+	Delta  int
+	Seq    uint64
+}
+
+// MasterHello is broadcast by a newly-promoted primary FuxiMaster asking all
+// agents and application masters to re-send their state (failover soft-state
+// collection).
+type MasterHello struct {
+	Epoch int
+	Seq   uint64
+}
+
+// CapacityQuery is sent by a restarting FuxiAgent to FuxiMaster to re-learn
+// "the full granted resource amount from FuxiMaster for each application"
+// (paper §4.3.1, FuxiAgent failover).
+type CapacityQuery struct {
+	Machine string
+	Seq     uint64
+}
+
+// CapacityEntry is one absolute (not delta) capacity record in a
+// CapacitySync.
+type CapacityEntry struct {
+	App    string
+	UnitID int
+	Size   resource.Vector
+	Count  int
+}
+
+// CapacitySync answers a CapacityQuery with the machine's full granted
+// capacity table.
+type CapacitySync struct {
+	Machine string
+	Entries []CapacityEntry
+	Seq     uint64
+}
+
+// WireSize implements transport.Sizer.
+func (m CapacitySync) WireSize() int {
+	return headerBytes + len(m.Machine) + len(m.Entries)*unitBytes
+}
+
+// BadMachineReport escalates a job-level blacklist verdict to FuxiMaster
+// (paper §4.3.2: "Among different jobs, FuxiMaster will turn this machine
+// into disabled mode if a same machine is marked bad by different
+// JobMasters").
+type BadMachineReport struct {
+	App     string
+	Machine string
+	Seq     uint64
+}
+
+// MasterEndpoint is the stable logical transport endpoint of the primary
+// FuxiMaster; whichever hot-standby process holds the lock registers it.
+const MasterEndpoint = "fuximaster"
+
+// AgentEndpoint names the FuxiAgent endpoint for a machine.
+func AgentEndpoint(machine string) string { return "agent:" + machine }
+
+// ---------------------------------------------------------------------------
+// Application master <-> FuxiAgent
+// ---------------------------------------------------------------------------
+
+// WorkPlan asks an agent to start one worker process inside a granted
+// container: binary package, limits and startup parameters in the paper; we
+// carry the identifiers the simulation needs.
+type WorkPlan struct {
+	App      string
+	UnitID   int
+	WorkerID string
+	Size     resource.Vector
+	Seq      uint64
+}
+
+// StopWorker asks an agent to terminate a worker.
+type StopWorker struct {
+	App      string
+	WorkerID string
+	Seq      uint64
+}
+
+// WorkerStatus reports a worker's state to its application master.
+type WorkerStatus struct {
+	Machine  string
+	App      string
+	WorkerID string
+	State    WorkerState
+	// FailureDetail is set for failed workers (paper: "instance failure
+	// details are encapsulated in the reported status for the sake of easy
+	// fault diagnosis").
+	FailureDetail string
+	Seq           uint64
+}
+
+// WorkerListRequest is sent by a restarting FuxiAgent to application masters
+// to learn the full worker list it should be running (agent failover).
+type WorkerListRequest struct {
+	Machine string
+	Seq     uint64
+}
+
+// WorkerListReply answers with all workers the application expects on the
+// machine.
+type WorkerListReply struct {
+	App     string
+	Workers []WorkPlan
+	Seq     uint64
+}
+
+// WorkerState enumerates the lifecycle of a worker process.
+type WorkerState int
+
+const (
+	// WorkerStarting is assigned until the process reports in.
+	WorkerStarting WorkerState = iota
+	// WorkerRunning processes are executing task instances.
+	WorkerRunning
+	// WorkerFinished workers exited cleanly.
+	WorkerFinished
+	// WorkerFailed workers crashed or were killed by enforcement.
+	WorkerFailed
+)
+
+func (s WorkerState) String() string {
+	switch s {
+	case WorkerStarting:
+		return "starting"
+	case WorkerRunning:
+		return "running"
+	case WorkerFinished:
+		return "finished"
+	case WorkerFailed:
+		return "failed"
+	default:
+		return "unknown"
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Wire sizes (approximate, for the protocol-overhead ablation)
+// ---------------------------------------------------------------------------
+
+const (
+	headerBytes   = 24
+	hintBytes     = 24
+	unitBytes     = 48
+	perEntryBytes = 16
+)
+
+// WireSize implements transport.Sizer.
+func (m RegisterApp) WireSize() int {
+	return headerBytes + len(m.App) + len(m.QuotaGroup) + len(m.Units)*unitBytes
+}
+
+// WireSize implements transport.Sizer.
+func (m DemandUpdate) WireSize() int {
+	return headerBytes + len(m.App) + len(m.Deltas)*hintBytes
+}
+
+// WireSize implements transport.Sizer.
+func (m GrantReturn) WireSize() int { return headerBytes + len(m.App) + len(m.Machine) + 8 }
+
+// WireSize implements transport.Sizer.
+func (m GrantUpdate) WireSize() int {
+	return headerBytes + len(m.App) + len(m.Changes)*perEntryBytes
+}
+
+// WireSize implements transport.Sizer.
+func (m FullDemandSync) WireSize() int {
+	n := headerBytes + len(m.App) + len(m.Units)*unitBytes
+	for _, hints := range m.Demand {
+		n += len(hints) * hintBytes
+	}
+	for _, held := range m.Held {
+		n += len(held) * perEntryBytes
+	}
+	return n
+}
+
+// WireSize implements transport.Sizer.
+func (m AgentHeartbeat) WireSize() int {
+	n := headerBytes + len(m.Machine)
+	for _, units := range m.Allocations {
+		n += perEntryBytes + len(units)*perEntryBytes
+	}
+	return n
+}
+
+// WireSize implements transport.Sizer.
+func (m CapacityUpdate) WireSize() int { return headerBytes + len(m.App) + 2*perEntryBytes }
+
+// WireSize implements transport.Sizer.
+func (m WorkPlan) WireSize() int {
+	return headerBytes + len(m.App) + len(m.WorkerID) + 2*perEntryBytes
+}
+
+// WireSize implements transport.Sizer.
+func (m WorkerStatus) WireSize() int {
+	return headerBytes + len(m.App) + len(m.WorkerID) + len(m.FailureDetail)
+}

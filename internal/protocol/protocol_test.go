@@ -1,0 +1,170 @@
+package protocol
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/resource"
+)
+
+func TestSequencerMonotone(t *testing.T) {
+	var s Sequencer
+	if s.Current() != 0 {
+		t.Errorf("initial Current = %d", s.Current())
+	}
+	prev := uint64(0)
+	for i := 0; i < 100; i++ {
+		n := s.Next()
+		if n != prev+1 {
+			t.Fatalf("Next = %d after %d", n, prev)
+		}
+		prev = n
+	}
+	if s.Current() != 100 {
+		t.Errorf("Current = %d, want 100", s.Current())
+	}
+}
+
+func TestDedupInOrder(t *testing.T) {
+	d := NewDedup()
+	for i := uint64(1); i <= 5; i++ {
+		if v := d.Observe("a", i); v != Accept {
+			t.Fatalf("seq %d: verdict %v, want Accept", i, v)
+		}
+	}
+	if d.Gaps() != 0 {
+		t.Errorf("gaps = %d", d.Gaps())
+	}
+}
+
+func TestDedupDuplicates(t *testing.T) {
+	d := NewDedup()
+	d.Observe("a", 1)
+	d.Observe("a", 2)
+	if v := d.Observe("a", 2); v != Duplicate {
+		t.Errorf("replay verdict = %v", v)
+	}
+	if v := d.Observe("a", 1); v != Duplicate {
+		t.Errorf("old replay verdict = %v", v)
+	}
+	if v := d.Observe("a", 3); v != Accept {
+		t.Errorf("next after replays = %v", v)
+	}
+}
+
+func TestDedupGap(t *testing.T) {
+	d := NewDedup()
+	d.Observe("a", 1)
+	if v := d.Observe("a", 5); v != Gap {
+		t.Errorf("gap verdict = %v", v)
+	}
+	if d.Gaps() != 1 {
+		t.Errorf("gaps = %d", d.Gaps())
+	}
+	// 2..4 arrive late: they're now duplicates (already superseded).
+	if v := d.Observe("a", 3); v != Duplicate {
+		t.Errorf("late verdict = %v", v)
+	}
+	if v := d.Observe("a", 6); v != Accept {
+		t.Errorf("resume verdict = %v", v)
+	}
+}
+
+func TestDedupSendersIndependent(t *testing.T) {
+	d := NewDedup()
+	d.Observe("a", 1)
+	if v := d.Observe("b", 1); v != Accept {
+		t.Errorf("other sender verdict = %v", v)
+	}
+}
+
+func TestDedupReset(t *testing.T) {
+	d := NewDedup()
+	d.Observe("a", 10)
+	d.Reset("a")
+	if v := d.Observe("a", 1); v != Accept {
+		t.Errorf("after reset verdict = %v", v)
+	}
+	d.ResetTo("a", 50)
+	if v := d.Observe("a", 50); v != Duplicate {
+		t.Errorf("at mark = %v", v)
+	}
+	if v := d.Observe("a", 51); v != Accept {
+		t.Errorf("past mark = %v", v)
+	}
+}
+
+func TestPropDedupExactlyOnce(t *testing.T) {
+	// Any shuffled, duplicated delivery of 1..n yields exactly n-k Accepts
+	// + Gaps combined never more than n, and never accepts the same seq
+	// twice.
+	f := func(perm []uint8) bool {
+		d := NewDedup()
+		applied := map[uint64]bool{}
+		for _, p := range perm {
+			seq := uint64(p%32) + 1
+			v := d.Observe("s", seq)
+			if v == Accept || v == Gap {
+				if applied[seq] {
+					return false // double-apply
+				}
+				applied[seq] = true
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestWorkerStateString(t *testing.T) {
+	cases := map[WorkerState]string{
+		WorkerStarting: "starting",
+		WorkerRunning:  "running",
+		WorkerFinished: "finished",
+		WorkerFailed:   "failed",
+		WorkerState(9): "unknown",
+	}
+	for s, want := range cases {
+		if s.String() != want {
+			t.Errorf("%d.String() = %q, want %q", int(s), s.String(), want)
+		}
+	}
+}
+
+func TestWireSizesPositiveAndProportional(t *testing.T) {
+	small := DemandUpdate{App: "a", Deltas: []resource.LocalityHint{{}}}
+	big := DemandUpdate{App: "a", Deltas: make([]resource.LocalityHint, 100)}
+	if small.WireSize() <= 0 {
+		t.Error("non-positive wire size")
+	}
+	if big.WireSize() <= small.WireSize() {
+		t.Error("wire size not proportional to payload")
+	}
+
+	full := FullDemandSync{
+		App:    "a",
+		Units:  []resource.ScheduleUnit{{ID: 1}},
+		Demand: map[int][]resource.LocalityHint{1: make([]resource.LocalityHint, 10)},
+		Held:   map[int]map[string]int{1: {"m1": 2, "m2": 3}},
+	}
+	if full.WireSize() <= small.WireSize() {
+		t.Error("full sync should outweigh a small delta")
+	}
+
+	msgs := []interface{ WireSize() int }{
+		RegisterApp{App: "a"},
+		GrantReturn{App: "a", Machine: "m"},
+		GrantUpdate{App: "a", Changes: []MachineDelta{{Machine: "m", Delta: 1}}},
+		AgentHeartbeat{Machine: "m", Allocations: map[string]map[int]int{"a": {1: 2}}},
+		CapacityUpdate{App: "a"},
+		WorkPlan{App: "a", WorkerID: "w"},
+		WorkerStatus{App: "a", WorkerID: "w"},
+	}
+	for i, m := range msgs {
+		if m.WireSize() <= 0 {
+			t.Errorf("msg %d: non-positive wire size", i)
+		}
+	}
+}

@@ -1,0 +1,71 @@
+package protocol
+
+// Sequencer issues monotonically increasing sequence numbers for one sender.
+// The zero value is ready to use; the first number issued is 1 so that a
+// receiver's zero "last seen" compares correctly.
+type Sequencer struct {
+	next uint64
+}
+
+// Next returns the next sequence number.
+func (s *Sequencer) Next() uint64 {
+	s.next++
+	return s.next
+}
+
+// Current returns the most recently issued number (0 before the first Next).
+func (s *Sequencer) Current() uint64 { return s.next }
+
+// Dedup tracks the highest sequence number seen from each sender and
+// classifies incoming numbers. Delta messages must be applied exactly once
+// and in order (paper §3.1); duplicates are dropped and gaps flagged so the
+// receiver can request (or await) a full-state sync.
+type Dedup struct {
+	last map[string]uint64
+	gaps uint64
+}
+
+// NewDedup returns an empty tracker.
+func NewDedup() *Dedup { return &Dedup{last: make(map[string]uint64)} }
+
+// Verdict classifies an incoming sequence number.
+type Verdict int
+
+const (
+	// Accept means the message is fresh and in order: apply it.
+	Accept Verdict = iota
+	// Duplicate means the message was already applied: drop it.
+	Duplicate
+	// Gap means at least one earlier message was lost. The message itself
+	// is still fresh; Observe applies it and records the gap, relying on
+	// the periodic full sync to repair the missed delta.
+	Gap
+)
+
+// Observe classifies seq from sender and advances the high-water mark for
+// fresh messages.
+func (d *Dedup) Observe(sender string, seq uint64) Verdict {
+	last := d.last[sender]
+	switch {
+	case seq <= last:
+		return Duplicate
+	case seq == last+1:
+		d.last[sender] = seq
+		return Accept
+	default:
+		d.last[sender] = seq
+		d.gaps++
+		return Gap
+	}
+}
+
+// Reset forgets a sender, e.g. after a full-state sync re-baselines it or
+// the peer restarted with a fresh sequencer.
+func (d *Dedup) Reset(sender string) { delete(d.last, sender) }
+
+// ResetTo sets the high-water mark for a sender, used when a full sync
+// carries the sender's current sequence number.
+func (d *Dedup) ResetTo(sender string, seq uint64) { d.last[sender] = seq }
+
+// Gaps returns the number of gaps observed since construction.
+func (d *Dedup) Gaps() uint64 { return d.gaps }

@@ -1,0 +1,283 @@
+// Package resource implements Fuxi's multi-dimensional resource description
+// (paper §3.2.1). A Vector quantifies resources along named dimensions; the
+// first two dimensions are always physical (CPU, Memory) and further
+// dimensions are application-defined "virtual resources" used to cap the
+// per-node concurrency of particular task types. All allocation decisions in
+// the scheduler require every dimension of a request to be satisfied
+// simultaneously.
+package resource
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Well-known physical dimensions. CPU is measured in milli-cores (100 = 1
+// core in the paper's request sample, Figure 4, where amount 100 denotes one
+// core); Memory is measured in MB.
+const (
+	CPU    = "CPU"
+	Memory = "Memory"
+)
+
+// Vector is a multi-dimensional resource quantity. The zero value is an
+// empty vector (all dimensions zero). Vectors are value types: arithmetic
+// methods return new vectors and never mutate the receiver's map in place
+// unless documented otherwise.
+type Vector struct {
+	dims map[string]int64
+}
+
+// New returns a vector with the given CPU (milli-cores) and memory (MB).
+func New(cpuMilli, memoryMB int64) Vector {
+	v := Vector{}
+	v = v.With(CPU, cpuMilli)
+	v = v.With(Memory, memoryMB)
+	return v
+}
+
+// FromMap builds a vector from a dimension→amount map. Zero-valued entries
+// are dropped so that equality is insensitive to explicit zeros.
+func FromMap(m map[string]int64) Vector {
+	v := Vector{dims: make(map[string]int64, len(m))}
+	for k, a := range m {
+		if a != 0 {
+			v.dims[k] = a
+		}
+	}
+	return v
+}
+
+// With returns a copy of v with dimension dim set to amount. Setting zero
+// removes the dimension.
+func (v Vector) With(dim string, amount int64) Vector {
+	out := v.clone()
+	if amount == 0 {
+		delete(out.dims, dim)
+	} else {
+		if out.dims == nil {
+			out.dims = make(map[string]int64, 2)
+		}
+		out.dims[dim] = amount
+	}
+	return out
+}
+
+func (v Vector) clone() Vector {
+	if v.dims == nil {
+		return Vector{}
+	}
+	out := Vector{dims: make(map[string]int64, len(v.dims))}
+	for k, a := range v.dims {
+		out.dims[k] = a
+	}
+	return out
+}
+
+// Get returns the amount on dimension dim (zero if absent).
+func (v Vector) Get(dim string) int64 {
+	return v.dims[dim]
+}
+
+// CPUMilli returns the CPU dimension in milli-cores.
+func (v Vector) CPUMilli() int64 { return v.Get(CPU) }
+
+// MemoryMB returns the Memory dimension in MB.
+func (v Vector) MemoryMB() int64 { return v.Get(Memory) }
+
+// Dimensions returns the sorted list of dimensions with non-zero amounts.
+func (v Vector) Dimensions() []string {
+	out := make([]string, 0, len(v.dims))
+	for k := range v.dims {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// IsZero reports whether every dimension is zero.
+func (v Vector) IsZero() bool { return len(v.dims) == 0 }
+
+// Add returns v + o.
+func (v Vector) Add(o Vector) Vector {
+	out := v.clone()
+	for k, a := range o.dims {
+		n := out.dims[k] + a
+		if out.dims == nil {
+			out.dims = make(map[string]int64, len(o.dims))
+		}
+		if n == 0 {
+			delete(out.dims, k)
+		} else {
+			out.dims[k] = n
+		}
+	}
+	return out
+}
+
+// Sub returns v - o. The result may have negative dimensions; callers that
+// need non-negativity should check Contains first.
+func (v Vector) Sub(o Vector) Vector {
+	return v.Add(o.Neg())
+}
+
+// Neg returns -v.
+func (v Vector) Neg() Vector {
+	out := Vector{dims: make(map[string]int64, len(v.dims))}
+	for k, a := range v.dims {
+		out.dims[k] = -a
+	}
+	return out
+}
+
+// Scale returns v * n.
+func (v Vector) Scale(n int64) Vector {
+	if n == 0 {
+		return Vector{}
+	}
+	out := Vector{dims: make(map[string]int64, len(v.dims))}
+	for k, a := range v.dims {
+		out.dims[k] = a * n
+	}
+	return out
+}
+
+// Contains reports whether v >= o on every dimension of o, i.e. a supply v
+// can satisfy a demand o. All dimensions must be satisfied simultaneously
+// (paper §3.2.1).
+func (v Vector) Contains(o Vector) bool {
+	for k, a := range o.dims {
+		if v.dims[k] < a {
+			return false
+		}
+	}
+	return true
+}
+
+// FitCount returns how many whole units of o fit inside v (0 if o has a
+// dimension v lacks). A zero unit fits infinitely; FitCount returns a large
+// sentinel in that case.
+func (v Vector) FitCount(o Vector) int64 {
+	const unbounded = int64(1) << 50
+	count := unbounded
+	for k, a := range o.dims {
+		if a <= 0 {
+			continue
+		}
+		c := v.dims[k] / a
+		if c < count {
+			count = c
+		}
+	}
+	if count < 0 {
+		return 0
+	}
+	return count
+}
+
+// NonNegative reports whether every dimension of v is >= 0.
+func (v Vector) NonNegative() bool {
+	for _, a := range v.dims {
+		if a < 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// Equal reports dimension-wise equality.
+func (v Vector) Equal(o Vector) bool {
+	if len(v.dims) != len(o.dims) {
+		return false
+	}
+	for k, a := range v.dims {
+		if o.dims[k] != a {
+			return false
+		}
+	}
+	return true
+}
+
+// Max returns the dimension-wise maximum of v and o.
+func (v Vector) Max(o Vector) Vector {
+	out := v.clone()
+	for k, a := range o.dims {
+		if a > out.dims[k] {
+			if out.dims == nil {
+				out.dims = make(map[string]int64, len(o.dims))
+			}
+			out.dims[k] = a
+		}
+	}
+	return out
+}
+
+// Min returns the dimension-wise minimum over the union of dimensions.
+// Dimensions present in only one operand count as zero in the other.
+func (v Vector) Min(o Vector) Vector {
+	out := Vector{dims: make(map[string]int64)}
+	seen := make(map[string]bool, len(v.dims)+len(o.dims))
+	for k := range v.dims {
+		seen[k] = true
+	}
+	for k := range o.dims {
+		seen[k] = true
+	}
+	for k := range seen {
+		a, b := v.dims[k], o.dims[k]
+		m := a
+		if b < m {
+			m = b
+		}
+		if m != 0 {
+			out.dims[k] = m
+		}
+	}
+	return out
+}
+
+// ToMap returns a copy of the dimension map.
+func (v Vector) ToMap() map[string]int64 {
+	out := make(map[string]int64, len(v.dims))
+	for k, a := range v.dims {
+		out[k] = a
+	}
+	return out
+}
+
+// DominantShare returns the maximum over dimensions of v[d]/total[d], the
+// dominant resource share used when ranking quota-group usage for
+// preemption. Dimensions absent from total are ignored.
+func (v Vector) DominantShare(total Vector) float64 {
+	share := 0.0
+	for k, a := range v.dims {
+		t := total.dims[k]
+		if t <= 0 {
+			continue
+		}
+		s := float64(a) / float64(t)
+		if s > share {
+			share = s
+		}
+	}
+	return share
+}
+
+// String renders the vector as "{CPU:600, Memory:2048}" with sorted keys.
+func (v Vector) String() string {
+	if len(v.dims) == 0 {
+		return "{}"
+	}
+	keys := v.Dimensions()
+	var b strings.Builder
+	b.WriteByte('{')
+	for i, k := range keys {
+		if i > 0 {
+			b.WriteString(", ")
+		}
+		fmt.Fprintf(&b, "%s:%d", k, v.dims[k])
+	}
+	b.WriteByte('}')
+	return b.String()
+}

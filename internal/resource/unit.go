@@ -1,0 +1,79 @@
+package resource
+
+import "fmt"
+
+// ScheduleUnit is the unit-size resource description an application master
+// schedules in (paper §3.2.2): e.g. {1 core CPU, 2 GB Memory} at a given
+// priority. All subsequent requests by the application reference the unit by
+// ID and only carry per-locality counts.
+type ScheduleUnit struct {
+	// ID identifies the unit within its owning application. Matches the
+	// paper's slot_id.
+	ID int
+	// Priority orders competing requests in the locality tree; smaller
+	// values are more urgent (the paper's examples use larger-is-lower
+	// conventions inconsistently; we fix smaller = higher priority).
+	Priority int
+	// Size is the per-unit resource vector; every granted unit reserves
+	// exactly Size on its machine.
+	Size Vector
+	// MaxCount caps the total number of units the application may hold
+	// (paper's max_slot_count).
+	MaxCount int
+}
+
+// Validate reports a descriptive error when the unit definition is unusable.
+func (u ScheduleUnit) Validate() error {
+	if u.Size.IsZero() {
+		return fmt.Errorf("schedule unit %d: empty size", u.ID)
+	}
+	if !u.Size.NonNegative() {
+		return fmt.Errorf("schedule unit %d: negative dimension in %v", u.ID, u.Size)
+	}
+	if u.MaxCount <= 0 {
+		return fmt.Errorf("schedule unit %d: max count %d must be positive", u.ID, u.MaxCount)
+	}
+	return nil
+}
+
+// LocalityType classifies a locality preference in a resource request
+// (paper Figure 4: LT_MACHINE, LT_RACK, plus the implicit cluster level).
+type LocalityType int
+
+const (
+	// LocalityMachine pins the preference to one machine.
+	LocalityMachine LocalityType = iota
+	// LocalityRack accepts any machine in one rack.
+	LocalityRack
+	// LocalityCluster accepts any machine in the cluster.
+	LocalityCluster
+)
+
+func (t LocalityType) String() string {
+	switch t {
+	case LocalityMachine:
+		return "machine"
+	case LocalityRack:
+		return "rack"
+	case LocalityCluster:
+		return "cluster"
+	default:
+		return fmt.Sprintf("LocalityType(%d)", int(t))
+	}
+}
+
+// LocalityHint is one (level, value, count) preference inside a request:
+// "count units preferably at value" where value names a machine or rack (and
+// is empty at cluster level).
+type LocalityHint struct {
+	Type  LocalityType
+	Value string // machine or rack name; "" for cluster
+	Count int
+}
+
+func (h LocalityHint) String() string {
+	if h.Type == LocalityCluster {
+		return fmt.Sprintf("cluster*%d", h.Count)
+	}
+	return fmt.Sprintf("%s(%s)*%d", h.Type, h.Value, h.Count)
+}

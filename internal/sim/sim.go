@@ -1,0 +1,181 @@
+// Package sim provides the deterministic discrete-event engine that stands
+// in for the paper's 5000-node testbed. Every Fuxi component (master, agents,
+// application masters, fault injectors) is an event handler driven by one
+// virtual clock; the control-plane code under test is real, only time and the
+// machines are simulated. A seeded RNG makes every experiment reproducible.
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+	"math/rand"
+	"time"
+)
+
+// Time is virtual time in microseconds since simulation start. Microsecond
+// resolution lets us express both the paper's micro-second scheduling claims
+// and multi-hour sort runs in one clock.
+type Time int64
+
+// Common durations in virtual microseconds.
+const (
+	Microsecond Time = 1
+	Millisecond Time = 1000
+	Second      Time = 1000 * Millisecond
+	Minute      Time = 60 * Second
+	Hour        Time = 60 * Minute
+)
+
+// Duration converts virtual time to a time.Duration for display.
+func (t Time) Duration() time.Duration { return time.Duration(t) * time.Microsecond }
+
+// Seconds returns the time in (fractional) seconds.
+func (t Time) Seconds() float64 { return float64(t) / float64(Second) }
+
+func (t Time) String() string { return t.Duration().String() }
+
+type event struct {
+	at   Time
+	seq  uint64 // tie-breaker preserving scheduling order at equal times
+	fn   func()
+	gone *bool // set true when the event was cancelled
+}
+
+type eventQueue []*event
+
+func (q eventQueue) Len() int { return len(q) }
+func (q eventQueue) Less(i, j int) bool {
+	if q[i].at != q[j].at {
+		return q[i].at < q[j].at
+	}
+	return q[i].seq < q[j].seq
+}
+func (q eventQueue) Swap(i, j int) { q[i], q[j] = q[j], q[i] }
+func (q *eventQueue) Push(x any)   { *q = append(*q, x.(*event)) }
+func (q *eventQueue) Pop() any {
+	old := *q
+	n := len(old)
+	e := old[n-1]
+	old[n-1] = nil
+	*q = old[:n-1]
+	return e
+}
+
+// Engine is a single-threaded discrete-event simulator. It is not safe for
+// concurrent use: all handlers run on the caller's goroutine inside Run.
+type Engine struct {
+	now    Time
+	queue  eventQueue
+	seq    uint64
+	rng    *rand.Rand
+	fired  uint64
+	halted bool
+}
+
+// NewEngine returns an engine whose RNG is seeded with seed, making runs
+// reproducible.
+func NewEngine(seed int64) *Engine {
+	return &Engine{rng: rand.New(rand.NewSource(seed))}
+}
+
+// Now returns the current virtual time.
+func (e *Engine) Now() Time { return e.now }
+
+// Rand exposes the engine's seeded RNG so that all stochastic behaviour
+// (latency jitter, fault injection, workload generation) shares one
+// reproducible stream.
+func (e *Engine) Rand() *rand.Rand { return e.rng }
+
+// Cancel undoes a scheduled event; calling it after the event fired is a
+// no-op.
+type Cancel func()
+
+// At schedules fn at absolute virtual time at. Scheduling in the past (or
+// present) fires the event at the current time but after already-queued
+// events for that time, preserving causal order.
+func (e *Engine) At(at Time, fn func()) Cancel {
+	if at < e.now {
+		at = e.now
+	}
+	gone := false
+	ev := &event{at: at, seq: e.seq, fn: fn, gone: &gone}
+	e.seq++
+	heap.Push(&e.queue, ev)
+	return func() { gone = true }
+}
+
+// After schedules fn after delay d.
+func (e *Engine) After(d Time, fn func()) Cancel {
+	if d < 0 {
+		d = 0
+	}
+	return e.At(e.now+d, fn)
+}
+
+// Every schedules fn every interval, first firing after one interval. The
+// returned Cancel stops future firings.
+func (e *Engine) Every(interval Time, fn func()) Cancel {
+	if interval <= 0 {
+		panic(fmt.Sprintf("sim: non-positive interval %d", interval))
+	}
+	stopped := false
+	var tick func()
+	tick = func() {
+		if stopped {
+			return
+		}
+		fn()
+		if !stopped && !e.halted {
+			e.After(interval, tick)
+		}
+	}
+	e.After(interval, tick)
+	return func() { stopped = true }
+}
+
+// Run executes events with firing times <= until, then advances the clock
+// to until (unless halted), so consecutive Run calls model the passage of
+// wall time even while future events remain queued.
+func (e *Engine) Run(until Time) uint64 {
+	n := e.run(until)
+	if e.now < until && !e.halted {
+		e.now = until
+	}
+	return n
+}
+
+func (e *Engine) run(until Time) uint64 {
+	start := e.fired
+	e.halted = false
+	for len(e.queue) > 0 && !e.halted {
+		next := e.queue[0]
+		if next.at > until {
+			break
+		}
+		heap.Pop(&e.queue)
+		if *next.gone {
+			continue
+		}
+		e.now = next.at
+		e.fired++
+		next.fn()
+	}
+	return e.fired - start
+}
+
+// Halt stops Run after the current event completes. Periodic timers stop
+// rescheduling.
+func (e *Engine) Halt() { e.halted = true }
+
+// Pending returns the number of queued (possibly cancelled) events.
+func (e *Engine) Pending() int { return len(e.queue) }
+
+// Fired returns the total number of events executed so far.
+func (e *Engine) Fired() uint64 { return e.fired }
+
+// RunUntilIdle runs to queue exhaustion with no time bound. The clock stays
+// at the last fired event's time.
+func (e *Engine) RunUntilIdle() uint64 {
+	const horizon = Time(1) << 62
+	return e.run(horizon)
+}

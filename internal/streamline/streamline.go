@@ -1,0 +1,177 @@
+// Package streamline implements the data-shuffle operator library the paper
+// ships with the Fuxi Job SDK (§4.1: "For data shuffle, we encapsulate the
+// common data operators like sort, merge-sort, reduce into a library named
+// Streamline"). Operators work over key/value records and compose into the
+// map-side (partition + sort + spill) and reduce-side (merge + reduce)
+// halves of a shuffle, the pattern the WordCount and Terasort workloads of
+// §5.2 are built from.
+package streamline
+
+import (
+	"bytes"
+	"fmt"
+	"sort"
+)
+
+// Record is one key/value pair.
+type Record struct {
+	Key   []byte
+	Value []byte
+}
+
+// Run is a key-ordered sequence of records.
+type Run []Record
+
+// Less orders records by key, ties by value (for deterministic tests).
+func less(a, b Record) bool {
+	if c := bytes.Compare(a.Key, b.Key); c != 0 {
+		return c < 0
+	}
+	return bytes.Compare(a.Value, b.Value) < 0
+}
+
+// Sorted reports whether the run is key-ordered.
+func (r Run) Sorted() bool {
+	for i := 1; i < len(r); i++ {
+		if less(r[i], r[i-1]) {
+			return false
+		}
+	}
+	return true
+}
+
+// Sort orders a run in place (the map-side spill sort).
+func Sort(r Run) {
+	sort.SliceStable(r, func(i, j int) bool { return less(r[i], r[j]) })
+}
+
+// Partition splits records into p key-hash buckets — the map side of a
+// shuffle. The same key always lands in the same bucket.
+func Partition(records []Record, p int) []Run {
+	if p <= 0 {
+		p = 1
+	}
+	out := make([]Run, p)
+	for _, rec := range records {
+		b := int(fnv32(rec.Key) % uint32(p))
+		out[b] = append(out[b], rec)
+	}
+	return out
+}
+
+// fnv32 is the FNV-1a hash, small and allocation-free.
+func fnv32(b []byte) uint32 {
+	h := uint32(2166136261)
+	for _, c := range b {
+		h ^= uint32(c)
+		h *= 16777619
+	}
+	return h
+}
+
+// RangePartition splits records into p contiguous key ranges given p-1
+// sorted split points — Terasort's partitioner: concatenating the sorted
+// buckets yields a globally sorted output.
+func RangePartition(records []Record, splits [][]byte) []Run {
+	out := make([]Run, len(splits)+1)
+	for _, rec := range records {
+		b := sort.Search(len(splits), func(i int) bool {
+			return bytes.Compare(rec.Key, splits[i]) < 0
+		})
+		out[b] = append(out[b], rec)
+	}
+	return out
+}
+
+// MergeSort merges pre-sorted runs into one sorted run — the reduce-side
+// merge over fetched map outputs. It fails loudly on unsorted input rather
+// than producing silently wrong output.
+func MergeSort(runs []Run) (Run, error) {
+	total := 0
+	for i, r := range runs {
+		if !r.Sorted() {
+			return nil, fmt.Errorf("streamline: run %d is not sorted", i)
+		}
+		total += len(r)
+	}
+	out := make(Run, 0, total)
+	pos := make([]int, len(runs))
+	for len(out) < total {
+		best := -1
+		for i, r := range runs {
+			if pos[i] >= len(r) {
+				continue
+			}
+			if best == -1 || less(r[pos[i]], runs[best][pos[best]]) {
+				best = i
+			}
+		}
+		out = append(out, runs[best][pos[best]])
+		pos[best]++
+	}
+	return out, nil
+}
+
+// Reducer folds all values of one key into zero or more output records.
+type Reducer func(key []byte, values [][]byte) []Record
+
+// Reduce groups a sorted run by key and applies the reducer — the reduce
+// operator. Input must be key-ordered (the output of MergeSort).
+func Reduce(sorted Run, reduce Reducer) (Run, error) {
+	if !sorted.Sorted() {
+		return nil, fmt.Errorf("streamline: reduce input is not sorted")
+	}
+	var out Run
+	i := 0
+	for i < len(sorted) {
+		j := i + 1
+		for j < len(sorted) && bytes.Equal(sorted[j].Key, sorted[i].Key) {
+			j++
+		}
+		values := make([][]byte, 0, j-i)
+		for k := i; k < j; k++ {
+			values = append(values, sorted[k].Value)
+		}
+		out = append(out, reduce(sorted[i].Key, values)...)
+		i = j
+	}
+	return out, nil
+}
+
+// Combine applies a reducer map-side before the shuffle (the classic
+// combiner optimization): the run is sorted, grouped and reduced locally,
+// shrinking shuffle volume for associative reducers.
+func Combine(records []Record, reduce Reducer) (Run, error) {
+	run := make(Run, len(records))
+	copy(run, records)
+	Sort(run)
+	return Reduce(run, reduce)
+}
+
+// MapSide runs one map task's shuffle half: partition into p buckets and
+// sort each (optionally combining first).
+func MapSide(records []Record, p int, combiner Reducer) ([]Run, error) {
+	input := Run(records)
+	if combiner != nil {
+		combined, err := Combine(records, combiner)
+		if err != nil {
+			return nil, err
+		}
+		input = combined
+	}
+	parts := Partition(input, p)
+	for i := range parts {
+		Sort(parts[i])
+	}
+	return parts, nil
+}
+
+// ReduceSide runs one reduce task's half: merge the fetched sorted runs and
+// reduce the groups.
+func ReduceSide(runs []Run, reduce Reducer) (Run, error) {
+	merged, err := MergeSort(runs)
+	if err != nil {
+		return nil, err
+	}
+	return Reduce(merged, reduce)
+}

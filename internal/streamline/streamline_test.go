@@ -1,0 +1,241 @@
+package streamline
+
+import (
+	"bytes"
+	"fmt"
+	"math/rand"
+	"strconv"
+	"testing"
+	"testing/quick"
+)
+
+func rec(k, v string) Record { return Record{Key: []byte(k), Value: []byte(v)} }
+
+func randomRecords(rng *rand.Rand, n, keySpace int) []Record {
+	out := make([]Record, n)
+	for i := range out {
+		out[i] = rec(fmt.Sprintf("k%04d", rng.Intn(keySpace)), strconv.Itoa(i))
+	}
+	return out
+}
+
+// sumReducer emits key -> count of values.
+func sumReducer(key []byte, values [][]byte) []Record {
+	return []Record{{Key: key, Value: []byte(strconv.Itoa(len(values)))}}
+}
+
+func TestSortAndSorted(t *testing.T) {
+	run := Run{rec("b", "1"), rec("a", "2"), rec("c", "0"), rec("a", "1")}
+	if run.Sorted() {
+		t.Fatal("unsorted run reported sorted")
+	}
+	Sort(run)
+	if !run.Sorted() {
+		t.Fatal("Sort did not sort")
+	}
+	// Equal keys ordered by value: stability + determinism.
+	if string(run[0].Value) != "1" || string(run[1].Value) != "2" {
+		t.Errorf("tie order: %v", run)
+	}
+}
+
+func TestPartitionDeterministicAndComplete(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	records := randomRecords(rng, 500, 40)
+	parts := Partition(records, 8)
+	total := 0
+	keyBucket := map[string]int{}
+	for b, p := range parts {
+		total += len(p)
+		for _, r := range p {
+			if prev, ok := keyBucket[string(r.Key)]; ok && prev != b {
+				t.Fatalf("key %q in buckets %d and %d", r.Key, prev, b)
+			}
+			keyBucket[string(r.Key)] = b
+		}
+	}
+	if total != 500 {
+		t.Errorf("records lost: %d", total)
+	}
+	if got := Partition(records, 0); len(got) != 1 {
+		t.Errorf("p=0 should clamp to 1, got %d buckets", len(got))
+	}
+}
+
+func TestRangePartitionGloballySorted(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	records := randomRecords(rng, 400, 1000)
+	splits := [][]byte{[]byte("k0250"), []byte("k0500"), []byte("k0750")}
+	parts := RangePartition(records, splits)
+	if len(parts) != 4 {
+		t.Fatalf("parts = %d", len(parts))
+	}
+	var all Run
+	for i := range parts {
+		Sort(parts[i])
+		all = append(all, parts[i]...)
+	}
+	if !all.Sorted() {
+		t.Fatal("concatenated range partitions not globally sorted")
+	}
+}
+
+func TestMergeSortValidatesInput(t *testing.T) {
+	if _, err := MergeSort([]Run{{rec("b", ""), rec("a", "")}}); err == nil {
+		t.Error("unsorted run accepted")
+	}
+	a := Run{rec("a", "1"), rec("c", "1")}
+	b := Run{rec("b", "1"), rec("d", "1")}
+	merged, err := MergeSort([]Run{a, b, nil})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(merged) != 4 || !merged.Sorted() {
+		t.Errorf("merged = %v", merged)
+	}
+}
+
+func TestReduceGroupsByKey(t *testing.T) {
+	run := Run{rec("a", "1"), rec("a", "2"), rec("b", "1"), rec("c", "1"), rec("c", "2")}
+	out, err := Reduce(run, sumReducer)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := map[string]string{"a": "2", "b": "1", "c": "2"}
+	if len(out) != len(want) {
+		t.Fatalf("out = %v", out)
+	}
+	for _, r := range out {
+		if want[string(r.Key)] != string(r.Value) {
+			t.Errorf("key %s count %s, want %s", r.Key, r.Value, want[string(r.Key)])
+		}
+	}
+	if _, err := Reduce(Run{rec("b", ""), rec("a", "")}, sumReducer); err == nil {
+		t.Error("unsorted reduce input accepted")
+	}
+}
+
+func TestWordCountPipeline(t *testing.T) {
+	// Full map/shuffle/reduce round trip: counts must equal a direct count.
+	rng := rand.New(rand.NewSource(3))
+	const mappers, reducers = 4, 3
+	direct := map[string]int{}
+	mapOutputs := make([][]Run, mappers)
+	for m := 0; m < mappers; m++ {
+		records := randomRecords(rng, 300, 25)
+		for _, r := range records {
+			direct[string(r.Key)]++
+		}
+		parts, err := MapSide(records, reducers, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		mapOutputs[m] = parts
+	}
+	got := map[string]int{}
+	for r := 0; r < reducers; r++ {
+		var fetched []Run
+		for m := 0; m < mappers; m++ {
+			fetched = append(fetched, mapOutputs[m][r])
+		}
+		out, err := ReduceSide(fetched, sumReducer)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, rec := range out {
+			n, _ := strconv.Atoi(string(rec.Value))
+			got[string(rec.Key)] += n
+		}
+	}
+	if len(got) != len(direct) {
+		t.Fatalf("keys = %d, want %d", len(got), len(direct))
+	}
+	for k, n := range direct {
+		if got[k] != n {
+			t.Errorf("key %s = %d, want %d", k, got[k], n)
+		}
+	}
+}
+
+func TestCombinerPreservesTotals(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	// Word-count shape: every raw record carries count "1"; the combiner
+	// and reducer both sum counts, so combining is associative.
+	records := make([]Record, 1000)
+	for i := range records {
+		records[i] = rec(fmt.Sprintf("k%04d", rng.Intn(10)), "1")
+	}
+	counting := func(key []byte, values [][]byte) []Record {
+		total := 0
+		for _, v := range values {
+			n, _ := strconv.Atoi(string(v))
+			total += n
+		}
+		return []Record{{Key: key, Value: []byte(strconv.Itoa(total))}}
+	}
+	// With combiner: map side emits one record per key.
+	parts, err := MapSide(records, 2, counting)
+	if err != nil {
+		t.Fatal(err)
+	}
+	combined := 0
+	for _, p := range parts {
+		combined += len(p)
+	}
+	if combined >= len(records) {
+		t.Errorf("combiner did not shrink shuffle: %d records", combined)
+	}
+	// Totals survive the combine + reduce chain.
+	out, err := ReduceSide(parts, counting)
+	if err != nil {
+		t.Fatal(err)
+	}
+	total := 0
+	for _, r := range out {
+		n, _ := strconv.Atoi(string(r.Value))
+		total += n
+	}
+	if total != len(records) {
+		t.Errorf("total = %d, want %d", total, len(records))
+	}
+}
+
+func TestPropMergeSortEquivalentToGlobalSort(t *testing.T) {
+	f := func(keys []uint8, cut uint8) bool {
+		var all Run
+		for i, k := range keys {
+			all = append(all, rec(fmt.Sprintf("k%03d", k), strconv.Itoa(i)))
+		}
+		// Split into two runs, sort each, merge.
+		c := int(cut)
+		if c > len(all) {
+			c = len(all)
+		}
+		a := make(Run, c)
+		copy(a, all[:c])
+		b := make(Run, len(all)-c)
+		copy(b, all[c:])
+		Sort(a)
+		Sort(b)
+		merged, err := MergeSort([]Run{a, b})
+		if err != nil {
+			return false
+		}
+		// Against a direct global sort.
+		direct := make(Run, len(all))
+		copy(direct, all)
+		Sort(direct)
+		if len(merged) != len(direct) {
+			return false
+		}
+		for i := range merged {
+			if !bytes.Equal(merged[i].Key, direct[i].Key) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

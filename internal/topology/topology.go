@@ -1,0 +1,140 @@
+// Package topology models the cluster's physical layout: machines grouped
+// into racks (paper §3.2.2's three-level machine/rack/cluster hierarchy).
+// The topology is the substrate both the FuxiMaster locality tree and the
+// Pangu replica placer consult.
+package topology
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/resource"
+)
+
+// Machine describes one cluster node.
+type Machine struct {
+	Name     string
+	Rack     string
+	Capacity resource.Vector
+	// Disks is the number of local data disks; used by the DFS placer and
+	// the sort workload's I/O model.
+	Disks int
+	// DiskBandwidthMBps is the per-disk sequential bandwidth.
+	DiskBandwidthMBps int
+	// NetBandwidthMBps is the NIC bandwidth (paper testbed: two gigabit
+	// ports ≈ 250 MB/s).
+	NetBandwidthMBps int
+}
+
+// Topology is an immutable snapshot of the cluster layout.
+type Topology struct {
+	machines map[string]*Machine
+	racks    map[string][]string // rack -> sorted machine names
+	names    []string            // sorted machine names
+	rackList []string            // sorted rack names
+	total    resource.Vector
+}
+
+// New builds a topology from a machine list. Machine names must be unique.
+func New(machines []Machine) (*Topology, error) {
+	t := &Topology{
+		machines: make(map[string]*Machine, len(machines)),
+		racks:    make(map[string][]string),
+	}
+	for i := range machines {
+		m := machines[i]
+		if m.Name == "" {
+			return nil, fmt.Errorf("machine %d: empty name", i)
+		}
+		if m.Rack == "" {
+			return nil, fmt.Errorf("machine %q: empty rack", m.Name)
+		}
+		if _, dup := t.machines[m.Name]; dup {
+			return nil, fmt.Errorf("duplicate machine name %q", m.Name)
+		}
+		mc := m
+		t.machines[m.Name] = &mc
+		t.racks[m.Rack] = append(t.racks[m.Rack], m.Name)
+		t.names = append(t.names, m.Name)
+		t.total = t.total.Add(m.Capacity)
+	}
+	sort.Strings(t.names)
+	for r := range t.racks {
+		sort.Strings(t.racks[r])
+		t.rackList = append(t.rackList, r)
+	}
+	sort.Strings(t.rackList)
+	return t, nil
+}
+
+// Spec describes a homogeneous cluster for the Build convenience
+// constructor: Racks racks of MachinesPerRack machines, every machine with
+// the same shape.
+type Spec struct {
+	Racks             int
+	MachinesPerRack   int
+	MachineCapacity   resource.Vector
+	Disks             int
+	DiskBandwidthMBps int
+	NetBandwidthMBps  int
+}
+
+// PaperTestbedMachine returns the per-machine capacity of the paper's
+// evaluation testbed (§5): 2×2.20 GHz 6-core Xeon E5-2430 (12 cores) and
+// 96 GB memory.
+func PaperTestbedMachine() resource.Vector {
+	return resource.New(12*1000, 96*1024)
+}
+
+// Build constructs a homogeneous topology with names r<rack>m<machine>.
+func Build(spec Spec) (*Topology, error) {
+	if spec.Racks <= 0 || spec.MachinesPerRack <= 0 {
+		return nil, fmt.Errorf("topology spec needs positive racks (%d) and machines per rack (%d)", spec.Racks, spec.MachinesPerRack)
+	}
+	machines := make([]Machine, 0, spec.Racks*spec.MachinesPerRack)
+	for r := 0; r < spec.Racks; r++ {
+		rack := fmt.Sprintf("r%03d", r)
+		for m := 0; m < spec.MachinesPerRack; m++ {
+			machines = append(machines, Machine{
+				Name:              fmt.Sprintf("%sm%03d", rack, m),
+				Rack:              rack,
+				Capacity:          spec.MachineCapacity,
+				Disks:             spec.Disks,
+				DiskBandwidthMBps: spec.DiskBandwidthMBps,
+				NetBandwidthMBps:  spec.NetBandwidthMBps,
+			})
+		}
+	}
+	return New(machines)
+}
+
+// Machine returns the named machine, or nil if unknown.
+func (t *Topology) Machine(name string) *Machine {
+	return t.machines[name]
+}
+
+// RackOf returns the rack of machine name ("" if unknown).
+func (t *Topology) RackOf(name string) string {
+	if m := t.machines[name]; m != nil {
+		return m.Rack
+	}
+	return ""
+}
+
+// Machines returns all machine names in sorted order. The caller must not
+// modify the returned slice.
+func (t *Topology) Machines() []string { return t.names }
+
+// Racks returns all rack names in sorted order. The caller must not modify
+// the returned slice.
+func (t *Topology) Racks() []string { return t.rackList }
+
+// MachinesInRack returns the sorted machine names of a rack. The caller
+// must not modify the returned slice.
+func (t *Topology) MachinesInRack(rack string) []string { return t.racks[rack] }
+
+// Size returns the machine count.
+func (t *Topology) Size() int { return len(t.names) }
+
+// TotalCapacity returns the summed capacity of all machines.
+func (t *Topology) TotalCapacity() resource.Vector { return t.total }

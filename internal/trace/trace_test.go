@@ -1,0 +1,147 @@
+package trace
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/job"
+)
+
+func TestSyntheticMixCycle(t *testing.T) {
+	cfg := DefaultSyntheticConfig(1)
+	rng := rand.New(rand.NewSource(1))
+	for i := 0; i < len(PaperMixes); i++ {
+		d := cfg.Job(rng, i)
+		if err := d.Validate(); err != nil {
+			t.Fatalf("job %d invalid: %v", i, err)
+		}
+		if d.Tasks["map"].Instances != PaperMixes[i][0] {
+			t.Errorf("job %d maps = %d, want %d", i, d.Tasks["map"].Instances, PaperMixes[i][0])
+		}
+		if d.Tasks["reduce"].Instances != PaperMixes[i][1] {
+			t.Errorf("job %d reduces = %d, want %d", i, d.Tasks["reduce"].Instances, PaperMixes[i][1])
+		}
+	}
+}
+
+func TestSyntheticScaling(t *testing.T) {
+	cfg := DefaultSyntheticConfig(10)
+	rng := rand.New(rand.NewSource(2))
+	d := cfg.Job(rng, 0) // (10,10) mix scaled by 10 -> (1,1)
+	if d.Tasks["map"].Instances != 1 || d.Tasks["reduce"].Instances != 1 {
+		t.Errorf("scaled instances = %d/%d", d.Tasks["map"].Instances, d.Tasks["reduce"].Instances)
+	}
+	d5 := cfg.Job(rng, 5) // (10k,5k)/10 -> (1000,500)
+	if d5.Tasks["map"].Instances != 1000 || d5.Tasks["reduce"].Instances != 500 {
+		t.Errorf("scaled big job = %d/%d", d5.Tasks["map"].Instances, d5.Tasks["reduce"].Instances)
+	}
+}
+
+func TestSyntheticDurationsInRange(t *testing.T) {
+	cfg := DefaultSyntheticConfig(1)
+	rng := rand.New(rand.NewSource(3))
+	for i := 0; i < 100; i++ {
+		d := cfg.Job(rng, i)
+		dur := d.Tasks["map"].DurationMS
+		if dur < cfg.MinDurationMS || dur >= cfg.MaxDurationMS {
+			t.Fatalf("duration %d out of [%d,%d)", dur, cfg.MinDurationMS, cfg.MaxDurationMS)
+		}
+	}
+}
+
+func TestSyntheticAlternatesKinds(t *testing.T) {
+	cfg := DefaultSyntheticConfig(1)
+	rng := rand.New(rand.NewSource(4))
+	a, b := cfg.Job(rng, 0), cfg.Job(rng, 1)
+	if a.Name[:9] != "wordcount" {
+		t.Errorf("job 0 = %s", a.Name)
+	}
+	if b.Name[:8] != "terasort" {
+		t.Errorf("job 1 = %s", b.Name)
+	}
+}
+
+func TestCollectStats(t *testing.T) {
+	cfg := DefaultSyntheticConfig(1)
+	rng := rand.New(rand.NewSource(5))
+	var jobs []*job.Description
+	for i := 0; i < len(PaperMixes); i++ {
+		jobs = append(jobs, cfg.Job(rng, i))
+	}
+	s := Collect(jobs)
+	if s.Jobs != 6 || s.Tasks != 12 {
+		t.Fatalf("jobs=%d tasks=%d", s.Jobs, s.Tasks)
+	}
+	// Total instances = sum of all mixes.
+	var want int64
+	for _, m := range PaperMixes {
+		want += int64(m[0] + m[1])
+	}
+	if s.Instances != want {
+		t.Errorf("instances = %d, want %d", s.Instances, want)
+	}
+	if s.MaxInstances != 10000 {
+		t.Errorf("max instances = %d", s.MaxInstances)
+	}
+	if s.AvgTasksPerJob != 2.0 {
+		t.Errorf("avg tasks/job = %v", s.AvgTasksPerJob)
+	}
+	// Uncapped workers equal instances.
+	if s.Workers != s.Instances {
+		t.Errorf("workers = %d, want %d", s.Workers, s.Instances)
+	}
+}
+
+func TestCollectWorkerCaps(t *testing.T) {
+	d := &job.Description{
+		Name: "capped",
+		Tasks: map[string]job.TaskSpec{
+			"T1": {Instances: 100, CPUMilli: 1, MemoryMB: 1, DurationMS: 1, MaxWorkers: 10},
+		},
+	}
+	s := Collect([]*job.Description{d})
+	if s.Workers != 10 {
+		t.Errorf("workers = %d, want capped 10", s.Workers)
+	}
+	if s.MaxWorkers != 10 {
+		t.Errorf("max workers = %d", s.MaxWorkers)
+	}
+}
+
+func TestProductionShapeMatchesTable1(t *testing.T) {
+	// Table 1: avg 228 instances/task, avg 2.0 tasks/job. Check the
+	// generator lands in the right ballpark (heavy-tailed, so allow slack).
+	cfg := DefaultProductionConfig()
+	cfg.Jobs = 2000
+	jobs := cfg.Generate(rand.New(rand.NewSource(6)))
+	for _, d := range jobs {
+		if err := d.Validate(); err != nil {
+			t.Fatalf("invalid production job %s: %v", d.Name, err)
+		}
+	}
+	s := Collect(jobs)
+	if s.AvgTasksPerJob < 1.5 || s.AvgTasksPerJob > 2.6 {
+		t.Errorf("avg tasks/job = %.2f, want ~2.0", s.AvgTasksPerJob)
+	}
+	if s.AvgInstances < 120 || s.AvgInstances > 420 {
+		t.Errorf("avg instances/task = %.1f, want ~228", s.AvgInstances)
+	}
+	if s.AvgWorkers >= s.AvgInstances {
+		t.Errorf("avg workers %.1f should be below avg instances %.1f", s.AvgWorkers, s.AvgInstances)
+	}
+	if s.MaxInstances > cfg.MaxInstancesPerTask {
+		t.Errorf("max instances %d exceeds cap", s.MaxInstances)
+	}
+}
+
+func TestProductionDeterministic(t *testing.T) {
+	cfg := DefaultProductionConfig()
+	cfg.Jobs = 50
+	a := cfg.Generate(rand.New(rand.NewSource(7)))
+	b := cfg.Generate(rand.New(rand.NewSource(7)))
+	for i := range a {
+		if a[i].Name != b[i].Name || len(a[i].Tasks) != len(b[i].Tasks) {
+			t.Fatalf("generation not deterministic at job %d", i)
+		}
+	}
+}

@@ -1,0 +1,160 @@
+// Package transport simulates the cluster network that carries Fuxi's
+// control-plane messages. Delivery is asynchronous with configurable latency
+// and optional loss/duplication injection, which is how the test suite
+// exercises the incremental protocol's idempotency and full-state repair
+// (paper §3.1: "we must ensure the idempotency of the handling of duplicated
+// delta messages, which could happen as a result of temporary communication
+// failure").
+package transport
+
+import (
+	"fmt"
+
+	"repro/internal/sim"
+)
+
+// Message is any control-plane payload. Payloads are passed by value through
+// the simulated network; senders must not retain mutable references.
+type Message any
+
+// Sizer lets a message report its approximate wire size in bytes for the
+// protocol-overhead ablation. Messages without Sizer count a nominal size.
+type Sizer interface{ WireSize() int }
+
+// Handler receives messages addressed to an endpoint.
+type Handler func(from string, msg Message)
+
+// Stats aggregates traffic counters, used by the incremental-vs-full
+// protocol ablation.
+type Stats struct {
+	Sent       uint64
+	Delivered  uint64
+	Dropped    uint64
+	Duplicated uint64
+	Bytes      uint64
+}
+
+// Net is the simulated network. All methods must be called from the
+// simulation goroutine.
+type Net struct {
+	eng  *sim.Engine
+	eps  map[string]Handler
+	down map[string]bool
+
+	// Latency is the one-way base delivery latency; Jitter adds a uniform
+	// random extra in [0, Jitter).
+	Latency sim.Time
+	Jitter  sim.Time
+	// DropRate and DupRate are probabilities in [0,1) applied per message.
+	DropRate float64
+	DupRate  float64
+	// Tap, when set, observes every Send before routing — for traffic
+	// accounting in experiments. It must not mutate the message.
+	Tap func(from, to string, msg Message)
+
+	stats Stats
+}
+
+// NewNet returns a network attached to the engine with a default intra-
+// datacenter latency of 200µs.
+func NewNet(eng *sim.Engine) *Net {
+	return &Net{
+		eng:     eng,
+		eps:     make(map[string]Handler),
+		down:    make(map[string]bool),
+		Latency: 200 * sim.Microsecond,
+	}
+}
+
+// Register installs (or replaces) the handler for endpoint name. Replacing
+// is deliberate: a restarted component re-registers under its old name.
+func (n *Net) Register(name string, h Handler) {
+	if name == "" {
+		panic("transport: empty endpoint name")
+	}
+	n.eps[name] = h
+}
+
+// Unregister removes an endpoint; in-flight messages to it are dropped on
+// arrival.
+func (n *Net) Unregister(name string) { delete(n.eps, name) }
+
+// Registered reports whether an endpoint exists.
+func (n *Net) Registered(name string) bool { _, ok := n.eps[name]; return ok }
+
+// SetDown marks an endpoint unreachable (both directions), simulating a
+// machine halt or network disconnection. Messages to or from a down
+// endpoint are silently dropped, like packets into a dead NIC.
+func (n *Net) SetDown(name string, down bool) {
+	if down {
+		n.down[name] = true
+	} else {
+		delete(n.down, name)
+	}
+}
+
+// IsDown reports whether the endpoint is marked unreachable.
+func (n *Net) IsDown(name string) bool { return n.down[name] }
+
+// Stats returns a copy of the traffic counters.
+func (n *Net) Stats() Stats { return n.stats }
+
+// ResetStats zeroes the traffic counters.
+func (n *Net) ResetStats() { n.stats = Stats{} }
+
+func messageSize(msg Message) int {
+	if s, ok := msg.(Sizer); ok {
+		return s.WireSize()
+	}
+	return 64 // nominal header-ish size for unsized messages
+}
+
+// Send queues msg for asynchronous delivery from one endpoint to another.
+// Delivery is dropped when either side is down, when the destination is
+// unregistered at arrival time, or by random loss injection.
+func (n *Net) Send(from, to string, msg Message) {
+	if n.Tap != nil {
+		n.Tap(from, to, msg)
+	}
+	n.stats.Sent++
+	n.stats.Bytes += uint64(messageSize(msg))
+	if n.down[from] || n.down[to] {
+		n.stats.Dropped++
+		return
+	}
+	if n.DropRate > 0 && n.eng.Rand().Float64() < n.DropRate {
+		n.stats.Dropped++
+		return
+	}
+	n.deliverAfterLatency(from, to, msg)
+	if n.DupRate > 0 && n.eng.Rand().Float64() < n.DupRate {
+		n.stats.Duplicated++
+		n.deliverAfterLatency(from, to, msg)
+	}
+}
+
+func (n *Net) deliverAfterLatency(from, to string, msg Message) {
+	d := n.Latency
+	if n.Jitter > 0 {
+		d += sim.Time(n.eng.Rand().Int63n(int64(n.Jitter)))
+	}
+	n.eng.After(d, func() {
+		if n.down[to] || n.down[from] {
+			n.stats.Dropped++
+			return
+		}
+		h, ok := n.eps[to]
+		if !ok {
+			n.stats.Dropped++
+			return
+		}
+		n.stats.Delivered++
+		h(from, msg)
+	})
+}
+
+// String summarizes traffic for logs.
+func (s Stats) String() string {
+	return fmt.Sprintf("sent=%d delivered=%d dropped=%d dup=%d bytes=%d",
+		s.Sent, s.Delivered, s.Dropped, s.Duplicated, s.Bytes)
+}
