@@ -18,6 +18,7 @@ import (
 	"repro/internal/master"
 	"repro/internal/protocol"
 	"repro/internal/resource"
+	"repro/internal/scale"
 	"repro/internal/sim"
 	"repro/internal/topology"
 	"repro/internal/trace"
@@ -190,6 +191,49 @@ func BenchmarkInstanceScheduling100k(b *testing.B) {
 			b.Fatal("wide job incomplete")
 		}
 	}
+}
+
+// BenchmarkScaleHarness runs the paper-scale stress harness (internal/scale)
+// at its CI smoke size and reports scheduling-decision throughput, p99
+// demand-to-grant latency in virtual time, and allocations per decision —
+// the same metrics cmd/scalesim writes to BENCH_scale.json at the full
+// 5,000-machine footprint, tracked here across PRs.
+func BenchmarkScaleHarness(b *testing.B) {
+	var res *scale.Result
+	for i := 0; i < b.N; i++ {
+		cfg := scale.SmokeConfig()
+		cfg.Seed = int64(i + 1)
+		r, err := scale.Run(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if r.CompletedApps != cfg.Apps {
+			b.Fatalf("completed %d of %d apps", r.CompletedApps, cfg.Apps)
+		}
+		res = r
+	}
+	b.ReportMetric(res.DecisionsPerSec, "decisions/s")
+	b.ReportMetric(res.LatencyP99MS, "p99-sim-ms")
+	b.ReportMetric(res.AllocsPerDecision, "allocs/decision")
+}
+
+// BenchmarkScaleHarnessLegacy is the same workload on the pre-optimization
+// scheduler (flat locality-tree scan), so `go test -bench Scale` shows the
+// optimization ratio directly.
+func BenchmarkScaleHarnessLegacy(b *testing.B) {
+	var res *scale.Result
+	for i := 0; i < b.N; i++ {
+		cfg := scale.SmokeConfig()
+		cfg.Seed = int64(i + 1)
+		cfg.LegacyScan = true
+		r, err := scale.Run(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		res = r
+	}
+	b.ReportMetric(res.DecisionsPerSec, "decisions/s")
+	b.ReportMetric(res.LatencyP99MS, "p99-sim-ms")
 }
 
 // ---------------------------------------------------------------------------

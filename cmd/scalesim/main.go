@@ -1,0 +1,121 @@
+// Command scalesim runs the paper-scale scheduling stress harness
+// (internal/scale) and writes BENCH_scale.json: scheduling-decision
+// throughput, demand-to-grant latency percentiles in virtual time, and
+// allocation pressure per decision for a 5,000-machine / 100k-schedule-unit
+// churn. With -compare it replays the same workload against the
+// pre-optimization scheduler (legacy linear-scan locality tree) and reports
+// the speedup, so the optimization trajectory is tracked across PRs.
+//
+// Usage:
+//
+//	go run ./cmd/scalesim                     # full paper-scale run
+//	go run ./cmd/scalesim -smoke              # CI-sized smoke run
+//	go run ./cmd/scalesim -compare -out BENCH_scale.json
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"repro/internal/scale"
+	"repro/internal/sim"
+)
+
+func main() {
+	var (
+		smoke    = flag.Bool("smoke", false, "run the CI-sized smoke configuration (100 machines)")
+		compare  = flag.Bool("compare", false, "also run the legacy-scheduler baseline and report the speedup")
+		out      = flag.String("out", "BENCH_scale.json", "output JSON path (- for stdout only)")
+		racks    = flag.Int("racks", 0, "override rack count")
+		perRack  = flag.Int("machines-per-rack", 0, "override machines per rack")
+		apps     = flag.Int("apps", 0, "override application count")
+		units    = flag.Int("units-per-app", 0, "override schedule units per app")
+		seed     = flag.Int64("seed", 1, "simulation seed")
+		horizonS = flag.Int("horizon-sec", 0, "override simulation horizon (seconds)")
+		budget   = flag.Duration("baseline-budget", 2*time.Minute,
+			"wall-clock budget for the -compare baseline run (it is rate-measured, not run to completion)")
+		legacy = flag.Bool("legacy", false, "run only the legacy baseline scheduler")
+	)
+	flag.Parse()
+
+	cfg := scale.DefaultConfig()
+	if *smoke {
+		cfg = scale.SmokeConfig()
+	}
+	if *racks > 0 {
+		cfg.Racks = *racks
+	}
+	if *perRack > 0 {
+		cfg.MachinesPerRack = *perRack
+	}
+	if *apps > 0 {
+		cfg.Apps = *apps
+	}
+	if *units > 0 {
+		cfg.UnitsPerApp = *units
+	}
+	if *horizonS > 0 {
+		cfg.Horizon = sim.Time(*horizonS) * sim.Second
+	}
+	cfg.Seed = *seed
+	cfg.LegacyScan = *legacy
+
+	var payload any
+	broken := false
+	if *compare {
+		cmp, err := scale.RunCompare(cfg, *budget)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "scalesim:", err)
+			os.Exit(1)
+		}
+		payload = cmp
+		printResult("baseline (legacy scan)", &cmp.Baseline)
+		printResult("optimized", &cmp.Optimized)
+		fmt.Printf("speedup: %.2fx scheduling-decision throughput\n", cmp.Speedup)
+		broken = len(cmp.Baseline.Invariants) > 0 || len(cmp.Optimized.Invariants) > 0
+	} else {
+		res, err := scale.Run(cfg)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "scalesim:", err)
+			os.Exit(1)
+		}
+		payload = res
+		printResult("run", res)
+		broken = len(res.Invariants) > 0
+	}
+
+	if *out != "-" {
+		data, err := json.MarshalIndent(payload, "", "  ")
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "scalesim:", err)
+			os.Exit(1)
+		}
+		data = append(data, '\n')
+		if err := os.WriteFile(*out, data, 0o644); err != nil {
+			fmt.Fprintln(os.Stderr, "scalesim:", err)
+			os.Exit(1)
+		}
+		fmt.Println("wrote", *out)
+	}
+	if broken {
+		// Scheduler invariant violations are a correctness failure, not a
+		// measurement: make CI smoke runs fail loudly.
+		os.Exit(1)
+	}
+}
+
+func printResult(label string, r *scale.Result) {
+	fmt.Printf("%s: %d machines, %d units, %d decisions in %.2fs wall (sim %.1fs)\n",
+		label, r.Machines, r.Units, r.Decisions, r.WallSeconds, r.SimSeconds)
+	fmt.Printf("  throughput %.0f decisions/s, latency p50 %.2fms p99 %.2fms max %.2fms (sim-time)\n",
+		r.DecisionsPerSec, r.LatencyP50MS, r.LatencyP99MS, r.LatencyMaxMS)
+	fmt.Printf("  %.1f allocs/decision, %d events, %d msgs (%d batches), %d/%d apps completed\n",
+		r.AllocsPerDecision, r.EventsFired, r.MessagesSent, r.MessageBatches,
+		r.CompletedApps, r.Config.Apps)
+	if len(r.Invariants) > 0 {
+		fmt.Printf("  INVARIANT VIOLATIONS: %v\n", r.Invariants)
+	}
+}

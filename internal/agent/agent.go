@@ -12,6 +12,7 @@ package agent
 
 import (
 	"fmt"
+	"sort"
 
 	"repro/internal/protocol"
 	"repro/internal/resource"
@@ -427,7 +428,12 @@ func (a *Agent) RestartDaemon() {
 	for _, p := range a.procs {
 		apps[p.App] = true
 	}
+	names := make([]string, 0, len(apps))
 	for app := range apps {
+		names = append(names, app)
+	}
+	sort.Strings(names)
+	for _, app := range names {
 		a.net.Send(a.endpoint(), app, protocol.WorkerListRequest{Machine: a.Machine, Seq: a.seq.Next()})
 	}
 }
@@ -439,15 +445,32 @@ func (a *Agent) applyCapacitySync(t protocol.CapacitySync) {
 			a.capacity[capKey{e.App, e.UnitID}] = &capEntry{size: e.Size, count: e.Count}
 		}
 	}
-	for k, e := range a.capacity {
-		a.ensureCapacity(k, e)
+	// Enforce (and below, reap) in sorted order so the enforcement kills
+	// and their failure reports are seed-reproducible.
+	keys := make([]capKey, 0, len(a.capacity))
+	for k := range a.capacity {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		if keys[i].app != keys[j].app {
+			return keys[i].app < keys[j].app
+		}
+		return keys[i].unitID < keys[j].unitID
+	})
+	for _, k := range keys {
+		a.ensureCapacity(k, a.capacity[k])
 	}
 	// Processes whose capacity vanished entirely while the daemon was down:
+	var orphans []*Proc
 	for _, p := range a.procs {
 		if a.capacity[capKey{p.App, p.UnitID}] == nil {
-			a.KilledForCapacity++
-			a.killProc(p, "killed: capacity revoked during daemon outage")
+			orphans = append(orphans, p)
 		}
+	}
+	sort.Slice(orphans, func(i, j int) bool { return orphans[i].ID < orphans[j].ID })
+	for _, p := range orphans {
+		a.KilledForCapacity++
+		a.killProc(p, "killed: capacity revoked during daemon outage")
 	}
 }
 
@@ -459,23 +482,31 @@ func (a *Agent) adoptWorkers(t protocol.WorkerListReply) {
 	for _, w := range t.Workers {
 		expect[w.WorkerID] = w
 	}
+	ids := make([]string, 0, len(a.procs))
 	for id, p := range a.procs {
-		if p.App != t.App {
-			continue
+		if p.App == t.App {
+			ids = append(ids, id)
 		}
+	}
+	sort.Strings(ids)
+	for _, id := range ids {
 		if _, ok := expect[id]; !ok {
-			a.killProc(p, "killed: not in application worker list")
+			a.killProc(a.procs[id], "killed: not in application worker list")
 		}
 		delete(expect, id)
 	}
-	for id, w := range expect {
+	missing := make([]string, 0, len(expect))
+	for id := range expect {
+		missing = append(missing, id)
+	}
+	sort.Strings(missing)
+	for _, id := range missing {
 		a.net.Send(a.endpoint(), t.App, protocol.WorkerStatus{
 			Machine: a.Machine, App: t.App, WorkerID: id,
 			State:         protocol.WorkerFailed,
 			FailureDetail: "lost during agent outage",
 			Seq:           a.seq.Next(),
 		})
-		_ = w
 	}
 }
 

@@ -64,12 +64,25 @@ func TestRunFaultMatrixShape(t *testing.T) {
 	// Half-scale rendition: 150 machines (so the paper's fixed 15/29
 	// machine campaigns are a 10%/19% fault rate), short tasks. The
 	// ordering property — more faults, more slowdown; all runs complete —
-	// is what matters.
-	rows, err := RunFaultMatrix(FaultOptions{
+	// is what matters. This is by far the slowest test in the repo, so
+	// short mode (CI) runs a downsized cluster and workload that still
+	// exercises all four fault scenarios.
+	opts := FaultOptions{
 		Racks: 15, MachinesPerRack: 10,
 		Instances: 2400, Workers: 600, DurationMS: 10_000,
 		Seed: 5,
-	})
+	}
+	// The campaigns degrade a fixed 15/29 machines (the paper's counts),
+	// so the plausible-slowdown ceiling scales with how much of the
+	// cluster that is: ~20% of 150 machines, ~50% of the short-mode 60.
+	maxSlowdown := 200.0
+	if testing.Short() {
+		opts.Racks, opts.MachinesPerRack = 6, 10
+		opts.Instances, opts.Workers = 480, 120
+		opts.DurationMS = 5_000
+		maxSlowdown = 500.0
+	}
+	rows, err := RunFaultMatrix(opts)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -84,7 +97,7 @@ func TestRunFaultMatrixShape(t *testing.T) {
 		if r.ElapsedSec < normal {
 			t.Errorf("%s faster than fault-free (%f < %f)", r.Scenario, r.ElapsedSec, normal)
 		}
-		if r.SlowdownPct < 0 || r.SlowdownPct > 200 {
+		if r.SlowdownPct < 0 || r.SlowdownPct > maxSlowdown {
 			t.Errorf("%s slowdown = %.1f%%, implausible", r.Scenario, r.SlowdownPct)
 		}
 	}

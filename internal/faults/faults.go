@@ -8,6 +8,7 @@ package faults
 
 import (
 	"math/rand"
+	"sort"
 
 	"repro/internal/core"
 	"repro/internal/sim"
@@ -101,6 +102,9 @@ func Apply(c *core.Cluster, camp Campaign) []Injection {
 			for id := range a.Procs() {
 				ids = append(ids, id)
 			}
+			// Crash in a fixed order: map iteration order must not leak
+			// into the simulation schedule (runs are seed-reproducible).
+			sort.Strings(ids)
 			for _, id := range ids {
 				a.CrashWorker(id, "disk I/O hang")
 			}

@@ -394,7 +394,13 @@ func (j *JobMaster) adoptFromReport(tm *taskMaster, r InstanceReport) {
 }
 
 func (j *JobMaster) scanBackups() {
-	for _, tm := range j.tms {
+	// Walk tasks in description order, not map order: the scan emits
+	// resource and worker messages whose order must be seed-reproducible.
+	for _, name := range j.order {
+		tm := j.tms[name]
+		if tm == nil {
+			continue
+		}
 		tm.scanBackups()
 		if !j.recovering {
 			tm.reapStuckStarts(j.cfg.WorkerStartTimeout)
@@ -440,8 +446,10 @@ func (j *JobMaster) finishRecovery() {
 	if j.finished {
 		return
 	}
-	for _, tm := range j.tms {
-		tm.finishRecovery()
+	for _, name := range j.order {
+		if tm := j.tms[name]; tm != nil {
+			tm.finishRecovery()
+		}
 	}
 	j.startReadyTasks()
 }

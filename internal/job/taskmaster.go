@@ -2,6 +2,7 @@ package job
 
 import (
 	"fmt"
+	"sort"
 
 	"repro/internal/resource"
 	"repro/internal/sim"
@@ -169,6 +170,8 @@ func (tm *taskMaster) requestWorkers(n int) {
 	for m, c := range perMachine {
 		hints = append(hints, resource.LocalityHint{Type: resource.LocalityMachine, Value: m, Count: c})
 	}
+	// The master satisfies hints in request order: keep it reproducible.
+	sort.Slice(hints, func(i, j int) bool { return hints[i].Value < hints[j].Value })
 	if rest := n - hinted; rest > 0 {
 		hints = append(hints, resource.LocalityHint{Type: resource.LocalityCluster, Count: rest})
 	}
@@ -274,6 +277,7 @@ func (tm *taskMaster) reapStuckStarts(timeout sim.Time) {
 			stuck = append(stuck, w)
 		}
 	}
+	sort.Slice(stuck, func(i, j int) bool { return stuck[i].id < stuck[j].id })
 	for _, w := range stuck {
 		tm.workerFailed(w.id, w.machine, "worker start timed out")
 	}
@@ -362,14 +366,22 @@ func (tm *taskMaster) failureOn(in *instance, machine string) {
 // revoked handles the master revoking count containers on machine (node
 // down, preemption, blacklist): workers there are lost.
 func (tm *taskMaster) revoked(machine string, count int) {
-	lost := 0
+	// Choose the lost workers deterministically (highest ID first — the
+	// most recently planned — mirroring the agent's capacity enforcement),
+	// never by map order.
+	onMachine := make([]string, 0, count)
 	for id, w := range tm.workers {
+		if w.machine == machine {
+			onMachine = append(onMachine, id)
+		}
+	}
+	sort.Sort(sort.Reverse(sort.StringSlice(onMachine)))
+	lost := 0
+	for _, id := range onMachine {
 		if lost >= count {
 			break
 		}
-		if w.machine != machine {
-			continue
-		}
+		w := tm.workers[id]
 		lost++
 		delete(tm.workers, id)
 		if w.instance >= 0 {
@@ -548,6 +560,10 @@ func (tm *taskMaster) scanBackups() {
 			continue
 		}
 		orig := tm.workers[in.worker]
+		// Pick the eligible idle worker with the smallest ID — never by
+		// map order, which would make backup placement (and thus whole
+		// fault-injection runs) irreproducible.
+		var backup *tmWorker
 		for _, w := range tm.workers {
 			if w.state != workerIdle {
 				continue
@@ -555,16 +571,20 @@ func (tm *taskMaster) scanBackups() {
 			if orig != nil && w.machine == orig.machine {
 				continue // a backup on the same sick machine is pointless
 			}
-			w.state = workerBusy
-			w.instance = in.id
-			in.backupWorker = w.id
+			if backup == nil || w.id < backup.id {
+				backup = w
+			}
+		}
+		if backup != nil {
+			backup.state = workerBusy
+			backup.instance = in.id
+			in.backupWorker = backup.id
 			tm.jm.backupLaunched++
-			tm.jm.sendToWorker(w.id, AssignInstance{
+			tm.jm.sendToWorker(backup.id, AssignInstance{
 				Task: tm.name, Instance: in.id, Attempt: in.attempt,
 				Duration: in.duration,
 				Backup:   true,
 			})
-			break
 		}
 	}
 }
@@ -573,14 +593,25 @@ func (tm *taskMaster) scanBackups() {
 // leftover demand, unblock downstream tasks.
 func (tm *taskMaster) complete() {
 	tm.completed = true
+	ids := make([]string, 0, len(tm.workers))
+	for id := range tm.workers {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
 	perMachine := map[string]int{}
-	for id, w := range tm.workers {
+	for _, id := range ids {
+		w := tm.workers[id]
 		tm.jm.am.StopWorker(id)
 		perMachine[w.machine]++
 		delete(tm.workers, id)
 	}
-	for m, n := range perMachine {
-		tm.jm.am.ReturnContainers(tm.unitID, m, n)
+	machines := make([]string, 0, len(perMachine))
+	for m := range perMachine {
+		machines = append(machines, m)
+	}
+	sort.Strings(machines)
+	for _, m := range machines {
+		tm.jm.am.ReturnContainers(tm.unitID, m, perMachine[m])
 	}
 	if out := tm.jm.am.Outstanding(tm.unitID); out > 0 {
 		tm.jm.am.Request(tm.unitID, resource.LocalityHint{Type: resource.LocalityCluster, Count: -out})

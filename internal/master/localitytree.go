@@ -28,6 +28,15 @@ type waitEntry struct {
 	// entries gain effective priority (§7 lists starvation guards as
 	// future work; this is that extension).
 	enqueuedAt sim.Time
+	// queued marks membership in a localityTree bucket (not used by the
+	// legacy tree, whose queues never drop zero-count entries eagerly).
+	queued bool
+	// st/u cache the scheduler-state resolution of key so the assignment
+	// loop does not repeat two map lookups per candidate per free-up. Only
+	// live (indexed) entries are ever handed out as candidates, so the
+	// pointers cannot outlive the app registration that created them.
+	st *appState
+	u  *unitState
 }
 
 // effectivePriority applies aging: boostPerSec priority points per second
@@ -50,32 +59,292 @@ type treeIdx struct {
 	node  string
 }
 
-// localityTree holds the three-level waiting queues of the FuxiMaster
-// scheduler (paper §3.3). Each machine, each rack, and the cluster has its
-// own queue; a freed machine consults only its own queue, its rack's queue
-// and the cluster queue.
-type localityTree struct {
-	queues map[treeQueueID][]*waitEntry
-	index  map[treeIdx]*waitEntry
-	seq    uint64
-}
-
 type treeQueueID struct {
 	level resource.LocalityType
 	node  string
 }
 
+// waitTree is the locality-tree contract the scheduler programs against.
+// Two implementations exist: localityTree (indexed per-level wait queues)
+// and legacyTree (the original linear-scan-and-sort structure, kept so the
+// scale harness can measure the optimization against its own baseline).
+//
+// add and setCount accept the resolved (appState, unitState) of the key so
+// the indexed tree can maintain per-bucket minimum-size bounds; nil is
+// allowed (tests) and merely disables that pruning.
+type waitTree interface {
+	add(key waitKey, priority int, level resource.LocalityType, node string, delta int, now sim.Time, st *appState, u *unitState) int
+	get(key waitKey, level resource.LocalityType, node string) int
+	// setCount forces the waiting count at one node (full-state
+	// reconciliation); unlike add it never resets the aging clock.
+	setCount(key waitKey, priority int, level resource.LocalityType, node string, count int, now sim.Time, st *appState, u *unitState)
+	// nodesFor lists the locality nodes where key currently has an entry.
+	nodesFor(key waitKey) []treeIdx
+	removeApp(app string)
+	// forEachCandidate streams the live entries eligible for capacity
+	// freed on machine, in (aged priority, level, seq) order, until fn
+	// returns false. A non-nil free vector lets the implementation prune
+	// entries that provably cannot fit it, re-reading it between entries
+	// (the caller keeps it current as grants shrink the capacity); nil
+	// disables pruning.
+	forEachCandidate(machine, rack string, now sim.Time, agingBoost float64, free *resource.Vector, fn func(*waitEntry) bool)
+	totalWaiting(key waitKey) int
+	waitingByLevel(key waitKey) (machine, rack, cluster int)
+}
+
+// collectCandidates gathers a tree's full candidate list (test helper and
+// aging-path building block).
+func collectCandidates(t waitTree, machine, rack string, now sim.Time, agingBoost float64, free *resource.Vector) []*waitEntry {
+	var out []*waitEntry
+	t.forEachCandidate(machine, rack, now, agingBoost, free, func(e *waitEntry) bool {
+		out = append(out, e)
+		return true
+	})
+	return out
+}
+
+// ---------------------------------------------------------------------------
+// indexed implementation
+// ---------------------------------------------------------------------------
+
+// sizeClass groups the members of one bucket that wait with the same
+// physical container size, FIFO by seq. Eligibility of a whole class
+// against the current free fragment is one pair of integer compares, so a
+// free-up that fits none of a class's thousands of waiters skips all of
+// them at once. Entries whose size is unknown or carries virtual
+// dimensions go to the opaque class, which is never pruned.
+type sizeClass struct {
+	cpu, mem int64
+	opaque   bool
+	entries  []*waitEntry // sorted by seq ascending
+	cur      int          // walk cursor (valid during one walk)
+}
+
+// eligible reports whether one unit of this class could fit free. A nil
+// free means "no pruning requested".
+func (c *sizeClass) eligible(free *resource.Vector) bool {
+	if c.opaque || free == nil {
+		return true
+	}
+	return free.CPUMilli() >= c.cpu && free.MemoryMB() >= c.mem
+}
+
+// finish compacts the visited prefix [0, cur): satisfied and removed
+// entries leave the queue, survivors and the unvisited tail keep order.
+func (c *sizeClass) finish() {
+	if c.cur == 0 {
+		return
+	}
+	w := 0
+	for i := 0; i < c.cur; i++ {
+		if e := c.entries[i]; e.count > 0 {
+			c.entries[w] = e
+			w++
+		} else {
+			c.entries[i].queued = false
+		}
+	}
+	if w != c.cur {
+		n := copy(c.entries[w:], c.entries[c.cur:])
+		for i := w + n; i < len(c.entries); i++ {
+			c.entries[i] = nil
+		}
+		c.entries = c.entries[:w+n]
+	}
+	c.cur = 0
+}
+
+// treeBucket holds one priority class of one queue, partitioned into size
+// classes; walks merge the classes back into seq (FIFO) order.
+type treeBucket struct {
+	classes []*sizeClass
+}
+
+func (b *treeBucket) classFor(u *unitState) *sizeClass {
+	if u == nil || u.def.Size.HasVirtual() {
+		for _, c := range b.classes {
+			if c.opaque {
+				return c
+			}
+		}
+		c := &sizeClass{opaque: true}
+		b.classes = append(b.classes, c)
+		return c
+	}
+	cpu, mem := u.def.Size.CPUMilli(), u.def.Size.MemoryMB()
+	for _, c := range b.classes {
+		if !c.opaque && c.cpu == cpu && c.mem == mem {
+			return c
+		}
+	}
+	c := &sizeClass{cpu: cpu, mem: mem}
+	b.classes = append(b.classes, c)
+	return c
+}
+
+func (b *treeBucket) empty() bool {
+	for _, c := range b.classes {
+		if len(c.entries) > 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// walk streams the bucket's live entries to fn in seq order, merging the
+// size classes and skipping classes the current free fragment cannot
+// satisfy. It compacts what it visits and returns false when fn asked to
+// stop. free is re-read between entries: once grants shrink it below a
+// class's size, that class drops out of the merge mid-walk.
+func (b *treeBucket) walk(free *resource.Vector, fn func(*waitEntry) bool) bool {
+	for _, c := range b.classes {
+		c.cur = 0
+	}
+	stopped := false
+	for !stopped {
+		var best *sizeClass
+		for _, c := range b.classes {
+			for c.cur < len(c.entries) && c.entries[c.cur].count <= 0 {
+				c.cur++ // dead head: removed by finish
+			}
+			if c.cur >= len(c.entries) || !c.eligible(free) {
+				continue
+			}
+			if best == nil || c.entries[c.cur].seq < best.entries[best.cur].seq {
+				best = c
+			}
+		}
+		if best == nil {
+			break
+		}
+		e := best.entries[best.cur]
+		best.cur++
+		stopped = !fn(e)
+	}
+	live := b.classes[:0]
+	for _, c := range b.classes {
+		c.finish()
+		if len(c.entries) > 0 {
+			live = append(live, c)
+		}
+	}
+	for i := len(live); i < len(b.classes); i++ {
+		b.classes[i] = nil
+	}
+	b.classes = live
+	return !stopped
+}
+
+// compactInto appends every live entry (all classes, seq-merged not
+// required: callers re-sort) to out, compacting as it goes. It reports
+// whether the bucket is empty afterwards.
+func (b *treeBucket) compactInto(out *[]*waitEntry) bool {
+	live := b.classes[:0]
+	for _, c := range b.classes {
+		c.cur = len(c.entries)
+		for _, e := range c.entries {
+			if e.count > 0 {
+				*out = append(*out, e)
+			}
+		}
+		c.finish()
+		if len(c.entries) > 0 {
+			live = append(live, c)
+		}
+	}
+	for i := len(live); i < len(b.classes); i++ {
+		b.classes[i] = nil
+	}
+	b.classes = live
+	return len(b.classes) == 0
+}
+
+// treeQueue is the waiting queue of one locality node, bucketed by priority
+// so candidate collection walks entries already in scheduling order instead
+// of sorting the queue on every free-up.
+type treeQueue struct {
+	buckets map[int]*treeBucket
+	prios   []int // sorted priorities with live buckets
+}
+
+func (q *treeQueue) bucket(prio int) *treeBucket {
+	b := q.buckets[prio]
+	if b == nil {
+		b = &treeBucket{}
+		q.buckets[prio] = b
+		i := sort.SearchInts(q.prios, prio)
+		q.prios = append(q.prios, 0)
+		copy(q.prios[i+1:], q.prios[i:])
+		q.prios[i] = prio
+	}
+	return b
+}
+
+func (q *treeQueue) dropPrio(prio int) {
+	delete(q.buckets, prio)
+	i := sort.SearchInts(q.prios, prio)
+	if i < len(q.prios) && q.prios[i] == prio {
+		q.prios = append(q.prios[:i], q.prios[i+1:]...)
+	}
+}
+
+// localityTree holds the three-level waiting queues of the FuxiMaster
+// scheduler (paper §3.3). Each machine, each rack, and the cluster has its
+// own queue; a freed machine consults only its own queue, its rack's queue
+// and the cluster queue. Queues are indexed per priority and keep only
+// entries with live demand, so a free-up touches O(candidates) entries
+// rather than every (app, unit) that ever waited there. A satisfied entry
+// keeps its index record (and original seq); re-raised demand re-inserts it
+// at its original queue position, preserving the legacy FIFO semantics.
+type localityTree struct {
+	queues map[treeQueueID]*treeQueue
+	index  map[treeIdx]*waitEntry
+	byApp  map[string][]*waitEntry
+	seq    uint64
+
+	scratch []*waitEntry // reused candidate buffer (scheduler is single-threaded)
+	prioSet []int        // reused priority-union buffer
+}
+
 func newLocalityTree() *localityTree {
 	return &localityTree{
-		queues: make(map[treeQueueID][]*waitEntry),
+		queues: make(map[treeQueueID]*treeQueue),
 		index:  make(map[treeIdx]*waitEntry),
+		byApp:  make(map[string][]*waitEntry),
 	}
+}
+
+func (t *localityTree) queue(qid treeQueueID) *treeQueue {
+	q := t.queues[qid]
+	if q == nil {
+		q = &treeQueue{buckets: make(map[int]*treeBucket)}
+		t.queues[qid] = q
+	}
+	return q
+}
+
+// enqueue inserts e into its queue bucket at the position its seq dictates.
+// Fresh entries carry the largest seq yet issued and append in O(1);
+// re-activated entries binary-search back to their original position.
+func (t *localityTree) enqueue(e *waitEntry) {
+	b := t.queue(treeQueueID{level: e.level, node: e.node}).bucket(e.priority)
+	c := b.classFor(e.u)
+	n := len(c.entries)
+	if n == 0 || c.entries[n-1].seq < e.seq {
+		c.entries = append(c.entries, e)
+	} else {
+		i := sort.Search(n, func(i int) bool { return c.entries[i].seq > e.seq })
+		c.entries = append(c.entries, nil)
+		copy(c.entries[i+1:], c.entries[i:])
+		c.entries[i] = e
+	}
+	e.queued = true
 }
 
 // add increments the waiting count for key at (level, node), creating the
 // entry at the queue tail when new. Negative deltas decrement, flooring at
 // zero. It returns the entry's resulting count.
-func (t *localityTree) add(key waitKey, priority int, level resource.LocalityType, node string, delta int, now sim.Time) int {
+func (t *localityTree) add(key waitKey, priority int, level resource.LocalityType, node string, delta int, now sim.Time, st *appState, u *unitState) int {
 	idx := treeIdx{key: key, level: level, node: node}
 	e := t.index[idx]
 	if e == nil {
@@ -83,10 +352,9 @@ func (t *localityTree) add(key waitKey, priority int, level resource.LocalityTyp
 			return 0
 		}
 		t.seq++
-		e = &waitEntry{key: key, priority: priority, seq: t.seq, level: level, node: node, enqueuedAt: now}
+		e = &waitEntry{key: key, priority: priority, seq: t.seq, level: level, node: node, enqueuedAt: now, st: st, u: u}
 		t.index[idx] = e
-		qid := treeQueueID{level: level, node: node}
-		t.queues[qid] = append(t.queues[qid], e)
+		t.byApp[key.app] = append(t.byApp[key.app], e)
 	}
 	if e.count == 0 && delta > 0 {
 		e.enqueuedAt = now // waiting clock restarts after a zero crossing
@@ -94,6 +362,9 @@ func (t *localityTree) add(key waitKey, priority int, level resource.LocalityTyp
 	e.count += delta
 	if e.count < 0 {
 		e.count = 0
+	}
+	if e.count > 0 && !e.queued {
+		t.enqueue(e)
 	}
 	return e.count
 }
@@ -106,62 +377,143 @@ func (t *localityTree) get(key waitKey, level resource.LocalityType, node string
 	return 0
 }
 
-// removeApp drops every entry belonging to app.
-func (t *localityTree) removeApp(app string) {
-	for idx, e := range t.index {
-		if idx.key.app == app {
-			e.count = 0 // tombstone; compacted lazily
-			delete(t.index, idx)
+// setCount forces the waiting count at one node without touching the aging
+// clock (full-state reconciliation semantics).
+func (t *localityTree) setCount(key waitKey, priority int, level resource.LocalityType, node string, count int, now sim.Time, st *appState, u *unitState) {
+	e := t.index[treeIdx{key: key, level: level, node: node}]
+	if e == nil {
+		if count > 0 {
+			t.add(key, priority, level, node, count, now, st, u)
 		}
+		return
+	}
+	if count < 0 {
+		count = 0
+	}
+	e.count = count
+	if e.count > 0 && !e.queued {
+		t.enqueue(e)
 	}
 }
 
-// candidatesFor returns the live waiting entries eligible to receive
+// nodesFor lists the locality nodes where key has an entry.
+func (t *localityTree) nodesFor(key waitKey) []treeIdx {
+	var out []treeIdx
+	for _, e := range t.byApp[key.app] {
+		if e.key == key {
+			out = append(out, treeIdx{key: key, level: e.level, node: e.node})
+		}
+	}
+	return out
+}
+
+// removeApp drops every entry belonging to app. Entries still sitting in
+// queue buckets become zero-count orphans that the next compaction pass
+// discards.
+func (t *localityTree) removeApp(app string) {
+	for _, e := range t.byApp[app] {
+		e.count = 0
+		delete(t.index, treeIdx{key: e.key, level: e.level, node: e.node})
+	}
+	delete(t.byApp, app)
+}
+
+// forEachCandidate streams the live waiting entries eligible to receive
 // resources freed on machine (in rack): the machine queue, the rack queue,
-// and the cluster queue, ordered by (aged priority, level, seq).
+// and the cluster queue, in (aged priority, level, seq) order.
 // Machine-level waiters precede rack/cluster waiters at equal priority
-// (paper §3.3).
-func (t *localityTree) candidatesFor(machine, rack string, now sim.Time, agingBoost float64) []*waitEntry {
-	var out []*waitEntry
-	collect := func(level resource.LocalityType, node string) {
-		qid := treeQueueID{level: level, node: node}
-		q := t.queues[qid]
-		live := q[:0]
-		for _, e := range q {
-			if e.count > 0 {
-				live = append(live, e)
-				out = append(out, e)
-			} else if _, present := t.index[treeIdx{key: e.key, level: e.level, node: e.node}]; present {
-				// Zero count but still indexed: keep its queue position so a
-				// future demand increase resumes at the original seq.
-				live = append(live, e)
+// (paper §3.3). With aging disabled (the common case) the buckets are
+// already in output order, nothing is sorted or copied, and the walk stops
+// as soon as fn returns false — a free-up that is exhausted after two
+// grants touches two entries plus the skipped prefix, not the whole queue.
+// With aging enabled the live entries are collected and re-ranked by
+// effective priority exactly like the legacy tree.
+func (t *localityTree) forEachCandidate(machine, rack string, now sim.Time, agingBoost float64, free *resource.Vector, fn func(*waitEntry) bool) {
+	qs := [3]*treeQueue{
+		t.queues[treeQueueID{level: resource.LocalityMachine, node: machine}],
+		t.queues[treeQueueID{level: resource.LocalityRack, node: rack}],
+		t.queues[treeQueueID{level: resource.LocalityCluster, node: ""}],
+	}
+	if agingBoost > 0 {
+		out := t.scratch[:0]
+		for _, q := range qs {
+			if q == nil {
+				continue
+			}
+			for _, p := range append([]int(nil), q.prios...) {
+				b := q.buckets[p]
+				if b == nil {
+					continue
+				}
+				if b.compactInto(&out) {
+					q.dropPrio(p)
+				}
 			}
 		}
-		t.queues[qid] = live
+		sort.SliceStable(out, func(i, j int) bool {
+			a, b := out[i], out[j]
+			pa, pb := a.effectivePriority(now, agingBoost), b.effectivePriority(now, agingBoost)
+			if pa != pb {
+				return pa < pb
+			}
+			if a.level != b.level {
+				return a.level < b.level
+			}
+			return a.seq < b.seq
+		})
+		t.scratch = out
+		for _, e := range out {
+			if !fn(e) {
+				return
+			}
+		}
+		return
 	}
-	collect(resource.LocalityMachine, machine)
-	collect(resource.LocalityRack, rack)
-	collect(resource.LocalityCluster, "")
-	sort.SliceStable(out, func(i, j int) bool {
-		a, b := out[i], out[j]
-		pa, pb := a.effectivePriority(now, agingBoost), b.effectivePriority(now, agingBoost)
-		if pa != pb {
-			return pa < pb
+	// Merge the three queues' sorted priority lists, walking buckets in
+	// (priority, level, seq) order — already the output order.
+	prios := t.prioSet[:0]
+	for _, q := range qs {
+		if q != nil {
+			prios = append(prios, q.prios...)
 		}
-		if a.level != b.level {
-			return a.level < b.level
+	}
+	sort.Ints(prios)
+	last := 0
+	for i, p := range prios {
+		if i > 0 && p == prios[last-1] {
+			continue
 		}
-		return a.seq < b.seq
-	})
-	return out
+		prios[last] = p
+		last++
+	}
+	prios = prios[:last]
+	t.prioSet = prios
+	for _, p := range prios {
+		for _, q := range qs {
+			if q == nil {
+				continue
+			}
+			b := q.buckets[p]
+			if b == nil {
+				continue
+			}
+			cont := b.walk(free, fn)
+			if b.empty() {
+				q.dropPrio(p)
+			}
+			if !cont {
+				return
+			}
+		}
+	}
 }
 
 // totalWaiting sums all waiting counts for a key across the tree (used in
 // tests and state dumps).
 func (t *localityTree) totalWaiting(key waitKey) int {
 	n := 0
-	for idx, e := range t.index {
-		if idx.key == key {
+	for _, e := range t.byApp[key.app] {
+		if e.key == key {
 			n += e.count
 		}
 	}
@@ -171,11 +523,11 @@ func (t *localityTree) totalWaiting(key waitKey) int {
 // waitingByLevel reports the per-level aggregate counts for a key, mirroring
 // the paper's Figure 5 view of the scheduling tree.
 func (t *localityTree) waitingByLevel(key waitKey) (machine, rack, cluster int) {
-	for idx, e := range t.index {
-		if idx.key != key {
+	for _, e := range t.byApp[key.app] {
+		if e.key != key {
 			continue
 		}
-		switch idx.level {
+		switch e.level {
 		case resource.LocalityMachine:
 			machine += e.count
 		case resource.LocalityRack:

@@ -1,0 +1,168 @@
+package master
+
+import (
+	"sort"
+
+	"repro/internal/resource"
+	"repro/internal/sim"
+)
+
+// legacyTree is the original locality-tree implementation: flat per-node
+// queues that retain every indexed entry (including satisfied, zero-count
+// ones) and re-sort the combined candidate list on every free-up. It is
+// kept behind Options.LegacyScan so the scale harness can measure the
+// indexed tree against the pre-optimization baseline in the same build.
+type legacyTree struct {
+	queues map[treeQueueID][]*waitEntry
+	index  map[treeIdx]*waitEntry
+	seq    uint64
+}
+
+func newLegacyTree() *legacyTree {
+	return &legacyTree{
+		queues: make(map[treeQueueID][]*waitEntry),
+		index:  make(map[treeIdx]*waitEntry),
+	}
+}
+
+// add increments the waiting count for key at (level, node), creating the
+// entry at the queue tail when new. Negative deltas decrement, flooring at
+// zero. It returns the entry's resulting count.
+func (t *legacyTree) add(key waitKey, priority int, level resource.LocalityType, node string, delta int, now sim.Time, st *appState, u *unitState) int {
+	idx := treeIdx{key: key, level: level, node: node}
+	e := t.index[idx]
+	if e == nil {
+		if delta <= 0 {
+			return 0
+		}
+		t.seq++
+		e = &waitEntry{key: key, priority: priority, seq: t.seq, level: level, node: node, enqueuedAt: now}
+		t.index[idx] = e
+		qid := treeQueueID{level: level, node: node}
+		t.queues[qid] = append(t.queues[qid], e)
+	}
+	if e.count == 0 && delta > 0 {
+		e.enqueuedAt = now // waiting clock restarts after a zero crossing
+	}
+	e.count += delta
+	if e.count < 0 {
+		e.count = 0
+	}
+	return e.count
+}
+
+// get returns the current waiting count for key at (level, node).
+func (t *legacyTree) get(key waitKey, level resource.LocalityType, node string) int {
+	if e := t.index[treeIdx{key: key, level: level, node: node}]; e != nil {
+		return e.count
+	}
+	return 0
+}
+
+// setCount forces the waiting count at one node (reconciliation).
+func (t *legacyTree) setCount(key waitKey, priority int, level resource.LocalityType, node string, count int, now sim.Time, st *appState, u *unitState) {
+	e := t.index[treeIdx{key: key, level: level, node: node}]
+	if e == nil {
+		if count > 0 {
+			t.add(key, priority, level, node, count, now, st, u)
+		}
+		return
+	}
+	if count < 0 {
+		count = 0
+	}
+	e.count = count
+}
+
+// nodesFor lists the locality nodes where key has an entry.
+func (t *legacyTree) nodesFor(key waitKey) []treeIdx {
+	var out []treeIdx
+	for idx := range t.index {
+		if idx.key == key {
+			out = append(out, idx)
+		}
+	}
+	return out
+}
+
+// removeApp drops every entry belonging to app.
+func (t *legacyTree) removeApp(app string) {
+	for idx, e := range t.index {
+		if idx.key.app == app {
+			e.count = 0 // tombstone; compacted lazily
+			delete(t.index, idx)
+		}
+	}
+}
+
+// forEachCandidate streams the live waiting entries eligible to receive
+// resources freed on machine (in rack), ordered by (aged priority, level,
+// seq), re-scanning and re-sorting the three queues on every call. The
+// free vector is ignored: the baseline scans everything.
+func (t *legacyTree) forEachCandidate(machine, rack string, now sim.Time, agingBoost float64, free *resource.Vector, fn func(*waitEntry) bool) {
+	var out []*waitEntry
+	collect := func(level resource.LocalityType, node string) {
+		qid := treeQueueID{level: level, node: node}
+		q := t.queues[qid]
+		live := q[:0]
+		for _, e := range q {
+			if e.count > 0 {
+				live = append(live, e)
+				out = append(out, e)
+			} else if _, present := t.index[treeIdx{key: e.key, level: e.level, node: e.node}]; present {
+				// Zero count but still indexed: keep its queue position so a
+				// future demand increase resumes at the original seq.
+				live = append(live, e)
+			}
+		}
+		t.queues[qid] = live
+	}
+	collect(resource.LocalityMachine, machine)
+	collect(resource.LocalityRack, rack)
+	collect(resource.LocalityCluster, "")
+	sort.SliceStable(out, func(i, j int) bool {
+		a, b := out[i], out[j]
+		pa, pb := a.effectivePriority(now, agingBoost), b.effectivePriority(now, agingBoost)
+		if pa != pb {
+			return pa < pb
+		}
+		if a.level != b.level {
+			return a.level < b.level
+		}
+		return a.seq < b.seq
+	})
+	for _, e := range out {
+		if !fn(e) {
+			return
+		}
+	}
+}
+
+// totalWaiting sums all waiting counts for a key across the tree.
+func (t *legacyTree) totalWaiting(key waitKey) int {
+	n := 0
+	for idx, e := range t.index {
+		if idx.key == key {
+			n += e.count
+		}
+	}
+	return n
+}
+
+// waitingByLevel reports the per-level aggregate counts for a key.
+func (t *legacyTree) waitingByLevel(key waitKey) (machine, rack, cluster int) {
+	for idx, e := range t.index {
+		if idx.key != key {
+			continue
+		}
+		switch idx.level {
+		case resource.LocalityMachine:
+			machine += e.count
+		case resource.LocalityRack:
+			rack += e.count
+		case resource.LocalityCluster:
+			cluster += e.count
+		}
+	}
+	return
+}

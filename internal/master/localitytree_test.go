@@ -4,118 +4,238 @@ import (
 	"testing"
 
 	"repro/internal/resource"
+	"repro/internal/sim"
 )
 
 func key(app string) waitKey { return waitKey{app: app, unit: 1} }
 
+// anyFree disables fit pruning in forEachCandidate.
+var anyFree *resource.Vector
+
+// bothTrees runs a subtest against the indexed tree and the legacy
+// baseline: the two implementations must be observationally identical.
+func bothTrees(t *testing.T, fn func(t *testing.T, tr waitTree)) {
+	t.Run("indexed", func(t *testing.T) { fn(t, newLocalityTree()) })
+	t.Run("legacy", func(t *testing.T) { fn(t, newLegacyTree()) })
+}
+
 func TestTreeAddAndGet(t *testing.T) {
-	tr := newLocalityTree()
-	if got := tr.add(key("a"), 10, resource.LocalityMachine, "m1", 5, 0); got != 5 {
-		t.Errorf("count = %d", got)
-	}
-	if got := tr.add(key("a"), 10, resource.LocalityMachine, "m1", 3, 0); got != 8 {
-		t.Errorf("merged count = %d", got)
-	}
-	if got := tr.get(key("a"), resource.LocalityMachine, "m1"); got != 8 {
-		t.Errorf("get = %d", got)
-	}
-	if got := tr.get(key("a"), resource.LocalityRack, "r1"); got != 0 {
-		t.Errorf("absent get = %d", got)
-	}
+	bothTrees(t, func(t *testing.T, tr waitTree) {
+		if got := tr.add(key("a"), 10, resource.LocalityMachine, "m1", 5, 0, nil, nil); got != 5 {
+			t.Errorf("count = %d", got)
+		}
+		if got := tr.add(key("a"), 10, resource.LocalityMachine, "m1", 3, 0, nil, nil); got != 8 {
+			t.Errorf("merged count = %d", got)
+		}
+		if got := tr.get(key("a"), resource.LocalityMachine, "m1"); got != 8 {
+			t.Errorf("get = %d", got)
+		}
+		if got := tr.get(key("a"), resource.LocalityRack, "r1"); got != 0 {
+			t.Errorf("absent get = %d", got)
+		}
+	})
 }
 
 func TestTreeNegativeFloorsAtZero(t *testing.T) {
-	tr := newLocalityTree()
-	tr.add(key("a"), 10, resource.LocalityCluster, "", 5, 0)
-	if got := tr.add(key("a"), 10, resource.LocalityCluster, "", -99, 0); got != 0 {
-		t.Errorf("floored count = %d", got)
-	}
-	// A pure decrement on a non-existent entry must not create one.
-	if got := tr.add(key("b"), 10, resource.LocalityCluster, "", -1, 0); got != 0 {
-		t.Errorf("ghost entry count = %d", got)
-	}
-	if tr.totalWaiting(key("b")) != 0 {
-		t.Error("decrement created an entry")
-	}
+	bothTrees(t, func(t *testing.T, tr waitTree) {
+		tr.add(key("a"), 10, resource.LocalityCluster, "", 5, 0, nil, nil)
+		if got := tr.add(key("a"), 10, resource.LocalityCluster, "", -99, 0, nil, nil); got != 0 {
+			t.Errorf("floored count = %d", got)
+		}
+		// A pure decrement on a non-existent entry must not create one.
+		if got := tr.add(key("b"), 10, resource.LocalityCluster, "", -1, 0, nil, nil); got != 0 {
+			t.Errorf("ghost entry count = %d", got)
+		}
+		if tr.totalWaiting(key("b")) != 0 {
+			t.Error("decrement created an entry")
+		}
+	})
 }
 
 func TestCandidatesOrdering(t *testing.T) {
-	tr := newLocalityTree()
-	// Same priority: machine-level beats rack beats cluster; FIFO within.
-	tr.add(key("clusterA"), 100, resource.LocalityCluster, "", 1, 0)
-	tr.add(key("rackA"), 100, resource.LocalityRack, "r1", 1, 0)
-	tr.add(key("machineA"), 100, resource.LocalityMachine, "m1", 1, 0)
-	tr.add(key("machineB"), 100, resource.LocalityMachine, "m1", 1, 0)
-	// Higher priority (smaller) cluster waiter beats them all.
-	tr.add(key("urgent"), 1, resource.LocalityCluster, "", 1, 0)
+	bothTrees(t, func(t *testing.T, tr waitTree) {
+		// Same priority: machine-level beats rack beats cluster; FIFO within.
+		tr.add(key("clusterA"), 100, resource.LocalityCluster, "", 1, 0, nil, nil)
+		tr.add(key("rackA"), 100, resource.LocalityRack, "r1", 1, 0, nil, nil)
+		tr.add(key("machineA"), 100, resource.LocalityMachine, "m1", 1, 0, nil, nil)
+		tr.add(key("machineB"), 100, resource.LocalityMachine, "m1", 1, 0, nil, nil)
+		// Higher priority (smaller) cluster waiter beats them all.
+		tr.add(key("urgent"), 1, resource.LocalityCluster, "", 1, 0, nil, nil)
 
-	got := tr.candidatesFor("m1", "r1", 0, 0)
-	want := []string{"urgent", "machineA", "machineB", "rackA", "clusterA"}
-	if len(got) != len(want) {
-		t.Fatalf("candidates = %d, want %d", len(got), len(want))
-	}
-	for i, w := range want {
-		if got[i].key.app != w {
-			t.Errorf("candidate %d = %s, want %s", i, got[i].key.app, w)
+		got := collectCandidates(tr, "m1", "r1", 0, 0, anyFree)
+		want := []string{"urgent", "machineA", "machineB", "rackA", "clusterA"}
+		if len(got) != len(want) {
+			t.Fatalf("candidates = %d, want %d", len(got), len(want))
 		}
-	}
+		for i, w := range want {
+			if got[i].key.app != w {
+				t.Errorf("candidate %d = %s, want %s", i, got[i].key.app, w)
+			}
+		}
+	})
 }
 
 func TestCandidatesScopedToMachineAndRack(t *testing.T) {
-	tr := newLocalityTree()
-	tr.add(key("other"), 1, resource.LocalityMachine, "m2", 1, 0)
-	tr.add(key("otherRack"), 1, resource.LocalityRack, "r2", 1, 0)
-	tr.add(key("mine"), 100, resource.LocalityMachine, "m1", 1, 0)
-	got := tr.candidatesFor("m1", "r1", 0, 0)
-	if len(got) != 1 || got[0].key.app != "mine" {
-		t.Errorf("candidates = %v", got)
-	}
+	bothTrees(t, func(t *testing.T, tr waitTree) {
+		tr.add(key("other"), 1, resource.LocalityMachine, "m2", 1, 0, nil, nil)
+		tr.add(key("otherRack"), 1, resource.LocalityRack, "r2", 1, 0, nil, nil)
+		tr.add(key("mine"), 100, resource.LocalityMachine, "m1", 1, 0, nil, nil)
+		got := collectCandidates(tr, "m1", "r1", 0, 0, anyFree)
+		if len(got) != 1 || got[0].key.app != "mine" {
+			t.Errorf("candidates = %v", got)
+		}
+	})
 }
 
 func TestRemoveApp(t *testing.T) {
-	tr := newLocalityTree()
-	tr.add(key("a"), 1, resource.LocalityMachine, "m1", 2, 0)
-	tr.add(key("a"), 1, resource.LocalityCluster, "", 3, 0)
-	tr.add(key("b"), 1, resource.LocalityCluster, "", 1, 0)
-	tr.removeApp("a")
-	if tr.totalWaiting(key("a")) != 0 {
-		t.Error("app a still waiting")
-	}
-	if tr.totalWaiting(key("b")) != 1 {
-		t.Error("app b affected")
-	}
-	got := tr.candidatesFor("m1", "r1", 0, 0)
-	if len(got) != 1 || got[0].key.app != "b" {
-		t.Errorf("candidates after removal = %v", got)
-	}
+	bothTrees(t, func(t *testing.T, tr waitTree) {
+		tr.add(key("a"), 1, resource.LocalityMachine, "m1", 2, 0, nil, nil)
+		tr.add(key("a"), 1, resource.LocalityCluster, "", 3, 0, nil, nil)
+		tr.add(key("b"), 1, resource.LocalityCluster, "", 1, 0, nil, nil)
+		tr.removeApp("a")
+		if tr.totalWaiting(key("a")) != 0 {
+			t.Error("app a still waiting")
+		}
+		if tr.totalWaiting(key("b")) != 1 {
+			t.Error("app b affected")
+		}
+		got := collectCandidates(tr, "m1", "r1", 0, 0, anyFree)
+		if len(got) != 1 || got[0].key.app != "b" {
+			t.Errorf("candidates after removal = %v", got)
+		}
+	})
+}
+
+// TestRemoveAppMidWait covers unregistration while entries are queued at
+// several levels and interleaved with other apps: the survivors must keep
+// their positions and the removed app's demand must never resurface — even
+// if demand for the same key is added again afterwards (fresh seq).
+func TestRemoveAppMidWait(t *testing.T) {
+	bothTrees(t, func(t *testing.T, tr waitTree) {
+		tr.add(key("victim"), 5, resource.LocalityCluster, "", 4, 0, nil, nil)
+		tr.add(key("stay1"), 5, resource.LocalityCluster, "", 1, 0, nil, nil)
+		tr.add(key("victim"), 5, resource.LocalityMachine, "m1", 2, 0, nil, nil)
+		tr.add(key("stay2"), 5, resource.LocalityCluster, "", 1, 0, nil, nil)
+		// A compaction pass has seen the entries once (queues are warm).
+		if got := collectCandidates(tr, "m1", "r1", 0, 0, anyFree); len(got) != 4 {
+			t.Fatalf("warm candidates = %d, want 4", len(got))
+		}
+		tr.removeApp("victim")
+		got := collectCandidates(tr, "m1", "r1", 0, 0, anyFree)
+		if len(got) != 2 || got[0].key.app != "stay1" || got[1].key.app != "stay2" {
+			names := make([]string, len(got))
+			for i, e := range got {
+				names[i] = e.key.app
+			}
+			t.Fatalf("candidates after mid-wait removal = %v", names)
+		}
+		// Re-adding demand for the removed key starts a fresh entry at the
+		// queue tail, not the ghost of the removed one.
+		tr.add(key("victim"), 5, resource.LocalityCluster, "", 1, 0, nil, nil)
+		got = collectCandidates(tr, "m1", "r1", 0, 0, anyFree)
+		if len(got) != 3 || got[2].key.app != "victim" {
+			t.Fatalf("re-added app must queue at the tail, got %d candidates", len(got))
+		}
+		if tr.totalWaiting(key("victim")) != 1 {
+			t.Errorf("victim waiting = %d, want 1", tr.totalWaiting(key("victim")))
+		}
+	})
 }
 
 func TestZeroCountEntriesKeepQueuePosition(t *testing.T) {
-	tr := newLocalityTree()
-	tr.add(key("first"), 100, resource.LocalityCluster, "", 1, 0)
-	tr.add(key("second"), 100, resource.LocalityCluster, "", 1, 0)
-	// first's demand is satisfied then re-raised: its seq (queue position)
-	// must survive the zero crossing.
-	tr.add(key("first"), 100, resource.LocalityCluster, "", -1, 0)
-	_ = tr.candidatesFor("m", "r", 0, 0) // compaction pass with zero count
-	tr.add(key("first"), 100, resource.LocalityCluster, "", 1, 0)
-	got := tr.candidatesFor("m", "r", 0, 0)
-	if len(got) != 2 || got[0].key.app != "first" {
-		t.Errorf("order after zero crossing = %v", got)
-	}
+	bothTrees(t, func(t *testing.T, tr waitTree) {
+		tr.add(key("first"), 100, resource.LocalityCluster, "", 1, 0, nil, nil)
+		tr.add(key("second"), 100, resource.LocalityCluster, "", 1, 0, nil, nil)
+		// first's demand is satisfied then re-raised: its seq (queue position)
+		// must survive the zero crossing.
+		tr.add(key("first"), 100, resource.LocalityCluster, "", -1, 0, nil, nil)
+		_ = collectCandidates(tr, "m", "r", 0, 0, anyFree) // compaction pass with zero count
+		tr.add(key("first"), 100, resource.LocalityCluster, "", 1, 0, nil, nil)
+		got := collectCandidates(tr, "m", "r", 0, 0, anyFree)
+		if len(got) != 2 || got[0].key.app != "first" {
+			t.Errorf("order after zero crossing = %v", got)
+		}
+	})
 }
 
 func TestWaitingByLevel(t *testing.T) {
-	tr := newLocalityTree()
-	tr.add(key("a"), 1, resource.LocalityMachine, "m1", 2, 0)
-	tr.add(key("a"), 1, resource.LocalityMachine, "m2", 3, 0)
-	tr.add(key("a"), 1, resource.LocalityRack, "r1", 4, 0)
-	tr.add(key("a"), 1, resource.LocalityCluster, "", 5, 0)
-	m, r, c := tr.waitingByLevel(key("a"))
-	if m != 5 || r != 4 || c != 5 {
-		t.Errorf("by level = %d/%d/%d, want 5/4/5", m, r, c)
+	bothTrees(t, func(t *testing.T, tr waitTree) {
+		tr.add(key("a"), 1, resource.LocalityMachine, "m1", 2, 0, nil, nil)
+		tr.add(key("a"), 1, resource.LocalityMachine, "m2", 3, 0, nil, nil)
+		tr.add(key("a"), 1, resource.LocalityRack, "r1", 4, 0, nil, nil)
+		tr.add(key("a"), 1, resource.LocalityCluster, "", 5, 0, nil, nil)
+		m, r, c := tr.waitingByLevel(key("a"))
+		if m != 5 || r != 4 || c != 5 {
+			t.Errorf("by level = %d/%d/%d, want 5/4/5", m, r, c)
+		}
+		if tr.totalWaiting(key("a")) != 14 {
+			t.Errorf("total = %d", tr.totalWaiting(key("a")))
+		}
+	})
+}
+
+// TestAgingBoostReordersCandidates covers effectivePriority: with aging
+// enabled, an old low-priority waiter overtakes a fresh high-priority one
+// once its boost closes the gap, and the effective priority floors at zero.
+func TestAgingBoostReordersCandidates(t *testing.T) {
+	bothTrees(t, func(t *testing.T, tr waitTree) {
+		// Enqueued at t=0 with priority 50.
+		tr.add(key("old"), 50, resource.LocalityCluster, "", 1, 0, nil, nil)
+		// Enqueued at t=40s with priority 20.
+		tr.add(key("fresh"), 20, resource.LocalityCluster, "", 1, 40*sim.Second, nil, nil)
+
+		// At t=40s with 1 point/s aging: old has 50-40=10 < fresh 20.
+		got := collectCandidates(tr, "m", "r", 40*sim.Second, 1.0, anyFree)
+		if len(got) != 2 || got[0].key.app != "old" {
+			t.Fatalf("aged ordering wrong: got %v first", got[0].key.app)
+		}
+		// Without aging, base priorities rule.
+		got = collectCandidates(tr, "m", "r", 40*sim.Second, 0, anyFree)
+		if got[0].key.app != "fresh" {
+			t.Fatalf("unaged ordering wrong: got %v first", got[0].key.app)
+		}
+	})
+}
+
+func TestEffectivePriorityFloorsAtZero(t *testing.T) {
+	e := &waitEntry{priority: 3, enqueuedAt: 0}
+	if p := e.effectivePriority(1000*sim.Second, 1.0); p != 0 {
+		t.Errorf("effective priority = %d, want floor 0", p)
 	}
-	if tr.totalWaiting(key("a")) != 14 {
-		t.Errorf("total = %d", tr.totalWaiting(key("a")))
+	if p := e.effectivePriority(2*sim.Second, 1.0); p != 1 {
+		t.Errorf("effective priority = %d, want 1", p)
+	}
+	if p := e.effectivePriority(1000*sim.Second, 0); p != 3 {
+		t.Errorf("aging disabled: priority = %d, want 3", p)
+	}
+}
+
+// TestCandidatesFitPruning: the indexed tree may prune entries whose unit
+// provably cannot fit the freed vector, and must never prune entries it
+// has no size information for.
+func TestCandidatesFitPruning(t *testing.T) {
+	tr := newLocalityTree()
+	big := &unitState{def: resource.ScheduleUnit{ID: 1, Priority: 1, MaxCount: 10, Size: resource.New(4000, 8192)}}
+	tr.add(waitKey{app: "big", unit: 1}, 1, resource.LocalityCluster, "", 2, 0, nil, big)
+
+	// A fragment too small for the only waiting size is pruned.
+	small := resource.New(500, 1024)
+	if got := collectCandidates(tr, "m", "r", 0, 0, &small); len(got) != 0 {
+		t.Errorf("expected pruning, got %d candidates", len(got))
+	}
+	// A fragment that fits is offered.
+	fits := resource.New(4000, 8192)
+	if got := collectCandidates(tr, "m", "r", 0, 0, &fits); len(got) != 1 {
+		t.Errorf("expected candidate, got %d", len(got))
+	}
+	// Entries with unknown sizes land in the opaque class: never pruned.
+	tr.add(waitKey{app: "unknown", unit: 1}, 1, resource.LocalityCluster, "", 1, 0, nil, nil)
+	tiny := resource.New(1, 1)
+	if got := collectCandidates(tr, "m", "r", 0, 0, &tiny); len(got) != 1 || got[0].key.app != "unknown" {
+		t.Errorf("opaque entries must survive pruning, got %d candidates", len(got))
+	}
+	// A nil free disables pruning entirely.
+	if got := collectCandidates(tr, "m", "r", 0, 0, anyFree); len(got) != 2 {
+		t.Errorf("nil free must disable pruning, got %d candidates", len(got))
 	}
 }

@@ -404,10 +404,16 @@ func (m *Master) handleReturn(t protocol.GrantReturn) {
 
 func (m *Master) handleUnregister(t protocol.UnregisterApp) {
 	// Tell the agents to release the app's capacity before the scheduler
-	// state disappears.
+	// state disappears (in sorted machine order, for reproducible runs).
 	for _, u := range m.sched.Units(t.App) {
-		for mc, n := range m.sched.Granted(t.App, u.ID) {
-			m.sendCapacity(t.App, u.ID, mc, -n)
+		granted := m.sched.Granted(t.App, u.ID)
+		machines := make([]string, 0, len(granted))
+		for mc := range granted {
+			machines = append(machines, mc)
+		}
+		sort.Strings(machines)
+		for _, mc := range machines {
+			m.sendCapacity(t.App, u.ID, mc, -granted[mc])
 		}
 	}
 	ds := m.sched.UnregisterApp(t.App)
@@ -466,19 +472,16 @@ func (m *Master) reconcileDemand(app string, unitID int, want []resource.Localit
 	}
 	raised := false
 	// Zero out entries not in the app's view; set entries that are.
-	for idx, e := range m.sched.tree.index {
-		if idx.key != key {
-			continue
-		}
+	for _, idx := range m.sched.tree.nodesFor(key) {
 		n := locTarget{idx.level, idx.node}
 		if tc, ok := target[n]; ok {
-			if tc > e.count {
+			if tc > m.sched.tree.get(key, idx.level, idx.node) {
 				raised = true
 			}
-			e.count = tc
+			m.sched.tree.setCount(key, u.def.Priority, idx.level, idx.node, tc, m.sched.now(), st, u)
 			delete(target, n)
 		} else {
-			e.count = 0
+			m.sched.tree.setCount(key, u.def.Priority, idx.level, idx.node, 0, m.sched.now(), st, u)
 		}
 	}
 	// Insert missing entries in a deterministic order: new tree entries get
@@ -497,7 +500,7 @@ func (m *Master) reconcileDemand(app string, unitID int, want []resource.Localit
 		return missing[i].value < missing[j].value
 	})
 	for _, n := range missing {
-		m.sched.tree.add(key, u.def.Priority, n.typ, n.value, target[n], m.sched.now())
+		m.sched.tree.add(key, u.def.Priority, n.typ, n.value, target[n], m.sched.now(), st, u)
 		raised = true
 	}
 	return raised
@@ -626,26 +629,42 @@ func (m *Master) scanHeartbeats() {
 }
 
 // dispatch fans scheduling decisions out as GrantUpdates to application
-// masters and CapacityUpdates to the affected agents.
+// masters and CapacityUpdates to the affected agents. Both sides are
+// coalesced: grants per (app, unit) mirroring the paper's "(M1,3), (M2,4)"
+// multi-machine response form, and capacity updates per agent as one
+// transport batch so a wide scheduling round costs one delivery event per
+// machine instead of one per decision.
 func (m *Master) dispatch(ds []Decision) {
 	if len(ds) == 0 {
 		return
 	}
-	// Coalesce per (app, unit) for the AM side, mirroring the paper's
-	// "(M1,3), (M2,4)" multi-machine response form.
 	type auKey struct {
 		app  string
 		unit int
 	}
 	byApp := map[auKey][]protocol.MachineDelta{}
 	var order []auKey
+	byAgent := map[string][]transport.Message{}
+	var agentOrder []string
 	for _, d := range ds {
 		k := auKey{d.App, d.UnitID}
 		if byApp[k] == nil {
 			order = append(order, k)
 		}
 		byApp[k] = append(byApp[k], protocol.MachineDelta{Machine: d.Machine, Delta: d.Delta})
-		m.sendCapacity(d.App, d.UnitID, d.Machine, d.Delta)
+		if st := m.sched.apps[d.App]; st != nil {
+			if u := st.units[d.UnitID]; u != nil {
+				if byAgent[d.Machine] == nil {
+					agentOrder = append(agentOrder, d.Machine)
+				}
+				byAgent[d.Machine] = append(byAgent[d.Machine], protocol.CapacityUpdate{
+					App: d.App, UnitID: d.UnitID, Size: u.def.Size, Delta: d.Delta, Seq: m.seq.Next(),
+				})
+			}
+		}
+	}
+	for _, mc := range agentOrder {
+		m.net.SendBatch(protocol.MasterEndpoint, protocol.AgentEndpoint(mc), byAgent[mc])
 	}
 	for _, k := range order {
 		m.net.Send(protocol.MasterEndpoint, k.app, protocol.GrantUpdate{

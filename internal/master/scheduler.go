@@ -75,6 +75,11 @@ type Options struct {
 	// second queued, so low-priority demand cannot starve behind a steady
 	// stream of high-priority arrivals. 0 disables aging.
 	AgingBoostPerSecond float64
+	// LegacyScan selects the original flat-queue locality tree that
+	// re-scans and re-sorts waiting entries on every free-up. It exists so
+	// the scale harness can measure the indexed tree against the
+	// pre-optimization baseline; production paths leave it false.
+	LegacyScan bool
 }
 
 // DefaultGroup is the quota group used when an app registers with "".
@@ -108,25 +113,48 @@ type Scheduler struct {
 	black  map[string]bool
 	apps   map[string]*appState
 	groups map[string]*groupState
-	tree   *localityTree
+	tree   waitTree
 	cursor int // rotating first-fit cursor for cluster-level placement
+
+	// Incremental headroom accounting: aggregate free capacity for the
+	// cluster and per rack, maintained alongside every free-pool mutation.
+	// A placement scan that cannot possibly succeed (aggregate fit count
+	// zero) is rejected in O(1) instead of walking 5000 machines.
+	totalFree resource.Vector
+	rackFree  map[string]resource.Vector
+	rackOf    map[string]string
 }
 
 // NewScheduler returns an empty scheduler over the topology with every
 // machine's full capacity in the free pool.
 func NewScheduler(top *topology.Topology, opts Options) *Scheduler {
 	s := &Scheduler{
-		top:    top,
-		opts:   opts,
-		free:   make(map[string]resource.Vector, top.Size()),
-		down:   make(map[string]bool),
-		black:  make(map[string]bool),
-		apps:   make(map[string]*appState),
-		groups: make(map[string]*groupState),
-		tree:   newLocalityTree(),
+		top:      top,
+		opts:     opts,
+		free:     make(map[string]resource.Vector, top.Size()),
+		down:     make(map[string]bool),
+		black:    make(map[string]bool),
+		apps:     make(map[string]*appState),
+		groups:   make(map[string]*groupState),
+		rackFree: make(map[string]resource.Vector),
+		rackOf:   make(map[string]string, top.Size()),
+	}
+	if opts.LegacyScan {
+		s.tree = newLegacyTree()
+	} else {
+		s.tree = newLocalityTree()
 	}
 	for _, m := range top.Machines() {
-		s.free[m] = top.Machine(m).Capacity
+		cap := top.Machine(m).Capacity
+		rack := top.RackOf(m)
+		// The free pool owns its vectors: hot-path accounting mutates them
+		// in place, so they must not alias the topology's capacity maps.
+		s.free[m] = cap.Clone()
+		s.rackOf[m] = rack
+		(&s.totalFree).AddScaledInPlace(cap, 1)
+		rf := s.rackFree[rack]
+		(&rf).AddScaledInPlace(cap, 1)
+		s.rackFree[rack] = rf
 	}
 	for g, min := range opts.Groups {
 		s.groups[g] = &groupState{min: min, apps: make(map[string]bool)}
@@ -178,10 +206,23 @@ func (s *Scheduler) UnregisterApp(app string) []Decision {
 	if !ok {
 		return nil
 	}
+	// Release and reassign in sorted order: map iteration order must not
+	// decide which waiting application is offered the freed capacity first.
 	var touched []string
-	for _, u := range st.units {
-		for m, n := range u.granted {
-			s.releaseOn(st, u, m, n)
+	unitIDs := make([]int, 0, len(st.units))
+	for id := range st.units {
+		unitIDs = append(unitIDs, id)
+	}
+	sort.Ints(unitIDs)
+	for _, id := range unitIDs {
+		u := st.units[id]
+		machines := make([]string, 0, len(u.granted))
+		for m := range u.granted {
+			machines = append(machines, m)
+		}
+		sort.Strings(machines)
+		for _, m := range machines {
+			s.releaseOn(st, u, m, u.granted[m])
 			touched = append(touched, m)
 		}
 	}
@@ -208,14 +249,14 @@ func (s *Scheduler) UpdateDemand(app string, unitID int, hints []resource.Locali
 			continue
 		}
 		if h.Count < 0 {
-			s.tree.add(key, u.def.Priority, h.Type, h.Value, h.Count, s.now())
+			s.tree.add(key, u.def.Priority, h.Type, h.Value, h.Count, s.now(), st, u)
 			continue
 		}
 		remaining := h.Count
 		granted := s.placeImmediate(st, u, h, remaining, &out)
 		remaining -= granted
 		if remaining > 0 {
-			s.tree.add(key, u.def.Priority, h.Type, h.Value, remaining, s.now())
+			s.tree.add(key, u.def.Priority, h.Type, h.Value, remaining, s.now(), st, u)
 		}
 	}
 	if s.opts.EnablePreemption {
@@ -262,7 +303,7 @@ func (s *Scheduler) MachineUp(machine string) []Decision {
 		return nil
 	}
 	delete(s.down, machine)
-	s.free[machine] = s.top.Machine(machine).Capacity
+	s.setFree(machine, s.top.Machine(machine).Capacity)
 	return s.assignOnMachines([]string{machine})
 }
 
@@ -322,13 +363,26 @@ func (s *Scheduler) now() sim.Time {
 	return s.opts.Clock()
 }
 
+// adjustFree applies k units of size to machine's free pool and the
+// cluster/rack aggregates, allocation-free.
+func (s *Scheduler) adjustFree(machine string, size resource.Vector, k int64) {
+	fv := s.free[machine]
+	(&fv).AddScaledInPlace(size, k)
+	s.free[machine] = fv
+	(&s.totalFree).AddScaledInPlace(size, k)
+	rack := s.rackOf[machine]
+	rf := s.rackFree[rack]
+	(&rf).AddScaledInPlace(size, k)
+	s.rackFree[rack] = rf
+}
+
 // grantOn commits k containers of u on machine and records the decision.
 func (s *Scheduler) grantOn(st *appState, u *unitState, machine string, k int, out *[]Decision) {
-	total := u.def.Size.Scale(int64(k))
-	s.free[machine] = s.free[machine].Sub(total)
+	s.adjustFree(machine, u.def.Size, -int64(k))
 	u.granted[machine] += k
 	u.held += k
-	s.groups[st.group].usage = s.groups[st.group].usage.Add(total)
+	g := s.groups[st.group]
+	(&g.usage).AddScaledInPlace(u.def.Size, int64(k))
 	*out = append(*out, Decision{App: st.name, UnitID: u.def.ID, Machine: machine, Delta: k, Reason: ReasonGrant})
 }
 
@@ -336,16 +390,16 @@ func (s *Scheduler) grantOn(st *appState, u *unitState, machine string, k int, o
 // decision emitted; callers emit revocations themselves when the release
 // was not requested by the app).
 func (s *Scheduler) releaseOn(st *appState, u *unitState, machine string, k int) {
-	total := u.def.Size.Scale(int64(k))
 	if !s.down[machine] {
-		s.free[machine] = s.free[machine].Add(total)
+		s.adjustFree(machine, u.def.Size, int64(k))
 	}
 	u.granted[machine] -= k
 	if u.granted[machine] <= 0 {
 		delete(u.granted, machine)
 	}
 	u.held -= k
-	s.groups[st.group].usage = s.groups[st.group].usage.Sub(total)
+	g := s.groups[st.group]
+	(&g.usage).AddScaledInPlace(u.def.Size, -int64(k))
 }
 
 // headroom returns how many more containers the app may hold for this unit.
@@ -387,6 +441,9 @@ func (s *Scheduler) placeImmediate(st *appState, u *unitState, h resource.Locali
 	case resource.LocalityMachine:
 		tryMachine(h.Value, 0)
 	case resource.LocalityRack:
+		if s.rackFree[h.Value].FitCount(u.def.Size) == 0 {
+			break // no machine in this rack can fit even one unit
+		}
 		for _, m := range s.top.MachinesInRack(h.Value) {
 			if granted >= want {
 				break
@@ -398,6 +455,8 @@ func (s *Scheduler) placeImmediate(st *appState, u *unitState, h resource.Locali
 		// spread the request across machines in slices, scanning from a
 		// rotating cursor so consecutive requests start at different
 		// machines. perPass caps how much one machine takes per sweep.
+		// Aggregate headroom prunes the scan: a saturated cluster rejects
+		// in O(1) and saturated racks are skipped wholesale.
 		machines := s.top.Machines()
 		n := len(machines)
 		if n == 0 {
@@ -405,9 +464,22 @@ func (s *Scheduler) placeImmediate(st *appState, u *unitState, h resource.Locali
 		}
 		perPass := (want + n - 1) / n
 		for pass := 0; pass < n && granted < want; pass++ {
+			if s.totalFree.FitCount(u.def.Size) == 0 {
+				break
+			}
 			before := granted
+			skipRack := ""
 			for i := 0; i < n && granted < want; i++ {
-				tryMachine(machines[(s.cursor+i)%n], perPass)
+				m := machines[(s.cursor+i)%n]
+				rack := s.rackOf[m]
+				if rack == skipRack {
+					continue
+				}
+				if s.rackFree[rack].FitCount(u.def.Size) == 0 {
+					skipRack = rack
+					continue
+				}
+				tryMachine(m, perPass)
 			}
 			if granted == before {
 				break // nothing fits anywhere
@@ -439,44 +511,54 @@ func (s *Scheduler) assignOnMachine(machine string, out *[]Decision) {
 	if !s.schedulable(machine) {
 		return
 	}
-	rack := s.top.RackOf(machine)
-	for {
-		candidates := s.tree.candidatesFor(machine, rack, s.now(), s.opts.AgingBoostPerSecond)
-		progress := false
-		for _, e := range candidates {
-			if e.count <= 0 {
-				continue
-			}
-			st := s.apps[e.key.app]
-			if st == nil {
-				continue
-			}
-			u := st.units[e.key.unit]
-			if u == nil {
-				continue
-			}
-			want := e.count
-			if hr := u.headroom(); want > hr {
-				want = hr
-			}
-			if want <= 0 {
-				continue
-			}
-			k := int(s.free[machine].FitCount(u.def.Size))
-			if k > want {
-				k = want
-			}
-			if k <= 0 {
-				continue
-			}
-			s.grantOn(st, u, machine, k, out)
-			e.count -= k
-			progress = true
-		}
-		if !progress {
-			return
-		}
+	free := s.free[machine]
+	if free.IsZero() {
+		return
 	}
+	rack := s.rackOf[machine]
+	// One pass suffices: a grant only ever shrinks the free vector, unit
+	// headrooms and waiting counts, so no entry skipped in this pass could
+	// become satisfiable later in it. The stream stops the moment the
+	// freed capacity is exhausted, and the tree prunes whole size classes
+	// against the current remainder as it shrinks.
+	s.tree.forEachCandidate(machine, rack, s.now(), s.opts.AgingBoostPerSecond, &free, func(e *waitEntry) bool {
+		if e.count <= 0 {
+			return true
+		}
+		// Resolve (app, unit) once per entry, not once per free-up: live
+		// entries are removed from the queues before their app
+		// unregisters, so the cached pointers cannot go stale.
+		st, u := e.st, e.u
+		if u == nil {
+			st = s.apps[e.key.app]
+			if st == nil {
+				return true
+			}
+			u = st.units[e.key.unit]
+			if u == nil {
+				return true
+			}
+			e.st, e.u = st, u
+		}
+		want := e.count
+		if hr := u.headroom(); want > hr {
+			want = hr
+		}
+		if want <= 0 {
+			return true
+		}
+		k := int(free.FitCount(u.def.Size))
+		if k > want {
+			k = want
+		}
+		if k <= 0 {
+			return true
+		}
+		s.grantOn(st, u, machine, k, out)
+		free = s.free[machine]
+		e.count -= k
+		return !free.IsZero() // machine exhausted: no candidate can fit
+	})
 }
 
 // evacuate revokes every grant on machine and reschedules the demand
@@ -505,10 +587,24 @@ func (s *Scheduler) evacuate(machine string, reason Reason) []Decision {
 		}
 	}
 	if s.down[machine] {
-		s.free[machine] = resource.Vector{}
+		s.setFree(machine, resource.Vector{})
 	} else {
 		// Blacklisted but alive: capacity exists yet is unschedulable.
-		s.free[machine] = s.top.Machine(machine).Capacity
+		s.setFree(machine, s.top.Machine(machine).Capacity)
 	}
 	return out
+}
+
+// setFree replaces machine's free-pool entry with an owned copy of v,
+// keeping the cluster and rack aggregates consistent.
+func (s *Scheduler) setFree(machine string, v resource.Vector) {
+	old := s.free[machine]
+	(&s.totalFree).AddScaledInPlace(old, -1)
+	rack := s.rackOf[machine]
+	rf := s.rackFree[rack]
+	(&rf).AddScaledInPlace(old, -1)
+	(&rf).AddScaledInPlace(v, 1)
+	s.rackFree[rack] = rf
+	(&s.totalFree).AddScaledInPlace(v, 1)
+	s.free[machine] = v.Clone()
 }

@@ -9,8 +9,9 @@ import (
 // Inspection and state-transfer methods used by metrics, tests, and the
 // failover path.
 
-// FreeOn returns the current free vector on machine.
-func (s *Scheduler) FreeOn(machine string) resource.Vector { return s.free[machine] }
+// FreeOn returns the current free vector on machine (a copy: the pool's
+// own vectors are mutated in place by the hot path).
+func (s *Scheduler) FreeOn(machine string) resource.Vector { return s.free[machine].Clone() }
 
 // TotalFree sums the free pool over schedulable machines.
 func (s *Scheduler) TotalFree() resource.Vector {
@@ -86,10 +87,10 @@ func (s *Scheduler) WaitingByLevel(app string, unitID int) (machine, rack, clust
 	return s.tree.waitingByLevel(waitKey{app: app, unit: unitID})
 }
 
-// GroupUsage returns a quota group's current usage vector.
+// GroupUsage returns a quota group's current usage vector (a copy).
 func (s *Scheduler) GroupUsage(group string) resource.Vector {
 	if g, ok := s.groups[group]; ok {
-		return g.usage
+		return g.usage.Clone()
 	}
 	return resource.Vector{}
 }
@@ -141,11 +142,11 @@ func (s *Scheduler) RestoreGrant(app string, unitID int, machine string, count i
 	if !ok || count <= 0 || s.top.Machine(machine) == nil {
 		return false
 	}
-	total := u.def.Size.Scale(int64(count))
-	s.free[machine] = s.free[machine].Sub(total)
+	s.adjustFree(machine, u.def.Size, -int64(count))
 	u.granted[machine] += count
 	u.held += count
-	s.groups[st.group].usage = s.groups[st.group].usage.Add(total)
+	g := s.groups[st.group]
+	(&g.usage).AddScaledInPlace(u.def.Size, int64(count))
 	return true
 }
 
@@ -165,7 +166,7 @@ func (s *Scheduler) SetVirtualResource(machine, dim string, amount int64) []Deci
 	// The free pool moves by the capacity delta; it may go negative on the
 	// virtual dimension (oversubscription), which only blocks further
 	// grants.
-	s.free[machine] = s.free[machine].Add(resource.FromMap(map[string]int64{dim: amount - old}))
+	s.adjustFree(machine, resource.FromMap(map[string]int64{dim: amount - old}), 1)
 	if amount > old && s.schedulable(machine) {
 		return s.assignOnMachines([]string{machine})
 	}

@@ -25,71 +25,129 @@ const (
 // empty vector (all dimensions zero). Vectors are value types: arithmetic
 // methods return new vectors and never mutate the receiver's map in place
 // unless documented otherwise.
+//
+// The two physical dimensions live in dedicated fields so that the
+// scheduler's free-pool matching — millions of FitCount/Contains calls per
+// stress run — involves no map traversal at all; only application-defined
+// virtual resources pay for the map. The extras map never holds the CPU or
+// Memory keys and never holds explicit zeros.
 type Vector struct {
-	dims map[string]int64
+	cpu    int64
+	mem    int64
+	extras map[string]int64
 }
 
 // New returns a vector with the given CPU (milli-cores) and memory (MB).
 func New(cpuMilli, memoryMB int64) Vector {
-	v := Vector{}
-	v = v.With(CPU, cpuMilli)
-	v = v.With(Memory, memoryMB)
-	return v
+	return Vector{cpu: cpuMilli, mem: memoryMB}
 }
 
 // FromMap builds a vector from a dimension→amount map. Zero-valued entries
 // are dropped so that equality is insensitive to explicit zeros.
 func FromMap(m map[string]int64) Vector {
-	v := Vector{dims: make(map[string]int64, len(m))}
+	var v Vector
 	for k, a := range m {
 		if a != 0 {
-			v.dims[k] = a
+			v.set(k, a)
 		}
 	}
 	return v
+}
+
+// set assigns dimension dim in place (receiver must be owned).
+func (v *Vector) set(dim string, amount int64) {
+	switch dim {
+	case CPU:
+		v.cpu = amount
+	case Memory:
+		v.mem = amount
+	default:
+		if amount == 0 {
+			delete(v.extras, dim)
+			return
+		}
+		if v.extras == nil {
+			v.extras = make(map[string]int64, 2)
+		}
+		v.extras[dim] = amount
+	}
 }
 
 // With returns a copy of v with dimension dim set to amount. Setting zero
 // removes the dimension.
 func (v Vector) With(dim string, amount int64) Vector {
 	out := v.clone()
-	if amount == 0 {
-		delete(out.dims, dim)
-	} else {
-		if out.dims == nil {
-			out.dims = make(map[string]int64, 2)
-		}
-		out.dims[dim] = amount
-	}
+	out.set(dim, amount)
 	return out
 }
 
 func (v Vector) clone() Vector {
-	if v.dims == nil {
-		return Vector{}
-	}
-	out := Vector{dims: make(map[string]int64, len(v.dims))}
-	for k, a := range v.dims {
-		out.dims[k] = a
+	out := Vector{cpu: v.cpu, mem: v.mem}
+	if len(v.extras) > 0 {
+		out.extras = make(map[string]int64, len(v.extras))
+		for k, a := range v.extras {
+			out.extras[k] = a
+		}
 	}
 	return out
 }
 
+// Clone returns an independent copy of v.
+func (v Vector) Clone() Vector { return v.clone() }
+
+// AddScaledInPlace adds n*o into the receiver, mutating it (unlike the
+// value-semantics arithmetic methods) and keeping the zero-elision
+// invariant. It exists for hot-path accumulators — free pools, aggregate
+// headroom, quota usage — where the Add/Scale allocation per update
+// dominates. The receiver must be exclusively owned by the caller: vectors
+// sharing its extras map would observe the mutation.
+func (v *Vector) AddScaledInPlace(o Vector, n int64) {
+	if n == 0 {
+		return
+	}
+	v.cpu += o.cpu * n
+	v.mem += o.mem * n
+	for k, a := range o.extras {
+		sum := v.extras[k] + a*n
+		if sum == 0 {
+			delete(v.extras, k)
+			continue
+		}
+		if v.extras == nil {
+			v.extras = make(map[string]int64, len(o.extras))
+		}
+		v.extras[k] = sum
+	}
+}
+
 // Get returns the amount on dimension dim (zero if absent).
 func (v Vector) Get(dim string) int64 {
-	return v.dims[dim]
+	switch dim {
+	case CPU:
+		return v.cpu
+	case Memory:
+		return v.mem
+	default:
+		return v.extras[dim]
+	}
 }
 
 // CPUMilli returns the CPU dimension in milli-cores.
-func (v Vector) CPUMilli() int64 { return v.Get(CPU) }
+func (v Vector) CPUMilli() int64 { return v.cpu }
 
 // MemoryMB returns the Memory dimension in MB.
-func (v Vector) MemoryMB() int64 { return v.Get(Memory) }
+func (v Vector) MemoryMB() int64 { return v.mem }
 
 // Dimensions returns the sorted list of dimensions with non-zero amounts.
 func (v Vector) Dimensions() []string {
-	out := make([]string, 0, len(v.dims))
-	for k := range v.dims {
+	out := make([]string, 0, len(v.extras)+2)
+	if v.cpu != 0 {
+		out = append(out, CPU)
+	}
+	if v.mem != 0 {
+		out = append(out, Memory)
+	}
+	for k := range v.extras {
 		out = append(out, k)
 	}
 	sort.Strings(out)
@@ -97,38 +155,29 @@ func (v Vector) Dimensions() []string {
 }
 
 // IsZero reports whether every dimension is zero.
-func (v Vector) IsZero() bool { return len(v.dims) == 0 }
+func (v Vector) IsZero() bool { return v.cpu == 0 && v.mem == 0 && len(v.extras) == 0 }
+
+// HasVirtual reports whether v carries any dimension beyond CPU and Memory.
+func (v Vector) HasVirtual() bool { return len(v.extras) > 0 }
 
 // Add returns v + o.
 func (v Vector) Add(o Vector) Vector {
 	out := v.clone()
-	for k, a := range o.dims {
-		n := out.dims[k] + a
-		if out.dims == nil {
-			out.dims = make(map[string]int64, len(o.dims))
-		}
-		if n == 0 {
-			delete(out.dims, k)
-		} else {
-			out.dims[k] = n
-		}
-	}
+	out.AddScaledInPlace(o, 1)
 	return out
 }
 
 // Sub returns v - o. The result may have negative dimensions; callers that
 // need non-negativity should check Contains first.
 func (v Vector) Sub(o Vector) Vector {
-	return v.Add(o.Neg())
+	out := v.clone()
+	out.AddScaledInPlace(o, -1)
+	return out
 }
 
 // Neg returns -v.
 func (v Vector) Neg() Vector {
-	out := Vector{dims: make(map[string]int64, len(v.dims))}
-	for k, a := range v.dims {
-		out.dims[k] = -a
-	}
-	return out
+	return Vector{}.Sub(v)
 }
 
 // Scale returns v * n.
@@ -136,9 +185,12 @@ func (v Vector) Scale(n int64) Vector {
 	if n == 0 {
 		return Vector{}
 	}
-	out := Vector{dims: make(map[string]int64, len(v.dims))}
-	for k, a := range v.dims {
-		out.dims[k] = a * n
+	out := Vector{cpu: v.cpu * n, mem: v.mem * n}
+	if len(v.extras) > 0 {
+		out.extras = make(map[string]int64, len(v.extras))
+		for k, a := range v.extras {
+			out.extras[k] = a * n
+		}
 	}
 	return out
 }
@@ -147,8 +199,11 @@ func (v Vector) Scale(n int64) Vector {
 // can satisfy a demand o. All dimensions must be satisfied simultaneously
 // (paper §3.2.1).
 func (v Vector) Contains(o Vector) bool {
-	for k, a := range o.dims {
-		if v.dims[k] < a {
+	if v.cpu < o.cpu || v.mem < o.mem {
+		return false
+	}
+	for k, a := range o.extras {
+		if v.extras[k] < a {
 			return false
 		}
 	}
@@ -161,12 +216,19 @@ func (v Vector) Contains(o Vector) bool {
 func (v Vector) FitCount(o Vector) int64 {
 	const unbounded = int64(1) << 50
 	count := unbounded
-	for k, a := range o.dims {
+	if o.cpu > 0 {
+		count = v.cpu / o.cpu
+	}
+	if o.mem > 0 {
+		if c := v.mem / o.mem; c < count {
+			count = c
+		}
+	}
+	for k, a := range o.extras {
 		if a <= 0 {
 			continue
 		}
-		c := v.dims[k] / a
-		if c < count {
+		if c := v.extras[k] / a; c < count {
 			count = c
 		}
 	}
@@ -178,7 +240,10 @@ func (v Vector) FitCount(o Vector) int64 {
 
 // NonNegative reports whether every dimension of v is >= 0.
 func (v Vector) NonNegative() bool {
-	for _, a := range v.dims {
+	if v.cpu < 0 || v.mem < 0 {
+		return false
+	}
+	for _, a := range v.extras {
 		if a < 0 {
 			return false
 		}
@@ -188,11 +253,11 @@ func (v Vector) NonNegative() bool {
 
 // Equal reports dimension-wise equality.
 func (v Vector) Equal(o Vector) bool {
-	if len(v.dims) != len(o.dims) {
+	if v.cpu != o.cpu || v.mem != o.mem || len(v.extras) != len(o.extras) {
 		return false
 	}
-	for k, a := range v.dims {
-		if o.dims[k] != a {
+	for k, a := range v.extras {
+		if o.extras[k] != a {
 			return false
 		}
 	}
@@ -202,12 +267,15 @@ func (v Vector) Equal(o Vector) bool {
 // Max returns the dimension-wise maximum of v and o.
 func (v Vector) Max(o Vector) Vector {
 	out := v.clone()
-	for k, a := range o.dims {
-		if a > out.dims[k] {
-			if out.dims == nil {
-				out.dims = make(map[string]int64, len(o.dims))
-			}
-			out.dims[k] = a
+	if o.cpu > out.cpu {
+		out.cpu = o.cpu
+	}
+	if o.mem > out.mem {
+		out.mem = o.mem
+	}
+	for k, a := range o.extras {
+		if a > out.extras[k] {
+			out.set(k, a)
 		}
 	}
 	return out
@@ -216,31 +284,40 @@ func (v Vector) Max(o Vector) Vector {
 // Min returns the dimension-wise minimum over the union of dimensions.
 // Dimensions present in only one operand count as zero in the other.
 func (v Vector) Min(o Vector) Vector {
-	out := Vector{dims: make(map[string]int64)}
-	seen := make(map[string]bool, len(v.dims)+len(o.dims))
-	for k := range v.dims {
-		seen[k] = true
-	}
-	for k := range o.dims {
-		seen[k] = true
-	}
-	for k := range seen {
-		a, b := v.dims[k], o.dims[k]
-		m := a
-		if b < m {
-			m = b
+	out := Vector{cpu: min64(v.cpu, o.cpu), mem: min64(v.mem, o.mem)}
+	for k, a := range v.extras {
+		if m := min64(a, o.extras[k]); m != 0 {
+			out.set(k, m)
 		}
-		if m != 0 {
-			out.dims[k] = m
+	}
+	for k, a := range o.extras {
+		if _, seen := v.extras[k]; seen {
+			continue
+		}
+		if m := min64(0, a); m != 0 {
+			out.set(k, m)
 		}
 	}
 	return out
 }
 
+func min64(a, b int64) int64 {
+	if b < a {
+		return b
+	}
+	return a
+}
+
 // ToMap returns a copy of the dimension map.
 func (v Vector) ToMap() map[string]int64 {
-	out := make(map[string]int64, len(v.dims))
-	for k, a := range v.dims {
+	out := make(map[string]int64, len(v.extras)+2)
+	if v.cpu != 0 {
+		out[CPU] = v.cpu
+	}
+	if v.mem != 0 {
+		out[Memory] = v.mem
+	}
+	for k, a := range v.extras {
 		out[k] = a
 	}
 	return out
@@ -251,13 +328,20 @@ func (v Vector) ToMap() map[string]int64 {
 // preemption. Dimensions absent from total are ignored.
 func (v Vector) DominantShare(total Vector) float64 {
 	share := 0.0
-	for k, a := range v.dims {
-		t := total.dims[k]
+	if total.cpu > 0 {
+		share = float64(v.cpu) / float64(total.cpu)
+	}
+	if total.mem > 0 {
+		if s := float64(v.mem) / float64(total.mem); s > share {
+			share = s
+		}
+	}
+	for k, a := range v.extras {
+		t := total.extras[k]
 		if t <= 0 {
 			continue
 		}
-		s := float64(a) / float64(t)
-		if s > share {
+		if s := float64(a) / float64(t); s > share {
 			share = s
 		}
 	}
@@ -266,7 +350,7 @@ func (v Vector) DominantShare(total Vector) float64 {
 
 // String renders the vector as "{CPU:600, Memory:2048}" with sorted keys.
 func (v Vector) String() string {
-	if len(v.dims) == 0 {
+	if v.IsZero() {
 		return "{}"
 	}
 	keys := v.Dimensions()
@@ -276,7 +360,7 @@ func (v Vector) String() string {
 		if i > 0 {
 			b.WriteString(", ")
 		}
-		fmt.Fprintf(&b, "%s:%d", k, v.dims[k])
+		fmt.Fprintf(&b, "%s:%d", k, v.Get(k))
 	}
 	b.WriteByte('}')
 	return b.String()

@@ -1,0 +1,401 @@
+// Package scale is the paper-scale stress/soak harness: it boots the full
+// Fuxi control plane — FuxiMaster, one FuxiAgent per machine, and a churning
+// population of application masters — at the 5,000-machine footprint of the
+// paper's production cluster (§5) and measures what the toy-sized
+// experiments cannot: scheduling-decision throughput, demand-to-grant
+// latency in virtual time, and allocation pressure per decision. The same
+// workload can be replayed against the pre-optimization scheduler
+// (Options.LegacyScan) so every optimization PR reports its speedup against
+// a baseline measured in the same build.
+package scale
+
+import (
+	"fmt"
+	"math/rand"
+	"runtime"
+	"time"
+
+	"repro/internal/agent"
+	"repro/internal/appmaster"
+	"repro/internal/lockservice"
+	"repro/internal/master"
+	"repro/internal/metrics"
+	"repro/internal/resource"
+	"repro/internal/sim"
+	"repro/internal/topology"
+	"repro/internal/transport"
+)
+
+// Config sizes one stress run.
+type Config struct {
+	// Racks × MachinesPerRack is the cluster footprint; the paper's
+	// production cluster is 5,000 machines (125 racks of 40).
+	Racks           int `json:"racks"`
+	MachinesPerRack int `json:"machines_per_rack"`
+
+	// Apps application masters arrive uniformly over ArrivalWindow; each
+	// registers UnitsPerApp ScheduleUnits and demands ContainersPerUnit
+	// containers per unit. Apps × UnitsPerApp is the schedule-unit churn
+	// (the acceptance target is ≥ 100k).
+	Apps              int `json:"apps"`
+	UnitsPerApp       int `json:"units_per_app"`
+	ContainersPerUnit int `json:"containers_per_unit"`
+
+	// HoldTime is how long a granted container is held before being
+	// returned (each return triggers the event-driven free-up path).
+	HoldTime      sim.Time `json:"hold_time_us"`
+	ArrivalWindow sim.Time `json:"arrival_window_us"`
+
+	// FailoverEvery crashes a random machine at this period (0 disables);
+	// the machine restarts after FailoverDowntime. Downtime must exceed
+	// the master's heartbeat timeout for the crash to surface as a
+	// MachineDown revocation wave.
+	FailoverEvery    sim.Time `json:"failover_every_us"`
+	FailoverDowntime sim.Time `json:"failover_downtime_us"`
+
+	// Horizon hard-stops the simulation even if apps are still running.
+	Horizon sim.Time `json:"horizon_us"`
+	Seed    int64    `json:"seed"`
+
+	// LegacyScan replays the workload against the original linear-scan
+	// locality tree (the pre-optimization baseline).
+	LegacyScan bool `json:"legacy_scan"`
+
+	// WallBudget bounds real elapsed time (0 = unlimited): the run stops
+	// at the next slice boundary once exceeded and throughput is computed
+	// over the work actually done. It exists so the slow baseline can be
+	// rate-measured at full scale without running to completion.
+	WallBudget time.Duration `json:"wall_budget_ns"`
+}
+
+// DefaultConfig is the paper-scale run: 5,000 machines across 125 racks and
+// 100k schedule units (2,500 apps × 40 units) churning through
+// submit/grant/return with a machine failover every 2 simulated seconds.
+func DefaultConfig() Config {
+	return Config{
+		Racks:             125,
+		MachinesPerRack:   40,
+		Apps:              2500,
+		UnitsPerApp:       40,
+		ContainersPerUnit: 3,
+		// Peak concurrent demand ≈ Apps/ArrivalWindow × units × containers
+		// × HoldTime ≈ 128k containers against ~103k of cluster capacity:
+		// the run crosses into the paper's saturated regime (§5.2 reports
+		// >95% utilization), so demand queues in the locality tree and
+		// every return drives the event-driven free-up path.
+		HoldTime:          15 * sim.Second,
+		ArrivalWindow:     35 * sim.Second,
+		FailoverEvery:     2 * sim.Second,
+		FailoverDowntime:  8 * sim.Second,
+		Horizon:           10 * sim.Minute,
+		Seed:              1,
+	}
+}
+
+// SmokeConfig is the CI-sized run: 100 machines, 2,000 schedule units.
+func SmokeConfig() Config {
+	c := DefaultConfig()
+	c.Racks, c.MachinesPerRack = 10, 10
+	c.Apps, c.UnitsPerApp = 100, 20
+	c.ArrivalWindow = 10 * sim.Second
+	c.Horizon = 2 * sim.Minute
+	return c
+}
+
+// Result is one run's measurement, serialized into BENCH_scale.json.
+type Result struct {
+	Config   Config `json:"config"`
+	Machines int    `json:"machines"`
+	Units    int    `json:"units"`
+
+	// Decisions is the number of container-level scheduling decisions the
+	// master materialized (grants + revocations observed by the apps).
+	Decisions uint64 `json:"decisions"`
+	Grants    uint64 `json:"grants"`
+	Revokes   uint64 `json:"revokes"`
+
+	WallSeconds     float64 `json:"wall_seconds"`
+	DecisionsPerSec float64 `json:"decisions_per_sec"`
+
+	// Demand-to-grant latency in virtual (simulated) milliseconds: from a
+	// DemandUpdate leaving an application master to the first resulting
+	// grant arriving back (paper Figure 9 reports mean 0.88 ms).
+	LatencyMeanMS float64 `json:"latency_mean_ms"`
+	LatencyP50MS  float64 `json:"latency_p50_ms"`
+	LatencyP99MS  float64 `json:"latency_p99_ms"`
+	LatencyMaxMS  float64 `json:"latency_max_ms"`
+
+	AllocsPerDecision float64 `json:"allocs_per_decision"`
+	EventsFired       uint64  `json:"events_fired"`
+	MessagesSent      uint64  `json:"messages_sent"`
+	MessageBatches    uint64  `json:"message_batches"`
+
+	CompletedApps int      `json:"completed_apps"`
+	SimSeconds    float64  `json:"sim_seconds"`
+	Invariants    []string `json:"invariant_violations,omitempty"`
+}
+
+// CompareResult pairs an optimized run with its same-build baseline.
+type CompareResult struct {
+	Baseline  Result  `json:"baseline"`
+	Optimized Result  `json:"optimized"`
+	Speedup   float64 `json:"speedup"`
+}
+
+// scaleApp drives one application master's churn: request, hold, return,
+// re-request on revocation, unregister when every container completed one
+// hold cycle.
+type scaleApp struct {
+	h         *harness
+	am        *appmaster.AM
+	name      string
+	remaining int
+	done      bool
+	// pendingReq records, per unit, when the oldest unanswered demand was
+	// sent, for the demand-to-grant latency histogram.
+	pendingReq map[int]sim.Time
+}
+
+type harness struct {
+	cfg    Config
+	eng    *sim.Engine
+	net    *transport.Net
+	top    *topology.Topology
+	agents []*agent.Agent
+	fm     *master.Master
+	reg    *metrics.Registry
+	rng    *rand.Rand
+
+	latency   *metrics.Histogram
+	grants    uint64
+	revokes   uint64
+	completed int
+}
+
+// Run executes one stress run and returns its measurements.
+func Run(cfg Config) (*Result, error) {
+	if cfg.Racks <= 0 || cfg.MachinesPerRack <= 0 || cfg.Apps <= 0 || cfg.UnitsPerApp <= 0 {
+		return nil, fmt.Errorf("scale: non-positive cluster or workload dimension")
+	}
+	top, err := topology.Build(topology.Spec{
+		Racks: cfg.Racks, MachinesPerRack: cfg.MachinesPerRack,
+		MachineCapacity: topology.PaperTestbedMachine(),
+	})
+	if err != nil {
+		return nil, err
+	}
+	eng := sim.NewEngine(cfg.Seed)
+	// Fixed latency, no jitter: same-instant messages then deliver in send
+	// order, which the incremental protocol's happy path assumes (an app's
+	// RegisterApp must precede its first DemandUpdate; reordering is legal
+	// but falls back to the slow full-sync repair path).
+	net := transport.NewNet(eng)
+	lock := lockservice.New(eng)
+	ckpt := master.NewCheckpointStore()
+	reg := metrics.NewRegistry()
+
+	mcfg := master.DefaultConfig("fm-scale")
+	mcfg.Sched.LegacyScan = cfg.LegacyScan
+	h := &harness{
+		cfg: cfg, eng: eng, net: net, top: top, reg: reg,
+		rng:     rand.New(rand.NewSource(cfg.Seed + 1)),
+		latency: reg.Histogram("scale.demand_to_grant_ms"),
+	}
+	h.fm = master.NewMaster(mcfg, eng, net, lock, top, ckpt, reg)
+	eng.Run(10 * sim.Millisecond) // let the election settle
+
+	acfg := agent.DefaultConfig()
+	for _, m := range top.Machines() {
+		h.agents = append(h.agents, agent.New(acfg, eng, net, top.Machine(m)))
+	}
+
+	// Schedule app arrivals uniformly across the window.
+	for i := 0; i < cfg.Apps; i++ {
+		at := eng.Now() + sim.Time(int64(cfg.ArrivalWindow)*int64(i)/int64(cfg.Apps))
+		idx := i
+		eng.At(at, func() { h.spawnApp(idx) })
+	}
+
+	// Failover churn: crash a random up machine, restart after the
+	// downtime (long enough for the heartbeat timeout to declare it dead
+	// and revoke its grants).
+	if cfg.FailoverEvery > 0 {
+		eng.Every(cfg.FailoverEvery, func() {
+			a := h.agents[h.rng.Intn(len(h.agents))]
+			if !a.Up() {
+				return
+			}
+			a.CrashMachine()
+			eng.After(cfg.FailoverDowntime, a.RestartMachine)
+		})
+	}
+
+	var before, after runtime.MemStats
+	runtime.ReadMemStats(&before)
+	start := time.Now()
+	slice := 500 * sim.Millisecond
+	for eng.Now() < cfg.Horizon && h.completed < cfg.Apps {
+		eng.Run(eng.Now() + slice)
+		if cfg.WallBudget > 0 && time.Since(start) > cfg.WallBudget {
+			break
+		}
+	}
+	wall := time.Since(start).Seconds()
+	runtime.ReadMemStats(&after)
+
+	res := &Result{
+		Config:         cfg,
+		Machines:       top.Size(),
+		Units:          cfg.Apps * cfg.UnitsPerApp,
+		Grants:         h.grants,
+		Revokes:        h.revokes,
+		Decisions:      h.grants + h.revokes,
+		WallSeconds:    wall,
+		LatencyMeanMS:  h.latency.Mean(),
+		LatencyP50MS:   h.latency.Quantile(0.5),
+		LatencyP99MS:   h.latency.Quantile(0.99),
+		LatencyMaxMS:   h.latency.Max(),
+		EventsFired:    eng.Fired(),
+		MessagesSent:   net.Stats().Sent,
+		MessageBatches: net.Stats().Batches,
+		CompletedApps:  h.completed,
+		SimSeconds:     eng.Now().Seconds(),
+	}
+	if res.Decisions > 0 {
+		res.DecisionsPerSec = float64(res.Decisions) / wall
+		res.AllocsPerDecision = float64(after.Mallocs-before.Mallocs) / float64(res.Decisions)
+	}
+	if s := h.fm.Scheduler(); s != nil {
+		res.Invariants = s.CheckInvariants()
+	}
+	return res, nil
+}
+
+// RunCompare measures the optimized scheduler and the legacy baseline on
+// the same workload, baseline rate-limited by baselineBudget wall time.
+func RunCompare(cfg Config, baselineBudget time.Duration) (*CompareResult, error) {
+	opt := cfg
+	opt.LegacyScan = false
+	optRes, err := Run(opt)
+	if err != nil {
+		return nil, err
+	}
+	base := cfg
+	base.LegacyScan = true
+	base.WallBudget = baselineBudget
+	baseRes, err := Run(base)
+	if err != nil {
+		return nil, err
+	}
+	out := &CompareResult{Baseline: *baseRes, Optimized: *optRes}
+	if baseRes.DecisionsPerSec > 0 {
+		out.Speedup = optRes.DecisionsPerSec / baseRes.DecisionsPerSec
+	}
+	return out, nil
+}
+
+// unitSize varies container shapes across units so the multi-dimensional
+// matcher sees heterogeneous requests.
+func unitSize(i int) resource.Vector {
+	switch i % 3 {
+	case 0:
+		return resource.New(500, 2048)
+	case 1:
+		return resource.New(1000, 4096)
+	default:
+		return resource.New(250, 1024)
+	}
+}
+
+func (h *harness) spawnApp(idx int) {
+	cfg := h.cfg
+	name := fmt.Sprintf("scale-app-%04d", idx)
+	units := make([]resource.ScheduleUnit, 0, cfg.UnitsPerApp)
+	for u := 0; u < cfg.UnitsPerApp; u++ {
+		units = append(units, resource.ScheduleUnit{
+			ID:       u + 1,
+			Priority: 1 + (idx+u)%4,
+			Size:     unitSize(idx + u),
+			MaxCount: cfg.ContainersPerUnit,
+		})
+	}
+	app := &scaleApp{
+		h:          h,
+		name:       name,
+		remaining:  cfg.UnitsPerApp * cfg.ContainersPerUnit,
+		pendingReq: make(map[int]sim.Time, cfg.UnitsPerApp),
+	}
+	app.am = appmaster.New(appmaster.Config{
+		App: name, Units: units, FullSyncInterval: 10 * sim.Second,
+	}, h.eng, h.net, h.top, appmaster.Callbacks{
+		OnGrant:  app.onGrant,
+		OnRevoke: app.onRevoke,
+	})
+	// Demand with a locality mix: some units pin a machine, some prefer a
+	// rack, the rest are cluster-wide — exercising all three tree levels.
+	// The demand follows registration after a registration round-trip's
+	// worth of delay, mirroring how the example application masters behave.
+	machines := h.top.Machines()
+	racks := h.top.Racks()
+	h.eng.After(sim.Millisecond, func() {
+		for u := 1; u <= cfg.UnitsPerApp; u++ {
+			var hints []resource.LocalityHint
+			rest := cfg.ContainersPerUnit
+			switch u % 10 {
+			case 0:
+				hints = append(hints, resource.LocalityHint{
+					Type: resource.LocalityMachine, Value: machines[h.rng.Intn(len(machines))], Count: 1,
+				})
+				rest--
+			case 1:
+				hints = append(hints, resource.LocalityHint{
+					Type: resource.LocalityRack, Value: racks[h.rng.Intn(len(racks))], Count: 1,
+				})
+				rest--
+			}
+			if rest > 0 {
+				hints = append(hints, resource.LocalityHint{Type: resource.LocalityCluster, Count: rest})
+			}
+			app.pendingReq[u] = h.eng.Now()
+			app.am.Request(u, hints...)
+		}
+	})
+}
+
+func (a *scaleApp) onGrant(unitID int, machine string, count int) {
+	h := a.h
+	h.grants += uint64(count)
+	if at, ok := a.pendingReq[unitID]; ok {
+		h.latency.Observe(float64(h.eng.Now()-at) / float64(sim.Millisecond))
+		delete(a.pendingReq, unitID)
+	}
+	// Hold the containers, then return them; revoked containers skip the
+	// return (they re-enter via onRevoke's re-request).
+	h.eng.After(h.cfg.HoldTime, func() {
+		n := count
+		if held := a.am.Held(unitID, machine); held < n {
+			n = held
+		}
+		if n <= 0 {
+			return
+		}
+		a.am.ReturnContainers(unitID, machine, n)
+		a.remaining -= n
+		if a.remaining <= 0 && !a.done {
+			a.done = true
+			a.am.Unregister()
+			h.completed++
+		}
+	})
+}
+
+func (a *scaleApp) onRevoke(unitID int, machine string, count int) {
+	h := a.h
+	h.revokes += uint64(count)
+	// Failover took the containers mid-hold: restate the demand so the
+	// churn completes (paper §3.1 step 7 — the JobMaster re-requests).
+	if _, ok := a.pendingReq[unitID]; !ok {
+		a.pendingReq[unitID] = h.eng.Now()
+	}
+	a.am.Request(unitID, resource.LocalityHint{Type: resource.LocalityCluster, Count: count})
+}

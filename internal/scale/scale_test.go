@@ -1,0 +1,92 @@
+package scale
+
+import (
+	"testing"
+	"time"
+)
+
+// tiny returns a configuration small enough for unit tests.
+func tiny() Config {
+	c := DefaultConfig()
+	c.Racks, c.MachinesPerRack = 4, 5
+	c.Apps, c.UnitsPerApp, c.ContainersPerUnit = 20, 5, 2
+	c.ArrivalWindow = 5 * 1000 * 1000 // 5 sim-seconds
+	c.FailoverEvery = 3 * 1000 * 1000
+	return c
+}
+
+func TestSmokeRunCompletes(t *testing.T) {
+	cfg := SmokeConfig()
+	if testing.Short() {
+		cfg = tiny()
+	}
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.CompletedApps != cfg.Apps {
+		t.Errorf("completed %d of %d apps (sim %.1fs)", res.CompletedApps, cfg.Apps, res.SimSeconds)
+	}
+	minDecisions := uint64(cfg.Apps * cfg.UnitsPerApp * cfg.ContainersPerUnit)
+	if res.Decisions < minDecisions {
+		t.Errorf("decisions = %d, want >= %d", res.Decisions, minDecisions)
+	}
+	if res.LatencyP99MS <= 0 {
+		t.Errorf("p99 latency = %v, want > 0", res.LatencyP99MS)
+	}
+	if len(res.Invariants) > 0 {
+		t.Errorf("scheduler invariants violated: %v", res.Invariants)
+	}
+}
+
+// TestLegacyParity replays the identical workload against the indexed tree
+// and the legacy linear-scan tree: every scheduling outcome must match,
+// proving the optimization is behavior-preserving.
+func TestLegacyParity(t *testing.T) {
+	cfg := tiny()
+	opt, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	legacy := cfg
+	legacy.LegacyScan = true
+	base, err := Run(legacy)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if opt.Grants != base.Grants || opt.Revokes != base.Revokes {
+		t.Errorf("decision streams diverge: optimized %d/%d grants/revokes, legacy %d/%d",
+			opt.Grants, opt.Revokes, base.Grants, base.Revokes)
+	}
+	if opt.CompletedApps != base.CompletedApps {
+		t.Errorf("completed apps diverge: %d vs %d", opt.CompletedApps, base.CompletedApps)
+	}
+	if opt.SimSeconds != base.SimSeconds {
+		t.Errorf("virtual end times diverge: %.6f vs %.6f", opt.SimSeconds, base.SimSeconds)
+	}
+	if opt.LatencyP99MS != base.LatencyP99MS {
+		t.Errorf("p99 latency diverges: %v vs %v", opt.LatencyP99MS, base.LatencyP99MS)
+	}
+}
+
+func TestRunCompareProducesSpeedup(t *testing.T) {
+	cfg := tiny()
+	cmp, err := RunCompare(cfg, time.Minute)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cmp.Speedup <= 0 {
+		t.Errorf("speedup = %v, want > 0", cmp.Speedup)
+	}
+	if cmp.Optimized.Config.LegacyScan || !cmp.Baseline.Config.LegacyScan {
+		t.Error("compare ran the wrong scheduler variants")
+	}
+}
+
+func TestRejectsBadConfig(t *testing.T) {
+	cfg := tiny()
+	cfg.Racks = 0
+	if _, err := Run(cfg); err == nil {
+		t.Error("expected error for zero racks")
+	}
+}

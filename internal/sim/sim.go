@@ -6,7 +6,6 @@
 package sim
 
 import (
-	"container/heap"
 	"fmt"
 	"math/rand"
 	"time"
@@ -38,26 +37,65 @@ type event struct {
 	at   Time
 	seq  uint64 // tie-breaker preserving scheduling order at equal times
 	fn   func()
-	gone *bool // set true when the event was cancelled
+	gone bool // set true when the event was cancelled
 }
 
+// eventQueue is a hand-rolled binary min-heap of events ordered by
+// (at, seq). Events are pooled on the engine's free list and recycled after
+// firing, so steady-state scheduling allocates only the handler closure.
 type eventQueue []*event
 
-func (q eventQueue) Len() int { return len(q) }
-func (q eventQueue) Less(i, j int) bool {
+func (q eventQueue) less(i, j int) bool {
 	if q[i].at != q[j].at {
 		return q[i].at < q[j].at
 	}
 	return q[i].seq < q[j].seq
 }
-func (q eventQueue) Swap(i, j int) { q[i], q[j] = q[j], q[i] }
-func (q *eventQueue) Push(x any)   { *q = append(*q, x.(*event)) }
-func (q *eventQueue) Pop() any {
+
+func (q eventQueue) siftUp(i int) {
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !q.less(i, parent) {
+			return
+		}
+		q[i], q[parent] = q[parent], q[i]
+		i = parent
+	}
+}
+
+func (q eventQueue) siftDown(i int) {
+	n := len(q)
+	for {
+		least := i
+		if l := 2*i + 1; l < n && q.less(l, least) {
+			least = l
+		}
+		if r := 2*i + 2; r < n && q.less(r, least) {
+			least = r
+		}
+		if least == i {
+			return
+		}
+		q[i], q[least] = q[least], q[i]
+		i = least
+	}
+}
+
+func (q *eventQueue) push(e *event) {
+	*q = append(*q, e)
+	q.siftUp(len(*q) - 1)
+}
+
+func (q *eventQueue) pop() *event {
 	old := *q
-	n := len(old)
-	e := old[n-1]
-	old[n-1] = nil
-	*q = old[:n-1]
+	e := old[0]
+	n := len(old) - 1
+	old[0] = old[n]
+	old[n] = nil
+	*q = old[:n]
+	if n > 0 {
+		q.siftDown(0)
+	}
 	return e
 }
 
@@ -70,6 +108,7 @@ type Engine struct {
 	rng    *rand.Rand
 	fired  uint64
 	halted bool
+	pool   []*event // recycled event structs
 }
 
 // NewEngine returns an engine whose RNG is seeded with seed, making runs
@@ -97,11 +136,26 @@ func (e *Engine) At(at Time, fn func()) Cancel {
 	if at < e.now {
 		at = e.now
 	}
-	gone := false
-	ev := &event{at: at, seq: e.seq, fn: fn, gone: &gone}
+	var ev *event
+	if n := len(e.pool); n > 0 {
+		ev = e.pool[n-1]
+		e.pool[n-1] = nil
+		e.pool = e.pool[:n-1]
+		*ev = event{at: at, seq: e.seq, fn: fn}
+	} else {
+		ev = &event{at: at, seq: e.seq, fn: fn}
+	}
 	e.seq++
-	heap.Push(&e.queue, ev)
-	return func() { gone = true }
+	e.queue.push(ev)
+	// The cancel closure pins the event's identity via seq: once the event
+	// fires and the struct is recycled for a later schedule, a stale cancel
+	// becomes a no-op instead of killing the new occupant.
+	seq := ev.seq
+	return func() {
+		if ev.seq == seq {
+			ev.gone = true
+		}
+	}
 }
 
 // After schedules fn after delay d.
@@ -152,13 +206,16 @@ func (e *Engine) run(until Time) uint64 {
 		if next.at > until {
 			break
 		}
-		heap.Pop(&e.queue)
-		if *next.gone {
+		e.queue.pop()
+		gone, at, fn := next.gone, next.at, next.fn
+		next.fn = nil
+		e.pool = append(e.pool, next)
+		if gone {
 			continue
 		}
-		e.now = next.at
+		e.now = at
 		e.fired++
-		next.fn()
+		fn()
 	}
 	return e.fired - start
 }
