@@ -37,7 +37,10 @@ func main() {
 		horizonS = flag.Int("horizon-sec", 0, "override simulation horizon (seconds)")
 		budget   = flag.Duration("baseline-budget", 2*time.Minute,
 			"wall-clock budget for the -compare baseline run (it is rate-measured, not run to completion)")
-		legacy = flag.Bool("legacy", false, "run only the legacy baseline scheduler")
+		legacy    = flag.Bool("legacy", false, "run only the legacy baseline scheduler")
+		mfailover = flag.Bool("master-failover", false,
+			"crash the active FuxiMaster mid-run (hot-standby promotion) and attach the cluster-wide invariant checker")
+		mfCount = flag.Int("master-failovers", 3, "number of mid-run master crashes in -master-failover mode")
 	)
 	flag.Parse()
 
@@ -65,18 +68,40 @@ func main() {
 
 	var payload any
 	broken := false
-	if *compare {
+	switch {
+	case *compare:
 		cmp, err := scale.RunCompare(cfg, *budget)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "scalesim:", err)
 			os.Exit(1)
 		}
-		payload = cmp
 		printResult("baseline (legacy scan)", &cmp.Baseline)
 		printResult("optimized", &cmp.Optimized)
 		fmt.Printf("speedup: %.2fx scheduling-decision throughput\n", cmp.Speedup)
 		broken = len(cmp.Baseline.Invariants) > 0 || len(cmp.Optimized.Invariants) > 0
-	} else {
+		if *mfailover {
+			fo, err := scale.Run(cfg.WithMasterFailovers(*mfCount))
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "scalesim:", err)
+				os.Exit(1)
+			}
+			cmp.Failover = fo
+			printResult("master-failover", fo)
+			broken = broken || len(fo.Invariants) > 0 || fo.CompletedApps != fo.Config.Apps
+		}
+		payload = cmp
+	case *mfailover:
+		res, err := scale.Run(cfg.WithMasterFailovers(*mfCount))
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "scalesim:", err)
+			os.Exit(1)
+		}
+		payload = res
+		printResult("master-failover", res)
+		// The scenario's contract: every app completes despite the crashes
+		// and the checker stays silent.
+		broken = len(res.Invariants) > 0 || res.CompletedApps != res.Config.Apps
+	default:
 		res, err := scale.Run(cfg)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "scalesim:", err)
@@ -115,6 +140,13 @@ func printResult(label string, r *scale.Result) {
 	fmt.Printf("  %.1f allocs/decision, %d events, %d msgs (%d batches), %d/%d apps completed\n",
 		r.AllocsPerDecision, r.EventsFired, r.MessagesSent, r.MessageBatches,
 		r.CompletedApps, r.Config.Apps)
+	if r.MasterFailovers > 0 {
+		fmt.Printf("  %d master failovers: recovery p50 %.0fms p99 %.0fms max %.0fms (sim-time)\n",
+			r.MasterFailovers, r.RecoveryP50MS, r.RecoveryP99MS, r.RecoveryMaxMS)
+		fmt.Printf("  scheduling pause p50 %.0fms p99 %.0fms max %.0fms; %d grants lost, %d reissued, %d invariant checks\n",
+			r.SchedPauseP50MS, r.SchedPauseP99MS, r.SchedPauseMaxMS,
+			r.GrantsLost, r.GrantsReissued, r.InvariantChecks)
+	}
 	if len(r.Invariants) > 0 {
 		fmt.Printf("  INVARIANT VIOLATIONS: %v\n", r.Invariants)
 	}

@@ -1,14 +1,19 @@
 // Failover: the paper's user-transparent failure recovery (§4.3.1) in one
 // run. While a job executes, this example kills the primary FuxiMaster (the
-// hot standby takes over and re-collects soft state), crashes the JobMaster
-// (a successor recovers from the instance snapshot and the still-running
-// workers), and halts a machine (the heartbeat timeout revokes its
-// containers and instances migrate) — and the job still completes.
+// hot standby takes over, bumps the durable checkpoint epoch, and re-collects
+// soft state), restarts the dead process as the new standby and kills the
+// successor too (proving repeated promotions fence each dead master's stale
+// messages by epoch), crashes the JobMaster (a successor recovers from the
+// instance snapshot and the still-running workers), and halts a machine (the
+// heartbeat timeout revokes its containers and instances migrate) — and the
+// job still completes.
 package main
 
 import (
 	"fmt"
+	"io"
 	"log"
+	"os"
 
 	"repro/internal/core"
 	"repro/internal/job"
@@ -16,12 +21,18 @@ import (
 )
 
 func main() {
+	if err := run(os.Stdout); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run(w io.Writer) error {
 	cluster, err := core.NewCluster(core.Config{
 		Racks: 3, MachinesPerRack: 4, Seed: 99,
 		Standby: true, // hot-standby FuxiMaster pair
 	})
 	if err != nil {
-		log.Fatal(err)
+		return err
 	}
 
 	desc := &job.Description{
@@ -40,30 +51,58 @@ func main() {
 		Backup:           job.BackupConfig{Enabled: true},
 	}})
 	if err != nil {
-		log.Fatal(err)
+		return err
 	}
 
-	step := func(s string) { fmt.Printf("t=%4.0fs  %s\n", cluster.Now().Seconds(), s) }
+	step := func(s string) { fmt.Fprintf(w, "t=%4.0fs  %s\n", cluster.Now().Seconds(), s) }
+
+	// checkEpoch verifies the election epoch is backed by the durable
+	// checkpoint (BumpEpoch): promotions survive even a double failure.
+	checkEpoch := func(want int) error {
+		p := cluster.Primary()
+		if p == nil {
+			return fmt.Errorf("no master took over")
+		}
+		if p.Epoch() != want {
+			return fmt.Errorf("election epoch = %d, want %d", p.Epoch(), want)
+		}
+		if durable := cluster.Ckpt.Load().Epoch; durable != p.Epoch() {
+			return fmt.Errorf("durable checkpoint epoch %d != election epoch %d", durable, p.Epoch())
+		}
+		return nil
+	}
 
 	cluster.Run(5 * sim.Second)
 	step("job running; killing the primary FuxiMaster")
-	cluster.KillPrimaryMaster()
+	dead := cluster.KillPrimaryMaster()
 
 	cluster.Run(10 * sim.Second)
-	if p := cluster.Primary(); p != nil {
-		step(fmt.Sprintf("standby took over (election epoch %d); allocations kept", p.Epoch()))
-	} else {
-		log.Fatal("no master took over")
+	if err := checkEpoch(2); err != nil {
+		return err
 	}
+	step("standby took over (election epoch 2, checkpoint-backed); allocations kept")
+
+	// Second failover: the first casualty rejoins as the standby, then the
+	// current primary dies too. Its stale in-flight messages carry epoch 2
+	// and are fenced by every agent and application master once the epoch-3
+	// hello lands.
+	dead.Restart()
+	step("crashed master restarted as standby; killing the new primary")
+	cluster.KillPrimaryMaster()
+	cluster.Run(10 * sim.Second)
+	if err := checkEpoch(3); err != nil {
+		return err
+	}
+	step("original master re-promoted (election epoch 3); stale epoch-2 messages fenced")
 
 	step("crashing the JobMaster; workers keep running")
 	if err := handle.CrashJobMaster(); err != nil {
-		log.Fatal(err)
+		return err
 	}
 	cluster.Run(3 * sim.Second)
 	step(fmt.Sprintf("%d workers still alive during the JobMaster outage", handle.Rt.Live()))
 	if err := handle.RestartJobMaster(); err != nil {
-		log.Fatal(err)
+		return err
 	}
 	cluster.Run(8 * sim.Second)
 	step("JobMaster successor recovered from snapshot + worker reports")
@@ -75,8 +114,9 @@ func main() {
 		cluster.Run(5 * sim.Second)
 	}
 	if !handle.Done() {
-		log.Fatal("job failed to survive the fault sequence")
+		return fmt.Errorf("job failed to survive the fault sequence")
 	}
-	step(fmt.Sprintf("job finished in %.1fs despite master, JobMaster and node failures",
+	step(fmt.Sprintf("job finished in %.1fs despite two master, one JobMaster and one node failure",
 		handle.ElapsedSeconds()))
+	return nil
 }

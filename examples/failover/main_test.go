@@ -1,0 +1,29 @@
+package main
+
+import (
+	"io"
+	"strings"
+	"testing"
+)
+
+// TestFailoverExampleRuns keeps the example from rotting: it must execute
+// the full double-master-failover fault sequence and finish the job.
+func TestFailoverExampleRuns(t *testing.T) {
+	var out strings.Builder
+	if err := run(&out); err != nil {
+		t.Fatalf("failover example failed: %v\noutput:\n%s", err, out.String())
+	}
+	for _, want := range []string{"epoch 2", "epoch 3", "job finished"} {
+		if !strings.Contains(out.String(), want) {
+			t.Errorf("output missing %q:\n%s", want, out.String())
+		}
+	}
+}
+
+// TestFailoverExampleQuiet double-checks the example tolerates a discarding
+// writer (the smoke path CI uses).
+func TestFailoverExampleQuiet(t *testing.T) {
+	if err := run(io.Discard); err != nil {
+		t.Fatal(err)
+	}
+}

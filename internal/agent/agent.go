@@ -81,6 +81,9 @@ type Agent struct {
 	machineUp bool
 	broken    bool // disk corrupted: processes cannot be launched
 	health    int
+	// gate fences capacity messages from a deposed primary: applying one
+	// would desynchronize this table from the successor's rebuilt ledger.
+	gate protocol.EpochGate
 	// HealthCollector is the plugin hook combining disk statistics,
 	// machine load and network I/O into one score (paper §4.3.2); tests
 	// and fault injectors override it.
@@ -136,6 +139,33 @@ func (a *Agent) Capacity(app string, unitID int) int {
 		return e.count
 	}
 	return 0
+}
+
+// Allocations returns the agent's full capacity table as app -> unit ->
+// count (a copy; the same shape the heartbeat reports). The cluster-wide
+// invariant checker compares it against the master's grant ledger.
+func (a *Agent) Allocations() map[string]map[int]int {
+	out := make(map[string]map[int]int, len(a.capacity))
+	for k, e := range a.capacity {
+		if e.count <= 0 {
+			continue
+		}
+		if out[k.app] == nil {
+			out[k.app] = make(map[int]int)
+		}
+		out[k.app][k.unitID] = e.count
+	}
+	return out
+}
+
+// MasterEpoch returns the highest master election epoch this agent has
+// observed (0 before any epoch-stamped message arrived).
+func (a *Agent) MasterEpoch() int { return a.gate.Current() }
+
+// staleEpoch fences capacity messages from a deposed primary, resetting the
+// master dedup channel when a genuinely newer epoch appears.
+func (a *Agent) staleEpoch(epoch int) bool {
+	return a.gate.Stale(epoch, a.dedup, protocol.MasterEndpoint+"/cap")
 }
 
 // ---------------------------------------------------------------------------
@@ -215,11 +245,17 @@ func (a *Agent) handle(from string, msg transport.Message) {
 	}
 	switch t := msg.(type) {
 	case protocol.CapacityUpdate:
+		if a.staleEpoch(t.Epoch) {
+			return
+		}
 		if a.dedup.Observe(from+"/cap", t.Seq) == protocol.Duplicate {
 			return
 		}
 		a.applyCapacity(t.App, t.UnitID, t.Size, t.Delta)
 	case protocol.CapacitySync:
+		if a.staleEpoch(t.Epoch) {
+			return
+		}
 		a.applyCapacitySync(t)
 	case protocol.WorkPlan:
 		if a.dedup.Observe(from+"/plan/"+t.WorkerID, t.Seq) == protocol.Duplicate {
@@ -229,10 +265,13 @@ func (a *Agent) handle(from string, msg transport.Message) {
 	case protocol.StopWorker:
 		a.stopWorker(t)
 	case protocol.MasterHello:
-		// New primary collecting soft state: report immediately, and
-		// forget the dead master's sequence numbers (the successor starts
-		// a fresh sequencer).
-		a.dedup.Reset(from + "/cap")
+		// New primary collecting soft state: report immediately. The epoch
+		// gate forgets the dead master's sequence numbers only for a
+		// genuinely newer epoch — a duplicated hello must not reopen the
+		// door to replaying the new master's own messages.
+		if a.staleEpoch(t.Epoch) {
+			return
+		}
 		a.sendHeartbeat()
 	case protocol.WorkerListReply:
 		a.adoptWorkers(t)

@@ -68,6 +68,9 @@ type AM struct {
 	dedup   *protocol.Dedup
 	timers  []sim.Cancel
 	stopped bool
+	// gate fences grant updates from a deposed primary (see
+	// protocol.EpochGate).
+	gate protocol.EpochGate
 }
 
 // Worker is the application's view of one worker process.
@@ -289,6 +292,44 @@ func (a *AM) Outstanding(unitID int) int {
 // Worker returns the application's view of a worker (nil when unknown).
 func (a *AM) Worker(id string) *Worker { return a.workers[id] }
 
+// App returns the application name.
+func (a *AM) App() string { return a.cfg.App }
+
+// Units returns the application's ScheduleUnit definitions.
+func (a *AM) Units() []resource.ScheduleUnit { return a.cfg.Units }
+
+// Stopped reports whether the application master has crashed or
+// unregistered.
+func (a *AM) Stopped() bool { return a.stopped }
+
+// MasterEpoch returns the highest master election epoch observed (0 before
+// any epoch-stamped message arrived).
+func (a *AM) MasterEpoch() int { return a.gate.Current() }
+
+// HeldSnapshot returns a copy of the full container ledger
+// (unit -> machine -> count), for the cluster-wide invariant checker.
+func (a *AM) HeldSnapshot() map[int]map[string]int {
+	out := make(map[int]map[string]int, len(a.held))
+	for unitID, machines := range a.held {
+		mc := make(map[string]int, len(machines))
+		for m, c := range machines {
+			if c > 0 {
+				mc[m] = c
+			}
+		}
+		if len(mc) > 0 {
+			out[unitID] = mc
+		}
+	}
+	return out
+}
+
+// staleEpoch fences grant updates from a deposed primary, resetting the
+// master dedup channel when a genuinely newer epoch appears.
+func (a *AM) staleEpoch(epoch int) bool {
+	return a.gate.Stale(epoch, a.dedup, protocol.MasterEndpoint+"/grant")
+}
+
 // ---------------------------------------------------------------------------
 // message handling
 // ---------------------------------------------------------------------------
@@ -299,6 +340,9 @@ func (a *AM) handle(from string, msg transport.Message) {
 	}
 	switch t := msg.(type) {
 	case protocol.GrantUpdate:
+		if a.staleEpoch(t.Epoch) {
+			return
+		}
 		if a.dedup.Observe(from+"/grant", t.Seq) == protocol.Duplicate {
 			return
 		}
@@ -308,9 +352,13 @@ func (a *AM) handle(from string, msg transport.Message) {
 	case protocol.MasterHello:
 		// New primary rebuilding soft state: re-send configuration and the
 		// full resource picture (paper Figure 7). Already-assigned
-		// resources are kept throughout. The successor uses a fresh
-		// sequencer, so forget the dead master's sequence numbers.
-		a.dedup.Reset(from + "/grant")
+		// resources are kept throughout. The epoch gate forgets the dead
+		// master's sequence numbers only for a genuinely newer epoch — a
+		// duplicated hello must not reopen the door to replaying the new
+		// master's own updates.
+		if a.staleEpoch(t.Epoch) {
+			return
+		}
 		a.send(protocol.MasterEndpoint, protocol.RegisterApp{
 			App: a.cfg.App, QuotaGroup: a.cfg.QuotaGroup, Units: a.cfg.Units, Seq: a.seq.Next(),
 		})

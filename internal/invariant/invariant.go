@@ -1,0 +1,199 @@
+// Package invariant is the cluster-wide conservation checker: an attachable
+// verifier any simulation run can enable to assert, after every scheduling
+// round or on demand, that the Fuxi control plane never loses or double-
+// counts a resource. The paper's failover story (§4.1–§4.2) promises that a
+// promoted FuxiMaster rebuilds soft state from live FuxiAgents and
+// application masters until it equals the pre-crash truth; this package is
+// the machinery that makes that claim falsifiable instead of assumed — the
+// end-to-end consistency discipline large operational systems demand.
+//
+// Two classes of check:
+//
+//   - Scheduler checks hold at any instant on the live primary: per-machine
+//     free + granted == capacity, non-negative physical free, per-unit held
+//     sums, quota-group usage ledgers, and the rack/cluster aggregate
+//     headroom caches.
+//
+//   - Ledger checks compare three independently-maintained views of the
+//     same grants — the master's scheduler ledger, each FuxiAgent's
+//     capacity table, and each application master's container ledger. They
+//     are only meaningful at settled points (no control messages in
+//     flight), such as the end of a run or a deliberate quiescent barrier.
+package invariant
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/agent"
+	"repro/internal/appmaster"
+	"repro/internal/master"
+	"repro/internal/topology"
+)
+
+// Checker verifies cluster-wide invariants over a wired simulation. All
+// component accessors are functions so the checker tracks live topology —
+// masters fail over, agents crash, application masters unregister.
+type Checker struct {
+	// Top is the cluster topology (machine capacities).
+	Top *topology.Topology
+	// Sched returns the live primary's scheduler, or nil during an
+	// interregnum (checks are skipped, not failed, while no master leads).
+	Sched func() *master.Scheduler
+	// Agents returns every FuxiAgent; down agents are skipped in ledger
+	// comparisons (a dead machine's table was lost with the machine).
+	Agents func() []*agent.Agent
+	// AMs returns the live application masters; stopped ones are skipped.
+	AMs func() []*appmaster.AM
+	// Ckpt, when set, enables the checkpoint write-budget check.
+	Ckpt *master.CheckpointStore
+
+	// Checks counts invocations; Violations accumulates every distinct
+	// violation observed, for end-of-run reporting.
+	Checks     int
+	Violations []string
+}
+
+// record deduplicates and accumulates violations, returning them.
+func (c *Checker) record(bad []string) []string {
+	c.Checks++
+	if len(bad) == 0 {
+		return nil
+	}
+	seen := make(map[string]bool, len(c.Violations))
+	for _, v := range c.Violations {
+		seen[v] = true
+	}
+	for _, v := range bad {
+		if !seen[v] {
+			c.Violations = append(c.Violations, v)
+			seen[v] = true
+		}
+	}
+	return bad
+}
+
+// CheckScheduler runs the any-instant scheduler invariants on the live
+// primary: conservation per machine, held-count consistency, quota usage
+// ledgers, and aggregate headroom caches. Safe to call after every
+// scheduling round — the walk is O(grants + machines).
+func (c *Checker) CheckScheduler() []string {
+	s := c.Sched()
+	if s == nil {
+		return c.record(nil) // interregnum: nothing to check
+	}
+	return c.record(s.CheckInvariants())
+}
+
+// CheckLedgers compares the master's grant ledger against every live
+// FuxiAgent capacity table and every live application master's container
+// ledger. Call only at settled points: with control messages in flight the
+// three views legitimately diverge for a round-trip.
+func (c *Checker) CheckLedgers() []string {
+	s := c.Sched()
+	if s == nil {
+		return c.record(nil)
+	}
+	var bad []string
+	masterView := s.GrantedByMachine()
+
+	// Master vs agents, both directions per machine. Sort a copy: callers
+	// may hand over their own slice, and reordering it would perturb any
+	// index-based fault injection driving the same run.
+	agents := append([]*agent.Agent(nil), c.Agents()...)
+	sort.Slice(agents, func(i, j int) bool { return agents[i].Machine < agents[j].Machine })
+	for _, a := range agents {
+		if !a.Up() {
+			continue
+		}
+		agentView := a.Allocations()
+		mView := masterView[a.Machine]
+		for app, units := range mView {
+			for unit, n := range units {
+				if got := agentView[app][unit]; got != n {
+					bad = append(bad, fmt.Sprintf(
+						"ledger: machine %s app %s unit %d: master grants %d, agent capacity %d",
+						a.Machine, app, unit, n, got))
+				}
+			}
+		}
+		for app, units := range agentView {
+			for unit, n := range units {
+				if mView[app][unit] == 0 && n > 0 {
+					bad = append(bad, fmt.Sprintf(
+						"ledger: machine %s app %s unit %d: agent holds %d unknown to master",
+						a.Machine, app, unit, n))
+				}
+			}
+		}
+	}
+
+	// Master vs application masters, both directions per (unit, machine).
+	for _, am := range c.AMs() {
+		if am.Stopped() {
+			continue
+		}
+		app := am.App()
+		held := am.HeldSnapshot()
+		for _, u := range am.Units() {
+			granted := s.Granted(app, u.ID)
+			for m, n := range granted {
+				if held[u.ID][m] != n {
+					bad = append(bad, fmt.Sprintf(
+						"ledger: app %s unit %d machine %s: master grants %d, app holds %d",
+						app, u.ID, m, n, held[u.ID][m]))
+				}
+			}
+			for m, n := range held[u.ID] {
+				if granted[m] == 0 && n > 0 {
+					bad = append(bad, fmt.Sprintf(
+						"ledger: app %s unit %d machine %s: app holds %d unknown to master",
+						app, u.ID, m, n))
+				}
+			}
+		}
+	}
+	sort.Strings(bad)
+	return c.record(bad)
+}
+
+// CheckQuota verifies quota-group guarantees at a settled point: no group
+// stranded below its minimum with claimable queued demand while preemptible
+// grants exist elsewhere (a recovery that dropped preemption state would
+// surface here). No-op when preemption is disabled.
+func (c *Checker) CheckQuota() []string {
+	s := c.Sched()
+	if s == nil {
+		return c.record(nil)
+	}
+	return c.record(s.QuotaDeficits())
+}
+
+// CheckCheckpointWrites asserts the checkpoint store absorbed at most
+// budget writes — the paper's light-weight hard-state discipline: the
+// scheduling fast path (demand, grants, returns, heartbeats) must never
+// touch durable storage. Callers compute the budget from job boundary and
+// election counts.
+func (c *Checker) CheckCheckpointWrites(budget int) []string {
+	if c.Ckpt == nil {
+		return c.record(nil)
+	}
+	if c.Ckpt.Writes > budget {
+		return c.record([]string{fmt.Sprintf(
+			"checkpoint: %d writes exceed the job-boundary budget %d (fast path touched durable storage)",
+			c.Ckpt.Writes, budget)})
+	}
+	return c.record(nil)
+}
+
+// CheckAll runs every check appropriate for the moment: scheduler checks
+// always, ledger and quota checks only when settled is true.
+func (c *Checker) CheckAll(settled bool) []string {
+	var bad []string
+	bad = append(bad, c.CheckScheduler()...)
+	if settled {
+		bad = append(bad, c.CheckLedgers()...)
+		bad = append(bad, c.CheckQuota()...)
+	}
+	return bad
+}

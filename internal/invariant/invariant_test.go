@@ -1,0 +1,185 @@
+package invariant_test
+
+import (
+	"sort"
+	"strings"
+	"testing"
+
+	"repro/internal/agent"
+	"repro/internal/appmaster"
+	"repro/internal/core"
+	"repro/internal/invariant"
+	"repro/internal/protocol"
+	"repro/internal/resource"
+	"repro/internal/sim"
+)
+
+// wire builds a small standby-pair cluster with one application holding
+// real grants, plus a checker attached to its live components.
+func wire(t *testing.T) (*core.Cluster, *appmaster.AM, *invariant.Checker) {
+	t.Helper()
+	cluster, err := core.NewCluster(core.Config{Racks: 2, MachinesPerRack: 3, Seed: 7, Standby: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	am := cluster.NewAppMaster(appmaster.Config{
+		App: "app-inv",
+		Units: []resource.ScheduleUnit{
+			{ID: 1, Priority: 10, MaxCount: 8, Size: resource.New(1000, 4096)},
+			{ID: 2, Priority: 20, MaxCount: 4, Size: resource.New(2000, 8192)},
+		},
+	}, appmaster.Callbacks{})
+	cluster.Run(sim.Second)
+	am.Request(1, resource.LocalityHint{Type: resource.LocalityCluster, Count: 8})
+	am.Request(2, resource.LocalityHint{Type: resource.LocalityCluster, Count: 4})
+	cluster.Run(2 * sim.Second)
+
+	ck := &invariant.Checker{
+		Top:   cluster.Top,
+		Sched: cluster.Scheduler,
+		Agents: func() []*agent.Agent {
+			names := make([]string, 0, len(cluster.Agents))
+			for n := range cluster.Agents {
+				names = append(names, n)
+			}
+			sort.Strings(names)
+			out := make([]*agent.Agent, 0, len(names))
+			for _, n := range names {
+				out = append(out, cluster.Agents[n])
+			}
+			return out
+		},
+		AMs:  func() []*appmaster.AM { return []*appmaster.AM{am} },
+		Ckpt: cluster.Ckpt,
+	}
+	return cluster, am, ck
+}
+
+func TestCheckerSilentOnHealthyCluster(t *testing.T) {
+	_, am, ck := wire(t)
+	if am.HeldTotal(1) != 8 || am.HeldTotal(2) != 4 {
+		t.Fatalf("setup: app holds %d/%d", am.HeldTotal(1), am.HeldTotal(2))
+	}
+	if bad := ck.CheckAll(true); len(bad) != 0 {
+		t.Fatalf("healthy cluster flagged: %v", bad)
+	}
+	if ck.Checks == 0 {
+		t.Fatal("checker did not count its invocations")
+	}
+}
+
+func TestCheckerSilentAcrossMasterFailover(t *testing.T) {
+	cluster, _, ck := wire(t)
+	if bad := ck.CheckAll(true); len(bad) != 0 {
+		t.Fatalf("pre-crash violations: %v", bad)
+	}
+	cluster.KillPrimaryMaster()
+	if got := ck.CheckScheduler(); got != nil {
+		t.Fatalf("interregnum must skip, not fail: %v", got)
+	}
+	cluster.Run(10 * sim.Second) // election + recovery window + settle
+	p := cluster.Primary()
+	if p == nil {
+		t.Fatal("standby never promoted")
+	}
+	if p.Epoch() != 2 {
+		t.Fatalf("epoch = %d, want 2", p.Epoch())
+	}
+	if bad := ck.CheckAll(true); len(bad) != 0 {
+		t.Fatalf("rebuilt soft state diverges from pre-crash truth: %v", bad)
+	}
+}
+
+// TestCheckerDetectsLedgerDivergence proves the checker can actually fail:
+// a rogue capacity update (epoch 0, so it bypasses fencing — the legacy
+// unstamped path) desynchronizes one agent's table from the master ledger.
+func TestCheckerDetectsLedgerDivergence(t *testing.T) {
+	cluster, _, ck := wire(t)
+	machine := cluster.Top.Machines()[0]
+	cluster.Net.Send("rogue", protocol.AgentEndpoint(machine), protocol.CapacityUpdate{
+		App: "app-inv", UnitID: 1, Size: resource.New(1000, 4096), Delta: 2, Seq: 1,
+	})
+	cluster.Run(sim.Second)
+	bad := ck.CheckLedgers()
+	if len(bad) == 0 {
+		t.Fatal("checker missed an agent/master ledger divergence")
+	}
+	if !strings.Contains(strings.Join(bad, "\n"), machine) {
+		t.Errorf("violation does not name the diverged machine %s: %v", machine, bad)
+	}
+	if len(ck.Violations) == 0 {
+		t.Error("violations were not accumulated for end-of-run reporting")
+	}
+}
+
+// TestUnregisterDuringRecoveryWindow runs the integration-level scenario of
+// an app unregistering while a successor is still collecting soft state:
+// afterwards no component may retain any trace of the app. (The precisely
+// timed unregister-before-restore race is pinned at the unit level by
+// master.TestUnregisterBufferedDuringRecovery.)
+func TestUnregisterDuringRecoveryWindow(t *testing.T) {
+	cluster, am, ck := wire(t)
+	cluster.KillPrimaryMaster()
+	// Step to the exact promotion instant: the hello broadcast is queued
+	// but no agent restore report has been delivered yet.
+	for i := 0; cluster.Primary() == nil || cluster.Primary().Epoch() != 2; i++ {
+		if i > 1_000_000 {
+			t.Fatal("standby never promoted")
+		}
+		cluster.Run(100 * sim.Microsecond)
+	}
+	am.Unregister()
+	cluster.Run(10 * sim.Second) // recovery window + settle
+	if s := cluster.Scheduler(); s == nil || s.Registered("app-inv") {
+		t.Fatal("app still registered after buffered unregister replay")
+	}
+	for name, a := range cluster.Agents {
+		if allocs := a.Allocations(); len(allocs["app-inv"]) > 0 {
+			t.Errorf("agent %s still holds capacity for the unregistered app: %v", name, allocs["app-inv"])
+		}
+	}
+	if bad := ck.CheckLedgers(); len(bad) != 0 {
+		t.Errorf("ledger divergence after unregister-during-recovery: %v", bad)
+	}
+}
+
+func TestCheckerCheckpointWriteBudget(t *testing.T) {
+	cluster, _, ck := wire(t)
+	// One app save + one epoch bump happened; a generous budget passes.
+	if bad := ck.CheckCheckpointWrites(10); len(bad) != 0 {
+		t.Fatalf("budget 10 flagged %d writes: %v", cluster.Ckpt.Writes, bad)
+	}
+	if bad := ck.CheckCheckpointWrites(0); len(bad) == 0 {
+		t.Fatal("zero budget not flagged despite checkpoint writes")
+	}
+}
+
+// TestCheckerFencesStaleEpochMessages pins the protocol property the
+// checker's failover silence depends on: a deposed master's in-flight
+// capacity update must be dropped by receivers that saw a newer epoch.
+func TestCheckerFencesStaleEpochMessages(t *testing.T) {
+	cluster, am, ck := wire(t)
+	cluster.KillPrimaryMaster()
+	cluster.Run(10 * sim.Second)
+	machine := cluster.Top.Machines()[0]
+	a := cluster.Agents[machine]
+	if a.MasterEpoch() != 2 || am.MasterEpoch() != 2 {
+		t.Fatalf("epochs not propagated: agent %d, app %d", a.MasterEpoch(), am.MasterEpoch())
+	}
+	before := a.Capacity("app-inv", 1)
+	// Stale epoch-1 leftovers from the dead primary arrive late.
+	cluster.Net.Send(protocol.MasterEndpoint, protocol.AgentEndpoint(machine), protocol.CapacityUpdate{
+		App: "app-inv", UnitID: 1, Size: resource.New(1000, 4096), Delta: 3, Epoch: 1, Seq: 999,
+	})
+	cluster.Net.Send(protocol.MasterEndpoint, "app-inv", protocol.GrantUpdate{
+		App: "app-inv", UnitID: 1, Epoch: 1, Seq: 999,
+		Changes: []protocol.MachineDelta{{Machine: machine, Delta: 3}},
+	})
+	cluster.Run(sim.Second)
+	if got := a.Capacity("app-inv", 1); got != before {
+		t.Errorf("stale capacity update applied: %d -> %d", before, got)
+	}
+	if bad := ck.CheckAll(true); len(bad) != 0 {
+		t.Errorf("stale-epoch traffic corrupted the ledgers: %v", bad)
+	}
+}

@@ -109,6 +109,221 @@ func TestSchedulerInvariantsUnderRandomOps(t *testing.T) {
 	}
 }
 
+// TestLegacyParityUnderFailovers is the locality-tree parity fuzz extended
+// with fault injection: the optimized (size-class-indexed) and legacy
+// (linear-scan) trees are driven in lockstep through random submit, demand,
+// grant and return traffic — and through agent failovers (machine down/up)
+// and full master failovers, where each scheduler is torn down and rebuilt
+// the way a promoted hot standby rebuilds soft state (hard state from the
+// checkpoint, grants from agent reports, demand from app full syncs). Every
+// decision stream must stay bit-identical and every accounting invariant
+// must hold on both sides after every step.
+func TestLegacyParityUnderFailovers(t *testing.T) {
+	groups := map[string]resource.Vector{
+		"gold":   resource.New(24_000, 192*1024),
+		"bronze": resource.New(12_000, 96*1024),
+	}
+	newPair := func() [2]*Scheduler {
+		return [2]*Scheduler{
+			NewScheduler(testTop(t, 3, 4), Options{EnablePreemption: true, Groups: groups}),
+			NewScheduler(testTop(t, 3, 4), Options{EnablePreemption: true, Groups: groups, LegacyScan: true}),
+		}
+	}
+	// rebuild promotes a fresh scheduler over s's cluster the way a hot
+	// standby does, returning it and the decisions its soft-state replay
+	// produced (demand re-adds may grant immediately).
+	rebuild := func(s *Scheduler, legacy bool, groupOf map[string]string, unitsOf map[string][]resource.ScheduleUnit) (*Scheduler, []Decision) {
+		n := NewScheduler(s.top, Options{EnablePreemption: true, Groups: groups, LegacyScan: legacy})
+		apps := s.Apps()
+		// Hard state: app configurations and the blacklist.
+		for _, app := range apps {
+			if err := n.RegisterApp(app, groupOf[app], unitsOf[app]); err != nil {
+				t.Fatalf("rebuild register %s: %v", app, err)
+			}
+		}
+		for _, m := range s.top.Machines() {
+			if s.Blacklisted(m) {
+				n.SetBlacklisted(m, true, false)
+			}
+		}
+		// Soft state from agents: live machines re-report allocations; dead
+		// machines report nothing and trip the heartbeat timeout.
+		for _, app := range apps {
+			for _, u := range s.Units(app) {
+				granted := s.Granted(app, u.ID)
+				machines := make([]string, 0, len(granted))
+				for m := range granted {
+					machines = append(machines, m)
+				}
+				sort.Strings(machines)
+				for _, m := range machines {
+					if !s.Down(m) {
+						n.RestoreGrant(app, u.ID, m, granted[m])
+					}
+				}
+			}
+		}
+		for _, m := range s.top.Machines() {
+			if s.Down(m) {
+				n.MachineDown(m)
+			}
+		}
+		// Soft state from application masters: waiting demand, re-added in
+		// a deterministic order (the full-sync path sorts the same way).
+		var ds []Decision
+		for _, app := range apps {
+			for _, u := range s.Units(app) {
+				key := waitKey{app: app, unit: u.ID}
+				nodes := s.tree.nodesFor(key)
+				sort.Slice(nodes, func(i, j int) bool {
+					if nodes[i].level != nodes[j].level {
+						return nodes[i].level < nodes[j].level
+					}
+					return nodes[i].node < nodes[j].node
+				})
+				for _, idx := range nodes {
+					c := s.tree.get(key, idx.level, idx.node)
+					if c <= 0 {
+						continue
+					}
+					out, err := n.UpdateDemand(app, u.ID, []resource.LocalityHint{
+						{Type: idx.level, Value: idx.node, Count: c}})
+					if err != nil {
+						t.Fatalf("rebuild demand %s/%d: %v", app, u.ID, err)
+					}
+					ds = append(ds, out...)
+				}
+			}
+		}
+		return n, ds
+	}
+	compare := func(seed int64, step int, op string, a, b []Decision) {
+		if len(a) != len(b) {
+			t.Fatalf("seed %d step %d (%s): decision counts diverge: %d vs %d\n%v\n%v",
+				seed, step, op, len(a), len(b), a, b)
+		}
+		for i := range a {
+			if a[i] != b[i] {
+				t.Fatalf("seed %d step %d (%s): decision %d diverges: %+v vs %+v",
+					seed, step, op, i, a[i], b[i])
+			}
+		}
+	}
+
+	for seed := int64(1); seed <= 8; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		pair := newPair()
+		top := pair[0].top
+		machines := top.Machines()
+		groupNames := []string{"", "gold", "bronze"}
+		appNames := []string{"a", "b", "c", "d"}
+		groupOf := map[string]string{}
+		unitsOf := map[string][]resource.ScheduleUnit{}
+
+		register := func(app string) {
+			if pair[0].Registered(app) {
+				return
+			}
+			units := []resource.ScheduleUnit{
+				{ID: 1, Priority: 50 + rng.Intn(200), MaxCount: 1 + rng.Intn(40),
+					Size: resource.New(int64(500+rng.Intn(4)*500), int64(1024*(1+rng.Intn(8))))},
+				{ID: 2, Priority: 50 + rng.Intn(200), MaxCount: 1 + rng.Intn(10),
+					Size: resource.New(2000, 8192)},
+			}
+			g := groupNames[rng.Intn(len(groupNames))]
+			groupOf[app], unitsOf[app] = g, units
+			for _, s := range pair {
+				if err := s.RegisterApp(app, g, units); err != nil {
+					t.Fatalf("seed %d: register: %v", seed, err)
+				}
+			}
+		}
+		for _, a := range appNames {
+			register(a)
+		}
+
+		for step := 0; step < 300; step++ {
+			app := appNames[rng.Intn(len(appNames))]
+			unitID := 1 + rng.Intn(2)
+			switch op := rng.Intn(12); {
+			case op < 4: // demand change
+				if !pair[0].Registered(app) {
+					register(app)
+					break
+				}
+				var h resource.LocalityHint
+				switch rng.Intn(3) {
+				case 0:
+					h = resource.LocalityHint{Type: resource.LocalityMachine,
+						Value: machines[rng.Intn(len(machines))], Count: rng.Intn(9) - 2}
+				case 1:
+					h = resource.LocalityHint{Type: resource.LocalityRack,
+						Value: top.Racks()[rng.Intn(len(top.Racks()))], Count: rng.Intn(9) - 2}
+				default:
+					h = resource.LocalityHint{Type: resource.LocalityCluster, Count: rng.Intn(17) - 4}
+				}
+				a0, err0 := pair[0].UpdateDemand(app, unitID, []resource.LocalityHint{h})
+				a1, err1 := pair[1].UpdateDemand(app, unitID, []resource.LocalityHint{h})
+				if err0 != nil || err1 != nil {
+					t.Fatalf("seed %d step %d: demand: %v / %v", seed, step, err0, err1)
+				}
+				compare(seed, step, "demand", a0, a1)
+			case op < 6: // return something held
+				if !pair[0].Registered(app) {
+					break
+				}
+				granted := pair[0].Granted(app, unitID)
+				ms := make([]string, 0, len(granted))
+				for m := range granted {
+					ms = append(ms, m)
+				}
+				sort.Strings(ms)
+				if len(ms) == 0 {
+					break
+				}
+				m := ms[rng.Intn(len(ms))]
+				k := 1 + rng.Intn(granted[m])
+				a0, err0 := pair[0].Return(app, unitID, m, k)
+				a1, err1 := pair[1].Return(app, unitID, m, k)
+				if err0 != nil || err1 != nil {
+					t.Fatalf("seed %d step %d: return: %v / %v", seed, step, err0, err1)
+				}
+				compare(seed, step, "return", a0, a1)
+			case op < 8: // agent failover: machine down / up
+				m := machines[rng.Intn(len(machines))]
+				if pair[0].Down(m) {
+					compare(seed, step, "machine-up", pair[0].MachineUp(m), pair[1].MachineUp(m))
+				} else {
+					compare(seed, step, "machine-down", pair[0].MachineDown(m), pair[1].MachineDown(m))
+				}
+			case op < 9: // blacklist toggle
+				m := machines[rng.Intn(len(machines))]
+				black := !pair[0].Blacklisted(m)
+				revoke := rng.Intn(2) == 0
+				compare(seed, step, "blacklist",
+					pair[0].SetBlacklisted(m, black, revoke), pair[1].SetBlacklisted(m, black, revoke))
+			case op < 10: // master failover: promote fresh schedulers
+				var d0, d1 []Decision
+				pair[0], d0 = rebuild(pair[0], false, groupOf, unitsOf)
+				pair[1], d1 = rebuild(pair[1], true, groupOf, unitsOf)
+				compare(seed, step, "master-failover", d0, d1)
+			default: // app churn
+				if pair[0].Registered(app) && rng.Intn(3) == 0 {
+					compare(seed, step, "unregister",
+						pair[0].UnregisterApp(app), pair[1].UnregisterApp(app))
+				} else {
+					register(app)
+				}
+			}
+			for i, s := range pair {
+				if bad := s.CheckInvariants(); len(bad) > 0 {
+					t.Fatalf("seed %d step %d: scheduler %d invariants violated: %v", seed, step, i, bad)
+				}
+			}
+		}
+	}
+}
+
 // TestSchedulerDeterministic re-runs an identical operation sequence and
 // requires bit-identical decision streams — the reproducibility guarantee
 // every experiment in this repo rests on.

@@ -51,6 +51,15 @@ type Config struct {
 	BlacklistCap int
 	// Sched passes through scheduler options (quota groups, preemption).
 	Sched Options
+	// OnPromote, when set, fires as this process wins the election, after
+	// hard state is reloaded but before soft-state collection begins.
+	OnPromote func(epoch int)
+	// OnRecovered fires when a promoted primary finishes soft-state
+	// recovery and resumes normal scheduling (failover promotions only;
+	// the epoch-1 fresh boot has no recovery phase). reissuedGrants is the
+	// number of containers granted by the post-recovery assignment pass —
+	// demand that was queued or re-sent during the interregnum.
+	OnRecovered func(epoch int, reissuedGrants int)
 }
 
 // DefaultConfig returns production-flavoured defaults for a process name.
@@ -89,13 +98,23 @@ type Master struct {
 	restored   map[string]bool // machines whose allocations were restored this recovery
 	epoch      int
 
-	seq       protocol.Sequencer
-	dedup     *protocol.Dedup
-	lastBeat  map[string]sim.Time
-	strikes   map[string]int
-	badVotes  map[string]map[string]bool         // machine -> set of reporting apps
-	pendDem   map[string][]protocol.DemandUpdate // app -> buffered updates (batch mode)
-	flushArm  bool
+	seq      protocol.Sequencer
+	dedup    *protocol.Dedup
+	lastBeat map[string]sim.Time
+	strikes  map[string]int
+	badVotes map[string]map[string]bool         // machine -> set of reporting apps
+	pendDem  map[string][]protocol.DemandUpdate // app -> buffered updates (batch mode)
+	flushArm bool
+	// recDem, recRet and recUnreg buffer demand, return and unregister
+	// traffic that arrives during the recovery window: acting on it before
+	// every agent has re-reported its allocations would grant from a free
+	// pool that still over-counts (the successor starts from full capacity
+	// and subtracts as reports arrive), double-booking machines — and an
+	// early unregister would strand capacity on agents whose restore
+	// report had not landed yet.
+	recDem    []protocol.DemandUpdate
+	recRet    []protocol.GrantReturn
+	recUnreg  []protocol.UnregisterApp
 	timers    []sim.Cancel
 	lockAbort sim.Cancel
 }
@@ -151,6 +170,9 @@ func (m *Master) promote() {
 	for _, b := range snap.Blacklist {
 		m.sched.SetBlacklisted(b, true, false)
 	}
+	if m.cfg.OnPromote != nil {
+		m.cfg.OnPromote(m.epoch)
+	}
 
 	m.net.Register(protocol.MasterEndpoint, m.handle)
 	m.timers = append(m.timers,
@@ -162,6 +184,14 @@ func (m *Master) promote() {
 	if m.epoch > 1 {
 		m.recovering = true
 		m.restored = make(map[string]bool)
+		// Baseline every machine's heartbeat clock: a machine that was
+		// already dead when the predecessor crashed never reports to the
+		// successor, and with no baseline it would never trip the timeout
+		// scan and would keep absorbing grants forever.
+		now := m.eng.Now()
+		for _, mc := range m.top.Machines() {
+			m.lastBeat[mc] = now
+		}
 		hello := protocol.MasterHello{Epoch: m.epoch, Seq: m.seq.Next()}
 		for _, mc := range m.top.Machines() {
 			m.net.Send(protocol.MasterEndpoint, protocol.AgentEndpoint(mc), hello)
@@ -178,9 +208,43 @@ func (m *Master) finishRecovery() {
 		return
 	}
 	m.recovering = false
-	// One full assignment pass over all machines places demand collected
-	// during recovery.
-	m.dispatch(m.sched.assignOnMachines(m.top.Machines()))
+	// Apply demand, returns and unregisters buffered during the window,
+	// then one full assignment pass over all machines places everything
+	// collected.
+	dem, ret, unreg := m.recDem, m.recRet, m.recUnreg
+	m.recDem, m.recRet, m.recUnreg = nil, nil, nil
+	var ds []Decision
+	for _, t := range ret {
+		out, err := m.sched.Return(t.App, t.UnitID, t.Machine, t.Count)
+		if err != nil {
+			continue
+		}
+		m.sendCapacity(t.App, t.UnitID, t.Machine, -t.Count)
+		ds = append(ds, out...)
+	}
+	for _, t := range dem {
+		out, err := m.sched.UpdateDemand(t.App, t.UnitID, t.Deltas)
+		if err != nil {
+			continue
+		}
+		ds = append(ds, out...)
+	}
+	m.dispatch(ds)
+	for _, t := range unreg {
+		m.handleUnregister(t) // dispatches its own release fan-out
+	}
+	final := m.sched.assignOnMachines(m.top.Machines())
+	m.dispatch(final)
+	ds = append(ds, final...)
+	if m.cfg.OnRecovered != nil {
+		reissued := 0
+		for _, d := range ds {
+			if d.Delta > 0 {
+				reissued += d.Delta
+			}
+		}
+		m.cfg.OnRecovered(m.epoch, reissued)
+	}
 }
 
 func (m *Master) renew() {
@@ -226,6 +290,10 @@ func (m *Master) Crash() {
 		m.net.Unregister(protocol.MasterEndpoint)
 	}
 	m.sched = nil
+	m.recovering = false
+	m.recDem, m.recRet, m.recUnreg = nil, nil, nil
+	m.pendDem = make(map[string][]protocol.DemandUpdate)
+	m.flushArm = false
 }
 
 // Restart revives a crashed process as a standby competing for the lock.
@@ -314,6 +382,12 @@ func (m *Master) handleRegister(t protocol.RegisterApp) {
 }
 
 func (m *Master) handleDemand(t protocol.DemandUpdate) {
+	if m.recovering {
+		// Granting before all agents re-reported would double-book machines
+		// whose allocations are not yet subtracted from the free pool.
+		m.recDem = append(m.recDem, t)
+		return
+	}
 	if m.cfg.BatchWindow > 0 {
 		m.bufferDemand(t)
 		return
@@ -391,6 +465,12 @@ func (m *Master) flushDemand() {
 }
 
 func (m *Master) handleReturn(t protocol.GrantReturn) {
+	if m.recovering {
+		// The grant being returned may not have been restored yet (its
+		// agent's report is still in flight); replay after the window.
+		m.recRet = append(m.recRet, t)
+		return
+	}
 	start := time.Now()
 	ds, err := m.sched.Return(t.App, t.UnitID, t.Machine, t.Count)
 	m.reg.Histogram("master.sched_ms").Observe(float64(time.Since(start).Nanoseconds()) / 1e6)
@@ -403,6 +483,14 @@ func (m *Master) handleReturn(t protocol.GrantReturn) {
 }
 
 func (m *Master) handleUnregister(t protocol.UnregisterApp) {
+	if m.recovering {
+		// Unregistering now would release only the grants restored so far;
+		// agents yet to re-report would keep capacity entries for an app
+		// the master no longer knows, orphaning them forever. Replay once
+		// every restore has landed.
+		m.recUnreg = append(m.recUnreg, t)
+		return
+	}
 	// Tell the agents to release the app's capacity before the scheduler
 	// state disappears (in sorted machine order, for reproducible runs).
 	for _, u := range m.sched.Units(t.App) {
@@ -451,6 +539,22 @@ func (m *Master) handleFullSync(t protocol.FullDemandSync) {
 	// sequencer) is not mistaken for a replayer.
 	for _, ch := range []string{"/dem", "/ret", "/unreg", "/bad", "/reg"} {
 		m.dedup.ResetTo(t.App+ch, t.Seq)
+	}
+	// Recovery-buffered deltas the app sent before this sync are already
+	// folded into its absolute counts above; replaying them at the end of
+	// the window would double-apply the demand. Later deltas (Seq beyond
+	// the sync) remain genuinely incremental and stay buffered. Buffered
+	// GrantReturns are untouched: the agents' reports still carry the
+	// returned containers, so the replay is their exactly-once release.
+	if m.recovering && len(m.recDem) > 0 {
+		kept := m.recDem[:0]
+		for _, d := range m.recDem {
+			if d.App == t.App && d.Seq <= t.Seq {
+				continue
+			}
+			kept = append(kept, d)
+		}
+		m.recDem = kept
 	}
 }
 
@@ -521,20 +625,18 @@ func (m *Master) reconcileHeld(app string, unitID int, appView map[string]int) {
 	}
 	if len(fixes) > 0 {
 		m.net.Send(protocol.MasterEndpoint, app, protocol.GrantUpdate{
-			App: app, UnitID: unitID, Changes: fixes, Seq: m.seq.Next(),
+			App: app, UnitID: unitID, Changes: fixes, Epoch: m.epoch, Seq: m.seq.Next(),
 		})
 	}
 }
 
 func (m *Master) handleHeartbeat(t protocol.AgentHeartbeat) {
 	mc := t.Machine
-	first := m.lastBeat[mc] == 0
 	m.lastBeat[mc] = m.eng.Now()
 	if m.sched.Down(mc) {
 		// The node recovered (or its network partition healed).
 		m.dispatch(m.sched.MachineUp(mc))
 	}
-	_ = first
 	if m.recovering && !m.restored[mc] {
 		// Restore exactly once per machine per recovery: a second
 		// heartbeat inside the window must not double the allocations.
@@ -575,7 +677,7 @@ func (m *Master) handleCapacityQuery(t protocol.CapacityQuery) {
 		}
 	}
 	m.net.Send(protocol.MasterEndpoint, protocol.AgentEndpoint(t.Machine), protocol.CapacitySync{
-		Machine: t.Machine, Entries: entries, Seq: m.seq.Next(),
+		Machine: t.Machine, Entries: entries, Epoch: m.epoch, Seq: m.seq.Next(),
 	})
 }
 
@@ -658,7 +760,8 @@ func (m *Master) dispatch(ds []Decision) {
 					agentOrder = append(agentOrder, d.Machine)
 				}
 				byAgent[d.Machine] = append(byAgent[d.Machine], protocol.CapacityUpdate{
-					App: d.App, UnitID: d.UnitID, Size: u.def.Size, Delta: d.Delta, Seq: m.seq.Next(),
+					App: d.App, UnitID: d.UnitID, Size: u.def.Size, Delta: d.Delta,
+					Epoch: m.epoch, Seq: m.seq.Next(),
 				})
 			}
 		}
@@ -668,7 +771,7 @@ func (m *Master) dispatch(ds []Decision) {
 	}
 	for _, k := range order {
 		m.net.Send(protocol.MasterEndpoint, k.app, protocol.GrantUpdate{
-			App: k.app, UnitID: k.unit, Changes: byApp[k], Seq: m.seq.Next(),
+			App: k.app, UnitID: k.unit, Changes: byApp[k], Epoch: m.epoch, Seq: m.seq.Next(),
 		})
 	}
 }
@@ -683,6 +786,7 @@ func (m *Master) sendCapacity(app string, unitID int, machine string, delta int)
 		return
 	}
 	m.net.Send(protocol.MasterEndpoint, protocol.AgentEndpoint(machine), protocol.CapacityUpdate{
-		App: app, UnitID: unitID, Size: u.def.Size, Delta: delta, Seq: m.seq.Next(),
+		App: app, UnitID: unitID, Size: u.def.Size, Delta: delta,
+		Epoch: m.epoch, Seq: m.seq.Next(),
 	})
 }

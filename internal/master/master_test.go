@@ -56,6 +56,90 @@ func (h *masterHarness) registerApp(t *testing.T) {
 	})
 }
 
+// TestUnregisterBufferedDuringRecovery pins the orphaned-capacity race: an
+// UnregisterApp that reaches a promoted successor before the agents' restore
+// reports must be buffered to the end of the recovery window — processing it
+// against the half-restored ledger would release nothing, and the restores
+// arriving afterwards would be dropped as unknown-app, stranding the agents'
+// capacity entries forever.
+func TestUnregisterBufferedDuringRecovery(t *testing.T) {
+	eng := sim.NewEngine(9)
+	net := transport.NewNet(eng)
+	lock := lockservice.New(eng)
+	ckpt := NewCheckpointStore()
+	top := testTop(t, 2, 2)
+	m1 := NewMaster(DefaultConfig("fm-1"), eng, net, lock, top, ckpt, nil)
+	m2 := NewMaster(DefaultConfig("fm-2"), eng, net, lock, top, ckpt, nil)
+
+	// Scripted agent endpoints record every capacity update; no automatic
+	// heartbeats, so the test controls exactly when restore reports land.
+	agentMsgs := map[string][]protocol.CapacityUpdate{}
+	for _, mc := range top.Machines() {
+		mc := mc
+		net.Register(protocol.AgentEndpoint(mc), func(_ string, msg transport.Message) {
+			if cu, ok := msg.(protocol.CapacityUpdate); ok {
+				agentMsgs[mc] = append(agentMsgs[mc], cu)
+			}
+		})
+	}
+	var appSeq protocol.Sequencer
+	net.Register("app1", func(string, transport.Message) {})
+	net.Send("app1", protocol.MasterEndpoint, protocol.RegisterApp{
+		App: "app1", Units: []resource.ScheduleUnit{
+			{ID: 1, Priority: 100, MaxCount: 8, Size: resource.New(1000, 2048)},
+		}, Seq: appSeq.Next(),
+	})
+	eng.Run(eng.Now() + 10*sim.Millisecond)
+	net.Send("app1", protocol.MasterEndpoint, protocol.DemandUpdate{
+		App: "app1", UnitID: 1,
+		Deltas: []resource.LocalityHint{{Type: resource.LocalityCluster, Count: 4}},
+		Seq:    appSeq.Next(),
+	})
+	eng.Run(eng.Now() + 10*sim.Millisecond)
+	granted := m1.Scheduler().Granted("app1", 1)
+	if len(granted) == 0 {
+		t.Fatal("setup: no grants")
+	}
+
+	m1.Crash()
+	for m2.Epoch() != 2 {
+		if eng.Now() > 10*sim.Second {
+			t.Fatal("standby never promoted")
+		}
+		eng.Run(eng.Now() + 100*sim.Microsecond)
+	}
+	// The race: the unregister reaches the successor first ...
+	net.Send("app1", protocol.MasterEndpoint, protocol.UnregisterApp{App: "app1", Seq: appSeq.Next()})
+	eng.Run(eng.Now() + sim.Millisecond)
+	// ... and only then do the agents re-send their allocation reports.
+	for mc, n := range granted {
+		net.Send(protocol.AgentEndpoint(mc), protocol.MasterEndpoint, protocol.AgentHeartbeat{
+			Machine: mc, Allocations: map[string]map[int]int{"app1": {1: n}},
+			HealthScore: 100, Seq: 1,
+		})
+	}
+	eng.Run(eng.Now() + 5*sim.Second) // past the recovery window
+
+	for mc, n := range granted {
+		released := 0
+		for _, cu := range agentMsgs[mc] {
+			if cu.App == "app1" && cu.Delta < 0 {
+				released -= cu.Delta
+			}
+		}
+		if released < n {
+			t.Errorf("machine %s: agents told to release %d of %d containers held for the unregistered app",
+				mc, released, n)
+		}
+	}
+	if m2.Scheduler().Registered("app1") {
+		t.Error("app still registered after buffered unregister replay")
+	}
+	if bad := m2.Scheduler().CheckInvariants(); len(bad) > 0 {
+		t.Errorf("invariants violated: %v", bad)
+	}
+}
+
 func TestMasterCheckpointOnlyOnJobBoundaries(t *testing.T) {
 	h := newMasterHarness(t, DefaultConfig("fm-1"))
 	h.registerApp(t)

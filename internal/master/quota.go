@@ -41,6 +41,57 @@ func (s *Scheduler) deficit(st *appState, u *unitState) int {
 	return d
 }
 
+// QuotaDeficits reports quota-minimum violations at a settled point: with
+// preemption enabled, no group may sit below its guaranteed minimum with
+// queued demand it could claim within the minimum while preemptible grants
+// exist in other groups — preemptFor should already have fired. The
+// cluster-wide invariant checker calls this after recovery settles to verify
+// that failover did not silently strand a group below its guarantee.
+func (s *Scheduler) QuotaDeficits() []string {
+	if !s.opts.EnablePreemption {
+		return nil
+	}
+	var bad []string
+	appNames := make([]string, 0, len(s.apps))
+	for name := range s.apps {
+		appNames = append(appNames, name)
+	}
+	sort.Strings(appNames)
+	for _, name := range appNames {
+		st := s.apps[name]
+		g := s.groups[st.group]
+		if g.min.IsZero() {
+			continue // no guaranteed minimum
+		}
+		unitIDs := make([]int, 0, len(st.units))
+		for id := range st.units {
+			unitIDs = append(unitIDs, id)
+		}
+		sort.Ints(unitIDs)
+		for _, id := range unitIDs {
+			u := st.units[id]
+			if s.deficit(st, u) <= 0 {
+				continue
+			}
+			if g.min.Sub(g.usage).FitCount(u.def.Size) <= 0 {
+				continue // claim would exceed the minimum: not guaranteed
+			}
+			victims := s.collectVictims(func(vapp *appState, vu *unitState) bool {
+				if vapp.group == st.group {
+					return false
+				}
+				vg := s.groups[vapp.group]
+				return !vg.min.Contains(vg.usage) || vg.min.IsZero() && !vg.usage.IsZero()
+			})
+			if len(victims) > 0 {
+				bad = append(bad, "group "+st.group+": below minimum with queued demand for app "+
+					name+" while preemptible grants exist")
+			}
+		}
+	}
+	return bad
+}
+
 // victimGrant identifies one preemptible holding.
 type victimGrant struct {
 	app      *appState

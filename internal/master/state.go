@@ -173,25 +173,49 @@ func (s *Scheduler) SetVirtualResource(machine, dim string, amount int64) []Deci
 	return nil
 }
 
-// CheckInvariants verifies internal consistency; tests call it after
-// scenario steps. It returns a non-nil error description slice when any
-// invariant is violated.
+// CheckInvariants verifies internal consistency; tests and the cluster-wide
+// invariant checker call it after scenario steps. It returns a non-nil error
+// description slice when any invariant is violated. The walk is a single
+// pass over granted entries plus one over machines — O(grants + machines) —
+// so paper-scale runs can afford to call it every scheduling round.
 func (s *Scheduler) CheckInvariants() []string {
 	var bad []string
-	// Per machine: free + granted == capacity, free non-negative.
-	for _, m := range s.top.Machines() {
-		used := resource.Vector{}
-		for _, st := range s.apps {
-			for _, u := range st.units {
-				used = used.Add(u.def.Size.Scale(int64(u.granted[m])))
+	// One pass over all grants builds the per-machine usage map; the same
+	// pass checks held == sum(granted) and held <= MaxCount per unit.
+	used := make(map[string]resource.Vector, len(s.free))
+	for name, st := range s.apps {
+		for _, u := range st.units {
+			sum := 0
+			for m, n := range u.granted {
+				sum += n
+				uv := used[m]
+				(&uv).AddScaledInPlace(u.def.Size, int64(n))
+				used[m] = uv
+			}
+			if sum != u.held {
+				bad = append(bad, "app "+name+": unit held mismatch")
+			}
+			if u.held > u.def.MaxCount {
+				bad = append(bad, "app "+name+": unit over MaxCount")
 			}
 		}
+	}
+	// Per machine: free + granted == capacity, physical free non-negative,
+	// and the rack/cluster aggregates agree with the per-machine pool.
+	var sumFree resource.Vector
+	rackSum := make(map[string]resource.Vector, len(s.rackFree))
+	for _, m := range s.top.Machines() {
+		rack := s.rackOf[m]
+		rs := rackSum[rack]
+		(&rs).AddScaledInPlace(s.free[m], 1)
+		rackSum[rack] = rs
+		(&sumFree).AddScaledInPlace(s.free[m], 1)
 		if s.down[m] {
 			continue
 		}
 		cap := s.top.Machine(m).Capacity
-		if !s.free[m].Add(used).Equal(cap) {
-			bad = append(bad, "machine "+m+": free+used != capacity: "+s.free[m].String()+" + "+used.String()+" != "+cap.String())
+		if !s.free[m].Add(used[m]).Equal(cap) {
+			bad = append(bad, "machine "+m+": free+used != capacity: "+s.free[m].String()+" + "+used[m].String()+" != "+cap.String())
 		}
 		if s.free[m].CPUMilli() < 0 || s.free[m].MemoryMB() < 0 {
 			// Physical dimensions may never go negative; virtual ones may
@@ -200,20 +224,12 @@ func (s *Scheduler) CheckInvariants() []string {
 			bad = append(bad, "machine "+m+": negative physical free "+s.free[m].String())
 		}
 	}
-	// Per app/unit: held == sum(granted), held <= MaxCount.
-	for name, st := range s.apps {
-		for id, u := range st.units {
-			sum := 0
-			for _, n := range u.granted {
-				sum += n
-			}
-			if sum != u.held {
-				bad = append(bad, "app "+name+": unit held mismatch")
-			}
-			if u.held > u.def.MaxCount {
-				bad = append(bad, "app "+name+": unit over MaxCount")
-			}
-			_ = id
+	if !sumFree.Equal(s.totalFree) {
+		bad = append(bad, "cluster aggregate free "+s.totalFree.String()+" != sum "+sumFree.String())
+	}
+	for rack, rs := range rackSum {
+		if !rs.Equal(s.rackFree[rack]) {
+			bad = append(bad, "rack "+rack+" aggregate free "+s.rackFree[rack].String()+" != sum "+rs.String())
 		}
 	}
 	// Group usage equals sum of member grants.
@@ -225,7 +241,7 @@ func (s *Scheduler) CheckInvariants() []string {
 				continue
 			}
 			for _, u := range st.units {
-				sum = sum.Add(u.def.Size.Scale(int64(u.held)))
+				(&sum).AddScaledInPlace(u.def.Size, int64(u.held))
 			}
 		}
 		if !sum.Equal(g.usage) {
@@ -233,4 +249,49 @@ func (s *Scheduler) CheckInvariants() []string {
 		}
 	}
 	return bad
+}
+
+// Groups returns the sorted quota-group names.
+func (s *Scheduler) Groups() []string {
+	out := make([]string, 0, len(s.groups))
+	for g := range s.groups {
+		out = append(out, g)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// GroupMin returns a quota group's guaranteed minimum (zero when none).
+func (s *Scheduler) GroupMin(group string) resource.Vector {
+	if g, ok := s.groups[group]; ok {
+		return g.min.Clone()
+	}
+	return resource.Vector{}
+}
+
+// PreemptionEnabled reports whether two-level preemption is active.
+func (s *Scheduler) PreemptionEnabled() bool { return s.opts.EnablePreemption }
+
+// GrantedByMachine builds machine -> app -> unit -> count from the grant
+// ledger — the master-side view the cluster-wide invariant checker compares
+// against each FuxiAgent's capacity table.
+func (s *Scheduler) GrantedByMachine() map[string]map[string]map[int]int {
+	out := make(map[string]map[string]map[int]int)
+	for name, st := range s.apps {
+		for id, u := range st.units {
+			for m, n := range u.granted {
+				if n <= 0 {
+					continue
+				}
+				if out[m] == nil {
+					out[m] = make(map[string]map[int]int)
+				}
+				if out[m][name] == nil {
+					out[m][name] = make(map[int]int)
+				}
+				out[m][name][id] = n
+			}
+		}
+	}
+	return out
 }

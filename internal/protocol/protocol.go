@@ -57,11 +57,14 @@ type MachineDelta struct {
 }
 
 // GrantUpdate notifies an application master of scheduling results for one
-// of its units: grants (positive) and revocations (negative).
+// of its units: grants (positive) and revocations (negative). Epoch is the
+// sending primary's election epoch: receivers fence messages from a deposed
+// master that were still in flight when its successor promoted.
 type GrantUpdate struct {
 	App     string
 	UnitID  int
 	Changes []MachineDelta
+	Epoch   int
 	Seq     uint64
 }
 
@@ -112,7 +115,9 @@ type CapacityUpdate struct {
 	UnitID int
 	Size   resource.Vector
 	Delta  int
-	Seq    uint64
+	// Epoch fences updates from a deposed primary (see GrantUpdate.Epoch).
+	Epoch int
+	Seq   uint64
 }
 
 // MasterHello is broadcast by a newly-promoted primary FuxiMaster asking all
@@ -145,7 +150,9 @@ type CapacityEntry struct {
 type CapacitySync struct {
 	Machine string
 	Entries []CapacityEntry
-	Seq     uint64
+	// Epoch fences syncs from a deposed primary (see GrantUpdate.Epoch).
+	Epoch int
+	Seq   uint64
 }
 
 // WireSize implements transport.Sizer.

@@ -69,3 +69,36 @@ func (d *Dedup) ResetTo(sender string, seq uint64) { d.last[sender] = seq }
 
 // Gaps returns the number of gaps observed since construction.
 func (d *Dedup) Gaps() uint64 { return d.gaps }
+
+// EpochGate tracks the highest FuxiMaster election epoch a receiver has
+// observed and fences messages stamped with an older one — in-flight
+// leftovers of a deposed primary that would desynchronize the receiver from
+// the promoted successor's rebuilt ledgers. One implementation serves both
+// FuxiAgents and application masters so their fencing semantics cannot
+// drift apart.
+type EpochGate struct {
+	epoch int
+}
+
+// Current returns the highest epoch observed (0 before any stamped message).
+func (g *EpochGate) Current() int { return g.epoch }
+
+// Stale classifies a message's epoch stamp. Messages from a deposed master
+// (epoch below the high-water mark) report true and must be dropped. A
+// genuinely newer epoch advances the mark and resets channel in d — the
+// successor runs a fresh sequencer, and only a real promotion may reopen
+// the dedup window (a duplicated hello must not). Epoch 0 (unstamped, e.g.
+// direct test injection) is never fenced.
+func (g *EpochGate) Stale(epoch int, d *Dedup, channel string) bool {
+	if epoch == 0 {
+		return false
+	}
+	if epoch < g.epoch {
+		return true
+	}
+	if epoch > g.epoch {
+		g.epoch = epoch
+		d.Reset(channel)
+	}
+	return false
+}

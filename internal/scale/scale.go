@@ -7,6 +7,13 @@
 // workload can be replayed against the pre-optimization scheduler
 // (Options.LegacyScan) so every optimization PR reports its speedup against
 // a baseline measured in the same build.
+//
+// The harness also runs the paper's headline fault-tolerance scenario at
+// full scale: true FuxiMaster crash/promote cycles (Config.MasterFailoverAt)
+// with hot-standby lease takeover, checkpoint epoch bumps, soft-state
+// rebuild from agent and application-master re-registrations, and the
+// cluster-wide invariant checker (internal/invariant) attached to prove the
+// rebuilt state equals the pre-crash truth.
 package scale
 
 import (
@@ -17,6 +24,7 @@ import (
 
 	"repro/internal/agent"
 	"repro/internal/appmaster"
+	"repro/internal/invariant"
 	"repro/internal/lockservice"
 	"repro/internal/master"
 	"repro/internal/metrics"
@@ -52,6 +60,21 @@ type Config struct {
 	// MachineDown revocation wave.
 	FailoverEvery    sim.Time `json:"failover_every_us"`
 	FailoverDowntime sim.Time `json:"failover_downtime_us"`
+
+	// MasterFailoverAt lists virtual times at which the active FuxiMaster
+	// is crashed mid-run (empty disables). A hot standby then wins the
+	// lock-service lease, bumps the checkpoint epoch, reloads hard state
+	// and rebuilds soft state from agent and application-master
+	// re-registrations; the crashed process restarts as the new standby so
+	// repeated failovers alternate the pair. Stale-epoch messages from each
+	// dead primary are fenced by the protocol's epoch stamps.
+	MasterFailoverAt []sim.Time `json:"master_failover_at_us,omitempty"`
+
+	// CheckInvariants attaches the cluster-wide invariant checker: the
+	// scheduler conservation invariants are asserted every virtual second,
+	// and when the run completes, the settled master/agent/app grant
+	// ledgers and the checkpoint write budget are verified too.
+	CheckInvariants bool `json:"check_invariants,omitempty"`
 
 	// Horizon hard-stops the simulation even if apps are still running.
 	Horizon sim.Time `json:"horizon_us"`
@@ -102,6 +125,20 @@ func SmokeConfig() Config {
 	return c
 }
 
+// WithMasterFailovers returns the configuration with n master crashes
+// spread evenly across the busy part of the run (arrival window plus one
+// hold cycle) and the invariant checker enabled — the paper-scale
+// hot-standby promotion scenario.
+func (c Config) WithMasterFailovers(n int) Config {
+	c.MasterFailoverAt = nil
+	span := c.ArrivalWindow + c.HoldTime
+	for i := 1; i <= n; i++ {
+		c.MasterFailoverAt = append(c.MasterFailoverAt, span*sim.Time(i)/sim.Time(n+1))
+	}
+	c.CheckInvariants = true
+	return c
+}
+
 // Result is one run's measurement, serialized into BENCH_scale.json.
 type Result struct {
 	Config   Config `json:"config"`
@@ -133,13 +170,41 @@ type Result struct {
 	CompletedApps int      `json:"completed_apps"`
 	SimSeconds    float64  `json:"sim_seconds"`
 	Invariants    []string `json:"invariant_violations,omitempty"`
+	// InvariantChecks counts checker invocations (0 when not attached).
+	InvariantChecks int `json:"invariant_checks,omitempty"`
+
+	// Master-failover measurements (virtual milliseconds), present when
+	// MasterFailoverAt is non-empty. Recovery is crash → soft state rebuilt
+	// and scheduling resumed; scheduling pause is crash → first grant from
+	// the promoted successor delivered to an application master.
+	MasterFailovers int     `json:"master_failovers,omitempty"`
+	RecoveryMeanMS  float64 `json:"recovery_mean_ms,omitempty"`
+	RecoveryP50MS   float64 `json:"recovery_p50_ms,omitempty"`
+	RecoveryP99MS   float64 `json:"recovery_p99_ms,omitempty"`
+	RecoveryMaxMS   float64 `json:"recovery_max_ms,omitempty"`
+	SchedPauseP50MS float64 `json:"sched_pause_p50_ms,omitempty"`
+	SchedPauseP99MS float64 `json:"sched_pause_p99_ms,omitempty"`
+	SchedPauseMaxMS float64 `json:"sched_pause_max_ms,omitempty"`
+	// GrantsLost counts containers held by application masters at recovery
+	// completion that the rebuilt master ledger does not carry (0 when the
+	// soft-state rebuild is exact). GrantsReissued counts containers
+	// granted by the promoted masters' post-recovery assignment passes.
+	GrantsLost     uint64 `json:"grants_lost_on_failover,omitempty"`
+	GrantsReissued uint64 `json:"grants_reissued,omitempty"`
+
+	// Completed lists the completed application names, for the metamorphic
+	// failover-transparency test (excluded from JSON: at paper scale it
+	// would dominate the benchmark file).
+	Completed []string `json:"-"`
 }
 
-// CompareResult pairs an optimized run with its same-build baseline.
+// CompareResult pairs an optimized run with its same-build baseline, plus
+// (when requested) the master-failover scenario run on the same workload.
 type CompareResult struct {
 	Baseline  Result  `json:"baseline"`
 	Optimized Result  `json:"optimized"`
 	Speedup   float64 `json:"speedup"`
+	Failover  *Result `json:"failover,omitempty"`
 }
 
 // scaleApp drives one application master's churn: request, hold, return,
@@ -162,14 +227,95 @@ type harness struct {
 	net    *transport.Net
 	top    *topology.Topology
 	agents []*agent.Agent
-	fm     *master.Master
-	reg    *metrics.Registry
-	rng    *rand.Rand
+	// masters is the hot-standby pair (second entry nil without master
+	// failover); whichever holds the lease is primary.
+	masters []*master.Master
+	apps    []*scaleApp
+	reg     *metrics.Registry
+	rng     *rand.Rand
 
 	latency   *metrics.Histogram
 	grants    uint64
 	revokes   uint64
 	completed int
+	names     []string
+
+	// Master-failover bookkeeping. crashAt is the last crash instant;
+	// pauseAt arms the scheduling-pause measurement (cleared by the first
+	// grant arriving more than 1ms after the crash, which excludes the
+	// dead master's in-flight deliveries).
+	recovery   *metrics.Histogram
+	schedPause *metrics.Histogram
+	crashAt    sim.Time
+	pauseAt    sim.Time
+	crashes    int
+	lost       uint64
+	reissued   uint64
+	checker    *invariant.Checker
+}
+
+// primary returns the current primary master (nil during an interregnum).
+func (h *harness) primary() *master.Master {
+	for _, m := range h.masters {
+		if m != nil && m.IsPrimary() {
+			return m
+		}
+	}
+	return nil
+}
+
+func (h *harness) primarySched() *master.Scheduler {
+	if p := h.primary(); p != nil {
+		return p.Scheduler()
+	}
+	return nil
+}
+
+// crashPrimary kills the active master; the standby takes over when the
+// lease expires, and the crashed process restarts as the new standby once
+// the successor's recovery window has passed. A crash time landing in an
+// interregnum (the previous failover's successor not yet promoted) retries
+// shortly after, so the configured crash count is always executed.
+func (h *harness) crashPrimary(mcfg master.Config) {
+	p := h.primary()
+	if p == nil {
+		h.eng.After(500*sim.Millisecond, func() { h.crashPrimary(mcfg) })
+		return
+	}
+	h.crashes++
+	h.crashAt = h.eng.Now()
+	h.pauseAt = h.crashAt
+	p.Crash()
+	restartAfter := mcfg.LockTTL + mcfg.RecoveryWindow + sim.Second
+	h.eng.After(restartAfter, p.Restart)
+}
+
+// onRecovered measures one completed failover: recovery latency, grants the
+// rebuilt ledger lost versus the application masters' views, and grants
+// reissued by the post-recovery assignment pass.
+func (h *harness) onRecovered(epoch, reissuedGrants int) {
+	if h.crashAt != 0 {
+		h.recovery.Observe(float64(h.eng.Now()-h.crashAt) / float64(sim.Millisecond))
+	}
+	h.reissued += uint64(reissuedGrants)
+	s := h.primarySched()
+	if s == nil {
+		return
+	}
+	for _, a := range h.apps {
+		if a.done {
+			continue
+		}
+		held := a.am.HeldSnapshot()
+		for unitID, machines := range held {
+			granted := s.Granted(a.name, unitID)
+			for m, n := range machines {
+				if d := n - granted[m]; d > 0 {
+					h.lost += uint64(d)
+				}
+			}
+		}
+	}
 }
 
 // Run executes one stress run and returns its measurements.
@@ -194,19 +340,55 @@ func Run(cfg Config) (*Result, error) {
 	ckpt := master.NewCheckpointStore()
 	reg := metrics.NewRegistry()
 
-	mcfg := master.DefaultConfig("fm-scale")
+	mcfg := master.DefaultConfig("fm-scale-1")
 	mcfg.Sched.LegacyScan = cfg.LegacyScan
 	h := &harness{
 		cfg: cfg, eng: eng, net: net, top: top, reg: reg,
-		rng:     rand.New(rand.NewSource(cfg.Seed + 1)),
-		latency: reg.Histogram("scale.demand_to_grant_ms"),
+		rng:        rand.New(rand.NewSource(cfg.Seed + 1)),
+		latency:    reg.Histogram("scale.demand_to_grant_ms"),
+		recovery:   reg.Histogram("scale.master_recovery_ms"),
+		schedPause: reg.Histogram("scale.sched_pause_ms"),
 	}
-	h.fm = master.NewMaster(mcfg, eng, net, lock, top, ckpt, reg)
+	if len(cfg.MasterFailoverAt) > 0 {
+		mcfg.OnRecovered = h.onRecovered
+	}
+	h.masters = append(h.masters, master.NewMaster(mcfg, eng, net, lock, top, ckpt, reg))
+	if len(cfg.MasterFailoverAt) > 0 {
+		m2 := mcfg
+		m2.ProcessName = "fm-scale-2"
+		h.masters = append(h.masters, master.NewMaster(m2, eng, net, lock, top, ckpt, reg))
+		for _, at := range cfg.MasterFailoverAt {
+			eng.At(at, func() { h.crashPrimary(mcfg) })
+		}
+	}
 	eng.Run(10 * sim.Millisecond) // let the election settle
 
 	acfg := agent.DefaultConfig()
 	for _, m := range top.Machines() {
 		h.agents = append(h.agents, agent.New(acfg, eng, net, top.Machine(m)))
+	}
+
+	if cfg.CheckInvariants {
+		h.checker = &invariant.Checker{
+			Top:   top,
+			Sched: h.primarySched,
+			Agents: func() []*agent.Agent {
+				return h.agents
+			},
+			AMs: func() []*appmaster.AM {
+				ams := make([]*appmaster.AM, 0, len(h.apps))
+				for _, a := range h.apps {
+					if !a.done {
+						ams = append(ams, a.am)
+					}
+				}
+				return ams
+			},
+			Ckpt: ckpt,
+		}
+		// Conservation invariants after every virtual second of scheduling
+		// rounds; ledger agreement is checked at the settled end of the run.
+		eng.Every(sim.Second, func() { h.checker.CheckScheduler() })
 	}
 
 	// Schedule app arrivals uniformly across the window.
@@ -243,6 +425,17 @@ func Run(cfg Config) (*Result, error) {
 	wall := time.Since(start).Seconds()
 	runtime.ReadMemStats(&after)
 
+	if h.checker != nil && h.completed == cfg.Apps {
+		// Let in-flight control traffic land (one-way latency is 200µs;
+		// two virtual seconds covers every outstanding round trip), then
+		// verify the settled cross-component ledgers and the checkpoint
+		// write budget: one SaveApp per app, one RemoveApp per completed
+		// app, one epoch bump per election.
+		eng.Run(eng.Now() + 2*sim.Second)
+		h.checker.CheckAll(true)
+		h.checker.CheckCheckpointWrites(cfg.Apps + h.completed + 1 + len(cfg.MasterFailoverAt))
+	}
+
 	res := &Result{
 		Config:         cfg,
 		Machines:       top.Size(),
@@ -265,8 +458,24 @@ func Run(cfg Config) (*Result, error) {
 		res.DecisionsPerSec = float64(res.Decisions) / wall
 		res.AllocsPerDecision = float64(after.Mallocs-before.Mallocs) / float64(res.Decisions)
 	}
-	if s := h.fm.Scheduler(); s != nil {
+	res.Completed = h.names
+	if h.checker != nil {
+		res.Invariants = h.checker.Violations
+		res.InvariantChecks = h.checker.Checks
+	} else if s := h.primarySched(); s != nil {
 		res.Invariants = s.CheckInvariants()
+	}
+	if len(cfg.MasterFailoverAt) > 0 {
+		res.MasterFailovers = h.crashes
+		res.RecoveryMeanMS = h.recovery.Mean()
+		res.RecoveryP50MS = h.recovery.Quantile(0.5)
+		res.RecoveryP99MS = h.recovery.Quantile(0.99)
+		res.RecoveryMaxMS = h.recovery.Max()
+		res.SchedPauseP50MS = h.schedPause.Quantile(0.5)
+		res.SchedPauseP99MS = h.schedPause.Quantile(0.99)
+		res.SchedPauseMaxMS = h.schedPause.Max()
+		res.GrantsLost = h.lost
+		res.GrantsReissued = h.reissued
 	}
 	return res, nil
 }
@@ -325,6 +534,7 @@ func (h *harness) spawnApp(idx int) {
 		remaining:  cfg.UnitsPerApp * cfg.ContainersPerUnit,
 		pendingReq: make(map[int]sim.Time, cfg.UnitsPerApp),
 	}
+	h.apps = append(h.apps, app)
 	app.am = appmaster.New(appmaster.Config{
 		App: name, Units: units, FullSyncInterval: 10 * sim.Second,
 	}, h.eng, h.net, h.top, appmaster.Callbacks{
@@ -365,6 +575,12 @@ func (h *harness) spawnApp(idx int) {
 func (a *scaleApp) onGrant(unitID int, machine string, count int) {
 	h := a.h
 	h.grants += uint64(count)
+	if h.pauseAt != 0 && h.eng.Now()-h.pauseAt > sim.Millisecond {
+		// First grant from the promoted successor (the dead master's
+		// in-flight deliveries all land within one message latency).
+		h.schedPause.Observe(float64(h.eng.Now()-h.pauseAt) / float64(sim.Millisecond))
+		h.pauseAt = 0
+	}
 	if at, ok := a.pendingReq[unitID]; ok {
 		h.latency.Observe(float64(h.eng.Now()-at) / float64(sim.Millisecond))
 		delete(a.pendingReq, unitID)
@@ -385,6 +601,7 @@ func (a *scaleApp) onGrant(unitID int, machine string, count int) {
 			a.done = true
 			a.am.Unregister()
 			h.completed++
+			h.names = append(h.names, a.name)
 		}
 	})
 }

@@ -1,6 +1,7 @@
 package scale
 
 import (
+	"sort"
 	"testing"
 	"time"
 )
@@ -80,6 +81,80 @@ func TestRunCompareProducesSpeedup(t *testing.T) {
 	}
 	if cmp.Optimized.Config.LegacyScan || !cmp.Baseline.Config.LegacyScan {
 		t.Error("compare ran the wrong scheduler variants")
+	}
+}
+
+// TestMasterFailoverTransparency is the metamorphic failover test: the same
+// seeded workload run with 0, 1, and 3 mid-run master failovers must finish
+// with the identical app completion set and a silent invariant checker —
+// the paper's user-transparent failure recovery (§4.1) stated as a property.
+func TestMasterFailoverTransparency(t *testing.T) {
+	cfg := tiny()
+	cfg.CheckInvariants = true
+	completedSet := func(r *Result) []string {
+		out := append([]string(nil), r.Completed...)
+		sort.Strings(out)
+		return out
+	}
+
+	base, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if base.CompletedApps != cfg.Apps {
+		t.Fatalf("baseline completed %d of %d apps", base.CompletedApps, cfg.Apps)
+	}
+	if len(base.Invariants) > 0 {
+		t.Fatalf("baseline invariant violations: %v", base.Invariants)
+	}
+	want := completedSet(base)
+
+	for _, failovers := range []int{1, 3} {
+		fcfg := cfg.WithMasterFailovers(failovers)
+		res, err := Run(fcfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(res.Invariants) > 0 {
+			t.Errorf("%d failovers: invariant violations: %v", failovers, res.Invariants)
+		}
+		got := completedSet(res)
+		if len(got) != len(want) {
+			t.Fatalf("%d failovers: completed %d apps, want %d (sim %.1fs)",
+				failovers, len(got), len(want), res.SimSeconds)
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("%d failovers: completion set diverges at %d: %q vs %q",
+					failovers, i, got[i], want[i])
+			}
+		}
+		if res.MasterFailovers != failovers {
+			t.Errorf("reported %d failovers, want %d", res.MasterFailovers, failovers)
+		}
+		if res.RecoveryMaxMS <= 0 {
+			t.Errorf("%d failovers: no recovery time measured", failovers)
+		}
+		if res.InvariantChecks == 0 {
+			t.Errorf("%d failovers: invariant checker never ran", failovers)
+		}
+	}
+}
+
+// TestMasterFailoverRebuildExact pins the ledger property directly: after
+// the run settles, master, agents and application masters agree (the checker
+// ran its settled ledger pass because all apps completed).
+func TestMasterFailoverRebuildExact(t *testing.T) {
+	cfg := tiny().WithMasterFailovers(2)
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.CompletedApps != cfg.Apps {
+		t.Fatalf("completed %d of %d apps", res.CompletedApps, cfg.Apps)
+	}
+	if len(res.Invariants) > 0 {
+		t.Errorf("invariant violations after failovers: %v", res.Invariants)
 	}
 }
 
