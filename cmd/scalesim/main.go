@@ -3,14 +3,21 @@
 // throughput, demand-to-grant latency percentiles in virtual time, and
 // allocation pressure per decision for a 5,000-machine / 100k-schedule-unit
 // churn. With -compare it replays the same workload against the
-// pre-optimization scheduler (legacy linear-scan locality tree) and reports
-// the speedup, so the optimization trajectory is tracked across PRs.
+// pre-optimization scheduler (legacy linear-scan locality tree), the serial
+// optimized scheduler, and the sharded parallel scheduler at each count in
+// -shard-counts, reporting speedups and the common-completed-prefix latency
+// so the wall-budget-truncated baseline stays comparable.
+//
+// With -check-budgets the run is a CI regression gate: it exits non-zero
+// when allocs/decision or messages/grant exceed the budgets (which are also
+// recorded in the output JSON).
 //
 // Usage:
 //
 //	go run ./cmd/scalesim                     # full paper-scale run
 //	go run ./cmd/scalesim -smoke              # CI-sized smoke run
 //	go run ./cmd/scalesim -compare -out BENCH_scale.json
+//	go run ./cmd/scalesim -smoke -check-budgets   # perf regression gate
 package main
 
 import (
@@ -18,6 +25,10 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"sort"
+	"strconv"
+	"strings"
 	"time"
 
 	"repro/internal/scale"
@@ -27,7 +38,7 @@ import (
 func main() {
 	var (
 		smoke    = flag.Bool("smoke", false, "run the CI-sized smoke configuration (100 machines)")
-		compare  = flag.Bool("compare", false, "also run the legacy-scheduler baseline and report the speedup")
+		compare  = flag.Bool("compare", false, "also run the legacy-scheduler baseline and the parallel sections, reporting speedups")
 		out      = flag.String("out", "BENCH_scale.json", "output JSON path (- for stdout only)")
 		racks    = flag.Int("racks", 0, "override rack count")
 		perRack  = flag.Int("machines-per-rack", 0, "override machines per rack")
@@ -38,9 +49,15 @@ func main() {
 		budget   = flag.Duration("baseline-budget", 2*time.Minute,
 			"wall-clock budget for the -compare baseline run (it is rate-measured, not run to completion)")
 		legacy    = flag.Bool("legacy", false, "run only the legacy baseline scheduler")
+		shards    = flag.Int("shards", 0, "scheduler shard count for single runs (0 = GOMAXPROCS; >1 enables batched rounds)")
+		shardList = flag.String("shard-counts", "1,4,8", "comma-separated shard counts for the -compare parallel sections")
+		roundMS   = flag.Int("round-window-ms", 0, "scheduling-round width in virtual ms (0 = default when sharded, off otherwise)")
 		mfailover = flag.Bool("master-failover", false,
 			"crash the active FuxiMaster mid-run (hot-standby promotion) and attach the cluster-wide invariant checker")
-		mfCount = flag.Int("master-failovers", 3, "number of mid-run master crashes in -master-failover mode")
+		mfCount    = flag.Int("master-failovers", 3, "number of mid-run master crashes in -master-failover mode")
+		gate       = flag.Bool("check-budgets", false, "exit non-zero when the run exceeds the perf budgets (CI regression gate)")
+		maxAllocs  = flag.Float64("max-allocs-per-decision", 25, "allocs/decision budget enforced by -check-budgets")
+		maxMsgPerG = flag.Float64("max-messages-per-grant", 5.5, "messages/grant budget enforced by -check-budgets")
 	)
 	flag.Parse()
 
@@ -65,43 +82,117 @@ func main() {
 	}
 	cfg.Seed = *seed
 	cfg.LegacyScan = *legacy
+	if *roundMS > 0 {
+		cfg.RoundWindow = sim.Time(*roundMS) * sim.Millisecond
+	}
 
+	shardCounts, err := parseShardCounts(*shardList)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "scalesim:", err)
+		os.Exit(2)
+	}
+	// Give the worker goroutines cores to run on when the host has them —
+	// unless the operator pinned GOMAXPROCS explicitly (the CI matrix runs
+	// the same commands at GOMAXPROCS=1 to exercise single-core
+	// interleaving; silently raising it would defeat that leg).
+	if os.Getenv("GOMAXPROCS") == "" {
+		want := *shards
+		for _, p := range shardCounts {
+			if *compare && p > want {
+				want = p
+			}
+		}
+		if want > runtime.GOMAXPROCS(0) {
+			runtime.GOMAXPROCS(want)
+		}
+	}
+
+	budgets := scale.Budgets{MaxAllocsPerDecision: *maxAllocs, MaxMessagesPerGrant: *maxMsgPerG}
 	var payload any
 	broken := false
+	gateViolations := func(label string, r *scale.Result) {
+		if !*gate {
+			return
+		}
+		if bad := r.CheckBudgets(budgets); len(bad) > 0 {
+			broken = true
+			fmt.Fprintf(os.Stderr, "scalesim: %s: BUDGET EXCEEDED: %v\n", label, bad)
+		}
+	}
 	switch {
 	case *compare:
-		cmp, err := scale.RunCompare(cfg, *budget)
+		cmp, err := scale.RunCompare(cfg, *budget, shardCounts)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "scalesim:", err)
 			os.Exit(1)
 		}
+		cmp.Budgets = &budgets
 		printResult("baseline (legacy scan)", &cmp.Baseline)
-		printResult("optimized", &cmp.Optimized)
-		fmt.Printf("speedup: %.2fx scheduling-decision throughput\n", cmp.Speedup)
-		broken = len(cmp.Baseline.Invariants) > 0 || len(cmp.Optimized.Invariants) > 0
+		printResult("optimized (serial)", &cmp.Optimized)
+		for i := range cmp.Parallel {
+			p := &cmp.Parallel[i]
+			printResult(fmt.Sprintf("parallel (shards=%d, rounds)", p.Config.Shards), p)
+			gateViolations(fmt.Sprintf("parallel-%d", p.Config.Shards), p)
+		}
+		fmt.Printf("speedup: %.2fx scheduling-decision throughput (serial optimized vs legacy)\n", cmp.Speedup)
+		if cmp.SpeedupParallel > 0 {
+			fmt.Printf("speedup: %.2fx parallel sections vs serial optimized (best shard count)\n", cmp.SpeedupParallel)
+		}
+		if pl := cmp.CommonPrefixLatency; pl != nil {
+			fmt.Printf("common-prefix latency over %d apps completed by every section:\n", pl.Apps)
+			for _, name := range sortedKeys(pl.MeanMS) {
+				fmt.Printf("  %-12s mean %.2fms max %.2fms\n", name, pl.MeanMS[name], pl.MaxMS[name])
+			}
+		}
+		broken = broken || len(cmp.Baseline.Invariants) > 0 || len(cmp.Optimized.Invariants) > 0
+		for i := range cmp.Parallel {
+			broken = broken || len(cmp.Parallel[i].Invariants) > 0
+		}
 		if *mfailover {
-			fo, err := scale.Run(cfg.WithMasterFailovers(*mfCount))
+			fcfg := cfg.WithMasterFailovers(*mfCount)
+			// The failover scenario exercises the full PR 3 configuration:
+			// sharded rounds on top of hot-standby promotion.
+			fcfg.Shards = shardCounts[len(shardCounts)-1]
+			if fcfg.RoundWindow == 0 {
+				fcfg.RoundWindow = scale.DefaultRoundWindow
+			}
+			fo, err := scale.Run(fcfg)
 			if err != nil {
 				fmt.Fprintln(os.Stderr, "scalesim:", err)
 				os.Exit(1)
 			}
 			cmp.Failover = fo
 			printResult("master-failover", fo)
+			gateViolations("failover", fo)
 			broken = broken || len(fo.Invariants) > 0 || fo.CompletedApps != fo.Config.Apps
 		}
 		payload = cmp
 	case *mfailover:
-		res, err := scale.Run(cfg.WithMasterFailovers(*mfCount))
+		fcfg := cfg.WithMasterFailovers(*mfCount)
+		if *shards != 0 {
+			fcfg.Shards = *shards
+			if fcfg.RoundWindow == 0 {
+				fcfg.RoundWindow = scale.DefaultRoundWindow
+			}
+		}
+		res, err := scale.Run(fcfg)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "scalesim:", err)
 			os.Exit(1)
 		}
 		payload = res
 		printResult("master-failover", res)
+		gateViolations("master-failover", res)
 		// The scenario's contract: every app completes despite the crashes
 		// and the checker stays silent.
-		broken = len(res.Invariants) > 0 || res.CompletedApps != res.Config.Apps
+		broken = broken || len(res.Invariants) > 0 || res.CompletedApps != res.Config.Apps
 	default:
+		if *shards != 0 {
+			cfg.Shards = *shards
+			if cfg.Shards > 1 && cfg.RoundWindow == 0 {
+				cfg.RoundWindow = scale.DefaultRoundWindow
+			}
+		}
 		res, err := scale.Run(cfg)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "scalesim:", err)
@@ -109,7 +200,8 @@ func main() {
 		}
 		payload = res
 		printResult("run", res)
-		broken = len(res.Invariants) > 0
+		gateViolations("run", res)
+		broken = broken || len(res.Invariants) > 0
 	}
 
 	if *out != "-" {
@@ -126,20 +218,57 @@ func main() {
 		fmt.Println("wrote", *out)
 	}
 	if broken {
-		// Scheduler invariant violations are a correctness failure, not a
-		// measurement: make CI smoke runs fail loudly.
+		// Scheduler invariant violations and budget breaches are
+		// correctness/perf failures, not measurements: make CI smoke runs
+		// fail loudly.
 		os.Exit(1)
 	}
 }
 
+func parseShardCounts(s string) ([]int, error) {
+	var out []int
+	for _, part := range strings.Split(s, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		n, err := strconv.Atoi(part)
+		if err != nil || n < 1 {
+			return nil, fmt.Errorf("bad -shard-counts entry %q", part)
+		}
+		out = append(out, n)
+	}
+	if len(out) == 0 {
+		out = []int{runtime.GOMAXPROCS(0)}
+	}
+	return out, nil
+}
+
+func sortedKeys(m map[string]float64) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
 func printResult(label string, r *scale.Result) {
-	fmt.Printf("%s: %d machines, %d units, %d decisions in %.2fs wall (sim %.1fs)\n",
-		label, r.Machines, r.Units, r.Decisions, r.WallSeconds, r.SimSeconds)
+	trunc := ""
+	if r.Truncated {
+		trunc = " [TRUNCATED by wall budget/horizon: latency covers the completed prefix only]"
+	}
+	fmt.Printf("%s: %d machines, %d units, %d decisions in %.2fs wall (sim %.1fs)%s\n",
+		label, r.Machines, r.Units, r.Decisions, r.WallSeconds, r.SimSeconds, trunc)
 	fmt.Printf("  throughput %.0f decisions/s, latency p50 %.2fms p99 %.2fms max %.2fms (sim-time)\n",
 		r.DecisionsPerSec, r.LatencyP50MS, r.LatencyP99MS, r.LatencyMaxMS)
 	fmt.Printf("  %.1f allocs/decision, %d events, %d msgs (%d batches), %d/%d apps completed\n",
 		r.AllocsPerDecision, r.EventsFired, r.MessagesSent, r.MessageBatches,
 		r.CompletedApps, r.Config.Apps)
+	if r.ParallelSweeps > 0 {
+		fmt.Printf("  %d sharded sweeps, %.0f%% of machines committed from speculative proposals\n",
+			r.ParallelSweeps, 100*r.ParallelCommitRatio)
+	}
 	if r.MasterFailovers > 0 {
 		fmt.Printf("  %d master failovers: recovery p50 %.0fms p99 %.0fms max %.0fms (sim-time)\n",
 			r.MasterFailovers, r.RecoveryP50MS, r.RecoveryP99MS, r.RecoveryMaxMS)

@@ -12,8 +12,42 @@
 //   - internal/core: the Cluster facade (boot a cluster, submit jobs)
 //   - internal/experiments: regenerate every table and figure of §5
 //   - cmd/fuxisim, cmd/faultsim, cmd/graysort, cmd/tracestats: experiment CLIs
+//   - cmd/scalesim: the 5,000-machine stress harness and perf budget gate
 //   - examples/: runnable walkthroughs of the public API
 //
-// See README.md for a tour, DESIGN.md for the system inventory, and
-// EXPERIMENTS.md for paper-vs-measured results.
+// # Multi-core FuxiMaster: sharded rounds with a deterministic merge
+//
+// The scheduling core (internal/master) can score wide assignment sweeps in
+// parallel: the rack set is split into Options.Shards contiguous blocks, a
+// worker goroutine per shard walks its machines with a read-only candidate
+// view and records speculative grants together with the (entry count, unit
+// headroom) values it observed, and a serial reducer then revisits the
+// machines in the exact order the serial scheduler would, committing a
+// machine's proposals only while every observed value still matches the
+// authoritative state. A mismatch — cross-shard contention on a
+// cluster-level queue entry or a shared unit headroom — demotes that shard
+// to serial re-execution. Because counts and headrooms only shrink inside a
+// sweep, validated proposals provably reproduce the serial outcome, so the
+// decision stream is byte-identical for every shard count (the parity fuzz
+// in internal/master pins legacy ≡ serial ≡ parallel P∈{1,4,8}, under agent
+// and master failovers).
+//
+// # Incremental communication: delta/anchor epochs
+//
+// Control-plane traffic is delta-encoded with periodic full-state anchors
+// (paper §3.1 generalized to every channel): agent heartbeats carry only a
+// health score at steady state, a change list after capacity churn, and the
+// complete allocation table on anchor beats (every AnchorEvery-th, on a
+// MasterHello from a freshly promoted primary — which restores soft state
+// only from anchors — and after restarts); the master's per-decision
+// capacity stream to each agent is rolled up into one CapacityDelta per
+// scheduling round with CapacitySync as the repair anchor; application
+// masters coalesce same-instant container returns into one
+// GrantReturnBatch. With Config.BatchWindow the master batches demand and
+// returns into scheduling rounds, applying releases first, reassigning in
+// one (shard-parallel) sweep, then placing merged demand.
+//
+// See README.md for a tour (including the measured Seed → PR 1 → PR 3
+// numbers), DESIGN.md for the system inventory, and EXPERIMENTS.md for
+// paper-vs-measured results.
 package repro

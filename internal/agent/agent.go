@@ -25,6 +25,11 @@ import (
 type Config struct {
 	// HeartbeatInterval is the AgentHeartbeat period.
 	HeartbeatInterval sim.Time
+	// AnchorEvery is the full-sync anchor period of the delta-encoded
+	// heartbeat stream: every AnchorEvery-th beat carries the complete
+	// allocation table (Full), the beats between carry only changed
+	// entries (or nothing). 0 takes the default of 10 beats.
+	AnchorEvery int
 	// WorkerStartDelay models process start cost: package download plus
 	// exec (the paper's Table 2 attributes its 11.84 s worker-start
 	// overhead to downloading ~400 MB worker binaries).
@@ -35,6 +40,7 @@ type Config struct {
 func DefaultConfig() Config {
 	return Config{
 		HeartbeatInterval: sim.Second,
+		AnchorEvery:       10,
 		WorkerStartDelay:  500 * sim.Millisecond,
 	}
 }
@@ -71,6 +77,7 @@ type Agent struct {
 	eng *sim.Engine
 	net *transport.Net
 	cap resource.Vector
+	ep  string // cached transport endpoint name
 
 	// procs is the machine's OS process table: it belongs to the machine,
 	// not the daemon, so it survives daemon crashes.
@@ -93,6 +100,15 @@ type Agent struct {
 	dedup  *protocol.Dedup
 	timers []sim.Cancel
 
+	// Delta-heartbeat state: dirty marks capacity entries whose count
+	// changed since the last beat, sinceAnchor counts beats since the last
+	// full-table anchor, and forceAnchor requests an immediate anchor (a
+	// restart, a capacity sync replacing the whole table, or a MasterHello
+	// from a promoted primary collecting soft state).
+	dirty       map[capKey]struct{}
+	sinceAnchor int
+	forceAnchor bool
+
 	// KilledForCapacity and KilledForOverload count enforcement actions.
 	KilledForCapacity int
 	KilledForOverload int
@@ -106,20 +122,26 @@ func New(cfg Config, eng *sim.Engine, net *transport.Net, m *topology.Machine) *
 		eng:       eng,
 		net:       net,
 		cap:       m.Capacity,
+		ep:        protocol.AgentEndpoint(m.Name),
 		procs:     make(map[string]*Proc),
 		capacity:  make(map[capKey]*capEntry),
 		daemonUp:  true,
 		machineUp: true,
 		health:    100,
 		dedup:     protocol.NewDedup(),
+		dirty:     make(map[capKey]struct{}),
 	}
+	if a.cfg.AnchorEvery <= 0 {
+		a.cfg.AnchorEvery = 10
+	}
+	a.forceAnchor = true // first beat announces the (empty) table in full
 	a.HealthCollector = func() int { return a.health }
 	net.Register(a.endpoint(), a.handle)
 	a.timers = append(a.timers, eng.Every(cfg.HeartbeatInterval, a.tick))
 	return a
 }
 
-func (a *Agent) endpoint() string { return protocol.AgentEndpoint(a.Machine) }
+func (a *Agent) endpoint() string { return a.ep }
 
 // SetHealth sets the base health score returned by the default collector.
 func (a *Agent) SetHealth(score int) { a.health = score }
@@ -142,8 +164,8 @@ func (a *Agent) Capacity(app string, unitID int) int {
 }
 
 // Allocations returns the agent's full capacity table as app -> unit ->
-// count (a copy; the same shape the heartbeat reports). The cluster-wide
-// invariant checker compares it against the master's grant ledger.
+// count (a copy). The cluster-wide invariant checker compares it against
+// the master's grant ledger.
 func (a *Agent) Allocations() map[string]map[int]int {
 	out := make(map[string]map[int]int, len(a.capacity))
 	for k, e := range a.capacity {
@@ -158,6 +180,19 @@ func (a *Agent) Allocations() map[string]map[int]int {
 	return out
 }
 
+// allocTable flattens the live capacity table into the sorted wire form an
+// anchor heartbeat carries — one slice allocation instead of a map per app.
+func (a *Agent) allocTable() []protocol.AllocDelta {
+	out := make([]protocol.AllocDelta, 0, len(a.capacity))
+	for k, e := range a.capacity {
+		if e.count > 0 {
+			out = append(out, protocol.AllocDelta{App: k.app, UnitID: k.unitID, Count: e.count})
+		}
+	}
+	protocol.SortAllocDeltas(out)
+	return out
+}
+
 // MasterEpoch returns the highest master election epoch this agent has
 // observed (0 before any epoch-stamped message arrived).
 func (a *Agent) MasterEpoch() int { return a.gate.Current() }
@@ -165,7 +200,7 @@ func (a *Agent) MasterEpoch() int { return a.gate.Current() }
 // staleEpoch fences capacity messages from a deposed primary, resetting the
 // master dedup channel when a genuinely newer epoch appears.
 func (a *Agent) staleEpoch(epoch int) bool {
-	return a.gate.Stale(epoch, a.dedup, protocol.MasterEndpoint+"/cap")
+	return a.gate.StaleCh(epoch, a.dedup, protocol.MasterEndpoint, protocol.ChanCap)
 }
 
 // ---------------------------------------------------------------------------
@@ -180,23 +215,50 @@ func (a *Agent) tick() {
 	a.sendHeartbeat()
 }
 
+// sendHeartbeat emits the next beat of the delta-encoded stream: an anchor
+// (full allocation table) when due or forced, a change list when capacity
+// moved since the last beat, and a bare liveness/health beat otherwise —
+// the common case at steady state, which builds no maps at all.
 func (a *Agent) sendHeartbeat() {
-	allocs := make(map[string]map[int]int, len(a.capacity))
-	for k, e := range a.capacity {
-		if e.count <= 0 {
-			continue
-		}
-		if allocs[k.app] == nil {
-			allocs[k.app] = make(map[int]int)
-		}
-		allocs[k.app][k.unitID] = e.count
-	}
-	a.net.Send(a.endpoint(), protocol.MasterEndpoint, protocol.AgentHeartbeat{
+	hb := protocol.AgentHeartbeat{
 		Machine:     a.Machine,
-		Allocations: allocs,
 		HealthScore: a.HealthCollector(),
 		Seq:         a.seq.Next(),
-	})
+	}
+	a.sinceAnchor++
+	if a.forceAnchor || a.sinceAnchor >= a.cfg.AnchorEvery {
+		hb.Full = true
+		hb.Allocations = a.allocTable()
+		// Anchor time is also reaping time: zero-count entries are kept
+		// between anchors so a returning grant for the same (app, unit)
+		// reuses its entry, but entries dead for a whole anchor period
+		// (typically unregistered apps) would otherwise accumulate forever.
+		for k, e := range a.capacity {
+			if e.count <= 0 {
+				delete(a.capacity, k)
+			}
+		}
+		a.forceAnchor = false
+		a.sinceAnchor = 0
+		clear(a.dirty)
+	} else if len(a.dirty) > 0 {
+		hb.Changes = make([]protocol.AllocDelta, 0, len(a.dirty))
+		for k := range a.dirty {
+			hb.Changes = append(hb.Changes, protocol.AllocDelta{
+				App: k.app, UnitID: k.unitID, Count: a.Capacity(k.app, k.unitID),
+			})
+		}
+		protocol.SortAllocDeltas(hb.Changes)
+		clear(a.dirty)
+	}
+	a.net.Send(a.endpoint(), protocol.MasterEndpoint, hb)
+}
+
+// sendAnchorBeat forces the next heartbeat to be a full anchor and sends it
+// immediately (soft-state collection by a promoted master, restarts).
+func (a *Agent) sendAnchorBeat() {
+	a.forceAnchor = true
+	a.sendHeartbeat()
 }
 
 // enforceOverload kills processes while measured physical usage (CPU,
@@ -248,10 +310,20 @@ func (a *Agent) handle(from string, msg transport.Message) {
 		if a.staleEpoch(t.Epoch) {
 			return
 		}
-		if a.dedup.Observe(from+"/cap", t.Seq) == protocol.Duplicate {
+		if a.dedup.ObserveCh(from, protocol.ChanCap, t.Seq) == protocol.Duplicate {
 			return
 		}
 		a.applyCapacity(t.App, t.UnitID, t.Size, t.Delta)
+	case protocol.CapacityDelta:
+		if a.staleEpoch(t.Epoch) {
+			return
+		}
+		if a.dedup.ObserveCh(from, protocol.ChanCap, t.Seq) == protocol.Duplicate {
+			return
+		}
+		for _, e := range t.Entries {
+			a.applyCapacity(e.App, e.UnitID, e.Size, e.Count)
+		}
 	case protocol.CapacitySync:
 		if a.staleEpoch(t.Epoch) {
 			return
@@ -265,14 +337,16 @@ func (a *Agent) handle(from string, msg transport.Message) {
 	case protocol.StopWorker:
 		a.stopWorker(t)
 	case protocol.MasterHello:
-		// New primary collecting soft state: report immediately. The epoch
-		// gate forgets the dead master's sequence numbers only for a
-		// genuinely newer epoch — a duplicated hello must not reopen the
-		// door to replaying the new master's own messages.
+		// New primary collecting soft state: report the full table
+		// immediately (an anchor beat — the successor rebuilds its free
+		// pool from it, so a delta beat would not do). The epoch gate
+		// forgets the dead master's sequence numbers only for a genuinely
+		// newer epoch — a duplicated hello must not reopen the door to
+		// replaying the new master's own messages.
 		if a.staleEpoch(t.Epoch) {
 			return
 		}
-		a.sendHeartbeat()
+		a.sendAnchorBeat()
 	case protocol.WorkerListReply:
 		a.adoptWorkers(t)
 	}
@@ -280,6 +354,7 @@ func (a *Agent) handle(from string, msg transport.Message) {
 
 func (a *Agent) applyCapacity(app string, unitID int, size resource.Vector, delta int) {
 	k := capKey{app, unitID}
+	a.dirty[k] = struct{}{}
 	e := a.capacity[k]
 	if e == nil {
 		e = &capEntry{size: size}
@@ -290,9 +365,9 @@ func (a *Agent) applyCapacity(app string, unitID int, size resource.Vector, delt
 	if e.count < 0 {
 		e.count = 0
 	}
-	if e.count == 0 {
-		delete(a.capacity, k)
-	}
+	// Zero-count entries stay in the table for reuse: the scale workload
+	// cycles (app, unit) capacity on a machine many times, and re-allocating
+	// the entry each cycle showed up in the paper-scale allocation profile.
 	a.ensureCapacity(k, e)
 }
 
@@ -457,6 +532,7 @@ func (a *Agent) RestartDaemon() {
 		return
 	}
 	a.daemonUp = true
+	a.forceAnchor = true
 	a.net.Register(a.endpoint(), a.handle)
 	a.timers = append(a.timers, a.eng.Every(a.cfg.HeartbeatInterval, a.tick))
 
@@ -478,6 +554,10 @@ func (a *Agent) RestartDaemon() {
 }
 
 func (a *Agent) applyCapacitySync(t protocol.CapacitySync) {
+	// The whole table is replaced: the next beat re-anchors rather than
+	// enumerating every entry as a change.
+	a.forceAnchor = true
+	clear(a.dirty)
 	a.capacity = make(map[capKey]*capEntry, len(t.Entries))
 	for _, e := range t.Entries {
 		if e.Count > 0 {
@@ -580,6 +660,8 @@ func (a *Agent) RestartMachine() {
 	}
 	a.machineUp = true
 	a.daemonUp = true
+	a.forceAnchor = true
+	clear(a.dirty)
 	a.dedup = protocol.NewDedup()
 	a.net.SetDown(a.endpoint(), false)
 	a.net.Register(a.endpoint(), a.handle)

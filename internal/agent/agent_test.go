@@ -85,8 +85,17 @@ func TestHeartbeatCarriesAllocations(t *testing.T) {
 	h.eng.Run(h.eng.Now() + 2*sim.Second)
 	found := false
 	for _, m := range h.toMaster {
-		if hb, ok := m.(protocol.AgentHeartbeat); ok {
-			if hb.Allocations["app1"][1] == 3 {
+		hb, ok := m.(protocol.AgentHeartbeat)
+		if !ok {
+			continue
+		}
+		for _, d := range hb.Allocations {
+			if d.App == "app1" && d.UnitID == 1 && d.Count == 3 {
+				found = true
+			}
+		}
+		for _, d := range hb.Changes {
+			if d.App == "app1" && d.UnitID == 1 && d.Count == 3 {
 				found = true
 			}
 		}

@@ -68,6 +68,12 @@ type AM struct {
 	dedup   *protocol.Dedup
 	timers  []sim.Cancel
 	stopped bool
+	// pendRet coalesces same-instant container returns into one
+	// GrantReturnBatch (incremental communication: a hold cycle releasing
+	// containers on many machines costs one message). retArmed marks the
+	// end-of-instant flush event as scheduled.
+	pendRet  []protocol.ReturnEntry
+	retArmed bool
 	// gate fences grant updates from a deposed primary (see
 	// protocol.EpochGate).
 	gate protocol.EpochGate
@@ -98,8 +104,6 @@ func New(cfg Config, eng *sim.Engine, net *transport.Net, top *topology.Topology
 	}
 	for _, u := range cfg.Units {
 		a.units[u.ID] = u
-		a.outstanding[u.ID] = make(map[locTarget]int)
-		a.held[u.ID] = make(map[string]int)
 	}
 	net.Register(cfg.App, a.handle)
 	a.send(protocol.MasterEndpoint, protocol.RegisterApp{
@@ -116,38 +120,70 @@ func (a *AM) send(to string, msg transport.Message) { a.net.Send(a.cfg.App, to, 
 // Request adds (or with negative counts, withdraws) demand and sends the
 // incremental update. This is the only message needed no matter how much of
 // the demand is eventually fulfilled — FuxiMaster queues the remainder.
+// The hints slice may travel on the wire as-is; callers must not mutate it
+// after the call.
 func (a *AM) Request(unitID int, hints ...resource.LocalityHint) {
+	a.flushReturns() // keep the master-bound message stream in order
+	if _, known := a.units[unitID]; !known {
+		return
+	}
 	out := a.outstanding[unitID]
 	if out == nil {
-		return
+		out = make(map[locTarget]int)
+		a.outstanding[unitID] = out
 	}
-	var valid []resource.LocalityHint
+	// Fast path: additions can never need dropping or clamping (clamping
+	// only guards withdrawals, and checking those per-hint would miss
+	// cumulative over-withdrawal on a repeated target) — ship the caller's
+	// slice without building a filtered copy.
+	clean := true
 	for _, h := range hints {
-		if h.Count == 0 {
-			continue
+		if h.Count <= 0 {
+			clean = false
+			break
 		}
-		k := locTarget{h.Type, h.Value}
-		n := out[k] + h.Count
-		if n < 0 {
-			h.Count -= n // clamp withdrawal at zero outstanding
-			n = 0
-		}
-		if h.Count == 0 {
-			continue
-		}
-		out[k] = n
-		valid = append(valid, h)
 	}
-	if len(valid) == 0 {
-		return
+	deltas := hints
+	if clean {
+		for _, h := range hints {
+			out[locTarget{h.Type, h.Value}] += h.Count
+		}
+		if len(deltas) == 0 {
+			return
+		}
+	} else {
+		var valid []resource.LocalityHint
+		for _, h := range hints {
+			if h.Count == 0 {
+				continue
+			}
+			k := locTarget{h.Type, h.Value}
+			n := out[k] + h.Count
+			if n < 0 {
+				h.Count -= n // clamp withdrawal at zero outstanding
+				n = 0
+			}
+			if h.Count == 0 {
+				continue
+			}
+			out[k] = n
+			valid = append(valid, h)
+		}
+		if len(valid) == 0 {
+			return
+		}
+		deltas = valid
 	}
 	a.send(protocol.MasterEndpoint, protocol.DemandUpdate{
-		App: a.cfg.App, UnitID: unitID, Deltas: valid, Seq: a.seq.Next(),
+		App: a.cfg.App, UnitID: unitID, Deltas: deltas, Seq: a.seq.Next(),
 	})
 }
 
 // ReturnContainers gives count held containers on machine back to
-// FuxiMaster (workers inside them must already be stopped).
+// FuxiMaster (workers inside them must already be stopped). Returns issued
+// within one virtual instant are coalesced into a single GrantReturnBatch,
+// flushed at the end of the instant (or eagerly, before any other
+// master-bound message, so the protocol stream stays ordered).
 func (a *AM) ReturnContainers(unitID int, machine string, count int) {
 	if count <= 0 || a.held[unitID][machine] < count {
 		return
@@ -156,8 +192,24 @@ func (a *AM) ReturnContainers(unitID int, machine string, count int) {
 	if a.held[unitID][machine] == 0 {
 		delete(a.held[unitID], machine)
 	}
-	a.send(protocol.MasterEndpoint, protocol.GrantReturn{
-		App: a.cfg.App, UnitID: unitID, Machine: machine, Count: count, Seq: a.seq.Next(),
+	a.pendRet = append(a.pendRet, protocol.ReturnEntry{UnitID: unitID, Machine: machine, Count: count})
+	if !a.retArmed {
+		a.retArmed = true
+		a.eng.PostFunc(0, a.flushReturns)
+	}
+}
+
+// flushReturns sends the pending coalesced returns (no-op when empty or
+// after the process died — a crash loses unsent messages by design).
+func (a *AM) flushReturns() {
+	a.retArmed = false
+	if len(a.pendRet) == 0 || a.stopped {
+		return
+	}
+	rets := a.pendRet
+	a.pendRet = nil
+	a.send(protocol.MasterEndpoint, protocol.GrantReturnBatch{
+		App: a.cfg.App, Returns: rets, Seq: a.seq.Next(),
 	})
 }
 
@@ -225,6 +277,7 @@ func (a *AM) StopWorkerOn(machine, workerID string) {
 
 // ReportBadMachine escalates a job-level blacklist verdict to FuxiMaster.
 func (a *AM) ReportBadMachine(machine string) {
+	a.flushReturns()
 	a.send(protocol.MasterEndpoint, protocol.BadMachineReport{
 		App: a.cfg.App, Machine: machine, Seq: a.seq.Next(),
 	})
@@ -235,12 +288,23 @@ func (a *AM) Unregister() {
 	if a.stopped {
 		return
 	}
+	a.flushReturns()
 	a.stopped = true
 	for _, c := range a.timers {
 		c()
 	}
 	a.send(protocol.MasterEndpoint, protocol.UnregisterApp{App: a.cfg.App, Seq: a.seq.Next()})
 	a.net.Unregister(a.cfg.App)
+}
+
+// heldFor returns the (lazily created) per-machine ledger of a unit.
+func (a *AM) heldFor(unitID int) map[string]int {
+	h := a.held[unitID]
+	if h == nil {
+		h = make(map[string]int)
+		a.held[unitID] = h
+	}
+	return h
 }
 
 // Held returns the container count held for unit on machine.
@@ -327,7 +391,7 @@ func (a *AM) HeldSnapshot() map[int]map[string]int {
 // staleEpoch fences grant updates from a deposed primary, resetting the
 // master dedup channel when a genuinely newer epoch appears.
 func (a *AM) staleEpoch(epoch int) bool {
-	return a.gate.Stale(epoch, a.dedup, protocol.MasterEndpoint+"/grant")
+	return a.gate.StaleCh(epoch, a.dedup, protocol.MasterEndpoint, protocol.ChanGrant)
 }
 
 // ---------------------------------------------------------------------------
@@ -343,7 +407,7 @@ func (a *AM) handle(from string, msg transport.Message) {
 		if a.staleEpoch(t.Epoch) {
 			return
 		}
-		if a.dedup.Observe(from+"/grant", t.Seq) == protocol.Duplicate {
+		if a.dedup.ObserveCh(from, protocol.ChanGrant, t.Seq) == protocol.Duplicate {
 			return
 		}
 		a.applyGrant(t)
@@ -375,7 +439,7 @@ func (a *AM) handle(from string, msg transport.Message) {
 func (a *AM) applyGrant(t protocol.GrantUpdate) {
 	for _, ch := range t.Changes {
 		if ch.Delta > 0 {
-			a.held[t.UnitID][ch.Machine] += ch.Delta
+			a.heldFor(t.UnitID)[ch.Machine] += ch.Delta
 			a.consumeOutstanding(t.UnitID, ch.Machine, ch.Delta)
 			if a.cb.OnGrant != nil {
 				a.cb.OnGrant(t.UnitID, ch.Machine, ch.Delta)
@@ -457,6 +521,10 @@ func (a *AM) replyWorkerList(machine string) {
 
 // fullSync sends the complete demand and grant picture to FuxiMaster.
 func (a *AM) fullSync() {
+	// Pending returns are already subtracted from the held ledger below;
+	// flush them first or the master would see phantom grants and emit
+	// revocation fixes for containers the app already gave back.
+	a.flushReturns()
 	demand := make(map[int][]resource.LocalityHint, len(a.outstanding))
 	for unitID, out := range a.outstanding {
 		var hints []resource.LocalityHint

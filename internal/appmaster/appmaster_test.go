@@ -161,6 +161,33 @@ func TestDuplicateGrantIgnored(t *testing.T) {
 	}
 }
 
+// TestRequestClampsCumulativeWithdrawal pins the withdrawal-clamp rule
+// against repeated targets in one Request: two -3 hints against 4
+// outstanding must withdraw exactly 4, never driving the local view (or the
+// wire deltas) below zero.
+func TestRequestClampsCumulativeWithdrawal(t *testing.T) {
+	h := newHarness(t, 0)
+	h.am.Request(1, resource.LocalityHint{Type: resource.LocalityCluster, Count: 4})
+	h.am.Request(1,
+		resource.LocalityHint{Type: resource.LocalityCluster, Count: -3},
+		resource.LocalityHint{Type: resource.LocalityCluster, Count: -3})
+	if got := h.am.Outstanding(1); got != 0 {
+		t.Errorf("outstanding = %d, want 0 (cumulative withdrawal clamped)", got)
+	}
+	h.eng.Run(h.eng.Now() + 10*sim.Millisecond)
+	total := 0
+	for _, m := range h.toMaster {
+		if d, ok := m.(protocol.DemandUpdate); ok {
+			for _, hint := range d.Deltas {
+				total += hint.Count
+			}
+		}
+	}
+	if total != 0 {
+		t.Errorf("net demand on the wire = %d, want 0 (+4 then clamped -4)", total)
+	}
+}
+
 func TestReturnContainersSendsAndDecrements(t *testing.T) {
 	h := newHarness(t, 0)
 	h.am.Request(1, resource.LocalityHint{Type: resource.LocalityCluster, Count: 5})
@@ -172,12 +199,16 @@ func TestReturnContainersSendsAndDecrements(t *testing.T) {
 	}
 	found := false
 	for _, m := range h.toMaster {
-		if r, ok := m.(protocol.GrantReturn); ok && r.Count == 2 {
-			found = true
+		if b, ok := m.(protocol.GrantReturnBatch); ok {
+			for _, r := range b.Returns {
+				if r.UnitID == 1 && r.Machine == "r000m000" && r.Count == 2 {
+					found = true
+				}
+			}
 		}
 	}
 	if !found {
-		t.Error("no GrantReturn sent")
+		t.Error("no GrantReturnBatch carrying the return sent")
 	}
 	// Over-return is refused locally.
 	h.am.ReturnContainers(1, "r000m000", 99)

@@ -1,0 +1,172 @@
+package master
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/agent"
+	"repro/internal/protocol"
+	"repro/internal/resource"
+	"repro/internal/sim"
+	"repro/internal/topology"
+	"repro/internal/transport"
+)
+
+// Scheduler hot-path microbenchmarks (wired into CI as a -short smoke so
+// the hot path cannot silently regress into a build failure; the numbers
+// themselves are tracked by the scale harness).
+
+func benchTop(b *testing.B, racks, perRack int) *topology.Topology {
+	b.Helper()
+	top, err := topology.Build(topology.Spec{
+		Racks: racks, MachinesPerRack: perRack,
+		MachineCapacity: topology.PaperTestbedMachine(),
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	return top
+}
+
+// BenchmarkSchedulerSingleDecision measures one incremental decision pair:
+// a cluster-level demand that grants immediately, and the return that
+// releases it — the paper's event-driven steady state.
+func BenchmarkSchedulerSingleDecision(b *testing.B) {
+	s := NewScheduler(benchTop(b, 125, 40), Options{})
+	if err := s.RegisterApp("app", "", []resource.ScheduleUnit{
+		{ID: 1, Priority: 10, MaxCount: 1 << 30, Size: resource.New(1000, 4096)},
+	}); err != nil {
+		b.Fatal(err)
+	}
+	hint := []resource.LocalityHint{{Type: resource.LocalityCluster, Count: 1}}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ds, err := s.UpdateDemand("app", 1, hint)
+		if err != nil || len(ds) != 1 {
+			b.Fatalf("demand: %v (%d decisions)", err, len(ds))
+		}
+		if _, err := s.Return("app", 1, ds[0].Machine, 1); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkSchedulerFullRound measures a full batched scheduling round at
+// the paper's 5,000-machine footprint: release one application's grants,
+// sweep the whole cluster reassigning the freed capacity to queued demand,
+// re-queue the application — per shard count, so the sharded round's
+// scaling (and its single-core overhead) is visible in one table.
+func BenchmarkSchedulerFullRound(b *testing.B) {
+	const apps = 8
+	for _, shards := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("machines=5000/shards=%d", shards), func(b *testing.B) {
+			s := NewScheduler(benchTop(b, 125, 40), Options{Shards: shards})
+			names := make([]string, apps)
+			for i := range names {
+				names[i] = fmt.Sprintf("app-%02d", i)
+				if err := s.RegisterApp(names[i], "", []resource.ScheduleUnit{
+					{ID: 1, Priority: 10 + i%3, MaxCount: 1 << 30, Size: resource.New(1000, 4096)},
+				}); err != nil {
+					b.Fatal(err)
+				}
+				// Saturate: each app wants far more than its cluster share,
+				// so the tree always holds queued cluster-level demand.
+				if _, err := s.UpdateDemand(names[i], 1, []resource.LocalityHint{
+					{Type: resource.LocalityCluster, Count: 12_000}}); err != nil {
+					b.Fatal(err)
+				}
+			}
+			machines := s.top.Machines()
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				app := names[i%apps]
+				released := 0
+				granted := s.Granted(app, 1)
+				for _, m := range machines { // deterministic machine order
+					if n := granted[m]; n > 0 {
+						if err := s.Release(app, 1, m, n); err != nil {
+							b.Fatal(err)
+						}
+						released += n
+					}
+				}
+				ds := s.AssignOn(machines)
+				if len(ds) == 0 && released > 0 {
+					b.Fatal("sweep reassigned nothing")
+				}
+				if _, err := s.UpdateDemand(app, 1, []resource.LocalityHint{
+					{Type: resource.LocalityCluster, Count: released}}); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.StopTimer()
+			st := s.ParallelStats()
+			if st.Sweeps > 0 {
+				b.ReportMetric(float64(st.Committed)/float64(st.Committed+st.Reruns), "commit-ratio")
+			}
+		})
+	}
+}
+
+// BenchmarkHeartbeatDeltaEncode measures the agent's steady-state beat with
+// delta encoding: a populated capacity table, nothing changing — the 5,000
+// agents × 1 Hz path that used to rebuild the full allocation map every
+// second.
+func BenchmarkHeartbeatDeltaEncode(b *testing.B) {
+	eng := sim.NewEngine(1)
+	net := transport.NewNet(eng)
+	net.Register(protocol.MasterEndpoint, func(string, transport.Message) {})
+	top := benchTop(b, 1, 1)
+	a := agent.New(agent.DefaultConfig(), eng, net, top.Machine(top.Machines()[0]))
+	// Populate the capacity table the way the master would.
+	entries := make([]protocol.CapacityEntry, 40)
+	for i := range entries {
+		entries[i] = protocol.CapacityEntry{
+			App: fmt.Sprintf("app-%02d", i), UnitID: 1 + i%4,
+			Size: resource.New(1000, 4096), Count: 2,
+		}
+	}
+	net.Send(protocol.MasterEndpoint, protocol.AgentEndpoint(a.Machine), protocol.CapacityDelta{
+		Entries: entries, Epoch: 1, Seq: 1,
+	})
+	eng.Run(eng.Now() + 20*sim.Second) // consume the first anchors
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		// One heartbeat interval per iteration ≈ one delta-encoded beat
+		// (every AnchorEvery-th is a full anchor, amortized in).
+		eng.Run(eng.Now() + sim.Second)
+	}
+}
+
+// BenchmarkCapacityDeltaDecode measures the agent-side decode of one
+// batched CapacityDelta carrying a round's worth of entries.
+func BenchmarkCapacityDeltaDecode(b *testing.B) {
+	eng := sim.NewEngine(1)
+	net := transport.NewNet(eng)
+	net.Register(protocol.MasterEndpoint, func(string, transport.Message) {})
+	top := benchTop(b, 1, 1)
+	a := agent.New(agent.DefaultConfig(), eng, net, top.Machine(top.Machines()[0]))
+	grant := make([]protocol.CapacityEntry, 16)
+	revoke := make([]protocol.CapacityEntry, 16)
+	for i := range grant {
+		grant[i] = protocol.CapacityEntry{
+			App: fmt.Sprintf("app-%02d", i), UnitID: 1, Size: resource.New(1000, 4096), Count: 1,
+		}
+		revoke[i] = grant[i]
+		revoke[i].Count = -1
+	}
+	ep := protocol.AgentEndpoint(a.Machine)
+	seq := uint64(0)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		seq++
+		net.Send(protocol.MasterEndpoint, ep, protocol.CapacityDelta{Entries: grant, Epoch: 1, Seq: seq})
+		seq++
+		net.Send(protocol.MasterEndpoint, ep, protocol.CapacityDelta{Entries: revoke, Epoch: 1, Seq: seq})
+		eng.Run(eng.Now() + sim.Millisecond)
+	}
+}

@@ -1,0 +1,113 @@
+package master
+
+import (
+	"sort"
+
+	"repro/internal/sim"
+)
+
+// beatWheel is the timer wheel behind the dead-agent scan. The previous
+// implementation swept every machine's last-heartbeat timestamp on each scan
+// tick — O(cluster) per second at the paper's 5,000-machine footprint, with
+// all but a handful of entries fresh. The wheel files each machine under the
+// slot of its last observed beat and scans only slots old enough to possibly
+// hold an expired machine; fresh machines encountered there are lazily
+// re-filed under their current beat slot. A machine is therefore touched
+// once per timeout window (when its old slot expires), not once per scan,
+// and a scan's cost is O(expired + re-filed) instead of O(machines).
+//
+// The wheel stores only machine names and slot membership; the authoritative
+// last-beat timestamps stay in the master's lastBeat map (one write per
+// heartbeat, exactly as before).
+type beatWheel struct {
+	slotW sim.Time           // slot width (the heartbeat-scan period)
+	slots map[int64][]string // beat-slot -> machines filed there
+	in    map[string]bool    // wheel membership (one slot per machine)
+	min   int64              // lowest possibly-occupied slot
+	max   int64              // highest occupied slot
+}
+
+func newBeatWheel(slotW sim.Time) *beatWheel {
+	if slotW <= 0 {
+		slotW = sim.Second
+	}
+	return &beatWheel{
+		slotW: slotW,
+		slots: make(map[int64][]string),
+		in:    make(map[string]bool),
+		min:   1<<62 - 1,
+	}
+}
+
+func (w *beatWheel) slotOf(t sim.Time) int64 { return int64(t / w.slotW) }
+
+// track files a machine under the slot of its beat time if it is not
+// already in the wheel. Subsequent beats only update the caller's lastBeat
+// map; the wheel position catches up lazily when the stale slot expires.
+func (w *beatWheel) track(machine string, beat sim.Time) {
+	if w.in[machine] {
+		return
+	}
+	w.in[machine] = true
+	w.file(machine, w.slotOf(beat))
+}
+
+func (w *beatWheel) file(machine string, slot int64) {
+	w.slots[slot] = append(w.slots[slot], machine)
+	if slot < w.min {
+		w.min = slot
+	}
+	if slot > w.max {
+		w.max = slot
+	}
+}
+
+// expire drains every slot old enough to possibly hold a machine whose last
+// beat precedes cutoff, consulting lastBeat for the current truth. Machines
+// that beat since filing are re-filed under a fresh slot; machines the
+// caller no longer wants tracked (drop returns true) leave the wheel; the
+// rest — silent since before cutoff — are expired and returned in sorted
+// order. Expired or dropped machines re-enter the wheel on their next
+// heartbeat via track. Death semantics match the previous full sweep
+// exactly (dead iff lastBeat < cutoff) when the heartbeat timeout is a
+// multiple of the slot width; otherwise detection may land one scan later.
+func (w *beatWheel) expire(cutoff sim.Time, lastBeat func(string) sim.Time, drop func(string) bool) []string {
+	cutoffSlot := w.slotOf(cutoff)
+	var dead []string
+	for slot := w.min; slot <= cutoffSlot && slot <= w.max; slot++ {
+		machines, ok := w.slots[slot]
+		if !ok {
+			continue
+		}
+		delete(w.slots, slot)
+		for _, m := range machines {
+			last := lastBeat(m)
+			if last < cutoff {
+				w.in[m] = false
+				if !drop(m) {
+					dead = append(dead, m)
+				}
+				continue
+			}
+			if drop(m) {
+				w.in[m] = false
+				continue
+			}
+			// Still alive: re-file under its current beat slot — never the
+			// slot being drained, so the sweep cannot revisit it (a live
+			// beat at or after cutoff files at least at cutoffSlot, and
+			// equal-slot landings are nudged one slot forward).
+			fresh := w.slotOf(last)
+			if fresh <= slot {
+				fresh = slot + 1
+			}
+			w.file(m, fresh)
+		}
+	}
+	if cutoffSlot+1 > w.min {
+		w.min = cutoffSlot + 1
+	}
+	// Deterministic revocation order regardless of re-file history.
+	sort.Strings(dead)
+	return dead
+}

@@ -508,6 +508,97 @@ func (t *localityTree) forEachCandidate(machine, rack string, now sim.Time, agin
 	}
 }
 
+// walkScratch is per-walker cursor state for forEachCandidateView, so that
+// any number of concurrent read-only walks can stream the same queues
+// without sharing the mutable cursors the compacting walk keeps inside the
+// tree itself.
+type walkScratch struct {
+	prios   []int
+	cursors []int
+}
+
+// forEachCandidateView streams the live candidates for capacity freed on
+// machine exactly like forEachCandidate — same (priority, level, seq)
+// order, same size-class pruning against the shrinking free vector — but
+// read-only: cursor state lives in ws, entry counts are read through the
+// count overlay (the walker's private view of consumption it has already
+// simulated), and nothing is compacted or cached. This is the scoring walk
+// of the sharded parallel scheduler: many workers may run it concurrently
+// over a tree no one is mutating. Aging is not supported (the scheduler
+// falls back to the serial walk when aging is enabled).
+func (t *localityTree) forEachCandidateView(machine, rack string, free *resource.Vector, ws *walkScratch, count func(*waitEntry) int, fn func(*waitEntry) bool) {
+	qs := [3]*treeQueue{
+		t.queues[treeQueueID{level: resource.LocalityMachine, node: machine}],
+		t.queues[treeQueueID{level: resource.LocalityRack, node: rack}],
+		t.queues[treeQueueID{level: resource.LocalityCluster, node: ""}],
+	}
+	prios := ws.prios[:0]
+	for _, q := range qs {
+		if q != nil {
+			prios = append(prios, q.prios...)
+		}
+	}
+	sort.Ints(prios)
+	last := 0
+	for i, p := range prios {
+		if i > 0 && p == prios[last-1] {
+			continue
+		}
+		prios[last] = p
+		last++
+	}
+	prios = prios[:last]
+	ws.prios = prios
+	for _, p := range prios {
+		for _, q := range qs {
+			if q == nil {
+				continue
+			}
+			b := q.buckets[p]
+			if b == nil {
+				continue
+			}
+			if !walkBucketView(b, free, ws, count, fn) {
+				return
+			}
+		}
+	}
+}
+
+// walkBucketView is treeBucket.walk without the mutation: it merges the
+// bucket's size classes in seq order with walker-local cursors, skipping
+// entries whose overlay count is zero and classes the current free fragment
+// cannot satisfy. It reports false when fn asked to stop.
+func walkBucketView(b *treeBucket, free *resource.Vector, ws *walkScratch, count func(*waitEntry) int, fn func(*waitEntry) bool) bool {
+	cur := ws.cursors[:0]
+	for range b.classes {
+		cur = append(cur, 0)
+	}
+	ws.cursors = cur[:0] // keep capacity; cur itself stays valid below
+	for {
+		best := -1
+		for ci, c := range b.classes {
+			for cur[ci] < len(c.entries) && count(c.entries[cur[ci]]) <= 0 {
+				cur[ci]++
+			}
+			if cur[ci] >= len(c.entries) || !c.eligible(free) {
+				continue
+			}
+			if best == -1 || c.entries[cur[ci]].seq < b.classes[best].entries[cur[best]].seq {
+				best = ci
+			}
+		}
+		if best == -1 {
+			return true
+		}
+		e := b.classes[best].entries[cur[best]]
+		cur[best]++
+		if !fn(e) {
+			return false
+		}
+	}
+}
+
 // totalWaiting sums all waiting counts for a key across the tree (used in
 // tests and state dumps).
 func (t *localityTree) totalWaiting(key waitKey) int {

@@ -32,10 +32,15 @@ type Config struct {
 	// RecoveryWindow is how long a newly-promoted primary collects soft
 	// state before resuming normal scheduling.
 	RecoveryWindow sim.Time
-	// BatchWindow, when positive, coalesces DemandUpdates per application
-	// and flushes them per window (the paper's batch-mode merging of
-	// "frequently changing resource requests from one application"). Zero
-	// processes every update immediately.
+	// BatchWindow, when positive, coalesces incoming DemandUpdates (merged
+	// per application, the paper's batch-mode handling of "frequently
+	// changing resource requests from one application") and GrantReturns
+	// into scheduling rounds flushed once per window: all buffered releases
+	// are applied first, one wide assignment sweep reassigns the freed
+	// capacity to queued demand (the sweep is where the sharded parallel
+	// scheduler earns its keep), then the merged demand is placed, and the
+	// round's decisions fan out as one batch. Zero processes every update
+	// immediately.
 	BatchWindow sim.Time
 	// HealthScoreThreshold and HealthScoreStrikes drive score-based
 	// graylisting: an agent reporting below the threshold for this many
@@ -101,10 +106,19 @@ type Master struct {
 	seq      protocol.Sequencer
 	dedup    *protocol.Dedup
 	lastBeat map[string]sim.Time
+	wheel    *beatWheel // lazy timer wheel over lastBeat (dead-agent scan)
 	strikes  map[string]int
 	badVotes map[string]map[string]bool         // machine -> set of reporting apps
 	pendDem  map[string][]protocol.DemandUpdate // app -> buffered updates (batch mode)
+	pendRet  []protocol.GrantReturn             // buffered returns (batch mode)
 	flushArm bool
+	dsp      dispatchScratch   // pooled fan-out accumulators
+	touched  []string          // pooled touched-machine list (release batches)
+	agentEP  map[string]string // machine -> cached agent endpoint name
+	// Pooled round-merge buffers (flushRound).
+	appBuf  []string
+	unitBuf []int
+	hintBuf []resource.LocalityHint
 	// recDem, recRet and recUnreg buffer demand, return and unregister
 	// traffic that arrives during the recovery window: acting on it before
 	// every agent has re-reported its allocations would grant from a free
@@ -135,6 +149,10 @@ func NewMaster(cfg Config, eng *sim.Engine, net *transport.Net, lock *lockservic
 		strikes:  make(map[string]int),
 		badVotes: make(map[string]map[string]bool),
 		pendDem:  make(map[string][]protocol.DemandUpdate),
+		agentEP:  make(map[string]string, top.Size()),
+	}
+	for _, mc := range top.Machines() {
+		m.agentEP[mc] = protocol.AgentEndpoint(mc)
 	}
 	m.compete()
 	return m
@@ -174,6 +192,7 @@ func (m *Master) promote() {
 		m.cfg.OnPromote(m.epoch)
 	}
 
+	m.wheel = newBeatWheel(m.cfg.HeartbeatScan)
 	m.net.Register(protocol.MasterEndpoint, m.handle)
 	m.timers = append(m.timers,
 		m.eng.Every(m.cfg.RenewEvery, m.renew),
@@ -191,6 +210,7 @@ func (m *Master) promote() {
 		now := m.eng.Now()
 		for _, mc := range m.top.Machines() {
 			m.lastBeat[mc] = now
+			m.wheel.track(mc, now)
 		}
 		hello := protocol.MasterHello{Epoch: m.epoch, Seq: m.seq.Next()}
 		for _, mc := range m.top.Machines() {
@@ -210,18 +230,14 @@ func (m *Master) finishRecovery() {
 	m.recovering = false
 	// Apply demand, returns and unregisters buffered during the window,
 	// then one full assignment pass over all machines places everything
-	// collected.
+	// collected. The releases are applied as one batch (their capacity
+	// echoes grouped per agent) and the reassignment they trigger is folded
+	// into the final full sweep — which the sharded scheduler runs in
+	// parallel at paper scale.
 	dem, ret, unreg := m.recDem, m.recRet, m.recUnreg
 	m.recDem, m.recRet, m.recUnreg = nil, nil, nil
 	var ds []Decision
-	for _, t := range ret {
-		out, err := m.sched.Return(t.App, t.UnitID, t.Machine, t.Count)
-		if err != nil {
-			continue
-		}
-		m.sendCapacity(t.App, t.UnitID, t.Machine, -t.Count)
-		ds = append(ds, out...)
-	}
+	m.applyReleases(ret)
 	for _, t := range dem {
 		out, err := m.sched.UpdateDemand(t.App, t.UnitID, t.Deltas)
 		if err != nil {
@@ -233,7 +249,7 @@ func (m *Master) finishRecovery() {
 	for _, t := range unreg {
 		m.handleUnregister(t) // dispatches its own release fan-out
 	}
-	final := m.sched.assignOnMachines(m.top.Machines())
+	final := m.sched.AssignOn(m.top.Machines())
 	m.dispatch(final)
 	ds = append(ds, final...)
 	if m.cfg.OnRecovered != nil {
@@ -293,6 +309,8 @@ func (m *Master) Crash() {
 	m.recovering = false
 	m.recDem, m.recRet, m.recUnreg = nil, nil, nil
 	m.pendDem = make(map[string][]protocol.DemandUpdate)
+	m.pendRet = nil
+	m.wheel = nil
 	m.flushArm = false
 }
 
@@ -336,22 +354,27 @@ func (m *Master) handle(from string, msg transport.Message) {
 	start := time.Now()
 	switch t := msg.(type) {
 	case protocol.RegisterApp:
-		if m.dedup.Observe(from+"/reg", t.Seq) == protocol.Duplicate {
+		if m.dedup.ObserveCh(from, protocol.ChanReg, t.Seq) == protocol.Duplicate {
 			return
 		}
 		m.handleRegister(t)
 	case protocol.DemandUpdate:
-		if m.dedup.Observe(from+"/dem", t.Seq) == protocol.Duplicate {
+		if m.dedup.ObserveCh(from, protocol.ChanDem, t.Seq) == protocol.Duplicate {
 			return
 		}
 		m.handleDemand(t)
 	case protocol.GrantReturn:
-		if m.dedup.Observe(from+"/ret", t.Seq) == protocol.Duplicate {
+		if m.dedup.ObserveCh(from, protocol.ChanRet, t.Seq) == protocol.Duplicate {
 			return
 		}
-		m.handleReturn(t)
+		m.handleReturns([]protocol.GrantReturn{t})
+	case protocol.GrantReturnBatch:
+		if m.dedup.ObserveCh(from, protocol.ChanRet, t.Seq) == protocol.Duplicate {
+			return
+		}
+		m.handleReturnBatch(t)
 	case protocol.UnregisterApp:
-		if m.dedup.Observe(from+"/unreg", t.Seq) == protocol.Duplicate {
+		if m.dedup.ObserveCh(from, protocol.ChanUnreg, t.Seq) == protocol.Duplicate {
 			return
 		}
 		m.handleUnregister(t)
@@ -362,7 +385,7 @@ func (m *Master) handle(from string, msg transport.Message) {
 	case protocol.CapacityQuery:
 		m.handleCapacityQuery(t)
 	case protocol.BadMachineReport:
-		if m.dedup.Observe(from+"/bad", t.Seq) == protocol.Duplicate {
+		if m.dedup.ObserveCh(from, protocol.ChanBad, t.Seq) == protocol.Duplicate {
 			return
 		}
 		m.handleBadReport(t)
@@ -407,9 +430,13 @@ func (m *Master) applyDemand(t protocol.DemandUpdate) {
 
 func (m *Master) bufferDemand(t protocol.DemandUpdate) {
 	m.pendDem[t.App] = append(m.pendDem[t.App], t)
+	m.armFlush()
+}
+
+func (m *Master) armFlush() {
 	if !m.flushArm {
 		m.flushArm = true
-		m.eng.After(m.cfg.BatchWindow, m.flushDemand)
+		m.eng.PostFunc(m.cfg.BatchWindow, m.flushRound)
 	}
 }
 
@@ -419,67 +446,171 @@ type locTarget struct {
 	value string
 }
 
-func (m *Master) flushDemand() {
+// flushRound executes one batched scheduling round: apply every buffered
+// release, reassign the freed capacity to queued demand in one wide sweep
+// (shard-parallel at scale), place the merged demand, and fan the round's
+// decisions out as a single batch.
+func (m *Master) flushRound() {
 	m.flushArm = false
 	if !m.primary || m.crashed {
 		return
 	}
-	pend := m.pendDem
-	m.pendDem = make(map[string][]protocol.DemandUpdate)
-	apps := make([]string, 0, len(pend))
-	for app := range pend {
-		apps = append(apps, app)
-	}
-	sort.Strings(apps)
-	// Merge per (app, unit, locality target) before scheduling: the
-	// paper's compact batch handling of "frequently changing resource
-	// requests from one application".
-	for _, app := range apps {
-		merged := map[int]map[locTarget]int{}
-		var unitOrder []int
-		for _, p := range pend[app] {
-			if merged[p.UnitID] == nil {
-				merged[p.UnitID] = map[locTarget]int{}
-				unitOrder = append(unitOrder, p.UnitID)
-			}
-			for _, h := range p.Deltas {
-				merged[p.UnitID][locTarget{h.Type, h.Value}] += h.Count
-			}
-		}
-		for _, unitID := range unitOrder {
-			var deltas []resource.LocalityHint
-			for k, c := range merged[unitID] {
-				if c != 0 {
-					deltas = append(deltas, resource.LocalityHint{Type: k.typ, Value: k.value, Count: c})
-				}
-			}
-			sort.Slice(deltas, func(i, j int) bool {
-				if deltas[i].Type != deltas[j].Type {
-					return deltas[i].Type < deltas[j].Type
-				}
-				return deltas[i].Value < deltas[j].Value
-			})
-			m.applyDemand(protocol.DemandUpdate{App: app, UnitID: unitID, Deltas: deltas})
-		}
-	}
-}
-
-func (m *Master) handleReturn(t protocol.GrantReturn) {
 	if m.recovering {
-		// The grant being returned may not have been restored yet (its
-		// agent's report is still in flight); replay after the window.
-		m.recRet = append(m.recRet, t)
+		// A round buffered before this process was deposed and re-promoted:
+		// reroute it through the recovery buffers so it replays once every
+		// agent has re-reported.
+		apps := make([]string, 0, len(m.pendDem))
+		for app := range m.pendDem {
+			apps = append(apps, app)
+		}
+		sort.Strings(apps)
+		for _, app := range apps {
+			m.recDem = append(m.recDem, m.pendDem[app]...)
+		}
+		m.recRet = append(m.recRet, m.pendRet...)
+		m.pendDem = make(map[string][]protocol.DemandUpdate)
+		m.pendRet = m.pendRet[:0]
 		return
 	}
 	start := time.Now()
-	ds, err := m.sched.Return(t.App, t.UnitID, t.Machine, t.Count)
+	var ds []Decision
+	if len(m.pendRet) > 0 {
+		touched := m.applyReleases(m.pendRet)
+		m.pendRet = m.pendRet[:0]
+		ds = append(ds, m.sched.AssignOn(touched)...)
+	}
+	apps := m.appBuf[:0]
+	for app := range m.pendDem {
+		apps = append(apps, app)
+	}
+	sort.Strings(apps)
+	// Merge per (app, unit, locality target) before scheduling — the
+	// paper's compact batch handling of "frequently changing resource
+	// requests from one application" — using pooled buffers: concatenate
+	// the unit's hint lists, sort by (type, value) and sum adjacent runs,
+	// which yields exactly the map-and-sort result without the maps.
+	for _, app := range apps {
+		ups := m.pendDem[app]
+		units := m.unitBuf[:0]
+		for _, p := range ups {
+			seen := false
+			for _, u := range units {
+				if u == p.UnitID {
+					seen = true
+					break
+				}
+			}
+			if !seen {
+				units = append(units, p.UnitID)
+			}
+		}
+		m.unitBuf = units
+		for _, unitID := range units {
+			hb := m.hintBuf[:0]
+			for _, p := range ups {
+				if p.UnitID == unitID {
+					hb = append(hb, p.Deltas...)
+				}
+			}
+			resource.SortHints(hb)
+			w := 0
+			for i := 0; i < len(hb); {
+				j, total := i, 0
+				for ; j < len(hb) && hb[j].Type == hb[i].Type && hb[j].Value == hb[i].Value; j++ {
+					total += hb[j].Count
+				}
+				if total != 0 {
+					hb[w] = resource.LocalityHint{Type: hb[i].Type, Value: hb[i].Value, Count: total}
+					w++
+				}
+				i = j
+			}
+			m.hintBuf = hb
+			out, err := m.sched.UpdateDemand(app, unitID, hb[:w])
+			if err != nil {
+				continue
+			}
+			ds = append(ds, out...)
+		}
+	}
+	m.appBuf = apps
+	clear(m.pendDem)
 	m.reg.Histogram("master.sched_ms").Observe(float64(time.Since(start).Nanoseconds()) / 1e6)
-	if err != nil {
+	m.dispatch(ds)
+}
+
+// handleReturnBatch unpacks a coalesced return batch into the shared path.
+func (m *Master) handleReturnBatch(t protocol.GrantReturnBatch) {
+	rets := make([]protocol.GrantReturn, 0, len(t.Returns))
+	for _, r := range t.Returns {
+		rets = append(rets, protocol.GrantReturn{
+			App: t.App, UnitID: r.UnitID, Machine: r.Machine, Count: r.Count, Seq: t.Seq,
+		})
+	}
+	m.handleReturns(rets)
+}
+
+func (m *Master) handleReturns(rets []protocol.GrantReturn) {
+	if m.recovering {
+		// The grants being returned may not have been restored yet (their
+		// agents' reports are still in flight); replay after the window.
+		m.recRet = append(m.recRet, rets...)
 		return
 	}
-	// The agent must release capacity even though the app initiated it.
-	m.sendCapacity(t.App, t.UnitID, t.Machine, -t.Count)
+	if m.cfg.BatchWindow > 0 {
+		m.pendRet = append(m.pendRet, rets...)
+		m.armFlush()
+		return
+	}
+	start := time.Now()
+	touched := m.applyReleases(rets)
+	ds := m.sched.AssignOn(touched)
+	m.reg.Histogram("master.sched_ms").Observe(float64(time.Since(start).Nanoseconds()) / 1e6)
 	m.dispatch(ds)
+}
+
+// applyReleases gives the returned containers back to the pool (without
+// reassigning), fans the capacity releases out as one delta message per
+// affected agent — the agents must release capacity even though the apps
+// initiated it — and returns the touched machines in first-seen order.
+func (m *Master) applyReleases(rets []protocol.GrantReturn) []string {
+	if len(rets) == 0 {
+		return nil
+	}
+	d := &m.dsp
+	d.reset()
+	m.touched = m.touched[:0]
+	for _, t := range rets {
+		st := m.sched.apps[t.App]
+		if st == nil {
+			continue
+		}
+		u := st.units[t.UnitID]
+		if u == nil {
+			continue
+		}
+		if err := m.sched.Release(t.App, t.UnitID, t.Machine, t.Count); err != nil {
+			continue
+		}
+		ag := d.agentFor(t.Machine)
+		if len(ag.entries) == 0 {
+			m.touched = append(m.touched, t.Machine)
+		}
+		ag.entries = append(ag.entries, protocol.CapacityEntry{
+			App: t.App, UnitID: t.UnitID, Size: u.def.Size, Count: -t.Count,
+		})
+	}
+	for i := range d.agents {
+		ag := &d.agents[i]
+		if len(ag.entries) == 0 {
+			continue
+		}
+		m.net.Send(protocol.MasterEndpoint, m.agentEP[ag.machine], protocol.CapacityDelta{
+			Entries: append([]protocol.CapacityEntry(nil), ag.entries...),
+			Epoch:   m.epoch, Seq: m.seq.Next(),
+		})
+	}
+	return m.touched
 }
 
 func (m *Master) handleUnregister(t protocol.UnregisterApp) {
@@ -492,7 +623,11 @@ func (m *Master) handleUnregister(t protocol.UnregisterApp) {
 		return
 	}
 	// Tell the agents to release the app's capacity before the scheduler
-	// state disappears (in sorted machine order, for reproducible runs).
+	// state disappears — one capacity-delta message per affected agent
+	// covering all of the app's units (in sorted machine order, for
+	// reproducible runs), instead of one message per (unit, machine).
+	d := &m.dsp
+	d.reset()
 	for _, u := range m.sched.Units(t.App) {
 		granted := m.sched.Granted(t.App, u.ID)
 		machines := make([]string, 0, len(granted))
@@ -501,8 +636,18 @@ func (m *Master) handleUnregister(t protocol.UnregisterApp) {
 		}
 		sort.Strings(machines)
 		for _, mc := range machines {
-			m.sendCapacity(t.App, u.ID, mc, -granted[mc])
+			ag := d.agentFor(mc)
+			ag.entries = append(ag.entries, protocol.CapacityEntry{
+				App: t.App, UnitID: u.ID, Size: u.Size, Count: -granted[mc],
+			})
 		}
+	}
+	for i := range d.agents {
+		ag := &d.agents[i]
+		m.net.Send(protocol.MasterEndpoint, m.agentEP[ag.machine], protocol.CapacityDelta{
+			Entries: append([]protocol.CapacityEntry(nil), ag.entries...),
+			Epoch:   m.epoch, Seq: m.seq.Next(),
+		})
 	}
 	ds := m.sched.UnregisterApp(t.App)
 	m.ckpt.RemoveApp(t.App)
@@ -537,8 +682,9 @@ func (m *Master) handleFullSync(t protocol.FullDemandSync) {
 	// The sync carries the app's current sequence number; re-baseline every
 	// per-channel high-water mark so a restarted application master (fresh
 	// sequencer) is not mistaken for a replayer.
-	for _, ch := range []string{"/dem", "/ret", "/unreg", "/bad", "/reg"} {
-		m.dedup.ResetTo(t.App+ch, t.Seq)
+	for _, ch := range []protocol.Chan{protocol.ChanDem, protocol.ChanRet,
+		protocol.ChanUnreg, protocol.ChanBad, protocol.ChanReg} {
+		m.dedup.ResetToCh(t.App, ch, t.Seq)
 	}
 	// Recovery-buffered deltas the app sent before this sync are already
 	// folded into its absolute counts above; replaying them at the end of
@@ -633,18 +779,27 @@ func (m *Master) reconcileHeld(app string, unitID int, appView map[string]int) {
 func (m *Master) handleHeartbeat(t protocol.AgentHeartbeat) {
 	mc := t.Machine
 	m.lastBeat[mc] = m.eng.Now()
+	m.wheel.track(mc, m.eng.Now())
 	if m.sched.Down(mc) {
 		// The node recovered (or its network partition healed).
 		m.dispatch(m.sched.MachineUp(mc))
 	}
 	if m.recovering && !m.restored[mc] {
-		// Restore exactly once per machine per recovery: a second
-		// heartbeat inside the window must not double the allocations.
-		m.restored[mc] = true
-		for app, units := range t.Allocations {
-			for unitID, n := range units {
-				m.sched.RestoreGrant(app, unitID, mc, n)
+		if t.Full {
+			// Restore exactly once per machine per recovery, and only from
+			// an anchor beat: a delta beat carries an incomplete table, and
+			// a second heartbeat inside the window must not double the
+			// allocations.
+			m.restored[mc] = true
+			for _, d := range t.Allocations {
+				m.sched.RestoreGrant(d.App, d.UnitID, mc, d.Count)
 			}
+		} else {
+			// A delta beat from a machine whose anchor has not landed (the
+			// hello or its reply was lost): nudge the agent to re-anchor
+			// before the recovery window closes.
+			m.net.Send(protocol.MasterEndpoint, m.agentEP[mc],
+				protocol.MasterHello{Epoch: m.epoch, Seq: m.seq.Next()})
 		}
 	}
 	// Health-score graylisting.
@@ -712,81 +867,156 @@ func (m *Master) currentBlacklist() []string {
 	return out
 }
 
+// scanHeartbeats declares machines dead on heartbeat timeout. The timer
+// wheel restricts each scan to the slots that can actually hold an expired
+// machine, so the per-scan cost is O(expired + re-filed) rather than a full
+// O(machines) sweep of the cluster (machines never heard from are not in
+// the wheel, exactly as the old sweep skipped lastBeat == 0).
 func (m *Master) scanHeartbeats() {
 	if !m.primary || m.crashed {
 		return
 	}
 	now := m.eng.Now()
-	for _, mc := range m.top.Machines() {
-		last := m.lastBeat[mc]
-		if last == 0 {
-			continue // never heard from (agent not started yet)
-		}
-		if now-last > m.cfg.HeartbeatTimeout && !m.sched.Down(mc) {
-			// Heartbeat timeout: remove from scheduling and revoke so job
-			// masters migrate instances (paper §4.3.2).
-			m.dispatch(m.sched.MachineDown(mc))
-		}
+	dead := m.wheel.expire(now-m.cfg.HeartbeatTimeout,
+		func(mc string) sim.Time { return m.lastBeat[mc] },
+		m.sched.Down)
+	for _, mc := range dead {
+		// Heartbeat timeout: remove from scheduling and revoke so job
+		// masters migrate instances (paper §4.3.2).
+		m.dispatch(m.sched.MachineDown(mc))
 	}
 }
 
+// dispatchScratch holds the reusable fan-out accumulators behind dispatch,
+// applyReleases and the unregister fan-out. The accumulators grow in place
+// and are truncated (never freed) between uses, so a steady stream of
+// scheduling rounds allocates only the per-message payload copies that the
+// asynchronous transport must own.
+type dispatchScratch struct {
+	apps   []appAcc
+	agents []agentAcc
+	batch  []transport.Message
+}
+
+type unitAcc struct {
+	unit   int
+	deltas []protocol.MachineDelta
+}
+
+type appAcc struct {
+	app   string
+	units []unitAcc
+}
+
+type agentAcc struct {
+	machine string
+	entries []protocol.CapacityEntry
+}
+
+func (d *dispatchScratch) reset() {
+	d.apps = d.apps[:0]
+	d.agents = d.agents[:0]
+	d.batch = d.batch[:0]
+}
+
+// appFor returns the accumulator for app, creating (or reviving a truncated
+// slot for) it on first use. Linear search: a round rarely touches more than
+// a few hundred distinct applications and the constant factor beats a map.
+func (d *dispatchScratch) appFor(app string) *appAcc {
+	for i := range d.apps {
+		if d.apps[i].app == app {
+			return &d.apps[i]
+		}
+	}
+	if len(d.apps) < cap(d.apps) {
+		d.apps = d.apps[:len(d.apps)+1]
+		a := &d.apps[len(d.apps)-1]
+		a.app = app
+		a.units = a.units[:0]
+		return a
+	}
+	d.apps = append(d.apps, appAcc{app: app})
+	return &d.apps[len(d.apps)-1]
+}
+
+func (a *appAcc) unitFor(unit int) *unitAcc {
+	for i := range a.units {
+		if a.units[i].unit == unit {
+			return &a.units[i]
+		}
+	}
+	if len(a.units) < cap(a.units) {
+		a.units = a.units[:len(a.units)+1]
+		u := &a.units[len(a.units)-1]
+		u.unit = unit
+		u.deltas = u.deltas[:0]
+		return u
+	}
+	a.units = append(a.units, unitAcc{unit: unit})
+	return &a.units[len(a.units)-1]
+}
+
+func (d *dispatchScratch) agentFor(machine string) *agentAcc {
+	for i := range d.agents {
+		if d.agents[i].machine == machine {
+			return &d.agents[i]
+		}
+	}
+	if len(d.agents) < cap(d.agents) {
+		d.agents = d.agents[:len(d.agents)+1]
+		a := &d.agents[len(d.agents)-1]
+		a.machine = machine
+		a.entries = a.entries[:0]
+		return a
+	}
+	d.agents = append(d.agents, agentAcc{machine: machine})
+	return &d.agents[len(d.agents)-1]
+}
+
 // dispatch fans scheduling decisions out as GrantUpdates to application
-// masters and CapacityUpdates to the affected agents. Both sides are
-// coalesced: grants per (app, unit) mirroring the paper's "(M1,3), (M2,4)"
-// multi-machine response form, and capacity updates per agent as one
-// transport batch so a wide scheduling round costs one delivery event per
-// machine instead of one per decision.
+// masters and capacity deltas to the affected agents. Both sides are
+// delta-encoded and coalesced: grants per (app, unit) mirroring the paper's
+// "(M1,3), (M2,4)" multi-machine response form — an app's unit updates
+// travelling as one pooled transport batch — and all of an agent's capacity
+// changes as a single CapacityDelta message, so a wide scheduling round
+// costs one message per machine instead of one per decision.
 func (m *Master) dispatch(ds []Decision) {
 	if len(ds) == 0 {
 		return
 	}
-	type auKey struct {
-		app  string
-		unit int
-	}
-	byApp := map[auKey][]protocol.MachineDelta{}
-	var order []auKey
-	byAgent := map[string][]transport.Message{}
-	var agentOrder []string
-	for _, d := range ds {
-		k := auKey{d.App, d.UnitID}
-		if byApp[k] == nil {
-			order = append(order, k)
-		}
-		byApp[k] = append(byApp[k], protocol.MachineDelta{Machine: d.Machine, Delta: d.Delta})
-		if st := m.sched.apps[d.App]; st != nil {
-			if u := st.units[d.UnitID]; u != nil {
-				if byAgent[d.Machine] == nil {
-					agentOrder = append(agentOrder, d.Machine)
-				}
-				byAgent[d.Machine] = append(byAgent[d.Machine], protocol.CapacityUpdate{
-					App: d.App, UnitID: d.UnitID, Size: u.def.Size, Delta: d.Delta,
-					Epoch: m.epoch, Seq: m.seq.Next(),
+	d := &m.dsp
+	d.reset()
+	for _, dec := range ds {
+		ua := d.appFor(dec.App).unitFor(dec.UnitID)
+		ua.deltas = append(ua.deltas, protocol.MachineDelta{Machine: dec.Machine, Delta: dec.Delta})
+		if st := m.sched.apps[dec.App]; st != nil {
+			if u := st.units[dec.UnitID]; u != nil {
+				ag := d.agentFor(dec.Machine)
+				ag.entries = append(ag.entries, protocol.CapacityEntry{
+					App: dec.App, UnitID: dec.UnitID, Size: u.def.Size, Count: dec.Delta,
 				})
 			}
 		}
 	}
-	for _, mc := range agentOrder {
-		m.net.SendBatch(protocol.MasterEndpoint, protocol.AgentEndpoint(mc), byAgent[mc])
-	}
-	for _, k := range order {
-		m.net.Send(protocol.MasterEndpoint, k.app, protocol.GrantUpdate{
-			App: k.app, UnitID: k.unit, Changes: byApp[k], Epoch: m.epoch, Seq: m.seq.Next(),
+	for i := range d.agents {
+		ag := &d.agents[i]
+		m.net.Send(protocol.MasterEndpoint, m.agentEP[ag.machine], protocol.CapacityDelta{
+			Entries: append([]protocol.CapacityEntry(nil), ag.entries...),
+			Epoch:   m.epoch, Seq: m.seq.Next(),
 		})
 	}
-}
-
-func (m *Master) sendCapacity(app string, unitID int, machine string, delta int) {
-	st := m.sched.apps[app]
-	if st == nil {
-		return
+	for i := range d.apps {
+		aa := &d.apps[i]
+		batch := d.batch[:0]
+		for j := range aa.units {
+			ua := &aa.units[j]
+			batch = append(batch, protocol.GrantUpdate{
+				App: aa.app, UnitID: ua.unit,
+				Changes: append([]protocol.MachineDelta(nil), ua.deltas...),
+				Epoch:   m.epoch, Seq: m.seq.Next(),
+			})
+		}
+		m.net.SendBatch(protocol.MasterEndpoint, aa.app, batch)
+		d.batch = batch[:0]
 	}
-	u := st.units[unitID]
-	if u == nil {
-		return
-	}
-	m.net.Send(protocol.MasterEndpoint, protocol.AgentEndpoint(machine), protocol.CapacityUpdate{
-		App: app, UnitID: unitID, Size: u.def.Size, Delta: delta,
-		Epoch: m.epoch, Seq: m.seq.Next(),
-	})
 }

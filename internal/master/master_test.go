@@ -1,6 +1,7 @@
 package master
 
 import (
+	"sort"
 	"testing"
 
 	"repro/internal/lockservice"
@@ -71,14 +72,23 @@ func TestUnregisterBufferedDuringRecovery(t *testing.T) {
 	m1 := NewMaster(DefaultConfig("fm-1"), eng, net, lock, top, ckpt, nil)
 	m2 := NewMaster(DefaultConfig("fm-2"), eng, net, lock, top, ckpt, nil)
 
-	// Scripted agent endpoints record every capacity update; no automatic
-	// heartbeats, so the test controls exactly when restore reports land.
+	// Scripted agent endpoints record every capacity change (single updates
+	// and batched deltas alike); no automatic heartbeats, so the test
+	// controls exactly when restore reports land.
 	agentMsgs := map[string][]protocol.CapacityUpdate{}
 	for _, mc := range top.Machines() {
 		mc := mc
 		net.Register(protocol.AgentEndpoint(mc), func(_ string, msg transport.Message) {
-			if cu, ok := msg.(protocol.CapacityUpdate); ok {
+			switch cu := msg.(type) {
+			case protocol.CapacityUpdate:
 				agentMsgs[mc] = append(agentMsgs[mc], cu)
+			case protocol.CapacityDelta:
+				for _, e := range cu.Entries {
+					agentMsgs[mc] = append(agentMsgs[mc], protocol.CapacityUpdate{
+						App: e.App, UnitID: e.UnitID, Size: e.Size, Delta: e.Count,
+						Epoch: cu.Epoch, Seq: cu.Seq,
+					})
+				}
 			}
 		})
 	}
@@ -114,7 +124,8 @@ func TestUnregisterBufferedDuringRecovery(t *testing.T) {
 	// ... and only then do the agents re-send their allocation reports.
 	for mc, n := range granted {
 		net.Send(protocol.AgentEndpoint(mc), protocol.MasterEndpoint, protocol.AgentHeartbeat{
-			Machine: mc, Allocations: map[string]map[int]int{"app1": {1: n}},
+			Machine: mc, Full: true,
+			Allocations: []protocol.AllocDelta{{App: "app1", UnitID: 1, Count: n}},
 			HealthScore: 100, Seq: 1,
 		})
 	}
@@ -180,6 +191,67 @@ func TestMasterBatchWindowMergesDemand(t *testing.T) {
 	}
 	if held := h.m1.Scheduler().Held("app1", 1); held != 20 {
 		t.Errorf("held = %d, want 20", held)
+	}
+}
+
+// TestMasterBatchWindowCoalescesReturns pins the batched-round shape: a
+// burst of coalesced returns inside one window is applied as one release
+// batch, the freed capacity reaches queued demand through a single wide
+// sweep, and the whole round costs one scheduler invocation.
+func TestMasterBatchWindowCoalescesReturns(t *testing.T) {
+	cfg := DefaultConfig("fm-1")
+	cfg.BatchWindow = 50 * sim.Millisecond
+	h := newMasterHarness(t, cfg)
+	var seq2 protocol.Sequencer
+	h.net.Register("app2", func(string, transport.Message) {})
+	// app1 takes the whole cluster (2×2 machines × 12 containers of
+	// 1000/4096 each = 48); app2 queues behind it.
+	h.send(protocol.RegisterApp{App: "app1", Units: []resource.ScheduleUnit{
+		{ID: 1, Priority: 100, MaxCount: 100, Size: resource.New(1000, 4096)},
+	}, Seq: h.seq.Next()})
+	h.net.Send("app2", protocol.MasterEndpoint, protocol.RegisterApp{
+		App: "app2", Units: []resource.ScheduleUnit{
+			{ID: 1, Priority: 100, MaxCount: 100, Size: resource.New(1000, 4096)},
+		}, Seq: seq2.Next()})
+	h.send(protocol.DemandUpdate{App: "app1", UnitID: 1,
+		Deltas: []resource.LocalityHint{{Type: resource.LocalityCluster, Count: 48}},
+		Seq:    h.seq.Next()})
+	h.eng.Run(h.eng.Now() + sim.Second)
+	if held := h.m1.Scheduler().Held("app1", 1); held != 48 {
+		t.Fatalf("app1 held = %d, want 48 (saturated)", held)
+	}
+	h.net.Send("app2", protocol.MasterEndpoint, protocol.DemandUpdate{
+		App: "app2", UnitID: 1,
+		Deltas: []resource.LocalityHint{{Type: resource.LocalityCluster, Count: 20}},
+		Seq:    seq2.Next()})
+	h.eng.Run(h.eng.Now() + sim.Second)
+	if waiting := h.m1.Scheduler().Waiting("app2", 1); waiting != 20 {
+		t.Fatalf("app2 waiting = %d, want 20", waiting)
+	}
+	h.reg.Histogram("master.sched_ms").Reset()
+
+	// One coalesced batch returns 5 containers on each of 4 machines.
+	granted := h.m1.Scheduler().Granted("app1", 1)
+	batch := protocol.GrantReturnBatch{App: "app1", Seq: h.seq.Next()}
+	machines := make([]string, 0, len(granted))
+	for mc := range granted {
+		machines = append(machines, mc)
+	}
+	sort.Strings(machines)
+	for _, mc := range machines {
+		batch.Returns = append(batch.Returns, protocol.ReturnEntry{UnitID: 1, Machine: mc, Count: 5})
+	}
+	h.send(batch)
+	h.eng.Run(h.eng.Now() + sim.Second)
+
+	if held := h.m1.Scheduler().Held("app1", 1); held != 28 {
+		t.Errorf("app1 held = %d after returns, want 28", held)
+	}
+	if held := h.m1.Scheduler().Held("app2", 1); held != 20 {
+		t.Errorf("app2 held = %d after round, want 20 (freed capacity reassigned)", held)
+	}
+	if calls := h.reg.Histogram("master.sched_ms").Count(); calls != 1 {
+		t.Errorf("scheduler invocations = %d, want 1 (one round)", calls)
 	}
 }
 

@@ -1,0 +1,259 @@
+package master
+
+import (
+	"repro/internal/sim"
+)
+
+// Sharded parallel scheduling rounds.
+//
+// A wide assignment sweep (a batched round's free-up pass, the
+// post-recovery full pass) is split across Options.Shards worker
+// goroutines. The locality tree's rack set is partitioned into contiguous
+// blocks, one block per shard, so a shard exclusively owns its machines'
+// free vectors and its racks' wait queues; only the cluster-level queue and
+// per-unit headrooms are shared across shards.
+//
+// The round has two phases:
+//
+//  1. Score (parallel): each worker walks its machines in input order with
+//     the read-only candidate walk, simulating grants against a private
+//     overlay (consumed counts, used headroom, a local copy of each free
+//     vector) and recording, per proposed grant, the entry count and unit
+//     headroom it observed. Workers mutate nothing shared.
+//
+//  2. Reduce (serial, deterministic): machines are revisited in the
+//     original input order — the exact order the serial scheduler would
+//     process — and each machine's proposals are committed iff every
+//     observed count and headroom still equals the authoritative value. A
+//     mismatch means an earlier machine from another shard consumed a
+//     shared entry this walk depended on: the machine is re-run serially
+//     against authoritative state and the shard is tainted, which demotes
+//     the shard's remaining machines to serial re-runs too (their walks
+//     assumed this shard's earlier proposals).
+//
+// Because counts and headrooms only shrink during a round, a walk whose
+// observations all validate is guaranteed to reproduce exactly what the
+// serial pass would have done at that position, so the committed decision
+// stream is byte-identical to the serial scheduler's for every shard count
+// — the property the parity fuzz pins down.
+
+// minParallelMachines is the sweep width below which scoring in parallel
+// costs more than it saves; narrower sweeps take the serial path (which
+// produces the identical decision stream, so the threshold is free to be
+// tuned without affecting reproducibility).
+const minParallelMachines = 16
+
+// proposal is one speculative grant scored by a shard worker.
+type proposal struct {
+	e        *waitEntry
+	st       *appState
+	u        *unitState
+	k        int
+	expCount int // entry count observed by the walk (pre-grant)
+	expHead  int // unit headroom observed by the walk (pre-grant)
+}
+
+// shardScratch is one shard's reusable scoring state.
+type shardScratch struct {
+	machines []string // this shard's slice of the sweep, in input order
+	props    []proposal
+	ends     []int // props prefix length after each machine
+	consumed map[*waitEntry]int
+	headUsed map[*unitState]int
+	ws       walkScratch
+
+	// reduce-phase cursor and taint flag (owned by the reducer).
+	mi      int
+	tainted bool
+}
+
+// ParallelStats counts the reducer's outcomes: machines whose speculative
+// proposals validated and committed wholesale, and machines re-run serially
+// after cross-shard interference (or shard taint). The ratio is the
+// effective parallel efficiency of the workload.
+type ParallelStats struct {
+	Sweeps    uint64 // sharded sweeps executed
+	Committed uint64 // machines committed from validated proposals
+	Reruns    uint64 // machines re-run serially by the reducer
+}
+
+// ParallelStats returns the accumulated sharded-sweep counters.
+func (s *Scheduler) ParallelStats() ParallelStats { return s.parStats }
+
+// parallelReady reports whether a sweep over n machines takes the sharded
+// path. The serial and parallel paths emit byte-identical decisions; this
+// only decides which one does the work.
+func (s *Scheduler) parallelReady(n int) bool {
+	if s.shards <= 1 || n < minParallelMachines {
+		return false
+	}
+	if s.opts.AgingBoostPerSecond > 0 {
+		return false // aging re-ranks globally; the scoring walk has no view of it
+	}
+	_, indexed := s.tree.(*localityTree)
+	return indexed
+}
+
+// shardOfMachine maps a machine to its rack-block shard.
+func (s *Scheduler) shardOfMachine(machine string) int {
+	return s.rackShard[s.rackOf[machine]]
+}
+
+// assignParallel is the sharded equivalent of the serial loop in
+// assignOnMachines: machines must already be deduplicated.
+func (s *Scheduler) assignParallel(machines []string) []Decision {
+	for _, sc := range s.par {
+		sc.machines = sc.machines[:0]
+		sc.mi = 0
+		sc.tainted = false
+	}
+	for _, mc := range machines {
+		sc := s.par[s.shardOfMachine(mc)]
+		sc.machines = append(sc.machines, mc)
+	}
+
+	// Phase 1: score shards in parallel. Workers only read shared
+	// scheduler state; every write lands in their own shardScratch.
+	sim.RunParallel(s.shards, func(shard int) {
+		s.scoreShard(s.par[shard])
+	})
+
+	// Phase 2: deterministic reduce in input order.
+	s.parStats.Sweeps++
+	var out []Decision
+	for _, mc := range machines {
+		sc := s.par[s.shardOfMachine(mc)]
+		begin := 0
+		if sc.mi > 0 {
+			begin = sc.ends[sc.mi-1]
+		}
+		end := sc.ends[sc.mi]
+		sc.mi++
+		if sc.tainted {
+			s.parStats.Reruns++
+			s.assignOnMachine(mc, &out)
+			continue
+		}
+		props := sc.props[begin:end]
+		valid := true
+		for i := range props {
+			p := &props[i]
+			if p.e.count != p.expCount || p.u.headroom() != p.expHead {
+				valid = false
+				break
+			}
+		}
+		if !valid {
+			// Cross-shard interference on a shared entry: authoritative
+			// re-run, and the rest of this shard follows suit.
+			sc.tainted = true
+			s.parStats.Reruns++
+			s.assignOnMachine(mc, &out)
+			continue
+		}
+		s.parStats.Committed++
+		for i := range props {
+			p := &props[i]
+			if p.e.u == nil {
+				// Mirror the serial walk's lazy (app, unit) cache.
+				p.e.st, p.e.u = p.st, p.u
+			}
+			s.grantOn(p.st, p.u, mc, p.k, &out)
+			p.e.count -= p.k
+		}
+	}
+	return out
+}
+
+// scoreShard runs phase 1 for one shard: walk each machine with the
+// read-only candidate view, recording speculative grants.
+func (s *Scheduler) scoreShard(sc *shardScratch) {
+	sc.props = sc.props[:0]
+	sc.ends = sc.ends[:0]
+	clear(sc.consumed)
+	clear(sc.headUsed)
+	tree := s.tree.(*localityTree)
+	for _, mc := range sc.machines {
+		s.scoreMachine(tree, mc, sc)
+		sc.ends = append(sc.ends, len(sc.props))
+	}
+}
+
+func (s *Scheduler) scoreMachine(tree *localityTree, machine string, sc *shardScratch) {
+	if !s.schedulable(machine) {
+		return
+	}
+	// A private copy: the pool's vector may carry a shared extras map that
+	// in-place arithmetic would corrupt under concurrent walkers.
+	free := s.free[machine].Clone()
+	if free.IsZero() {
+		return
+	}
+	rack := s.rackOf[machine]
+	view := func(e *waitEntry) int { return e.count - sc.consumed[e] }
+	tree.forEachCandidateView(machine, rack, &free, &sc.ws, view, func(e *waitEntry) bool {
+		cnt := view(e)
+		st, u := e.st, e.u
+		if u == nil {
+			// Resolve read-only; the serial walk's cache write happens at
+			// commit time, never from a worker.
+			st = s.apps[e.key.app]
+			if st == nil {
+				return true
+			}
+			u = st.units[e.key.unit]
+			if u == nil {
+				return true
+			}
+		}
+		head := u.headroom() - sc.headUsed[u]
+		want := cnt
+		if want > head {
+			want = head
+		}
+		if want <= 0 {
+			return true
+		}
+		k := int(free.FitCount(u.def.Size))
+		if k > want {
+			k = want
+		}
+		if k <= 0 {
+			return true
+		}
+		sc.props = append(sc.props, proposal{e: e, st: st, u: u, k: k, expCount: cnt, expHead: head})
+		sc.consumed[e] += k
+		sc.headUsed[u] += k
+		(&free).AddScaledInPlace(u.def.Size, -int64(k))
+		return !free.IsZero()
+	})
+}
+
+// initShards wires the shard structures at construction: racks are split
+// into s.shards contiguous blocks (rack i of R goes to shard i·P/R), so a
+// shard owns whole racks and rack-level wait queues never cross shards.
+func (s *Scheduler) initShards(racks []string, want int) {
+	s.shards = 1
+	if want <= 1 || s.opts.LegacyScan {
+		return
+	}
+	p := want
+	if p > len(racks) {
+		p = len(racks)
+	}
+	if p <= 1 {
+		return
+	}
+	s.shards = p
+	s.rackShard = make(map[string]int, len(racks))
+	for i, r := range racks {
+		s.rackShard[r] = i * p / len(racks)
+	}
+	s.par = make([]*shardScratch, p)
+	for i := range s.par {
+		s.par[i] = &shardScratch{
+			consumed: make(map[*waitEntry]int),
+			headUsed: make(map[*unitState]int),
+		}
+	}
+}

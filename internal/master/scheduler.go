@@ -80,6 +80,13 @@ type Options struct {
 	// the scale harness can measure the indexed tree against the
 	// pre-optimization baseline; production paths leave it false.
 	LegacyScan bool
+	// Shards > 1 scores wide assignment sweeps in parallel across that many
+	// worker goroutines, one contiguous rack block per shard, with a
+	// deterministic reducer committing grants in serial order — the decision
+	// stream is byte-identical to Shards == 1 (see parallel.go). Values
+	// above the rack count are clamped; LegacyScan and aging force the
+	// serial path.
+	Shards int
 }
 
 // DefaultGroup is the quota group used when an app registers with "".
@@ -95,6 +102,10 @@ type appState struct {
 	name  string
 	group string
 	units map[int]*unitState
+	// unitIDs is the sorted unit-ID list, frozen at registration: the
+	// revocation and unregister paths walk units in deterministic order far
+	// too often to re-sort the map keys each time.
+	unitIDs []int
 }
 
 type groupState struct {
@@ -111,10 +122,13 @@ type Scheduler struct {
 	free   map[string]resource.Vector
 	down   map[string]bool
 	black  map[string]bool
-	apps   map[string]*appState
-	groups map[string]*groupState
-	tree   waitTree
-	cursor int // rotating first-fit cursor for cluster-level placement
+	apps map[string]*appState
+	// appsSorted mirrors the apps map keys in sorted order (maintained on
+	// register/unregister), so evacuation sweeps need not sort per call.
+	appsSorted []string
+	groups     map[string]*groupState
+	tree       waitTree
+	cursor     int // rotating first-fit cursor for cluster-level placement
 
 	// Incremental headroom accounting: aggregate free capacity for the
 	// cluster and per rack, maintained alongside every free-pool mutation.
@@ -123,6 +137,14 @@ type Scheduler struct {
 	totalFree resource.Vector
 	rackFree  map[string]resource.Vector
 	rackOf    map[string]string
+
+	// Sharded parallel sweeps (parallel.go): racks are partitioned into
+	// shards contiguous blocks; par holds each shard's reusable scoring
+	// scratch. shards == 1 means fully serial.
+	shards    int
+	rackShard map[string]int
+	par       []*shardScratch
+	parStats  ParallelStats
 }
 
 // NewScheduler returns an empty scheduler over the topology with every
@@ -156,6 +178,7 @@ func NewScheduler(top *topology.Topology, opts Options) *Scheduler {
 		(&rf).AddScaledInPlace(cap, 1)
 		s.rackFree[rack] = rf
 	}
+	s.initShards(top.Racks(), opts.Shards)
 	for g, min := range opts.Groups {
 		s.groups[g] = &groupState{min: min, apps: make(map[string]bool)}
 	}
@@ -190,8 +213,14 @@ func (s *Scheduler) RegisterApp(app, group string, units []resource.ScheduleUnit
 			return fmt.Errorf("master: app %q: duplicate unit %d", app, u.ID)
 		}
 		st.units[u.ID] = &unitState{def: u, granted: make(map[string]int)}
+		st.unitIDs = append(st.unitIDs, u.ID)
 	}
+	sort.Ints(st.unitIDs)
 	s.apps[app] = st
+	i := sort.SearchStrings(s.appsSorted, app)
+	s.appsSorted = append(s.appsSorted, "")
+	copy(s.appsSorted[i+1:], s.appsSorted[i:])
+	s.appsSorted[i] = app
 	g.apps[app] = true
 	return nil
 }
@@ -209,12 +238,7 @@ func (s *Scheduler) UnregisterApp(app string) []Decision {
 	// Release and reassign in sorted order: map iteration order must not
 	// decide which waiting application is offered the freed capacity first.
 	var touched []string
-	unitIDs := make([]int, 0, len(st.units))
-	for id := range st.units {
-		unitIDs = append(unitIDs, id)
-	}
-	sort.Ints(unitIDs)
-	for _, id := range unitIDs {
+	for _, id := range st.unitIDs {
 		u := st.units[id]
 		machines := make([]string, 0, len(u.granted))
 		for m := range u.granted {
@@ -229,6 +253,9 @@ func (s *Scheduler) UnregisterApp(app string) []Decision {
 	s.tree.removeApp(app)
 	delete(s.groups[st.group].apps, app)
 	delete(s.apps, app)
+	if i := sort.SearchStrings(s.appsSorted, app); i < len(s.appsSorted) && s.appsSorted[i] == app {
+		s.appsSorted = append(s.appsSorted[:i], s.appsSorted[i+1:]...)
+	}
 	return s.assignOnMachines(touched)
 }
 
@@ -269,19 +296,40 @@ func (s *Scheduler) UpdateDemand(app string, unitID int, hints []resource.Locali
 // immediately reschedules the freed resources (paper §3.1 steps 3–4: a
 // return triggers event-driven reassignment).
 func (s *Scheduler) Return(app string, unitID int, machine string, count int) ([]Decision, error) {
-	st, u, err := s.lookup(app, unitID)
-	if err != nil {
+	if err := s.Release(app, unitID, machine, count); err != nil {
 		return nil, err
 	}
+	return s.assignOnMachines([]string{machine}), nil
+}
+
+// Release gives count granted containers on machine back to the pool
+// without triggering reassignment. It is the building block of batched
+// scheduling rounds: the master applies every release of a round first and
+// reassigns the freed capacity once, via AssignOn, instead of sweeping per
+// return.
+func (s *Scheduler) Release(app string, unitID int, machine string, count int) error {
+	st, u, err := s.lookup(app, unitID)
+	if err != nil {
+		return err
+	}
 	if count <= 0 {
-		return nil, fmt.Errorf("master: non-positive return count %d", count)
+		return fmt.Errorf("master: non-positive return count %d", count)
 	}
 	if u.granted[machine] < count {
-		return nil, fmt.Errorf("master: app %q unit %d returns %d on %s but holds %d",
+		return fmt.Errorf("master: app %q unit %d returns %d on %s but holds %d",
 			app, unitID, count, machine, u.granted[machine])
 	}
 	s.releaseOn(st, u, machine, count)
-	return s.assignOnMachines([]string{machine}), nil
+	return nil
+}
+
+// AssignOn runs the event-driven assignment pass over the given machines
+// (duplicates tolerated) and returns the decisions. With Options.Shards > 1
+// a wide pass is scored shard-parallel and committed through the
+// deterministic reducer; the decision stream is byte-identical to the
+// serial pass either way.
+func (s *Scheduler) AssignOn(machines []string) []Decision {
+	return s.assignOnMachines(machines)
 }
 
 // MachineDown removes a dead machine from scheduling: all grants on it are
@@ -495,13 +543,20 @@ func (s *Scheduler) placeImmediate(st *appState, u *unitState, h resource.Locali
 // 10GB} frees up on machine A, we only need to make a decision on which
 // application in machine A's waiting queue should get this resource").
 func (s *Scheduler) assignOnMachines(machines []string) []Decision {
-	var out []Decision
 	seen := make(map[string]bool, len(machines))
+	uniq := make([]string, 0, len(machines))
 	for _, m := range machines {
 		if seen[m] {
 			continue
 		}
 		seen[m] = true
+		uniq = append(uniq, m)
+	}
+	if s.parallelReady(len(uniq)) {
+		return s.assignParallel(uniq)
+	}
+	var out []Decision
+	for _, m := range uniq {
 		s.assignOnMachine(m, &out)
 	}
 	return out
@@ -566,19 +621,9 @@ func (s *Scheduler) assignOnMachine(machine string, out *[]Decision) {
 // zeroed for down machines and restored for blacklisted ones.
 func (s *Scheduler) evacuate(machine string, reason Reason) []Decision {
 	var out []Decision
-	appNames := make([]string, 0, len(s.apps))
-	for name := range s.apps {
-		appNames = append(appNames, name)
-	}
-	sort.Strings(appNames)
-	for _, name := range appNames {
+	for _, name := range s.appsSorted {
 		st := s.apps[name]
-		unitIDs := make([]int, 0, len(st.units))
-		for id := range st.units {
-			unitIDs = append(unitIDs, id)
-		}
-		sort.Ints(unitIDs)
-		for _, id := range unitIDs {
+		for _, id := range st.unitIDs {
 			u := st.units[id]
 			if n := u.granted[machine]; n > 0 {
 				s.releaseOn(st, u, machine, n)

@@ -97,12 +97,7 @@ func (s *Scheduler) GroupUsage(group string) resource.Vector {
 
 // Apps returns the sorted registered application names.
 func (s *Scheduler) Apps() []string {
-	out := make([]string, 0, len(s.apps))
-	for name := range s.apps {
-		out = append(out, name)
-	}
-	sort.Strings(out)
-	return out
+	return append([]string(nil), s.appsSorted...)
 }
 
 // AppGroup returns the quota group of an app ("" when unknown).
@@ -119,11 +114,10 @@ func (s *Scheduler) Units(app string) []resource.ScheduleUnit {
 	if !ok {
 		return nil
 	}
-	out := make([]resource.ScheduleUnit, 0, len(st.units))
-	for _, u := range st.units {
-		out = append(out, u.def)
+	out := make([]resource.ScheduleUnit, 0, len(st.unitIDs))
+	for _, id := range st.unitIDs {
+		out = append(out, st.units[id].def)
 	}
-	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
 	return out
 }
 

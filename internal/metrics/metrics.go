@@ -99,6 +99,12 @@ func (h *Histogram) Observe(v float64) {
 // Count returns the sample count.
 func (h *Histogram) Count() int { return len(h.samples) }
 
+// Reset drops all samples (tests isolating one measurement phase).
+func (h *Histogram) Reset() {
+	h.samples = h.samples[:0]
+	h.sorted = false
+}
+
 // Mean returns the average (0 when empty).
 func (h *Histogram) Mean() float64 {
 	if len(h.samples) == 0 {

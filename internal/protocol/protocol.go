@@ -8,6 +8,9 @@
 package protocol
 
 import (
+	"slices"
+	"strings"
+
 	"repro/internal/resource"
 )
 
@@ -45,6 +48,25 @@ type GrantReturn struct {
 	UnitID  int
 	Machine string
 	Count   int
+	Seq     uint64
+}
+
+// ReturnEntry is one (unit, machine, count) release inside a
+// GrantReturnBatch.
+type ReturnEntry struct {
+	UnitID  int
+	Machine string
+	Count   int
+}
+
+// GrantReturnBatch coalesces every GrantReturn an application produced in
+// one instant into a single wire message (the incremental-communication
+// counterpart of the paper's "(M1,3), (M2,4)" grant roll-up, applied to the
+// return direction). A hold cycle that frees containers on many machines at
+// once costs one message instead of one per machine.
+type GrantReturnBatch struct {
+	App     string
+	Returns []ReturnEntry
 	Seq     uint64
 }
 
@@ -93,17 +115,50 @@ type UnregisterApp struct {
 // ---------------------------------------------------------------------------
 
 // AgentHeartbeat reports a node's health and its current per-application
-// allocations. The allocation map is what the failover master uses to
-// rebuild the free pool ("each FuxiAgent re-sends the resource allocation on
-// this machine for each application master").
+// allocations. Heartbeats are delta-encoded: most beats carry only liveness
+// and the health score (Full false, no maps), a beat after local capacity
+// churn carries the changed entries in Changes, and periodic anchor beats
+// (plus the reply to a MasterHello and the first beat after a restart) carry
+// the complete Allocations table with Full true. The anchor is what the
+// failover master uses to rebuild the free pool ("each FuxiAgent re-sends
+// the resource allocation on this machine for each application master");
+// the deltas keep the steady-state beat allocation-free at 5,000 machines.
 type AgentHeartbeat struct {
 	Machine string
-	// Allocations[app][unitID] is the number of containers held.
-	Allocations map[string]map[int]int
+	// Full marks an anchor beat: Allocations is the complete table and a
+	// recovering master may restore from it. Non-anchor beats leave
+	// Allocations nil.
+	Full bool
+	// Allocations is the complete table, sorted by (App, UnitID) — anchor
+	// beats only.
+	Allocations []AllocDelta
+	// Changes lists entries whose count changed since the previous beat
+	// (absolute new counts, zero meaning removed); nil when nothing changed
+	// or on anchor beats.
+	Changes []AllocDelta
 	// HealthScore in [0,100]; derived from the agent's plugin collectors
 	// (disk statistics, machine load, network I/O). 100 is healthy.
 	HealthScore int
 	Seq         uint64
+}
+
+// AllocDelta is one allocation entry in a heartbeat: the absolute container
+// count held for (App, UnitID).
+type AllocDelta struct {
+	App    string
+	UnitID int
+	Count  int
+}
+
+// SortAllocDeltas orders entries by (App, UnitID) in place, allocation-free
+// (the heartbeat path must not pay sort.Slice's reflective swapper).
+func SortAllocDeltas(ds []AllocDelta) {
+	slices.SortFunc(ds, func(a, b AllocDelta) int {
+		if c := strings.Compare(a.App, b.App); c != 0 {
+			return c
+		}
+		return a.UnitID - b.UnitID
+	})
 }
 
 // CapacityUpdate tells an agent the granted capacity for one application
@@ -116,6 +171,20 @@ type CapacityUpdate struct {
 	Size   resource.Vector
 	Delta  int
 	// Epoch fences updates from a deposed primary (see GrantUpdate.Epoch).
+	Epoch int
+	Seq   uint64
+}
+
+// CapacityDelta carries one scheduling round's capacity changes for a single
+// agent as a batch of signed per-(app, unit) deltas — the delta-encoded
+// replacement for a stream of per-decision CapacityUpdates. A wide round
+// that grants and revokes many containers on a machine costs the agent one
+// message (and one dedup observation) instead of one per decision; the
+// periodic CapacitySync anchor repairs any divergence.
+type CapacityDelta struct {
+	// Entries hold signed container-count deltas in Count.
+	Entries []CapacityEntry
+	// Epoch fences deltas from a deposed primary (see GrantUpdate.Epoch).
 	Epoch int
 	Seq   uint64
 }
@@ -281,6 +350,20 @@ func (m DemandUpdate) WireSize() int {
 func (m GrantReturn) WireSize() int { return headerBytes + len(m.App) + len(m.Machine) + 8 }
 
 // WireSize implements transport.Sizer.
+func (m GrantReturnBatch) WireSize() int {
+	n := headerBytes + len(m.App)
+	for _, r := range m.Returns {
+		n += perEntryBytes + len(r.Machine)
+	}
+	return n
+}
+
+// WireSize implements transport.Sizer.
+func (m CapacityDelta) WireSize() int {
+	return headerBytes + len(m.Entries)*unitBytes
+}
+
+// WireSize implements transport.Sizer.
 func (m GrantUpdate) WireSize() int {
 	return headerBytes + len(m.App) + len(m.Changes)*perEntryBytes
 }
@@ -299,11 +382,7 @@ func (m FullDemandSync) WireSize() int {
 
 // WireSize implements transport.Sizer.
 func (m AgentHeartbeat) WireSize() int {
-	n := headerBytes + len(m.Machine)
-	for _, units := range m.Allocations {
-		n += perEntryBytes + len(units)*perEntryBytes
-	}
-	return n
+	return headerBytes + len(m.Machine) + (len(m.Allocations)+len(m.Changes))*perEntryBytes
 }
 
 // WireSize implements transport.Sizer.

@@ -157,7 +157,7 @@ func TestWireSizesPositiveAndProportional(t *testing.T) {
 		RegisterApp{App: "a"},
 		GrantReturn{App: "a", Machine: "m"},
 		GrantUpdate{App: "a", Changes: []MachineDelta{{Machine: "m", Delta: 1}}},
-		AgentHeartbeat{Machine: "m", Allocations: map[string]map[int]int{"a": {1: 2}}},
+		AgentHeartbeat{Machine: "m", Allocations: []AllocDelta{{App: "a", UnitID: 1, Count: 2}}},
 		CapacityUpdate{App: "a"},
 		WorkPlan{App: "a", WorkerID: "w"},
 		WorkerStatus{App: "a", WorkerID: "w"},

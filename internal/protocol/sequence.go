@@ -16,17 +16,50 @@ func (s *Sequencer) Next() uint64 {
 // Current returns the most recently issued number (0 before the first Next).
 func (s *Sequencer) Current() uint64 { return s.next }
 
+// Chan enumerates the per-sender logical channels multiplexed over one
+// Dedup. Hot paths key the high-water map by (sender, Chan) instead of
+// concatenating a channel suffix onto the sender per message — at paper
+// scale those concatenations were a measurable slice of the control-plane
+// allocation and hashing budget. Free-form string channels (e.g. per-worker
+// plan channels) remain available through Observe.
+type Chan uint8
+
+const (
+	// ChanReg carries RegisterApp.
+	ChanReg Chan = iota
+	// ChanDem carries DemandUpdate.
+	ChanDem
+	// ChanRet carries GrantReturn / GrantReturnBatch.
+	ChanRet
+	// ChanUnreg carries UnregisterApp.
+	ChanUnreg
+	// ChanBad carries BadMachineReport.
+	ChanBad
+	// ChanCap carries CapacityUpdate / CapacityDelta.
+	ChanCap
+	// ChanGrant carries GrantUpdate.
+	ChanGrant
+)
+
+type chanKey struct {
+	sender string
+	ch     Chan
+}
+
 // Dedup tracks the highest sequence number seen from each sender and
 // classifies incoming numbers. Delta messages must be applied exactly once
 // and in order (paper §3.1); duplicates are dropped and gaps flagged so the
 // receiver can request (or await) a full-state sync.
 type Dedup struct {
-	last map[string]uint64
-	gaps uint64
+	last   map[string]uint64
+	lastCh map[chanKey]uint64
+	gaps   uint64
 }
 
 // NewDedup returns an empty tracker.
-func NewDedup() *Dedup { return &Dedup{last: make(map[string]uint64)} }
+func NewDedup() *Dedup {
+	return &Dedup{last: make(map[string]uint64), lastCh: make(map[chanKey]uint64)}
+}
 
 // Verdict classifies an incoming sequence number.
 type Verdict int
@@ -59,13 +92,37 @@ func (d *Dedup) Observe(sender string, seq uint64) Verdict {
 	}
 }
 
+// ObserveCh is Observe keyed by (sender, channel) — the allocation-free
+// form for the protocol's fixed channels.
+func (d *Dedup) ObserveCh(sender string, ch Chan, seq uint64) Verdict {
+	k := chanKey{sender, ch}
+	last := d.lastCh[k]
+	switch {
+	case seq <= last:
+		return Duplicate
+	case seq == last+1:
+		d.lastCh[k] = seq
+		return Accept
+	default:
+		d.lastCh[k] = seq
+		d.gaps++
+		return Gap
+	}
+}
+
 // Reset forgets a sender, e.g. after a full-state sync re-baselines it or
 // the peer restarted with a fresh sequencer.
 func (d *Dedup) Reset(sender string) { delete(d.last, sender) }
 
+// ResetCh forgets one (sender, channel) high-water mark.
+func (d *Dedup) ResetCh(sender string, ch Chan) { delete(d.lastCh, chanKey{sender, ch}) }
+
 // ResetTo sets the high-water mark for a sender, used when a full sync
 // carries the sender's current sequence number.
 func (d *Dedup) ResetTo(sender string, seq uint64) { d.last[sender] = seq }
+
+// ResetToCh sets the high-water mark for one (sender, channel).
+func (d *Dedup) ResetToCh(sender string, ch Chan, seq uint64) { d.lastCh[chanKey{sender, ch}] = seq }
 
 // Gaps returns the number of gaps observed since construction.
 func (d *Dedup) Gaps() uint64 { return d.gaps }
@@ -99,6 +156,21 @@ func (g *EpochGate) Stale(epoch int, d *Dedup, channel string) bool {
 	if epoch > g.epoch {
 		g.epoch = epoch
 		d.Reset(channel)
+	}
+	return false
+}
+
+// StaleCh is Stale for a (sender, Chan)-keyed dedup channel.
+func (g *EpochGate) StaleCh(epoch int, d *Dedup, sender string, ch Chan) bool {
+	if epoch == 0 {
+		return false
+	}
+	if epoch < g.epoch {
+		return true
+	}
+	if epoch > g.epoch {
+		g.epoch = epoch
+		d.ResetCh(sender, ch)
 	}
 	return false
 }

@@ -1,6 +1,10 @@
 package resource
 
-import "fmt"
+import (
+	"fmt"
+	"slices"
+	"strings"
+)
 
 // ScheduleUnit is the unit-size resource description an application master
 // schedules in (paper §3.2.2): e.g. {1 core CPU, 2 GB Memory} at a given
@@ -76,4 +80,17 @@ func (h LocalityHint) String() string {
 		return fmt.Sprintf("cluster*%d", h.Count)
 	}
 	return fmt.Sprintf("%s(%s)*%d", h.Type, h.Value, h.Count)
+}
+
+// SortHints orders hints by (Type, Value) in place, allocation-free (the
+// batched-round merge path must not pay sort.Slice's reflective swapper per
+// (app, unit) per round). Equal keys may be reordered; every caller either
+// has unique keys or merges equal keys by summing, so stability is moot.
+func SortHints(hints []LocalityHint) {
+	slices.SortFunc(hints, func(a, b LocalityHint) int {
+		if a.Type != b.Type {
+			return int(a.Type) - int(b.Type)
+		}
+		return strings.Compare(a.Value, b.Value)
+	})
 }

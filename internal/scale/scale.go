@@ -84,6 +84,16 @@ type Config struct {
 	// locality tree (the pre-optimization baseline).
 	LegacyScan bool `json:"legacy_scan"`
 
+	// Shards > 1 runs the FuxiMaster scheduling core with sharded parallel
+	// sweeps (master.Options.Shards); the decision stream is byte-identical
+	// to Shards <= 1 by construction.
+	Shards int `json:"shards,omitempty"`
+
+	// RoundWindow > 0 batches demand and returns into scheduling rounds of
+	// this width (master.Config.BatchWindow) — the configuration under
+	// which wide sweeps exist for the shards to parallelize.
+	RoundWindow sim.Time `json:"round_window_us,omitempty"`
+
 	// WallBudget bounds real elapsed time (0 = unlimited): the run stops
 	// at the next slice boundary once exceeded and throughput is computed
 	// over the work actually done. It exists so the slow baseline can be
@@ -167,11 +177,22 @@ type Result struct {
 	MessagesSent      uint64  `json:"messages_sent"`
 	MessageBatches    uint64  `json:"message_batches"`
 
-	CompletedApps int      `json:"completed_apps"`
-	SimSeconds    float64  `json:"sim_seconds"`
-	Invariants    []string `json:"invariant_violations,omitempty"`
+	CompletedApps int `json:"completed_apps"`
+	// Truncated marks a run stopped (by WallBudget or Horizon) before every
+	// app completed: its latency aggregates cover only the demand answered
+	// before the cut and are NOT comparable to a run-to-completion section —
+	// use the compare result's common-prefix latency for that.
+	Truncated  bool     `json:"truncated,omitempty"`
+	SimSeconds float64  `json:"sim_seconds"`
+	Invariants []string `json:"invariant_violations,omitempty"`
 	// InvariantChecks counts checker invocations (0 when not attached).
 	InvariantChecks int `json:"invariant_checks,omitempty"`
+
+	// Sharded-sweep reducer outcomes (Shards > 1 only): sweeps taken
+	// parallel, and the fraction of machines committed straight from
+	// validated speculative proposals (the rest re-ran serially).
+	ParallelSweeps      uint64  `json:"parallel_sweeps,omitempty"`
+	ParallelCommitRatio float64 `json:"parallel_commit_ratio,omitempty"`
 
 	// Master-failover measurements (virtual milliseconds), present when
 	// MasterFailoverAt is non-empty. Recovery is crash → soft state rebuilt
@@ -196,15 +217,72 @@ type Result struct {
 	// failover-transparency test (excluded from JSON: at paper scale it
 	// would dominate the benchmark file).
 	Completed []string `json:"-"`
+	// AppLatency aggregates demand-to-grant latency per application, for
+	// the common-completed-prefix comparison across runs (excluded from
+	// JSON for the same reason as Completed).
+	AppLatency map[string]AppLat `json:"-"`
 }
 
-// CompareResult pairs an optimized run with its same-build baseline, plus
-// (when requested) the master-failover scenario run on the same workload.
+// AppLat is one application's demand-to-grant latency aggregate.
+type AppLat struct {
+	SumMS float64
+	N     int
+	MaxMS float64
+}
+
+// PrefixLatency reports demand-to-grant latency restricted to the
+// applications every compared run completed — the apples-to-apples view
+// when a wall-budgeted baseline was truncated mid-workload (a truncated
+// run's whole-run latency_mean covers only the easy early demand and is
+// meaningless next to a run-to-completion section).
+type PrefixLatency struct {
+	Apps   int                `json:"apps"`
+	MeanMS map[string]float64 `json:"latency_mean_ms"`
+	MaxMS  map[string]float64 `json:"latency_max_ms"`
+}
+
+// Budgets are the perf regression gates scalesim enforces (and records in
+// BENCH_scale.json): a run whose allocation pressure per decision or
+// message volume per grant exceeds its budget exits non-zero in CI.
+type Budgets struct {
+	MaxAllocsPerDecision float64 `json:"max_allocs_per_decision"`
+	MaxMessagesPerGrant  float64 `json:"max_messages_per_grant"`
+}
+
+// CheckBudgets returns the budget violations of this run (nil when within
+// budget; zero-valued budgets are not enforced).
+func (r *Result) CheckBudgets(b Budgets) []string {
+	var bad []string
+	if b.MaxAllocsPerDecision > 0 && r.AllocsPerDecision > b.MaxAllocsPerDecision {
+		bad = append(bad, fmt.Sprintf("allocs/decision %.1f exceeds budget %.1f",
+			r.AllocsPerDecision, b.MaxAllocsPerDecision))
+	}
+	if b.MaxMessagesPerGrant > 0 && r.Grants > 0 {
+		if mpg := float64(r.MessagesSent) / float64(r.Grants); mpg > b.MaxMessagesPerGrant {
+			bad = append(bad, fmt.Sprintf("messages/grant %.2f exceeds budget %.2f",
+				mpg, b.MaxMessagesPerGrant))
+		}
+	}
+	return bad
+}
+
+// CompareResult pairs an optimized run with its same-build baseline, the
+// sharded parallel runs, and (when requested) the master-failover scenario
+// on the same workload.
 type CompareResult struct {
 	Baseline  Result  `json:"baseline"`
 	Optimized Result  `json:"optimized"`
 	Speedup   float64 `json:"speedup"`
-	Failover  *Result `json:"failover,omitempty"`
+	// Parallel holds one run per requested shard count (rounds enabled),
+	// and SpeedupParallel is the best parallel throughput over the serial
+	// optimized section's.
+	Parallel        []Result `json:"parallel,omitempty"`
+	SpeedupParallel float64  `json:"speedup_parallel,omitempty"`
+	// CommonPrefixLatency compares latency over the apps every section
+	// completed (see PrefixLatency).
+	CommonPrefixLatency *PrefixLatency `json:"common_prefix_latency,omitempty"`
+	Budgets             *Budgets       `json:"budgets,omitempty"`
+	Failover            *Result        `json:"failover,omitempty"`
 }
 
 // scaleApp drives one application master's churn: request, hold, return,
@@ -235,6 +313,7 @@ type harness struct {
 	rng     *rand.Rand
 
 	latency   *metrics.Histogram
+	appLat    map[string]AppLat
 	grants    uint64
 	revokes   uint64
 	completed int
@@ -342,12 +421,15 @@ func Run(cfg Config) (*Result, error) {
 
 	mcfg := master.DefaultConfig("fm-scale-1")
 	mcfg.Sched.LegacyScan = cfg.LegacyScan
+	mcfg.Sched.Shards = cfg.Shards
+	mcfg.BatchWindow = cfg.RoundWindow
 	h := &harness{
 		cfg: cfg, eng: eng, net: net, top: top, reg: reg,
 		rng:        rand.New(rand.NewSource(cfg.Seed + 1)),
 		latency:    reg.Histogram("scale.demand_to_grant_ms"),
 		recovery:   reg.Histogram("scale.master_recovery_ms"),
 		schedPause: reg.Histogram("scale.sched_pause_ms"),
+		appLat:     make(map[string]AppLat, cfg.Apps),
 	}
 	if len(cfg.MasterFailoverAt) > 0 {
 		mcfg.OnRecovered = h.onRecovered
@@ -459,6 +541,16 @@ func Run(cfg Config) (*Result, error) {
 		res.AllocsPerDecision = float64(after.Mallocs-before.Mallocs) / float64(res.Decisions)
 	}
 	res.Completed = h.names
+	res.AppLatency = h.appLat
+	res.Truncated = h.completed < cfg.Apps
+	if s := h.primarySched(); s != nil {
+		if ps := s.ParallelStats(); ps.Sweeps > 0 {
+			res.ParallelSweeps = ps.Sweeps
+			if ps.Committed+ps.Reruns > 0 {
+				res.ParallelCommitRatio = float64(ps.Committed) / float64(ps.Committed+ps.Reruns)
+			}
+		}
+	}
 	if h.checker != nil {
 		res.Invariants = h.checker.Violations
 		res.InvariantChecks = h.checker.Checks
@@ -480,17 +572,28 @@ func Run(cfg Config) (*Result, error) {
 	return res, nil
 }
 
-// RunCompare measures the optimized scheduler and the legacy baseline on
-// the same workload, baseline rate-limited by baselineBudget wall time.
-func RunCompare(cfg Config, baselineBudget time.Duration) (*CompareResult, error) {
+// DefaultRoundWindow is the scheduling-round width the parallel sections
+// use when the configuration does not set one.
+const DefaultRoundWindow = 20 * sim.Millisecond
+
+// RunCompare measures the serial optimized scheduler, the legacy baseline
+// (rate-limited by baselineBudget wall time), and — for each requested
+// shard count — the sharded parallel scheduler with batched rounds, all on
+// the same seeded workload. Latency over the common completed app prefix is
+// reported so the (typically truncated) baseline stays comparable.
+func RunCompare(cfg Config, baselineBudget time.Duration, shardCounts []int) (*CompareResult, error) {
 	opt := cfg
 	opt.LegacyScan = false
+	opt.Shards = 0
+	opt.RoundWindow = 0
 	optRes, err := Run(opt)
 	if err != nil {
 		return nil, err
 	}
 	base := cfg
 	base.LegacyScan = true
+	base.Shards = 0
+	base.RoundWindow = 0
 	base.WallBudget = baselineBudget
 	baseRes, err := Run(base)
 	if err != nil {
@@ -500,7 +603,69 @@ func RunCompare(cfg Config, baselineBudget time.Duration) (*CompareResult, error
 	if baseRes.DecisionsPerSec > 0 {
 		out.Speedup = optRes.DecisionsPerSec / baseRes.DecisionsPerSec
 	}
+	sections := map[string]*Result{"baseline": baseRes, "optimized": optRes}
+	for _, p := range shardCounts {
+		par := cfg
+		par.LegacyScan = false
+		par.Shards = p
+		if par.RoundWindow == 0 {
+			par.RoundWindow = DefaultRoundWindow
+		}
+		parRes, err := Run(par)
+		if err != nil {
+			return nil, err
+		}
+		out.Parallel = append(out.Parallel, *parRes)
+		sections[fmt.Sprintf("parallel-%d", p)] = parRes
+		if optRes.DecisionsPerSec > 0 {
+			if sp := parRes.DecisionsPerSec / optRes.DecisionsPerSec; sp > out.SpeedupParallel {
+				out.SpeedupParallel = sp
+			}
+		}
+	}
+	out.CommonPrefixLatency = commonPrefixLatency(sections)
 	return out, nil
+}
+
+// commonPrefixLatency restricts every section's demand-to-grant latency to
+// the applications all sections completed.
+func commonPrefixLatency(sections map[string]*Result) *PrefixLatency {
+	var common map[string]bool
+	for _, r := range sections {
+		set := make(map[string]bool, len(r.Completed))
+		for _, app := range r.Completed {
+			if common == nil || common[app] {
+				set[app] = true
+			}
+		}
+		common = set
+	}
+	if len(common) == 0 {
+		return nil
+	}
+	pl := &PrefixLatency{
+		Apps:   len(common),
+		MeanMS: make(map[string]float64, len(sections)),
+		MaxMS:  make(map[string]float64, len(sections)),
+	}
+	for name, r := range sections {
+		var sum float64
+		var n int
+		var max float64
+		for app := range common {
+			al := r.AppLatency[app]
+			sum += al.SumMS
+			n += al.N
+			if al.MaxMS > max {
+				max = al.MaxMS
+			}
+		}
+		if n > 0 {
+			pl.MeanMS[name] = sum / float64(n)
+		}
+		pl.MaxMS[name] = max
+	}
+	return pl
 }
 
 // unitSize varies container shapes across units so the multi-dimensional
@@ -582,12 +747,20 @@ func (a *scaleApp) onGrant(unitID int, machine string, count int) {
 		h.pauseAt = 0
 	}
 	if at, ok := a.pendingReq[unitID]; ok {
-		h.latency.Observe(float64(h.eng.Now()-at) / float64(sim.Millisecond))
+		ms := float64(h.eng.Now()-at) / float64(sim.Millisecond)
+		h.latency.Observe(ms)
+		al := h.appLat[a.name]
+		al.SumMS += ms
+		al.N++
+		if ms > al.MaxMS {
+			al.MaxMS = ms
+		}
+		h.appLat[a.name] = al
 		delete(a.pendingReq, unitID)
 	}
 	// Hold the containers, then return them; revoked containers skip the
 	// return (they re-enter via onRevoke's re-request).
-	h.eng.After(h.cfg.HoldTime, func() {
+	h.eng.PostFunc(h.cfg.HoldTime, func() {
 		n := count
 		if held := a.am.Held(unitID, machine); held < n {
 			n = held

@@ -72,7 +72,7 @@ func TestLegacyParity(t *testing.T) {
 
 func TestRunCompareProducesSpeedup(t *testing.T) {
 	cfg := tiny()
-	cmp, err := RunCompare(cfg, time.Minute)
+	cmp, err := RunCompare(cfg, time.Minute, []int{4})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -81,6 +81,57 @@ func TestRunCompareProducesSpeedup(t *testing.T) {
 	}
 	if cmp.Optimized.Config.LegacyScan || !cmp.Baseline.Config.LegacyScan {
 		t.Error("compare ran the wrong scheduler variants")
+	}
+	if len(cmp.Parallel) != 1 || cmp.Parallel[0].Config.Shards != 4 {
+		t.Fatalf("parallel sections = %+v, want one with shards=4", len(cmp.Parallel))
+	}
+	if cmp.Parallel[0].Config.RoundWindow != DefaultRoundWindow {
+		t.Errorf("parallel round window = %v, want default", cmp.Parallel[0].Config.RoundWindow)
+	}
+	if cmp.CommonPrefixLatency == nil || cmp.CommonPrefixLatency.Apps == 0 {
+		t.Error("no common-prefix latency computed")
+	}
+}
+
+// TestParallelHarnessDeterministicAcrossShards runs the full control plane
+// (rounds enabled) at shard counts 1, 4 and 8 on the same seed: decision
+// counts, message counts, completion sets and virtual end times must be
+// identical — the tentpole's determinism guarantee measured end to end, not
+// just at the scheduler API.
+func TestParallelHarnessDeterministicAcrossShards(t *testing.T) {
+	var ref *Result
+	for _, p := range []int{1, 4, 8} {
+		cfg := tiny()
+		cfg.Shards = p
+		cfg.RoundWindow = DefaultRoundWindow
+		res, err := Run(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.CompletedApps != cfg.Apps {
+			t.Fatalf("shards=%d: completed %d of %d apps", p, res.CompletedApps, cfg.Apps)
+		}
+		if len(res.Invariants) > 0 {
+			t.Fatalf("shards=%d: invariant violations: %v", p, res.Invariants)
+		}
+		if ref == nil {
+			ref = res
+			continue
+		}
+		if res.Grants != ref.Grants || res.Revokes != ref.Revokes {
+			t.Errorf("shards=%d: decisions %d/%d diverge from shards=1 %d/%d",
+				p, res.Grants, res.Revokes, ref.Grants, ref.Revokes)
+		}
+		if res.MessagesSent != ref.MessagesSent || res.EventsFired != ref.EventsFired {
+			t.Errorf("shards=%d: traffic %d msgs/%d events diverges from shards=1 %d/%d",
+				p, res.MessagesSent, res.EventsFired, ref.MessagesSent, ref.EventsFired)
+		}
+		if res.SimSeconds != ref.SimSeconds {
+			t.Errorf("shards=%d: sim end %.6f diverges from %.6f", p, res.SimSeconds, ref.SimSeconds)
+		}
+		if res.LatencyP99MS != ref.LatencyP99MS {
+			t.Errorf("shards=%d: p99 %.3f diverges from %.3f", p, res.LatencyP99MS, ref.LatencyP99MS)
+		}
 	}
 }
 

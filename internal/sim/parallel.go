@@ -1,0 +1,40 @@
+package sim
+
+import "sync"
+
+// RunParallel is the engine's parallel-phase primitive: it runs fn(0) …
+// fn(n-1) concurrently — shard 0 on the calling goroutine, the rest on
+// fresh goroutines — and returns once all have finished. It exists so a
+// component handling one event may fork a pure compute phase across cores
+// (the sharded FuxiMaster scheduling round) without breaking the engine's
+// single-threaded discipline: the event handler still owns the simulation
+// for its whole duration, and the forked workers must neither touch the
+// engine nor mutate any state another worker (or the subsequent join code)
+// reads — share memory read-only, write only shard-local state, and merge
+// after the join. The WaitGroup join gives the caller a happens-before
+// edge over every worker's writes.
+//
+// n <= 1 runs fn(0) inline with zero overhead, so callers can pass their
+// configured shard count unconditionally.
+func RunParallel(n int, fn func(shard int)) {
+	if n <= 1 {
+		if n == 1 {
+			fn(0)
+		}
+		return
+	}
+	var wg sync.WaitGroup
+	wg.Add(n - 1)
+	for i := 1; i < n; i++ {
+		go func(shard int) {
+			defer wg.Done()
+			fn(shard)
+		}(i)
+	}
+	fn(0)
+	wg.Wait()
+}
+
+// ParallelPhase forks a compute phase across n workers from inside an event
+// handler; see RunParallel for the sharing discipline workers must follow.
+func (e *Engine) ParallelPhase(n int, fn func(shard int)) { RunParallel(n, fn) }

@@ -34,9 +34,14 @@ func (t Time) Seconds() float64 { return float64(t) / float64(Second) }
 func (t Time) String() string { return t.Duration().String() }
 
 type event struct {
-	at   Time
-	seq  uint64 // tie-breaker preserving scheduling order at equal times
-	fn   func()
+	at  Time
+	seq uint64 // tie-breaker preserving scheduling order at equal times
+	fn  func()
+	// fnA/arg is the closure-free form used by Post: high-volume callers
+	// (message delivery) pass a long-lived function and a pooled argument
+	// record instead of allocating a fresh closure per event.
+	fnA  func(any)
+	arg  any
 	gone bool // set true when the event was cancelled
 }
 
@@ -166,6 +171,39 @@ func (e *Engine) After(d Time, fn func()) Cancel {
 	return e.At(e.now+d, fn)
 }
 
+// Post schedules fn(arg) after delay d with no cancellation handle — the
+// allocation-free fast path for fire-and-forget events. A warm engine
+// reuses a pooled event struct and allocates nothing: callers that would
+// otherwise capture state in a per-event closure (the transport's million
+// message deliveries per stress run) pass a long-lived fn and a pooled arg
+// record instead.
+func (e *Engine) Post(d Time, fn func(any), arg any) {
+	at := e.now + d
+	if d < 0 || at < e.now {
+		at = e.now
+	}
+	var ev *event
+	if n := len(e.pool); n > 0 {
+		ev = e.pool[n-1]
+		e.pool[n-1] = nil
+		e.pool = e.pool[:n-1]
+		*ev = event{at: at, seq: e.seq, fnA: fn, arg: arg}
+	} else {
+		ev = &event{at: at, seq: e.seq, fnA: fn, arg: arg}
+	}
+	e.seq++
+	e.queue.push(ev)
+}
+
+// callFunc adapts a plain func() to the Post signature, so periodic timers
+// reschedule without allocating a cancel closure per tick.
+func callFunc(a any) { a.(func())() }
+
+// PostFunc schedules fn after delay d with no cancellation handle: After
+// without the per-call Cancel closure, for high-volume fire-and-forget
+// timers (per-grant hold expiries, flush arming).
+func (e *Engine) PostFunc(d Time, fn func()) { e.Post(d, callFunc, fn) }
+
 // Every schedules fn every interval, first firing after one interval. The
 // returned Cancel stops future firings.
 func (e *Engine) Every(interval Time, fn func()) Cancel {
@@ -180,10 +218,10 @@ func (e *Engine) Every(interval Time, fn func()) Cancel {
 		}
 		fn()
 		if !stopped && !e.halted {
-			e.After(interval, tick)
+			e.Post(interval, callFunc, tick)
 		}
 	}
-	e.After(interval, tick)
+	e.Post(interval, callFunc, tick)
 	return func() { stopped = true }
 }
 
@@ -207,15 +245,20 @@ func (e *Engine) run(until Time) uint64 {
 			break
 		}
 		e.queue.pop()
-		gone, at, fn := next.gone, next.at, next.fn
-		next.fn = nil
+		gone, at := next.gone, next.at
+		fn, fnA, arg := next.fn, next.fnA, next.arg
+		next.fn, next.fnA, next.arg = nil, nil, nil
 		e.pool = append(e.pool, next)
 		if gone {
 			continue
 		}
 		e.now = at
 		e.fired++
-		fn()
+		if fnA != nil {
+			fnA(arg)
+		} else {
+			fn()
+		}
 	}
 	return e.fired - start
 }

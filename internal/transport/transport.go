@@ -55,17 +55,53 @@ type Net struct {
 	Tap func(from, to string, msg Message)
 
 	stats Stats
+	// batchPool recycles the in-flight []Message copies SendBatch makes:
+	// a batch's backing array returns to the pool after its delivery event
+	// hands the messages to the receiver, so steady-state batched fan-out
+	// (the master's per-agent grant/capacity roll-ups) reuses a small set
+	// of buffers instead of allocating one per batch.
+	batchPool [][]Message
+	// Deliveries ride the engine's closure-free Post path: deliverFn is
+	// bound once and each in-flight message borrows a pooled delivery
+	// record, so a warm network allocates nothing per Send beyond the
+	// message itself.
+	deliverFn func(any)
+	dpool     []*delivery
+}
+
+// delivery is one in-flight message (or batch) on the simulated wire.
+type delivery struct {
+	from, to string
+	msg      Message
+	batch    []Message
+}
+
+func (n *Net) getDelivery() *delivery {
+	if k := len(n.dpool); k > 0 {
+		d := n.dpool[k-1]
+		n.dpool[k-1] = nil
+		n.dpool = n.dpool[:k-1]
+		return d
+	}
+	return &delivery{}
+}
+
+func (n *Net) putDelivery(d *delivery) {
+	d.from, d.to, d.msg, d.batch = "", "", nil, nil
+	n.dpool = append(n.dpool, d)
 }
 
 // NewNet returns a network attached to the engine with a default intra-
 // datacenter latency of 200µs.
 func NewNet(eng *sim.Engine) *Net {
-	return &Net{
+	n := &Net{
 		eng:     eng,
 		eps:     make(map[string]Handler),
 		down:    make(map[string]bool),
 		Latency: 200 * sim.Microsecond,
 	}
+	n.deliverFn = n.deliver
+	return n
 }
 
 // Register installs (or replaces) the handler for endpoint name. Replacing
@@ -168,12 +204,32 @@ func (n *Net) SendBatch(from, to string, msgs []Message) {
 		n.stats.Dropped += uint64(len(msgs))
 		return
 	}
-	batch := append([]Message(nil), msgs...) // senders may reuse msgs
-	n.deliverBatchAfterLatency(from, to, batch)
+	// Senders may reuse msgs, so each delivery gets its own pooled copy
+	// (returned to the pool once the receiver has consumed it).
+	n.deliverBatchAfterLatency(from, to, n.copyBatch(msgs))
 	if n.DupRate > 0 && n.eng.Rand().Float64() < n.DupRate {
-		n.stats.Duplicated += uint64(len(batch))
-		n.deliverBatchAfterLatency(from, to, batch)
+		n.stats.Duplicated += uint64(len(msgs))
+		n.deliverBatchAfterLatency(from, to, n.copyBatch(msgs))
 	}
+}
+
+// copyBatch snapshots msgs into a buffer drawn from the batch pool.
+func (n *Net) copyBatch(msgs []Message) []Message {
+	var batch []Message
+	if k := len(n.batchPool); k > 0 {
+		batch = n.batchPool[k-1][:0]
+		n.batchPool[k-1] = nil
+		n.batchPool = n.batchPool[:k-1]
+	}
+	return append(batch, msgs...)
+}
+
+// recycleBatch clears and returns a delivered batch buffer to the pool.
+func (n *Net) recycleBatch(batch []Message) {
+	for i := range batch {
+		batch[i] = nil
+	}
+	n.batchPool = append(n.batchPool, batch[:0])
 }
 
 func (n *Net) deliverBatchAfterLatency(from, to string, batch []Message) {
@@ -181,21 +237,9 @@ func (n *Net) deliverBatchAfterLatency(from, to string, batch []Message) {
 	if n.Jitter > 0 {
 		d += sim.Time(n.eng.Rand().Int63n(int64(n.Jitter)))
 	}
-	n.eng.After(d, func() {
-		if n.down[to] || n.down[from] {
-			n.stats.Dropped += uint64(len(batch))
-			return
-		}
-		h, ok := n.eps[to]
-		if !ok {
-			n.stats.Dropped += uint64(len(batch))
-			return
-		}
-		n.stats.Delivered += uint64(len(batch))
-		for _, msg := range batch {
-			h(from, msg)
-		}
-	})
+	rec := n.getDelivery()
+	rec.from, rec.to, rec.batch = from, to, batch
+	n.eng.Post(d, n.deliverFn, rec)
 }
 
 func (n *Net) deliverAfterLatency(from, to string, msg Message) {
@@ -203,19 +247,36 @@ func (n *Net) deliverAfterLatency(from, to string, msg Message) {
 	if n.Jitter > 0 {
 		d += sim.Time(n.eng.Rand().Int63n(int64(n.Jitter)))
 	}
-	n.eng.After(d, func() {
-		if n.down[to] || n.down[from] {
-			n.stats.Dropped++
-			return
+	rec := n.getDelivery()
+	rec.from, rec.to, rec.msg = from, to, msg
+	n.eng.Post(d, n.deliverFn, rec)
+}
+
+// deliver lands one in-flight record: the arrival half of Send/SendBatch.
+func (n *Net) deliver(a any) {
+	rec := a.(*delivery)
+	from, to := rec.from, rec.to
+	count := uint64(1)
+	if rec.batch != nil {
+		count = uint64(len(rec.batch))
+	}
+	h, ok := n.eps[to]
+	if n.down[to] || n.down[from] || !ok {
+		n.stats.Dropped += count
+	} else {
+		n.stats.Delivered += count
+		if rec.batch != nil {
+			for _, msg := range rec.batch {
+				h(from, msg)
+			}
+		} else {
+			h(from, rec.msg)
 		}
-		h, ok := n.eps[to]
-		if !ok {
-			n.stats.Dropped++
-			return
-		}
-		n.stats.Delivered++
-		h(from, msg)
-	})
+	}
+	if rec.batch != nil {
+		n.recycleBatch(rec.batch)
+	}
+	n.putDelivery(rec)
 }
 
 // String summarizes traffic for logs.
