@@ -8,9 +8,22 @@
 // -shard-counts, reporting speedups and the common-completed-prefix latency
 // so the wall-budget-truncated baseline stays comparable.
 //
+// With -gateway the workload instead flows through the multi-tenant
+// submission gateway (internal/gateway): an open-loop load generator
+// simulating a million-tenant population submits jobs through admission
+// control, rate limiting and weighted-fair dequeue, through a master
+// failover, with the admission-conservation invariant checked; the
+// measurements land in the `gateway` section of the output (use -merge to
+// fold that section into an existing BENCH_scale.json without discarding
+// the other sections).
+//
 // With -check-budgets the run is a CI regression gate: it exits non-zero
-// when allocs/decision or messages/grant exceed the budgets (which are also
-// recorded in the output JSON).
+// when allocs/decision, messages/grant, or (gateway mode) allocs/admission
+// and messages/admission exceed the budgets (which are also recorded in the
+// output JSON). With -prev the budgets default to the ones recorded in a
+// previous BENCH_scale.json, and the report is tagged with any sections
+// this build produces that the old baseline predates (a pre-gateway
+// baseline missing the `gateway` section is a tagged skip, not an error).
 //
 // Usage:
 //
@@ -18,6 +31,8 @@
 //	go run ./cmd/scalesim -smoke              # CI-sized smoke run
 //	go run ./cmd/scalesim -compare -out BENCH_scale.json
 //	go run ./cmd/scalesim -smoke -check-budgets   # perf regression gate
+//	go run ./cmd/scalesim -gateway -merge -out BENCH_scale.json
+//	go run ./cmd/scalesim -gateway -smoke -check-budgets -prev BENCH_scale.json
 package main
 
 import (
@@ -40,6 +55,8 @@ func main() {
 		smoke    = flag.Bool("smoke", false, "run the CI-sized smoke configuration (100 machines)")
 		compare  = flag.Bool("compare", false, "also run the legacy-scheduler baseline and the parallel sections, reporting speedups")
 		out      = flag.String("out", "BENCH_scale.json", "output JSON path (- for stdout only)")
+		merge    = flag.Bool("merge", false, "merge this run's section into an existing -out file instead of overwriting it (single-run modes only)")
+		prev     = flag.String("prev", "", "previous BENCH_scale.json: budgets default to its recorded values and missing sections are tagged as skipped, not errors")
 		racks    = flag.Int("racks", 0, "override rack count")
 		perRack  = flag.Int("machines-per-rack", 0, "override machines per rack")
 		apps     = flag.Int("apps", 0, "override application count")
@@ -54,37 +71,68 @@ func main() {
 		roundMS   = flag.Int("round-window-ms", 0, "scheduling-round width in virtual ms (0 = default when sharded, off otherwise)")
 		mfailover = flag.Bool("master-failover", false,
 			"crash the active FuxiMaster mid-run (hot-standby promotion) and attach the cluster-wide invariant checker")
-		mfCount    = flag.Int("master-failovers", 3, "number of mid-run master crashes in -master-failover mode")
-		gate       = flag.Bool("check-budgets", false, "exit non-zero when the run exceeds the perf budgets (CI regression gate)")
-		maxAllocs  = flag.Float64("max-allocs-per-decision", 25, "allocs/decision budget enforced by -check-budgets")
-		maxMsgPerG = flag.Float64("max-messages-per-grant", 5.5, "messages/grant budget enforced by -check-budgets")
+		mfCount = flag.Int("master-failovers", 3, "number of mid-run master crashes in -master-failover mode")
+		gw      = flag.Bool("gateway", false,
+			"run the multi-tenant submission-gateway scenario (1M-user load generator, admission control, master failover, admission-conservation checks)")
+		gwUsers      = flag.Int("users", 0, "override the gateway tenant population")
+		gwSubs       = flag.Int("submissions", 0, "override the gateway submission count")
+		gwFailovers  = flag.Int("gateway-failovers", 1, "number of mid-run master crashes in -gateway mode (0 disables)")
+		gate         = flag.Bool("check-budgets", false, "exit non-zero when the run exceeds the perf budgets (CI regression gate)")
+		maxAllocs    = flag.Float64("max-allocs-per-decision", 25, "allocs/decision budget enforced by -check-budgets")
+		maxMsgPerG   = flag.Float64("max-messages-per-grant", 5.5, "messages/grant budget enforced by -check-budgets")
+		maxAllocsAdm = flag.Float64("max-allocs-per-admission", 150, "allocs/admission budget enforced by -check-budgets in -gateway mode")
+		maxMsgAdm    = flag.Float64("max-messages-per-admission", 25, "messages/admission budget enforced by -check-budgets in -gateway mode")
 	)
 	flag.Parse()
 
+	// cfg is the classic workload configuration; gwCfg the gateway-mode
+	// one. They are kept separate so `-compare -gateway` runs the
+	// baseline/optimized/parallel sections on the classic workload (keeping
+	// them comparable with prior baselines) and only the gateway section on
+	// the gateway workload.
 	cfg := scale.DefaultConfig()
+	gwCfg := scale.DefaultGatewayConfig()
 	if *smoke {
 		cfg = scale.SmokeConfig()
+		gwCfg = scale.SmokeGatewayConfig()
 	}
-	if *racks > 0 {
-		cfg.Racks = *racks
+	override := func(c *scale.Config) {
+		if *racks > 0 {
+			c.Racks = *racks
+		}
+		if *perRack > 0 {
+			c.MachinesPerRack = *perRack
+		}
+		if *horizonS > 0 {
+			c.Horizon = sim.Time(*horizonS) * sim.Second
+		}
+		c.Seed = *seed
+		if *roundMS > 0 {
+			c.RoundWindow = sim.Time(*roundMS) * sim.Millisecond
+		}
 	}
-	if *perRack > 0 {
-		cfg.MachinesPerRack = *perRack
-	}
+	override(&cfg)
+	override(&gwCfg)
 	if *apps > 0 {
 		cfg.Apps = *apps
 	}
 	if *units > 0 {
 		cfg.UnitsPerApp = *units
 	}
-	if *horizonS > 0 {
-		cfg.Horizon = sim.Time(*horizonS) * sim.Second
-	}
-	cfg.Seed = *seed
 	cfg.LegacyScan = *legacy
-	if *roundMS > 0 {
-		cfg.RoundWindow = sim.Time(*roundMS) * sim.Millisecond
+	if *gwUsers > 0 {
+		gwCfg.GatewayUsers = *gwUsers
 	}
+	if *gwSubs > 0 {
+		gwCfg.GatewaySubmissions = *gwSubs
+	}
+	if *shards != 0 {
+		gwCfg.Shards = *shards
+		if gwCfg.Shards > 1 && gwCfg.RoundWindow == 0 {
+			gwCfg.RoundWindow = scale.DefaultRoundWindow
+		}
+	}
+	gwCfg = gwCfg.WithMasterFailovers(*gwFailovers)
 
 	shardCounts, err := parseShardCounts(*shardList)
 	if err != nil {
@@ -107,8 +155,16 @@ func main() {
 		}
 	}
 
-	budgets := scale.Budgets{MaxAllocsPerDecision: *maxAllocs, MaxMessagesPerGrant: *maxMsgPerG}
+	budgets := scale.Budgets{
+		MaxAllocsPerDecision:    *maxAllocs,
+		MaxMessagesPerGrant:     *maxMsgPerG,
+		MaxAllocsPerAdmission:   *maxAllocsAdm,
+		MaxMessagesPerAdmission: *maxMsgAdm,
+	}
+	prevSections, prevDiffBase := loadPrev(*prev, &budgets)
+
 	var payload any
+	mergeKey := "run"
 	broken := false
 	gateViolations := func(label string, r *scale.Result) {
 		if !*gate {
@@ -148,6 +204,7 @@ func main() {
 		for i := range cmp.Parallel {
 			broken = broken || len(cmp.Parallel[i].Invariants) > 0
 		}
+		produced := []string{"baseline", "optimized", "parallel"}
 		if *mfailover {
 			fcfg := cfg.WithMasterFailovers(*mfCount)
 			// The failover scenario exercises the full PR 3 configuration:
@@ -165,8 +222,37 @@ func main() {
 			printResult("master-failover", fo)
 			gateViolations("failover", fo)
 			broken = broken || len(fo.Invariants) > 0 || fo.CompletedApps != fo.Config.Apps
+			produced = append(produced, "failover")
 		}
+		if *gw {
+			gres, err := scale.Run(gwCfg)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "scalesim:", err)
+				os.Exit(1)
+			}
+			cmp.GatewayRun = gres
+			printResult("gateway", gres)
+			gateViolations("gateway", gres)
+			broken = broken || gatewayBroken(gres)
+			produced = append(produced, "gateway")
+		}
+		cmp.Prev = diffPrev(prevDiffBase, prevSections, produced)
 		payload = cmp
+	case *gw:
+		res, err := scale.Run(gwCfg)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "scalesim:", err)
+			os.Exit(1)
+		}
+		res.Prev = diffPrev(prevDiffBase, prevSections, []string{"gateway"})
+		payload = res
+		mergeKey = "gateway"
+		printResult("gateway", res)
+		gateViolations("gateway", res)
+		// The scenario's contract: every submission settles (completed or
+		// deterministically shed) despite the master crashes, and the
+		// checker — admission conservation included — stays silent.
+		broken = broken || gatewayBroken(res)
 	case *mfailover:
 		fcfg := cfg.WithMasterFailovers(*mfCount)
 		if *shards != 0 {
@@ -180,7 +266,9 @@ func main() {
 			fmt.Fprintln(os.Stderr, "scalesim:", err)
 			os.Exit(1)
 		}
+		res.Prev = diffPrev(prevDiffBase, prevSections, []string{"failover"})
 		payload = res
+		mergeKey = "failover"
 		printResult("master-failover", res)
 		gateViolations("master-failover", res)
 		// The scenario's contract: every app completes despite the crashes
@@ -198,6 +286,7 @@ func main() {
 			fmt.Fprintln(os.Stderr, "scalesim:", err)
 			os.Exit(1)
 		}
+		res.Prev = diffPrev(prevDiffBase, prevSections, []string{"optimized"})
 		payload = res
 		printResult("run", res)
 		gateViolations("run", res)
@@ -205,13 +294,15 @@ func main() {
 	}
 
 	if *out != "-" {
-		data, err := json.MarshalIndent(payload, "", "  ")
-		if err != nil {
-			fmt.Fprintln(os.Stderr, "scalesim:", err)
-			os.Exit(1)
+		// Refresh the recorded budgets on merge only when -check-budgets is
+		// in force: an unrelated merge must not quietly overwrite the
+		// tightened thresholds a compare run recorded (CI's -prev gate
+		// reads exactly that section).
+		var recordBudgets *scale.Budgets
+		if *gate {
+			recordBudgets = &budgets
 		}
-		data = append(data, '\n')
-		if err := os.WriteFile(*out, data, 0o644); err != nil {
+		if err := writeOut(*out, payload, mergeKey, *merge, *compare, recordBudgets); err != nil {
 			fmt.Fprintln(os.Stderr, "scalesim:", err)
 			os.Exit(1)
 		}
@@ -223,6 +314,120 @@ func main() {
 		// fail loudly.
 		os.Exit(1)
 	}
+}
+
+// gatewayBroken applies the gateway scenario's pass/fail contract.
+func gatewayBroken(r *scale.Result) bool {
+	if len(r.Invariants) > 0 || r.Truncated || r.Gateway == nil {
+		return true
+	}
+	g := r.Gateway
+	return g.Completed+g.Shed != g.Submitted
+}
+
+// writeOut writes the payload, either overwriting the file or — with
+// doMerge — folding the run's section into an existing JSON document under
+// mergeKey so e.g. a -gateway run extends BENCH_scale.json without
+// discarding the compare sections. Merging also refreshes the `budgets`
+// section, which is where CI's -prev gate reads its thresholds from.
+func writeOut(path string, payload any, mergeKey string, doMerge, isCompare bool, budgets *scale.Budgets) error {
+	var doc any = payload
+	if doMerge {
+		if isCompare {
+			return fmt.Errorf("-merge applies to single-run modes; -compare already writes all sections")
+		}
+		sections := map[string]json.RawMessage{}
+		if data, err := os.ReadFile(path); err == nil {
+			if err := json.Unmarshal(data, &sections); err != nil {
+				return fmt.Errorf("-merge: %s is not a JSON object: %w", path, err)
+			}
+		}
+		raw, err := json.Marshal(payload)
+		if err != nil {
+			return err
+		}
+		sections[mergeKey] = raw
+		if budgets != nil {
+			if raw, err := json.Marshal(budgets); err == nil {
+				sections["budgets"] = raw
+			}
+		}
+		doc = sections
+	}
+	data, err := json.MarshalIndent(doc, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
+// loadPrev reads a previous BENCH_scale.json. Budgets recorded there
+// override the flag defaults (explicitly-set flags win); a missing or
+// partial budgets section is fine. Returns the section map and the diff
+// skeleton (nil when -prev is unset).
+func loadPrev(path string, budgets *scale.Budgets) (map[string]json.RawMessage, *scale.PrevDiff) {
+	if path == "" {
+		return nil, nil
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "scalesim: -prev: %v (continuing without a baseline)\n", err)
+		return nil, nil
+	}
+	sections := map[string]json.RawMessage{}
+	if err := json.Unmarshal(data, &sections); err != nil {
+		fmt.Fprintf(os.Stderr, "scalesim: -prev: %s is not a JSON object: %v (continuing)\n", path, err)
+		return nil, nil
+	}
+	if raw, ok := sections["budgets"]; ok {
+		explicit := map[string]bool{}
+		flag.Visit(func(f *flag.Flag) { explicit[f.Name] = true })
+		var pb scale.Budgets
+		if err := json.Unmarshal(raw, &pb); err == nil {
+			if pb.MaxAllocsPerDecision > 0 && !explicit["max-allocs-per-decision"] {
+				budgets.MaxAllocsPerDecision = pb.MaxAllocsPerDecision
+			}
+			if pb.MaxMessagesPerGrant > 0 && !explicit["max-messages-per-grant"] {
+				budgets.MaxMessagesPerGrant = pb.MaxMessagesPerGrant
+			}
+			if pb.MaxAllocsPerAdmission > 0 && !explicit["max-allocs-per-admission"] {
+				budgets.MaxAllocsPerAdmission = pb.MaxAllocsPerAdmission
+			}
+			if pb.MaxMessagesPerAdmission > 0 && !explicit["max-messages-per-admission"] {
+				budgets.MaxMessagesPerAdmission = pb.MaxMessagesPerAdmission
+			}
+		}
+	}
+	return sections, &scale.PrevDiff{Path: path}
+}
+
+// diffPrev fills the prev-diff tag: sections this invocation produced that
+// the old baseline also has are compared (throughput summary to stdout);
+// sections the baseline predates are tagged skipped.
+func diffPrev(base *scale.PrevDiff, sections map[string]json.RawMessage, produced []string) *scale.PrevDiff {
+	if base == nil {
+		return nil
+	}
+	d := *base
+	for _, name := range produced {
+		raw, ok := sections[name]
+		if !ok {
+			d.SkippedSections = append(d.SkippedSections, name)
+			continue
+		}
+		d.Compared = append(d.Compared, name)
+		var old scale.Result
+		if err := json.Unmarshal(raw, &old); err == nil && old.DecisionsPerSec > 0 {
+			fmt.Printf("vs %s [%s]: %.0f decisions/s then\n", d.Path, name, old.DecisionsPerSec)
+		}
+	}
+	if len(d.SkippedSections) > 0 {
+		fmt.Printf("baseline %s predates sections %v: skipped, not compared\n",
+			d.Path, d.SkippedSections)
+	}
+	sort.Strings(d.Compared)
+	sort.Strings(d.SkippedSections)
+	return &d
 }
 
 func parseShardCounts(s string) ([]int, error) {
@@ -262,9 +467,13 @@ func printResult(label string, r *scale.Result) {
 		label, r.Machines, r.Units, r.Decisions, r.WallSeconds, r.SimSeconds, trunc)
 	fmt.Printf("  throughput %.0f decisions/s, latency p50 %.2fms p99 %.2fms max %.2fms (sim-time)\n",
 		r.DecisionsPerSec, r.LatencyP50MS, r.LatencyP99MS, r.LatencyMaxMS)
+	wantApps := r.Config.Apps
+	if g := r.Gateway; g != nil {
+		wantApps = int(g.Registered)
+	}
 	fmt.Printf("  %.1f allocs/decision, %d events, %d msgs (%d batches), %d/%d apps completed\n",
 		r.AllocsPerDecision, r.EventsFired, r.MessagesSent, r.MessageBatches,
-		r.CompletedApps, r.Config.Apps)
+		r.CompletedApps, wantApps)
 	if r.ParallelSweeps > 0 {
 		fmt.Printf("  %d sharded sweeps, %.0f%% of machines committed from speculative proposals\n",
 			r.ParallelSweeps, 100*r.ParallelCommitRatio)
@@ -275,6 +484,17 @@ func printResult(label string, r *scale.Result) {
 		fmt.Printf("  scheduling pause p50 %.0fms p99 %.0fms max %.0fms; %d grants lost, %d reissued, %d invariant checks\n",
 			r.SchedPauseP50MS, r.SchedPauseP99MS, r.SchedPauseMaxMS,
 			r.GrantsLost, r.GrantsReissued, r.InvariantChecks)
+	}
+	if g := r.Gateway; g != nil {
+		fmt.Printf("  gateway: %d submissions from %d tenants (population %d), %d admitted, %d registered, %d completed\n",
+			g.Submitted, g.DistinctTenants, r.Config.GatewayUsers, g.Admitted, g.Registered, g.Completed)
+		fmt.Printf("  shed %.1f%% (%d rate-limit, %d tenant-queue, %d backlog); admission p50 %.1fms p99 %.1fms max %.0fms (sim-time)\n",
+			100*g.ShedRate, g.ShedRateLimit, g.ShedTenantQueue, g.ShedBacklog,
+			g.AdmissionP50MS, g.AdmissionP99MS, g.AdmissionMaxMS)
+		fmt.Printf("  fairness (Jain): service %.3f over %d tenants, batch %.3f over %d tenants\n",
+			g.Service.JainFairness, g.Service.Tenants, g.Batch.JainFairness, g.Batch.Tenants)
+		fmt.Printf("  %.0f allocs/admission, %.1f msgs/admission, %d admit retries, %d failover replays, decision hash %s\n",
+			r.AllocsPerAdmission, r.MessagesPerAdmission, g.AdmitRetries, g.FailoverReplays, g.DecisionHash)
 	}
 	if len(r.Invariants) > 0 {
 		fmt.Printf("  INVARIANT VIOLATIONS: %v\n", r.Invariants)

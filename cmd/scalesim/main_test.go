@@ -1,0 +1,101 @@
+package main
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/scale"
+)
+
+func readSections(t *testing.T, path string) map[string]json.RawMessage {
+	t.Helper()
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := map[string]json.RawMessage{}
+	if err := json.Unmarshal(data, &m); err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+// TestWriteOutMergePreservesSections pins the -merge contract: folding a
+// gateway run into an existing compare-shaped BENCH_scale.json must keep
+// the old sections and refresh the budgets.
+func TestWriteOutMergePreservesSections(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "bench.json")
+	if err := os.WriteFile(path, []byte(`{"baseline": {"decisions": 1}, "optimized": {"decisions": 2}}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	res := &scale.Result{Decisions: 42}
+	budgets := &scale.Budgets{MaxAllocsPerDecision: 25, MaxAllocsPerAdmission: 150}
+	if err := writeOut(path, res, "gateway", true, false, budgets); err != nil {
+		t.Fatal(err)
+	}
+	m := readSections(t, path)
+	for _, want := range []string{"baseline", "optimized", "gateway", "budgets"} {
+		if _, ok := m[want]; !ok {
+			t.Errorf("merged file lost or lacks section %q", want)
+		}
+	}
+	var b scale.Budgets
+	if err := json.Unmarshal(m["budgets"], &b); err != nil || b.MaxAllocsPerAdmission != 150 {
+		t.Errorf("budgets not refreshed: %+v (%v)", b, err)
+	}
+
+	// Merging into a missing file starts a fresh document.
+	fresh := filepath.Join(t.TempDir(), "new.json")
+	if err := writeOut(fresh, res, "gateway", true, false, budgets); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := readSections(t, fresh)["gateway"]; !ok {
+		t.Error("merge into missing file lost the run section")
+	}
+
+	// -merge with -compare is a usage error (compare writes all sections).
+	if err := writeOut(path, res, "gateway", true, true, budgets); err == nil {
+		t.Error("merge+compare accepted")
+	}
+}
+
+// TestPrevToleratesMissingSections pins the satellite contract: an old
+// baseline file without the newly added gateway section (or budgets) is a
+// tagged skip, never an error.
+func TestPrevToleratesMissingSections(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "old.json")
+	old := `{"baseline": {"decisions_per_sec": 100}, "optimized": {"decisions_per_sec": 900},
+	         "budgets": {"max_allocs_per_decision": 25, "max_messages_per_grant": 4}}`
+	if err := os.WriteFile(path, []byte(old), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	budgets := scale.Budgets{MaxAllocsPerDecision: 99, MaxMessagesPerGrant: 99,
+		MaxAllocsPerAdmission: 150, MaxMessagesPerAdmission: 25}
+	sections, base := loadPrev(path, &budgets)
+	if base == nil {
+		t.Fatal("prev file not loaded")
+	}
+	// Recorded budgets override unset-flag defaults; sections the file
+	// lacks leave the flag values alone.
+	if budgets.MaxAllocsPerDecision != 25 || budgets.MaxMessagesPerGrant != 4 {
+		t.Errorf("recorded budgets not applied: %+v", budgets)
+	}
+	if budgets.MaxAllocsPerAdmission != 150 {
+		t.Errorf("missing recorded admission budget clobbered the default: %+v", budgets)
+	}
+
+	d := diffPrev(base, sections, []string{"optimized", "gateway"})
+	if len(d.Compared) != 1 || d.Compared[0] != "optimized" {
+		t.Errorf("compared = %v, want [optimized]", d.Compared)
+	}
+	if len(d.SkippedSections) != 1 || d.SkippedSections[0] != "gateway" {
+		t.Errorf("skipped = %v, want [gateway] (old baselines predate the section)", d.SkippedSections)
+	}
+
+	// A missing or malformed prev file degrades to no baseline, no error.
+	if sections, base := loadPrev(filepath.Join(t.TempDir(), "absent.json"), &budgets); sections != nil || base != nil {
+		t.Error("missing prev file did not degrade gracefully")
+	}
+}

@@ -47,7 +47,26 @@
 // returns into scheduling rounds, applying releases first, reassigning in
 // one (shard-parallel) sweep, then placing merged demand.
 //
-// See README.md for a tour (including the measured Seed → PR 1 → PR 3
-// numbers), DESIGN.md for the system inventory, and EXPERIMENTS.md for
+// # Multi-tenant submission gateway
+//
+// internal/gateway is the front door between a million-user tenant
+// population and FuxiMaster: per-tenant token buckets with burst credit,
+// service/batch priority classes mapped onto scheduler quota groups,
+// bounded per-tenant queues with deterministic shedding, weighted-fair
+// round-robin dequeue under an in-flight cap, and an explicit job
+// lifecycle (submitted → queued → admitted → registered → completed |
+// shed) driven entirely by the sim clock — the admit/shed decision stream
+// is byte-identical across scheduler shard counts. Admission hands jobs to
+// the master as idempotent JobAdmits, replayed on a promoted primary's
+// hello until acknowledged; the admission-conservation rule in
+// internal/invariant proves no master failover loses or duplicates a job,
+// and application masters now acknowledge-and-retry UnregisterApp so a job
+// completing during an interregnum cannot strand resurrected grants.
+// scalesim -gateway runs the scenario at paper scale and records admission
+// percentiles, shed rates and per-class Jain fairness in the `gateway`
+// section of BENCH_scale.json.
+//
+// See README.md for a tour (including the measured Seed → PR 1 → PR 3 → PR
+// 4 numbers), DESIGN.md for the system inventory, and EXPERIMENTS.md for
 // paper-vs-measured results.
 package repro

@@ -68,6 +68,10 @@ type AM struct {
 	dedup   *protocol.Dedup
 	timers  []sim.Cancel
 	stopped bool
+	// unregTries and unregRearm drive the reliable-unregister retry loop
+	// (see Unregister).
+	unregTries int
+	unregRearm sim.Cancel
 	// pendRet coalesces same-instant container returns into one
 	// GrantReturnBatch (incremental communication: a hold cycle releasing
 	// containers on many machines costs one message). retArmed marks the
@@ -283,7 +287,22 @@ func (a *AM) ReportBadMachine(machine string) {
 	})
 }
 
+// unregRetry is the re-send period for an unacknowledged UnregisterApp and
+// unregMaxTries bounds the attempts (so an application on a cluster whose
+// masters never return still terminates, accepting the strand a dead
+// control plane implies anyway).
+const (
+	unregRetry    = 2 * sim.Second
+	unregMaxTries = 30
+)
+
 // Unregister ends the application: all resources return to the cluster.
+// The endpoint stays registered until FuxiMaster acknowledges — an
+// unregister lost with a crashing primary must be replayed to the promoted
+// successor (which resurrects the app's grants from agent anchors and would
+// otherwise strand them forever), so the app lingers, re-sending on the
+// successor's MasterHello and on a bounded retry timer, and tears down on
+// the UnregisterAck.
 func (a *AM) Unregister() {
 	if a.stopped {
 		return
@@ -293,7 +312,31 @@ func (a *AM) Unregister() {
 	for _, c := range a.timers {
 		c()
 	}
+	a.timers = nil
+	a.sendUnregister()
+}
+
+func (a *AM) sendUnregister() {
+	a.unregTries++
 	a.send(protocol.MasterEndpoint, protocol.UnregisterApp{App: a.cfg.App, Seq: a.seq.Next()})
+	if a.unregRearm != nil {
+		a.unregRearm()
+		a.unregRearm = nil
+	}
+	if a.unregTries < unregMaxTries {
+		a.unregRearm = a.eng.After(unregRetry, a.sendUnregister)
+	} else {
+		a.finishUnregister()
+	}
+}
+
+// finishUnregister completes the teardown once the master confirmed (or the
+// retry budget ran out).
+func (a *AM) finishUnregister() {
+	if a.unregRearm != nil {
+		a.unregRearm()
+		a.unregRearm = nil
+	}
 	a.net.Unregister(a.cfg.App)
 }
 
@@ -400,6 +443,18 @@ func (a *AM) staleEpoch(epoch int) bool {
 
 func (a *AM) handle(from string, msg transport.Message) {
 	if a.stopped {
+		// The app lingers only to finish the reliable unregister: tear down
+		// on the ack, replay immediately to a freshly-promoted primary
+		// (whose hello means it may just have resurrected this app's grants
+		// from agent anchors), ignore everything else.
+		switch t := msg.(type) {
+		case protocol.UnregisterAck:
+			a.finishUnregister()
+		case protocol.MasterHello:
+			if !a.staleEpoch(t.Epoch) {
+				a.sendUnregister()
+			}
+		}
 		return
 	}
 	switch t := msg.(type) {
@@ -429,6 +484,9 @@ func (a *AM) handle(from string, msg transport.Message) {
 		a.fullSync()
 	case protocol.WorkerListRequest:
 		a.replyWorkerList(t.Machine)
+	case protocol.UnregisterAck:
+		// A stale ack for a previous application that reused this endpoint
+		// name; nothing to do.
 	default:
 		if a.cb.OnMessage != nil {
 			a.cb.OnMessage(from, msg)

@@ -332,13 +332,40 @@ func TestUnregisterStopsEverything(t *testing.T) {
 	h.am.Unregister()
 	h.toMaster = nil
 	h.eng.Run(5 * sim.Second)
+	unregs := 0
 	for _, m := range h.toMaster {
 		if _, ok := m.(protocol.FullDemandSync); ok {
 			t.Error("full sync after unregister")
 		}
+		if _, ok := m.(protocol.UnregisterApp); ok {
+			unregs++
+		}
 	}
+	// Unacknowledged: the app lingers, re-sending the unregister (a lost
+	// one would strand its capacity at a failed-over master forever).
+	if unregs < 2 {
+		t.Errorf("unregister re-sent %d times without an ack, want >= 2", unregs)
+	}
+	if !h.net.Registered("app1") {
+		t.Error("endpoint torn down before the unregister was acknowledged")
+	}
+	// The ack completes the teardown.
+	h.net.Send(protocol.MasterEndpoint, "app1", protocol.UnregisterAck{App: "app1", Seq: 1})
+	h.eng.Run(h.eng.Now() + sim.Second)
 	if h.net.Registered("app1") {
-		t.Error("endpoint still registered")
+		t.Error("endpoint still registered after ack")
+	}
+}
+
+// TestUnregisterRetryBounded pins termination without any master: the
+// retry loop gives up after its budget instead of posting events forever.
+func TestUnregisterRetryBounded(t *testing.T) {
+	h := newHarness(t, 0)
+	h.net.Unregister(protocol.MasterEndpoint)
+	h.am.Unregister()
+	h.eng.RunUntilIdle()
+	if h.net.Registered("app1") {
+		t.Error("endpoint still registered after the retry budget ran out")
 	}
 }
 

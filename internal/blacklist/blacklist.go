@@ -5,6 +5,13 @@
 // "bottom-up approach to distinguish temporary abnormality from persistent
 // bad machines". The job level is where the application master decides to
 // escalate further to FuxiMaster via a BadMachineReport.
+//
+// The cluster-level half lives in internal/master: FuxiMaster aggregates
+// BadMachineReports across jobs (Config.BadReportThreshold), graylists on
+// low agent-reported health scores, and keeps a flap score fed by repeated
+// heartbeat timeouts and surprise agent restarts (Config.Flap*) that
+// blacklists a machine from the scheduler's sweep until the score decays —
+// the top-down complement to this package's bottom-up escalation.
 package blacklist
 
 // Config sets the escalation thresholds.

@@ -9,6 +9,7 @@ import (
 
 	"repro/internal/agent"
 	"repro/internal/appmaster"
+	"repro/internal/gateway"
 	"repro/internal/lockservice"
 	"repro/internal/master"
 	"repro/internal/metrics"
@@ -40,6 +41,11 @@ type Config struct {
 	Agent  agent.Config
 	// Standby controls whether a second (hot-standby) FuxiMaster runs.
 	Standby bool
+	// Gateway, when set, boots the multi-tenant submission gateway in
+	// front of the master pair (see internal/gateway). Jobs submitted
+	// through Cluster.Gateway survive master failover: a promoted primary's
+	// hello triggers the admit replay.
+	Gateway *gateway.Config
 }
 
 // Cluster is a fully wired simulated Fuxi deployment.
@@ -55,6 +61,8 @@ type Cluster struct {
 	// Masters holds the hot-standby pair (index 1 nil unless Standby).
 	Masters [2]*master.Master
 	Agents  map[string]*agent.Agent
+	// Gateway is the submission front door (nil unless Config.Gateway).
+	Gateway *gateway.Gateway
 
 	slow map[string]float64 // SlowMachine fault factors
 }
@@ -100,12 +108,31 @@ func NewCluster(cfg Config) (*Cluster, error) {
 		Agents:  make(map[string]*agent.Agent, top.Size()),
 	}
 
+	if cfg.Gateway != nil {
+		// The gateway boots before the masters so a primary promoting at
+		// t=0 already finds the endpoint registered.
+		c.Gateway = gateway.New(*cfg.Gateway, eng, net)
+	}
+
 	mcfg := cfg.Master
 	if mcfg.LockName == "" {
 		mcfg = master.DefaultConfig("fm-1")
 		mcfg.Sched = cfg.Master.Sched
 		if cfg.Master.BatchWindow > 0 {
 			mcfg.BatchWindow = cfg.Master.BatchWindow
+		}
+	}
+	if cfg.Gateway != nil {
+		// Gateway priority classes map onto scheduler quota groups; make
+		// sure they exist (zero minimum = usage accounting only) so
+		// gateway-admitted jobs can register under them.
+		if mcfg.Sched.Groups == nil {
+			mcfg.Sched.Groups = make(map[string]resource.Vector, gateway.NumClasses)
+		}
+		for cl := gateway.Class(0); cl < gateway.NumClasses; cl++ {
+			if _, ok := mcfg.Sched.Groups[cl.QuotaGroup()]; !ok {
+				mcfg.Sched.Groups[cl.QuotaGroup()] = resource.Vector{}
+			}
 		}
 	}
 	mcfg.ProcessName = "fm-1"

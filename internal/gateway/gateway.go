@@ -1,0 +1,800 @@
+// Package gateway is the multi-tenant job-submission front door of the
+// Fuxi control plane: the subsystem that stands between a huge user
+// population and FuxiMaster, which the paper's production deployment
+// implies (§5 runs "tens of thousands of concurrent jobs" submitted by
+// Alibaba's tenant base) but whose admission machinery it leaves out of
+// scope. Related work motivates the split this package enforces: Polynesia
+// (arXiv:2103.00798) co-designs isolation between transactional and
+// analytical traffic so neither starves the other, and the HTAP survey
+// (arXiv:2404.15670) catalogues the same resource-isolation problem across
+// systems — here, latency-sensitive service tenants and throughput-hungry
+// batch tenants share one FuxiMaster and must be admitted without either
+// class starving the other.
+//
+// The gateway gives every tenant an identity mapped onto a scheduler quota
+// group, meters each tenant with a token bucket (sustained rate plus burst
+// credit), bounds each tenant's admission queue and the global backlog with
+// deterministic shedding, and releases queued jobs to FuxiMaster with a
+// weighted-fair round-robin across priority classes (service before batch,
+// by configured weights) that serves tenants within a class in FIFO
+// rotation. Every job moves through an explicit lifecycle — submitted →
+// queued → admitted → registered → completed, or shed with a reason — and
+// every transition is driven by the simulation clock and deterministic data
+// structures, so a run's admit/shed decision stream is byte-identical
+// across seeds of the scheduler's shard count (the stream hash in Stats
+// pins this).
+//
+// Failover: an admitted job is handed to FuxiMaster as an idempotent
+// JobAdmit that the gateway re-sends — immediately on a newly-promoted
+// primary's MasterHello, and on a slow retry timer as the safety net —
+// until an acknowledgement lands. The job state machine fires registration
+// exactly once no matter how many acknowledgements arrive, so a master
+// crash between admit and ack neither loses nor duplicates the job; the
+// admission-conservation rule in internal/invariant makes that claim
+// falsifiable.
+package gateway
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/metrics"
+	"repro/internal/protocol"
+	"repro/internal/sim"
+	"repro/internal/transport"
+)
+
+// Class is a gateway priority class. Service tenants run latency-sensitive
+// always-on workloads; batch tenants run throughput-oriented jobs that
+// tolerate queueing. The class maps onto a scheduler quota group so the
+// isolation extends past admission into placement accounting.
+type Class uint8
+
+const (
+	// ClassService is the latency-sensitive class (dequeued first, higher
+	// weight).
+	ClassService Class = iota
+	// ClassBatch is the throughput-oriented class.
+	ClassBatch
+	// NumClasses counts the classes.
+	NumClasses = 2
+)
+
+func (c Class) String() string {
+	if c == ClassService {
+		return "service"
+	}
+	return "batch"
+}
+
+// QuotaGroup returns the scheduler quota group this class maps onto.
+func (c Class) QuotaGroup() string { return c.String() }
+
+// Job is one submission. IDs must be unique across a run (a duplicate is
+// deterministically shed and counted, never silently merged).
+type Job struct {
+	ID     string
+	Tenant string
+	Class  Class
+}
+
+// State is a job's position in the gateway lifecycle.
+type State uint8
+
+const (
+	// StateQueued jobs wait in their tenant's admission queue.
+	StateQueued State = iota
+	// StateAdmitted jobs were dequeued and handed to FuxiMaster; the
+	// acknowledgement is outstanding (re-sent across master failovers).
+	StateAdmitted
+	// StateRegistered jobs were acknowledged by the primary; OnRegistered
+	// has fired exactly once.
+	StateRegistered
+	// StateCompleted jobs finished and released their in-flight slot.
+	StateCompleted
+	// StateShed jobs were rejected at submission, with a reason.
+	StateShed
+)
+
+// DecisionKind labels one record of the admit/shed decision stream.
+type DecisionKind uint8
+
+const (
+	// DecisionQueued accepted the submission into a tenant queue.
+	DecisionQueued DecisionKind = iota
+	// DecisionShedRateLimit rejected it: the tenant's token bucket was
+	// empty.
+	DecisionShedRateLimit
+	// DecisionShedTenantQueue rejected it: the tenant's queue was full.
+	DecisionShedTenantQueue
+	// DecisionShedBacklog rejected it: the global backlog cap was reached.
+	DecisionShedBacklog
+	// DecisionShedDuplicate rejected a reused job ID.
+	DecisionShedDuplicate
+	// DecisionAdmit dequeued the job and handed it to FuxiMaster.
+	DecisionAdmit
+)
+
+func (k DecisionKind) String() string {
+	switch k {
+	case DecisionQueued:
+		return "queued"
+	case DecisionShedRateLimit:
+		return "shed-rate-limit"
+	case DecisionShedTenantQueue:
+		return "shed-tenant-queue"
+	case DecisionShedBacklog:
+		return "shed-backlog"
+	case DecisionShedDuplicate:
+		return "shed-duplicate"
+	case DecisionAdmit:
+		return "admit"
+	default:
+		return "unknown"
+	}
+}
+
+// Shed reports whether the decision rejected the submission.
+func (k DecisionKind) Shed() bool {
+	return k >= DecisionShedRateLimit && k <= DecisionShedDuplicate
+}
+
+// Decision is one entry of the deterministic decision stream.
+type Decision struct {
+	At    sim.Time
+	JobID string
+	Kind  DecisionKind
+}
+
+// Limits are the gateway's wire-able tuning knobs, serialized into
+// benchmark configs.
+type Limits struct {
+	// RefillEvery grants each tenant one token per period (sustained rate);
+	// Burst caps the bucket. 0 RefillEvery disables rate limiting.
+	RefillEvery sim.Time `json:"refill_every_us"`
+	Burst       int64    `json:"burst"`
+	// QueueCap bounds one tenant's admission queue; MaxQueued bounds the
+	// global backlog across tenants (0 = unlimited). Overflow sheds the
+	// incoming submission deterministically.
+	QueueCap  int `json:"queue_cap"`
+	MaxQueued int `json:"max_queued"`
+	// MaxInFlight bounds admitted-plus-registered jobs not yet completed —
+	// backpressure toward FuxiMaster (0 = unlimited): at the cap the
+	// dequeue pauses and jobs wait queued.
+	MaxInFlight int `json:"max_in_flight"`
+	// AdmitPeriod is the dequeue tick; AdmitPerRound the most jobs released
+	// per tick.
+	AdmitPeriod   sim.Time `json:"admit_period_us"`
+	AdmitPerRound int      `json:"admit_per_round"`
+	// ServiceWeight : BatchWeight is the weighted-fair dequeue ratio when
+	// both classes have backlog.
+	ServiceWeight int `json:"service_weight"`
+	BatchWeight   int `json:"batch_weight"`
+	// RetryEvery re-sends outstanding JobAdmits (the safety net behind the
+	// MasterHello-triggered replay).
+	RetryEvery sim.Time `json:"retry_every_us"`
+}
+
+// DefaultLimits returns production-flavoured defaults: half a job per
+// second sustained per tenant with burst 5, 4:1 service:batch dequeue.
+func DefaultLimits() Limits {
+	return Limits{
+		RefillEvery:   2 * sim.Second,
+		Burst:         5,
+		QueueCap:      20,
+		MaxQueued:     50_000,
+		MaxInFlight:   10_000,
+		AdmitPeriod:   10 * sim.Millisecond,
+		AdmitPerRound: 40,
+		ServiceWeight: 4,
+		BatchWeight:   1,
+		RetryEvery:    500 * sim.Millisecond,
+	}
+}
+
+// Config assembles one gateway.
+type Config struct {
+	Limits
+	// OnRegistered fires exactly once per job when the primary FuxiMaster
+	// acknowledges its admission; the caller starts the job's application
+	// master there.
+	OnRegistered func(Job)
+	// RecordDecisions keeps the full decision stream in memory (parity
+	// tests); the stream hash is always maintained.
+	RecordDecisions bool
+}
+
+// tenant is one identity's admission state: token bucket, bounded FIFO
+// queue, and admission tallies for the fairness index.
+type tenant struct {
+	class  Class
+	tokens int64
+	last   sim.Time
+	q      []string
+	qh     int
+	active bool // enqueued in its class's dequeue rotation
+
+	submitted uint32
+	admitted  uint32
+}
+
+func (t *tenant) qlen() int { return len(t.q) - t.qh }
+
+func (t *tenant) pushJob(id string) { t.q = append(t.q, id) }
+
+func (t *tenant) popJob() string {
+	id := t.q[t.qh]
+	t.q[t.qh] = ""
+	t.qh++
+	if t.qh == len(t.q) {
+		t.q, t.qh = t.q[:0], 0
+	}
+	return id
+}
+
+// rotation is a FIFO of tenant names with queued jobs — the fair-dequeue
+// cursor for one class.
+type rotation struct {
+	names []string
+	head  int
+}
+
+func (r *rotation) empty() bool { return r.head == len(r.names) }
+
+func (r *rotation) push(name string) { r.names = append(r.names, name) }
+
+func (r *rotation) pop() string {
+	name := r.names[r.head]
+	r.names[r.head] = ""
+	r.head++
+	if r.head == len(r.names) {
+		r.names, r.head = r.names[:0], 0
+	}
+	return name
+}
+
+type jobRec struct {
+	job         Job
+	state       State
+	submittedAt sim.Time
+}
+
+// Gateway is the submission front door. All methods must be called from the
+// simulation goroutine.
+type Gateway struct {
+	cfg Config
+	eng *sim.Engine
+	net *transport.Net
+
+	tenants map[string]*tenant
+	jobs    map[string]*jobRec
+	rot     [NumClasses]rotation
+
+	queued   int // jobs in tenant queues
+	inflight int // admitted + registered, not completed
+
+	unacked []string // admitted job IDs awaiting JobAdmitAck, admit order
+	seq     protocol.Sequencer
+	epoch   int // highest master election epoch observed
+
+	admLat *metrics.Histogram
+
+	// Streaming tallies; CheckConservation recomputes them from the job
+	// table and flags any drift.
+	submitted, admitted, registered, completed uint64
+	dupSubmits                                 uint64
+	shed                                       [4]uint64 // by DecisionKind - DecisionShedRateLimit
+	cSub, cAdm, cReg, cComp                    [NumClasses]uint64
+	cShed                                      [NumClasses][4]uint64
+	retries, replays                           uint64
+
+	hash       uint64
+	nDecisions uint64
+	decisions  []Decision
+}
+
+const (
+	fnvOffset = 14695981039346656037
+	fnvPrime  = 1099511628211
+)
+
+// New wires a gateway to the simulation: it registers the well-known
+// GatewayEndpoint and starts the dequeue and retry timers. Zero values of
+// the fields a gateway cannot function without — AdmitPeriod,
+// AdmitPerRound, the class weights, Burst, and RetryEvery — take their
+// DefaultLimits values. Zero RefillEvery, QueueCap, MaxQueued and
+// MaxInFlight deliberately mean "disabled/unbounded" (tests and
+// metamorphic harnesses rely on turning single limits off); start from
+// DefaultLimits to get the bounded production posture.
+func New(cfg Config, eng *sim.Engine, net *transport.Net) *Gateway {
+	def := DefaultLimits()
+	if cfg.AdmitPeriod <= 0 {
+		cfg.AdmitPeriod = def.AdmitPeriod
+	}
+	if cfg.AdmitPerRound <= 0 {
+		cfg.AdmitPerRound = def.AdmitPerRound
+	}
+	if cfg.ServiceWeight <= 0 {
+		cfg.ServiceWeight = def.ServiceWeight
+	}
+	if cfg.BatchWeight <= 0 {
+		cfg.BatchWeight = def.BatchWeight
+	}
+	if cfg.Burst <= 0 {
+		cfg.Burst = def.Burst
+	}
+	if cfg.RetryEvery <= 0 {
+		// The retry sweep is the safety net behind the hello-triggered
+		// replay; running without one would strand an admit whose loss no
+		// promotion follows.
+		cfg.RetryEvery = def.RetryEvery
+	}
+	g := &Gateway{
+		cfg:     cfg,
+		eng:     eng,
+		net:     net,
+		tenants: make(map[string]*tenant),
+		jobs:    make(map[string]*jobRec),
+		admLat:  metrics.NewHistogram("gateway.admission_ms"),
+		hash:    fnvOffset,
+	}
+	net.Register(protocol.GatewayEndpoint, g.handle)
+	eng.Every(cfg.AdmitPeriod, g.admitRound)
+	eng.Every(cfg.RetryEvery, g.retrySweep)
+	return g
+}
+
+// Submit runs the admission checks for one job and either queues it or
+// sheds it with a reason. Checks run in a fixed order — duplicate ID,
+// global backlog, tenant queue bound, token bucket — so the decision for a
+// given submission history is deterministic; only the bucket check consumes
+// a token. A tenant's priority class is part of its identity, fixed by the
+// first submission: later jobs are normalized onto it (a tenant sits in
+// exactly one class rotation, and per-class tallies must agree across the
+// whole lifecycle).
+func (g *Gateway) Submit(j Job) DecisionKind {
+	now := g.eng.Now()
+	tn := g.tenants[j.Tenant]
+	if tn == nil {
+		tn = &tenant{class: j.Class, tokens: g.cfg.Burst, last: now}
+		g.tenants[j.Tenant] = tn
+	}
+	j.Class = tn.class
+	g.submitted++
+	g.cSub[j.Class]++
+	tn.submitted++
+	if _, dup := g.jobs[j.ID]; dup {
+		g.dupSubmits++
+		return g.shedDecision(now, j, DecisionShedDuplicate, false)
+	}
+	if g.cfg.MaxQueued > 0 && g.queued >= g.cfg.MaxQueued {
+		return g.shedDecision(now, j, DecisionShedBacklog, true)
+	}
+	if g.cfg.QueueCap > 0 && tn.qlen() >= g.cfg.QueueCap {
+		return g.shedDecision(now, j, DecisionShedTenantQueue, true)
+	}
+	if g.cfg.RefillEvery > 0 {
+		g.refill(tn, now)
+		if tn.tokens <= 0 {
+			return g.shedDecision(now, j, DecisionShedRateLimit, true)
+		}
+		tn.tokens--
+	}
+	g.jobs[j.ID] = &jobRec{job: j, state: StateQueued, submittedAt: now}
+	tn.pushJob(j.ID)
+	g.queued++
+	if !tn.active {
+		tn.active = true
+		g.rot[j.Class].push(j.Tenant)
+	}
+	g.record(now, j.ID, DecisionQueued)
+	return DecisionQueued
+}
+
+// shedDecision records one rejected submission. Duplicates keep no job
+// record (the ID already names another job).
+func (g *Gateway) shedDecision(now sim.Time, j Job, kind DecisionKind, keep bool) DecisionKind {
+	g.shed[kind-DecisionShedRateLimit]++
+	g.cShed[j.Class][kind-DecisionShedRateLimit]++
+	if keep {
+		g.jobs[j.ID] = &jobRec{job: j, state: StateShed, submittedAt: now}
+	}
+	g.record(now, j.ID, kind)
+	return kind
+}
+
+// refill advances a tenant's token bucket to now with integer arithmetic
+// (whole refill periods only), so the bucket level is independent of how
+// often it is inspected.
+func (g *Gateway) refill(tn *tenant, now sim.Time) {
+	if tn.tokens >= g.cfg.Burst {
+		tn.last = now
+		return
+	}
+	k := int64((now - tn.last) / g.cfg.RefillEvery)
+	if k <= 0 {
+		return
+	}
+	tn.tokens += k
+	tn.last += sim.Time(k) * g.cfg.RefillEvery
+	if tn.tokens >= g.cfg.Burst {
+		tn.tokens = g.cfg.Burst
+		tn.last = now
+	}
+}
+
+// admitRound is the dequeue tick: release up to AdmitPerRound jobs,
+// interleaving classes by weight (ServiceWeight pulls of service per
+// BatchWeight pulls of batch while both have backlog) and rotating FIFO
+// across tenants within a class, respecting the in-flight cap.
+func (g *Gateway) admitRound() {
+	budget := g.cfg.AdmitPerRound
+	for budget > 0 {
+		progressed := false
+		for c := Class(0); c < NumClasses; c++ {
+			w := g.cfg.ServiceWeight
+			if c == ClassBatch {
+				w = g.cfg.BatchWeight
+			}
+			for k := 0; k < w && budget > 0; k++ {
+				if g.cfg.MaxInFlight > 0 && g.inflight >= g.cfg.MaxInFlight {
+					return
+				}
+				if !g.admitOneFrom(c) {
+					break
+				}
+				budget--
+				progressed = true
+			}
+		}
+		if !progressed {
+			return
+		}
+	}
+}
+
+// admitOneFrom dequeues one job from the class's tenant rotation, hands it
+// to FuxiMaster, and re-files the tenant at the rotation tail if it still
+// has backlog.
+func (g *Gateway) admitOneFrom(c Class) bool {
+	rot := &g.rot[c]
+	for !rot.empty() {
+		name := rot.pop()
+		tn := g.tenants[name]
+		if tn.qlen() == 0 {
+			tn.active = false
+			continue
+		}
+		id := tn.popJob()
+		g.queued--
+		if tn.qlen() > 0 {
+			rot.push(name)
+		} else {
+			tn.active = false
+		}
+		rec := g.jobs[id]
+		rec.state = StateAdmitted
+		tn.admitted++
+		g.admitted++
+		g.cAdm[c]++
+		g.inflight++
+		g.unacked = append(g.unacked, id)
+		g.record(g.eng.Now(), id, DecisionAdmit)
+		g.sendAdmit(rec)
+		return true
+	}
+	return false
+}
+
+func (g *Gateway) sendAdmit(rec *jobRec) {
+	g.net.Send(protocol.GatewayEndpoint, protocol.MasterEndpoint, protocol.JobAdmit{
+		JobID:      rec.job.ID,
+		Tenant:     rec.job.Tenant,
+		Class:      uint8(rec.job.Class),
+		QuotaGroup: rec.job.Class.QuotaGroup(),
+		Seq:        g.seq.Next(),
+	})
+}
+
+// retrySweep re-sends every outstanding JobAdmit — the safety net for
+// admits or acks lost without a master failover (e.g. sent into an
+// interregnum). Acked entries are compacted out.
+func (g *Gateway) retrySweep() { g.flushUnacked(false) }
+
+func (g *Gateway) flushUnacked(replay bool) {
+	w := 0
+	for _, id := range g.unacked {
+		rec := g.jobs[id]
+		if rec == nil || rec.state != StateAdmitted {
+			continue
+		}
+		g.unacked[w] = id
+		w++
+		if replay {
+			g.replays++
+		} else {
+			g.retries++
+		}
+		g.sendAdmit(rec)
+	}
+	for i := w; i < len(g.unacked); i++ {
+		g.unacked[i] = ""
+	}
+	g.unacked = g.unacked[:w]
+}
+
+// handle receives master-bound traffic: admission acks and the promotion
+// hello that triggers the failover replay.
+func (g *Gateway) handle(from string, msg transport.Message) {
+	switch t := msg.(type) {
+	case protocol.JobAdmitAck:
+		if t.Epoch > g.epoch {
+			g.epoch = t.Epoch
+		}
+		rec := g.jobs[t.JobID]
+		if rec == nil || rec.state != StateAdmitted {
+			return // duplicate ack (retry raced the original): already fired
+		}
+		rec.state = StateRegistered
+		g.registered++
+		g.cReg[rec.job.Class]++
+		g.admLat.Observe(float64(g.eng.Now()-rec.submittedAt) / float64(sim.Millisecond))
+		if g.cfg.OnRegistered != nil {
+			g.cfg.OnRegistered(rec.job)
+		}
+	case protocol.MasterHello:
+		if t.Epoch > g.epoch {
+			// A newly-promoted primary: replay every admitted-but-unacked
+			// job immediately. The job state machine makes the replay
+			// exactly-once on the registration side no matter how many
+			// primaries end up acking.
+			g.epoch = t.Epoch
+			g.flushUnacked(true)
+		}
+	}
+}
+
+// JobCompleted releases a registered job's in-flight slot; the caller
+// invokes it when the job's application master unregisters. It reports
+// whether the transition was valid.
+func (g *Gateway) JobCompleted(id string) bool {
+	rec := g.jobs[id]
+	if rec == nil || rec.state != StateRegistered {
+		return false
+	}
+	rec.state = StateCompleted
+	g.completed++
+	g.cComp[rec.job.Class]++
+	g.inflight--
+	return true
+}
+
+// Drained reports whether every submission reached a terminal state
+// (completed or shed) — the run-loop exit condition for open-loop drivers.
+func (g *Gateway) Drained() bool {
+	var shed uint64
+	for _, n := range g.shed {
+		shed += n
+	}
+	return g.queued == 0 && g.inflight == 0 && g.completed+shed == g.submitted
+}
+
+// MasterEpoch returns the highest election epoch observed in acks/hellos.
+func (g *Gateway) MasterEpoch() int { return g.epoch }
+
+// record appends one decision to the stream hash (FNV-1a over job ID,
+// kind, and virtual time) and, when configured, to the in-memory stream.
+func (g *Gateway) record(at sim.Time, jobID string, kind DecisionKind) {
+	g.nDecisions++
+	h := g.hash
+	for i := 0; i < len(jobID); i++ {
+		h = (h ^ uint64(jobID[i])) * fnvPrime
+	}
+	h = (h ^ uint64(kind)) * fnvPrime
+	v := uint64(at)
+	for i := 0; i < 8; i++ {
+		h = (h ^ (v >> (8 * i) & 0xff)) * fnvPrime
+	}
+	g.hash = h
+	if g.cfg.RecordDecisions {
+		g.decisions = append(g.decisions, Decision{At: at, JobID: jobID, Kind: kind})
+	}
+}
+
+// Decisions returns the recorded decision stream (nil unless
+// Config.RecordDecisions).
+func (g *Gateway) Decisions() []Decision { return g.decisions }
+
+// DecisionHash returns the stream hash: byte-identical decision streams —
+// same decisions, same order, same virtual times — have equal hashes.
+func (g *Gateway) DecisionHash() uint64 { return g.hash }
+
+// RegisteredOpen returns the sorted IDs of registered-but-uncompleted jobs,
+// for the invariant checker's settled cross-check against the master.
+func (g *Gateway) RegisteredOpen() []string {
+	var out []string
+	for id, rec := range g.jobs {
+		if rec.state == StateRegistered {
+			out = append(out, id)
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// ClassStats is one priority class's slice of the gateway tallies.
+type ClassStats struct {
+	Tenants         int     `json:"tenants"`
+	Submitted       uint64  `json:"submitted"`
+	Admitted        uint64  `json:"admitted"`
+	Registered      uint64  `json:"registered"`
+	Completed       uint64  `json:"completed"`
+	ShedRateLimit   uint64  `json:"shed_rate_limit"`
+	ShedTenantQueue uint64  `json:"shed_tenant_queue"`
+	ShedBacklog     uint64  `json:"shed_backlog"`
+	JainFairness    float64 `json:"jain_fairness"`
+}
+
+// Stats is the gateway's measurement snapshot, serialized as the `gateway`
+// section of BENCH_scale.json.
+type Stats struct {
+	DistinctTenants int    `json:"distinct_tenants"`
+	Submitted       uint64 `json:"submitted"`
+	Queued          uint64 `json:"queued"`
+	Admitted        uint64 `json:"admitted"`
+	Registered      uint64 `json:"registered"`
+	Completed       uint64 `json:"completed"`
+	Shed            uint64 `json:"shed"`
+	ShedRateLimit   uint64 `json:"shed_rate_limit"`
+	ShedTenantQueue uint64 `json:"shed_tenant_queue"`
+	ShedBacklog     uint64 `json:"shed_backlog"`
+	ShedDuplicate   uint64 `json:"shed_duplicate,omitempty"`
+	// ShedRate is shed / submitted.
+	ShedRate float64 `json:"shed_rate"`
+	// Admission latency is submit → registered, in virtual milliseconds.
+	AdmissionMeanMS float64 `json:"admission_mean_ms"`
+	AdmissionP50MS  float64 `json:"admission_p50_ms"`
+	AdmissionP99MS  float64 `json:"admission_p99_ms"`
+	AdmissionMaxMS  float64 `json:"admission_max_ms"`
+	// AdmitRetries counts timer-driven JobAdmit re-sends; FailoverReplays
+	// counts re-sends triggered by a promotion hello.
+	AdmitRetries    uint64 `json:"admit_retries"`
+	FailoverReplays uint64 `json:"failover_replays"`
+	MasterEpoch     int    `json:"master_epoch"`
+	// Decisions and DecisionHash pin the deterministic decision stream.
+	Decisions    uint64 `json:"decisions"`
+	DecisionHash string `json:"decision_hash"`
+
+	Service ClassStats `json:"service"`
+	Batch   ClassStats `json:"batch"`
+}
+
+// Snapshot computes the measurement snapshot, including each class's Jain
+// fairness index over per-tenant admission shares (admitted/submitted in
+// parts per thousand, integer-accumulated so the index is order-independent
+// and deterministic).
+func (g *Gateway) Snapshot() *Stats {
+	var jain [NumClasses]metrics.Jain
+	var tenants [NumClasses]int
+	for _, tn := range g.tenants {
+		if tn.submitted == 0 {
+			continue
+		}
+		tenants[tn.class]++
+		jain[tn.class].Add(int64(tn.admitted) * 1000 / int64(tn.submitted))
+	}
+	class := func(c Class) ClassStats {
+		return ClassStats{
+			Tenants:         tenants[c],
+			Submitted:       g.cSub[c],
+			Admitted:        g.cAdm[c],
+			Registered:      g.cReg[c],
+			Completed:       g.cComp[c],
+			ShedRateLimit:   g.cShed[c][0],
+			ShedTenantQueue: g.cShed[c][1],
+			ShedBacklog:     g.cShed[c][2],
+			JainFairness:    jain[c].Index(),
+		}
+	}
+	s := &Stats{
+		DistinctTenants: len(g.tenants),
+		Submitted:       g.submitted,
+		Queued:          uint64(g.queued),
+		Admitted:        g.admitted,
+		Registered:      g.registered,
+		Completed:       g.completed,
+		ShedRateLimit:   g.shed[0],
+		ShedTenantQueue: g.shed[1],
+		ShedBacklog:     g.shed[2],
+		ShedDuplicate:   g.shed[3],
+		AdmissionMeanMS: g.admLat.Mean(),
+		AdmissionP50MS:  g.admLat.Quantile(0.5),
+		AdmissionP99MS:  g.admLat.Quantile(0.99),
+		AdmissionMaxMS:  g.admLat.Max(),
+		AdmitRetries:    g.retries,
+		FailoverReplays: g.replays,
+		MasterEpoch:     g.epoch,
+		Decisions:       g.nDecisions,
+		DecisionHash:    fmt.Sprintf("%016x", g.hash),
+		Service:         class(ClassService),
+		Batch:           class(ClassBatch),
+	}
+	s.Shed = s.ShedRateLimit + s.ShedTenantQueue + s.ShedBacklog + s.ShedDuplicate
+	if s.Submitted > 0 {
+		s.ShedRate = float64(s.Shed) / float64(s.Submitted)
+	}
+	return s
+}
+
+// CheckConservation recomputes the lifecycle ledger from the job table and
+// returns every deviation from the streaming tallies — the gateway half of
+// the admission-conservation invariant: a submission is never lost (each
+// has exactly one record walking the lifecycle one way) and never
+// duplicated (registration and completion fire at most once per job). With
+// settled true — no control messages in flight and a primary alive — it
+// additionally requires that no admitted job is stranded awaiting an
+// acknowledgement: however many masters failed over, every admit reached a
+// registration. (Queued and registered-but-running jobs are legitimate at a
+// settled point; end-of-run drainage is the harness's Drained() exit
+// condition, not an invariant.)
+func (g *Gateway) CheckConservation(settled bool) []string {
+	var bad []string
+	var byState [StateShed + 1]uint64
+	for _, rec := range g.jobs {
+		byState[rec.state]++
+	}
+	var shed uint64
+	for _, n := range g.shed {
+		shed += n
+	}
+	if want := uint64(len(g.jobs)) + g.dupSubmits; g.submitted != want {
+		bad = append(bad, fmt.Sprintf(
+			"admission: %d submissions but %d job records (+%d duplicates): a submission was lost or forged",
+			g.submitted, len(g.jobs), g.dupSubmits))
+	}
+	if byState[StateQueued] != uint64(g.queued) {
+		bad = append(bad, fmt.Sprintf(
+			"admission: %d jobs in queued state but backlog counter says %d",
+			byState[StateQueued], g.queued))
+	}
+	if byState[StateShed]+g.dupSubmits != shed {
+		bad = append(bad, fmt.Sprintf(
+			"admission: %d shed records (+%d duplicates) but %d shed decisions",
+			byState[StateShed], g.dupSubmits, shed))
+	}
+	if got := byState[StateAdmitted] + byState[StateRegistered]; got != uint64(g.inflight) {
+		bad = append(bad, fmt.Sprintf(
+			"admission: %d jobs in flight by state but counter says %d", got, g.inflight))
+	}
+	if got := byState[StateAdmitted] + byState[StateRegistered] + byState[StateCompleted]; got != g.admitted {
+		bad = append(bad, fmt.Sprintf(
+			"admission: %d jobs past admission but %d admit decisions: a job was admitted twice or lost",
+			got, g.admitted))
+	}
+	if got := byState[StateRegistered] + byState[StateCompleted]; got != g.registered {
+		bad = append(bad, fmt.Sprintf(
+			"admission: %d jobs past registration but %d registrations fired: a job registered twice or was lost",
+			got, g.registered))
+	}
+	if byState[StateCompleted] != g.completed {
+		bad = append(bad, fmt.Sprintf(
+			"admission: %d completed records but %d completions", byState[StateCompleted], g.completed))
+	}
+	var cs, ca, cr, cc uint64
+	for c := 0; c < NumClasses; c++ {
+		cs += g.cSub[c]
+		ca += g.cAdm[c]
+		cr += g.cReg[c]
+		cc += g.cComp[c]
+	}
+	if cs != g.submitted || ca != g.admitted || cr != g.registered || cc != g.completed {
+		bad = append(bad, "admission: per-class tallies disagree with totals")
+	}
+	if settled && byState[StateAdmitted] != 0 {
+		bad = append(bad, fmt.Sprintf(
+			"admission: settled with %d admitted jobs awaiting acknowledgement: admissions were lost",
+			byState[StateAdmitted]))
+	}
+	sort.Strings(bad)
+	return bad
+}

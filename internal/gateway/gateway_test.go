@@ -1,0 +1,325 @@
+package gateway
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/protocol"
+	"repro/internal/sim"
+	"repro/internal/transport"
+)
+
+// stubMaster acks every JobAdmit like the real FuxiMaster, with a settable
+// epoch and an on/off switch to simulate crashes.
+type stubMaster struct {
+	net   *transport.Net
+	epoch int
+	seq   protocol.Sequencer
+	acked int
+}
+
+func newStubMaster(net *transport.Net) *stubMaster {
+	m := &stubMaster{net: net, epoch: 1}
+	net.Register(protocol.MasterEndpoint, m.handle)
+	return m
+}
+
+func (m *stubMaster) handle(from string, msg transport.Message) {
+	if t, ok := msg.(protocol.JobAdmit); ok {
+		m.acked++
+		m.net.Send(protocol.MasterEndpoint, protocol.GatewayEndpoint, protocol.JobAdmitAck{
+			JobID: t.JobID, Epoch: m.epoch, Seq: m.seq.Next(),
+		})
+	}
+}
+
+func (m *stubMaster) crash() { m.net.Unregister(protocol.MasterEndpoint) }
+
+func (m *stubMaster) promote(epoch int) {
+	m.epoch = epoch
+	m.net.Register(protocol.MasterEndpoint, m.handle)
+	m.net.Send(protocol.MasterEndpoint, protocol.GatewayEndpoint, protocol.MasterHello{Epoch: epoch})
+}
+
+type fixture struct {
+	eng    *sim.Engine
+	net    *transport.Net
+	gw     *Gateway
+	master *stubMaster
+	reg    []Job
+}
+
+func newFixture(t *testing.T, lim Limits) *fixture {
+	t.Helper()
+	f := &fixture{eng: sim.NewEngine(1)}
+	f.net = transport.NewNet(f.eng)
+	f.master = newStubMaster(f.net)
+	f.gw = New(Config{
+		Limits:          lim,
+		OnRegistered:    func(j Job) { f.reg = append(f.reg, j) },
+		RecordDecisions: true,
+	}, f.eng, f.net)
+	return f
+}
+
+func (f *fixture) run(d sim.Time) { f.eng.Run(f.eng.Now() + d) }
+
+func (f *fixture) check(t *testing.T, settled bool) {
+	t.Helper()
+	if bad := f.gw.CheckConservation(settled); len(bad) > 0 {
+		t.Fatalf("conservation violated: %v", bad)
+	}
+}
+
+func TestTokenBucketRateLimit(t *testing.T) {
+	lim := DefaultLimits()
+	lim.Burst = 2
+	lim.RefillEvery = sim.Second
+	f := newFixture(t, lim)
+
+	for i := 0; i < 5; i++ {
+		kind := f.gw.Submit(Job{ID: fmt.Sprintf("j%d", i), Tenant: "hot", Class: ClassBatch})
+		want := DecisionQueued
+		if i >= 2 {
+			want = DecisionShedRateLimit
+		}
+		if kind != want {
+			t.Errorf("submission %d: %v, want %v", i, kind, want)
+		}
+	}
+	// One refill period later one more token is available.
+	f.run(sim.Second + sim.Millisecond)
+	if kind := f.gw.Submit(Job{ID: "j5", Tenant: "hot", Class: ClassBatch}); kind != DecisionQueued {
+		t.Errorf("post-refill submission: %v, want queued", kind)
+	}
+	f.run(2 * sim.Second)
+	f.check(t, false)
+	st := f.gw.Snapshot()
+	if st.ShedRateLimit != 3 || st.Admitted != 3 {
+		t.Errorf("shed=%d admitted=%d, want 3/3", st.ShedRateLimit, st.Admitted)
+	}
+}
+
+func TestTenantQueueBoundAndBacklogShed(t *testing.T) {
+	lim := DefaultLimits()
+	lim.RefillEvery = 0 // no rate limiting: isolate the queue bounds
+	lim.QueueCap = 3
+	lim.MaxQueued = 5
+	lim.AdmitPeriod = sim.Minute // effectively freeze the dequeue
+	f := newFixture(t, lim)
+
+	for i := 0; i < 5; i++ {
+		kind := f.gw.Submit(Job{ID: fmt.Sprintf("a%d", i), Tenant: "t1", Class: ClassBatch})
+		want := DecisionQueued
+		if i >= 3 {
+			want = DecisionShedTenantQueue
+		}
+		if kind != want {
+			t.Errorf("t1 submission %d: %v, want %v", i, kind, want)
+		}
+	}
+	for i := 0; i < 4; i++ {
+		kind := f.gw.Submit(Job{ID: fmt.Sprintf("b%d", i), Tenant: fmt.Sprintf("t%d", 2+i), Class: ClassBatch})
+		want := DecisionQueued
+		if i >= 2 { // global backlog cap of 5 reached after 3 + 2
+			want = DecisionShedBacklog
+		}
+		if kind != want {
+			t.Errorf("spread submission %d: %v, want %v", i, kind, want)
+		}
+	}
+	if kind := f.gw.Submit(Job{ID: "a0", Tenant: "t9", Class: ClassBatch}); kind != DecisionShedDuplicate {
+		t.Errorf("duplicate ID: %v, want shed-duplicate", kind)
+	}
+	f.check(t, false)
+}
+
+// TestWeightedFairDequeue pins the weighted round-robin: with deep backlog
+// in both classes and weights 4:1, each tick admits service and batch jobs
+// in that ratio, rotating fairly across the tenants inside each class.
+func TestWeightedFairDequeue(t *testing.T) {
+	lim := DefaultLimits()
+	lim.RefillEvery = 0
+	lim.QueueCap = 100
+	lim.MaxQueued = 0
+	lim.MaxInFlight = 0
+	lim.AdmitPeriod = 10 * sim.Millisecond
+	lim.AdmitPerRound = 5
+	lim.ServiceWeight, lim.BatchWeight = 4, 1
+	f := newFixture(t, lim)
+
+	for i := 0; i < 40; i++ {
+		f.gw.Submit(Job{ID: fmt.Sprintf("s%d", i), Tenant: fmt.Sprintf("svc%d", i%4), Class: ClassService})
+		f.gw.Submit(Job{ID: fmt.Sprintf("b%d", i), Tenant: fmt.Sprintf("bat%d", i%2), Class: ClassBatch})
+	}
+	// Two ticks = 10 admissions: 8 service, 2 batch.
+	f.run(2*lim.AdmitPeriod + sim.Millisecond)
+	st := f.gw.Snapshot()
+	if st.Service.Admitted != 8 || st.Batch.Admitted != 2 {
+		t.Errorf("admitted service=%d batch=%d, want 8/2", st.Service.Admitted, st.Batch.Admitted)
+	}
+	// Tenant rotation within a class: the 8 service admissions cover all 4
+	// tenants twice (FIFO rotation), not one tenant 8 times.
+	perTenant := map[string]int{}
+	for _, d := range f.gw.Decisions() {
+		if d.Kind == DecisionAdmit {
+			perTenant[f.gw.jobs[d.JobID].job.Tenant]++
+		}
+	}
+	for i := 0; i < 4; i++ {
+		if got := perTenant[fmt.Sprintf("svc%d", i)]; got != 2 {
+			t.Errorf("svc%d admitted %d jobs, want 2 (fair rotation)", i, got)
+		}
+	}
+	// Drain everything; batch must not be starved to death by the weights.
+	f.run(sim.Second)
+	st = f.gw.Snapshot()
+	if st.Admitted != 80 || st.Registered != 80 {
+		t.Errorf("admitted=%d registered=%d, want 80/80", st.Admitted, st.Registered)
+	}
+	f.check(t, false)
+}
+
+func TestBackpressureMaxInFlight(t *testing.T) {
+	lim := DefaultLimits()
+	lim.RefillEvery = 0
+	lim.MaxInFlight = 3
+	f := newFixture(t, lim)
+	for i := 0; i < 10; i++ {
+		f.gw.Submit(Job{ID: fmt.Sprintf("j%d", i), Tenant: fmt.Sprintf("t%d", i), Class: ClassBatch})
+	}
+	f.run(sim.Second)
+	st := f.gw.Snapshot()
+	if st.Admitted != 3 || st.Queued != 7 {
+		t.Errorf("admitted=%d queued=%d, want 3/7 under in-flight cap", st.Admitted, st.Queued)
+	}
+	// Completions free slots.
+	for _, j := range append([]Job(nil), f.reg...) {
+		f.gw.JobCompleted(j.ID)
+	}
+	f.run(sim.Second)
+	if st := f.gw.Snapshot(); st.Admitted != 6 {
+		t.Errorf("admitted=%d after 3 completions, want 6", st.Admitted)
+	}
+	f.check(t, false)
+}
+
+// TestFailoverReplayExactlyOnce crashes the master with admits in flight:
+// the gateway must replay the unacknowledged jobs to the promoted successor
+// on its hello, and fire each registration exactly once even though retries
+// produce duplicate acks.
+func TestFailoverReplayExactlyOnce(t *testing.T) {
+	lim := DefaultLimits()
+	lim.RefillEvery = 0
+	lim.RetryEvery = 100 * sim.Millisecond
+	f := newFixture(t, lim)
+	f.master.crash() // no master: admits go into the void
+
+	for i := 0; i < 6; i++ {
+		f.gw.Submit(Job{ID: fmt.Sprintf("j%d", i), Tenant: fmt.Sprintf("t%d", i), Class: ClassService})
+	}
+	f.run(sim.Second)
+	if len(f.reg) != 0 {
+		t.Fatalf("%d registrations with no master alive", len(f.reg))
+	}
+	st := f.gw.Snapshot()
+	if st.Admitted != 6 || st.AdmitRetries == 0 {
+		t.Fatalf("admitted=%d retries=%d, want 6 admitted with retries pending", st.Admitted, st.AdmitRetries)
+	}
+
+	f.master.promote(2)
+	f.run(sim.Second)
+	st = f.gw.Snapshot()
+	if st.Registered != 6 || len(f.reg) != 6 {
+		t.Fatalf("registered=%d callbacks=%d after promotion, want 6/6", st.Registered, len(f.reg))
+	}
+	if st.FailoverReplays == 0 {
+		t.Error("hello-triggered replay never fired")
+	}
+	if st.MasterEpoch != 2 {
+		t.Errorf("observed epoch %d, want 2", st.MasterEpoch)
+	}
+	// The master saw at least one admit per job (retries allowed), and every
+	// registration fired exactly once: 6 distinct jobs in the callback log.
+	seen := map[string]bool{}
+	for _, j := range f.reg {
+		if seen[j.ID] {
+			t.Errorf("job %s registered twice", j.ID)
+		}
+		seen[j.ID] = true
+	}
+	for _, j := range f.reg {
+		f.gw.JobCompleted(j.ID)
+	}
+	f.check(t, true)
+}
+
+// TestDecisionHashDeterminism runs the identical submission schedule twice
+// and a perturbed one once: equal streams hash equal, different streams
+// hash different.
+func TestDecisionHashDeterminism(t *testing.T) {
+	run := func(perturb bool) uint64 {
+		lim := DefaultLimits()
+		lim.Burst = 2
+		f := newFixture(t, lim)
+		for i := 0; i < 30; i++ {
+			n := i
+			f.eng.At(sim.Time(i)*7*sim.Millisecond, func() {
+				f.gw.Submit(Job{ID: fmt.Sprintf("j%d", n), Tenant: fmt.Sprintf("t%d", n%3), Class: Class(n % 2)})
+			})
+		}
+		if perturb {
+			f.eng.At(40*sim.Millisecond, func() {
+				f.gw.Submit(Job{ID: "extra", Tenant: "t0", Class: ClassBatch})
+			})
+		}
+		f.run(sim.Second)
+		f.check(t, false)
+		return f.gw.DecisionHash()
+	}
+	a, b, c := run(false), run(false), run(true)
+	if a != b {
+		t.Errorf("identical runs hash %016x vs %016x", a, b)
+	}
+	if a == c {
+		t.Error("perturbed run collided with the baseline hash")
+	}
+}
+
+// TestTenantClassIsSticky pins class normalization: a tenant's priority
+// class is part of its identity, so a job submitted under the wrong class
+// is normalized onto the tenant's — it dequeues at the tenant's weight and
+// every per-class tally stays consistent across its whole lifecycle.
+func TestTenantClassIsSticky(t *testing.T) {
+	lim := DefaultLimits()
+	lim.RefillEvery = 0
+	f := newFixture(t, lim)
+	f.gw.Submit(Job{ID: "j0", Tenant: "t0", Class: ClassBatch})
+	f.gw.Submit(Job{ID: "j1", Tenant: "t0", Class: ClassService}) // normalized to batch
+	f.run(sim.Second)
+	st := f.gw.Snapshot()
+	if st.Service.Submitted != 0 || st.Batch.Submitted != 2 {
+		t.Errorf("per-class submitted service=%d batch=%d, want 0/2", st.Service.Submitted, st.Batch.Submitted)
+	}
+	if st.Batch.Registered != 2 || st.Service.Registered != 0 {
+		t.Errorf("per-class registered service=%d batch=%d, want 0/2", st.Service.Registered, st.Batch.Registered)
+	}
+	for _, j := range f.reg {
+		if j.Class != ClassBatch {
+			t.Errorf("job %s registered with class %v, want batch", j.ID, j.Class)
+		}
+	}
+	f.check(t, false)
+}
+
+// TestConservationCatchesTampering sanity-checks that the checker is not
+// vacuous: forging a counter trips it.
+func TestConservationCatchesTampering(t *testing.T) {
+	f := newFixture(t, DefaultLimits())
+	f.gw.Submit(Job{ID: "j0", Tenant: "t0", Class: ClassService})
+	f.run(sim.Second)
+	f.gw.registered++ // forge a duplicate registration
+	if bad := f.gw.CheckConservation(false); len(bad) == 0 {
+		t.Fatal("forged registration count not detected")
+	}
+}

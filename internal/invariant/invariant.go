@@ -19,6 +19,11 @@
 //     capacity table, and each application master's container ledger. They
 //     are only meaningful at settled points (no control messages in
 //     flight), such as the end of a run or a deliberate quiescent barrier.
+//
+// When a submission gateway fronts the cluster, the checker also enforces
+// admission conservation: every job the gateway admitted is registered
+// exactly once or deterministically shed — never lost in a master failover
+// and never duplicated by the admit replay (see CheckAdmission).
 package invariant
 
 import (
@@ -27,6 +32,7 @@ import (
 
 	"repro/internal/agent"
 	"repro/internal/appmaster"
+	"repro/internal/gateway"
 	"repro/internal/master"
 	"repro/internal/topology"
 )
@@ -47,6 +53,9 @@ type Checker struct {
 	AMs func() []*appmaster.AM
 	// Ckpt, when set, enables the checkpoint write-budget check.
 	Ckpt *master.CheckpointStore
+	// Gateway, when set, enables the admission-conservation check over the
+	// submission front door.
+	Gateway *gateway.Gateway
 
 	// Checks counts invocations; Violations accumulates every distinct
 	// violation observed, for end-of-run reporting.
@@ -169,6 +178,33 @@ func (c *Checker) CheckQuota() []string {
 	return c.record(s.QuotaDeficits())
 }
 
+// CheckAdmission verifies admission conservation over the submission
+// gateway: the gateway's streaming tallies must agree with its job table
+// (each submission holds exactly one record, registration and completion
+// fire at most once per job). At settled points the front door must be
+// quiescent — no job stranded queued or awaiting an acknowledgement across
+// however many master failovers occurred — and every still-open registered
+// job must be registered with the live primary's scheduler exactly as the
+// gateway believes (the cross-component half: an admission the rebuilt
+// master forgot, or one applied twice, surfaces here).
+func (c *Checker) CheckAdmission(settled bool) []string {
+	if c.Gateway == nil {
+		return c.record(nil)
+	}
+	bad := c.Gateway.CheckConservation(settled)
+	if settled {
+		if s := c.Sched(); s != nil {
+			for _, id := range c.Gateway.RegisteredOpen() {
+				if !s.Registered(id) {
+					bad = append(bad, fmt.Sprintf(
+						"admission: job %s registered at the gateway but unknown to the master", id))
+				}
+			}
+		}
+	}
+	return c.record(bad)
+}
+
 // CheckCheckpointWrites asserts the checkpoint store absorbed at most
 // budget writes — the paper's light-weight hard-state discipline: the
 // scheduling fast path (demand, grants, returns, heartbeats) must never
@@ -186,11 +222,15 @@ func (c *Checker) CheckCheckpointWrites(budget int) []string {
 	return c.record(nil)
 }
 
-// CheckAll runs every check appropriate for the moment: scheduler checks
-// always, ledger and quota checks only when settled is true.
+// CheckAll runs every check appropriate for the moment: scheduler and
+// admission checks always, ledger and quota checks only when settled is
+// true.
 func (c *Checker) CheckAll(settled bool) []string {
 	var bad []string
 	bad = append(bad, c.CheckScheduler()...)
+	if c.Gateway != nil {
+		bad = append(bad, c.CheckAdmission(settled)...)
+	}
 	if settled {
 		bad = append(bad, c.CheckLedgers()...)
 		bad = append(bad, c.CheckQuota()...)

@@ -29,8 +29,13 @@ type CheckpointStore struct {
 	order     []string
 	blacklist []string
 	// Writes counts checkpoint mutations, demonstrating in tests that the
-	// fast path never touches the store.
-	Writes int
+	// fast path never touches the store. BlacklistWrites is the subset from
+	// SetBlacklist: blacklist churn is hard state on its own cadence
+	// (bounded by report/flap/decay periods, not by scheduling volume), so
+	// write-budget checks allot it a cap derived from the failure events a
+	// scenario injects rather than from scheduling volume.
+	Writes          int
+	BlacklistWrites int
 }
 
 // NewCheckpointStore returns an empty store.
@@ -74,6 +79,7 @@ func (c *CheckpointStore) RemoveApp(name string) {
 func (c *CheckpointStore) SetBlacklist(machines []string) {
 	c.blacklist = append([]string(nil), machines...)
 	c.Writes++
+	c.BlacklistWrites++
 }
 
 // Load returns the current snapshot (copies; the caller may mutate freely).

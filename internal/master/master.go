@@ -51,6 +51,21 @@ type Config struct {
 	// BadReportThreshold is how many distinct applications must report a
 	// machine bad before FuxiMaster disables it cluster-wide.
 	BadReportThreshold int
+	// FlapPenalty, FlapThreshold, FlapDecayEvery and FlapDecayStep drive
+	// the cluster-level half of the multi-level blacklist (paper §3.4; the
+	// job-level half lives in internal/blacklist): every master-observed
+	// machine death — a heartbeat-timeout declaration or an agent restart
+	// announcing itself with a CapacityQuery — adds FlapPenalty to the
+	// machine's flap score, and at FlapThreshold the machine is blacklisted
+	// so the scheduler's sweep skips it. The score decays by FlapDecayStep
+	// every FlapDecayEvery; once it falls back below the threshold (and no
+	// other signal pins the machine) it is rehabilitated — distinguishing a
+	// persistently flapping node from a one-off crash. FlapThreshold <= 0
+	// disables flap tracking.
+	FlapPenalty    int
+	FlapThreshold  int
+	FlapDecayEvery sim.Time
+	FlapDecayStep  int
 	// BlacklistCap bounds the cluster blacklist ("to avoid abuse ... an
 	// upper bound limit can be configured").
 	BlacklistCap int
@@ -81,6 +96,10 @@ func DefaultConfig(process string) Config {
 		HealthScoreStrikes:   3,
 		BadReportThreshold:   2,
 		BlacklistCap:         50,
+		FlapPenalty:          2,
+		FlapThreshold:        8,
+		FlapDecayEvery:       30 * sim.Second,
+		FlapDecayStep:        1,
 	}
 }
 
@@ -108,13 +127,20 @@ type Master struct {
 	lastBeat map[string]sim.Time
 	wheel    *beatWheel // lazy timer wheel over lastBeat (dead-agent scan)
 	strikes  map[string]int
-	badVotes map[string]map[string]bool         // machine -> set of reporting apps
-	pendDem  map[string][]protocol.DemandUpdate // app -> buffered updates (batch mode)
-	pendRet  []protocol.GrantReturn             // buffered returns (batch mode)
-	flushArm bool
-	dsp      dispatchScratch   // pooled fan-out accumulators
-	touched  []string          // pooled touched-machine list (release batches)
-	agentEP  map[string]string // machine -> cached agent endpoint name
+	// flap is the cluster-level machine health score (see Config.Flap*):
+	// master-observed deaths raise it, the decay timer lowers it, and
+	// flapBlack marks machines blacklisted by it (so heartbeat-score
+	// rehabilitation cannot un-blacklist a flapping node between crashes).
+	// Both are soft state: a promoted successor starts them fresh.
+	flap      map[string]int
+	flapBlack map[string]bool
+	badVotes  map[string]map[string]bool         // machine -> set of reporting apps
+	pendDem   map[string][]protocol.DemandUpdate // app -> buffered updates (batch mode)
+	pendRet   []protocol.GrantReturn             // buffered returns (batch mode)
+	flushArm  bool
+	dsp       dispatchScratch   // pooled fan-out accumulators
+	touched   []string          // pooled touched-machine list (release batches)
+	agentEP   map[string]string // machine -> cached agent endpoint name
 	// Pooled round-merge buffers (flushRound).
 	appBuf  []string
 	unitBuf []int
@@ -144,12 +170,14 @@ func NewMaster(cfg Config, eng *sim.Engine, net *transport.Net, lock *lockservic
 	}
 	m := &Master{
 		cfg: cfg, eng: eng, net: net, lock: lock, top: top, ckpt: ckpt, reg: reg,
-		dedup:    protocol.NewDedup(),
-		lastBeat: make(map[string]sim.Time),
-		strikes:  make(map[string]int),
-		badVotes: make(map[string]map[string]bool),
-		pendDem:  make(map[string][]protocol.DemandUpdate),
-		agentEP:  make(map[string]string, top.Size()),
+		dedup:     protocol.NewDedup(),
+		lastBeat:  make(map[string]sim.Time),
+		strikes:   make(map[string]int),
+		flap:      make(map[string]int),
+		flapBlack: make(map[string]bool),
+		badVotes:  make(map[string]map[string]bool),
+		pendDem:   make(map[string][]protocol.DemandUpdate),
+		agentEP:   make(map[string]string, top.Size()),
 	}
 	for _, mc := range top.Machines() {
 		m.agentEP[mc] = protocol.AgentEndpoint(mc)
@@ -197,6 +225,9 @@ func (m *Master) promote() {
 	m.timers = append(m.timers,
 		m.eng.Every(m.cfg.RenewEvery, m.renew),
 		m.eng.Every(m.cfg.HeartbeatScan, m.scanHeartbeats))
+	if m.cfg.FlapThreshold > 0 && m.cfg.FlapDecayEvery > 0 {
+		m.timers = append(m.timers, m.eng.Every(m.cfg.FlapDecayEvery, m.decayFlapScores))
+	}
 
 	// Soft state: everyone re-sends. Fresh clusters (epoch 1) skip the
 	// recovery pause.
@@ -219,6 +250,10 @@ func (m *Master) promote() {
 		for _, app := range snap.Apps {
 			m.net.Send(protocol.MasterEndpoint, app.Name, hello)
 		}
+		// The submission gateway (when deployed) replays its
+		// admitted-but-unacknowledged jobs on this hello; without a gateway
+		// the endpoint is unregistered and the message is dropped on arrival.
+		m.net.Send(protocol.MasterEndpoint, protocol.GatewayEndpoint, hello)
 		m.timers = append(m.timers, m.eng.After(m.cfg.RecoveryWindow, m.finishRecovery))
 	}
 }
@@ -323,6 +358,8 @@ func (m *Master) Restart() {
 	m.dedup = protocol.NewDedup()
 	m.lastBeat = make(map[string]sim.Time)
 	m.strikes = make(map[string]int)
+	m.flap = make(map[string]int)
+	m.flapBlack = make(map[string]bool)
 	m.badVotes = make(map[string]map[string]bool)
 	m.pendDem = make(map[string][]protocol.DemandUpdate)
 	m.compete()
@@ -389,6 +426,8 @@ func (m *Master) handle(from string, msg transport.Message) {
 			return
 		}
 		m.handleBadReport(t)
+	case protocol.JobAdmit:
+		m.handleJobAdmit(t)
 	}
 	m.reg.Histogram("master.request_ms").Observe(float64(time.Since(start).Nanoseconds()) / 1e6)
 }
@@ -652,6 +691,13 @@ func (m *Master) handleUnregister(t protocol.UnregisterApp) {
 	ds := m.sched.UnregisterApp(t.App)
 	m.ckpt.RemoveApp(t.App)
 	m.dispatch(ds)
+	// Acknowledge — idempotently, so a re-sent unregister whose original
+	// (or whose ack) died with a deposed primary is confirmed too. Without
+	// the ack-and-retry loop, the app's capacity would be resurrected from
+	// agent anchors at the next promotion and stranded forever.
+	m.net.Send(protocol.MasterEndpoint, t.App, protocol.UnregisterAck{
+		App: t.App, Epoch: m.epoch, Seq: m.seq.Next(),
+	})
 }
 
 func (m *Master) handleFullSync(t protocol.FullDemandSync) {
@@ -810,8 +856,81 @@ func (m *Master) handleHeartbeat(t protocol.AgentHeartbeat) {
 		}
 	} else {
 		m.strikes[mc] = 0
-		if m.sched.Blacklisted(mc) && len(m.badVotes[mc]) < m.cfg.BadReportThreshold {
-			// Score recovered and job votes don't pin it: rehabilitate.
+		if m.sched.Blacklisted(mc) && len(m.badVotes[mc]) < m.cfg.BadReportThreshold &&
+			!m.flapBlack[mc] {
+			// Score recovered and neither job votes nor the flap score pin
+			// it: rehabilitate. Flap-blacklisted machines heartbeat healthily
+			// between crashes, so only the decay path may clear them.
+			m.dispatch(m.sched.SetBlacklisted(mc, false, false))
+			m.ckpt.SetBlacklist(m.currentBlacklist())
+		}
+	}
+}
+
+// handleJobAdmit acknowledges one job handed over by the submission
+// gateway. Deliberately not sequence-deduplicated: the gateway re-sends the
+// admit until an ack lands, and every copy — including one whose original
+// ack died with a deposed primary — must be re-acknowledged. The handler is
+// idempotent because it changes no scheduler state; the job's resources
+// enter through the application master's own RegisterApp/DemandUpdate once
+// the gateway releases it.
+func (m *Master) handleJobAdmit(t protocol.JobAdmit) {
+	m.net.Send(protocol.MasterEndpoint, protocol.GatewayEndpoint, protocol.JobAdmitAck{
+		JobID: t.JobID, Epoch: m.epoch, Seq: m.seq.Next(),
+	})
+}
+
+// noteFlap records one master-observed death of a machine and blacklists it
+// at the flap threshold — the cluster-level half of the multi-level
+// blacklist (the job-level, bottom-up half is internal/blacklist).
+func (m *Master) noteFlap(mc string) {
+	if m.cfg.FlapThreshold <= 0 {
+		return
+	}
+	m.flap[mc] += m.cfg.FlapPenalty
+	if m.flap[mc] >= m.cfg.FlapThreshold {
+		if !m.sched.Blacklisted(mc) {
+			m.blacklist(mc)
+		}
+		if m.sched.Blacklisted(mc) { // not suppressed by the blacklist cap
+			// Pin the machine even when another signal blacklisted it first:
+			// otherwise one healthy heartbeat (resetting the strikes) would
+			// rehabilitate a node whose flap score still sits at threshold.
+			m.flapBlack[mc] = true
+		}
+	}
+}
+
+// decayFlapScores ages every flap score and rehabilitates machines whose
+// score fell back below the threshold, unless health-score strikes or job
+// bad-reports independently pin them. Machines are visited in topology
+// order so rehabilitation dispatch order is reproducible.
+func (m *Master) decayFlapScores() {
+	if !m.primary || m.crashed {
+		return
+	}
+	for _, mc := range m.top.Machines() {
+		sc, ok := m.flap[mc]
+		if !ok && !m.flapBlack[mc] {
+			// Neither a live score nor a pin — nothing to age. (A pinned
+			// machine must keep being visited even after its score decayed
+			// away while strikes or bad votes blocked rehabilitation, or
+			// the pin would leak and blacklist it forever.)
+			continue
+		}
+		if ok {
+			sc -= m.cfg.FlapDecayStep
+			if sc <= 0 {
+				delete(m.flap, mc)
+				sc = 0
+			} else {
+				m.flap[mc] = sc
+			}
+		}
+		if m.flapBlack[mc] && sc < m.cfg.FlapThreshold &&
+			m.strikes[mc] < m.cfg.HealthScoreStrikes &&
+			len(m.badVotes[mc]) < m.cfg.BadReportThreshold {
+			delete(m.flapBlack, mc)
 			m.dispatch(m.sched.SetBlacklisted(mc, false, false))
 			m.ckpt.SetBlacklist(m.currentBlacklist())
 		}
@@ -821,6 +940,13 @@ func (m *Master) handleHeartbeat(t protocol.AgentHeartbeat) {
 // handleCapacityQuery answers a restarting agent with its full granted
 // capacity table (agent failover, paper §4.3.1).
 func (m *Master) handleCapacityQuery(t protocol.CapacityQuery) {
+	// A capacity query from a machine the master never declared dead is a
+	// surprise agent restart — the second flap signal besides heartbeat
+	// timeouts (a timeout-declared death was already scored when the scan
+	// found it, and its recovery query must not count twice).
+	if !m.sched.Down(t.Machine) {
+		m.noteFlap(t.Machine)
+	}
 	var entries []protocol.CapacityEntry
 	for _, app := range m.sched.Apps() {
 		for _, u := range m.sched.Units(app) {
@@ -882,8 +1008,10 @@ func (m *Master) scanHeartbeats() {
 		m.sched.Down)
 	for _, mc := range dead {
 		// Heartbeat timeout: remove from scheduling and revoke so job
-		// masters migrate instances (paper §4.3.2).
+		// masters migrate instances (paper §4.3.2), and score the death for
+		// the cluster-level flap blacklist.
 		m.dispatch(m.sched.MachineDown(mc))
+		m.noteFlap(mc)
 	}
 }
 

@@ -117,12 +117,12 @@ type groupState struct {
 // Scheduler is the FuxiMaster scheduling core. It is deterministic and
 // single-threaded; the Master wrapper serializes access.
 type Scheduler struct {
-	top    *topology.Topology
-	opts   Options
-	free   map[string]resource.Vector
-	down   map[string]bool
-	black  map[string]bool
-	apps map[string]*appState
+	top   *topology.Topology
+	opts  Options
+	free  map[string]resource.Vector
+	down  map[string]bool
+	black map[string]bool
+	apps  map[string]*appState
 	// appsSorted mirrors the apps map keys in sorted order (maintained on
 	// register/unregister), so evacuation sweeps need not sort per call.
 	appsSorted []string

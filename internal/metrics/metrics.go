@@ -149,6 +149,37 @@ func (h *Histogram) Summary() string {
 		h.Name, h.Count(), h.Mean(), h.Quantile(0.5), h.Quantile(0.99), h.Max())
 }
 
+// Jain accumulates Jain's fairness index (Σx)² / (n·Σx²) over integer
+// allocation samples — e.g. one per-tenant admission share per tenant. The
+// sums are integers, so the index is bit-identical no matter what order the
+// samples arrive in (float accumulation over a map walk would not be);
+// callers scale fractional shares to integers (say, parts per thousand)
+// before adding. 1.0 means every sample equal; 1/n means one sample owns
+// everything.
+type Jain struct {
+	n, sum, sumSq int64
+}
+
+// Add feeds one sample. Samples must stay small enough that n·Σx² fits an
+// int64 (parts-per-thousand shares over millions of samples do).
+func (j *Jain) Add(x int64) {
+	j.n++
+	j.sum += x
+	j.sumSq += x * x
+}
+
+// N returns the number of samples added.
+func (j *Jain) N() int64 { return j.n }
+
+// Index returns the fairness index, defining the degenerate all-zero (or
+// empty) distribution as perfectly fair.
+func (j *Jain) Index() float64 {
+	if j.n == 0 || j.sumSq == 0 {
+		return 1
+	}
+	return float64(j.sum) * float64(j.sum) / (float64(j.n) * float64(j.sumSq))
+}
+
 // Registry groups series and histograms for one experiment run.
 type Registry struct {
 	series map[string]*Series

@@ -143,3 +143,40 @@ func TestPropMeanBetweenMinMax(t *testing.T) {
 		t.Error(err)
 	}
 }
+
+func TestJainIndex(t *testing.T) {
+	var equal Jain
+	for i := 0; i < 10; i++ {
+		equal.Add(1000)
+	}
+	if got := equal.Index(); got != 1 {
+		t.Errorf("equal shares: index = %v, want 1", got)
+	}
+
+	var skewed Jain
+	skewed.Add(1000)
+	for i := 0; i < 9; i++ {
+		skewed.Add(0)
+	}
+	if got, want := skewed.Index(), 0.1; got != want {
+		t.Errorf("one-owns-all over 10: index = %v, want %v", got, want)
+	}
+
+	var empty Jain
+	if got := empty.Index(); got != 1 {
+		t.Errorf("empty: index = %v, want 1", got)
+	}
+
+	// Order independence: integer sums make the index bit-identical.
+	a, b := Jain{}, Jain{}
+	xs := []int64{3, 700, 42, 0, 999, 5}
+	for _, x := range xs {
+		a.Add(x)
+	}
+	for i := len(xs) - 1; i >= 0; i-- {
+		b.Add(xs[i])
+	}
+	if a.Index() != b.Index() {
+		t.Errorf("order dependence: %v vs %v", a.Index(), b.Index())
+	}
+}

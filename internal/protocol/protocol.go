@@ -104,10 +104,23 @@ type FullDemandSync struct {
 	Seq  uint64
 }
 
-// UnregisterApp releases everything the application holds.
+// UnregisterApp releases everything the application holds. The sender
+// re-sends it (bounded, and immediately on a successor's MasterHello) until
+// an UnregisterAck lands: an unregister lost with a crashing primary would
+// otherwise strand the job's capacity forever — the successor rebuilds the
+// grants from agent allocation anchors with nobody left alive to release
+// them.
 type UnregisterApp struct {
 	App string
 	Seq uint64
+}
+
+// UnregisterAck confirms an UnregisterApp was applied (idempotently: a
+// duplicate unregister of an already-removed app is re-acknowledged).
+type UnregisterAck struct {
+	App   string
+	Epoch int
+	Seq   uint64
 }
 
 // ---------------------------------------------------------------------------
@@ -228,6 +241,41 @@ type CapacitySync struct {
 func (m CapacitySync) WireSize() int {
 	return headerBytes + len(m.Machine) + len(m.Entries)*unitBytes
 }
+
+// ---------------------------------------------------------------------------
+// Submission gateway <-> FuxiMaster
+// ---------------------------------------------------------------------------
+
+// JobAdmit hands one job the submission gateway dequeued over to the
+// primary FuxiMaster — the paper's "job submission" step (§3.1 step 1)
+// fronted by multi-tenant admission control. The message is idempotent by
+// JobID: the gateway re-sends it until an ack lands (the first attempt may
+// have died with a deposed primary), and the master answers every copy, so
+// admission survives master failover without being applied twice — the
+// gateway's job state machine fires the registration exactly once.
+type JobAdmit struct {
+	JobID  string
+	Tenant string
+	// Class is the gateway priority class (0 service, 1 batch); QuotaGroup
+	// is the scheduler quota group the tenant maps onto.
+	Class      uint8
+	QuotaGroup string
+	Seq        uint64
+}
+
+// JobAdmitAck confirms a JobAdmit. Epoch carries the answering primary's
+// election epoch so the gateway can observe successions.
+type JobAdmitAck struct {
+	JobID string
+	Epoch int
+	Seq   uint64
+}
+
+// GatewayEndpoint is the transport endpoint of the multi-tenant submission
+// gateway. A newly-promoted primary also sends its MasterHello here so the
+// gateway replays queued-but-unacknowledged admissions immediately instead
+// of waiting out a retry period.
+const GatewayEndpoint = "gateway"
 
 // BadMachineReport escalates a job-level blacklist verdict to FuxiMaster
 // (paper §4.3.2: "Among different jobs, FuxiMaster will turn this machine
@@ -387,6 +435,17 @@ func (m AgentHeartbeat) WireSize() int {
 
 // WireSize implements transport.Sizer.
 func (m CapacityUpdate) WireSize() int { return headerBytes + len(m.App) + 2*perEntryBytes }
+
+// WireSize implements transport.Sizer.
+func (m JobAdmit) WireSize() int {
+	return headerBytes + len(m.JobID) + len(m.Tenant) + len(m.QuotaGroup) + 1
+}
+
+// WireSize implements transport.Sizer.
+func (m JobAdmitAck) WireSize() int { return headerBytes + len(m.JobID) + 8 }
+
+// WireSize implements transport.Sizer.
+func (m UnregisterAck) WireSize() int { return headerBytes + len(m.App) + 8 }
 
 // WireSize implements transport.Sizer.
 func (m WorkPlan) WireSize() int {

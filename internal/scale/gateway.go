@@ -1,0 +1,180 @@
+package scale
+
+// Gateway mode: the paper-scale harness fronted by the multi-tenant
+// submission gateway (internal/gateway). An open-loop load generator
+// simulating a million-user tenant population — a uniform long tail plus a
+// small heavy-hitter set — submits jobs through the gateway; every job the
+// primary FuxiMaster acknowledges runs as a real application master through
+// the usual churn (demand, grants, holds, returns, unregister), and the
+// gateway's admit/shed decision stream, admission-latency percentiles, shed
+// rates and per-class fairness land in the `gateway` section of
+// BENCH_scale.json.
+
+import (
+	"fmt"
+	"hash/fnv"
+
+	"repro/internal/appmaster"
+	"repro/internal/gateway"
+	"repro/internal/resource"
+	"repro/internal/sim"
+)
+
+// DefaultGatewayConfig is the paper-scale gateway run: 5,000 machines,
+// 120k submissions from a 1,000,000-tenant population over 60 seconds
+// (30% of traffic from 100 heavy hitters, so per-tenant rate limiting has
+// something to bite), one mid-run master failover, and the cluster-wide
+// invariant checker — admission conservation included — attached.
+func DefaultGatewayConfig() Config {
+	c := DefaultConfig()
+	c.Apps = 0
+	c.UnitsPerApp = 1
+	c.ContainersPerUnit = 2
+	c.HoldTime = 4 * sim.Second
+	c.ArrivalWindow = 60 * sim.Second
+	c.GatewayUsers = 1_000_000
+	c.GatewaySubmissions = 120_000
+	c.GatewayHotTenants = 100
+	c.GatewayHotSharePct = 30
+	c.GatewayServicePct = 20
+	c.CheckInvariants = true
+	return c.WithMasterFailovers(1)
+}
+
+// SmokeGatewayConfig is the CI-sized gateway run: 100 machines, 8k
+// submissions from 50k tenants, still through one master failover.
+func SmokeGatewayConfig() Config {
+	c := DefaultGatewayConfig()
+	c.Racks, c.MachinesPerRack = 10, 10
+	c.GatewayUsers = 50_000
+	c.GatewaySubmissions = 8_000
+	c.ArrivalWindow = 20 * sim.Second
+	c.Horizon = 3 * sim.Minute
+	return c.WithMasterFailovers(1)
+}
+
+// workloadDone reports whether the run's workload finished: every app
+// completed (classic mode), or every submission issued and settled to
+// completed-or-shed (gateway mode).
+func (h *harness) workloadDone() bool {
+	if h.gw != nil {
+		return h.gwSubmitted >= h.cfg.GatewaySubmissions && h.gw.Drained()
+	}
+	return h.completed >= h.cfg.Apps
+}
+
+// scheduleSubmissions drives the open-loop load generator: submissions at
+// deterministic instants spread uniformly over ArrivalWindow, each from a
+// tenant drawn either from the heavy-hitter set or uniformly from the full
+// population. Tenant identity fixes the priority class.
+func (h *harness) scheduleSubmissions() {
+	cfg := h.cfg
+	start := h.eng.Now()
+	var next func()
+	next = func() {
+		i := h.gwSubmitted
+		if i >= cfg.GatewaySubmissions {
+			return
+		}
+		idx := h.pickTenant()
+		class := gateway.ClassBatch
+		if idx%100 < cfg.GatewayServicePct {
+			class = gateway.ClassService
+		}
+		h.gw.Submit(gateway.Job{
+			ID:     fmt.Sprintf("gw-%06d", i),
+			Tenant: fmt.Sprintf("u-%07d", idx),
+			Class:  class,
+		})
+		h.gwSubmitted++
+		if h.gwSubmitted < cfg.GatewaySubmissions {
+			at := start + sim.Time(int64(cfg.ArrivalWindow)*int64(h.gwSubmitted)/int64(cfg.GatewaySubmissions))
+			h.eng.At(at, next)
+		}
+	}
+	h.eng.At(start, next)
+}
+
+func (h *harness) pickTenant() int {
+	cfg := h.cfg
+	if cfg.GatewayHotTenants > 0 && cfg.GatewayHotSharePct > 0 &&
+		h.rng.Intn(100) < cfg.GatewayHotSharePct {
+		return h.rng.Intn(cfg.GatewayHotTenants)
+	}
+	return h.rng.Intn(cfg.GatewayUsers)
+}
+
+// jobMix hashes a job ID into a deterministic per-job value for shaping
+// units and locality hints. A hash — rather than the harness rng — keeps
+// each job's shape independent of registration timing, so a master
+// failover shifting when jobs register cannot perturb the shared random
+// stream the fault injector draws from.
+func jobMix(id string) uint64 {
+	h := fnv.New64a()
+	h.Write([]byte(id))
+	return h.Sum64()
+}
+
+// spawnGatewayJob starts the application master for one registered job —
+// the gateway's OnRegistered callback. The job runs the same churn as the
+// classic workload: request with a locality mix, hold, return, re-request
+// on revocation, unregister when done (which completes the job at the
+// gateway and frees its in-flight slot).
+func (h *harness) spawnGatewayJob(j gateway.Job) {
+	cfg := h.cfg
+	mix := jobMix(j.ID)
+	// Service jobs schedule ahead of batch jobs inside the cluster too.
+	prio := 3
+	if j.Class == gateway.ClassService {
+		prio = 1
+	}
+	units := make([]resource.ScheduleUnit, 0, cfg.UnitsPerApp)
+	for u := 0; u < cfg.UnitsPerApp; u++ {
+		units = append(units, resource.ScheduleUnit{
+			ID:       u + 1,
+			Priority: prio,
+			Size:     unitSize(int((mix >> 8) % 3)),
+			MaxCount: cfg.ContainersPerUnit,
+		})
+	}
+	app := &scaleApp{
+		h:          h,
+		name:       j.ID,
+		remaining:  cfg.UnitsPerApp * cfg.ContainersPerUnit,
+		pendingReq: make(map[int]sim.Time, cfg.UnitsPerApp),
+	}
+	h.apps = append(h.apps, app)
+	app.am = appmaster.New(appmaster.Config{
+		App: j.ID, QuotaGroup: j.Class.QuotaGroup(), Units: units,
+		FullSyncInterval: 10 * sim.Second,
+	}, h.eng, h.net, h.top, appmaster.Callbacks{
+		OnGrant:  app.onGrant,
+		OnRevoke: app.onRevoke,
+	})
+	machines := h.top.Machines()
+	racks := h.top.Racks()
+	h.eng.After(sim.Millisecond, func() {
+		for u := 1; u <= cfg.UnitsPerApp; u++ {
+			var hints []resource.LocalityHint
+			rest := cfg.ContainersPerUnit
+			pick := mix + uint64(u)*2654435761
+			switch pick % 8 {
+			case 0:
+				hints = append(hints, resource.LocalityHint{
+					Type: resource.LocalityMachine, Value: machines[pick>>16%uint64(len(machines))], Count: 1,
+				})
+				rest--
+			case 1:
+				hints = append(hints, resource.LocalityHint{
+					Type: resource.LocalityRack, Value: racks[pick>>16%uint64(len(racks))], Count: 1,
+				})
+				rest--
+			}
+			if rest > 0 {
+				hints = append(hints, resource.LocalityHint{Type: resource.LocalityCluster, Count: rest})
+			}
+			app.pendingReq[u] = h.eng.Now()
+			app.am.Request(u, hints...)
+		}
+	})
+}

@@ -24,6 +24,7 @@ import (
 
 	"repro/internal/agent"
 	"repro/internal/appmaster"
+	"repro/internal/gateway"
 	"repro/internal/invariant"
 	"repro/internal/lockservice"
 	"repro/internal/master"
@@ -99,6 +100,30 @@ type Config struct {
 	// over the work actually done. It exists so the slow baseline can be
 	// rate-measured at full scale without running to completion.
 	WallBudget time.Duration `json:"wall_budget_ns"`
+
+	// GatewayUsers > 0 switches the workload to gateway mode: instead of a
+	// fixed app schedule, an open-loop load generator simulating this many
+	// distinct tenants submits GatewaySubmissions jobs through the
+	// multi-tenant submission gateway (internal/gateway) spread over
+	// ArrivalWindow; each registered job runs as an application master with
+	// UnitsPerApp units of ContainersPerUnit containers held for HoldTime.
+	// Apps is ignored in this mode.
+	GatewayUsers       int `json:"gateway_users,omitempty"`
+	GatewaySubmissions int `json:"gateway_submissions,omitempty"`
+	// GatewayHotTenants is the size of the heavy-hitter set and
+	// GatewayHotSharePct the percentage of submissions drawn from it (the
+	// skew that makes per-tenant rate limiting bite: the uniform tail of a
+	// million-user population rarely exceeds one job per tenant).
+	GatewayHotTenants  int `json:"gateway_hot_tenants,omitempty"`
+	GatewayHotSharePct int `json:"gateway_hot_share_pct,omitempty"`
+	// GatewayServicePct is the percentage of tenant identities in the
+	// latency-sensitive service class (the rest are batch).
+	GatewayServicePct int `json:"gateway_service_pct,omitempty"`
+	// GatewayLimits tunes the gateway (nil takes gateway.DefaultLimits).
+	GatewayLimits *gateway.Limits `json:"gateway_limits,omitempty"`
+	// RecordGatewayDecisions keeps the full admit/shed decision stream in
+	// Result.GatewayDecisions (parity tests only — it is large).
+	RecordGatewayDecisions bool `json:"-"`
 }
 
 // DefaultConfig is the paper-scale run: 5,000 machines across 125 racks and
@@ -116,12 +141,12 @@ func DefaultConfig() Config {
 		// the run crosses into the paper's saturated regime (§5.2 reports
 		// >95% utilization), so demand queues in the locality tree and
 		// every return drives the event-driven free-up path.
-		HoldTime:          15 * sim.Second,
-		ArrivalWindow:     35 * sim.Second,
-		FailoverEvery:     2 * sim.Second,
-		FailoverDowntime:  8 * sim.Second,
-		Horizon:           10 * sim.Minute,
-		Seed:              1,
+		HoldTime:         15 * sim.Second,
+		ArrivalWindow:    35 * sim.Second,
+		FailoverEvery:    2 * sim.Second,
+		FailoverDowntime: 8 * sim.Second,
+		Horizon:          10 * sim.Minute,
+		Seed:             1,
 	}
 }
 
@@ -213,6 +238,20 @@ type Result struct {
 	GrantsLost     uint64 `json:"grants_lost_on_failover,omitempty"`
 	GrantsReissued uint64 `json:"grants_reissued,omitempty"`
 
+	// Gateway holds the submission gateway's measurement snapshot — the
+	// `gateway` section of BENCH_scale.json (gateway mode only).
+	Gateway *gateway.Stats `json:"gateway,omitempty"`
+	// AllocsPerAdmission and MessagesPerAdmission are the whole run's
+	// allocation and message volume per registered job (gateway mode only;
+	// the budget gates in CI enforce them).
+	AllocsPerAdmission   float64 `json:"allocs_per_admission,omitempty"`
+	MessagesPerAdmission float64 `json:"messages_per_admission,omitempty"`
+	// GatewayDecisions is the full decision stream (parity tests only).
+	GatewayDecisions []gateway.Decision `json:"-"`
+	// Prev tags single-run payloads with the previous-baseline diff (see
+	// PrevDiff); scalesim fills it when -prev is given.
+	Prev *PrevDiff `json:"prev_diff,omitempty"`
+
 	// Completed lists the completed application names, for the metamorphic
 	// failover-transparency test (excluded from JSON: at paper scale it
 	// would dominate the benchmark file).
@@ -243,16 +282,34 @@ type PrefixLatency struct {
 
 // Budgets are the perf regression gates scalesim enforces (and records in
 // BENCH_scale.json): a run whose allocation pressure per decision or
-// message volume per grant exceeds its budget exits non-zero in CI.
+// message volume per grant exceeds its budget exits non-zero in CI. The
+// per-admission budgets apply to gateway-mode runs only.
 type Budgets struct {
-	MaxAllocsPerDecision float64 `json:"max_allocs_per_decision"`
-	MaxMessagesPerGrant  float64 `json:"max_messages_per_grant"`
+	MaxAllocsPerDecision    float64 `json:"max_allocs_per_decision"`
+	MaxMessagesPerGrant     float64 `json:"max_messages_per_grant"`
+	MaxAllocsPerAdmission   float64 `json:"max_allocs_per_admission,omitempty"`
+	MaxMessagesPerAdmission float64 `json:"max_messages_per_admission,omitempty"`
 }
 
 // CheckBudgets returns the budget violations of this run (nil when within
-// budget; zero-valued budgets are not enforced).
+// budget; zero-valued budgets are not enforced). Gateway runs are gated on
+// the per-admission budgets only: the front-door workload — tens of
+// thousands of tiny jobs plus admission-control traffic — has a different
+// per-decision profile than the saturated batch churn the per-decision and
+// per-grant budgets were calibrated on.
 func (r *Result) CheckBudgets(b Budgets) []string {
 	var bad []string
+	if r.Gateway != nil {
+		if b.MaxAllocsPerAdmission > 0 && r.AllocsPerAdmission > b.MaxAllocsPerAdmission {
+			bad = append(bad, fmt.Sprintf("allocs/admission %.1f exceeds budget %.1f",
+				r.AllocsPerAdmission, b.MaxAllocsPerAdmission))
+		}
+		if b.MaxMessagesPerAdmission > 0 && r.MessagesPerAdmission > b.MaxMessagesPerAdmission {
+			bad = append(bad, fmt.Sprintf("messages/admission %.1f exceeds budget %.1f",
+				r.MessagesPerAdmission, b.MaxMessagesPerAdmission))
+		}
+		return bad
+	}
 	if b.MaxAllocsPerDecision > 0 && r.AllocsPerDecision > b.MaxAllocsPerDecision {
 		bad = append(bad, fmt.Sprintf("allocs/decision %.1f exceeds budget %.1f",
 			r.AllocsPerDecision, b.MaxAllocsPerDecision))
@@ -264,6 +321,16 @@ func (r *Result) CheckBudgets(b Budgets) []string {
 		}
 	}
 	return bad
+}
+
+// PrevDiff tags a run with how it relates to a previous BENCH_scale.json:
+// which sections were compared and which this build produced but the old
+// baseline predates (e.g. a pre-gateway file has no `gateway` section —
+// that is a skip, not an error).
+type PrevDiff struct {
+	Path            string   `json:"path"`
+	Compared        []string `json:"compared,omitempty"`
+	SkippedSections []string `json:"skipped_sections,omitempty"`
 }
 
 // CompareResult pairs an optimized run with its same-build baseline, the
@@ -283,6 +350,10 @@ type CompareResult struct {
 	CommonPrefixLatency *PrefixLatency `json:"common_prefix_latency,omitempty"`
 	Budgets             *Budgets       `json:"budgets,omitempty"`
 	Failover            *Result        `json:"failover,omitempty"`
+	// GatewayRun holds the gateway-mode scenario on the same cluster
+	// footprint (scalesim -compare -gateway).
+	GatewayRun *Result   `json:"gateway,omitempty"`
+	Prev       *PrevDiff `json:"prev_diff,omitempty"`
 }
 
 // scaleApp drives one application master's churn: request, hold, return,
@@ -305,6 +376,13 @@ type harness struct {
 	net    *transport.Net
 	top    *topology.Topology
 	agents []*agent.Agent
+	// gw is the submission front door (gateway mode only); gwSubmitted
+	// counts load-generator submissions issued so far.
+	gw          *gateway.Gateway
+	gwSubmitted int
+	// machineCrashes counts injected machine failovers, bounding the
+	// blacklist slice of the checkpoint write budget.
+	machineCrashes int
 	// masters is the hot-standby pair (second entry nil without master
 	// failover); whichever holds the lease is primary.
 	masters []*master.Master
@@ -399,7 +477,14 @@ func (h *harness) onRecovered(epoch, reissuedGrants int) {
 
 // Run executes one stress run and returns its measurements.
 func Run(cfg Config) (*Result, error) {
-	if cfg.Racks <= 0 || cfg.MachinesPerRack <= 0 || cfg.Apps <= 0 || cfg.UnitsPerApp <= 0 {
+	gwMode := cfg.GatewayUsers > 0
+	if cfg.Racks <= 0 || cfg.MachinesPerRack <= 0 || cfg.UnitsPerApp <= 0 {
+		return nil, fmt.Errorf("scale: non-positive cluster or workload dimension")
+	}
+	if gwMode && cfg.GatewaySubmissions <= 0 {
+		return nil, fmt.Errorf("scale: gateway mode needs a positive submission count")
+	}
+	if !gwMode && cfg.Apps <= 0 {
 		return nil, fmt.Errorf("scale: non-positive cluster or workload dimension")
 	}
 	top, err := topology.Build(topology.Spec{
@@ -423,6 +508,14 @@ func Run(cfg Config) (*Result, error) {
 	mcfg.Sched.LegacyScan = cfg.LegacyScan
 	mcfg.Sched.Shards = cfg.Shards
 	mcfg.BatchWindow = cfg.RoundWindow
+	if gwMode {
+		// Gateway priority classes map onto scheduler quota groups (zero
+		// minimum: usage accounting, no guarantee).
+		mcfg.Sched.Groups = map[string]resource.Vector{}
+		for cl := gateway.Class(0); cl < gateway.NumClasses; cl++ {
+			mcfg.Sched.Groups[cl.QuotaGroup()] = resource.Vector{}
+		}
+	}
 	h := &harness{
 		cfg: cfg, eng: eng, net: net, top: top, reg: reg,
 		rng:        rand.New(rand.NewSource(cfg.Seed + 1)),
@@ -433,6 +526,19 @@ func Run(cfg Config) (*Result, error) {
 	}
 	if len(cfg.MasterFailoverAt) > 0 {
 		mcfg.OnRecovered = h.onRecovered
+	}
+	if gwMode {
+		// The gateway boots before the masters so the epoch-1 promotion
+		// already finds its endpoint registered.
+		lim := gateway.DefaultLimits()
+		if cfg.GatewayLimits != nil {
+			lim = *cfg.GatewayLimits
+		}
+		h.gw = gateway.New(gateway.Config{
+			Limits:          lim,
+			OnRegistered:    h.spawnGatewayJob,
+			RecordDecisions: cfg.RecordGatewayDecisions,
+		}, eng, net)
 	}
 	h.masters = append(h.masters, master.NewMaster(mcfg, eng, net, lock, top, ckpt, reg))
 	if len(cfg.MasterFailoverAt) > 0 {
@@ -466,18 +572,29 @@ func Run(cfg Config) (*Result, error) {
 				}
 				return ams
 			},
-			Ckpt: ckpt,
+			Ckpt:    ckpt,
+			Gateway: h.gw,
 		}
 		// Conservation invariants after every virtual second of scheduling
-		// rounds; ledger agreement is checked at the settled end of the run.
-		eng.Every(sim.Second, func() { h.checker.CheckScheduler() })
+		// rounds (plus admission conservation in gateway mode); ledger
+		// agreement is checked at the settled end of the run.
+		eng.Every(sim.Second, func() {
+			h.checker.CheckScheduler()
+			if h.gw != nil {
+				h.checker.CheckAdmission(false)
+			}
+		})
 	}
 
-	// Schedule app arrivals uniformly across the window.
-	for i := 0; i < cfg.Apps; i++ {
-		at := eng.Now() + sim.Time(int64(cfg.ArrivalWindow)*int64(i)/int64(cfg.Apps))
-		idx := i
-		eng.At(at, func() { h.spawnApp(idx) })
+	if gwMode {
+		h.scheduleSubmissions()
+	} else {
+		// Schedule app arrivals uniformly across the window.
+		for i := 0; i < cfg.Apps; i++ {
+			at := eng.Now() + sim.Time(int64(cfg.ArrivalWindow)*int64(i)/int64(cfg.Apps))
+			idx := i
+			eng.At(at, func() { h.spawnApp(idx) })
+		}
 	}
 
 	// Failover churn: crash a random up machine, restart after the
@@ -489,6 +606,7 @@ func Run(cfg Config) (*Result, error) {
 			if !a.Up() {
 				return
 			}
+			h.machineCrashes++
 			a.CrashMachine()
 			eng.After(cfg.FailoverDowntime, a.RestartMachine)
 		})
@@ -498,7 +616,7 @@ func Run(cfg Config) (*Result, error) {
 	runtime.ReadMemStats(&before)
 	start := time.Now()
 	slice := 500 * sim.Millisecond
-	for eng.Now() < cfg.Horizon && h.completed < cfg.Apps {
+	for eng.Now() < cfg.Horizon && !h.workloadDone() {
 		eng.Run(eng.Now() + slice)
 		if cfg.WallBudget > 0 && time.Since(start) > cfg.WallBudget {
 			break
@@ -507,15 +625,25 @@ func Run(cfg Config) (*Result, error) {
 	wall := time.Since(start).Seconds()
 	runtime.ReadMemStats(&after)
 
-	if h.checker != nil && h.completed == cfg.Apps {
+	if h.checker != nil && h.workloadDone() {
 		// Let in-flight control traffic land (one-way latency is 200µs;
 		// two virtual seconds covers every outstanding round trip), then
 		// verify the settled cross-component ledgers and the checkpoint
-		// write budget: one SaveApp per app, one RemoveApp per completed
-		// app, one epoch bump per election.
+		// write budget: one SaveApp per registered app, one RemoveApp per
+		// completed app, one epoch bump per election, plus a blacklist
+		// allowance derived from the deaths the run injected — each
+		// machine crash can be observed once per master tenure and score at
+		// most one blacklisting plus one rehabilitation write. A regression
+		// that writes the blacklist on the fast path still blows the budget.
 		eng.Run(eng.Now() + 2*sim.Second)
 		h.checker.CheckAll(true)
-		h.checker.CheckCheckpointWrites(cfg.Apps + h.completed + 1 + len(cfg.MasterFailoverAt))
+		saved := cfg.Apps
+		if gwMode {
+			saved = int(h.gw.Snapshot().Registered)
+		}
+		blkBudget := 2 * h.machineCrashes * (1 + len(cfg.MasterFailoverAt))
+		h.checker.CheckCheckpointWrites(saved + h.completed + 1 +
+			len(cfg.MasterFailoverAt) + blkBudget)
 	}
 
 	res := &Result{
@@ -542,7 +670,16 @@ func Run(cfg Config) (*Result, error) {
 	}
 	res.Completed = h.names
 	res.AppLatency = h.appLat
-	res.Truncated = h.completed < cfg.Apps
+	res.Truncated = !h.workloadDone()
+	if gwMode {
+		res.Units = h.completed * cfg.UnitsPerApp
+		res.Gateway = h.gw.Snapshot()
+		res.GatewayDecisions = h.gw.Decisions()
+		if res.Gateway.Registered > 0 {
+			res.AllocsPerAdmission = float64(after.Mallocs-before.Mallocs) / float64(res.Gateway.Registered)
+			res.MessagesPerAdmission = float64(res.MessagesSent) / float64(res.Gateway.Registered)
+		}
+	}
 	if s := h.primarySched(); s != nil {
 		if ps := s.ParallelStats(); ps.Sweeps > 0 {
 			res.ParallelSweeps = ps.Sweeps
@@ -775,6 +912,9 @@ func (a *scaleApp) onGrant(unitID int, machine string, count int) {
 			a.am.Unregister()
 			h.completed++
 			h.names = append(h.names, a.name)
+			if h.gw != nil {
+				h.gw.JobCompleted(a.name)
+			}
 		}
 	})
 }
