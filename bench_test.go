@@ -346,7 +346,7 @@ func BenchmarkAblationLocalityTreeVsRescan(b *testing.B) {
 		b.Run("full-rescan/"+itoa(machines), func(b *testing.B) {
 			eng := sim.NewEngine(1)
 			net := transport.NewNet(eng)
-			net.Register("app", func(string, transport.Message) {})
+			net.Register("app", func(transport.EndpointID, transport.Message) {})
 			rm := baseline.NewRM(eng, net, top)
 			// Drain the pool so each heartbeat's request re-scans the whole
 			// busy cluster and finds nothing — the steady state of a waiting

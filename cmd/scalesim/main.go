@@ -41,6 +41,7 @@ import (
 	"fmt"
 	"os"
 	"runtime"
+	"runtime/pprof"
 	"sort"
 	"strconv"
 	"strings"
@@ -50,7 +51,9 @@ import (
 	"repro/internal/sim"
 )
 
-func main() {
+func main() { os.Exit(run()) }
+
+func run() int {
 	var (
 		smoke    = flag.Bool("smoke", false, "run the CI-sized smoke configuration (100 machines)")
 		compare  = flag.Bool("compare", false, "also run the legacy-scheduler baseline and the parallel sections, reporting speedups")
@@ -74,14 +77,20 @@ func main() {
 		mfCount = flag.Int("master-failovers", 3, "number of mid-run master crashes in -master-failover mode")
 		gw      = flag.Bool("gateway", false,
 			"run the multi-tenant submission-gateway scenario (1M-user load generator, admission control, master failover, admission-conservation checks)")
-		gwUsers      = flag.Int("users", 0, "override the gateway tenant population")
-		gwSubs       = flag.Int("submissions", 0, "override the gateway submission count")
-		gwFailovers  = flag.Int("gateway-failovers", 1, "number of mid-run master crashes in -gateway mode (0 disables)")
-		gate         = flag.Bool("check-budgets", false, "exit non-zero when the run exceeds the perf budgets (CI regression gate)")
-		maxAllocs    = flag.Float64("max-allocs-per-decision", 25, "allocs/decision budget enforced by -check-budgets")
-		maxMsgPerG   = flag.Float64("max-messages-per-grant", 5.5, "messages/grant budget enforced by -check-budgets")
-		maxAllocsAdm = flag.Float64("max-allocs-per-admission", 150, "allocs/admission budget enforced by -check-budgets in -gateway mode")
-		maxMsgAdm    = flag.Float64("max-messages-per-admission", 25, "messages/admission budget enforced by -check-budgets in -gateway mode")
+		gwUsers     = flag.Int("users", 0, "override the gateway tenant population")
+		gwSubs      = flag.Int("submissions", 0, "override the gateway submission count")
+		gwFailovers = flag.Int("gateway-failovers", 1, "number of mid-run master crashes in -gateway mode (0 disables)")
+		churn       = flag.Bool("churn", false,
+			"run the steady-state churn benchmark (long-horizon release/re-demand cycling, no failovers; measured after warmup)")
+		gate          = flag.Bool("check-budgets", false, "exit non-zero when the run exceeds the perf budgets (CI regression gate)")
+		maxAllocs     = flag.Float64("max-allocs-per-decision", 10, "allocs/decision budget enforced by -check-budgets")
+		maxMsgPerG    = flag.Float64("max-messages-per-grant", 5.5, "messages/grant budget enforced by -check-budgets")
+		maxAllocsAdm  = flag.Float64("max-allocs-per-admission", 60, "allocs/admission budget enforced by -check-budgets in -gateway mode")
+		maxMsgAdm     = flag.Float64("max-messages-per-admission", 25, "messages/admission budget enforced by -check-budgets in -gateway mode")
+		maxAllocsChur = flag.Float64("max-allocs-per-decision-churn", 8, "steady-state allocs/decision budget enforced by -check-budgets in -churn mode")
+		maxAllocsFo   = flag.Float64("max-allocs-per-decision-failover", 15, "allocs/decision budget enforced by -check-budgets on master-failover scenarios")
+		cpuProfile    = flag.String("cpuprofile", "", "write a CPU profile of the run to this file (go tool pprof)")
+		memProfile    = flag.String("memprofile", "", "write an end-of-run heap profile to this file (go tool pprof -sample_index=alloc_space for hot allocators)")
 	)
 	flag.Parse()
 
@@ -134,10 +143,28 @@ func main() {
 	}
 	gwCfg = gwCfg.WithMasterFailovers(*gwFailovers)
 
+	chCfg := scale.DefaultChurnConfig()
+	if *smoke {
+		chCfg = scale.SmokeChurnConfig()
+	}
+	override(&chCfg)
+	if *horizonS == 0 {
+		chCfg.Horizon = chCfg.ChurnWarmup + chCfg.ChurnMeasure
+	}
+	if *apps > 0 {
+		chCfg.Apps = *apps
+	}
+	if *units > 0 {
+		chCfg.UnitsPerApp = *units
+	}
+	if *shards != 0 {
+		chCfg.Shards = *shards
+	}
+
 	shardCounts, err := parseShardCounts(*shardList)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "scalesim:", err)
-		os.Exit(2)
+		return 2
 	}
 	// Give the worker goroutines cores to run on when the host has them —
 	// unless the operator pinned GOMAXPROCS explicitly (the CI matrix runs
@@ -156,12 +183,44 @@ func main() {
 	}
 
 	budgets := scale.Budgets{
-		MaxAllocsPerDecision:    *maxAllocs,
-		MaxMessagesPerGrant:     *maxMsgPerG,
-		MaxAllocsPerAdmission:   *maxAllocsAdm,
-		MaxMessagesPerAdmission: *maxMsgAdm,
+		MaxAllocsPerDecision:         *maxAllocs,
+		MaxMessagesPerGrant:          *maxMsgPerG,
+		MaxAllocsPerAdmission:        *maxAllocsAdm,
+		MaxMessagesPerAdmission:      *maxMsgAdm,
+		MaxAllocsPerDecisionChurn:    *maxAllocsChur,
+		MaxAllocsPerDecisionFailover: *maxAllocsFo,
 	}
 	prevSections, prevDiffBase := loadPrev(*prev, &budgets)
+
+	if *cpuProfile != "" {
+		f, err := os.Create(*cpuProfile)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "scalesim: -cpuprofile:", err)
+			return 2
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintln(os.Stderr, "scalesim: -cpuprofile:", err)
+			return 2
+		}
+		defer func() {
+			pprof.StopCPUProfile()
+			f.Close()
+		}()
+	}
+	if *memProfile != "" {
+		defer func() {
+			f, err := os.Create(*memProfile)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "scalesim: -memprofile:", err)
+				return
+			}
+			runtime.GC()
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintln(os.Stderr, "scalesim: -memprofile:", err)
+			}
+			f.Close()
+		}()
+	}
 
 	var payload any
 	mergeKey := "run"
@@ -176,11 +235,27 @@ func main() {
 		}
 	}
 	switch {
+	case *churn:
+		res, err := scale.Run(chCfg)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "scalesim:", err)
+			return 1
+		}
+		res.VsRoundsSpeedup = roundsSpeedup(res, prevSections)
+		res.Prev = diffPrev(prevDiffBase, prevSections, []string{"churn"})
+		payload = res
+		mergeKey = "churn"
+		printResult("churn (steady state)", res)
+		if res.VsRoundsSpeedup > 0 {
+			fmt.Printf("speedup: %.2fx steady-state decisions/s vs the recorded rounds path\n", res.VsRoundsSpeedup)
+		}
+		gateViolations("churn", res)
+		broken = broken || len(res.Invariants) > 0
 	case *compare:
 		cmp, err := scale.RunCompare(cfg, *budget, shardCounts)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "scalesim:", err)
-			os.Exit(1)
+			return 1
 		}
 		cmp.Budgets = &budgets
 		printResult("baseline (legacy scan)", &cmp.Baseline)
@@ -196,8 +271,19 @@ func main() {
 		}
 		if pl := cmp.CommonPrefixLatency; pl != nil {
 			fmt.Printf("common-prefix latency over %d apps completed by every section:\n", pl.Apps)
+			batched := false
 			for _, name := range sortedKeys(pl.MeanMS) {
-				fmt.Printf("  %-12s mean %.2fms max %.2fms\n", name, pl.MeanMS[name], pl.MaxMS[name])
+				note := ""
+				if w := pl.RoundWindowMS[name]; w > 0 {
+					note = fmt.Sprintf("  [+%.0fms round window]", w)
+					batched = true
+				}
+				fmt.Printf("  %-12s mean %.2fms max %.2fms%s\n", name, pl.MeanMS[name], pl.MaxMS[name], note)
+			}
+			if batched {
+				fmt.Println("  note: sections tagged with a round window buffer demand/returns into" +
+					" scheduling rounds of that width; their latency includes the configured" +
+					" batching delay (a throughput/latency trade), not a scheduling regression.")
 			}
 		}
 		broken = broken || len(cmp.Baseline.Invariants) > 0 || len(cmp.Optimized.Invariants) > 0
@@ -216,7 +302,7 @@ func main() {
 			fo, err := scale.Run(fcfg)
 			if err != nil {
 				fmt.Fprintln(os.Stderr, "scalesim:", err)
-				os.Exit(1)
+				return 1
 			}
 			cmp.Failover = fo
 			printResult("master-failover", fo)
@@ -228,7 +314,7 @@ func main() {
 			gres, err := scale.Run(gwCfg)
 			if err != nil {
 				fmt.Fprintln(os.Stderr, "scalesim:", err)
-				os.Exit(1)
+				return 1
 			}
 			cmp.GatewayRun = gres
 			printResult("gateway", gres)
@@ -242,7 +328,7 @@ func main() {
 		res, err := scale.Run(gwCfg)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "scalesim:", err)
-			os.Exit(1)
+			return 1
 		}
 		res.Prev = diffPrev(prevDiffBase, prevSections, []string{"gateway"})
 		payload = res
@@ -264,7 +350,7 @@ func main() {
 		res, err := scale.Run(fcfg)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "scalesim:", err)
-			os.Exit(1)
+			return 1
 		}
 		res.Prev = diffPrev(prevDiffBase, prevSections, []string{"failover"})
 		payload = res
@@ -284,7 +370,7 @@ func main() {
 		res, err := scale.Run(cfg)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "scalesim:", err)
-			os.Exit(1)
+			return 1
 		}
 		res.Prev = diffPrev(prevDiffBase, prevSections, []string{"optimized"})
 		payload = res
@@ -304,7 +390,7 @@ func main() {
 		}
 		if err := writeOut(*out, payload, mergeKey, *merge, *compare, recordBudgets); err != nil {
 			fmt.Fprintln(os.Stderr, "scalesim:", err)
-			os.Exit(1)
+			return 1
 		}
 		fmt.Println("wrote", *out)
 	}
@@ -312,8 +398,42 @@ func main() {
 		// Scheduler invariant violations and budget breaches are
 		// correctness/perf failures, not measurements: make CI smoke runs
 		// fail loudly.
-		os.Exit(1)
+		return 1
 	}
+	return 0
+}
+
+// roundsSpeedup computes the churn section's decisions/s over the best
+// rounds-path section recorded in the -prev baseline: the parallel sections
+// (batched rounds) when present, else the serial optimized section. Zero
+// when no baseline is comparable.
+func roundsSpeedup(churn *scale.Result, sections map[string]json.RawMessage) float64 {
+	if churn.DecisionsPerSec == 0 || sections == nil {
+		return 0
+	}
+	best := 0.0
+	if raw, ok := sections["parallel"]; ok {
+		var par []scale.Result
+		if err := json.Unmarshal(raw, &par); err == nil {
+			for _, p := range par {
+				if p.DecisionsPerSec > best {
+					best = p.DecisionsPerSec
+				}
+			}
+		}
+	}
+	if best == 0 {
+		if raw, ok := sections["optimized"]; ok {
+			var opt scale.Result
+			if err := json.Unmarshal(raw, &opt); err == nil {
+				best = opt.DecisionsPerSec
+			}
+		}
+	}
+	if best == 0 {
+		return 0
+	}
+	return churn.DecisionsPerSec / best
 }
 
 // gatewayBroken applies the gateway scenario's pass/fail contract.
@@ -392,6 +512,12 @@ func loadPrev(path string, budgets *scale.Budgets) (map[string]json.RawMessage, 
 			}
 			if pb.MaxAllocsPerAdmission > 0 && !explicit["max-allocs-per-admission"] {
 				budgets.MaxAllocsPerAdmission = pb.MaxAllocsPerAdmission
+			}
+			if pb.MaxAllocsPerDecisionChurn > 0 && !explicit["max-allocs-per-decision-churn"] {
+				budgets.MaxAllocsPerDecisionChurn = pb.MaxAllocsPerDecisionChurn
+			}
+			if pb.MaxAllocsPerDecisionFailover > 0 && !explicit["max-allocs-per-decision-failover"] {
+				budgets.MaxAllocsPerDecisionFailover = pb.MaxAllocsPerDecisionFailover
 			}
 			if pb.MaxMessagesPerAdmission > 0 && !explicit["max-messages-per-admission"] {
 				budgets.MaxMessagesPerAdmission = pb.MaxMessagesPerAdmission

@@ -47,6 +47,31 @@
 // returns into scheduling rounds, applying releases first, reassigning in
 // one (shard-parallel) sweep, then placing merged demand.
 //
+// # Integer-ID control plane: interned identities, slice-indexed hot state
+//
+// The control plane's hot paths run entirely on dense integer IDs
+// (internal/ident is the interning primitive). Machines and racks carry
+// their topology index — assigned from the sorted name list, so every
+// process derives identical IDs and they are safe on the simulated wire:
+// GrantUpdate/GrantReturn/CapacityQuery/heartbeat traffic all speak machine
+// IDs. Applications are interned per component (the master's scheduler
+// assigns registration-order IDs; each agent interns the app names in its
+// capacity ledger), transport endpoints are interned by the Net (handlers
+// receive sender EndpointIDs; dedup high-water marks key on them), and the
+// scheduler/master wrapper keep per-machine state — free vectors, down and
+// blacklist marks, heartbeat clocks, flap scores, wait queues — in slices
+// indexed by those IDs.
+//
+// The boundary rule: names exist only at the edges. Wire messages carry
+// application names (app identity must survive a master failover, which
+// re-interns), worker-management traffic carries machine names for the job
+// layer, checkpoint snapshots serialize names exclusively (the encoding
+// cannot express an interned ID, so none can leak into durable state), and
+// every public inspection API converts on the way out. Steady-state
+// scheduling — the `churn` section of BENCH_scale.json — runs allocation-
+// lean (CI-gated allocs/decision budget) with no string hashing per
+// decision.
+//
 // # Multi-tenant submission gateway
 //
 // internal/gateway is the front door between a million-user tenant
@@ -67,6 +92,6 @@
 // section of BENCH_scale.json.
 //
 // See README.md for a tour (including the measured Seed → PR 1 → PR 3 → PR
-// 4 numbers), DESIGN.md for the system inventory, and EXPERIMENTS.md for
+// 5 numbers), DESIGN.md for the system inventory, and EXPERIMENTS.md for
 // paper-vs-measured results.
 package repro

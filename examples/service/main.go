@@ -45,14 +45,14 @@ func main() {
 		App: "frontend", Units: []resource.ScheduleUnit{unit},
 		FullSyncInterval: 10 * sim.Second,
 	}, appmaster.Callbacks{
-		OnGrant: func(unitID int, machine string, count int) {
+		OnGrant: func(unitID int, machine int32, count int) {
 			for i := 0; i < count; i++ {
 				seq++
 				id := fmt.Sprintf("fe-%03d", seq)
 				am.StartWorker(unitID, machine, id)
 			}
 		},
-		OnRevoke: func(unitID int, machine string, count int) {
+		OnRevoke: func(unitID int, machine int32, count int) {
 			// Containers lost (node death, preemption): ask for
 			// replacements anywhere.
 			am.Request(unitID, resource.LocalityHint{Type: resource.LocalityCluster, Count: count})
@@ -64,9 +64,9 @@ func main() {
 			case protocol.WorkerFailed:
 				delete(running, s.WorkerID)
 				// Replace the crashed replica in its still-held container.
-				if am.Held(1, s.Machine) > 0 {
+				if am.HeldOn(1, s.Machine) > 0 {
 					seq++
-					am.StartWorker(1, s.Machine, fmt.Sprintf("fe-%03d", seq))
+					am.StartWorkerOn(1, s.Machine, fmt.Sprintf("fe-%03d", seq))
 				}
 			case protocol.WorkerFinished:
 				delete(running, s.WorkerID)

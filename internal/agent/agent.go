@@ -8,12 +8,20 @@
 // The daemon and the worker processes it supervises fail independently: a
 // daemon crash leaves processes running (its failover re-adopts them, paper
 // §4.3.1), while a machine crash kills everything.
+//
+// Hot-path identifiers: the agent speaks its dense machine ID on the wire
+// (heartbeats, capacity queries) and keys its capacity ledger by a locally
+// interned application ID, so the steady-state beat and the per-round
+// capacity-delta decode hash integers, not names. Names survive at the
+// boundaries: the anchor allocation table (apps must be recognizable across
+// master failovers) and the worker-management messages of the job layer.
 package agent
 
 import (
 	"fmt"
 	"sort"
 
+	"repro/internal/ident"
 	"repro/internal/protocol"
 	"repro/internal/resource"
 	"repro/internal/sim"
@@ -36,6 +44,9 @@ type Config struct {
 	WorkerStartDelay sim.Time
 }
 
+// hbRingLen is the heartbeat reuse rotation depth (see Agent.hbRing).
+const hbRingLen = 8
+
 // DefaultConfig returns production-flavoured defaults.
 func DefaultConfig() Config {
 	return Config{
@@ -45,10 +56,18 @@ func DefaultConfig() Config {
 	}
 }
 
-type capKey struct {
-	app    string
-	unitID int
+// capKey packs one (app, unit) capacity address into a single integer —
+// the agent's local app intern ID in the high half, the unit ID in the low
+// half — so the per-delta hot path runs on a value map with 8-byte keys:
+// no per-entry pointer, no struct hashing, nothing for the GC to chase.
+type capKey uint64
+
+func makeCapKey(app int32, unitID int) capKey {
+	return capKey(uint64(uint32(app))<<32 | uint64(uint32(unitID)))
 }
+
+func (k capKey) app() int32  { return int32(uint32(k >> 32)) }
+func (k capKey) unitID() int { return int(int32(uint32(k))) }
 
 type capEntry struct {
 	size  resource.Vector
@@ -73,17 +92,23 @@ type Proc struct {
 type Agent struct {
 	Machine string
 
-	cfg Config
-	eng *sim.Engine
-	net *transport.Net
-	cap resource.Vector
-	ep  string // cached transport endpoint name
+	cfg      Config
+	eng      *sim.Engine
+	net      *transport.Net
+	cap      resource.Vector
+	id       int32                // dense machine ID (on the wire)
+	epID     transport.EndpointID // own endpoint
+	masterID transport.EndpointID // the logical master endpoint
 
 	// procs is the machine's OS process table: it belongs to the machine,
 	// not the daemon, so it survives daemon crashes.
 	procs map[string]*Proc
 
-	capacity  map[capKey]*capEntry
+	// appTbl interns application names; capacity/dirty key by the local ID.
+	// The table survives daemon crashes (it is only a name dictionary; the
+	// ledger itself is rebuilt from the master's CapacitySync).
+	appTbl    ident.Table
+	capacity  map[capKey]capEntry
 	daemonUp  bool
 	machineUp bool
 	broken    bool // disk corrupted: processes cannot be launched
@@ -97,7 +122,7 @@ type Agent struct {
 	HealthCollector func() int
 
 	seq    protocol.Sequencer
-	dedup  *protocol.Dedup
+	dedup  protocol.Dedup
 	timers []sim.Cancel
 
 	// Delta-heartbeat state: dirty marks capacity entries whose count
@@ -108,6 +133,18 @@ type Agent struct {
 	dirty       map[capKey]struct{}
 	sinceAnchor int
 	forceAnchor bool
+	// hbRing/hbBufs are the reusable heartbeat messages and their payload
+	// buffers (Changes or Allocations), rotated per send. A slot is only
+	// rewritten hbRingLen sends later, and the receiver consumes each
+	// message synchronously at delivery (one network latency after the
+	// send), so reuse is safe as long as fewer than hbRingLen beats are
+	// sent within one delivery window — beats outside the 1 Hz tick come
+	// only from MasterHello-triggered anchors, which are paced by
+	// hello/beat round trips. The 5,000 agents' steady-state beat stream
+	// allocates nothing.
+	hbRing [hbRingLen]protocol.AgentHeartbeat
+	hbBufs [hbRingLen][]protocol.AllocDelta
+	hbIdx  int
 
 	// KilledForCapacity and KilledForOverload count enforcement actions.
 	KilledForCapacity int
@@ -122,13 +159,12 @@ func New(cfg Config, eng *sim.Engine, net *transport.Net, m *topology.Machine) *
 		eng:       eng,
 		net:       net,
 		cap:       m.Capacity,
-		ep:        protocol.AgentEndpoint(m.Name),
+		id:        m.ID(),
 		procs:     make(map[string]*Proc),
-		capacity:  make(map[capKey]*capEntry),
+		capacity:  make(map[capKey]capEntry),
 		daemonUp:  true,
 		machineUp: true,
 		health:    100,
-		dedup:     protocol.NewDedup(),
 		dirty:     make(map[capKey]struct{}),
 	}
 	if a.cfg.AnchorEvery <= 0 {
@@ -136,12 +172,16 @@ func New(cfg Config, eng *sim.Engine, net *transport.Net, m *topology.Machine) *
 	}
 	a.forceAnchor = true // first beat announces the (empty) table in full
 	a.HealthCollector = func() int { return a.health }
-	net.Register(a.endpoint(), a.handle)
+	a.epID = net.Register(a.endpoint(), a.handle)
+	a.masterID = net.Endpoint(protocol.MasterEndpoint)
 	a.timers = append(a.timers, eng.Every(cfg.HeartbeatInterval, a.tick))
 	return a
 }
 
-func (a *Agent) endpoint() string { return a.ep }
+func (a *Agent) endpoint() string { return protocol.AgentEndpoint(a.Machine) }
+
+// ID returns the agent's dense machine ID.
+func (a *Agent) ID() int32 { return a.id }
 
 // SetHealth sets the base health score returned by the default collector.
 func (a *Agent) SetHealth(score int) { a.health = score }
@@ -157,36 +197,38 @@ func (a *Agent) Proc(workerID string) *Proc { return a.procs[workerID] }
 
 // Capacity returns the granted container count for (app, unit).
 func (a *Agent) Capacity(app string, unitID int) int {
-	if e := a.capacity[capKey{app, unitID}]; e != nil {
-		return e.count
+	id := a.appTbl.ID(app)
+	if id < 0 {
+		return 0
 	}
-	return 0
+	return a.capacity[makeCapKey(id, unitID)].count
 }
 
 // Allocations returns the agent's full capacity table as app -> unit ->
-// count (a copy). The cluster-wide invariant checker compares it against
-// the master's grant ledger.
+// count (a copy, names at the boundary). The cluster-wide invariant checker
+// compares it against the master's grant ledger.
 func (a *Agent) Allocations() map[string]map[int]int {
 	out := make(map[string]map[int]int, len(a.capacity))
 	for k, e := range a.capacity {
 		if e.count <= 0 {
 			continue
 		}
-		if out[k.app] == nil {
-			out[k.app] = make(map[int]int)
+		app := a.appTbl.Name(k.app())
+		if out[app] == nil {
+			out[app] = make(map[int]int)
 		}
-		out[k.app][k.unitID] = e.count
+		out[app][k.unitID()] = e.count
 	}
 	return out
 }
 
 // allocTable flattens the live capacity table into the sorted wire form an
-// anchor heartbeat carries — one slice allocation instead of a map per app.
-func (a *Agent) allocTable() []protocol.AllocDelta {
-	out := make([]protocol.AllocDelta, 0, len(a.capacity))
+// anchor heartbeat carries, reusing the heartbeat payload buffer.
+func (a *Agent) allocTable(buf []protocol.AllocDelta) []protocol.AllocDelta {
+	out := buf[:0]
 	for k, e := range a.capacity {
 		if e.count > 0 {
-			out = append(out, protocol.AllocDelta{App: k.app, UnitID: k.unitID, Count: e.count})
+			out = append(out, protocol.AllocDelta{App: a.appTbl.Name(k.app()), UnitID: k.unitID(), Count: e.count})
 		}
 	}
 	protocol.SortAllocDeltas(out)
@@ -200,7 +242,7 @@ func (a *Agent) MasterEpoch() int { return a.gate.Current() }
 // staleEpoch fences capacity messages from a deposed primary, resetting the
 // master dedup channel when a genuinely newer epoch appears.
 func (a *Agent) staleEpoch(epoch int) bool {
-	return a.gate.StaleCh(epoch, a.dedup, protocol.MasterEndpoint, protocol.ChanCap)
+	return a.gate.StaleCh(epoch, &a.dedup, int32(a.masterID), protocol.ChanCap)
 }
 
 // ---------------------------------------------------------------------------
@@ -220,15 +262,19 @@ func (a *Agent) tick() {
 // moved since the last beat, and a bare liveness/health beat otherwise —
 // the common case at steady state, which builds no maps at all.
 func (a *Agent) sendHeartbeat() {
-	hb := protocol.AgentHeartbeat{
-		Machine:     a.Machine,
+	slot := a.hbIdx % hbRingLen
+	a.hbIdx++
+	hb := &a.hbRing[slot]
+	*hb = protocol.AgentHeartbeat{
+		Machine:     a.id,
 		HealthScore: a.HealthCollector(),
 		Seq:         a.seq.Next(),
 	}
 	a.sinceAnchor++
 	if a.forceAnchor || a.sinceAnchor >= a.cfg.AnchorEvery {
 		hb.Full = true
-		hb.Allocations = a.allocTable()
+		a.hbBufs[slot] = a.allocTable(a.hbBufs[slot])
+		hb.Allocations = a.hbBufs[slot]
 		// Anchor time is also reaping time: zero-count entries are kept
 		// between anchors so a returning grant for the same (app, unit)
 		// reuses its entry, but entries dead for a whole anchor period
@@ -242,16 +288,18 @@ func (a *Agent) sendHeartbeat() {
 		a.sinceAnchor = 0
 		clear(a.dirty)
 	} else if len(a.dirty) > 0 {
-		hb.Changes = make([]protocol.AllocDelta, 0, len(a.dirty))
+		changes := a.hbBufs[slot][:0]
 		for k := range a.dirty {
-			hb.Changes = append(hb.Changes, protocol.AllocDelta{
-				App: k.app, UnitID: k.unitID, Count: a.Capacity(k.app, k.unitID),
+			changes = append(changes, protocol.AllocDelta{
+				App: a.appTbl.Name(k.app()), UnitID: k.unitID(), Count: a.capacity[k].count,
 			})
 		}
-		protocol.SortAllocDeltas(hb.Changes)
+		protocol.SortAllocDeltas(changes)
+		a.hbBufs[slot] = changes
+		hb.Changes = changes
 		clear(a.dirty)
 	}
-	a.net.Send(a.endpoint(), protocol.MasterEndpoint, hb)
+	a.net.SendID(a.epID, a.masterID, hb)
 }
 
 // sendAnchorBeat forces the next heartbeat to be a full anchor and sends it
@@ -301,7 +349,7 @@ func (a *Agent) enforceOverload() {
 // message handling
 // ---------------------------------------------------------------------------
 
-func (a *Agent) handle(from string, msg transport.Message) {
+func (a *Agent) handle(from transport.EndpointID, msg transport.Message) {
 	if !a.Up() {
 		return
 	}
@@ -310,7 +358,7 @@ func (a *Agent) handle(from string, msg transport.Message) {
 		if a.staleEpoch(t.Epoch) {
 			return
 		}
-		if a.dedup.ObserveCh(from, protocol.ChanCap, t.Seq) == protocol.Duplicate {
+		if a.dedup.ObserveCh(int32(from), protocol.ChanCap, t.Seq) == protocol.Duplicate {
 			return
 		}
 		a.applyCapacity(t.App, t.UnitID, t.Size, t.Delta)
@@ -318,11 +366,18 @@ func (a *Agent) handle(from string, msg transport.Message) {
 		if a.staleEpoch(t.Epoch) {
 			return
 		}
-		if a.dedup.ObserveCh(from, protocol.ChanCap, t.Seq) == protocol.Duplicate {
+		if a.dedup.ObserveCh(int32(from), protocol.ChanCap, t.Seq) == protocol.Duplicate {
 			return
 		}
+		// One intern per run of equal app names: a round's delta lists the
+		// same app's units contiguously, and string equality short-circuits
+		// on the header, so the memo kills most per-entry string hashing.
+		lastApp, lastID := "", int32(-1)
 		for _, e := range t.Entries {
-			a.applyCapacity(e.App, e.UnitID, e.Size, e.Count)
+			if lastID < 0 || e.App != lastApp {
+				lastApp, lastID = e.App, a.appTbl.Intern(e.App)
+			}
+			a.applyCapacityID(lastID, e.UnitID, e.Size, e.Count)
 		}
 	case protocol.CapacitySync:
 		if a.staleEpoch(t.Epoch) {
@@ -330,7 +385,7 @@ func (a *Agent) handle(from string, msg transport.Message) {
 		}
 		a.applyCapacitySync(t)
 	case protocol.WorkPlan:
-		if a.dedup.Observe(from+"/plan/"+t.WorkerID, t.Seq) == protocol.Duplicate {
+		if a.dedup.Observe(a.net.Name(from)+"/plan/"+t.WorkerID, t.Seq) == protocol.Duplicate {
 			return
 		}
 		a.startWorker(from, t)
@@ -353,35 +408,36 @@ func (a *Agent) handle(from string, msg transport.Message) {
 }
 
 func (a *Agent) applyCapacity(app string, unitID int, size resource.Vector, delta int) {
-	k := capKey{app, unitID}
+	a.applyCapacityID(a.appTbl.Intern(app), unitID, size, delta)
+}
+
+func (a *Agent) applyCapacityID(app int32, unitID int, size resource.Vector, delta int) {
+	k := makeCapKey(app, unitID)
 	a.dirty[k] = struct{}{}
 	e := a.capacity[k]
-	if e == nil {
-		e = &capEntry{size: size}
-		a.capacity[k] = e
-	}
 	e.size = size
 	e.count += delta
 	if e.count < 0 {
 		e.count = 0
 	}
 	// Zero-count entries stay in the table for reuse: the scale workload
-	// cycles (app, unit) capacity on a machine many times, and re-allocating
+	// cycles (app, unit) capacity on a machine many times, and re-creating
 	// the entry each cycle showed up in the paper-scale allocation profile.
-	a.ensureCapacity(k, e)
+	a.capacity[k] = e
+	a.ensureCapacity(k, e.count)
 }
 
 // ensureCapacity kills excess processes when granted capacity shrank below
 // the number of running workers and the application master did not stop one
 // itself (paper §2.2 "resource capacity ensurance").
-func (a *Agent) ensureCapacity(k capKey, e *capEntry) {
-	count := 0
-	if e != nil {
-		count = e.count
+func (a *Agent) ensureCapacity(k capKey, count int) {
+	if len(a.procs) == 0 {
+		return // nothing supervised (the common state at control-plane scale)
 	}
+	app := a.appTbl.Name(k.app())
 	var owned []*Proc
 	for _, p := range a.procs {
-		if p.App == k.app && p.UnitID == k.unitID {
+		if p.App == app && p.UnitID == k.unitID() {
 			owned = append(owned, p)
 		}
 	}
@@ -405,12 +461,12 @@ func (a *Agent) ensureCapacity(k capKey, e *capEntry) {
 // by making disk corrupted. The processes thus can not be launched."
 func (a *Agent) SetBroken(broken bool) { a.broken = broken }
 
-func (a *Agent) startWorker(from string, t protocol.WorkPlan) {
+func (a *Agent) startWorker(from transport.EndpointID, t protocol.WorkPlan) {
 	if _, dup := a.procs[t.WorkerID]; dup {
 		return
 	}
 	if a.broken {
-		a.net.Send(a.endpoint(), from, protocol.WorkerStatus{
+		a.net.SendID(a.epID, from, protocol.WorkerStatus{
 			Machine: a.Machine, App: t.App, WorkerID: t.WorkerID,
 			State:         protocol.WorkerFailed,
 			FailureDetail: "disk corrupted: process cannot be launched",
@@ -418,17 +474,19 @@ func (a *Agent) startWorker(from string, t protocol.WorkPlan) {
 		})
 		return
 	}
-	k := capKey{t.App, t.UnitID}
-	e := a.capacity[k]
+	capCount := 0
+	if id := a.appTbl.ID(t.App); id >= 0 {
+		capCount = a.capacity[makeCapKey(id, t.UnitID)].count
+	}
 	running := 0
 	for _, p := range a.procs {
 		if p.App == t.App && p.UnitID == t.UnitID {
 			running++
 		}
 	}
-	if e == nil || running >= e.count {
+	if running >= capCount {
 		// No granted capacity: refuse (isolation rule one).
-		a.net.Send(a.endpoint(), from, protocol.WorkerStatus{
+		a.net.SendID(a.epID, from, protocol.WorkerStatus{
 			Machine: a.Machine, App: t.App, WorkerID: t.WorkerID,
 			State:         protocol.WorkerFailed,
 			FailureDetail: fmt.Sprintf("no capacity for app %s unit %d on %s", t.App, t.UnitID, a.Machine),
@@ -497,7 +555,7 @@ func (a *Agent) CrashWorker(workerID, detail string) {
 		return
 	}
 	// Auto-restart inside the still-granted container.
-	a.startWorker(p.App, protocol.WorkPlan{
+	a.startWorker(a.net.Endpoint(p.App), protocol.WorkPlan{
 		App: p.App, UnitID: p.UnitID, WorkerID: p.ID, Size: p.Size, Seq: a.seq.Next(),
 	})
 }
@@ -519,8 +577,8 @@ func (a *Agent) CrashDaemon() {
 	a.timers = nil
 	a.net.Unregister(a.endpoint())
 	// In-memory daemon state is lost.
-	a.capacity = make(map[capKey]*capEntry)
-	a.dedup = protocol.NewDedup()
+	a.capacity = make(map[capKey]capEntry)
+	a.dedup = protocol.Dedup{}
 }
 
 // RestartDaemon brings the daemon back: it adopts the running processes it
@@ -536,8 +594,8 @@ func (a *Agent) RestartDaemon() {
 	a.net.Register(a.endpoint(), a.handle)
 	a.timers = append(a.timers, a.eng.Every(a.cfg.HeartbeatInterval, a.tick))
 
-	a.net.Send(a.endpoint(), protocol.MasterEndpoint, protocol.CapacityQuery{
-		Machine: a.Machine, Seq: a.seq.Next(),
+	a.net.SendID(a.epID, a.masterID, protocol.CapacityQuery{
+		Machine: a.id, Seq: a.seq.Next(),
 	})
 	apps := map[string]bool{}
 	for _, p := range a.procs {
@@ -558,31 +616,34 @@ func (a *Agent) applyCapacitySync(t protocol.CapacitySync) {
 	// enumerating every entry as a change.
 	a.forceAnchor = true
 	clear(a.dirty)
-	a.capacity = make(map[capKey]*capEntry, len(t.Entries))
+	a.capacity = make(map[capKey]capEntry, len(t.Entries))
 	for _, e := range t.Entries {
 		if e.Count > 0 {
-			a.capacity[capKey{e.App, e.UnitID}] = &capEntry{size: e.Size, count: e.Count}
+			a.capacity[makeCapKey(a.appTbl.Intern(e.App), e.UnitID)] = capEntry{size: e.Size, count: e.Count}
 		}
 	}
-	// Enforce (and below, reap) in sorted order so the enforcement kills
-	// and their failure reports are seed-reproducible.
+	// Enforce (and below, reap) in sorted name order so the enforcement
+	// kills and their failure reports are seed-reproducible (local intern
+	// IDs follow first-sight order, not name order, so sort by name).
 	keys := make([]capKey, 0, len(a.capacity))
 	for k := range a.capacity {
 		keys = append(keys, k)
 	}
 	sort.Slice(keys, func(i, j int) bool {
-		if keys[i].app != keys[j].app {
-			return keys[i].app < keys[j].app
+		ni, nj := a.appTbl.Name(keys[i].app()), a.appTbl.Name(keys[j].app())
+		if ni != nj {
+			return ni < nj
 		}
-		return keys[i].unitID < keys[j].unitID
+		return keys[i].unitID() < keys[j].unitID()
 	})
 	for _, k := range keys {
-		a.ensureCapacity(k, a.capacity[k])
+		a.ensureCapacity(k, a.capacity[k].count)
 	}
 	// Processes whose capacity vanished entirely while the daemon was down:
 	var orphans []*Proc
 	for _, p := range a.procs {
-		if a.capacity[capKey{p.App, p.UnitID}] == nil {
+		id := a.appTbl.ID(p.App)
+		if id < 0 || a.capacity[makeCapKey(id, p.UnitID)].count == 0 {
 			orphans = append(orphans, p)
 		}
 	}
@@ -648,7 +709,7 @@ func (a *Agent) CrashMachine() {
 		p.State = protocol.WorkerFailed
 		delete(a.procs, id)
 	}
-	a.capacity = make(map[capKey]*capEntry)
+	a.capacity = make(map[capKey]capEntry)
 	a.net.SetDown(a.endpoint(), true)
 }
 
@@ -662,7 +723,7 @@ func (a *Agent) RestartMachine() {
 	a.daemonUp = true
 	a.forceAnchor = true
 	clear(a.dirty)
-	a.dedup = protocol.NewDedup()
+	a.dedup = protocol.Dedup{}
 	a.net.SetDown(a.endpoint(), false)
 	a.net.Register(a.endpoint(), a.handle)
 	a.timers = append(a.timers, a.eng.Every(a.cfg.HeartbeatInterval, a.tick))

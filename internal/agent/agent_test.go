@@ -32,8 +32,18 @@ func newHarness(t *testing.T) *harness {
 		t.Fatal(err)
 	}
 	h := &harness{eng: eng, net: net}
-	net.Register(protocol.MasterEndpoint, func(_ string, m transport.Message) { h.toMaster = append(h.toMaster, m) })
-	net.Register("app1", func(_ string, m transport.Message) { h.toApp = append(h.toApp, m) })
+	// Agents reuse one heartbeat struct per beat (the receiver consumes it
+	// synchronously at delivery); a capturing test must snapshot it.
+	net.Register(protocol.MasterEndpoint, func(_ transport.EndpointID, m transport.Message) {
+		if hb, ok := m.(*protocol.AgentHeartbeat); ok {
+			c := *hb
+			c.Allocations = append([]protocol.AllocDelta(nil), hb.Allocations...)
+			c.Changes = append([]protocol.AllocDelta(nil), hb.Changes...)
+			m = c
+		}
+		h.toMaster = append(h.toMaster, m)
+	})
+	net.Register("app1", func(_ transport.EndpointID, m transport.Message) { h.toApp = append(h.toApp, m) })
 	h.agent = New(DefaultConfig(), eng, net, top.Machine(top.Machines()[0]))
 	return h
 }
@@ -306,7 +316,7 @@ func TestDaemonRestartAdoptsAndResyncs(t *testing.T) {
 	// Master replies with the capacity table; app replies with its list;
 	// the process is adopted, not killed.
 	h.net.Send(protocol.MasterEndpoint, protocol.AgentEndpoint(h.agent.Machine), protocol.CapacitySync{
-		Machine: h.agent.Machine,
+		Machine: h.agent.ID(),
 		Entries: []protocol.CapacityEntry{{App: "app1", UnitID: 1, Size: size, Count: 1}},
 		Seq:     999,
 	})

@@ -4,6 +4,11 @@
 // the tasks that run in them (§3.2.3 — containers are reused across task
 // instances instead of being reclaimed per task as in YARN), worker
 // lifecycle via FuxiAgents, and the periodic full-state safety sync.
+//
+// The container ledger and the grant/return protocol speak dense machine
+// IDs (the topology index carried on the wire); resource callbacks hand the
+// ID through, and MachineName converts at the job-layer boundary where
+// names are needed (work plans, status reports, logs).
 package appmaster
 
 import (
@@ -30,11 +35,12 @@ type Config struct {
 // Callbacks let the computation layer react to resource and worker events.
 // All callbacks are optional.
 type Callbacks struct {
-	// OnGrant fires when count containers of a unit arrive on machine.
-	OnGrant func(unitID int, machine string, count int)
-	// OnRevoke fires when count containers of a unit are revoked from
+	// OnGrant fires when count containers of a unit arrive on a machine
+	// (identified by its dense ID; MachineName converts when needed).
+	OnGrant func(unitID int, machine int32, count int)
+	// OnRevoke fires when count containers of a unit are revoked from a
 	// machine (preemption, node death, blacklisting).
-	OnRevoke func(unitID int, machine string, count int)
+	OnRevoke func(unitID int, machine int32, count int)
 	// OnWorker fires for every WorkerStatus report.
 	OnWorker func(protocol.WorkerStatus)
 	// OnMessage receives application-level messages addressed to the app
@@ -48,6 +54,16 @@ type locTarget struct {
 	value string
 }
 
+// heldKey packs (unit ID, machine ID) into the container ledger's map key.
+type heldKey uint64
+
+func makeHeldKey(unitID int, machine int32) heldKey {
+	return heldKey(uint64(uint32(unitID))<<32 | uint64(uint32(machine)))
+}
+
+func (k heldKey) unitID() int    { return int(int32(uint32(k >> 32))) }
+func (k heldKey) machine() int32 { return int32(uint32(k)) }
+
 // AM is one application master.
 type AM struct {
 	cfg Config
@@ -56,22 +72,32 @@ type AM struct {
 	top *topology.Topology
 	cb  Callbacks
 
-	units map[int]resource.ScheduleUnit
-	// outstanding is this side's view of still-unfulfilled demand.
+	epID     transport.EndpointID // own endpoint
+	masterID transport.EndpointID // the logical master endpoint
+
+	// outstanding is this side's view of still-unfulfilled demand and held
+	// the container ledger; both are created on first use — a large
+	// fraction of gateway-scale jobs never populate more than one unit, and
+	// the per-job map count was measurable. held packs (unit, machine ID)
+	// into one 8-byte key, so the whole ledger is a single value map.
 	outstanding map[int]map[locTarget]int
-	// held is the container ledger: unit -> machine -> count.
-	held map[int]map[string]int
-	// workers tracks every worker this application asked agents to run.
+	held        map[heldKey]int
+	// workers tracks every worker this application asked agents to run
+	// (nil until the first StartWorker/AdoptWorker — gateway-scale job
+	// populations never start simulated workers).
 	workers map[string]*Worker
 
 	seq     protocol.Sequencer
-	dedup   *protocol.Dedup
+	dedup   protocol.Dedup
 	timers  []sim.Cancel
 	stopped bool
-	// unregTries and unregRearm drive the reliable-unregister retry loop
-	// (see Unregister).
+	// unregTries/unregArmed/unregDone drive the reliable-unregister retry
+	// loop (see Unregister) through the closure-free timer path; unregFn is
+	// the once-bound tick.
 	unregTries int
-	unregRearm sim.Cancel
+	unregArmed bool
+	unregDone  bool
+	unregFn    func()
 	// pendRet coalesces same-instant container returns into one
 	// GrantReturnBatch (incremental communication: a hold cycle releasing
 	// containers on many machines costs one message). retArmed marks the
@@ -98,19 +124,10 @@ type Worker struct {
 // New creates and starts an application master: it registers its endpoint
 // and announces itself to FuxiMaster.
 func New(cfg Config, eng *sim.Engine, net *transport.Net, top *topology.Topology, cb Callbacks) *AM {
-	a := &AM{
-		cfg: cfg, eng: eng, net: net, top: top, cb: cb,
-		units:       make(map[int]resource.ScheduleUnit, len(cfg.Units)),
-		outstanding: make(map[int]map[locTarget]int),
-		held:        make(map[int]map[string]int),
-		workers:     make(map[string]*Worker),
-		dedup:       protocol.NewDedup(),
-	}
-	for _, u := range cfg.Units {
-		a.units[u.ID] = u
-	}
-	net.Register(cfg.App, a.handle)
-	a.send(protocol.MasterEndpoint, protocol.RegisterApp{
+	a := &AM{cfg: cfg, eng: eng, net: net, top: top, cb: cb}
+	a.epID = net.Register(cfg.App, a.handle)
+	a.masterID = net.Endpoint(protocol.MasterEndpoint)
+	a.sendToMaster(protocol.RegisterApp{
 		App: cfg.App, QuotaGroup: cfg.QuotaGroup, Units: cfg.Units, Seq: a.seq.Next(),
 	})
 	if cfg.FullSyncInterval > 0 {
@@ -119,7 +136,25 @@ func New(cfg Config, eng *sim.Engine, net *transport.Net, top *topology.Topology
 	return a
 }
 
-func (a *AM) send(to string, msg transport.Message) { a.net.Send(a.cfg.App, to, msg) }
+func (a *AM) send(to string, msg transport.Message) { a.net.SendID(a.epID, a.net.Endpoint(to), msg) }
+
+func (a *AM) sendToMaster(msg transport.Message) { a.net.SendID(a.epID, a.masterID, msg) }
+
+// unit returns the definition of unitID (found reports success). A linear
+// scan of the config slice: unit counts are small and the scan beats a
+// per-AM map at gateway population scales.
+func (a *AM) unit(unitID int) (resource.ScheduleUnit, bool) {
+	for i := range a.cfg.Units {
+		if a.cfg.Units[i].ID == unitID {
+			return a.cfg.Units[i], true
+		}
+	}
+	return resource.ScheduleUnit{}, false
+}
+
+// MachineName converts a dense machine ID to its name (the job-layer
+// boundary conversion; a slice index, not a hash).
+func (a *AM) MachineName(id int32) string { return a.top.MachineName(id) }
 
 // Request adds (or with negative counts, withdraws) demand and sends the
 // incremental update. This is the only message needed no matter how much of
@@ -128,11 +163,14 @@ func (a *AM) send(to string, msg transport.Message) { a.net.Send(a.cfg.App, to, 
 // after the call.
 func (a *AM) Request(unitID int, hints ...resource.LocalityHint) {
 	a.flushReturns() // keep the master-bound message stream in order
-	if _, known := a.units[unitID]; !known {
+	if _, known := a.unit(unitID); !known {
 		return
 	}
 	out := a.outstanding[unitID]
 	if out == nil {
+		if a.outstanding == nil {
+			a.outstanding = make(map[int]map[locTarget]int, len(a.cfg.Units))
+		}
 		out = make(map[locTarget]int)
 		a.outstanding[unitID] = out
 	}
@@ -178,23 +216,26 @@ func (a *AM) Request(unitID int, hints ...resource.LocalityHint) {
 		}
 		deltas = valid
 	}
-	a.send(protocol.MasterEndpoint, protocol.DemandUpdate{
+	a.sendToMaster(protocol.DemandUpdate{
 		App: a.cfg.App, UnitID: unitID, Deltas: deltas, Seq: a.seq.Next(),
 	})
 }
 
-// ReturnContainers gives count held containers on machine back to
+// ReturnContainers gives count held containers on a machine back to
 // FuxiMaster (workers inside them must already be stopped). Returns issued
 // within one virtual instant are coalesced into a single GrantReturnBatch,
 // flushed at the end of the instant (or eagerly, before any other
 // master-bound message, so the protocol stream stays ordered).
-func (a *AM) ReturnContainers(unitID int, machine string, count int) {
-	if count <= 0 || a.held[unitID][machine] < count {
+func (a *AM) ReturnContainers(unitID int, machine int32, count int) {
+	k := makeHeldKey(unitID, machine)
+	held := a.held[k]
+	if count <= 0 || held < count {
 		return
 	}
-	a.held[unitID][machine] -= count
-	if a.held[unitID][machine] == 0 {
-		delete(a.held[unitID], machine)
+	if held == count {
+		delete(a.held, k)
+	} else {
+		a.held[k] = held - count
 	}
 	a.pendRet = append(a.pendRet, protocol.ReturnEntry{UnitID: unitID, Machine: machine, Count: count})
 	if !a.retArmed {
@@ -203,33 +244,56 @@ func (a *AM) ReturnContainers(unitID int, machine string, count int) {
 	}
 }
 
+// ReturnContainersOn is the name-keyed wrapper of ReturnContainers for
+// boundary callers that track machines by name.
+func (a *AM) ReturnContainersOn(unitID int, machine string, count int) {
+	if id := a.top.MachineID(machine); id >= 0 {
+		a.ReturnContainers(unitID, id, count)
+	}
+}
+
 // flushReturns sends the pending coalesced returns (no-op when empty or
-// after the process died — a crash loses unsent messages by design).
+// after the process died — a crash loses unsent messages by design). The
+// batch slice is handed to the wire, so the next batch starts from a fresh
+// buffer — pre-sized to the one just shipped, so a steady return stream
+// pays one allocation per batch instead of append's doubling ladder.
 func (a *AM) flushReturns() {
 	a.retArmed = false
 	if len(a.pendRet) == 0 || a.stopped {
 		return
 	}
 	rets := a.pendRet
-	a.pendRet = nil
-	a.send(protocol.MasterEndpoint, protocol.GrantReturnBatch{
+	a.pendRet = make([]protocol.ReturnEntry, 0, max(4, len(rets)))
+	a.sendToMaster(protocol.GrantReturnBatch{
 		App: a.cfg.App, Returns: rets, Seq: a.seq.Next(),
 	})
 }
 
-// StartWorker sends a work plan to machine's agent for one held container.
-func (a *AM) StartWorker(unitID int, machine, workerID string) {
-	u, ok := a.units[unitID]
+// StartWorker sends a work plan to a machine's agent for one held container.
+func (a *AM) StartWorker(unitID int, machine int32, workerID string) {
+	u, ok := a.unit(unitID)
 	if !ok {
 		return
 	}
+	name := a.top.MachineName(machine)
+	if a.workers == nil {
+		a.workers = make(map[string]*Worker)
+	}
 	a.workers[workerID] = &Worker{
-		ID: workerID, Machine: machine, UnitID: unitID,
+		ID: workerID, Machine: name, UnitID: unitID,
 		State: protocol.WorkerStarting, PlannedAt: a.eng.Now(),
 	}
-	a.send(protocol.AgentEndpoint(machine), protocol.WorkPlan{
+	a.send(protocol.AgentEndpoint(name), protocol.WorkPlan{
 		App: a.cfg.App, UnitID: unitID, WorkerID: workerID, Size: u.Size, Seq: a.seq.Next(),
 	})
+}
+
+// StartWorkerOn is the name-keyed wrapper of StartWorker for job-layer
+// callers that track machines by name.
+func (a *AM) StartWorkerOn(unitID int, machine string, workerID string) {
+	if id := a.top.MachineID(machine); id >= 0 {
+		a.StartWorker(unitID, id, workerID)
+	}
 }
 
 // AdoptWorker records a worker that is already running (discovered through
@@ -237,6 +301,9 @@ func (a *AM) StartWorker(unitID int, machine, workerID string) {
 func (a *AM) AdoptWorker(unitID int, machine, workerID string) {
 	if _, ok := a.workers[workerID]; ok {
 		return
+	}
+	if a.workers == nil {
+		a.workers = make(map[string]*Worker)
 	}
 	a.workers[workerID] = &Worker{
 		ID: workerID, Machine: machine, UnitID: unitID,
@@ -281,9 +348,13 @@ func (a *AM) StopWorkerOn(machine, workerID string) {
 
 // ReportBadMachine escalates a job-level blacklist verdict to FuxiMaster.
 func (a *AM) ReportBadMachine(machine string) {
+	id := a.top.MachineID(machine)
+	if id < 0 {
+		return
+	}
 	a.flushReturns()
-	a.send(protocol.MasterEndpoint, protocol.BadMachineReport{
-		App: a.cfg.App, Machine: machine, Seq: a.seq.Next(),
+	a.sendToMaster(protocol.BadMachineReport{
+		App: a.cfg.App, Machine: id, Seq: a.seq.Next(),
 	})
 }
 
@@ -317,60 +388,86 @@ func (a *AM) Unregister() {
 }
 
 func (a *AM) sendUnregister() {
+	if a.unregDone {
+		return
+	}
 	a.unregTries++
-	a.send(protocol.MasterEndpoint, protocol.UnregisterApp{App: a.cfg.App, Seq: a.seq.Next()})
-	if a.unregRearm != nil {
-		a.unregRearm()
-		a.unregRearm = nil
-	}
-	if a.unregTries < unregMaxTries {
-		a.unregRearm = a.eng.After(unregRetry, a.sendUnregister)
-	} else {
+	a.sendToMaster(protocol.UnregisterApp{App: a.cfg.App, Seq: a.seq.Next()})
+	if a.unregTries >= unregMaxTries {
 		a.finishUnregister()
+		return
 	}
+	if !a.unregArmed {
+		a.unregArmed = true
+		if a.unregFn == nil {
+			a.unregFn = a.unregTick
+		}
+		a.eng.PostFunc(unregRetry, a.unregFn)
+	}
+}
+
+// unregTick is the bounded retry timer body; unregDone makes a tick armed
+// before the ack a no-op, so no cancellation handle is needed.
+func (a *AM) unregTick() {
+	a.unregArmed = false
+	if a.unregDone {
+		return
+	}
+	a.sendUnregister()
 }
 
 // finishUnregister completes the teardown once the master confirmed (or the
 // retry budget ran out).
 func (a *AM) finishUnregister() {
-	if a.unregRearm != nil {
-		a.unregRearm()
-		a.unregRearm = nil
-	}
+	a.unregDone = true
 	a.net.Unregister(a.cfg.App)
 }
 
-// heldFor returns the (lazily created) per-machine ledger of a unit.
-func (a *AM) heldFor(unitID int) map[string]int {
-	h := a.held[unitID]
-	if h == nil {
-		h = make(map[string]int)
-		a.held[unitID] = h
+// addHeld adds count to the ledger entry for (unit, machine).
+func (a *AM) addHeld(unitID int, machine int32, count int) {
+	if a.held == nil {
+		a.held = make(map[heldKey]int, 2*len(a.cfg.Units))
 	}
-	return h
+	a.held[makeHeldKey(unitID, machine)] += count
 }
 
-// Held returns the container count held for unit on machine.
-func (a *AM) Held(unitID int, machine string) int { return a.held[unitID][machine] }
+// Held returns the container count held for unit on a machine (by ID).
+func (a *AM) Held(unitID int, machine int32) int { return a.held[makeHeldKey(unitID, machine)] }
+
+// HeldOn returns the container count held for unit on a machine by name.
+func (a *AM) HeldOn(unitID int, machine string) int {
+	id := a.top.MachineID(machine)
+	if id < 0 {
+		return 0
+	}
+	return a.held[makeHeldKey(unitID, id)]
+}
 
 // HeldTotal returns all containers held for a unit.
 func (a *AM) HeldTotal(unitID int) int {
 	n := 0
-	for _, c := range a.held[unitID] {
-		n += c
+	for k, c := range a.held {
+		if k.unitID() == unitID {
+			n += c
+		}
 	}
 	return n
 }
 
-// HeldMachines returns the sorted machines holding containers for a unit.
+// HeldMachines returns the sorted machine names holding containers for a
+// unit.
 func (a *AM) HeldMachines(unitID int) []string {
-	out := make([]string, 0, len(a.held[unitID]))
-	for m, c := range a.held[unitID] {
-		if c > 0 {
-			out = append(out, m)
+	var ids []int32
+	for k, c := range a.held {
+		if k.unitID() == unitID && c > 0 {
+			ids = append(ids, k.machine())
 		}
 	}
-	sort.Strings(out)
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	out := make([]string, 0, len(ids))
+	for _, id := range ids {
+		out = append(out, a.top.MachineName(id))
+	}
 	return out
 }
 
@@ -378,11 +475,9 @@ func (a *AM) HeldMachines(unitID int) []string {
 // paper's AM_obtained metric).
 func (a *AM) ObtainedTotal() resource.Vector {
 	var t resource.Vector
-	for unitID, machines := range a.held {
-		u := a.units[unitID]
-		for _, c := range machines {
-			t = t.Add(u.Size.Scale(int64(c)))
-		}
+	for k, c := range a.held {
+		u, _ := a.unit(k.unitID())
+		t = t.Add(u.Size.Scale(int64(c)))
 	}
 	return t
 }
@@ -414,19 +509,19 @@ func (a *AM) Stopped() bool { return a.stopped }
 func (a *AM) MasterEpoch() int { return a.gate.Current() }
 
 // HeldSnapshot returns a copy of the full container ledger
-// (unit -> machine -> count), for the cluster-wide invariant checker.
+// (unit -> machine name -> count), for the cluster-wide invariant checker.
 func (a *AM) HeldSnapshot() map[int]map[string]int {
-	out := make(map[int]map[string]int, len(a.held))
-	for unitID, machines := range a.held {
-		mc := make(map[string]int, len(machines))
-		for m, c := range machines {
-			if c > 0 {
-				mc[m] = c
-			}
+	out := make(map[int]map[string]int, len(a.cfg.Units))
+	for k, c := range a.held {
+		if c <= 0 {
+			continue
 		}
-		if len(mc) > 0 {
-			out[unitID] = mc
+		mc := out[k.unitID()]
+		if mc == nil {
+			mc = make(map[string]int)
+			out[k.unitID()] = mc
 		}
+		mc[a.top.MachineName(k.machine())] = c
 	}
 	return out
 }
@@ -434,14 +529,14 @@ func (a *AM) HeldSnapshot() map[int]map[string]int {
 // staleEpoch fences grant updates from a deposed primary, resetting the
 // master dedup channel when a genuinely newer epoch appears.
 func (a *AM) staleEpoch(epoch int) bool {
-	return a.gate.StaleCh(epoch, a.dedup, protocol.MasterEndpoint, protocol.ChanGrant)
+	return a.gate.StaleCh(epoch, &a.dedup, int32(a.masterID), protocol.ChanGrant)
 }
 
 // ---------------------------------------------------------------------------
 // message handling
 // ---------------------------------------------------------------------------
 
-func (a *AM) handle(from string, msg transport.Message) {
+func (a *AM) handle(from transport.EndpointID, msg transport.Message) {
 	if a.stopped {
 		// The app lingers only to finish the reliable unregister: tear down
 		// on the ack, replay immediately to a freshly-promoted primary
@@ -462,7 +557,7 @@ func (a *AM) handle(from string, msg transport.Message) {
 		if a.staleEpoch(t.Epoch) {
 			return
 		}
-		if a.dedup.ObserveCh(from, protocol.ChanGrant, t.Seq) == protocol.Duplicate {
+		if a.dedup.ObserveCh(int32(from), protocol.ChanGrant, t.Seq) == protocol.Duplicate {
 			return
 		}
 		a.applyGrant(t)
@@ -478,7 +573,7 @@ func (a *AM) handle(from string, msg transport.Message) {
 		if a.staleEpoch(t.Epoch) {
 			return
 		}
-		a.send(protocol.MasterEndpoint, protocol.RegisterApp{
+		a.sendToMaster(protocol.RegisterApp{
 			App: a.cfg.App, QuotaGroup: a.cfg.QuotaGroup, Units: a.cfg.Units, Seq: a.seq.Next(),
 		})
 		a.fullSync()
@@ -489,7 +584,7 @@ func (a *AM) handle(from string, msg transport.Message) {
 		// name; nothing to do.
 	default:
 		if a.cb.OnMessage != nil {
-			a.cb.OnMessage(from, msg)
+			a.cb.OnMessage(a.net.Name(from), msg)
 		}
 	}
 }
@@ -497,22 +592,24 @@ func (a *AM) handle(from string, msg transport.Message) {
 func (a *AM) applyGrant(t protocol.GrantUpdate) {
 	for _, ch := range t.Changes {
 		if ch.Delta > 0 {
-			a.heldFor(t.UnitID)[ch.Machine] += ch.Delta
+			a.addHeld(t.UnitID, ch.Machine, ch.Delta)
 			a.consumeOutstanding(t.UnitID, ch.Machine, ch.Delta)
 			if a.cb.OnGrant != nil {
 				a.cb.OnGrant(t.UnitID, ch.Machine, ch.Delta)
 			}
 		} else if ch.Delta < 0 {
+			k := makeHeldKey(t.UnitID, ch.Machine)
 			n := -ch.Delta
-			if a.held[t.UnitID][ch.Machine] < n {
-				n = a.held[t.UnitID][ch.Machine]
+			if held := a.held[k]; held < n {
+				n = held
 			}
 			if n == 0 {
 				continue
 			}
-			a.held[t.UnitID][ch.Machine] -= n
-			if a.held[t.UnitID][ch.Machine] == 0 {
-				delete(a.held[t.UnitID], ch.Machine)
+			if a.held[k] == n {
+				delete(a.held, k)
+			} else {
+				a.held[k] -= n
 			}
 			if a.cb.OnRevoke != nil {
 				a.cb.OnRevoke(t.UnitID, ch.Machine, n)
@@ -525,7 +622,7 @@ func (a *AM) applyGrant(t protocol.GrantUpdate) {
 // view: a grant on machine M consumes machine-level demand on M first, then
 // rack-level demand on rack(M), then cluster-level demand. Any residual
 // divergence is repaired by the periodic full sync.
-func (a *AM) consumeOutstanding(unitID int, machine string, count int) {
+func (a *AM) consumeOutstanding(unitID int, machine int32, count int) {
 	out := a.outstanding[unitID]
 	take := func(k locTarget) {
 		for count > 0 && out[k] > 0 {
@@ -536,8 +633,8 @@ func (a *AM) consumeOutstanding(unitID int, machine string, count int) {
 			delete(out, k)
 		}
 	}
-	take(locTarget{resource.LocalityMachine, machine})
-	take(locTarget{resource.LocalityRack, a.top.RackOf(machine)})
+	take(locTarget{resource.LocalityMachine, a.top.MachineName(machine)})
+	take(locTarget{resource.LocalityRack, a.top.RackName(a.top.RackIDOf(machine))})
 	take(locTarget{resource.LocalityCluster, ""})
 }
 
@@ -568,8 +665,9 @@ func (a *AM) replyWorkerList(machine string) {
 	sort.Strings(ids)
 	for _, id := range ids {
 		w := a.workers[id]
+		u, _ := a.unit(w.UnitID)
 		plans = append(plans, protocol.WorkPlan{
-			App: a.cfg.App, UnitID: w.UnitID, WorkerID: w.ID, Size: a.units[w.UnitID].Size,
+			App: a.cfg.App, UnitID: w.UnitID, WorkerID: w.ID, Size: u.Size,
 		})
 	}
 	a.send(protocol.AgentEndpoint(machine), protocol.WorkerListReply{
@@ -599,16 +697,18 @@ func (a *AM) fullSync() {
 		})
 		demand[unitID] = hints
 	}
-	heldCopy := make(map[int]map[string]int, len(a.held))
-	for unitID, machines := range a.held {
-		mc := make(map[string]int, len(machines))
-		for m, c := range machines {
-			mc[m] = c
+	heldCopy := make(map[int]map[int32]int, len(a.cfg.Units))
+	for k, c := range a.held {
+		mc := heldCopy[k.unitID()]
+		if mc == nil {
+			mc = make(map[int32]int)
+			heldCopy[k.unitID()] = mc
 		}
-		heldCopy[unitID] = mc
+		mc[k.machine()] = c
 	}
-	a.send(protocol.MasterEndpoint, protocol.FullDemandSync{
+	a.sendToMaster(protocol.FullDemandSync{
 		App: a.cfg.App, QuotaGroup: a.cfg.QuotaGroup, Units: a.cfg.Units,
 		Demand: demand, Held: heldCopy, Seq: a.seq.Current(),
+		SeenGrantSeq: a.dedup.LastCh(int32(a.masterID), protocol.ChanGrant),
 	})
 }

@@ -33,12 +33,12 @@ func newHarness(t *testing.T, fullSync sim.Time) *harness {
 		t.Fatal(err)
 	}
 	h := &harness{eng: eng, net: net, top: top, toAgent: map[string][]transport.Message{}}
-	net.Register(protocol.MasterEndpoint, func(_ string, m transport.Message) {
+	net.Register(protocol.MasterEndpoint, func(_ transport.EndpointID, m transport.Message) {
 		h.toMaster = append(h.toMaster, m)
 	})
 	for _, name := range top.Machines() {
 		name := name
-		net.Register(protocol.AgentEndpoint(name), func(_ string, m transport.Message) {
+		net.Register(protocol.AgentEndpoint(name), func(_ transport.EndpointID, m transport.Message) {
 			h.toAgent[name] = append(h.toAgent[name], m)
 		})
 	}
@@ -47,8 +47,8 @@ func newHarness(t *testing.T, fullSync sim.Time) *harness {
 		Units:            []resource.ScheduleUnit{{ID: 1, Priority: 100, MaxCount: 20, Size: resource.New(1000, 2048)}},
 		FullSyncInterval: fullSync,
 	}, eng, net, top, Callbacks{
-		OnGrant:  func(u int, m string, c int) { h.grants = append(h.grants, m) },
-		OnRevoke: func(u int, m string, c int) { h.revokes = append(h.revokes, m) },
+		OnGrant:  func(u int, m int32, c int) { h.grants = append(h.grants, top.MachineName(m)) },
+		OnRevoke: func(u int, m int32, c int) { h.revokes = append(h.revokes, top.MachineName(m)) },
 		OnWorker: func(s protocol.WorkerStatus) { h.statuses = append(h.statuses, s) },
 	})
 	return h
@@ -57,7 +57,7 @@ func newHarness(t *testing.T, fullSync sim.Time) *harness {
 func (h *harness) grant(machine string, delta int, seq uint64) {
 	h.net.Send(protocol.MasterEndpoint, "app1", protocol.GrantUpdate{
 		App: "app1", UnitID: 1,
-		Changes: []protocol.MachineDelta{{Machine: machine, Delta: delta}},
+		Changes: []protocol.MachineDelta{{Machine: h.top.MachineID(machine), Delta: delta}},
 		Seq:     seq,
 	})
 	h.eng.Run(h.eng.Now() + 10*sim.Millisecond)
@@ -106,8 +106,8 @@ func TestGrantUpdatesLedgerAndOutstanding(t *testing.T) {
 	h := newHarness(t, 0)
 	h.am.Request(1, resource.LocalityHint{Type: resource.LocalityCluster, Count: 10})
 	h.grant("r000m000", 4, 1)
-	if h.am.Held(1, "r000m000") != 4 {
-		t.Errorf("held = %d", h.am.Held(1, "r000m000"))
+	if h.am.HeldOn(1, "r000m000") != 4 {
+		t.Errorf("held = %d", h.am.HeldOn(1, "r000m000"))
 	}
 	if h.am.Outstanding(1) != 6 {
 		t.Errorf("outstanding = %d, want 6", h.am.Outstanding(1))
@@ -138,16 +138,16 @@ func TestRevocationCallbackAndClamp(t *testing.T) {
 	h.am.Request(1, resource.LocalityHint{Type: resource.LocalityCluster, Count: 4})
 	h.grant("r000m000", 4, 1)
 	h.grant("r000m000", -2, 2)
-	if h.am.Held(1, "r000m000") != 2 {
-		t.Errorf("held = %d", h.am.Held(1, "r000m000"))
+	if h.am.HeldOn(1, "r000m000") != 2 {
+		t.Errorf("held = %d", h.am.HeldOn(1, "r000m000"))
 	}
 	if len(h.revokes) != 1 {
 		t.Errorf("revoke callbacks = %d", len(h.revokes))
 	}
 	// Over-revocation clamps instead of going negative.
 	h.grant("r000m000", -99, 3)
-	if h.am.Held(1, "r000m000") != 0 {
-		t.Errorf("held = %d, want 0", h.am.Held(1, "r000m000"))
+	if h.am.HeldOn(1, "r000m000") != 0 {
+		t.Errorf("held = %d, want 0", h.am.HeldOn(1, "r000m000"))
 	}
 }
 
@@ -156,8 +156,8 @@ func TestDuplicateGrantIgnored(t *testing.T) {
 	h.am.Request(1, resource.LocalityHint{Type: resource.LocalityCluster, Count: 10})
 	h.grant("r000m000", 4, 7)
 	h.grant("r000m000", 4, 7) // replay
-	if h.am.Held(1, "r000m000") != 4 {
-		t.Errorf("held = %d after replay, want 4", h.am.Held(1, "r000m000"))
+	if h.am.HeldOn(1, "r000m000") != 4 {
+		t.Errorf("held = %d after replay, want 4", h.am.HeldOn(1, "r000m000"))
 	}
 }
 
@@ -192,16 +192,16 @@ func TestReturnContainersSendsAndDecrements(t *testing.T) {
 	h := newHarness(t, 0)
 	h.am.Request(1, resource.LocalityHint{Type: resource.LocalityCluster, Count: 5})
 	h.grant("r000m000", 5, 1)
-	h.am.ReturnContainers(1, "r000m000", 2)
+	h.am.ReturnContainersOn(1, "r000m000", 2)
 	h.eng.Run(h.eng.Now() + 10*sim.Millisecond)
-	if h.am.Held(1, "r000m000") != 3 {
-		t.Errorf("held = %d", h.am.Held(1, "r000m000"))
+	if h.am.HeldOn(1, "r000m000") != 3 {
+		t.Errorf("held = %d", h.am.HeldOn(1, "r000m000"))
 	}
 	found := false
 	for _, m := range h.toMaster {
 		if b, ok := m.(protocol.GrantReturnBatch); ok {
 			for _, r := range b.Returns {
-				if r.UnitID == 1 && r.Machine == "r000m000" && r.Count == 2 {
+				if r.UnitID == 1 && r.Machine == h.top.MachineID("r000m000") && r.Count == 2 {
 					found = true
 				}
 			}
@@ -211,15 +211,15 @@ func TestReturnContainersSendsAndDecrements(t *testing.T) {
 		t.Error("no GrantReturnBatch carrying the return sent")
 	}
 	// Over-return is refused locally.
-	h.am.ReturnContainers(1, "r000m000", 99)
-	if h.am.Held(1, "r000m000") != 3 {
+	h.am.ReturnContainersOn(1, "r000m000", 99)
+	if h.am.HeldOn(1, "r000m000") != 3 {
 		t.Error("over-return changed ledger")
 	}
 }
 
 func TestStartStopWorkerMessages(t *testing.T) {
 	h := newHarness(t, 0)
-	h.am.StartWorker(1, "r000m000", "w1")
+	h.am.StartWorkerOn(1, "r000m000", "w1")
 	h.eng.Run(10 * sim.Millisecond)
 	msgs := h.toAgent["r000m000"]
 	if len(msgs) != 1 {
@@ -243,7 +243,7 @@ func TestStartStopWorkerMessages(t *testing.T) {
 
 func TestWorkerStatusTracksOverhead(t *testing.T) {
 	h := newHarness(t, 0)
-	h.am.StartWorker(1, "r000m000", "w1")
+	h.am.StartWorkerOn(1, "r000m000", "w1")
 	h.eng.Run(5 * sim.Second)
 	h.net.Send(protocol.AgentEndpoint("r000m000"), "app1", protocol.WorkerStatus{
 		Machine: "r000m000", App: "app1", WorkerID: "w1", State: protocol.WorkerRunning, Seq: 1,
@@ -275,7 +275,7 @@ func TestMasterHelloTriggersReRegisterAndFullSync(t *testing.T) {
 			sawReg = true
 		case protocol.FullDemandSync:
 			sawSync = true
-			if s.Held[1]["r000m000"] != 4 {
+			if s.Held[1][h.top.MachineID("r000m000")] != 4 {
 				t.Errorf("sync held = %v", s.Held)
 			}
 			total := 0
@@ -308,9 +308,9 @@ func TestPeriodicFullSync(t *testing.T) {
 
 func TestWorkerListRequestReplied(t *testing.T) {
 	h := newHarness(t, 0)
-	h.am.StartWorker(1, "r000m000", "w1")
-	h.am.StartWorker(1, "r000m000", "w2")
-	h.am.StartWorker(1, "r000m001", "w3")
+	h.am.StartWorkerOn(1, "r000m000", "w1")
+	h.am.StartWorkerOn(1, "r000m000", "w2")
+	h.am.StartWorkerOn(1, "r000m001", "w3")
 	h.net.Send(protocol.AgentEndpoint("r000m000"), "app1", protocol.WorkerListRequest{Machine: "r000m000", Seq: 1})
 	h.eng.Run(h.eng.Now() + 10*sim.Millisecond)
 	var reply *protocol.WorkerListReply

@@ -79,7 +79,7 @@ func NewRM(eng *sim.Engine, net *transport.Net, top *topology.Topology) *RM {
 	return rm
 }
 
-func (rm *RM) handle(from string, msg transport.Message) {
+func (rm *RM) handle(from transport.EndpointID, msg transport.Message) {
 	switch t := msg.(type) {
 	case fullRequest:
 		rm.allocate(t)
@@ -184,7 +184,7 @@ func (a *AM) heartbeat() {
 	})
 }
 
-func (a *AM) handle(from string, msg transport.Message) {
+func (a *AM) handle(from transport.EndpointID, msg transport.Message) {
 	if a.stopped {
 		return
 	}

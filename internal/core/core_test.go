@@ -33,7 +33,7 @@ func TestEndToEndGrantFlow(t *testing.T) {
 	am := c.NewAppMaster(appmaster.Config{
 		App: "app1", Units: []resource.ScheduleUnit{simpleUnit(1, 100, 10)},
 	}, appmaster.Callbacks{
-		OnGrant: func(unitID int, machine string, count int) { grants += count },
+		OnGrant: func(unitID int, machine int32, count int) { grants += count },
 	})
 	c.Run(100 * sim.Millisecond)
 	am.Request(1, clusterHint(10))
@@ -56,9 +56,9 @@ func TestEndToEndWorkerLifecycle(t *testing.T) {
 	am = c.NewAppMaster(appmaster.Config{
 		App: "app1", Units: []resource.ScheduleUnit{simpleUnit(1, 100, 4)},
 	}, appmaster.Callbacks{
-		OnGrant: func(unitID int, machine string, count int) {
+		OnGrant: func(unitID int, machine int32, count int) {
 			for i := 0; i < count; i++ {
-				am.StartWorker(unitID, machine, fmt.Sprintf("w-%s-%d", machine, i))
+				am.StartWorker(unitID, machine, fmt.Sprintf("w-%d-%d", machine, i))
 			}
 		},
 		OnWorker: func(s protocol.WorkerStatus) {
@@ -92,7 +92,7 @@ func TestReturnTriggersReassignment(t *testing.T) {
 	am2 := c.NewAppMaster(appmaster.Config{
 		App: "app2", Units: []resource.ScheduleUnit{simpleUnit(1, 100, 3)},
 	}, appmaster.Callbacks{
-		OnGrant: func(_ int, _ string, count int) { got2 += count },
+		OnGrant: func(_ int, _ int32, count int) { got2 += count },
 	})
 	c.Run(100 * sim.Millisecond)
 	am1.Request(1, clusterHint(12)) // fills the single machine
@@ -102,7 +102,7 @@ func TestReturnTriggersReassignment(t *testing.T) {
 	if got2 != 0 {
 		t.Fatalf("app2 granted %d from a full cluster", got2)
 	}
-	am1.ReturnContainers(1, "r000m000", 3)
+	am1.ReturnContainersOn(1, "r000m000", 3)
 	c.Run(sim.Second)
 	if got2 != 3 {
 		t.Fatalf("app2 granted %d after return, want 3", got2)
@@ -118,8 +118,8 @@ func TestMasterFailoverPreservesAllocations(t *testing.T) {
 		// Frequent full sync accelerates state repair in the test.
 		FullSyncInterval: 2 * sim.Second,
 	}, appmaster.Callbacks{
-		OnGrant:  func(_ int, _ string, n int) { grants += n },
-		OnRevoke: func(_ int, _ string, n int) { revokes += n },
+		OnGrant:  func(_ int, _ int32, n int) { grants += n },
+		OnRevoke: func(_ int, _ int32, n int) { revokes += n },
 	})
 	c.Run(100 * sim.Millisecond)
 	am.Request(1, clusterHint(8))
@@ -169,7 +169,7 @@ func TestMasterFailoverServesQueuedDemand(t *testing.T) {
 		Units:            []resource.ScheduleUnit{simpleUnit(1, 100, 20)},
 		FullSyncInterval: 2 * sim.Second,
 	}, appmaster.Callbacks{
-		OnGrant: func(_ int, _ string, n int) { grants += n },
+		OnGrant: func(_ int, _ int32, n int) { grants += n },
 	})
 	c.Run(100 * sim.Millisecond)
 	am.Request(1, clusterHint(20)) // only 12 fit on one machine
@@ -180,7 +180,7 @@ func TestMasterFailoverServesQueuedDemand(t *testing.T) {
 	c.KillPrimaryMaster()
 	c.Run(10 * sim.Second)
 	// Free the machine: the new master must grant the queued remainder.
-	am.ReturnContainers(1, "r000m000", 12)
+	am.ReturnContainersOn(1, "r000m000", 12)
 	c.Run(5 * sim.Second)
 	if am.HeldTotal(1) != 8 {
 		t.Errorf("held = %d after failover+return, want 8 (queued remainder)", am.HeldTotal(1))
@@ -190,10 +190,11 @@ func TestMasterFailoverServesQueuedDemand(t *testing.T) {
 func TestNodeDownDetectedAndRevoked(t *testing.T) {
 	c := newCluster(t, Config{Racks: 1, MachinesPerRack: 2, Seed: 6})
 	revoked := map[string]int{}
-	am := c.NewAppMaster(appmaster.Config{
+	var am *appmaster.AM
+	am = c.NewAppMaster(appmaster.Config{
 		App: "app1", Units: []resource.ScheduleUnit{simpleUnit(1, 100, 24)},
 	}, appmaster.Callbacks{
-		OnRevoke: func(_ int, machine string, n int) { revoked[machine] += n },
+		OnRevoke: func(_ int, machine int32, n int) { revoked[am.MachineName(machine)] += n },
 	})
 	c.Run(100 * sim.Millisecond)
 	am.Request(1, clusterHint(24))
@@ -237,7 +238,7 @@ func TestHealthScoreBlacklisting(t *testing.T) {
 	c.Run(100 * sim.Millisecond)
 	am.Request(1, clusterHint(24))
 	c.Run(sim.Second)
-	if am.Held(1, "r000m000") != 0 {
+	if am.HeldOn(1, "r000m000") != 0 {
 		t.Error("grant on blacklisted machine")
 	}
 	if am.HeldTotal(1) != 12 {
@@ -304,7 +305,7 @@ func TestAgentDaemonFailoverEndToEnd(t *testing.T) {
 	am = c.NewAppMaster(appmaster.Config{
 		App: "app1", Units: []resource.ScheduleUnit{simpleUnit(1, 100, 2)},
 	}, appmaster.Callbacks{
-		OnGrant: func(unitID int, machine string, count int) {
+		OnGrant: func(unitID int, machine int32, count int) {
 			for i := 0; i < count; i++ {
 				am.StartWorker(unitID, machine, fmt.Sprintf("w%d", am.HeldTotal(unitID)*10+i))
 			}
@@ -340,7 +341,7 @@ func TestUtilizationAccountingConsistent(t *testing.T) {
 	am = c.NewAppMaster(appmaster.Config{
 		App: "app1", Units: []resource.ScheduleUnit{simpleUnit(1, 100, 50)},
 	}, appmaster.Callbacks{
-		OnGrant: func(unitID int, machine string, count int) {
+		OnGrant: func(unitID int, machine int32, count int) {
 			for i := 0; i < count; i++ {
 				started++
 				am.StartWorker(unitID, machine, fmt.Sprintf("w%d", started))

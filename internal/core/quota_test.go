@@ -36,8 +36,8 @@ func TestQuotaWorkConservingThenPreempted(t *testing.T) {
 	batch := c.NewAppMaster(appmaster.Config{
 		App: "batchapp", QuotaGroup: "batch", Units: []resource.ScheduleUnit{quotaUnit()},
 	}, appmaster.Callbacks{
-		OnGrant:  func(_ int, _ string, n int) { batchHeld += n },
-		OnRevoke: func(_ int, _ string, n int) { batchHeld -= n; batchRevoked += n },
+		OnGrant:  func(_ int, _ int32, n int) { batchHeld += n },
+		OnRevoke: func(_ int, _ int32, n int) { batchHeld -= n; batchRevoked += n },
 	})
 	c.Run(100 * sim.Millisecond)
 	batch.Request(1, resource.LocalityHint{Type: resource.LocalityCluster, Count: 12})
@@ -51,7 +51,7 @@ func TestQuotaWorkConservingThenPreempted(t *testing.T) {
 	prod := c.NewAppMaster(appmaster.Config{
 		App: "prodapp", QuotaGroup: "prod", Units: []resource.ScheduleUnit{quotaUnit()},
 	}, appmaster.Callbacks{
-		OnGrant: func(_ int, _ string, n int) { prodHeld += n },
+		OnGrant: func(_ int, _ int32, n int) { prodHeld += n },
 	})
 	c.Run(100 * sim.Millisecond)
 	prod.Request(1, resource.LocalityHint{Type: resource.LocalityCluster, Count: 6})
@@ -78,7 +78,7 @@ func TestQuotaUnknownGroupRejectedSilently(t *testing.T) {
 	am := c.NewAppMaster(appmaster.Config{
 		App: "stranger", QuotaGroup: "nosuchgroup", Units: []resource.ScheduleUnit{quotaUnit()},
 	}, appmaster.Callbacks{
-		OnGrant: func(_ int, _ string, n int) { got += n },
+		OnGrant: func(_ int, _ int32, n int) { got += n },
 	})
 	c.Run(100 * sim.Millisecond)
 	am.Request(1, resource.LocalityHint{Type: resource.LocalityCluster, Count: 4})
@@ -105,8 +105,8 @@ func TestQuotaSurvivesMasterFailover(t *testing.T) {
 		Units:            []resource.ScheduleUnit{quotaUnit()},
 		FullSyncInterval: 2 * sim.Second,
 	}, appmaster.Callbacks{
-		OnGrant:  func(_ int, _ string, n int) { held += n },
-		OnRevoke: func(_ int, _ string, n int) { held -= n },
+		OnGrant:  func(_ int, _ int32, n int) { held += n },
+		OnRevoke: func(_ int, _ int32, n int) { held -= n },
 	})
 	c.Run(100 * sim.Millisecond)
 	am.Request(1, resource.LocalityHint{Type: resource.LocalityCluster, Count: 6})

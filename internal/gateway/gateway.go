@@ -38,6 +38,7 @@ import (
 	"fmt"
 	"sort"
 
+	"repro/internal/ident"
 	"repro/internal/metrics"
 	"repro/internal/protocol"
 	"repro/internal/sim"
@@ -232,25 +233,24 @@ func (t *tenant) popJob() string {
 	return id
 }
 
-// rotation is a FIFO of tenant names with queued jobs — the fair-dequeue
+// rotation is a FIFO of tenant IDs with queued jobs — the fair-dequeue
 // cursor for one class.
 type rotation struct {
-	names []string
-	head  int
+	ids  []int32
+	head int
 }
 
-func (r *rotation) empty() bool { return r.head == len(r.names) }
+func (r *rotation) empty() bool { return r.head == len(r.ids) }
 
-func (r *rotation) push(name string) { r.names = append(r.names, name) }
+func (r *rotation) push(id int32) { r.ids = append(r.ids, id) }
 
-func (r *rotation) pop() string {
-	name := r.names[r.head]
-	r.names[r.head] = ""
+func (r *rotation) pop() int32 {
+	id := r.ids[r.head]
 	r.head++
-	if r.head == len(r.names) {
-		r.names, r.head = r.names[:0], 0
+	if r.head == len(r.ids) {
+		r.ids, r.head = r.ids[:0], 0
 	}
-	return name
+	return id
 }
 
 type jobRec struct {
@@ -266,8 +266,17 @@ type Gateway struct {
 	eng *sim.Engine
 	net *transport.Net
 
-	tenants map[string]*tenant
-	jobs    map[string]*jobRec
+	// Tenants are interned: tenantTbl maps the identity string to a dense
+	// ID and tenants is the slab those IDs index — one allocation per slab
+	// growth instead of one per tenant, and the dequeue rotations carry
+	// 4-byte IDs.
+	tenantTbl ident.Table
+	tenants   []tenant
+	jobs      map[string]*jobRec
+	// recSlab block-allocates job lifecycle records: the job table keeps a
+	// pointer per job for the whole run (conservation checking needs it),
+	// but the records themselves come 256 to a slab.
+	recSlab []jobRec
 	rot     [NumClasses]rotation
 
 	queued   int // jobs in tenant queues
@@ -330,13 +339,12 @@ func New(cfg Config, eng *sim.Engine, net *transport.Net) *Gateway {
 		cfg.RetryEvery = def.RetryEvery
 	}
 	g := &Gateway{
-		cfg:     cfg,
-		eng:     eng,
-		net:     net,
-		tenants: make(map[string]*tenant),
-		jobs:    make(map[string]*jobRec),
-		admLat:  metrics.NewHistogram("gateway.admission_ms"),
-		hash:    fnvOffset,
+		cfg:    cfg,
+		eng:    eng,
+		net:    net,
+		jobs:   make(map[string]*jobRec),
+		admLat: metrics.NewHistogram("gateway.admission_ms"),
+		hash:   fnvOffset,
 	}
 	net.Register(protocol.GatewayEndpoint, g.handle)
 	eng.Every(cfg.AdmitPeriod, g.admitRound)
@@ -354,10 +362,13 @@ func New(cfg Config, eng *sim.Engine, net *transport.Net) *Gateway {
 // whole lifecycle).
 func (g *Gateway) Submit(j Job) DecisionKind {
 	now := g.eng.Now()
-	tn := g.tenants[j.Tenant]
-	if tn == nil {
-		tn = &tenant{class: j.Class, tokens: g.cfg.Burst, last: now}
-		g.tenants[j.Tenant] = tn
+	tid := g.tenantTbl.Intern(j.Tenant)
+	for int(tid) >= len(g.tenants) {
+		g.tenants = append(g.tenants, tenant{})
+	}
+	tn := &g.tenants[tid]
+	if tn.submitted == 0 && tn.last == 0 {
+		*tn = tenant{class: j.Class, tokens: g.cfg.Burst, last: now}
 	}
 	j.Class = tn.class
 	g.submitted++
@@ -380,12 +391,14 @@ func (g *Gateway) Submit(j Job) DecisionKind {
 		}
 		tn.tokens--
 	}
-	g.jobs[j.ID] = &jobRec{job: j, state: StateQueued, submittedAt: now}
+	rec := g.newRec()
+	*rec = jobRec{job: j, state: StateQueued, submittedAt: now}
+	g.jobs[j.ID] = rec
 	tn.pushJob(j.ID)
 	g.queued++
 	if !tn.active {
 		tn.active = true
-		g.rot[j.Class].push(j.Tenant)
+		g.rot[j.Class].push(tid)
 	}
 	g.record(now, j.ID, DecisionQueued)
 	return DecisionQueued
@@ -397,10 +410,22 @@ func (g *Gateway) shedDecision(now sim.Time, j Job, kind DecisionKind, keep bool
 	g.shed[kind-DecisionShedRateLimit]++
 	g.cShed[j.Class][kind-DecisionShedRateLimit]++
 	if keep {
-		g.jobs[j.ID] = &jobRec{job: j, state: StateShed, submittedAt: now}
+		rec := g.newRec()
+		*rec = jobRec{job: j, state: StateShed, submittedAt: now}
+		g.jobs[j.ID] = rec
 	}
 	g.record(now, j.ID, kind)
 	return kind
+}
+
+// newRec carves one lifecycle record out of the current slab.
+func (g *Gateway) newRec() *jobRec {
+	if len(g.recSlab) == 0 {
+		g.recSlab = make([]jobRec, 256)
+	}
+	rec := &g.recSlab[0]
+	g.recSlab = g.recSlab[1:]
+	return rec
 }
 
 // refill advances a tenant's token bucket to now with integer arithmetic
@@ -459,8 +484,8 @@ func (g *Gateway) admitRound() {
 func (g *Gateway) admitOneFrom(c Class) bool {
 	rot := &g.rot[c]
 	for !rot.empty() {
-		name := rot.pop()
-		tn := g.tenants[name]
+		tid := rot.pop()
+		tn := &g.tenants[tid]
 		if tn.qlen() == 0 {
 			tn.active = false
 			continue
@@ -468,7 +493,7 @@ func (g *Gateway) admitOneFrom(c Class) bool {
 		id := tn.popJob()
 		g.queued--
 		if tn.qlen() > 0 {
-			rot.push(name)
+			rot.push(tid)
 		} else {
 			tn.active = false
 		}
@@ -525,7 +550,7 @@ func (g *Gateway) flushUnacked(replay bool) {
 
 // handle receives master-bound traffic: admission acks and the promotion
 // hello that triggers the failover replay.
-func (g *Gateway) handle(from string, msg transport.Message) {
+func (g *Gateway) handle(from transport.EndpointID, msg transport.Message) {
 	switch t := msg.(type) {
 	case protocol.JobAdmitAck:
 		if t.Epoch > g.epoch {
@@ -676,7 +701,8 @@ type Stats struct {
 func (g *Gateway) Snapshot() *Stats {
 	var jain [NumClasses]metrics.Jain
 	var tenants [NumClasses]int
-	for _, tn := range g.tenants {
+	for i := range g.tenants {
+		tn := &g.tenants[i]
 		if tn.submitted == 0 {
 			continue
 		}
@@ -697,7 +723,7 @@ func (g *Gateway) Snapshot() *Stats {
 		}
 	}
 	s := &Stats{
-		DistinctTenants: len(g.tenants),
+		DistinctTenants: g.tenantTbl.Len(),
 		Submitted:       g.submitted,
 		Queued:          uint64(g.queued),
 		Admitted:        g.admitted,

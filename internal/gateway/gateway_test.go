@@ -24,7 +24,7 @@ func newStubMaster(net *transport.Net) *stubMaster {
 	return m
 }
 
-func (m *stubMaster) handle(from string, msg transport.Message) {
+func (m *stubMaster) handle(from transport.EndpointID, msg transport.Message) {
 	if t, ok := msg.(protocol.JobAdmit); ok {
 		m.acked++
 		m.net.Send(protocol.MasterEndpoint, protocol.GatewayEndpoint, protocol.JobAdmitAck{

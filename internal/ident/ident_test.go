@@ -1,0 +1,39 @@
+package ident
+
+import "testing"
+
+func TestTableDenseRegistrationOrder(t *testing.T) {
+	var tb Table
+	names := []string{"r000m000", "r000m001", "app-1", "r000m000", "agent:x"}
+	want := []int32{0, 1, 2, 0, 3}
+	for i, n := range names {
+		if id := tb.Intern(n); id != want[i] {
+			t.Fatalf("Intern(%q) = %d, want %d", n, id, want[i])
+		}
+	}
+	if tb.Len() != 4 {
+		t.Fatalf("Len = %d, want 4", tb.Len())
+	}
+	if got := tb.ID("app-1"); got != 2 {
+		t.Fatalf("ID(app-1) = %d, want 2", got)
+	}
+	if got := tb.ID("missing"); got != None {
+		t.Fatalf("ID(missing) = %d, want None", got)
+	}
+	if got := tb.Name(3); got != "agent:x" {
+		t.Fatalf("Name(3) = %q", got)
+	}
+	if got := tb.Names(); len(got) != 4 || got[0] != "r000m000" {
+		t.Fatalf("Names() = %v", got)
+	}
+}
+
+func TestTableZeroValue(t *testing.T) {
+	var tb Table
+	if tb.Len() != 0 || tb.ID("x") != None {
+		t.Fatal("zero table not empty")
+	}
+	if id := tb.Intern("x"); id != 0 {
+		t.Fatalf("first Intern = %d", id)
+	}
+}

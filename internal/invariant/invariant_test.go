@@ -173,7 +173,7 @@ func TestCheckerFencesStaleEpochMessages(t *testing.T) {
 	})
 	cluster.Net.Send(protocol.MasterEndpoint, "app-inv", protocol.GrantUpdate{
 		App: "app-inv", UnitID: 1, Epoch: 1, Seq: 999,
-		Changes: []protocol.MachineDelta{{Machine: machine, Delta: 3}},
+		Changes: []protocol.MachineDelta{{Machine: cluster.Top.MachineID(machine), Delta: 3}},
 	})
 	cluster.Run(sim.Second)
 	if got := a.Capacity("app-inv", 1); got != before {

@@ -164,8 +164,15 @@ func New(cfg Config, eng *sim.Engine, net *transport.Net, top *topology.Topology
 		App: cfg.Desc.Name, QuotaGroup: cfg.QuotaGroup, Units: units,
 		FullSyncInterval: cfg.FullSyncInterval,
 	}, eng, net, top, appmaster.Callbacks{
-		OnGrant:   j.onGrant,
-		OnRevoke:  j.onRevoke,
+		// The resource protocol carries dense machine IDs; the job layer
+		// (blacklists, locality indexes, worker runtime) speaks names, so
+		// convert once at this boundary.
+		OnGrant: func(unitID int, machine int32, count int) {
+			j.onGrant(unitID, top.MachineName(machine), count)
+		},
+		OnRevoke: func(unitID int, machine int32, count int) {
+			j.onRevoke(unitID, top.MachineName(machine), count)
+		},
 		OnWorker:  j.onWorker,
 		OnMessage: j.onMessage,
 	})
@@ -297,7 +304,7 @@ func (j *JobMaster) onGrant(unitID int, machine string, count int) {
 		tm.grantArrived(machine, count)
 	} else {
 		// Grant for a task no longer running.
-		j.am.ReturnContainers(unitID, machine, count)
+		j.am.ReturnContainersOn(unitID, machine, count)
 	}
 }
 

@@ -226,7 +226,7 @@ func (tm *taskMaster) assignNext(w *tmWorker) {
 		// backup races): retire the container and ask for one elsewhere.
 		delete(tm.workers, w.id)
 		tm.jm.am.StopWorker(w.id)
-		tm.jm.am.ReturnContainers(tm.unitID, w.machine, 1)
+		tm.jm.am.ReturnContainersOn(tm.unitID, w.machine, 1)
 		if tm.remainingWork() > 0 {
 			tm.requestWorkers(1)
 		}
@@ -253,13 +253,13 @@ func (tm *taskMaster) assignNext(w *tmWorker) {
 func (tm *taskMaster) grantArrived(machine string, count int) {
 	if tm.completed {
 		// Late grant for a finished task: hand it straight back.
-		tm.jm.am.ReturnContainers(tm.unitID, machine, count)
+		tm.jm.am.ReturnContainersOn(tm.unitID, machine, count)
 		return
 	}
 	for i := 0; i < count; i++ {
 		id := tm.jm.nextWorkerID()
 		tm.workers[id] = &tmWorker{id: id, machine: machine, state: workerStarting, instance: -1, plannedAt: tm.jm.eng.Now()}
-		tm.jm.am.StartWorker(tm.unitID, machine, id)
+		tm.jm.am.StartWorkerOn(tm.unitID, machine, id)
 	}
 }
 
@@ -342,9 +342,9 @@ func (tm *taskMaster) workerFailed(id, machine, detail string) {
 	// Container recovery: the master's ledger may still hold the container
 	// on that machine (process death does not revoke a grant). Reuse it
 	// unless the machine is now blacklisted for this task.
-	if tm.jm.am.Held(tm.unitID, machine) > tm.workersOn(machine) {
+	if tm.jm.am.HeldOn(tm.unitID, machine) > tm.workersOn(machine) {
 		if tm.jm.black.TaskBlacklisted(tm.name, machine) {
-			tm.jm.am.ReturnContainers(tm.unitID, machine, 1)
+			tm.jm.am.ReturnContainersOn(tm.unitID, machine, 1)
 			tm.requestWorkers(1)
 		} else {
 			tm.grantArrived(machine, 1)
@@ -611,7 +611,7 @@ func (tm *taskMaster) complete() {
 	}
 	sort.Strings(machines)
 	for _, m := range machines {
-		tm.jm.am.ReturnContainers(tm.unitID, m, perMachine[m])
+		tm.jm.am.ReturnContainersOn(tm.unitID, m, perMachine[m])
 	}
 	if out := tm.jm.am.Outstanding(tm.unitID); out > 0 {
 		tm.jm.am.Request(tm.unitID, resource.LocalityHint{Type: resource.LocalityCluster, Count: -out})
@@ -661,7 +661,7 @@ func (tm *taskMaster) finishRecovery() {
 	}
 	// Top up workers to the container ledger and demand to the target.
 	for _, m := range tm.jm.am.HeldMachines(tm.unitID) {
-		if extra := tm.jm.am.Held(tm.unitID, m) - tm.workersOn(m); extra > 0 {
+		if extra := tm.jm.am.HeldOn(tm.unitID, m) - tm.workersOn(m); extra > 0 {
 			tm.grantArrived(m, extra)
 		}
 	}

@@ -105,7 +105,7 @@ type WorkerSim struct {
 
 func (w *WorkerSim) alive() bool { return w.rt.env.ProcAlive(w.Machine, w.ID) }
 
-func (w *WorkerSim) handle(from string, msg transport.Message) {
+func (w *WorkerSim) handle(from transport.EndpointID, msg transport.Message) {
 	if !w.alive() {
 		w.rt.remove(w)
 		return

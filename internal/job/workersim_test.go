@@ -39,7 +39,7 @@ func newWSHarness(t *testing.T) *wsHarness {
 	net := transport.NewNet(eng)
 	h := &wsHarness{eng: eng, net: net, env: newFakeEnv()}
 	h.rt = NewRuntime(eng, net, h.env, "jobx", sim.Second)
-	net.Register("jobx", func(_ string, m transport.Message) {
+	net.Register("jobx", func(_ transport.EndpointID, m transport.Message) {
 		if r, ok := m.(InstanceReport); ok {
 			h.reports = append(h.reports, r)
 		}

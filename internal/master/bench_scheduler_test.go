@@ -5,6 +5,7 @@ import (
 	"testing"
 
 	"repro/internal/agent"
+	"repro/internal/ident"
 	"repro/internal/protocol"
 	"repro/internal/resource"
 	"repro/internal/sim"
@@ -110,6 +111,124 @@ func BenchmarkSchedulerFullRound(b *testing.B) {
 	}
 }
 
+// BenchmarkInternLookup measures the intern table's hot operations against
+// the string-keyed map it replaced: the registration-order Intern hit (the
+// per-message app resolution) and the read-only ID lookup.
+func BenchmarkInternLookup(b *testing.B) {
+	names := make([]string, 4096)
+	for i := range names {
+		names[i] = fmt.Sprintf("scale-app-%04d", i)
+	}
+	b.Run("intern-hit", func(b *testing.B) {
+		var tbl ident.Table
+		for _, n := range names {
+			tbl.Intern(n)
+		}
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			tbl.Intern(names[i&4095])
+		}
+	})
+	b.Run("id-to-name", func(b *testing.B) {
+		var tbl ident.Table
+		for _, n := range names {
+			tbl.Intern(n)
+		}
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			_ = tbl.Name(int32(i & 4095))
+		}
+	})
+	b.Run("string-map-baseline", func(b *testing.B) {
+		m := make(map[string]int32, 4096)
+		for i, n := range names {
+			m[n] = int32(i)
+		}
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			_ = m[names[i&4095]]
+		}
+	})
+}
+
+// BenchmarkTreeWalk measures one free-up's candidate walk over a populated
+// cluster queue: the ID-indexed tree (slice-indexed queues, bitmap dead
+// skipping) against the legacy string-era baseline that re-scans and
+// re-sorts per free-up. Both walks stream the same candidates.
+func BenchmarkTreeWalk(b *testing.B) {
+	build := func(legacy bool) (*Scheduler, waitTree) {
+		s := NewScheduler(benchTop(b, 125, 40), Options{LegacyScan: legacy})
+		for i := 0; i < 64; i++ {
+			app := fmt.Sprintf("app-%03d", i)
+			if err := s.RegisterApp(app, "", []resource.ScheduleUnit{
+				{ID: 1, Priority: 10 + i%4, MaxCount: 1 << 30, Size: resource.New(1000, 4096)},
+			}); err != nil {
+				b.Fatal(err)
+			}
+			if _, err := s.UpdateDemand(app, 1, []resource.LocalityHint{
+				{Type: resource.LocalityCluster, Count: 2000}}); err != nil {
+				b.Fatal(err)
+			}
+		}
+		return s, s.tree
+	}
+	for _, legacy := range []bool{false, true} {
+		name := "indexed"
+		if legacy {
+			name = "legacy"
+		}
+		b.Run(name, func(b *testing.B) {
+			s, tree := build(legacy)
+			free := resource.New(1000, 4096)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				visited := 0
+				tree.forEachCandidate(int32(i%5000), int32(i%125), 0, 0, &free,
+					func(e *waitEntry) bool {
+						visited++
+						return visited < 2 // a typical free-up satisfies 1-2 entries
+					})
+			}
+			_ = s
+		})
+	}
+}
+
+// BenchmarkCheckpointEncodeRoundTrip measures the hard-state serialization
+// boundary: encoding and decoding a snapshot of 2,500 apps × 4 units plus a
+// blacklist — the payload a hot-standby promotion reads (names only; no
+// interned ID can leak into durable state because the format cannot express
+// one).
+func BenchmarkCheckpointEncodeRoundTrip(b *testing.B) {
+	var s Snapshot
+	s.Epoch = 7
+	for i := 0; i < 2500; i++ {
+		app := AppConfig{Name: fmt.Sprintf("scale-app-%04d", i), Group: "default"}
+		for u := 1; u <= 4; u++ {
+			app.Units = append(app.Units, resource.ScheduleUnit{
+				ID: u, Priority: u, MaxCount: 3, Size: resource.New(1000, 4096),
+			})
+		}
+		s.Apps = append(s.Apps, app)
+	}
+	for i := 0; i < 50; i++ {
+		s.Blacklist = append(s.Blacklist, fmt.Sprintf("r%03dm%03d", i, i))
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		enc := EncodeSnapshot(s)
+		out, err := DecodeSnapshot(enc)
+		if err != nil || len(out.Apps) != len(s.Apps) {
+			b.Fatalf("round-trip: %v (%d apps)", err, len(out.Apps))
+		}
+	}
+}
+
 // BenchmarkHeartbeatDeltaEncode measures the agent's steady-state beat with
 // delta encoding: a populated capacity table, nothing changing — the 5,000
 // agents × 1 Hz path that used to rebuild the full allocation map every
@@ -117,7 +236,7 @@ func BenchmarkSchedulerFullRound(b *testing.B) {
 func BenchmarkHeartbeatDeltaEncode(b *testing.B) {
 	eng := sim.NewEngine(1)
 	net := transport.NewNet(eng)
-	net.Register(protocol.MasterEndpoint, func(string, transport.Message) {})
+	net.Register(protocol.MasterEndpoint, func(transport.EndpointID, transport.Message) {})
 	top := benchTop(b, 1, 1)
 	a := agent.New(agent.DefaultConfig(), eng, net, top.Machine(top.Machines()[0]))
 	// Populate the capacity table the way the master would.
@@ -146,7 +265,7 @@ func BenchmarkHeartbeatDeltaEncode(b *testing.B) {
 func BenchmarkCapacityDeltaDecode(b *testing.B) {
 	eng := sim.NewEngine(1)
 	net := transport.NewNet(eng)
-	net.Register(protocol.MasterEndpoint, func(string, transport.Message) {})
+	net.Register(protocol.MasterEndpoint, func(transport.EndpointID, transport.Message) {})
 	top := benchTop(b, 1, 1)
 	a := agent.New(agent.DefaultConfig(), eng, net, top.Machine(top.Machines()[0]))
 	grant := make([]protocol.CapacityEntry, 16)

@@ -1,6 +1,11 @@
 package master
 
-import "repro/internal/resource"
+import (
+	"encoding/binary"
+	"fmt"
+
+	"repro/internal/resource"
+)
 
 // AppConfig is the hard-state record of one application: exactly the
 // information the paper says must survive a FuxiMaster crash ("only hard
@@ -82,12 +87,164 @@ func (c *CheckpointStore) SetBlacklist(machines []string) {
 	c.BlacklistWrites++
 }
 
-// Load returns the current snapshot (copies; the caller may mutate freely).
+// Load returns the current snapshot. The snapshot is materialized through
+// the byte encoding (EncodeSnapshot → DecodeSnapshot), which both models
+// the durable-storage read a real promotion performs and guarantees the
+// serialization boundary carries names only — no interned ID ever reaches
+// (or is read from) durable state, because the format cannot express one.
+// Load happens once per promotion, so the round-trip is off every hot path.
 func (c *CheckpointStore) Load() Snapshot {
 	s := Snapshot{Epoch: c.epoch}
 	for _, name := range c.order {
 		s.Apps = append(s.Apps, c.apps[name])
 	}
 	s.Blacklist = append([]string(nil), c.blacklist...)
+	out, err := DecodeSnapshot(EncodeSnapshot(s))
+	if err != nil {
+		// The encoder and decoder are the same version in one binary; a
+		// failure here is a programming error, not recoverable input.
+		panic("master: checkpoint round-trip failed: " + err.Error())
+	}
+	return out
+}
+
+// ---------------------------------------------------------------------------
+// snapshot wire encoding
+// ---------------------------------------------------------------------------
+
+// snapshotVersion tags the encoding; bump on incompatible format changes.
+const snapshotVersion = 1
+
+func appendString(b []byte, s string) []byte {
+	b = binary.AppendUvarint(b, uint64(len(s)))
+	return append(b, s...)
+}
+
+func appendVector(b []byte, v resource.Vector) []byte {
+	dims := v.Dimensions()
+	b = binary.AppendUvarint(b, uint64(len(dims)))
+	for _, d := range dims {
+		b = appendString(b, d)
+		b = binary.AppendVarint(b, v.Get(d))
+	}
+	return b
+}
+
+// EncodeSnapshot serializes a checkpoint snapshot into a compact, fully
+// deterministic byte form: names and amounts only, dimensions in sorted
+// order. This is the name↔ID boundary — the in-memory control plane keys
+// everything by dense interned IDs, but IDs are assigned in registration
+// order and do not survive a process, so durable state is name-based by
+// construction.
+func EncodeSnapshot(s Snapshot) []byte {
+	b := make([]byte, 0, 64+len(s.Apps)*64)
+	b = append(b, snapshotVersion)
+	b = binary.AppendUvarint(b, uint64(s.Epoch))
+	b = binary.AppendUvarint(b, uint64(len(s.Apps)))
+	for _, a := range s.Apps {
+		b = appendString(b, a.Name)
+		b = appendString(b, a.Group)
+		b = binary.AppendUvarint(b, uint64(len(a.Units)))
+		for _, u := range a.Units {
+			b = binary.AppendVarint(b, int64(u.ID))
+			b = binary.AppendVarint(b, int64(u.Priority))
+			b = binary.AppendVarint(b, int64(u.MaxCount))
+			b = appendVector(b, u.Size)
+		}
+	}
+	b = binary.AppendUvarint(b, uint64(len(s.Blacklist)))
+	for _, m := range s.Blacklist {
+		b = appendString(b, m)
+	}
+	return b
+}
+
+// snapshotReader is a cursor over an encoded snapshot.
+type snapshotReader struct {
+	b   []byte
+	err error
+}
+
+func (r *snapshotReader) uvarint() uint64 {
+	if r.err != nil {
+		return 0
+	}
+	v, n := binary.Uvarint(r.b)
+	if n <= 0 {
+		r.err = fmt.Errorf("master: truncated snapshot (uvarint)")
+		return 0
+	}
+	r.b = r.b[n:]
+	return v
+}
+
+func (r *snapshotReader) varint() int64 {
+	if r.err != nil {
+		return 0
+	}
+	v, n := binary.Varint(r.b)
+	if n <= 0 {
+		r.err = fmt.Errorf("master: truncated snapshot (varint)")
+		return 0
+	}
+	r.b = r.b[n:]
+	return v
+}
+
+func (r *snapshotReader) string() string {
+	n := r.uvarint()
+	if r.err != nil {
+		return ""
+	}
+	if uint64(len(r.b)) < n {
+		r.err = fmt.Errorf("master: truncated snapshot (string)")
+		return ""
+	}
+	s := string(r.b[:n])
+	r.b = r.b[n:]
 	return s
+}
+
+func (r *snapshotReader) vector() resource.Vector {
+	n := r.uvarint()
+	var v resource.Vector
+	for i := uint64(0); i < n && r.err == nil; i++ {
+		dim := r.string()
+		amt := r.varint()
+		if r.err == nil {
+			v = v.With(dim, amt)
+		}
+	}
+	return v
+}
+
+// DecodeSnapshot parses an EncodeSnapshot payload back into a snapshot.
+func DecodeSnapshot(b []byte) (Snapshot, error) {
+	if len(b) == 0 || b[0] != snapshotVersion {
+		return Snapshot{}, fmt.Errorf("master: unknown snapshot version")
+	}
+	r := &snapshotReader{b: b[1:]}
+	var s Snapshot
+	s.Epoch = int(r.uvarint())
+	nApps := r.uvarint()
+	for i := uint64(0); i < nApps && r.err == nil; i++ {
+		var a AppConfig
+		a.Name = r.string()
+		a.Group = r.string()
+		nUnits := r.uvarint()
+		for j := uint64(0); j < nUnits && r.err == nil; j++ {
+			var u resource.ScheduleUnit
+			u.ID = int(r.varint())
+			u.Priority = int(r.varint())
+			u.MaxCount = int(r.varint())
+			u.Size = r.vector()
+			a.Units = append(a.Units, u)
+		}
+		s.Apps = append(s.Apps, a)
+	}
+	nBlack := r.uvarint()
+	for i := uint64(0); i < nBlack && r.err == nil; i++ {
+		s.Blacklist = append(s.Blacklist, r.string())
+	}
+	return s, r.err
 }

@@ -21,7 +21,7 @@ func flapConfig() Config {
 
 func (h *masterHarness) beat(mc string) {
 	h.net.Send(protocol.AgentEndpoint(mc), protocol.MasterEndpoint, protocol.AgentHeartbeat{
-		Machine: mc, HealthScore: 100, Seq: h.seq.Next(),
+		Machine: h.top.MachineID(mc), HealthScore: 100, Seq: h.seq.Next(),
 	})
 }
 
@@ -91,7 +91,7 @@ func TestFlapBlacklistFromSurpriseRestarts(t *testing.T) {
 		h.beat(mc)
 		h.eng.Run(h.eng.Now() + 200*sim.Millisecond)
 		h.net.Send(protocol.AgentEndpoint(mc), protocol.MasterEndpoint, protocol.CapacityQuery{
-			Machine: mc, Seq: h.seq.Next(),
+			Machine: h.top.MachineID(mc), Seq: h.seq.Next(),
 		})
 		h.eng.Run(h.eng.Now() + 200*sim.Millisecond)
 	}
@@ -109,7 +109,7 @@ func TestFlapBlacklistFromSurpriseRestarts(t *testing.T) {
 		t.Fatal("second machine not declared down")
 	}
 	h.net.Send(protocol.AgentEndpoint(mc2), protocol.MasterEndpoint, protocol.CapacityQuery{
-		Machine: mc2, Seq: h.seq.Next(),
+		Machine: h.top.MachineID(mc2), Seq: h.seq.Next(),
 	})
 	h.eng.Run(h.eng.Now() + 200*sim.Millisecond)
 	if s.Blacklisted(mc2) {

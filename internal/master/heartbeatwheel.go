@@ -1,8 +1,6 @@
 package master
 
 import (
-	"sort"
-
 	"repro/internal/sim"
 )
 
@@ -16,25 +14,25 @@ import (
 // once per timeout window (when its old slot expires), not once per scan,
 // and a scan's cost is O(expired + re-filed) instead of O(machines).
 //
-// The wheel stores only machine names and slot membership; the authoritative
-// last-beat timestamps stay in the master's lastBeat map (one write per
-// heartbeat, exactly as before).
+// The wheel stores only dense machine IDs and slot membership; the
+// authoritative last-beat timestamps stay in the master's lastBeat slice
+// (one write per heartbeat, exactly as before).
 type beatWheel struct {
-	slotW sim.Time           // slot width (the heartbeat-scan period)
-	slots map[int64][]string // beat-slot -> machines filed there
-	in    map[string]bool    // wheel membership (one slot per machine)
-	min   int64              // lowest possibly-occupied slot
-	max   int64              // highest occupied slot
+	slotW sim.Time          // slot width (the heartbeat-scan period)
+	slots map[int64][]int32 // beat-slot -> machine IDs filed there
+	in    []bool            // wheel membership by machine ID (one slot per machine)
+	min   int64             // lowest possibly-occupied slot
+	max   int64             // highest occupied slot
 }
 
-func newBeatWheel(slotW sim.Time) *beatWheel {
+func newBeatWheel(slotW sim.Time, machines int) *beatWheel {
 	if slotW <= 0 {
 		slotW = sim.Second
 	}
 	return &beatWheel{
 		slotW: slotW,
-		slots: make(map[int64][]string),
-		in:    make(map[string]bool),
+		slots: make(map[int64][]int32),
+		in:    make([]bool, machines),
 		min:   1<<62 - 1,
 	}
 }
@@ -43,8 +41,8 @@ func (w *beatWheel) slotOf(t sim.Time) int64 { return int64(t / w.slotW) }
 
 // track files a machine under the slot of its beat time if it is not
 // already in the wheel. Subsequent beats only update the caller's lastBeat
-// map; the wheel position catches up lazily when the stale slot expires.
-func (w *beatWheel) track(machine string, beat sim.Time) {
+// slice; the wheel position catches up lazily when the stale slot expires.
+func (w *beatWheel) track(machine int32, beat sim.Time) {
 	if w.in[machine] {
 		return
 	}
@@ -52,7 +50,7 @@ func (w *beatWheel) track(machine string, beat sim.Time) {
 	w.file(machine, w.slotOf(beat))
 }
 
-func (w *beatWheel) file(machine string, slot int64) {
+func (w *beatWheel) file(machine int32, slot int64) {
 	w.slots[slot] = append(w.slots[slot], machine)
 	if slot < w.min {
 		w.min = slot
@@ -67,13 +65,14 @@ func (w *beatWheel) file(machine string, slot int64) {
 // that beat since filing are re-filed under a fresh slot; machines the
 // caller no longer wants tracked (drop returns true) leave the wheel; the
 // rest — silent since before cutoff — are expired and returned in sorted
-// order. Expired or dropped machines re-enter the wheel on their next
-// heartbeat via track. Death semantics match the previous full sweep
-// exactly (dead iff lastBeat < cutoff) when the heartbeat timeout is a
-// multiple of the slot width; otherwise detection may land one scan later.
-func (w *beatWheel) expire(cutoff sim.Time, lastBeat func(string) sim.Time, drop func(string) bool) []string {
+// order (ID order == sorted machine-name order). Expired or dropped
+// machines re-enter the wheel on their next heartbeat via track. Death
+// semantics match the previous full sweep exactly (dead iff lastBeat <
+// cutoff) when the heartbeat timeout is a multiple of the slot width;
+// otherwise detection may land one scan later.
+func (w *beatWheel) expire(cutoff sim.Time, lastBeat func(int32) sim.Time, drop func(int32) bool) []int32 {
 	cutoffSlot := w.slotOf(cutoff)
-	var dead []string
+	var dead []int32
 	for slot := w.min; slot <= cutoffSlot && slot <= w.max; slot++ {
 		machines, ok := w.slots[slot]
 		if !ok {
@@ -108,6 +107,6 @@ func (w *beatWheel) expire(cutoff sim.Time, lastBeat func(string) sim.Time, drop
 		w.min = cutoffSlot + 1
 	}
 	// Deterministic revocation order regardless of re-file history.
-	sort.Strings(dead)
+	sortInt32s(dead)
 	return dead
 }

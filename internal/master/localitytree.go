@@ -1,16 +1,18 @@
 package master
 
 import (
+	"math/bits"
 	"sort"
 
 	"repro/internal/resource"
 	"repro/internal/sim"
 )
 
-// waitKey identifies one (application, ScheduleUnit) waiting in the tree.
+// waitKey identifies one (application, ScheduleUnit) waiting in the tree,
+// in interned form: app is the scheduler-assigned dense application ID.
 type waitKey struct {
-	app  string
-	unit int
+	app  int32
+	unit int32
 }
 
 // waitEntry is one queued demand: count units wanted by key at one locality
@@ -22,7 +24,7 @@ type waitEntry struct {
 	priority int
 	seq      uint64
 	level    resource.LocalityType
-	node     string // machine or rack name; "" at cluster level
+	node     int32 // machine or rack ID; 0 at cluster level
 	count    int
 	// enqueuedAt feeds the optional anti-starvation aging: long-waiting
 	// entries gain effective priority (§7 lists starvation guards as
@@ -31,6 +33,20 @@ type waitEntry struct {
 	// queued marks membership in a localityTree bucket (not used by the
 	// legacy tree, whose queues never drop zero-count entries eagerly).
 	queued bool
+	// parked marks an entry skipped in place while its unit is saturated
+	// (see Scheduler.park); releaseOn revives it at its original position
+	// the moment headroom reappears. Parked entries stay physically queued
+	// — only gone entries are ever dropped.
+	parked bool
+	// cls/pos locate the entry in the sizeClass physically holding it
+	// (cls nil when not queued, or in the legacy tree). Positions are
+	// stable — entries never move within a class except on tombstone
+	// rebuilds — so liveness flips are O(1) bitmap updates.
+	cls *sizeClass
+	pos int32
+	// gone marks an entry whose app unregistered: it can never revive and
+	// is physically dropped at the next tombstone rebuild.
+	gone bool
 	// st/u cache the scheduler-state resolution of key so the assignment
 	// loop does not repeat two map lookups per candidate per free-up. Only
 	// live (indexed) entries are ever handed out as candidates, so the
@@ -53,48 +69,56 @@ func (e *waitEntry) effectivePriority(now sim.Time, boostPerSec float64) int {
 	return p
 }
 
+// treeIdx addresses one tree entry: (key, level, node), all interned IDs —
+// the index map hashes three integers, never a string.
 type treeIdx struct {
 	key   waitKey
 	level resource.LocalityType
-	node  string
-}
-
-type treeQueueID struct {
-	level resource.LocalityType
-	node  string
+	node  int32
 }
 
 // waitTree is the locality-tree contract the scheduler programs against.
-// Two implementations exist: localityTree (indexed per-level wait queues)
-// and legacyTree (the original linear-scan-and-sort structure, kept so the
-// scale harness can measure the optimization against its own baseline).
+// Two implementations exist: localityTree (indexed per-level wait queues
+// over ID-indexed slices) and legacyTree (the original
+// linear-scan-and-sort structure, kept so the scale harness can measure the
+// optimization against its own baseline). Node operands are dense IDs:
+// machine IDs at LocalityMachine, rack IDs at LocalityRack, 0 at
+// LocalityCluster (the scheduler resolves hint names to IDs once per
+// demand update, at the wire boundary).
 //
 // add and setCount accept the resolved (appState, unitState) of the key so
 // the indexed tree can maintain per-bucket minimum-size bounds; nil is
 // allowed (tests) and merely disables that pruning.
 type waitTree interface {
-	add(key waitKey, priority int, level resource.LocalityType, node string, delta int, now sim.Time, st *appState, u *unitState) int
-	get(key waitKey, level resource.LocalityType, node string) int
+	add(key waitKey, priority int, level resource.LocalityType, node int32, delta int, now sim.Time, st *appState, u *unitState) int
+	get(key waitKey, level resource.LocalityType, node int32) int
 	// setCount forces the waiting count at one node (full-state
 	// reconciliation); unlike add it never resets the aging clock.
-	setCount(key waitKey, priority int, level resource.LocalityType, node string, count int, now sim.Time, st *appState, u *unitState)
-	// nodesFor lists the locality nodes where key currently has an entry.
-	nodesFor(key waitKey) []treeIdx
-	removeApp(app string)
+	setCount(key waitKey, priority int, level resource.LocalityType, node int32, count int, now sim.Time, st *appState, u *unitState)
+	// nodesFor appends the locality nodes where key currently has an entry
+	// to buf (a pooled caller scratch) and returns it.
+	nodesFor(key waitKey, buf []treeIdx) []treeIdx
+	removeApp(app int32)
 	// forEachCandidate streams the live entries eligible for capacity
-	// freed on machine, in (aged priority, level, seq) order, until fn
-	// returns false. A non-nil free vector lets the implementation prune
-	// entries that provably cannot fit it, re-reading it between entries
-	// (the caller keeps it current as grants shrink the capacity); nil
-	// disables pruning.
-	forEachCandidate(machine, rack string, now sim.Time, agingBoost float64, free *resource.Vector, fn func(*waitEntry) bool)
+	// freed on machine (in rack), in (aged priority, level, seq) order,
+	// until fn returns false. A non-nil free vector lets the implementation
+	// prune entries that provably cannot fit it, re-reading it between
+	// entries (the caller keeps it current as grants shrink the capacity);
+	// nil disables pruning.
+	forEachCandidate(machine, rack int32, now sim.Time, agingBoost float64, free *resource.Vector, fn func(*waitEntry) bool)
 	totalWaiting(key waitKey) int
 	waitingByLevel(key waitKey) (machine, rack, cluster int)
+	// minFit returns a conservative lower bound (CPU milli, memory MB) that
+	// any queued entry requires: a free fragment below either bound can be
+	// skipped without walking a single queue. (0, 0) disables the pruning —
+	// the legacy baseline always returns that, and the indexed tree falls
+	// back to it once an opaque-size entry has ever been queued.
+	minFit() (int64, int64)
 }
 
 // collectCandidates gathers a tree's full candidate list (test helper and
 // aging-path building block).
-func collectCandidates(t waitTree, machine, rack string, now sim.Time, agingBoost float64, free *resource.Vector) []*waitEntry {
+func collectCandidates(t waitTree, machine, rack int32, now sim.Time, agingBoost float64, free *resource.Vector) []*waitEntry {
 	var out []*waitEntry
 	t.forEachCandidate(machine, rack, now, agingBoost, free, func(e *waitEntry) bool {
 		out = append(out, e)
@@ -113,11 +137,27 @@ func collectCandidates(t waitTree, machine, rack string, now sim.Time, agingBoos
 // free-up that fits none of a class's thousands of waiters skips all of
 // them at once. Entries whose size is unknown or carries virtual
 // dimensions go to the opaque class, which is never pruned.
+//
+// Entries occupy STABLE positions: the array is append-only (appends are
+// seq order, so position order is seq order) and a satisfied or parked
+// entry stays exactly where it is, marked dead in a two-level liveness
+// bitmap. The steady-state churn pattern — every entry's count cycling
+// satisfied→re-raised once per hold period — therefore costs one bit
+// clear and one bit set per cycle, where an eagerly-compacting array paid
+// a full tail memmove for the removal and another for the seq-ordered
+// re-insert. Walks skip dead spans with word-level bit scans
+// (64 entries per compare, 4096 per summary compare). Only entries of
+// unregistered apps (gone) are ever physically removed, by an amortized
+// tombstone rebuild.
 type sizeClass struct {
 	cpu, mem int64
 	opaque   bool
-	entries  []*waitEntry // sorted by seq ascending
-	cur      int          // walk cursor (valid during one walk)
+	entries  []*waitEntry // append-only; position order == seq order
+	live     []uint64     // liveness bitmap, bit per position
+	sum      []uint64     // summary bitmap, bit per live word
+	nLive    int
+	tomb     int // gone tombstones awaiting rebuild
+	cur      int // serial walk cursor (valid during one walk)
 }
 
 // eligible reports whether one unit of this class could fit free. A nil
@@ -129,29 +169,105 @@ func (c *sizeClass) eligible(free *resource.Vector) bool {
 	return free.CPUMilli() >= c.cpu && free.MemoryMB() >= c.mem
 }
 
-// finish compacts the visited prefix [0, cur): satisfied and removed
-// entries leave the queue, survivors and the unvisited tail keep order.
-func (c *sizeClass) finish() {
-	if c.cur == 0 {
-		return
+// push appends a live entry (its seq exceeds every present entry's).
+func (c *sizeClass) push(e *waitEntry) {
+	i := len(c.entries)
+	e.cls = c
+	e.pos = int32(i)
+	c.entries = append(c.entries, e)
+	for i>>6 >= len(c.live) {
+		c.live = append(c.live, 0)
 	}
+	for i>>12 >= len(c.sum) {
+		c.sum = append(c.sum, 0)
+	}
+	c.setLive(i)
+}
+
+func (c *sizeClass) setLive(i int) {
+	w := i >> 6
+	if c.live[w] == 0 {
+		c.sum[w>>6] |= 1 << uint(w&63)
+	}
+	c.live[w] |= 1 << uint(i&63)
+	c.nLive++
+}
+
+func (c *sizeClass) clearLive(i int) {
+	w := i >> 6
+	c.live[w] &^= 1 << uint(i&63)
+	if c.live[w] == 0 {
+		c.sum[w>>6] &^= 1 << uint(w&63)
+	}
+	c.nLive--
+}
+
+// nextLive returns the first live position >= i (len(entries) when none):
+// one masked word test for the common dense case, then a summary-guided
+// scan that crosses 4096 dead entries per compare.
+func (c *sizeClass) nextLive(i int) int {
+	n := len(c.entries)
+	if i >= n {
+		return n
+	}
+	w := i >> 6
+	if word := c.live[w] >> uint(i&63); word != 0 {
+		return i + bits.TrailingZeros64(word)
+	}
+	sw := w >> 6
+	if rest := c.sum[sw] >> uint(w&63) >> 1; rest != 0 {
+		w += 1 + bits.TrailingZeros64(rest)
+		return w<<6 + bits.TrailingZeros64(c.live[w])
+	}
+	for sw++; sw < len(c.sum); sw++ {
+		if c.sum[sw] != 0 {
+			w = sw<<6 + bits.TrailingZeros64(c.sum[sw])
+			return w<<6 + bits.TrailingZeros64(c.live[w])
+		}
+	}
+	return n
+}
+
+// rebuild physically drops gone tombstones, renumbering positions (order
+// is preserved, so seq order survives) and rebuilding the bitmaps.
+func (c *sizeClass) rebuild() {
 	w := 0
-	for i := 0; i < c.cur; i++ {
-		if e := c.entries[i]; e.count > 0 {
-			c.entries[w] = e
-			w++
-		} else {
-			c.entries[i].queued = false
+	for _, e := range c.entries {
+		if e.gone {
+			e.queued = false
+			e.cls = nil
+			continue
+		}
+		e.pos = int32(w)
+		c.entries[w] = e
+		w++
+	}
+	for i := w; i < len(c.entries); i++ {
+		c.entries[i] = nil
+	}
+	c.entries = c.entries[:w]
+	c.live = c.live[:0]
+	c.sum = c.sum[:0]
+	c.nLive = 0
+	for i := (w + 63) >> 6; i > 0; i-- {
+		c.live = append(c.live, 0)
+	}
+	for i := (((w + 63) >> 6) + 63) >> 6; i > 0; i-- {
+		c.sum = append(c.sum, 0)
+	}
+	for i, e := range c.entries {
+		if e.count > 0 && !e.parked {
+			c.setLive(i)
 		}
 	}
-	if w != c.cur {
-		n := copy(c.entries[w:], c.entries[c.cur:])
-		for i := w + n; i < len(c.entries); i++ {
-			c.entries[i] = nil
-		}
-		c.entries = c.entries[:w+n]
+	c.tomb = 0
+}
+
+// maybeRebuild triggers the tombstone rebuild once gone entries dominate.
+func (c *sizeClass) maybeRebuild() {
+	if c.tomb > 256 && c.tomb*2 > len(c.entries) {
+		c.rebuild()
 	}
-	c.cur = 0
 }
 
 // treeBucket holds one priority class of one queue, partitioned into size
@@ -182,6 +298,19 @@ func (b *treeBucket) classFor(u *unitState) *sizeClass {
 	return c
 }
 
+// hasLive reports whether any class holds a live entry.
+func (b *treeBucket) hasLive() bool {
+	for _, c := range b.classes {
+		if c.nLive > 0 {
+			return true
+		}
+	}
+	return false
+}
+
+// empty reports whether the bucket holds no entries at all (live or dead);
+// only then may its priority slot be dropped — dead entries must stay
+// reachable for in-place revival.
 func (b *treeBucket) empty() bool {
 	for _, c := range b.classes {
 		if len(c.entries) > 0 {
@@ -191,11 +320,26 @@ func (b *treeBucket) empty() bool {
 	return true
 }
 
+// noteKilled/noteRevived maintain the liveness bitmap as an in-place
+// entry's state flips (count crossing zero, park/unpark).
+func noteKilled(e *waitEntry) {
+	if e.queued && e.cls != nil {
+		e.cls.clearLive(int(e.pos))
+	}
+}
+
+func noteRevived(e *waitEntry) {
+	if e.queued && e.cls != nil {
+		e.cls.setLive(int(e.pos))
+	}
+}
+
 // walk streams the bucket's live entries to fn in seq order, merging the
 // size classes and skipping classes the current free fragment cannot
-// satisfy. It compacts what it visits and returns false when fn asked to
-// stop. free is re-read between entries: once grants shrink it below a
-// class's size, that class drops out of the merge mid-walk.
+// satisfy. It returns false when fn asked to stop. free is re-read between
+// entries: once grants shrink it below a class's size, that class drops
+// out of the merge mid-walk. Dead spans are crossed with bitmap scans;
+// nothing moves.
 func (b *treeBucket) walk(free *resource.Vector, fn func(*waitEntry) bool) bool {
 	for _, c := range b.classes {
 		c.cur = 0
@@ -204,10 +348,11 @@ func (b *treeBucket) walk(free *resource.Vector, fn func(*waitEntry) bool) bool 
 	for !stopped {
 		var best *sizeClass
 		for _, c := range b.classes {
-			for c.cur < len(c.entries) && c.entries[c.cur].count <= 0 {
-				c.cur++ // dead head: removed by finish
+			if c.nLive == 0 || !c.eligible(free) {
+				continue
 			}
-			if c.cur >= len(c.entries) || !c.eligible(free) {
+			c.cur = c.nextLive(c.cur)
+			if c.cur >= len(c.entries) {
 				continue
 			}
 			if best == nil || c.entries[c.cur].seq < best.entries[best.cur].seq {
@@ -221,42 +366,25 @@ func (b *treeBucket) walk(free *resource.Vector, fn func(*waitEntry) bool) bool 
 		best.cur++
 		stopped = !fn(e)
 	}
-	live := b.classes[:0]
 	for _, c := range b.classes {
-		c.finish()
-		if len(c.entries) > 0 {
-			live = append(live, c)
-		}
+		c.maybeRebuild()
 	}
-	for i := len(live); i < len(b.classes); i++ {
-		b.classes[i] = nil
-	}
-	b.classes = live
 	return !stopped
 }
 
 // compactInto appends every live entry (all classes, seq-merged not
-// required: callers re-sort) to out, compacting as it goes. It reports
-// whether the bucket is empty afterwards.
+// required: callers re-sort) to out. It reports whether the bucket could
+// be dropped (no entries at all).
 func (b *treeBucket) compactInto(out *[]*waitEntry) bool {
-	live := b.classes[:0]
 	for _, c := range b.classes {
-		c.cur = len(c.entries)
 		for _, e := range c.entries {
-			if e.count > 0 {
+			if e.count > 0 && !e.parked {
 				*out = append(*out, e)
 			}
 		}
-		c.finish()
-		if len(c.entries) > 0 {
-			live = append(live, c)
-		}
+		c.maybeRebuild()
 	}
-	for i := len(live); i < len(b.classes); i++ {
-		b.classes[i] = nil
-	}
-	b.classes = live
-	return len(b.classes) == 0
+	return b.empty()
 }
 
 // treeQueue is the waiting queue of one locality node, bucketed by priority
@@ -291,60 +419,135 @@ func (q *treeQueue) dropPrio(prio int) {
 // localityTree holds the three-level waiting queues of the FuxiMaster
 // scheduler (paper §3.3). Each machine, each rack, and the cluster has its
 // own queue; a freed machine consults only its own queue, its rack's queue
-// and the cluster queue. Queues are indexed per priority and keep only
-// entries with live demand, so a free-up touches O(candidates) entries
+// and the cluster queue. The per-machine and per-rack queues live in
+// slices indexed by the dense machine/rack ID — a free-up reaches its three
+// queues with two slice indexes, no hashing — and the entry index map is
+// keyed by interned integers only. Queues are indexed per priority and keep
+// only entries with live demand, so a free-up touches O(candidates) entries
 // rather than every (app, unit) that ever waited there. A satisfied entry
 // keeps its index record (and original seq); re-raised demand re-inserts it
 // at its original queue position, preserving the legacy FIFO semantics.
 type localityTree struct {
-	queues map[treeQueueID]*treeQueue
-	index  map[treeIdx]*waitEntry
-	byApp  map[string][]*waitEntry
-	seq    uint64
+	mq    []*treeQueue // machine ID (plus overflow nodes) -> queue
+	rq    []*treeQueue // rack ID (plus overflow nodes) -> queue
+	cq    *treeQueue   // the cluster queue
+	index map[treeIdx]*waitEntry
+	byApp [][]*waitEntry // app ID -> entries
+	seq   uint64
+
+	// minCpu/minMem are monotone lower bounds over every size class that
+	// ever held an entry (see waitTree.minFit). Monotone-only maintenance
+	// keeps them O(1); going stale-low merely disables pruning for a
+	// machine, never skips a grantable one.
+	minCpu, minMem int64
 
 	scratch []*waitEntry // reused candidate buffer (scheduler is single-threaded)
 	prioSet []int        // reused priority-union buffer
 }
 
 func newLocalityTree() *localityTree {
+	const maxInt64 = 1<<63 - 1
 	return &localityTree{
-		queues: make(map[treeQueueID]*treeQueue),
 		index:  make(map[treeIdx]*waitEntry),
-		byApp:  make(map[string][]*waitEntry),
+		minCpu: maxInt64,
+		minMem: maxInt64,
 	}
 }
 
-func (t *localityTree) queue(qid treeQueueID) *treeQueue {
-	q := t.queues[qid]
-	if q == nil {
-		q = &treeQueue{buckets: make(map[int]*treeBucket)}
-		t.queues[qid] = q
+// minFit implements waitTree (see the interface doc).
+func (t *localityTree) minFit() (int64, int64) {
+	if t.minCpu == 1<<63-1 {
+		return 0, 0 // nothing ever queued: no bound established
 	}
-	return q
+	return t.minCpu, t.minMem
 }
 
-// enqueue inserts e into its queue bucket at the position its seq dictates.
-// Fresh entries carry the largest seq yet issued and append in O(1);
-// re-activated entries binary-search back to their original position.
+// queue returns (creating on demand) the queue of one locality node.
+func (t *localityTree) queue(level resource.LocalityType, node int32) *treeQueue {
+	var slot **treeQueue
+	switch level {
+	case resource.LocalityMachine:
+		for int(node) >= len(t.mq) {
+			t.mq = append(t.mq, nil)
+		}
+		slot = &t.mq[node]
+	case resource.LocalityRack:
+		for int(node) >= len(t.rq) {
+			t.rq = append(t.rq, nil)
+		}
+		slot = &t.rq[node]
+	default:
+		slot = &t.cq
+	}
+	if *slot == nil {
+		*slot = &treeQueue{buckets: make(map[int]*treeBucket)}
+	}
+	return *slot
+}
+
+// peek returns the queue of one locality node without creating it.
+func (t *localityTree) peek(level resource.LocalityType, node int32) *treeQueue {
+	switch level {
+	case resource.LocalityMachine:
+		if int(node) < len(t.mq) {
+			return t.mq[node]
+		}
+		return nil
+	case resource.LocalityRack:
+		if int(node) < len(t.rq) {
+			return t.rq[node]
+		}
+		return nil
+	default:
+		return t.cq
+	}
+}
+
+// enqueue places e into its queue bucket. Fresh entries carry the largest
+// seq yet issued and append in O(1) — the only case the current lifecycle
+// produces, since satisfied entries revive in place and only unrevivable
+// (gone) entries are physically dropped. The out-of-order branch keeps the
+// structure correct should a future path re-queue a dropped entry.
 func (t *localityTree) enqueue(e *waitEntry) {
-	b := t.queue(treeQueueID{level: e.level, node: e.node}).bucket(e.priority)
+	b := t.queue(e.level, e.node).bucket(e.priority)
 	c := b.classFor(e.u)
+	e.queued = true
+	e.parked = false
+	if c.opaque {
+		t.minCpu, t.minMem = 0, 0 // unknown sizes: pruning off
+	} else {
+		if c.cpu < t.minCpu {
+			t.minCpu = c.cpu
+		}
+		if c.mem < t.minMem {
+			t.minMem = c.mem
+		}
+	}
 	n := len(c.entries)
 	if n == 0 || c.entries[n-1].seq < e.seq {
-		c.entries = append(c.entries, e)
-	} else {
-		i := sort.Search(n, func(i int) bool { return c.entries[i].seq > e.seq })
-		c.entries = append(c.entries, nil)
-		copy(c.entries[i+1:], c.entries[i:])
-		c.entries[i] = e
+		c.push(e)
+		return
 	}
-	e.queued = true
+	i := sort.Search(n, func(i int) bool { return c.entries[i].seq > e.seq })
+	c.entries = append(c.entries, nil)
+	copy(c.entries[i+1:], c.entries[i:])
+	c.entries[i] = e
+	e.cls = c
+	c.rebuild() // renumber positions and bitmaps
+}
+
+// appEntries returns (growing on demand) the entry list slot for an app ID.
+func (t *localityTree) appEntries(app int32) *[]*waitEntry {
+	for int(app) >= len(t.byApp) {
+		t.byApp = append(t.byApp, nil)
+	}
+	return &t.byApp[app]
 }
 
 // add increments the waiting count for key at (level, node), creating the
 // entry at the queue tail when new. Negative deltas decrement, flooring at
 // zero. It returns the entry's resulting count.
-func (t *localityTree) add(key waitKey, priority int, level resource.LocalityType, node string, delta int, now sim.Time, st *appState, u *unitState) int {
+func (t *localityTree) add(key waitKey, priority int, level resource.LocalityType, node int32, delta int, now sim.Time, st *appState, u *unitState) int {
 	idx := treeIdx{key: key, level: level, node: node}
 	e := t.index[idx]
 	if e == nil {
@@ -354,23 +557,32 @@ func (t *localityTree) add(key waitKey, priority int, level resource.LocalityTyp
 		t.seq++
 		e = &waitEntry{key: key, priority: priority, seq: t.seq, level: level, node: node, enqueuedAt: now, st: st, u: u}
 		t.index[idx] = e
-		t.byApp[key.app] = append(t.byApp[key.app], e)
+		ae := t.appEntries(key.app)
+		*ae = append(*ae, e)
 	}
 	if e.count == 0 && delta > 0 {
 		e.enqueuedAt = now // waiting clock restarts after a zero crossing
 	}
+	wasLive := e.count > 0 && !e.parked
 	e.count += delta
 	if e.count < 0 {
 		e.count = 0
 	}
 	if e.count > 0 && !e.queued {
 		t.enqueue(e)
+	} else {
+		nowLive := e.count > 0 && !e.parked
+		if wasLive && !nowLive {
+			noteKilled(e)
+		} else if !wasLive && nowLive {
+			noteRevived(e)
+		}
 	}
 	return e.count
 }
 
 // get returns the current waiting count for key at (level, node).
-func (t *localityTree) get(key waitKey, level resource.LocalityType, node string) int {
+func (t *localityTree) get(key waitKey, level resource.LocalityType, node int32) int {
 	if e := t.index[treeIdx{key: key, level: level, node: node}]; e != nil {
 		return e.count
 	}
@@ -379,7 +591,7 @@ func (t *localityTree) get(key waitKey, level resource.LocalityType, node string
 
 // setCount forces the waiting count at one node without touching the aging
 // clock (full-state reconciliation semantics).
-func (t *localityTree) setCount(key waitKey, priority int, level resource.LocalityType, node string, count int, now sim.Time, st *appState, u *unitState) {
+func (t *localityTree) setCount(key waitKey, priority int, level resource.LocalityType, node int32, count int, now sim.Time, st *appState, u *unitState) {
 	e := t.index[treeIdx{key: key, level: level, node: node}]
 	if e == nil {
 		if count > 0 {
@@ -390,32 +602,53 @@ func (t *localityTree) setCount(key waitKey, priority int, level resource.Locali
 	if count < 0 {
 		count = 0
 	}
+	wasLive := e.count > 0 && !e.parked
 	e.count = count
 	if e.count > 0 && !e.queued {
 		t.enqueue(e)
+	} else {
+		nowLive := e.count > 0 && !e.parked
+		if wasLive && !nowLive {
+			noteKilled(e)
+		} else if !wasLive && nowLive {
+			noteRevived(e)
+		}
 	}
 }
 
-// nodesFor lists the locality nodes where key has an entry.
-func (t *localityTree) nodesFor(key waitKey) []treeIdx {
-	var out []treeIdx
+// nodesFor appends the locality nodes where key has an entry to buf.
+func (t *localityTree) nodesFor(key waitKey, buf []treeIdx) []treeIdx {
+	if int(key.app) >= len(t.byApp) {
+		return buf
+	}
 	for _, e := range t.byApp[key.app] {
 		if e.key == key {
-			out = append(out, treeIdx{key: key, level: e.level, node: e.node})
+			buf = append(buf, treeIdx{key: key, level: e.level, node: e.node})
 		}
 	}
-	return out
+	return buf
 }
 
 // removeApp drops every entry belonging to app. Entries still sitting in
 // queue buckets become zero-count orphans that the next compaction pass
 // discards.
-func (t *localityTree) removeApp(app string) {
+func (t *localityTree) removeApp(app int32) {
+	if int(app) >= len(t.byApp) {
+		return
+	}
 	for _, e := range t.byApp[app] {
+		if e.count > 0 && !e.parked {
+			noteKilled(e)
+		}
 		e.count = 0
+		e.gone = true
+		if e.queued && e.cls != nil {
+			e.cls.tomb++
+			e.cls.maybeRebuild()
+		}
 		delete(t.index, treeIdx{key: e.key, level: e.level, node: e.node})
 	}
-	delete(t.byApp, app)
+	t.byApp[app] = nil
 }
 
 // forEachCandidate streams the live waiting entries eligible to receive
@@ -428,11 +661,11 @@ func (t *localityTree) removeApp(app string) {
 // grants touches two entries plus the skipped prefix, not the whole queue.
 // With aging enabled the live entries are collected and re-ranked by
 // effective priority exactly like the legacy tree.
-func (t *localityTree) forEachCandidate(machine, rack string, now sim.Time, agingBoost float64, free *resource.Vector, fn func(*waitEntry) bool) {
+func (t *localityTree) forEachCandidate(machine, rack int32, now sim.Time, agingBoost float64, free *resource.Vector, fn func(*waitEntry) bool) {
 	qs := [3]*treeQueue{
-		t.queues[treeQueueID{level: resource.LocalityMachine, node: machine}],
-		t.queues[treeQueueID{level: resource.LocalityRack, node: rack}],
-		t.queues[treeQueueID{level: resource.LocalityCluster, node: ""}],
+		t.peek(resource.LocalityMachine, machine),
+		t.peek(resource.LocalityRack, rack),
+		t.cq,
 	}
 	if agingBoost > 0 {
 		out := t.scratch[:0]
@@ -526,11 +759,11 @@ type walkScratch struct {
 // of the sharded parallel scheduler: many workers may run it concurrently
 // over a tree no one is mutating. Aging is not supported (the scheduler
 // falls back to the serial walk when aging is enabled).
-func (t *localityTree) forEachCandidateView(machine, rack string, free *resource.Vector, ws *walkScratch, count func(*waitEntry) int, fn func(*waitEntry) bool) {
+func (t *localityTree) forEachCandidateView(machine, rack int32, free *resource.Vector, ws *walkScratch, count func(*waitEntry) int, fn func(*waitEntry) bool) {
 	qs := [3]*treeQueue{
-		t.queues[treeQueueID{level: resource.LocalityMachine, node: machine}],
-		t.queues[treeQueueID{level: resource.LocalityRack, node: rack}],
-		t.queues[treeQueueID{level: resource.LocalityCluster, node: ""}],
+		t.peek(resource.LocalityMachine, machine),
+		t.peek(resource.LocalityRack, rack),
+		t.cq,
 	}
 	prios := ws.prios[:0]
 	for _, q := range qs {
@@ -578,13 +811,24 @@ func walkBucketView(b *treeBucket, free *resource.Vector, ws *walkScratch, count
 	for {
 		best := -1
 		for ci, c := range b.classes {
-			for cur[ci] < len(c.entries) && count(c.entries[cur[ci]]) <= 0 {
-				cur[ci]++
-			}
-			if cur[ci] >= len(c.entries) || !c.eligible(free) {
+			if c.nLive == 0 || !c.eligible(free) {
 				continue
 			}
-			if best == -1 || c.entries[cur[ci]].seq < b.classes[best].entries[cur[best]].seq {
+			pos := cur[ci]
+			for {
+				pos = c.nextLive(pos)
+				// The overlay hides entries this walker already consumed.
+				if pos < len(c.entries) && count(c.entries[pos]) <= 0 {
+					pos++
+					continue
+				}
+				break
+			}
+			cur[ci] = pos
+			if pos >= len(c.entries) {
+				continue
+			}
+			if best == -1 || c.entries[pos].seq < b.classes[best].entries[cur[best]].seq {
 				best = ci
 			}
 		}
@@ -603,6 +847,9 @@ func walkBucketView(b *treeBucket, free *resource.Vector, ws *walkScratch, count
 // tests and state dumps).
 func (t *localityTree) totalWaiting(key waitKey) int {
 	n := 0
+	if int(key.app) >= len(t.byApp) {
+		return 0
+	}
 	for _, e := range t.byApp[key.app] {
 		if e.key == key {
 			n += e.count
@@ -614,6 +861,9 @@ func (t *localityTree) totalWaiting(key waitKey) int {
 // waitingByLevel reports the per-level aggregate counts for a key, mirroring
 // the paper's Figure 5 view of the scheduling tree.
 func (t *localityTree) waitingByLevel(key waitKey) (machine, rack, cluster int) {
+	if int(key.app) >= len(t.byApp) {
+		return
+	}
 	for _, e := range t.byApp[key.app] {
 		if e.key != key {
 			continue

@@ -7,20 +7,29 @@ import (
 	"repro/internal/sim"
 )
 
+// legacyQueueID addresses one flat legacy queue.
+type legacyQueueID struct {
+	level resource.LocalityType
+	node  int32
+}
+
 // legacyTree is the original locality-tree implementation: flat per-node
 // queues that retain every indexed entry (including satisfied, zero-count
 // ones) and re-sort the combined candidate list on every free-up. It is
 // kept behind Options.LegacyScan so the scale harness can measure the
 // indexed tree against the pre-optimization baseline in the same build.
+// (It speaks the same interned-ID node operands as the indexed tree — the
+// scheduler resolves names exactly once either way — but keeps its original
+// map-keyed queues and scan-and-sort behaviour.)
 type legacyTree struct {
-	queues map[treeQueueID][]*waitEntry
+	queues map[legacyQueueID][]*waitEntry
 	index  map[treeIdx]*waitEntry
 	seq    uint64
 }
 
 func newLegacyTree() *legacyTree {
 	return &legacyTree{
-		queues: make(map[treeQueueID][]*waitEntry),
+		queues: make(map[legacyQueueID][]*waitEntry),
 		index:  make(map[treeIdx]*waitEntry),
 	}
 }
@@ -28,7 +37,7 @@ func newLegacyTree() *legacyTree {
 // add increments the waiting count for key at (level, node), creating the
 // entry at the queue tail when new. Negative deltas decrement, flooring at
 // zero. It returns the entry's resulting count.
-func (t *legacyTree) add(key waitKey, priority int, level resource.LocalityType, node string, delta int, now sim.Time, st *appState, u *unitState) int {
+func (t *legacyTree) add(key waitKey, priority int, level resource.LocalityType, node int32, delta int, now sim.Time, st *appState, u *unitState) int {
 	idx := treeIdx{key: key, level: level, node: node}
 	e := t.index[idx]
 	if e == nil {
@@ -38,7 +47,7 @@ func (t *legacyTree) add(key waitKey, priority int, level resource.LocalityType,
 		t.seq++
 		e = &waitEntry{key: key, priority: priority, seq: t.seq, level: level, node: node, enqueuedAt: now}
 		t.index[idx] = e
-		qid := treeQueueID{level: level, node: node}
+		qid := legacyQueueID{level: level, node: node}
 		t.queues[qid] = append(t.queues[qid], e)
 	}
 	if e.count == 0 && delta > 0 {
@@ -52,7 +61,7 @@ func (t *legacyTree) add(key waitKey, priority int, level resource.LocalityType,
 }
 
 // get returns the current waiting count for key at (level, node).
-func (t *legacyTree) get(key waitKey, level resource.LocalityType, node string) int {
+func (t *legacyTree) get(key waitKey, level resource.LocalityType, node int32) int {
 	if e := t.index[treeIdx{key: key, level: level, node: node}]; e != nil {
 		return e.count
 	}
@@ -60,7 +69,7 @@ func (t *legacyTree) get(key waitKey, level resource.LocalityType, node string) 
 }
 
 // setCount forces the waiting count at one node (reconciliation).
-func (t *legacyTree) setCount(key waitKey, priority int, level resource.LocalityType, node string, count int, now sim.Time, st *appState, u *unitState) {
+func (t *legacyTree) setCount(key waitKey, priority int, level resource.LocalityType, node int32, count int, now sim.Time, st *appState, u *unitState) {
 	e := t.index[treeIdx{key: key, level: level, node: node}]
 	if e == nil {
 		if count > 0 {
@@ -74,19 +83,18 @@ func (t *legacyTree) setCount(key waitKey, priority int, level resource.Locality
 	e.count = count
 }
 
-// nodesFor lists the locality nodes where key has an entry.
-func (t *legacyTree) nodesFor(key waitKey) []treeIdx {
-	var out []treeIdx
+// nodesFor appends the locality nodes where key has an entry to buf.
+func (t *legacyTree) nodesFor(key waitKey, buf []treeIdx) []treeIdx {
 	for idx := range t.index {
 		if idx.key == key {
-			out = append(out, idx)
+			buf = append(buf, idx)
 		}
 	}
-	return out
+	return buf
 }
 
 // removeApp drops every entry belonging to app.
-func (t *legacyTree) removeApp(app string) {
+func (t *legacyTree) removeApp(app int32) {
 	for idx, e := range t.index {
 		if idx.key.app == app {
 			e.count = 0 // tombstone; compacted lazily
@@ -99,10 +107,10 @@ func (t *legacyTree) removeApp(app string) {
 // resources freed on machine (in rack), ordered by (aged priority, level,
 // seq), re-scanning and re-sorting the three queues on every call. The
 // free vector is ignored: the baseline scans everything.
-func (t *legacyTree) forEachCandidate(machine, rack string, now sim.Time, agingBoost float64, free *resource.Vector, fn func(*waitEntry) bool) {
+func (t *legacyTree) forEachCandidate(machine, rack int32, now sim.Time, agingBoost float64, free *resource.Vector, fn func(*waitEntry) bool) {
 	var out []*waitEntry
-	collect := func(level resource.LocalityType, node string) {
-		qid := treeQueueID{level: level, node: node}
+	collect := func(level resource.LocalityType, node int32) {
+		qid := legacyQueueID{level: level, node: node}
 		q := t.queues[qid]
 		live := q[:0]
 		for _, e := range q {
@@ -119,7 +127,7 @@ func (t *legacyTree) forEachCandidate(machine, rack string, now sim.Time, agingB
 	}
 	collect(resource.LocalityMachine, machine)
 	collect(resource.LocalityRack, rack)
-	collect(resource.LocalityCluster, "")
+	collect(resource.LocalityCluster, 0)
 	sort.SliceStable(out, func(i, j int) bool {
 		a, b := out[i], out[j]
 		pa, pb := a.effectivePriority(now, agingBoost), b.effectivePriority(now, agingBoost)
@@ -137,6 +145,9 @@ func (t *legacyTree) forEachCandidate(machine, rack string, now sim.Time, agingB
 		}
 	}
 }
+
+// minFit implements waitTree: the baseline never prunes.
+func (t *legacyTree) minFit() (int64, int64) { return 0, 0 }
 
 // totalWaiting sums all waiting counts for a key across the tree.
 func (t *legacyTree) totalWaiting(key waitKey) int {

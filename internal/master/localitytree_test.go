@@ -3,11 +3,27 @@ package master
 import (
 	"testing"
 
+	"repro/internal/ident"
 	"repro/internal/resource"
 	"repro/internal/sim"
 )
 
-func key(app string) waitKey { return waitKey{app: app, unit: 1} }
+// ttApps interns test app names the way a Scheduler would, so tree tests
+// can keep speaking names while the tree speaks dense IDs.
+var ttApps ident.Table
+
+func key(app string) waitKey { return waitKey{app: ttApps.Intern(app), unit: 1} }
+
+func appOf(e *waitEntry) string { return ttApps.Name(e.key.app) }
+
+// Node-ID constants standing in for the old string node names.
+const (
+	m1 int32 = 1
+	m2 int32 = 2
+	r1 int32 = 1
+	r2 int32 = 2
+	cl int32 = 0 // the cluster node
+)
 
 // anyFree disables fit pruning in forEachCandidate.
 var anyFree *resource.Vector
@@ -21,16 +37,16 @@ func bothTrees(t *testing.T, fn func(t *testing.T, tr waitTree)) {
 
 func TestTreeAddAndGet(t *testing.T) {
 	bothTrees(t, func(t *testing.T, tr waitTree) {
-		if got := tr.add(key("a"), 10, resource.LocalityMachine, "m1", 5, 0, nil, nil); got != 5 {
+		if got := tr.add(key("a"), 10, resource.LocalityMachine, m1, 5, 0, nil, nil); got != 5 {
 			t.Errorf("count = %d", got)
 		}
-		if got := tr.add(key("a"), 10, resource.LocalityMachine, "m1", 3, 0, nil, nil); got != 8 {
+		if got := tr.add(key("a"), 10, resource.LocalityMachine, m1, 3, 0, nil, nil); got != 8 {
 			t.Errorf("merged count = %d", got)
 		}
-		if got := tr.get(key("a"), resource.LocalityMachine, "m1"); got != 8 {
+		if got := tr.get(key("a"), resource.LocalityMachine, m1); got != 8 {
 			t.Errorf("get = %d", got)
 		}
-		if got := tr.get(key("a"), resource.LocalityRack, "r1"); got != 0 {
+		if got := tr.get(key("a"), resource.LocalityRack, r1); got != 0 {
 			t.Errorf("absent get = %d", got)
 		}
 	})
@@ -38,12 +54,12 @@ func TestTreeAddAndGet(t *testing.T) {
 
 func TestTreeNegativeFloorsAtZero(t *testing.T) {
 	bothTrees(t, func(t *testing.T, tr waitTree) {
-		tr.add(key("a"), 10, resource.LocalityCluster, "", 5, 0, nil, nil)
-		if got := tr.add(key("a"), 10, resource.LocalityCluster, "", -99, 0, nil, nil); got != 0 {
+		tr.add(key("a"), 10, resource.LocalityCluster, cl, 5, 0, nil, nil)
+		if got := tr.add(key("a"), 10, resource.LocalityCluster, cl, -99, 0, nil, nil); got != 0 {
 			t.Errorf("floored count = %d", got)
 		}
 		// A pure decrement on a non-existent entry must not create one.
-		if got := tr.add(key("b"), 10, resource.LocalityCluster, "", -1, 0, nil, nil); got != 0 {
+		if got := tr.add(key("b"), 10, resource.LocalityCluster, cl, -1, 0, nil, nil); got != 0 {
 			t.Errorf("ghost entry count = %d", got)
 		}
 		if tr.totalWaiting(key("b")) != 0 {
@@ -55,21 +71,21 @@ func TestTreeNegativeFloorsAtZero(t *testing.T) {
 func TestCandidatesOrdering(t *testing.T) {
 	bothTrees(t, func(t *testing.T, tr waitTree) {
 		// Same priority: machine-level beats rack beats cluster; FIFO within.
-		tr.add(key("clusterA"), 100, resource.LocalityCluster, "", 1, 0, nil, nil)
-		tr.add(key("rackA"), 100, resource.LocalityRack, "r1", 1, 0, nil, nil)
-		tr.add(key("machineA"), 100, resource.LocalityMachine, "m1", 1, 0, nil, nil)
-		tr.add(key("machineB"), 100, resource.LocalityMachine, "m1", 1, 0, nil, nil)
+		tr.add(key("clusterA"), 100, resource.LocalityCluster, cl, 1, 0, nil, nil)
+		tr.add(key("rackA"), 100, resource.LocalityRack, r1, 1, 0, nil, nil)
+		tr.add(key("machineA"), 100, resource.LocalityMachine, m1, 1, 0, nil, nil)
+		tr.add(key("machineB"), 100, resource.LocalityMachine, m1, 1, 0, nil, nil)
 		// Higher priority (smaller) cluster waiter beats them all.
-		tr.add(key("urgent"), 1, resource.LocalityCluster, "", 1, 0, nil, nil)
+		tr.add(key("urgent"), 1, resource.LocalityCluster, cl, 1, 0, nil, nil)
 
-		got := collectCandidates(tr, "m1", "r1", 0, 0, anyFree)
+		got := collectCandidates(tr, m1, r1, 0, 0, anyFree)
 		want := []string{"urgent", "machineA", "machineB", "rackA", "clusterA"}
 		if len(got) != len(want) {
 			t.Fatalf("candidates = %d, want %d", len(got), len(want))
 		}
 		for i, w := range want {
-			if got[i].key.app != w {
-				t.Errorf("candidate %d = %s, want %s", i, got[i].key.app, w)
+			if appOf(got[i]) != w {
+				t.Errorf("candidate %d = %s, want %s", i, appOf(got[i]), w)
 			}
 		}
 	})
@@ -77,11 +93,11 @@ func TestCandidatesOrdering(t *testing.T) {
 
 func TestCandidatesScopedToMachineAndRack(t *testing.T) {
 	bothTrees(t, func(t *testing.T, tr waitTree) {
-		tr.add(key("other"), 1, resource.LocalityMachine, "m2", 1, 0, nil, nil)
-		tr.add(key("otherRack"), 1, resource.LocalityRack, "r2", 1, 0, nil, nil)
-		tr.add(key("mine"), 100, resource.LocalityMachine, "m1", 1, 0, nil, nil)
-		got := collectCandidates(tr, "m1", "r1", 0, 0, anyFree)
-		if len(got) != 1 || got[0].key.app != "mine" {
+		tr.add(key("other"), 1, resource.LocalityMachine, m2, 1, 0, nil, nil)
+		tr.add(key("otherRack"), 1, resource.LocalityRack, r2, 1, 0, nil, nil)
+		tr.add(key("mine"), 100, resource.LocalityMachine, m1, 1, 0, nil, nil)
+		got := collectCandidates(tr, m1, r1, 0, 0, anyFree)
+		if len(got) != 1 || appOf(got[0]) != "mine" {
 			t.Errorf("candidates = %v", got)
 		}
 	})
@@ -89,18 +105,18 @@ func TestCandidatesScopedToMachineAndRack(t *testing.T) {
 
 func TestRemoveApp(t *testing.T) {
 	bothTrees(t, func(t *testing.T, tr waitTree) {
-		tr.add(key("a"), 1, resource.LocalityMachine, "m1", 2, 0, nil, nil)
-		tr.add(key("a"), 1, resource.LocalityCluster, "", 3, 0, nil, nil)
-		tr.add(key("b"), 1, resource.LocalityCluster, "", 1, 0, nil, nil)
-		tr.removeApp("a")
+		tr.add(key("a"), 1, resource.LocalityMachine, m1, 2, 0, nil, nil)
+		tr.add(key("a"), 1, resource.LocalityCluster, cl, 3, 0, nil, nil)
+		tr.add(key("b"), 1, resource.LocalityCluster, cl, 1, 0, nil, nil)
+		tr.removeApp(key("a").app)
 		if tr.totalWaiting(key("a")) != 0 {
 			t.Error("app a still waiting")
 		}
 		if tr.totalWaiting(key("b")) != 1 {
 			t.Error("app b affected")
 		}
-		got := collectCandidates(tr, "m1", "r1", 0, 0, anyFree)
-		if len(got) != 1 || got[0].key.app != "b" {
+		got := collectCandidates(tr, m1, r1, 0, 0, anyFree)
+		if len(got) != 1 || appOf(got[0]) != "b" {
 			t.Errorf("candidates after removal = %v", got)
 		}
 	})
@@ -112,28 +128,28 @@ func TestRemoveApp(t *testing.T) {
 // if demand for the same key is added again afterwards (fresh seq).
 func TestRemoveAppMidWait(t *testing.T) {
 	bothTrees(t, func(t *testing.T, tr waitTree) {
-		tr.add(key("victim"), 5, resource.LocalityCluster, "", 4, 0, nil, nil)
-		tr.add(key("stay1"), 5, resource.LocalityCluster, "", 1, 0, nil, nil)
-		tr.add(key("victim"), 5, resource.LocalityMachine, "m1", 2, 0, nil, nil)
-		tr.add(key("stay2"), 5, resource.LocalityCluster, "", 1, 0, nil, nil)
+		tr.add(key("victim"), 5, resource.LocalityCluster, cl, 4, 0, nil, nil)
+		tr.add(key("stay1"), 5, resource.LocalityCluster, cl, 1, 0, nil, nil)
+		tr.add(key("victim"), 5, resource.LocalityMachine, m1, 2, 0, nil, nil)
+		tr.add(key("stay2"), 5, resource.LocalityCluster, cl, 1, 0, nil, nil)
 		// A compaction pass has seen the entries once (queues are warm).
-		if got := collectCandidates(tr, "m1", "r1", 0, 0, anyFree); len(got) != 4 {
+		if got := collectCandidates(tr, m1, r1, 0, 0, anyFree); len(got) != 4 {
 			t.Fatalf("warm candidates = %d, want 4", len(got))
 		}
-		tr.removeApp("victim")
-		got := collectCandidates(tr, "m1", "r1", 0, 0, anyFree)
-		if len(got) != 2 || got[0].key.app != "stay1" || got[1].key.app != "stay2" {
+		tr.removeApp(key("victim").app)
+		got := collectCandidates(tr, m1, r1, 0, 0, anyFree)
+		if len(got) != 2 || appOf(got[0]) != "stay1" || appOf(got[1]) != "stay2" {
 			names := make([]string, len(got))
 			for i, e := range got {
-				names[i] = e.key.app
+				names[i] = appOf(e)
 			}
 			t.Fatalf("candidates after mid-wait removal = %v", names)
 		}
 		// Re-adding demand for the removed key starts a fresh entry at the
 		// queue tail, not the ghost of the removed one.
-		tr.add(key("victim"), 5, resource.LocalityCluster, "", 1, 0, nil, nil)
-		got = collectCandidates(tr, "m1", "r1", 0, 0, anyFree)
-		if len(got) != 3 || got[2].key.app != "victim" {
+		tr.add(key("victim"), 5, resource.LocalityCluster, cl, 1, 0, nil, nil)
+		got = collectCandidates(tr, m1, r1, 0, 0, anyFree)
+		if len(got) != 3 || appOf(got[2]) != "victim" {
 			t.Fatalf("re-added app must queue at the tail, got %d candidates", len(got))
 		}
 		if tr.totalWaiting(key("victim")) != 1 {
@@ -144,15 +160,15 @@ func TestRemoveAppMidWait(t *testing.T) {
 
 func TestZeroCountEntriesKeepQueuePosition(t *testing.T) {
 	bothTrees(t, func(t *testing.T, tr waitTree) {
-		tr.add(key("first"), 100, resource.LocalityCluster, "", 1, 0, nil, nil)
-		tr.add(key("second"), 100, resource.LocalityCluster, "", 1, 0, nil, nil)
+		tr.add(key("first"), 100, resource.LocalityCluster, cl, 1, 0, nil, nil)
+		tr.add(key("second"), 100, resource.LocalityCluster, cl, 1, 0, nil, nil)
 		// first's demand is satisfied then re-raised: its seq (queue position)
 		// must survive the zero crossing.
-		tr.add(key("first"), 100, resource.LocalityCluster, "", -1, 0, nil, nil)
-		_ = collectCandidates(tr, "m", "r", 0, 0, anyFree) // compaction pass with zero count
-		tr.add(key("first"), 100, resource.LocalityCluster, "", 1, 0, nil, nil)
-		got := collectCandidates(tr, "m", "r", 0, 0, anyFree)
-		if len(got) != 2 || got[0].key.app != "first" {
+		tr.add(key("first"), 100, resource.LocalityCluster, cl, -1, 0, nil, nil)
+		_ = collectCandidates(tr, m1, r1, 0, 0, anyFree) // compaction pass with zero count
+		tr.add(key("first"), 100, resource.LocalityCluster, cl, 1, 0, nil, nil)
+		got := collectCandidates(tr, m1, r1, 0, 0, anyFree)
+		if len(got) != 2 || appOf(got[0]) != "first" {
 			t.Errorf("order after zero crossing = %v", got)
 		}
 	})
@@ -160,10 +176,10 @@ func TestZeroCountEntriesKeepQueuePosition(t *testing.T) {
 
 func TestWaitingByLevel(t *testing.T) {
 	bothTrees(t, func(t *testing.T, tr waitTree) {
-		tr.add(key("a"), 1, resource.LocalityMachine, "m1", 2, 0, nil, nil)
-		tr.add(key("a"), 1, resource.LocalityMachine, "m2", 3, 0, nil, nil)
-		tr.add(key("a"), 1, resource.LocalityRack, "r1", 4, 0, nil, nil)
-		tr.add(key("a"), 1, resource.LocalityCluster, "", 5, 0, nil, nil)
+		tr.add(key("a"), 1, resource.LocalityMachine, m1, 2, 0, nil, nil)
+		tr.add(key("a"), 1, resource.LocalityMachine, m2, 3, 0, nil, nil)
+		tr.add(key("a"), 1, resource.LocalityRack, r1, 4, 0, nil, nil)
+		tr.add(key("a"), 1, resource.LocalityCluster, cl, 5, 0, nil, nil)
 		m, r, c := tr.waitingByLevel(key("a"))
 		if m != 5 || r != 4 || c != 5 {
 			t.Errorf("by level = %d/%d/%d, want 5/4/5", m, r, c)
@@ -180,19 +196,19 @@ func TestWaitingByLevel(t *testing.T) {
 func TestAgingBoostReordersCandidates(t *testing.T) {
 	bothTrees(t, func(t *testing.T, tr waitTree) {
 		// Enqueued at t=0 with priority 50.
-		tr.add(key("old"), 50, resource.LocalityCluster, "", 1, 0, nil, nil)
+		tr.add(key("old"), 50, resource.LocalityCluster, cl, 1, 0, nil, nil)
 		// Enqueued at t=40s with priority 20.
-		tr.add(key("fresh"), 20, resource.LocalityCluster, "", 1, 40*sim.Second, nil, nil)
+		tr.add(key("fresh"), 20, resource.LocalityCluster, cl, 1, 40*sim.Second, nil, nil)
 
 		// At t=40s with 1 point/s aging: old has 50-40=10 < fresh 20.
-		got := collectCandidates(tr, "m", "r", 40*sim.Second, 1.0, anyFree)
-		if len(got) != 2 || got[0].key.app != "old" {
-			t.Fatalf("aged ordering wrong: got %v first", got[0].key.app)
+		got := collectCandidates(tr, m1, r1, 40*sim.Second, 1.0, anyFree)
+		if len(got) != 2 || appOf(got[0]) != "old" {
+			t.Fatalf("aged ordering wrong: got %v first", appOf(got[0]))
 		}
 		// Without aging, base priorities rule.
-		got = collectCandidates(tr, "m", "r", 40*sim.Second, 0, anyFree)
-		if got[0].key.app != "fresh" {
-			t.Fatalf("unaged ordering wrong: got %v first", got[0].key.app)
+		got = collectCandidates(tr, m1, r1, 40*sim.Second, 0, anyFree)
+		if appOf(got[0]) != "fresh" {
+			t.Fatalf("unaged ordering wrong: got %v first", appOf(got[0]))
 		}
 	})
 }
@@ -216,26 +232,26 @@ func TestEffectivePriorityFloorsAtZero(t *testing.T) {
 func TestCandidatesFitPruning(t *testing.T) {
 	tr := newLocalityTree()
 	big := &unitState{def: resource.ScheduleUnit{ID: 1, Priority: 1, MaxCount: 10, Size: resource.New(4000, 8192)}}
-	tr.add(waitKey{app: "big", unit: 1}, 1, resource.LocalityCluster, "", 2, 0, nil, big)
+	tr.add(key("big"), 1, resource.LocalityCluster, cl, 2, 0, nil, big)
 
 	// A fragment too small for the only waiting size is pruned.
 	small := resource.New(500, 1024)
-	if got := collectCandidates(tr, "m", "r", 0, 0, &small); len(got) != 0 {
+	if got := collectCandidates(tr, m1, r1, 0, 0, &small); len(got) != 0 {
 		t.Errorf("expected pruning, got %d candidates", len(got))
 	}
 	// A fragment that fits is offered.
 	fits := resource.New(4000, 8192)
-	if got := collectCandidates(tr, "m", "r", 0, 0, &fits); len(got) != 1 {
+	if got := collectCandidates(tr, m1, r1, 0, 0, &fits); len(got) != 1 {
 		t.Errorf("expected candidate, got %d", len(got))
 	}
 	// Entries with unknown sizes land in the opaque class: never pruned.
-	tr.add(waitKey{app: "unknown", unit: 1}, 1, resource.LocalityCluster, "", 1, 0, nil, nil)
+	tr.add(key("unknownSize"), 1, resource.LocalityCluster, cl, 1, 0, nil, nil)
 	tiny := resource.New(1, 1)
-	if got := collectCandidates(tr, "m", "r", 0, 0, &tiny); len(got) != 1 || got[0].key.app != "unknown" {
+	if got := collectCandidates(tr, m1, r1, 0, 0, &tiny); len(got) != 1 || appOf(got[0]) != "unknownSize" {
 		t.Errorf("opaque entries must survive pruning, got %d candidates", len(got))
 	}
 	// A nil free disables pruning entirely.
-	if got := collectCandidates(tr, "m", "r", 0, 0, anyFree); len(got) != 2 {
+	if got := collectCandidates(tr, m1, r1, 0, 0, anyFree); len(got) != 2 {
 		t.Errorf("nil free must disable pruning, got %d candidates", len(got))
 	}
 }

@@ -106,6 +106,11 @@ func DefaultConfig(process string) Config {
 // Master is one FuxiMaster process of the hot-standby pair. When it holds
 // the election lock it registers the logical MasterEndpoint, drives the
 // Scheduler, and dispatches grant/revoke messages; otherwise it waits.
+//
+// All per-machine wrapper state — heartbeat clocks, strike and flap
+// counters, blacklist pins, cached agent endpoints — is held in slices
+// indexed by the dense machine ID carried on the wire, so the per-message
+// hot path never hashes a machine name.
 type Master struct {
 	cfg  Config
 	eng  *sim.Engine
@@ -119,32 +124,53 @@ type Master struct {
 	primary    bool
 	crashed    bool
 	recovering bool
-	restored   map[string]bool // machines whose allocations were restored this recovery
+	restored   []bool // by machine ID: allocations restored this recovery
 	epoch      int
 
+	epID    tr // cached endpoint IDs: own, gateway, per-machine agents
+	gwID    tr
+	agentEP []tr // by machine ID
+
 	seq      protocol.Sequencer
-	dedup    *protocol.Dedup
-	lastBeat map[string]sim.Time
+	dedup    protocol.Dedup
+	lastBeat []sim.Time // by machine ID
 	wheel    *beatWheel // lazy timer wheel over lastBeat (dead-agent scan)
-	strikes  map[string]int
+	strikes  []int      // by machine ID
 	// flap is the cluster-level machine health score (see Config.Flap*):
 	// master-observed deaths raise it, the decay timer lowers it, and
 	// flapBlack marks machines blacklisted by it (so heartbeat-score
 	// rehabilitation cannot un-blacklist a flapping node between crashes).
 	// Both are soft state: a promoted successor starts them fresh.
-	flap      map[string]int
-	flapBlack map[string]bool
-	badVotes  map[string]map[string]bool         // machine -> set of reporting apps
+	flap      []int
+	flapBlack []bool
+	badVotes  []map[string]bool                  // machine ID -> set of reporting apps
 	pendDem   map[string][]protocol.DemandUpdate // app -> buffered updates (batch mode)
 	pendRet   []protocol.GrantReturn             // buffered returns (batch mode)
 	flushArm  bool
-	dsp       dispatchScratch   // pooled fan-out accumulators
-	touched   []string          // pooled touched-machine list (release batches)
-	agentEP   map[string]string // machine -> cached agent endpoint name
-	// Pooled round-merge buffers (flushRound).
+	dsp       dispatchScratch // pooled fan-out accumulators
+	touched   []int32         // pooled touched-machine list (release batches)
+	// Pooled round-merge buffers (flushRound) and batch-unpacking scratch.
 	appBuf  []string
 	unitBuf []int
 	hintBuf []resource.LocalityHint
+	retBuf  []protocol.GrantReturn
+	// Full-sync reconciliation scratch (one sync touches every unit of an
+	// app; pooled so the periodic safety syncs do not allocate per unit).
+	syncTgt map[syncTarget]int
+	missBuf []syncTarget
+	idxBuf  []treeIdx
+	// dsBuf is the pooled decision accumulator of the round/immediate
+	// scheduling paths (dispatch copies decisions into wire messages, so
+	// nothing retains the buffer between uses).
+	dsBuf []Decision
+	// entArena/mdArena are append-only arenas backing the payload slices of
+	// outgoing CapacityDelta/GrantUpdate messages: the wire must own its
+	// payload (deliveries are asynchronous), but carving messages out of a
+	// block costs one allocation per block instead of one per message. A
+	// full block is simply dropped for a fresh one — its memory lives
+	// exactly as long as the messages that reference it.
+	entArena []protocol.CapacityEntry
+	mdArena  []protocol.MachineDelta
 	// recDem, recRet and recUnreg buffer demand, return and unregister
 	// traffic that arrives during the recovery window: acting on it before
 	// every agent has re-reported its allocations would grant from a free
@@ -159,6 +185,42 @@ type Master struct {
 	lockAbort sim.Cancel
 }
 
+// tr abbreviates the transport endpoint ID in struct fields.
+type tr = transport.EndpointID
+
+const arenaBlock = 2048
+
+// ownEntries copies src into the entry arena and returns the owned slice.
+func (m *Master) ownEntries(src []protocol.CapacityEntry) []protocol.CapacityEntry {
+	if len(src) > len(m.entArena) {
+		n := arenaBlock
+		if len(src) > n {
+			n = len(src)
+		}
+		m.entArena = make([]protocol.CapacityEntry, n)
+	}
+	out := m.entArena[:len(src):len(src)]
+	m.entArena = m.entArena[len(src):]
+	copy(out, src)
+	return out
+}
+
+// ownDeltas copies src into the machine-delta arena and returns the owned
+// slice.
+func (m *Master) ownDeltas(src []protocol.MachineDelta) []protocol.MachineDelta {
+	if len(src) > len(m.mdArena) {
+		n := arenaBlock
+		if len(src) > n {
+			n = len(src)
+		}
+		m.mdArena = make([]protocol.MachineDelta, n)
+	}
+	out := m.mdArena[:len(src):len(src)]
+	m.mdArena = m.mdArena[len(src):]
+	copy(out, src)
+	return out
+}
+
 // NewMaster wires a master process to the simulation. Both hot-standby
 // processes share the same CheckpointStore (it models durable storage) and
 // lock service. The master starts in standby and competes for the lock
@@ -168,22 +230,32 @@ func NewMaster(cfg Config, eng *sim.Engine, net *transport.Net, lock *lockservic
 	if reg == nil {
 		reg = metrics.NewRegistry()
 	}
+	n := top.Size()
 	m := &Master{
 		cfg: cfg, eng: eng, net: net, lock: lock, top: top, ckpt: ckpt, reg: reg,
-		dedup:     protocol.NewDedup(),
-		lastBeat:  make(map[string]sim.Time),
-		strikes:   make(map[string]int),
-		flap:      make(map[string]int),
-		flapBlack: make(map[string]bool),
-		badVotes:  make(map[string]map[string]bool),
+		lastBeat:  make([]sim.Time, n),
+		strikes:   make([]int, n),
+		flap:      make([]int, n),
+		flapBlack: make([]bool, n),
+		badVotes:  make([]map[string]bool, n),
 		pendDem:   make(map[string][]protocol.DemandUpdate),
-		agentEP:   make(map[string]string, top.Size()),
+		agentEP:   make([]tr, n),
+		epID:      net.Endpoint(protocol.MasterEndpoint),
+		gwID:      net.Endpoint(protocol.GatewayEndpoint),
 	}
-	for _, mc := range top.Machines() {
-		m.agentEP[mc] = protocol.AgentEndpoint(mc)
+	for id := int32(0); id < int32(n); id++ {
+		m.agentEP[id] = net.Endpoint(protocol.AgentEndpoint(top.MachineName(id)))
 	}
 	m.compete()
 	return m
+}
+
+// appEndpoint resolves (and caches) an app's transport endpoint ID.
+func (m *Master) appEndpoint(st *appState) tr {
+	if st.ep == transport.None {
+		st.ep = m.net.Endpoint(st.name)
+	}
+	return st.ep
 }
 
 // compete (re-)enters the election.
@@ -220,7 +292,7 @@ func (m *Master) promote() {
 		m.cfg.OnPromote(m.epoch)
 	}
 
-	m.wheel = newBeatWheel(m.cfg.HeartbeatScan)
+	m.wheel = newBeatWheel(m.cfg.HeartbeatScan, m.top.Size())
 	m.net.Register(protocol.MasterEndpoint, m.handle)
 	m.timers = append(m.timers,
 		m.eng.Every(m.cfg.RenewEvery, m.renew),
@@ -233,27 +305,29 @@ func (m *Master) promote() {
 	// recovery pause.
 	if m.epoch > 1 {
 		m.recovering = true
-		m.restored = make(map[string]bool)
+		m.restored = make([]bool, m.top.Size())
 		// Baseline every machine's heartbeat clock: a machine that was
 		// already dead when the predecessor crashed never reports to the
 		// successor, and with no baseline it would never trip the timeout
 		// scan and would keep absorbing grants forever.
 		now := m.eng.Now()
-		for _, mc := range m.top.Machines() {
-			m.lastBeat[mc] = now
-			m.wheel.track(mc, now)
+		for id := int32(0); id < int32(m.top.Size()); id++ {
+			m.lastBeat[id] = now
+			m.wheel.track(id, now)
 		}
 		hello := protocol.MasterHello{Epoch: m.epoch, Seq: m.seq.Next()}
-		for _, mc := range m.top.Machines() {
-			m.net.Send(protocol.MasterEndpoint, protocol.AgentEndpoint(mc), hello)
+		for id := int32(0); id < int32(m.top.Size()); id++ {
+			m.net.SendID(m.epID, m.agentEP[id], hello)
 		}
 		for _, app := range snap.Apps {
-			m.net.Send(protocol.MasterEndpoint, app.Name, hello)
+			if st := m.sched.apps[app.Name]; st != nil {
+				m.net.SendID(m.epID, m.appEndpoint(st), hello)
+			}
 		}
 		// The submission gateway (when deployed) replays its
 		// admitted-but-unacknowledged jobs on this hello; without a gateway
 		// the endpoint is unregistered and the message is dropped on arrival.
-		m.net.Send(protocol.MasterEndpoint, protocol.GatewayEndpoint, hello)
+		m.net.SendID(m.epID, m.gwID, hello)
 		m.timers = append(m.timers, m.eng.After(m.cfg.RecoveryWindow, m.finishRecovery))
 	}
 }
@@ -284,7 +358,7 @@ func (m *Master) finishRecovery() {
 	for _, t := range unreg {
 		m.handleUnregister(t) // dispatches its own release fan-out
 	}
-	final := m.sched.AssignOn(m.top.Machines())
+	final := m.sched.AssignOnAll()
 	m.dispatch(final)
 	ds = append(ds, final...)
 	if m.cfg.OnRecovered != nil {
@@ -354,13 +428,14 @@ func (m *Master) Restart() {
 	if !m.crashed {
 		return
 	}
+	n := m.top.Size()
 	m.crashed = false
-	m.dedup = protocol.NewDedup()
-	m.lastBeat = make(map[string]sim.Time)
-	m.strikes = make(map[string]int)
-	m.flap = make(map[string]int)
-	m.flapBlack = make(map[string]bool)
-	m.badVotes = make(map[string]map[string]bool)
+	m.dedup = protocol.Dedup{}
+	m.lastBeat = make([]sim.Time, n)
+	m.strikes = make([]int, n)
+	m.flap = make([]int, n)
+	m.flapBlack = make([]bool, n)
+	m.badVotes = make([]map[string]bool, n)
 	m.pendDem = make(map[string][]protocol.DemandUpdate)
 	m.compete()
 }
@@ -384,45 +459,47 @@ func (m *Master) Epoch() int { return m.epoch }
 // message handling
 // ---------------------------------------------------------------------------
 
-func (m *Master) handle(from string, msg transport.Message) {
+func (m *Master) handle(from tr, msg transport.Message) {
 	if !m.primary || m.crashed {
 		return
 	}
 	start := time.Now()
 	switch t := msg.(type) {
 	case protocol.RegisterApp:
-		if m.dedup.ObserveCh(from, protocol.ChanReg, t.Seq) == protocol.Duplicate {
+		if m.dedup.ObserveCh(int32(from), protocol.ChanReg, t.Seq) == protocol.Duplicate {
 			return
 		}
-		m.handleRegister(t)
+		m.handleRegister(from, t)
 	case protocol.DemandUpdate:
-		if m.dedup.ObserveCh(from, protocol.ChanDem, t.Seq) == protocol.Duplicate {
+		if m.dedup.ObserveCh(int32(from), protocol.ChanDem, t.Seq) == protocol.Duplicate {
 			return
 		}
 		m.handleDemand(t)
 	case protocol.GrantReturn:
-		if m.dedup.ObserveCh(from, protocol.ChanRet, t.Seq) == protocol.Duplicate {
+		if m.dedup.ObserveCh(int32(from), protocol.ChanRet, t.Seq) == protocol.Duplicate {
 			return
 		}
 		m.handleReturns([]protocol.GrantReturn{t})
 	case protocol.GrantReturnBatch:
-		if m.dedup.ObserveCh(from, protocol.ChanRet, t.Seq) == protocol.Duplicate {
+		if m.dedup.ObserveCh(int32(from), protocol.ChanRet, t.Seq) == protocol.Duplicate {
 			return
 		}
 		m.handleReturnBatch(t)
 	case protocol.UnregisterApp:
-		if m.dedup.ObserveCh(from, protocol.ChanUnreg, t.Seq) == protocol.Duplicate {
+		if m.dedup.ObserveCh(int32(from), protocol.ChanUnreg, t.Seq) == protocol.Duplicate {
 			return
 		}
 		m.handleUnregister(t)
 	case protocol.FullDemandSync:
-		m.handleFullSync(t)
-	case protocol.AgentHeartbeat:
+		m.handleFullSync(from, t)
+	case *protocol.AgentHeartbeat:
 		m.handleHeartbeat(t)
+	case protocol.AgentHeartbeat:
+		m.handleHeartbeat(&t) // value form (tests, scripted agents)
 	case protocol.CapacityQuery:
 		m.handleCapacityQuery(t)
 	case protocol.BadMachineReport:
-		if m.dedup.ObserveCh(from, protocol.ChanBad, t.Seq) == protocol.Duplicate {
+		if m.dedup.ObserveCh(int32(from), protocol.ChanBad, t.Seq) == protocol.Duplicate {
 			return
 		}
 		m.handleBadReport(t)
@@ -432,13 +509,15 @@ func (m *Master) handle(from string, msg transport.Message) {
 	m.reg.Histogram("master.request_ms").Observe(float64(time.Since(start).Nanoseconds()) / 1e6)
 }
 
-func (m *Master) handleRegister(t protocol.RegisterApp) {
-	if m.sched.Registered(t.App) {
-		return // failover re-registration; config already restored
+func (m *Master) handleRegister(from tr, t protocol.RegisterApp) {
+	if st := m.sched.apps[t.App]; st != nil {
+		st.ep = from // failover re-registration; config already restored
+		return
 	}
 	if err := m.sched.RegisterApp(t.App, t.QuotaGroup, t.Units); err != nil {
 		return
 	}
+	m.sched.apps[t.App].ep = from
 	// Hard state changes only on job submission/stop (paper §4.3.1).
 	m.ckpt.SaveApp(AppConfig{Name: t.App, Group: t.QuotaGroup, Units: t.Units})
 }
@@ -459,12 +538,13 @@ func (m *Master) handleDemand(t protocol.DemandUpdate) {
 
 func (m *Master) applyDemand(t protocol.DemandUpdate) {
 	start := time.Now()
-	ds, err := m.sched.UpdateDemand(t.App, t.UnitID, t.Deltas)
+	ds := m.dsBuf[:0]
+	err := m.sched.updateDemandInto(t.App, t.UnitID, t.Deltas, &ds)
 	m.reg.Histogram("master.sched_ms").Observe(float64(time.Since(start).Nanoseconds()) / 1e6)
-	if err != nil {
-		return
+	if err == nil {
+		m.dispatch(ds)
 	}
-	m.dispatch(ds)
+	m.dsBuf = ds[:0]
 }
 
 func (m *Master) bufferDemand(t protocol.DemandUpdate) {
@@ -477,12 +557,6 @@ func (m *Master) armFlush() {
 		m.flushArm = true
 		m.eng.PostFunc(m.cfg.BatchWindow, m.flushRound)
 	}
-}
-
-// locTarget identifies one locality node for batch merging.
-type locTarget struct {
-	typ   resource.LocalityType
-	value string
 }
 
 // flushRound executes one batched scheduling round: apply every buffered
@@ -512,11 +586,11 @@ func (m *Master) flushRound() {
 		return
 	}
 	start := time.Now()
-	var ds []Decision
+	ds := m.dsBuf[:0]
 	if len(m.pendRet) > 0 {
 		touched := m.applyReleases(m.pendRet)
 		m.pendRet = m.pendRet[:0]
-		ds = append(ds, m.sched.AssignOn(touched)...)
+		m.sched.assignOnIDsInto(touched, &ds)
 	}
 	apps := m.appBuf[:0]
 	for app := range m.pendDem {
@@ -565,27 +639,29 @@ func (m *Master) flushRound() {
 				i = j
 			}
 			m.hintBuf = hb
-			out, err := m.sched.UpdateDemand(app, unitID, hb[:w])
-			if err != nil {
+			if err := m.sched.updateDemandInto(app, unitID, hb[:w], &ds); err != nil {
 				continue
 			}
-			ds = append(ds, out...)
 		}
 	}
 	m.appBuf = apps
 	clear(m.pendDem)
 	m.reg.Histogram("master.sched_ms").Observe(float64(time.Since(start).Nanoseconds()) / 1e6)
 	m.dispatch(ds)
+	m.dsBuf = ds[:0]
 }
 
-// handleReturnBatch unpacks a coalesced return batch into the shared path.
+// handleReturnBatch unpacks a coalesced return batch into the shared path
+// through a pooled scratch slice (the unpacked form feeds the same
+// recovery-buffer / round-buffer / immediate branches as single returns).
 func (m *Master) handleReturnBatch(t protocol.GrantReturnBatch) {
-	rets := make([]protocol.GrantReturn, 0, len(t.Returns))
+	rets := m.retBuf[:0]
 	for _, r := range t.Returns {
 		rets = append(rets, protocol.GrantReturn{
 			App: t.App, UnitID: r.UnitID, Machine: r.Machine, Count: r.Count, Seq: t.Seq,
 		})
 	}
+	m.retBuf = rets
 	m.handleReturns(rets)
 }
 
@@ -603,32 +679,40 @@ func (m *Master) handleReturns(rets []protocol.GrantReturn) {
 	}
 	start := time.Now()
 	touched := m.applyReleases(rets)
-	ds := m.sched.AssignOn(touched)
+	ds := m.dsBuf[:0]
+	m.sched.assignOnIDsInto(touched, &ds)
 	m.reg.Histogram("master.sched_ms").Observe(float64(time.Since(start).Nanoseconds()) / 1e6)
 	m.dispatch(ds)
+	m.dsBuf = ds[:0]
 }
 
 // applyReleases gives the returned containers back to the pool (without
 // reassigning), fans the capacity releases out as one delta message per
 // affected agent — the agents must release capacity even though the apps
 // initiated it — and returns the touched machines in first-seen order.
-func (m *Master) applyReleases(rets []protocol.GrantReturn) []string {
+func (m *Master) applyReleases(rets []protocol.GrantReturn) []int32 {
 	if len(rets) == 0 {
 		return nil
 	}
 	d := &m.dsp
 	d.reset()
 	m.touched = m.touched[:0]
+	var lastApp string
+	var lastSt *appState
 	for _, t := range rets {
-		st := m.sched.apps[t.App]
+		st := lastSt
+		if st == nil || t.App != lastApp {
+			st = m.sched.apps[t.App]
+			lastApp, lastSt = t.App, st
+		}
 		if st == nil {
 			continue
 		}
-		u := st.units[t.UnitID]
+		u := st.unit(t.UnitID)
 		if u == nil {
 			continue
 		}
-		if err := m.sched.Release(t.App, t.UnitID, t.Machine, t.Count); err != nil {
+		if err := m.sched.releaseChecked(st, u, t.Machine, t.Count); err != nil {
 			continue
 		}
 		ag := d.agentFor(t.Machine)
@@ -644,8 +728,8 @@ func (m *Master) applyReleases(rets []protocol.GrantReturn) []string {
 		if len(ag.entries) == 0 {
 			continue
 		}
-		m.net.Send(protocol.MasterEndpoint, m.agentEP[ag.machine], protocol.CapacityDelta{
-			Entries: append([]protocol.CapacityEntry(nil), ag.entries...),
+		m.net.SendID(m.epID, m.agentEP[ag.machine], protocol.CapacityDelta{
+			Entries: m.ownEntries(ag.entries),
 			Epoch:   m.epoch, Seq: m.seq.Next(),
 		})
 	}
@@ -663,28 +747,31 @@ func (m *Master) handleUnregister(t protocol.UnregisterApp) {
 	}
 	// Tell the agents to release the app's capacity before the scheduler
 	// state disappears — one capacity-delta message per affected agent
-	// covering all of the app's units (in sorted machine order, for
-	// reproducible runs), instead of one message per (unit, machine).
+	// covering all of the app's units (in machine-ID order, which equals
+	// the old sorted-name order, for reproducible runs), instead of one
+	// message per (unit, machine).
 	d := &m.dsp
 	d.reset()
-	for _, u := range m.sched.Units(t.App) {
-		granted := m.sched.Granted(t.App, u.ID)
-		machines := make([]string, 0, len(granted))
-		for mc := range granted {
-			machines = append(machines, mc)
-		}
-		sort.Strings(machines)
-		for _, mc := range machines {
-			ag := d.agentFor(mc)
-			ag.entries = append(ag.entries, protocol.CapacityEntry{
-				App: t.App, UnitID: u.ID, Size: u.Size, Count: -granted[mc],
-			})
+	if st := m.sched.apps[t.App]; st != nil {
+		for i := range st.unitArr {
+			u := &st.unitArr[i]
+			machines := make([]int32, 0, len(u.granted))
+			for mc := range u.granted {
+				machines = append(machines, mc)
+			}
+			sortInt32s(machines)
+			for _, mc := range machines {
+				ag := d.agentFor(mc)
+				ag.entries = append(ag.entries, protocol.CapacityEntry{
+					App: t.App, UnitID: u.def.ID, Size: u.def.Size, Count: -u.granted[mc],
+				})
+			}
 		}
 	}
 	for i := range d.agents {
 		ag := &d.agents[i]
-		m.net.Send(protocol.MasterEndpoint, m.agentEP[ag.machine], protocol.CapacityDelta{
-			Entries: append([]protocol.CapacityEntry(nil), ag.entries...),
+		m.net.SendID(m.epID, m.agentEP[ag.machine], protocol.CapacityDelta{
+			Entries: m.ownEntries(ag.entries),
 			Epoch:   m.epoch, Seq: m.seq.Next(),
 		})
 	}
@@ -700,37 +787,87 @@ func (m *Master) handleUnregister(t protocol.UnregisterApp) {
 	})
 }
 
-func (m *Master) handleFullSync(t protocol.FullDemandSync) {
+func (m *Master) handleFullSync(from tr, t protocol.FullDemandSync) {
 	if !m.sched.Registered(t.App) {
 		_ = m.sched.RegisterApp(t.App, t.QuotaGroup, t.Units)
 		m.ckpt.SaveApp(AppConfig{Name: t.App, Group: t.QuotaGroup, Units: t.Units})
 	}
-	// Demand reconciliation: force tree counts to the app's view. When the
-	// sync surfaces demand the master had lost (a dropped delta), run an
-	// assignment pass so it doesn't starve waiting for the next free-up.
-	raised := false
-	for _, u := range m.sched.Units(t.App) {
-		if m.reconcileDemand(t.App, u.ID, t.Demand[u.ID]) {
-			raised = true
+	st := m.sched.apps[t.App]
+	if st == nil {
+		return
+	}
+	st.ep = from
+	// Fence against the sync/grant crossing race: when grants dispatched to
+	// this app are still in flight (the sync's SeenGrantSeq is behind the
+	// last GrantUpdate sent, and that send is recent enough to still be on
+	// the wire), the sync's demand and held views are stale snapshots —
+	// reconciling against them would re-raise demand the in-flight grants
+	// already consumed, leaving phantom queued demand the unit can never
+	// absorb (the steady-state churn benchmark surfaced exactly this as
+	// permanently saturated queue entries rescanned by every sweep). Skip
+	// such a sync; the next one — sent after the grants landed — repairs
+	// any genuine divergence. Beyond the fence window the sequence gap
+	// means the grant was LOST, and reconciling is exactly the repair the
+	// safety sync exists to perform.
+	stale := st.lastGrantSeq > t.SeenGrantSeq &&
+		m.eng.Now()-st.lastGrantAt < syncFenceWindow
+	if !stale {
+		// Deltas of this app still buffered in the current scheduling round
+		// are already folded into the sync's absolute counts; letting the
+		// round flush replay them would double-apply the demand (the same
+		// exactly-once rule the recovery buffer applies below). Later deltas
+		// (Seq beyond the sync) remain genuinely incremental.
+		if ups := m.pendDem[t.App]; len(ups) > 0 {
+			kept := ups[:0]
+			for _, d := range ups {
+				if d.Seq > t.Seq {
+					kept = append(kept, d)
+				}
+			}
+			if len(kept) == 0 {
+				delete(m.pendDem, t.App)
+			} else {
+				m.pendDem[t.App] = kept
+			}
 		}
-	}
-	if raised && !m.recovering {
-		m.dispatch(m.sched.assignOnMachines(m.top.Machines()))
-	}
-	// Grant reconciliation: during recovery the agents' reports are
-	// authoritative and arrive separately; outside recovery the master's
-	// ledger is authoritative and differences are re-announced to the app.
-	if !m.recovering {
-		for _, u := range m.sched.Units(t.App) {
-			m.reconcileHeld(t.App, u.ID, t.Held[u.ID])
+		// Demand reconciliation: force tree counts to the app's view. When
+		// the sync surfaces demand the master had lost (a dropped delta),
+		// run an assignment pass so it doesn't starve waiting for the next
+		// free-up.
+		raised := false
+		for i := range st.unitArr {
+			id := st.unitArr[i].def.ID
+			if m.reconcileDemand(st, id, t.Demand[id]) {
+				raised = true
+			}
+		}
+		if raised && !m.recovering {
+			m.dispatch(m.sched.AssignOnAll())
+		}
+		// Grant reconciliation: during recovery the agents' reports are
+		// authoritative and arrive separately; outside recovery the master's
+		// ledger is authoritative and differences are re-announced to the app.
+		if !m.recovering {
+			for i := range st.unitArr {
+				id := st.unitArr[i].def.ID
+				m.reconcileHeld(st, id, t.Held[id])
+			}
 		}
 	}
 	// The sync carries the app's current sequence number; re-baseline every
 	// per-channel high-water mark so a restarted application master (fresh
-	// sequencer) is not mistaken for a replayer.
+	// sequencer, t.Seq below the high-water marks) is not mistaken for a
+	// replayer — that downward reset must happen even for a stale-fenced
+	// sync, or the restarted instance's messages are dropped as duplicates
+	// until its next sync. An UPWARD reset, though, only accompanies an
+	// applied sync: advancing the marks past deltas still in flight (a
+	// reordered DemandUpdate under jitter) would drop them as duplicates
+	// with their content never reconciled.
 	for _, ch := range []protocol.Chan{protocol.ChanDem, protocol.ChanRet,
 		protocol.ChanUnreg, protocol.ChanBad, protocol.ChanReg} {
-		m.dedup.ResetToCh(t.App, ch, t.Seq)
+		if !stale || t.Seq < m.dedup.LastCh(int32(from), ch) {
+			m.dedup.ResetToCh(int32(from), ch, t.Seq)
+		}
 	}
 	// Recovery-buffered deltas the app sent before this sync are already
 	// folded into its absolute counts above; replaying them at the end of
@@ -738,7 +875,7 @@ func (m *Master) handleFullSync(t protocol.FullDemandSync) {
 	// the sync) remain genuinely incremental and stay buffered. Buffered
 	// GrantReturns are untouched: the agents' reports still carry the
 	// returned containers, so the replay is their exactly-once release.
-	if m.recovering && len(m.recDem) > 0 {
+	if !stale && m.recovering && len(m.recDem) > 0 {
 		kept := m.recDem[:0]
 		for _, d := range m.recDem {
 			if d.App == t.App && d.Seq <= t.Seq {
@@ -750,26 +887,51 @@ func (m *Master) handleFullSync(t protocol.FullDemandSync) {
 	}
 }
 
+// pendingReturnsFor reports whether the current round buffer holds a
+// GrantReturn from app (round windows are small, so the scan is short).
+func (m *Master) pendingReturnsFor(app string) bool {
+	for i := range m.pendRet {
+		if m.pendRet[i].App == app {
+			return true
+		}
+	}
+	return false
+}
+
+// syncFenceWindow bounds how long after a grant send a behind-sequence
+// full sync is treated as an in-flight crossing rather than a loss. It must
+// comfortably exceed the one-way delivery latency plus jitter (sub-ms in
+// every configuration) while staying well under the full-sync period.
+const syncFenceWindow = 100 * sim.Millisecond
+
+// syncTarget identifies one locality node of a full-sync demand view, in
+// interned node-ID space.
+type syncTarget struct {
+	typ  resource.LocalityType
+	node int32
+}
+
 // reconcileDemand forces the tree counts for (app, unit) to the app's view
 // and reports whether any count increased.
-func (m *Master) reconcileDemand(app string, unitID int, want []resource.LocalityHint) bool {
-	key := waitKey{app: app, unit: unitID}
-	st := m.sched.apps[app]
-	if st == nil {
-		return false
-	}
-	u := st.units[unitID]
+func (m *Master) reconcileDemand(st *appState, unitID int, want []resource.LocalityHint) bool {
+	key := waitKey{app: st.id, unit: int32(unitID)}
+	u := st.unit(unitID)
 	if u == nil {
 		return false
 	}
-	target := map[locTarget]int{}
+	if m.syncTgt == nil {
+		m.syncTgt = make(map[syncTarget]int)
+	}
+	target := m.syncTgt
+	clear(target)
 	for _, h := range want {
-		target[locTarget{h.Type, h.Value}] += h.Count
+		target[syncTarget{h.Type, m.sched.hintNode(h)}] += h.Count
 	}
 	raised := false
 	// Zero out entries not in the app's view; set entries that are.
-	for _, idx := range m.sched.tree.nodesFor(key) {
-		n := locTarget{idx.level, idx.node}
+	m.idxBuf = m.sched.tree.nodesFor(key, m.idxBuf[:0])
+	for _, idx := range m.idxBuf {
+		n := syncTarget{idx.level, idx.node}
 		if tc, ok := target[n]; ok {
 			if tc > m.sched.tree.get(key, idx.level, idx.node) {
 				raised = true
@@ -782,53 +944,67 @@ func (m *Master) reconcileDemand(app string, unitID int, want []resource.Localit
 	}
 	// Insert missing entries in a deterministic order: new tree entries get
 	// queue positions (seq) at insertion, and map iteration order must not
-	// leak into scheduling order.
-	missing := make([]locTarget, 0, len(target))
+	// leak into scheduling order. (Node-ID order equals the old
+	// name-sorted order for topology nodes.)
+	missing := m.missBuf[:0]
 	for n, c := range target {
 		if c > 0 {
 			missing = append(missing, n)
 		}
 	}
+	m.missBuf = missing
 	sort.Slice(missing, func(i, j int) bool {
 		if missing[i].typ != missing[j].typ {
 			return missing[i].typ < missing[j].typ
 		}
-		return missing[i].value < missing[j].value
+		return missing[i].node < missing[j].node
 	})
 	for _, n := range missing {
-		m.sched.tree.add(key, u.def.Priority, n.typ, n.value, target[n], m.sched.now(), st, u)
+		m.sched.tree.add(key, u.def.Priority, n.typ, n.node, target[n], m.sched.now(), st, u)
 		raised = true
 	}
 	return raised
 }
 
-func (m *Master) reconcileHeld(app string, unitID int, appView map[string]int) {
-	masterView := m.sched.Granted(app, unitID)
+func (m *Master) reconcileHeld(st *appState, unitID int, appView map[int32]int) {
+	u := st.unit(unitID)
+	if u == nil {
+		return
+	}
 	var fixes []protocol.MachineDelta
-	for mc, n := range masterView {
+	for mc, n := range u.granted {
 		if appView[mc] != n {
 			fixes = append(fixes, protocol.MachineDelta{Machine: mc, Delta: n - appView[mc]})
 		}
 	}
 	for mc, n := range appView {
-		if _, ok := masterView[mc]; !ok && n > 0 {
+		if _, ok := u.granted[mc]; !ok && n > 0 {
 			fixes = append(fixes, protocol.MachineDelta{Machine: mc, Delta: -n})
 		}
 	}
 	if len(fixes) > 0 {
-		m.net.Send(protocol.MasterEndpoint, app, protocol.GrantUpdate{
-			App: app, UnitID: unitID, Changes: fixes, Epoch: m.epoch, Seq: m.seq.Next(),
+		// Sort by machine ID so the fix order is reproducible (the ledgers
+		// are maps; iteration order must not reach the wire).
+		sort.Slice(fixes, func(i, j int) bool { return fixes[i].Machine < fixes[j].Machine })
+		seq := m.seq.Next()
+		st.lastGrantSeq = seq
+		st.lastGrantAt = m.eng.Now()
+		m.net.SendID(m.epID, m.appEndpoint(st), protocol.GrantUpdate{
+			App: st.name, UnitID: unitID, Changes: fixes, Epoch: m.epoch, Seq: seq,
 		})
 	}
 }
 
-func (m *Master) handleHeartbeat(t protocol.AgentHeartbeat) {
+func (m *Master) handleHeartbeat(t *protocol.AgentHeartbeat) {
 	mc := t.Machine
+	if mc < 0 || int(mc) >= len(m.lastBeat) {
+		return
+	}
 	m.lastBeat[mc] = m.eng.Now()
 	m.wheel.track(mc, m.eng.Now())
-	if m.sched.Down(mc) {
+	if m.sched.downID(mc) {
 		// The node recovered (or its network partition healed).
-		m.dispatch(m.sched.MachineUp(mc))
+		m.dispatch(m.sched.machineUpID(mc))
 	}
 	if m.recovering && !m.restored[mc] {
 		if t.Full {
@@ -838,30 +1014,30 @@ func (m *Master) handleHeartbeat(t protocol.AgentHeartbeat) {
 			// allocations.
 			m.restored[mc] = true
 			for _, d := range t.Allocations {
-				m.sched.RestoreGrant(d.App, d.UnitID, mc, d.Count)
+				m.sched.restoreGrantID(d.App, d.UnitID, mc, d.Count)
 			}
 		} else {
 			// A delta beat from a machine whose anchor has not landed (the
 			// hello or its reply was lost): nudge the agent to re-anchor
 			// before the recovery window closes.
-			m.net.Send(protocol.MasterEndpoint, m.agentEP[mc],
+			m.net.SendID(m.epID, m.agentEP[mc],
 				protocol.MasterHello{Epoch: m.epoch, Seq: m.seq.Next()})
 		}
 	}
 	// Health-score graylisting.
 	if t.HealthScore < m.cfg.HealthScoreThreshold {
 		m.strikes[mc]++
-		if m.strikes[mc] >= m.cfg.HealthScoreStrikes && !m.sched.Blacklisted(mc) {
+		if m.strikes[mc] >= m.cfg.HealthScoreStrikes && !m.sched.blackID(mc) {
 			m.blacklist(mc)
 		}
 	} else {
 		m.strikes[mc] = 0
-		if m.sched.Blacklisted(mc) && len(m.badVotes[mc]) < m.cfg.BadReportThreshold &&
+		if m.sched.blackID(mc) && len(m.badVotes[mc]) < m.cfg.BadReportThreshold &&
 			!m.flapBlack[mc] {
 			// Score recovered and neither job votes nor the flap score pin
 			// it: rehabilitate. Flap-blacklisted machines heartbeat healthily
 			// between crashes, so only the decay path may clear them.
-			m.dispatch(m.sched.SetBlacklisted(mc, false, false))
+			m.dispatch(m.sched.setBlacklistedID(mc, false, false))
 			m.ckpt.SetBlacklist(m.currentBlacklist())
 		}
 	}
@@ -875,7 +1051,7 @@ func (m *Master) handleHeartbeat(t protocol.AgentHeartbeat) {
 // enter through the application master's own RegisterApp/DemandUpdate once
 // the gateway releases it.
 func (m *Master) handleJobAdmit(t protocol.JobAdmit) {
-	m.net.Send(protocol.MasterEndpoint, protocol.GatewayEndpoint, protocol.JobAdmitAck{
+	m.net.SendID(m.epID, m.gwID, protocol.JobAdmitAck{
 		JobID: t.JobID, Epoch: m.epoch, Seq: m.seq.Next(),
 	})
 }
@@ -883,16 +1059,16 @@ func (m *Master) handleJobAdmit(t protocol.JobAdmit) {
 // noteFlap records one master-observed death of a machine and blacklists it
 // at the flap threshold — the cluster-level half of the multi-level
 // blacklist (the job-level, bottom-up half is internal/blacklist).
-func (m *Master) noteFlap(mc string) {
+func (m *Master) noteFlap(mc int32) {
 	if m.cfg.FlapThreshold <= 0 {
 		return
 	}
 	m.flap[mc] += m.cfg.FlapPenalty
 	if m.flap[mc] >= m.cfg.FlapThreshold {
-		if !m.sched.Blacklisted(mc) {
+		if !m.sched.blackID(mc) {
 			m.blacklist(mc)
 		}
-		if m.sched.Blacklisted(mc) { // not suppressed by the blacklist cap
+		if m.sched.blackID(mc) { // not suppressed by the blacklist cap
 			// Pin the machine even when another signal blacklisted it first:
 			// otherwise one healthy heartbeat (resetting the strikes) would
 			// rehabilitate a node whose flap score still sits at threshold.
@@ -903,35 +1079,33 @@ func (m *Master) noteFlap(mc string) {
 
 // decayFlapScores ages every flap score and rehabilitates machines whose
 // score fell back below the threshold, unless health-score strikes or job
-// bad-reports independently pin them. Machines are visited in topology
-// order so rehabilitation dispatch order is reproducible.
+// bad-reports independently pin them. Machines are visited in ID (=
+// topology) order so rehabilitation dispatch order is reproducible.
 func (m *Master) decayFlapScores() {
 	if !m.primary || m.crashed {
 		return
 	}
-	for _, mc := range m.top.Machines() {
-		sc, ok := m.flap[mc]
-		if !ok && !m.flapBlack[mc] {
+	for mc := int32(0); int(mc) < len(m.flap); mc++ {
+		sc := m.flap[mc]
+		if sc == 0 && !m.flapBlack[mc] {
 			// Neither a live score nor a pin — nothing to age. (A pinned
 			// machine must keep being visited even after its score decayed
 			// away while strikes or bad votes blocked rehabilitation, or
 			// the pin would leak and blacklist it forever.)
 			continue
 		}
-		if ok {
+		if sc > 0 {
 			sc -= m.cfg.FlapDecayStep
 			if sc <= 0 {
-				delete(m.flap, mc)
 				sc = 0
-			} else {
-				m.flap[mc] = sc
 			}
+			m.flap[mc] = sc
 		}
 		if m.flapBlack[mc] && sc < m.cfg.FlapThreshold &&
 			m.strikes[mc] < m.cfg.HealthScoreStrikes &&
 			len(m.badVotes[mc]) < m.cfg.BadReportThreshold {
-			delete(m.flapBlack, mc)
-			m.dispatch(m.sched.SetBlacklisted(mc, false, false))
+			m.flapBlack[mc] = false
+			m.dispatch(m.sched.setBlacklistedID(mc, false, false))
 			m.ckpt.SetBlacklist(m.currentBlacklist())
 		}
 	}
@@ -940,54 +1114,65 @@ func (m *Master) decayFlapScores() {
 // handleCapacityQuery answers a restarting agent with its full granted
 // capacity table (agent failover, paper §4.3.1).
 func (m *Master) handleCapacityQuery(t protocol.CapacityQuery) {
+	mc := t.Machine
+	if mc < 0 || int(mc) >= len(m.agentEP) {
+		return
+	}
 	// A capacity query from a machine the master never declared dead is a
 	// surprise agent restart — the second flap signal besides heartbeat
 	// timeouts (a timeout-declared death was already scored when the scan
 	// found it, and its recovery query must not count twice).
-	if !m.sched.Down(t.Machine) {
-		m.noteFlap(t.Machine)
+	if !m.sched.downID(mc) {
+		m.noteFlap(mc)
 	}
 	var entries []protocol.CapacityEntry
-	for _, app := range m.sched.Apps() {
-		for _, u := range m.sched.Units(app) {
-			if n := m.sched.Granted(app, u.ID)[t.Machine]; n > 0 {
+	for _, app := range m.sched.appsSorted {
+		st := m.sched.apps[app]
+		for i := range st.unitArr {
+			u := &st.unitArr[i]
+			if n := u.granted[mc]; n > 0 {
 				entries = append(entries, protocol.CapacityEntry{
-					App: app, UnitID: u.ID, Size: u.Size, Count: n,
+					App: app, UnitID: u.def.ID, Size: u.def.Size, Count: n,
 				})
 			}
 		}
 	}
-	m.net.Send(protocol.MasterEndpoint, protocol.AgentEndpoint(t.Machine), protocol.CapacitySync{
-		Machine: t.Machine, Entries: entries, Epoch: m.epoch, Seq: m.seq.Next(),
+	m.net.SendID(m.epID, m.agentEP[mc], protocol.CapacitySync{
+		Machine: mc, Entries: entries, Epoch: m.epoch, Seq: m.seq.Next(),
 	})
 }
 
 func (m *Master) handleBadReport(t protocol.BadMachineReport) {
-	votes := m.badVotes[t.Machine]
+	mc := t.Machine
+	if mc < 0 || int(mc) >= len(m.badVotes) {
+		return
+	}
+	votes := m.badVotes[mc]
 	if votes == nil {
 		votes = make(map[string]bool)
-		m.badVotes[t.Machine] = votes
+		m.badVotes[mc] = votes
 	}
 	votes[t.App] = true
-	if len(votes) >= m.cfg.BadReportThreshold && !m.sched.Blacklisted(t.Machine) {
-		m.blacklist(t.Machine)
+	if len(votes) >= m.cfg.BadReportThreshold && !m.sched.blackID(mc) {
+		m.blacklist(mc)
 	}
 }
 
-func (m *Master) blacklist(mc string) {
+func (m *Master) blacklist(mc int32) {
 	if m.cfg.BlacklistCap > 0 && len(m.currentBlacklist()) >= m.cfg.BlacklistCap {
 		return // bounded, per the paper's abuse guard
 	}
-	m.dispatch(m.sched.SetBlacklisted(mc, true, false))
-	// The cluster blacklist is hard state (paper §4.3.1).
+	m.dispatch(m.sched.setBlacklistedID(mc, true, false))
+	// The cluster blacklist is hard state (paper §4.3.1); it serializes as
+	// names — IDs never reach durable state.
 	m.ckpt.SetBlacklist(m.currentBlacklist())
 }
 
 func (m *Master) currentBlacklist() []string {
 	var out []string
-	for _, mc := range m.top.Machines() {
-		if m.sched.Blacklisted(mc) {
-			out = append(out, mc)
+	for id := int32(0); int(id) < m.top.Size(); id++ {
+		if m.sched.blackID(id) {
+			out = append(out, m.top.MachineName(id))
 		}
 	}
 	return out
@@ -1004,13 +1189,13 @@ func (m *Master) scanHeartbeats() {
 	}
 	now := m.eng.Now()
 	dead := m.wheel.expire(now-m.cfg.HeartbeatTimeout,
-		func(mc string) sim.Time { return m.lastBeat[mc] },
-		m.sched.Down)
+		func(mc int32) sim.Time { return m.lastBeat[mc] },
+		m.sched.downID)
 	for _, mc := range dead {
 		// Heartbeat timeout: remove from scheduling and revoke so job
 		// masters migrate instances (paper §4.3.2), and score the death for
 		// the cluster-level flap blacklist.
-		m.dispatch(m.sched.MachineDown(mc))
+		m.dispatch(m.sched.machineDownID(mc))
 		m.noteFlap(mc)
 	}
 }
@@ -1032,12 +1217,12 @@ type unitAcc struct {
 }
 
 type appAcc struct {
-	app   string
+	st    *appState
 	units []unitAcc
 }
 
 type agentAcc struct {
-	machine string
+	machine int32
 	entries []protocol.CapacityEntry
 }
 
@@ -1047,23 +1232,24 @@ func (d *dispatchScratch) reset() {
 	d.batch = d.batch[:0]
 }
 
-// appFor returns the accumulator for app, creating (or reviving a truncated
-// slot for) it on first use. Linear search: a round rarely touches more than
-// a few hundred distinct applications and the constant factor beats a map.
-func (d *dispatchScratch) appFor(app string) *appAcc {
+// appFor returns the accumulator for an app, creating (or reviving a
+// truncated slot for) it on first use. Linear search on the state pointer:
+// a round rarely touches more than a few hundred distinct applications and
+// the constant factor beats a map.
+func (d *dispatchScratch) appFor(st *appState) *appAcc {
 	for i := range d.apps {
-		if d.apps[i].app == app {
+		if d.apps[i].st == st {
 			return &d.apps[i]
 		}
 	}
 	if len(d.apps) < cap(d.apps) {
 		d.apps = d.apps[:len(d.apps)+1]
 		a := &d.apps[len(d.apps)-1]
-		a.app = app
+		a.st = st
 		a.units = a.units[:0]
 		return a
 	}
-	d.apps = append(d.apps, appAcc{app: app})
+	d.apps = append(d.apps, appAcc{st: st})
 	return &d.apps[len(d.apps)-1]
 }
 
@@ -1084,7 +1270,7 @@ func (a *appAcc) unitFor(unit int) *unitAcc {
 	return &a.units[len(a.units)-1]
 }
 
-func (d *dispatchScratch) agentFor(machine string) *agentAcc {
+func (d *dispatchScratch) agentFor(machine int32) *agentAcc {
 	for i := range d.agents {
 		if d.agents[i].machine == machine {
 			return &d.agents[i]
@@ -1107,29 +1293,39 @@ func (d *dispatchScratch) agentFor(machine string) *agentAcc {
 // "(M1,3), (M2,4)" multi-machine response form — an app's unit updates
 // travelling as one pooled transport batch — and all of an agent's capacity
 // changes as a single CapacityDelta message, so a wide scheduling round
-// costs one message per machine instead of one per decision.
+// costs one message per machine instead of one per decision. The decisions
+// carry interned app/machine state, so the fan-out hashes one app name per
+// app run, not one per decision.
 func (m *Master) dispatch(ds []Decision) {
 	if len(ds) == 0 {
 		return
 	}
 	d := &m.dsp
 	d.reset()
+	var lastApp string
+	var lastSt *appState
 	for _, dec := range ds {
-		ua := d.appFor(dec.App).unitFor(dec.UnitID)
-		ua.deltas = append(ua.deltas, protocol.MachineDelta{Machine: dec.Machine, Delta: dec.Delta})
-		if st := m.sched.apps[dec.App]; st != nil {
-			if u := st.units[dec.UnitID]; u != nil {
-				ag := d.agentFor(dec.Machine)
-				ag.entries = append(ag.entries, protocol.CapacityEntry{
-					App: dec.App, UnitID: dec.UnitID, Size: u.def.Size, Count: dec.Delta,
-				})
-			}
+		st := lastSt
+		if st == nil || dec.App != lastApp {
+			st = m.sched.apps[dec.App]
+			lastApp, lastSt = dec.App, st
+		}
+		if st == nil {
+			continue
+		}
+		ua := d.appFor(st).unitFor(dec.UnitID)
+		ua.deltas = append(ua.deltas, protocol.MachineDelta{Machine: dec.MachineID, Delta: dec.Delta})
+		if u := st.unit(dec.UnitID); u != nil {
+			ag := d.agentFor(dec.MachineID)
+			ag.entries = append(ag.entries, protocol.CapacityEntry{
+				App: dec.App, UnitID: dec.UnitID, Size: u.def.Size, Count: dec.Delta,
+			})
 		}
 	}
 	for i := range d.agents {
 		ag := &d.agents[i]
-		m.net.Send(protocol.MasterEndpoint, m.agentEP[ag.machine], protocol.CapacityDelta{
-			Entries: append([]protocol.CapacityEntry(nil), ag.entries...),
+		m.net.SendID(m.epID, m.agentEP[ag.machine], protocol.CapacityDelta{
+			Entries: m.ownEntries(ag.entries),
 			Epoch:   m.epoch, Seq: m.seq.Next(),
 		})
 	}
@@ -1138,13 +1334,16 @@ func (m *Master) dispatch(ds []Decision) {
 		batch := d.batch[:0]
 		for j := range aa.units {
 			ua := &aa.units[j]
+			seq := m.seq.Next()
+			aa.st.lastGrantSeq = seq
+			aa.st.lastGrantAt = m.eng.Now()
 			batch = append(batch, protocol.GrantUpdate{
-				App: aa.app, UnitID: ua.unit,
-				Changes: append([]protocol.MachineDelta(nil), ua.deltas...),
-				Epoch:   m.epoch, Seq: m.seq.Next(),
+				App: aa.st.name, UnitID: ua.unit,
+				Changes: m.ownDeltas(ua.deltas),
+				Epoch:   m.epoch, Seq: seq,
 			})
 		}
-		m.net.SendBatch(protocol.MasterEndpoint, aa.app, batch)
+		m.net.SendBatchID(m.epID, m.appEndpoint(aa.st), batch)
 		d.batch = batch[:0]
 	}
 }

@@ -9,6 +9,7 @@ import (
 	"repro/internal/protocol"
 	"repro/internal/resource"
 	"repro/internal/sim"
+	"repro/internal/topology"
 	"repro/internal/transport"
 )
 
@@ -20,6 +21,7 @@ type masterHarness struct {
 	lock  *lockservice.Service
 	ckpt  *CheckpointStore
 	reg   *metrics.Registry
+	top   *topology.Topology
 	m1    *Master
 	toApp []transport.Message
 	seq   protocol.Sequencer
@@ -35,9 +37,9 @@ func newMasterHarness(t *testing.T, cfg Config) *masterHarness {
 		ckpt: NewCheckpointStore(),
 		reg:  metrics.NewRegistry(),
 	}
-	top := testTop(t, 2, 2)
-	h.m1 = NewMaster(cfg, eng, h.net, h.lock, top, h.ckpt, h.reg)
-	h.net.Register("app1", func(_ string, m transport.Message) { h.toApp = append(h.toApp, m) })
+	h.top = testTop(t, 2, 2)
+	h.m1 = NewMaster(cfg, eng, h.net, h.lock, h.top, h.ckpt, h.reg)
+	h.net.Register("app1", func(_ transport.EndpointID, m transport.Message) { h.toApp = append(h.toApp, m) })
 	return h
 }
 
@@ -78,7 +80,7 @@ func TestUnregisterBufferedDuringRecovery(t *testing.T) {
 	agentMsgs := map[string][]protocol.CapacityUpdate{}
 	for _, mc := range top.Machines() {
 		mc := mc
-		net.Register(protocol.AgentEndpoint(mc), func(_ string, msg transport.Message) {
+		net.Register(protocol.AgentEndpoint(mc), func(_ transport.EndpointID, msg transport.Message) {
 			switch cu := msg.(type) {
 			case protocol.CapacityUpdate:
 				agentMsgs[mc] = append(agentMsgs[mc], cu)
@@ -93,7 +95,7 @@ func TestUnregisterBufferedDuringRecovery(t *testing.T) {
 		})
 	}
 	var appSeq protocol.Sequencer
-	net.Register("app1", func(string, transport.Message) {})
+	net.Register("app1", func(transport.EndpointID, transport.Message) {})
 	net.Send("app1", protocol.MasterEndpoint, protocol.RegisterApp{
 		App: "app1", Units: []resource.ScheduleUnit{
 			{ID: 1, Priority: 100, MaxCount: 8, Size: resource.New(1000, 2048)},
@@ -124,7 +126,7 @@ func TestUnregisterBufferedDuringRecovery(t *testing.T) {
 	// ... and only then do the agents re-send their allocation reports.
 	for mc, n := range granted {
 		net.Send(protocol.AgentEndpoint(mc), protocol.MasterEndpoint, protocol.AgentHeartbeat{
-			Machine: mc, Full: true,
+			Machine: top.MachineID(mc), Full: true,
 			Allocations: []protocol.AllocDelta{{App: "app1", UnitID: 1, Count: n}},
 			HealthScore: 100, Seq: 1,
 		})
@@ -203,7 +205,7 @@ func TestMasterBatchWindowCoalescesReturns(t *testing.T) {
 	cfg.BatchWindow = 50 * sim.Millisecond
 	h := newMasterHarness(t, cfg)
 	var seq2 protocol.Sequencer
-	h.net.Register("app2", func(string, transport.Message) {})
+	h.net.Register("app2", func(transport.EndpointID, transport.Message) {})
 	// app1 takes the whole cluster (2×2 machines × 12 containers of
 	// 1000/4096 each = 48); app2 queues behind it.
 	h.send(protocol.RegisterApp{App: "app1", Units: []resource.ScheduleUnit{
@@ -239,7 +241,7 @@ func TestMasterBatchWindowCoalescesReturns(t *testing.T) {
 	}
 	sort.Strings(machines)
 	for _, mc := range machines {
-		batch.Returns = append(batch.Returns, protocol.ReturnEntry{UnitID: 1, Machine: mc, Count: 5})
+		batch.Returns = append(batch.Returns, protocol.ReturnEntry{UnitID: 1, Machine: h.top.MachineID(mc), Count: 5})
 	}
 	h.send(batch)
 	h.eng.Run(h.eng.Now() + sim.Second)
@@ -292,13 +294,13 @@ func TestMasterCapacityQueryAnswersFullTable(t *testing.T) {
 	if machine == "" {
 		t.Fatal("nothing granted")
 	}
-	h.net.Register(protocol.AgentEndpoint(machine), func(_ string, msg transport.Message) {
+	h.net.Register(protocol.AgentEndpoint(machine), func(_ transport.EndpointID, msg transport.Message) {
 		if s, ok := msg.(protocol.CapacitySync); ok {
 			sync = &s
 		}
 	})
 	h.net.Send(protocol.AgentEndpoint(machine), protocol.MasterEndpoint,
-		protocol.CapacityQuery{Machine: machine, Seq: 1})
+		protocol.CapacityQuery{Machine: h.top.MachineID(machine), Seq: 1})
 	h.eng.Run(h.eng.Now() + 10*sim.Millisecond)
 	if sync == nil {
 		t.Fatal("no CapacitySync reply")
@@ -339,7 +341,7 @@ func TestMasterDuplicateReturnIgnored(t *testing.T) {
 		machine = m
 		break
 	}
-	ret := protocol.GrantReturn{App: "app1", UnitID: 1, Machine: machine, Count: 1, Seq: h.seq.Next()}
+	ret := protocol.GrantReturn{App: "app1", UnitID: 1, Machine: h.top.MachineID(machine), Count: 1, Seq: h.seq.Next()}
 	h.send(ret)
 	h.send(ret) // replayed by the network
 	if held := h.m1.Scheduler().Held("app1", 1); held != 3 {
@@ -353,8 +355,8 @@ func TestMasterBlacklistCapBoundsList(t *testing.T) {
 	cfg.BadReportThreshold = 1
 	h := newMasterHarness(t, cfg)
 	h.registerApp(t)
-	h.send(protocol.BadMachineReport{App: "app1", Machine: "r000m000", Seq: h.seq.Next()})
-	h.send(protocol.BadMachineReport{App: "app1", Machine: "r000m001", Seq: h.seq.Next()})
+	h.send(protocol.BadMachineReport{App: "app1", Machine: h.top.MachineID("r000m000"), Seq: h.seq.Next()})
+	h.send(protocol.BadMachineReport{App: "app1", Machine: h.top.MachineID("r000m001"), Seq: h.seq.Next()})
 	s := h.m1.Scheduler()
 	count := 0
 	for _, m := range []string{"r000m000", "r000m001"} {

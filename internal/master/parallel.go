@@ -55,7 +55,7 @@ type proposal struct {
 
 // shardScratch is one shard's reusable scoring state.
 type shardScratch struct {
-	machines []string // this shard's slice of the sweep, in input order
+	machines []int32 // this shard's slice of the sweep, in input order
 	props    []proposal
 	ends     []int // props prefix length after each machine
 	consumed map[*waitEntry]int
@@ -95,13 +95,13 @@ func (s *Scheduler) parallelReady(n int) bool {
 }
 
 // shardOfMachine maps a machine to its rack-block shard.
-func (s *Scheduler) shardOfMachine(machine string) int {
-	return s.rackShard[s.rackOf[machine]]
+func (s *Scheduler) shardOfMachine(machine int32) int32 {
+	return s.rackShard[s.top.RackIDOf(machine)]
 }
 
 // assignParallel is the sharded equivalent of the serial loop in
-// assignOnMachines: machines must already be deduplicated.
-func (s *Scheduler) assignParallel(machines []string) []Decision {
+// assignOnIDs: machines must already be deduplicated.
+func (s *Scheduler) assignParallel(machines []int32, outp *[]Decision) {
 	for _, sc := range s.par {
 		sc.machines = sc.machines[:0]
 		sc.mi = 0
@@ -120,7 +120,7 @@ func (s *Scheduler) assignParallel(machines []string) []Decision {
 
 	// Phase 2: deterministic reduce in input order.
 	s.parStats.Sweeps++
-	var out []Decision
+	out := *outp
 	for _, mc := range machines {
 		sc := s.par[s.shardOfMachine(mc)]
 		begin := 0
@@ -160,9 +160,12 @@ func (s *Scheduler) assignParallel(machines []string) []Decision {
 			}
 			s.grantOn(p.st, p.u, mc, p.k, &out)
 			p.e.count -= p.k
+			if p.e.count == 0 {
+				noteKilled(p.e) // satisfied in place (see assignCtx.candidate)
+			}
 		}
 	}
-	return out
+	*outp = out
 }
 
 // scoreShard runs phase 1 for one shard: walk each machine with the
@@ -179,7 +182,7 @@ func (s *Scheduler) scoreShard(sc *shardScratch) {
 	}
 }
 
-func (s *Scheduler) scoreMachine(tree *localityTree, machine string, sc *shardScratch) {
+func (s *Scheduler) scoreMachine(tree *localityTree, machine int32, sc *shardScratch) {
 	if !s.schedulable(machine) {
 		return
 	}
@@ -189,7 +192,10 @@ func (s *Scheduler) scoreMachine(tree *localityTree, machine string, sc *shardSc
 	if free.IsZero() {
 		return
 	}
-	rack := s.rackOf[machine]
+	if cpu, mem := tree.minFit(); free.CPUMilli() < cpu || free.MemoryMB() < mem {
+		return // fragment provably below every queued entry's size
+	}
+	rack := s.top.RackIDOf(machine)
 	view := func(e *waitEntry) int { return e.count - sc.consumed[e] }
 	tree.forEachCandidateView(machine, rack, &free, &sc.ws, view, func(e *waitEntry) bool {
 		cnt := view(e)
@@ -197,11 +203,11 @@ func (s *Scheduler) scoreMachine(tree *localityTree, machine string, sc *shardSc
 		if u == nil {
 			// Resolve read-only; the serial walk's cache write happens at
 			// commit time, never from a worker.
-			st = s.apps[e.key.app]
+			st = s.appStateByID(e.key.app)
 			if st == nil {
 				return true
 			}
-			u = st.units[e.key.unit]
+			u = st.unit(int(e.key.unit))
 			if u == nil {
 				return true
 			}
@@ -232,22 +238,22 @@ func (s *Scheduler) scoreMachine(tree *localityTree, machine string, sc *shardSc
 // initShards wires the shard structures at construction: racks are split
 // into s.shards contiguous blocks (rack i of R goes to shard i·P/R), so a
 // shard owns whole racks and rack-level wait queues never cross shards.
-func (s *Scheduler) initShards(racks []string, want int) {
+func (s *Scheduler) initShards(racks int, want int) {
 	s.shards = 1
 	if want <= 1 || s.opts.LegacyScan {
 		return
 	}
 	p := want
-	if p > len(racks) {
-		p = len(racks)
+	if p > racks {
+		p = racks
 	}
 	if p <= 1 {
 		return
 	}
 	s.shards = p
-	s.rackShard = make(map[string]int, len(racks))
-	for i, r := range racks {
-		s.rackShard[r] = i * p / len(racks)
+	s.rackShard = make([]int32, racks)
+	for i := 0; i < racks; i++ {
+		s.rackShard[i] = int32(i * p / racks)
 	}
 	s.par = make([]*shardScratch, p)
 	for i := range s.par {

@@ -114,21 +114,8 @@ func TestParallelParityFuzz(t *testing.T) {
 		var ds []Decision
 		for _, app := range apps {
 			for _, u := range s.Units(app) {
-				key := waitKey{app: app, unit: u.ID}
-				nodes := s.tree.nodesFor(key)
-				sort.Slice(nodes, func(i, j int) bool {
-					if nodes[i].level != nodes[j].level {
-						return nodes[i].level < nodes[j].level
-					}
-					return nodes[i].node < nodes[j].node
-				})
-				for _, idx := range nodes {
-					c := s.tree.get(key, idx.level, idx.node)
-					if c <= 0 {
-						continue
-					}
-					out, err := n.UpdateDemand(app, u.ID, []resource.LocalityHint{
-						{Type: idx.level, Value: idx.node, Count: c}})
+				for _, h := range s.WaitingNodes(app, u.ID) {
+					out, err := n.UpdateDemand(app, u.ID, []resource.LocalityHint{h})
 					if err != nil {
 						t.Fatalf("rebuild demand %s/%d: %v", app, u.ID, err)
 					}

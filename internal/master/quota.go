@@ -33,7 +33,7 @@ func (s *Scheduler) preemptFor(st *appState, u *unitState) []Decision {
 // deficit is the number of containers of u still queued in the tree,
 // capped by the unit's remaining headroom.
 func (s *Scheduler) deficit(st *appState, u *unitState) int {
-	key := waitKey{app: st.name, unit: u.def.ID}
+	key := waitKey{app: st.id, unit: int32(u.def.ID)}
 	d := s.tree.totalWaiting(key)
 	if hr := u.headroom(); d > hr {
 		d = hr
@@ -63,13 +63,8 @@ func (s *Scheduler) QuotaDeficits() []string {
 		if g.min.IsZero() {
 			continue // no guaranteed minimum
 		}
-		unitIDs := make([]int, 0, len(st.units))
-		for id := range st.units {
-			unitIDs = append(unitIDs, id)
-		}
-		sort.Ints(unitIDs)
-		for _, id := range unitIDs {
-			u := st.units[id]
+		for ui := range st.unitArr {
+			u := &st.unitArr[ui]
 			if s.deficit(st, u) <= 0 {
 				continue
 			}
@@ -96,7 +91,7 @@ func (s *Scheduler) QuotaDeficits() []string {
 type victimGrant struct {
 	app      *appState
 	unit     *unitState
-	machine  string
+	machine  int32
 	count    int
 	priority int
 }
@@ -150,21 +145,16 @@ func (s *Scheduler) collectVictims(match func(*appState, *unitState) bool) []vic
 	sort.Strings(appNames)
 	for _, name := range appNames {
 		vapp := s.apps[name]
-		unitIDs := make([]int, 0, len(vapp.units))
-		for id := range vapp.units {
-			unitIDs = append(unitIDs, id)
-		}
-		sort.Ints(unitIDs)
-		for _, id := range unitIDs {
-			vu := vapp.units[id]
+		for ui := range vapp.unitArr {
+			vu := &vapp.unitArr[ui]
 			if !match(vapp, vu) {
 				continue
 			}
-			machines := make([]string, 0, len(vu.granted))
+			machines := make([]int32, 0, len(vu.granted))
 			for m := range vu.granted {
 				machines = append(machines, m)
 			}
-			sort.Strings(machines)
+			sortInt32s(machines)
 			for _, m := range machines {
 				victims = append(victims, victimGrant{
 					app: vapp, unit: vu, machine: m,
@@ -187,7 +177,7 @@ func (s *Scheduler) revokeAndReassign(victims []victimGrant, size resource.Vecto
 		return nil
 	}
 	var out []Decision
-	var touched []string
+	var touched []int32
 	freed := resource.Vector{}
 	target := size.Scale(int64(need))
 	for _, v := range victims {
@@ -204,9 +194,10 @@ func (s *Scheduler) revokeAndReassign(victims []victimGrant, size resource.Vecto
 			continue
 		}
 		s.releaseOn(v.app, v.unit, v.machine, k)
-		out = append(out, Decision{App: v.app.name, UnitID: v.unit.def.ID, Machine: v.machine, Delta: -k, Reason: reason})
+		out = append(out, Decision{App: v.app.name, UnitID: v.unit.def.ID,
+			Machine: s.top.MachineName(v.machine), MachineID: v.machine, Delta: -k, Reason: reason})
 		touched = append(touched, v.machine)
 	}
-	out = append(out, s.assignOnMachines(touched)...)
+	out = append(out, s.assignOnIDs(touched)...)
 	return out
 }

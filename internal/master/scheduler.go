@@ -4,15 +4,29 @@
 // (§3.2.1), quota groups with two-level preemption (§3.4) — and the Master
 // type wraps it with the network protocol, heartbeats, blacklisting,
 // checkpointing and hot-standby failover (§4.3.1).
+//
+// Identifier discipline: the scheduling core runs entirely on dense integer
+// IDs — machines and racks by their topology index, applications by a
+// scheduler-assigned intern ID — with per-machine hot state (free vectors,
+// down/blacklist marks, wait queues) in slices indexed by those IDs.
+// Names appear only at the edges: the public string-keyed methods used by
+// tests and inspection convert once on entry, and Decision carries names
+// because it is consumed by boundary code (checkpoints, app callbacks,
+// logs). Because machine IDs are the indexes of the sorted machine list,
+// iterating IDs in order is identical to iterating sorted names, so the
+// refactor preserves every decision stream bit-for-bit.
 package master
 
 import (
 	"fmt"
+	"slices"
 	"sort"
 
+	"repro/internal/ident"
 	"repro/internal/resource"
 	"repro/internal/sim"
 	"repro/internal/topology"
+	"repro/internal/transport"
 )
 
 // Reason labels why a Decision was made, for metrics and tests.
@@ -50,13 +64,16 @@ func (r Reason) String() string {
 }
 
 // Decision is one scheduling outcome: Delta > 0 grants containers of the
-// app's unit on Machine; Delta < 0 revokes them.
+// app's unit on Machine; Delta < 0 revokes them. It is a boundary type
+// (consumed by callbacks, tests and logs), so it carries names; MachineID
+// carries the dense ID alongside so the protocol fan-out need not re-intern.
 type Decision struct {
-	App     string
-	UnitID  int
-	Machine string
-	Delta   int
-	Reason  Reason
+	App       string
+	UnitID    int
+	Machine   string
+	MachineID int32
+	Delta     int
+	Reason    Reason
 }
 
 // Options configures a Scheduler.
@@ -94,18 +111,65 @@ const DefaultGroup = "default"
 
 type unitState struct {
 	def     resource.ScheduleUnit
-	granted map[string]int // machine -> container count
+	granted map[int32]int // machine ID -> container count
 	held    int
+	// parked holds this unit's wait entries pulled out of the queues while
+	// the unit is saturated (held == MaxCount with demand still queued —
+	// e.g. a safety-sync repair raised demand the unit cannot absorb yet).
+	// Without parking, every free-up on every machine rescans such entries
+	// at the head of the cluster queue forever. releaseOn re-queues them at
+	// their original seq the moment headroom reappears, so decisions are
+	// identical to the never-parked walk.
+	parked []*waitEntry
 }
 
 type appState struct {
+	id    int32 // dense scheduler intern ID (stable per name within a Scheduler)
 	name  string
 	group string
-	units map[int]*unitState
-	// unitIDs is the sorted unit-ID list, frozen at registration: the
-	// revocation and unregister paths walk units in deterministic order far
-	// too often to re-sort the map keys each time.
-	unitIDs []int
+	// unitArr holds the app's units sorted by ID, frozen at registration —
+	// one allocation for the whole app, iterated directly by the
+	// deterministic revocation/unregister walks and searched by unit (the
+	// entry pointers handed to the wait tree stay valid because the slice
+	// never reallocates after registration).
+	unitArr []unitState
+	// ep caches the app's transport endpoint ID; the Master wrapper fills
+	// it lazily (transport.None until first needed).
+	ep transport.EndpointID
+	// lastGrantSeq/lastGrantAt identify the last GrantUpdate dispatched to
+	// this app; a full-state sync carrying an older SeenGrantSeq within the
+	// fence window of that send is a stale snapshot (the grant is still in
+	// flight) and skips reconciliation. Beyond the window the gap means the
+	// grant was LOST, and reconciling is exactly the repair the sync is for.
+	lastGrantSeq uint64
+	lastGrantAt  sim.Time
+}
+
+// unit returns the state of one unit ID (nil when unknown): binary search
+// over the frozen sorted slice for wide apps, linear scan for narrow ones.
+func (st *appState) unit(id int) *unitState {
+	arr := st.unitArr
+	if len(arr) > 8 {
+		lo, hi := 0, len(arr)
+		for lo < hi {
+			mid := (lo + hi) / 2
+			if arr[mid].def.ID < id {
+				lo = mid + 1
+			} else {
+				hi = mid
+			}
+		}
+		if lo < len(arr) && arr[lo].def.ID == id {
+			return &arr[lo]
+		}
+		return nil
+	}
+	for i := range arr {
+		if arr[i].def.ID == id {
+			return &arr[i]
+		}
+	}
+	return nil
 }
 
 type groupState struct {
@@ -119,13 +183,20 @@ type groupState struct {
 type Scheduler struct {
 	top   *topology.Topology
 	opts  Options
-	free  map[string]resource.Vector
-	down  map[string]bool
-	black map[string]bool
-	apps  map[string]*appState
+	nMach int32
+	nRack int32
+	ids   []int32 // the dense machine IDs 0..nMach-1, in order (sweep operand)
+
+	free  []resource.Vector // machine ID -> owned free vector
+	down  []bool            // machine ID -> down
+	black []bool            // machine ID -> blacklisted
+
+	apps map[string]*appState
 	// appsSorted mirrors the apps map keys in sorted order (maintained on
 	// register/unregister), so evacuation sweeps need not sort per call.
 	appsSorted []string
+	appTbl     ident.Table // app name -> dense app ID (registration order)
+	appByID    []*appState // app ID -> live state (nil after unregister)
 	groups     map[string]*groupState
 	tree       waitTree
 	cursor     int // rotating first-fit cursor for cluster-level placement
@@ -135,50 +206,74 @@ type Scheduler struct {
 	// A placement scan that cannot possibly succeed (aggregate fit count
 	// zero) is rejected in O(1) instead of walking 5000 machines.
 	totalFree resource.Vector
-	rackFree  map[string]resource.Vector
-	rackOf    map[string]string
+	rackFree  []resource.Vector // rack ID -> aggregate free
+
+	// extMach/extRack intern locality-hint values naming machines or racks
+	// outside the topology. They map to node IDs past the real ID range, so
+	// the demand queues in the tree (and is counted) exactly as before but
+	// is never walked by a free-up — the behaviour string keys gave for free.
+	extMach ident.Table
+	extRack ident.Table
 
 	// Sharded parallel sweeps (parallel.go): racks are partitioned into
 	// shards contiguous blocks; par holds each shard's reusable scoring
 	// scratch. shards == 1 means fully serial.
 	shards    int
-	rackShard map[string]int
+	rackShard []int32 // rack ID -> shard
 	par       []*shardScratch
 	parStats  ParallelStats
+
+	// asg is the reusable serial-assignment walk state: binding the
+	// candidate callback to a long-lived struct keeps the per-machine sweep
+	// from allocating a fresh escape-to-heap closure on every free-up.
+	asg assignCtx
+	// seenBuf/uniqBuf are the pooled dedup scratch of assignOnIDs.
+	seenBuf []bool
+	uniqBuf []int32
+}
+
+// assignCtx carries one assignOnMachine invocation's state; fn is the
+// pre-bound candidate callback (see Scheduler.assign).
+type assignCtx struct {
+	s       *Scheduler
+	machine int32
+	free    resource.Vector
+	out     *[]Decision
+	fn      func(*waitEntry) bool
 }
 
 // NewScheduler returns an empty scheduler over the topology with every
 // machine's full capacity in the free pool.
 func NewScheduler(top *topology.Topology, opts Options) *Scheduler {
+	n := int32(top.Size())
 	s := &Scheduler{
 		top:      top,
 		opts:     opts,
-		free:     make(map[string]resource.Vector, top.Size()),
-		down:     make(map[string]bool),
-		black:    make(map[string]bool),
+		nMach:    n,
+		nRack:    int32(top.NumRacks()),
+		ids:      make([]int32, n),
+		free:     make([]resource.Vector, n),
+		down:     make([]bool, n),
+		black:    make([]bool, n),
 		apps:     make(map[string]*appState),
 		groups:   make(map[string]*groupState),
-		rackFree: make(map[string]resource.Vector),
-		rackOf:   make(map[string]string, top.Size()),
+		rackFree: make([]resource.Vector, top.NumRacks()),
 	}
 	if opts.LegacyScan {
 		s.tree = newLegacyTree()
 	} else {
 		s.tree = newLocalityTree()
 	}
-	for _, m := range top.Machines() {
-		cap := top.Machine(m).Capacity
-		rack := top.RackOf(m)
+	for id := int32(0); id < n; id++ {
+		s.ids[id] = id
+		cap := top.MachineByID(id).Capacity
 		// The free pool owns its vectors: hot-path accounting mutates them
 		// in place, so they must not alias the topology's capacity maps.
-		s.free[m] = cap.Clone()
-		s.rackOf[m] = rack
+		s.free[id] = cap.Clone()
 		(&s.totalFree).AddScaledInPlace(cap, 1)
-		rf := s.rackFree[rack]
-		(&rf).AddScaledInPlace(cap, 1)
-		s.rackFree[rack] = rf
+		(&s.rackFree[top.RackIDOf(id)]).AddScaledInPlace(cap, 1)
 	}
-	s.initShards(top.Racks(), opts.Shards)
+	s.initShards(top.NumRacks(), opts.Shards)
 	for g, min := range opts.Groups {
 		s.groups[g] = &groupState{min: min, apps: make(map[string]bool)}
 	}
@@ -186,6 +281,54 @@ func NewScheduler(top *topology.Topology, opts Options) *Scheduler {
 		s.groups[DefaultGroup] = &groupState{apps: make(map[string]bool)}
 	}
 	return s
+}
+
+// machNode resolves a machine name to its tree node ID: the dense topology
+// ID for real machines, an overflow ID past the range for unknown names
+// (the demand queues but can never be placed — same as before interning).
+func (s *Scheduler) machNode(name string) int32 {
+	if id := s.top.MachineID(name); id >= 0 {
+		return id
+	}
+	return s.nMach + s.extMach.Intern(name)
+}
+
+// rackNode resolves a rack name to its tree node ID (overflow for unknown).
+func (s *Scheduler) rackNode(name string) int32 {
+	if id := s.top.RackID(name); id >= 0 {
+		return id
+	}
+	return s.nRack + s.extRack.Intern(name)
+}
+
+// nodeName is the inverse of machNode/rackNode at the inspection boundary.
+func (s *Scheduler) nodeName(level resource.LocalityType, node int32) string {
+	switch level {
+	case resource.LocalityMachine:
+		if node < s.nMach {
+			return s.top.MachineName(node)
+		}
+		return s.extMach.Name(node - s.nMach)
+	case resource.LocalityRack:
+		if node < s.nRack {
+			return s.top.RackName(node)
+		}
+		return s.extRack.Name(node - s.nRack)
+	default:
+		return ""
+	}
+}
+
+// hintNode resolves one locality hint's target name to a node ID.
+func (s *Scheduler) hintNode(h resource.LocalityHint) int32 {
+	switch h.Type {
+	case resource.LocalityMachine:
+		return s.machNode(h.Value)
+	case resource.LocalityRack:
+		return s.rackNode(h.Value)
+	default:
+		return 0
+	}
 }
 
 // RegisterApp adds an application with its ScheduleUnit definitions. The
@@ -204,19 +347,26 @@ func (s *Scheduler) RegisterApp(app, group string, units []resource.ScheduleUnit
 	if !ok {
 		return fmt.Errorf("master: unknown quota group %q", group)
 	}
-	st := &appState{name: app, group: group, units: make(map[int]*unitState, len(units))}
+	id := s.appTbl.Intern(app)
+	st := &appState{id: id, name: app, group: group, ep: transport.None}
+	st.unitArr = make([]unitState, 0, len(units))
 	for _, u := range units {
 		if err := u.Validate(); err != nil {
 			return fmt.Errorf("master: app %q: %w", app, err)
 		}
-		if _, dup := st.units[u.ID]; dup {
-			return fmt.Errorf("master: app %q: duplicate unit %d", app, u.ID)
+		for i := range st.unitArr {
+			if st.unitArr[i].def.ID == u.ID {
+				return fmt.Errorf("master: app %q: duplicate unit %d", app, u.ID)
+			}
 		}
-		st.units[u.ID] = &unitState{def: u, granted: make(map[string]int)}
-		st.unitIDs = append(st.unitIDs, u.ID)
+		st.unitArr = append(st.unitArr, unitState{def: u, granted: make(map[int32]int)})
 	}
-	sort.Ints(st.unitIDs)
+	sort.Slice(st.unitArr, func(i, j int) bool { return st.unitArr[i].def.ID < st.unitArr[j].def.ID })
 	s.apps[app] = st
+	for int(id) >= len(s.appByID) {
+		s.appByID = append(s.appByID, nil)
+	}
+	s.appByID[id] = st
 	i := sort.SearchStrings(s.appsSorted, app)
 	s.appsSorted = append(s.appsSorted, "")
 	copy(s.appsSorted[i+1:], s.appsSorted[i:])
@@ -237,26 +387,28 @@ func (s *Scheduler) UnregisterApp(app string) []Decision {
 	}
 	// Release and reassign in sorted order: map iteration order must not
 	// decide which waiting application is offered the freed capacity first.
-	var touched []string
-	for _, id := range st.unitIDs {
-		u := st.units[id]
-		machines := make([]string, 0, len(u.granted))
+	// (Machine-ID order equals sorted-name order by construction.)
+	var touched []int32
+	for i := range st.unitArr {
+		u := &st.unitArr[i]
+		machines := make([]int32, 0, len(u.granted))
 		for m := range u.granted {
 			machines = append(machines, m)
 		}
-		sort.Strings(machines)
+		sortInt32s(machines)
 		for _, m := range machines {
 			s.releaseOn(st, u, m, u.granted[m])
 			touched = append(touched, m)
 		}
 	}
-	s.tree.removeApp(app)
+	s.tree.removeApp(st.id)
 	delete(s.groups[st.group].apps, app)
 	delete(s.apps, app)
+	s.appByID[st.id] = nil
 	if i := sort.SearchStrings(s.appsSorted, app); i < len(s.appsSorted) && s.appsSorted[i] == app {
 		s.appsSorted = append(s.appsSorted[:i], s.appsSorted[i+1:]...)
 	}
-	return s.assignOnMachines(touched)
+	return s.assignOnIDs(touched)
 }
 
 // UpdateDemand applies incremental per-locality demand deltas for one unit
@@ -265,31 +417,41 @@ func (s *Scheduler) UnregisterApp(app string) []Decision {
 // queued in the locality tree otherwise; negative deltas cancel queued
 // demand (never granted containers — use Return for those).
 func (s *Scheduler) UpdateDemand(app string, unitID int, hints []resource.LocalityHint) ([]Decision, error) {
-	st, u, err := s.lookup(app, unitID)
-	if err != nil {
+	var out []Decision
+	if err := s.updateDemandInto(app, unitID, hints, &out); err != nil {
 		return nil, err
 	}
-	key := waitKey{app: app, unit: unitID}
-	var out []Decision
+	return out, nil
+}
+
+// updateDemandInto is UpdateDemand appending into a caller-pooled buffer
+// (the master's round paths reuse one accumulator across rounds).
+func (s *Scheduler) updateDemandInto(app string, unitID int, hints []resource.LocalityHint, out *[]Decision) error {
+	st, u, err := s.lookup(app, unitID)
+	if err != nil {
+		return err
+	}
+	key := waitKey{app: st.id, unit: int32(unitID)}
 	for _, h := range hints {
 		if h.Count == 0 {
 			continue
 		}
+		node := s.hintNode(h)
 		if h.Count < 0 {
-			s.tree.add(key, u.def.Priority, h.Type, h.Value, h.Count, s.now(), st, u)
+			s.tree.add(key, u.def.Priority, h.Type, node, h.Count, s.now(), st, u)
 			continue
 		}
 		remaining := h.Count
-		granted := s.placeImmediate(st, u, h, remaining, &out)
+		granted := s.placeImmediate(st, u, h.Type, node, remaining, out)
 		remaining -= granted
 		if remaining > 0 {
-			s.tree.add(key, u.def.Priority, h.Type, h.Value, remaining, s.now(), st, u)
+			s.tree.add(key, u.def.Priority, h.Type, node, remaining, s.now(), st, u)
 		}
 	}
 	if s.opts.EnablePreemption {
-		out = append(out, s.preemptFor(st, u)...)
+		*out = append(*out, s.preemptFor(st, u)...)
 	}
-	return out, nil
+	return nil
 }
 
 // Return releases count granted containers on machine back to the pool and
@@ -299,60 +461,112 @@ func (s *Scheduler) Return(app string, unitID int, machine string, count int) ([
 	if err := s.Release(app, unitID, machine, count); err != nil {
 		return nil, err
 	}
-	return s.assignOnMachines([]string{machine}), nil
+	id := s.top.MachineID(machine)
+	return s.assignOnIDs([]int32{id}), nil
 }
 
 // Release gives count granted containers on machine back to the pool
-// without triggering reassignment. It is the building block of batched
-// scheduling rounds: the master applies every release of a round first and
-// reassigns the freed capacity once, via AssignOn, instead of sweeping per
-// return.
+// without triggering reassignment — the name-keyed wrapper of releaseChecked
+// (tests and inspection callers).
 func (s *Scheduler) Release(app string, unitID int, machine string, count int) error {
 	st, u, err := s.lookup(app, unitID)
 	if err != nil {
 		return err
 	}
+	id := s.top.MachineID(machine)
+	if id < 0 {
+		return fmt.Errorf("master: unknown machine %q", machine)
+	}
+	return s.releaseChecked(st, u, id, count)
+}
+
+// releaseChecked validates and applies one release. It is the building
+// block of batched scheduling rounds: the master applies every release of a
+// round first and reassigns the freed capacity once, via an assignment
+// sweep, instead of sweeping per return.
+func (s *Scheduler) releaseChecked(st *appState, u *unitState, machine int32, count int) error {
 	if count <= 0 {
 		return fmt.Errorf("master: non-positive return count %d", count)
 	}
 	if u.granted[machine] < count {
 		return fmt.Errorf("master: app %q unit %d returns %d on %s but holds %d",
-			app, unitID, count, machine, u.granted[machine])
+			st.name, u.def.ID, count, s.top.MachineName(machine), u.granted[machine])
 	}
 	s.releaseOn(st, u, machine, count)
 	return nil
 }
 
-// AssignOn runs the event-driven assignment pass over the given machines
-// (duplicates tolerated) and returns the decisions. With Options.Shards > 1
-// a wide pass is scored shard-parallel and committed through the
-// deterministic reducer; the decision stream is byte-identical to the
-// serial pass either way.
+// AssignOn runs the event-driven assignment pass over the given machine
+// names (duplicates tolerated) and returns the decisions. With
+// Options.Shards > 1 a wide pass is scored shard-parallel and committed
+// through the deterministic reducer; the decision stream is byte-identical
+// to the serial pass either way.
 func (s *Scheduler) AssignOn(machines []string) []Decision {
-	return s.assignOnMachines(machines)
+	ids := make([]int32, 0, len(machines))
+	for _, m := range machines {
+		if id := s.top.MachineID(m); id >= 0 {
+			ids = append(ids, id)
+		}
+	}
+	return s.assignOnIDs(ids)
+}
+
+// AssignOnAll runs the assignment pass over every machine (the
+// post-recovery and reconciliation full sweeps). The ID list is duplicate-
+// free by construction, so the dedup pass of assignOnIDs is skipped.
+func (s *Scheduler) AssignOnAll() []Decision {
+	var out []Decision
+	s.assignOnAllInto(&out)
+	return out
+}
+
+func (s *Scheduler) assignOnAllInto(out *[]Decision) {
+	if s.parallelReady(len(s.ids)) {
+		s.assignParallel(s.ids, out)
+		return
+	}
+	for _, m := range s.ids {
+		s.assignOnMachine(m, out)
+	}
 }
 
 // MachineDown removes a dead machine from scheduling: all grants on it are
 // revoked (the paper's "resource revocation is sent to JobMaster so that the
 // JobMaster could migrate running instances").
 func (s *Scheduler) MachineDown(machine string) []Decision {
-	if s.down[machine] || s.top.Machine(machine) == nil {
+	id := s.top.MachineID(machine)
+	if id < 0 {
 		return nil
 	}
-	s.down[machine] = true
-	return s.evacuate(machine, ReasonRevokeNodeDown)
+	return s.machineDownID(id)
+}
+
+func (s *Scheduler) machineDownID(id int32) []Decision {
+	if s.down[id] {
+		return nil
+	}
+	s.down[id] = true
+	return s.evacuate(id, ReasonRevokeNodeDown)
 }
 
 // MachineUp restores a recovered machine to the pool with the given
 // allocations already running on it (from the agent's report; empty for a
 // fresh machine) and schedules its free remainder.
 func (s *Scheduler) MachineUp(machine string) []Decision {
-	if !s.down[machine] || s.top.Machine(machine) == nil {
+	id := s.top.MachineID(machine)
+	if id < 0 {
 		return nil
 	}
-	delete(s.down, machine)
-	s.setFree(machine, s.top.Machine(machine).Capacity)
-	return s.assignOnMachines([]string{machine})
+	return s.machineUpID(id)
+}
+
+func (s *Scheduler) machineUpID(id int32) []Decision {
+	if !s.down[id] {
+		return nil
+	}
+	s.down[id] = false
+	s.setFree(id, s.top.MachineByID(id).Capacity)
+	return s.assignOnIDs([]int32{id})
 }
 
 // SetBlacklisted marks a machine unschedulable (or clears the mark). When
@@ -360,28 +574,43 @@ func (s *Scheduler) MachineUp(machine string) []Decision {
 // behaviour for heartbeat-timeout machines; score-based graylisting keeps
 // running work.
 func (s *Scheduler) SetBlacklisted(machine string, blacklisted, revokeExisting bool) []Decision {
-	if s.top.Machine(machine) == nil {
+	id := s.top.MachineID(machine)
+	if id < 0 {
 		return nil
 	}
+	return s.setBlacklistedID(id, blacklisted, revokeExisting)
+}
+
+func (s *Scheduler) setBlacklistedID(id int32, blacklisted, revokeExisting bool) []Decision {
 	if !blacklisted {
-		if !s.black[machine] {
+		if !s.black[id] {
 			return nil
 		}
-		delete(s.black, machine)
-		return s.assignOnMachines([]string{machine})
+		s.black[id] = false
+		return s.assignOnIDs([]int32{id})
 	}
-	s.black[machine] = true
+	s.black[id] = true
 	if revokeExisting {
-		return s.evacuate(machine, ReasonRevokeBlacklist)
+		return s.evacuate(id, ReasonRevokeBlacklist)
 	}
 	return nil
 }
 
 // Blacklisted reports whether machine is currently blacklisted.
-func (s *Scheduler) Blacklisted(machine string) bool { return s.black[machine] }
+func (s *Scheduler) Blacklisted(machine string) bool {
+	id := s.top.MachineID(machine)
+	return id >= 0 && s.black[id]
+}
 
 // Down reports whether machine is marked down.
-func (s *Scheduler) Down(machine string) bool { return s.down[machine] }
+func (s *Scheduler) Down(machine string) bool {
+	id := s.top.MachineID(machine)
+	return id >= 0 && s.down[id]
+}
+
+// downID/blackID are the hot-path forms of Down/Blacklisted.
+func (s *Scheduler) downID(id int32) bool  { return s.down[id] }
+func (s *Scheduler) blackID(id int32) bool { return s.black[id] }
 
 // ---------------------------------------------------------------------------
 // internals
@@ -392,15 +621,15 @@ func (s *Scheduler) lookup(app string, unitID int) (*appState, *unitState, error
 	if !ok {
 		return nil, nil, fmt.Errorf("master: unknown app %q", app)
 	}
-	u, ok := st.units[unitID]
-	if !ok {
+	u := st.unit(unitID)
+	if u == nil {
 		return nil, nil, fmt.Errorf("master: app %q: unknown unit %d", app, unitID)
 	}
 	return st, u, nil
 }
 
-func (s *Scheduler) schedulable(machine string) bool {
-	return !s.down[machine] && !s.black[machine]
+func (s *Scheduler) schedulable(id int32) bool {
+	return !s.down[id] && !s.black[id]
 }
 
 // now reads the configured clock (zero when none is wired).
@@ -413,31 +642,27 @@ func (s *Scheduler) now() sim.Time {
 
 // adjustFree applies k units of size to machine's free pool and the
 // cluster/rack aggregates, allocation-free.
-func (s *Scheduler) adjustFree(machine string, size resource.Vector, k int64) {
-	fv := s.free[machine]
-	(&fv).AddScaledInPlace(size, k)
-	s.free[machine] = fv
+func (s *Scheduler) adjustFree(id int32, size resource.Vector, k int64) {
+	(&s.free[id]).AddScaledInPlace(size, k)
 	(&s.totalFree).AddScaledInPlace(size, k)
-	rack := s.rackOf[machine]
-	rf := s.rackFree[rack]
-	(&rf).AddScaledInPlace(size, k)
-	s.rackFree[rack] = rf
+	(&s.rackFree[s.top.RackIDOf(id)]).AddScaledInPlace(size, k)
 }
 
 // grantOn commits k containers of u on machine and records the decision.
-func (s *Scheduler) grantOn(st *appState, u *unitState, machine string, k int, out *[]Decision) {
+func (s *Scheduler) grantOn(st *appState, u *unitState, machine int32, k int, out *[]Decision) {
 	s.adjustFree(machine, u.def.Size, -int64(k))
 	u.granted[machine] += k
 	u.held += k
 	g := s.groups[st.group]
 	(&g.usage).AddScaledInPlace(u.def.Size, int64(k))
-	*out = append(*out, Decision{App: st.name, UnitID: u.def.ID, Machine: machine, Delta: k, Reason: ReasonGrant})
+	*out = append(*out, Decision{App: st.name, UnitID: u.def.ID,
+		Machine: s.top.MachineName(machine), MachineID: machine, Delta: k, Reason: ReasonGrant})
 }
 
 // releaseOn returns k containers of u on machine to the free pool (no
 // decision emitted; callers emit revocations themselves when the release
 // was not requested by the app).
-func (s *Scheduler) releaseOn(st *appState, u *unitState, machine string, k int) {
+func (s *Scheduler) releaseOn(st *appState, u *unitState, machine int32, k int) {
 	if !s.down[machine] {
 		s.adjustFree(machine, u.def.Size, int64(k))
 	}
@@ -448,6 +673,41 @@ func (s *Scheduler) releaseOn(st *appState, u *unitState, machine string, k int)
 	u.held -= k
 	g := s.groups[st.group]
 	(&g.usage).AddScaledInPlace(u.def.Size, -int64(k))
+	if len(u.parked) > 0 {
+		s.unpark(u)
+	}
+}
+
+// park pulls a saturated unit's entry out of the wait queues (indexed tree
+// only; the legacy baseline keeps its original rescan behaviour). The entry
+// is skipped in place until compaction drops it.
+func (s *Scheduler) park(e *waitEntry, u *unitState) {
+	if e.parked || s.opts.AgingBoostPerSecond > 0 {
+		return
+	}
+	if _, indexed := s.tree.(*localityTree); !indexed {
+		return
+	}
+	noteKilled(e) // live -> parked
+	e.parked = true
+	u.parked = append(u.parked, e)
+}
+
+// unpark revives a unit's parked entries in place at their original seq
+// positions (parked entries always remain physically queued — tombstone
+// rebuilds drop only gone entries). It runs the moment a release raises
+// the unit's headroom, before any walk could observe the new capacity, so
+// parking never changes a decision.
+func (s *Scheduler) unpark(u *unitState) {
+	for _, e := range u.parked {
+		if e.parked {
+			e.parked = false
+			if e.queued && e.count > 0 {
+				noteRevived(e)
+			}
+		}
+	}
+	u.parked = u.parked[:0]
 }
 
 // headroom returns how many more containers the app may hold for this unit.
@@ -459,9 +719,10 @@ func (u *unitState) headroom() int {
 	return h
 }
 
-// placeImmediate satisfies up to want containers for hint h from the free
-// pool, appending grant decisions. It returns the number granted.
-func (s *Scheduler) placeImmediate(st *appState, u *unitState, h resource.LocalityHint, want int, out *[]Decision) int {
+// placeImmediate satisfies up to want containers for a hint targeting node
+// at the given level from the free pool, appending grant decisions. It
+// returns the number granted.
+func (s *Scheduler) placeImmediate(st *appState, u *unitState, level resource.LocalityType, node int32, want int, out *[]Decision) int {
 	if want > u.headroom() {
 		want = u.headroom()
 	}
@@ -469,7 +730,7 @@ func (s *Scheduler) placeImmediate(st *appState, u *unitState, h resource.Locali
 		return 0
 	}
 	granted := 0
-	tryMachine := func(m string, cap int) {
+	tryMachine := func(m int32, cap int) {
 		if granted >= want || !s.schedulable(m) {
 			return
 		}
@@ -485,14 +746,19 @@ func (s *Scheduler) placeImmediate(st *appState, u *unitState, h resource.Locali
 			granted += k
 		}
 	}
-	switch h.Type {
+	switch level {
 	case resource.LocalityMachine:
-		tryMachine(h.Value, 0)
+		if node < s.nMach {
+			tryMachine(node, 0)
+		}
 	case resource.LocalityRack:
-		if s.rackFree[h.Value].FitCount(u.def.Size) == 0 {
+		if node >= s.nRack {
+			break // unknown rack: nothing to place on
+		}
+		if s.rackFree[node].FitCount(u.def.Size) == 0 {
 			break // no machine in this rack can fit even one unit
 		}
-		for _, m := range s.top.MachinesInRack(h.Value) {
+		for _, m := range s.top.MachineIDsInRack(node) {
 			if granted >= want {
 				break
 			}
@@ -505,8 +771,7 @@ func (s *Scheduler) placeImmediate(st *appState, u *unitState, h resource.Locali
 		// machines. perPass caps how much one machine takes per sweep.
 		// Aggregate headroom prunes the scan: a saturated cluster rejects
 		// in O(1) and saturated racks are skipped wholesale.
-		machines := s.top.Machines()
-		n := len(machines)
+		n := int(s.nMach)
 		if n == 0 {
 			break
 		}
@@ -516,10 +781,10 @@ func (s *Scheduler) placeImmediate(st *appState, u *unitState, h resource.Locali
 				break
 			}
 			before := granted
-			skipRack := ""
+			skipRack := int32(-1)
 			for i := 0; i < n && granted < want; i++ {
-				m := machines[(s.cursor+i)%n]
-				rack := s.rackOf[m]
+				m := int32((s.cursor + i) % n)
+				rack := s.top.RackIDOf(m)
 				if rack == skipRack {
 					continue
 				}
@@ -538,31 +803,43 @@ func (s *Scheduler) placeImmediate(st *appState, u *unitState, h resource.Locali
 	return granted
 }
 
-// assignOnMachines reschedules freed capacity on the given machines by
-// walking each machine's locality-tree candidates (paper §3.1: "when {2CPU,
-// 10GB} frees up on machine A, we only need to make a decision on which
+// assignOnIDs reschedules freed capacity on the given machines by walking
+// each machine's locality-tree candidates (paper §3.1: "when {2CPU, 10GB}
+// frees up on machine A, we only need to make a decision on which
 // application in machine A's waiting queue should get this resource").
-func (s *Scheduler) assignOnMachines(machines []string) []Decision {
-	seen := make(map[string]bool, len(machines))
-	uniq := make([]string, 0, len(machines))
-	for _, m := range machines {
-		if seen[m] {
-			continue
-		}
-		seen[m] = true
-		uniq = append(uniq, m)
-	}
-	if s.parallelReady(len(uniq)) {
-		return s.assignParallel(uniq)
-	}
+func (s *Scheduler) assignOnIDs(machines []int32) []Decision {
 	var out []Decision
-	for _, m := range uniq {
-		s.assignOnMachine(m, &out)
-	}
+	s.assignOnIDsInto(machines, &out)
 	return out
 }
 
-func (s *Scheduler) assignOnMachine(machine string, out *[]Decision) {
+// assignOnIDsInto is assignOnIDs appending into a caller-pooled buffer.
+func (s *Scheduler) assignOnIDsInto(machines []int32, out *[]Decision) {
+	if s.seenBuf == nil {
+		s.seenBuf = make([]bool, s.nMach)
+	}
+	uniq := s.uniqBuf[:0]
+	for _, m := range machines {
+		if s.seenBuf[m] {
+			continue
+		}
+		s.seenBuf[m] = true
+		uniq = append(uniq, m)
+	}
+	s.uniqBuf = uniq
+	for _, m := range uniq {
+		s.seenBuf[m] = false
+	}
+	if s.parallelReady(len(uniq)) {
+		s.assignParallel(uniq, out)
+		return
+	}
+	for _, m := range uniq {
+		s.assignOnMachine(m, out)
+	}
+}
+
+func (s *Scheduler) assignOnMachine(machine int32, out *[]Decision) {
 	if !s.schedulable(machine) {
 		return
 	}
@@ -570,64 +847,102 @@ func (s *Scheduler) assignOnMachine(machine string, out *[]Decision) {
 	if free.IsZero() {
 		return
 	}
-	rack := s.rackOf[machine]
+	if cpu, mem := s.tree.minFit(); free.CPUMilli() < cpu || free.MemoryMB() < mem {
+		return // fragment provably below every queued entry's size
+	}
+	rack := s.top.RackIDOf(machine)
 	// One pass suffices: a grant only ever shrinks the free vector, unit
 	// headrooms and waiting counts, so no entry skipped in this pass could
 	// become satisfiable later in it. The stream stops the moment the
 	// freed capacity is exhausted, and the tree prunes whole size classes
-	// against the current remainder as it shrinks.
-	s.tree.forEachCandidate(machine, rack, s.now(), s.opts.AgingBoostPerSecond, &free, func(e *waitEntry) bool {
-		if e.count <= 0 {
-			return true
-		}
-		// Resolve (app, unit) once per entry, not once per free-up: live
-		// entries are removed from the queues before their app
-		// unregisters, so the cached pointers cannot go stale.
-		st, u := e.st, e.u
-		if u == nil {
-			st = s.apps[e.key.app]
-			if st == nil {
-				return true
-			}
-			u = st.units[e.key.unit]
-			if u == nil {
-				return true
-			}
-			e.st, e.u = st, u
-		}
-		want := e.count
-		if hr := u.headroom(); want > hr {
-			want = hr
-		}
-		if want <= 0 {
-			return true
-		}
-		k := int(free.FitCount(u.def.Size))
-		if k > want {
-			k = want
-		}
-		if k <= 0 {
-			return true
-		}
-		s.grantOn(st, u, machine, k, out)
-		free = s.free[machine]
-		e.count -= k
-		return !free.IsZero() // machine exhausted: no candidate can fit
-	})
+	// against the current remainder as it shrinks. The walk state and its
+	// callback live in the scheduler's reusable assignCtx (the serial path
+	// is single-threaded), so a sweep over thousands of machines allocates
+	// no per-machine closures.
+	c := &s.asg
+	if c.fn == nil {
+		c.s = s
+		c.fn = c.candidate
+	}
+	c.machine = machine
+	c.free = free
+	c.out = out
+	s.tree.forEachCandidate(machine, rack, s.now(), s.opts.AgingBoostPerSecond, &c.free, c.fn)
+	c.out = nil
 }
 
-// evacuate revokes every grant on machine and reschedules the demand
+// candidate is the assignment walk body: offer the freed capacity on
+// ctx.machine to one queued entry.
+func (c *assignCtx) candidate(e *waitEntry) bool {
+	s := c.s
+	if e.count <= 0 {
+		return true
+	}
+	// Resolve (app, unit) once per entry, not once per free-up: live
+	// entries are removed from the queues before their app
+	// unregisters, so the cached pointers cannot go stale.
+	st, u := e.st, e.u
+	if u == nil {
+		st = s.appStateByID(e.key.app)
+		if st == nil {
+			return true
+		}
+		u = st.unit(int(e.key.unit))
+		if u == nil {
+			return true
+		}
+		e.st, e.u = st, u
+	}
+	want := e.count
+	if hr := u.headroom(); want > hr {
+		want = hr
+	}
+	if want <= 0 {
+		// The unit is saturated (held == MaxCount) yet still has queued
+		// demand — legal, but no free-up can serve it until a release
+		// raises the headroom. Park the entry so subsequent sweeps stop
+		// rescanning it; releaseOn re-queues it at its original position.
+		s.park(e, u)
+		return true
+	}
+	k := int(c.free.FitCount(u.def.Size))
+	if k > want {
+		k = want
+	}
+	if k <= 0 {
+		return true
+	}
+	s.grantOn(st, u, c.machine, k, c.out)
+	c.free = s.free[c.machine]
+	e.count -= k
+	if e.count == 0 {
+		noteKilled(e) // satisfied in place; lazily dropped or revived
+	}
+	return !c.free.IsZero() // machine exhausted: no candidate can fit
+}
+
+// appStateByID resolves a dense app ID to its live state (nil when gone).
+func (s *Scheduler) appStateByID(id int32) *appState {
+	if int(id) >= len(s.appByID) {
+		return nil
+	}
+	return s.appByID[id]
+}
+
+// evacuate revokes every grant on machine; rescheduling the demand
 // elsewhere is left to the apps (they re-request); the freed pool entry is
 // zeroed for down machines and restored for blacklisted ones.
-func (s *Scheduler) evacuate(machine string, reason Reason) []Decision {
+func (s *Scheduler) evacuate(machine int32, reason Reason) []Decision {
 	var out []Decision
-	for _, name := range s.appsSorted {
-		st := s.apps[name]
-		for _, id := range st.unitIDs {
-			u := st.units[id]
+	name := s.top.MachineName(machine)
+	for _, appName := range s.appsSorted {
+		st := s.apps[appName]
+		for i := range st.unitArr {
+			u := &st.unitArr[i]
 			if n := u.granted[machine]; n > 0 {
 				s.releaseOn(st, u, machine, n)
-				out = append(out, Decision{App: name, UnitID: id, Machine: machine, Delta: -n, Reason: reason})
+				out = append(out, Decision{App: appName, UnitID: u.def.ID,
+					Machine: name, MachineID: machine, Delta: -n, Reason: reason})
 			}
 		}
 	}
@@ -635,21 +950,24 @@ func (s *Scheduler) evacuate(machine string, reason Reason) []Decision {
 		s.setFree(machine, resource.Vector{})
 	} else {
 		// Blacklisted but alive: capacity exists yet is unschedulable.
-		s.setFree(machine, s.top.Machine(machine).Capacity)
+		s.setFree(machine, s.top.MachineByID(machine).Capacity)
 	}
 	return out
 }
 
 // setFree replaces machine's free-pool entry with an owned copy of v,
 // keeping the cluster and rack aggregates consistent.
-func (s *Scheduler) setFree(machine string, v resource.Vector) {
+func (s *Scheduler) setFree(machine int32, v resource.Vector) {
 	old := s.free[machine]
 	(&s.totalFree).AddScaledInPlace(old, -1)
-	rack := s.rackOf[machine]
-	rf := s.rackFree[rack]
-	(&rf).AddScaledInPlace(old, -1)
-	(&rf).AddScaledInPlace(v, 1)
-	s.rackFree[rack] = rf
+	rack := s.top.RackIDOf(machine)
+	(&s.rackFree[rack]).AddScaledInPlace(old, -1)
+	(&s.rackFree[rack]).AddScaledInPlace(v, 1)
 	(&s.totalFree).AddScaledInPlace(v, 1)
 	s.free[machine] = v.Clone()
 }
+
+// sortInt32s sorts an int32 slice ascending (machine-ID order == sorted
+// machine-name order, so replacing sort.Strings with this preserves every
+// historical ordering), without sort.Slice's reflective swapper.
+func sortInt32s(a []int32) { slices.Sort(a) }

@@ -7,18 +7,25 @@ import (
 )
 
 // Inspection and state-transfer methods used by metrics, tests, and the
-// failover path.
+// failover path. These are boundary APIs: they speak machine names and
+// return copies, converting from the ID-indexed hot state on the way out.
 
 // FreeOn returns the current free vector on machine (a copy: the pool's
 // own vectors are mutated in place by the hot path).
-func (s *Scheduler) FreeOn(machine string) resource.Vector { return s.free[machine].Clone() }
+func (s *Scheduler) FreeOn(machine string) resource.Vector {
+	id := s.top.MachineID(machine)
+	if id < 0 {
+		return resource.Vector{}
+	}
+	return s.free[id].Clone()
+}
 
 // TotalFree sums the free pool over schedulable machines.
 func (s *Scheduler) TotalFree() resource.Vector {
 	var t resource.Vector
-	for m, f := range s.free {
-		if s.schedulable(m) {
-			t = t.Add(f)
+	for id := int32(0); id < s.nMach; id++ {
+		if s.schedulable(id) {
+			t = t.Add(s.free[id])
 		}
 	}
 	return t
@@ -28,9 +35,9 @@ func (s *Scheduler) TotalFree() resource.Vector {
 // FM_total).
 func (s *Scheduler) TotalCapacity() resource.Vector {
 	var t resource.Vector
-	for _, m := range s.top.Machines() {
-		if !s.down[m] {
-			t = t.Add(s.top.Machine(m).Capacity)
+	for id := int32(0); id < s.nMach; id++ {
+		if !s.down[id] {
+			t = t.Add(s.top.MachineByID(id).Capacity)
 		}
 	}
 	return t
@@ -41,7 +48,8 @@ func (s *Scheduler) TotalCapacity() resource.Vector {
 func (s *Scheduler) PlannedTotal() resource.Vector {
 	var t resource.Vector
 	for _, st := range s.apps {
-		for _, u := range st.units {
+		for i := range st.unitArr {
+			u := &st.unitArr[i]
 			t = t.Add(u.def.Size.Scale(int64(u.held)))
 		}
 	}
@@ -49,27 +57,57 @@ func (s *Scheduler) PlannedTotal() resource.Vector {
 }
 
 // Granted returns the app's current per-machine container counts for a
-// unit (a copy).
+// unit, keyed by machine name (a copy).
 func (s *Scheduler) Granted(app string, unitID int) map[string]int {
 	st, ok := s.apps[app]
 	if !ok {
 		return nil
 	}
-	u, ok := st.units[unitID]
-	if !ok {
+	u := st.unit(unitID)
+	if u == nil {
 		return nil
 	}
 	out := make(map[string]int, len(u.granted))
+	for m, n := range u.granted {
+		out[s.top.MachineName(m)] = n
+	}
+	return out
+}
+
+// GrantedByID returns the app's per-machine container counts for a unit,
+// keyed by dense machine ID (a copy) — the form the reconciliation path
+// compares against ID-keyed wire state.
+func (s *Scheduler) GrantedByID(app string, unitID int) map[int32]int {
+	st, ok := s.apps[app]
+	if !ok {
+		return nil
+	}
+	u := st.unit(unitID)
+	if u == nil {
+		return nil
+	}
+	out := make(map[int32]int, len(u.granted))
 	for m, n := range u.granted {
 		out[m] = n
 	}
 	return out
 }
 
+// GrantedOn returns the container count granted to (app, unit) on one
+// machine without copying the ledger.
+func (s *Scheduler) GrantedOn(app string, unitID int, machine int32) int {
+	if st, ok := s.apps[app]; ok {
+		if u := st.unit(unitID); u != nil {
+			return u.granted[machine]
+		}
+	}
+	return 0
+}
+
 // Held returns the total containers held by app for a unit.
 func (s *Scheduler) Held(app string, unitID int) int {
 	if st, ok := s.apps[app]; ok {
-		if u, ok := st.units[unitID]; ok {
+		if u := st.unit(unitID); u != nil {
 			return u.held
 		}
 	}
@@ -78,13 +116,44 @@ func (s *Scheduler) Held(app string, unitID int) int {
 
 // Waiting returns the tree's total queued count for (app, unit).
 func (s *Scheduler) Waiting(app string, unitID int) int {
-	return s.tree.totalWaiting(waitKey{app: app, unit: unitID})
+	st, ok := s.apps[app]
+	if !ok {
+		return 0
+	}
+	return s.tree.totalWaiting(waitKey{app: st.id, unit: int32(unitID)})
 }
 
 // WaitingByLevel reports queued counts per locality level for (app, unit),
 // mirroring the paper's Figure 5 scheduling-tree view.
 func (s *Scheduler) WaitingByLevel(app string, unitID int) (machine, rack, cluster int) {
-	return s.tree.waitingByLevel(waitKey{app: app, unit: unitID})
+	st, ok := s.apps[app]
+	if !ok {
+		return 0, 0, 0
+	}
+	return s.tree.waitingByLevel(waitKey{app: st.id, unit: int32(unitID)})
+}
+
+// WaitingNodes lists the locality nodes where (app, unit) currently has a
+// queued entry, as (level, node name, count) — the name-space view of the
+// tree used by tests and the failover rebuild helpers.
+func (s *Scheduler) WaitingNodes(app string, unitID int) []resource.LocalityHint {
+	st, ok := s.apps[app]
+	if !ok {
+		return nil
+	}
+	key := waitKey{app: st.id, unit: int32(unitID)}
+	var out []resource.LocalityHint
+	for _, idx := range s.tree.nodesFor(key, nil) {
+		c := s.tree.get(key, idx.level, idx.node)
+		if c <= 0 {
+			continue
+		}
+		out = append(out, resource.LocalityHint{
+			Type: idx.level, Value: s.nodeName(idx.level, idx.node), Count: c,
+		})
+	}
+	resource.SortHints(out)
+	return out
 }
 
 // GroupUsage returns a quota group's current usage vector (a copy).
@@ -114,9 +183,9 @@ func (s *Scheduler) Units(app string) []resource.ScheduleUnit {
 	if !ok {
 		return nil
 	}
-	out := make([]resource.ScheduleUnit, 0, len(st.unitIDs))
-	for _, id := range st.unitIDs {
-		out = append(out, st.units[id].def)
+	out := make([]resource.ScheduleUnit, 0, len(st.unitArr))
+	for i := range st.unitArr {
+		out = append(out, st.unitArr[i].def)
 	}
 	return out
 }
@@ -128,12 +197,22 @@ func (s *Scheduler) Units(app string) []resource.ScheduleUnit {
 // ignored: their agents' processes will be reconciled once the app
 // re-registers.
 func (s *Scheduler) RestoreGrant(app string, unitID int, machine string, count int) bool {
+	id := s.top.MachineID(machine)
+	if id < 0 {
+		return false
+	}
+	return s.restoreGrantID(app, unitID, id, count)
+}
+
+// restoreGrantID is the hot-path form of RestoreGrant, fed straight from
+// anchor-heartbeat allocation tables during recovery.
+func (s *Scheduler) restoreGrantID(app string, unitID int, machine int32, count int) bool {
 	st, ok := s.apps[app]
 	if !ok {
 		return false
 	}
-	u, ok := st.units[unitID]
-	if !ok || count <= 0 || s.top.Machine(machine) == nil {
+	u := st.unit(unitID)
+	if u == nil || count <= 0 {
 		return false
 	}
 	s.adjustFree(machine, u.def.Size, -int64(count))
@@ -151,18 +230,19 @@ func (s *Scheduler) RestoreGrant(app string, unitID int, machine string, count i
 // oversubscribed until containers return. The returned decisions are any
 // new grants.
 func (s *Scheduler) SetVirtualResource(machine, dim string, amount int64) []Decision {
-	m := s.top.Machine(machine)
-	if m == nil || dim == resource.CPU || dim == resource.Memory {
+	id := s.top.MachineID(machine)
+	if id < 0 || dim == resource.CPU || dim == resource.Memory {
 		return nil
 	}
+	m := s.top.MachineByID(id)
 	old := m.Capacity.Get(dim)
 	m.Capacity = m.Capacity.With(dim, amount)
 	// The free pool moves by the capacity delta; it may go negative on the
 	// virtual dimension (oversubscription), which only blocks further
 	// grants.
-	s.adjustFree(machine, resource.FromMap(map[string]int64{dim: amount - old}), 1)
-	if amount > old && s.schedulable(machine) {
-		return s.assignOnMachines([]string{machine})
+	s.adjustFree(id, resource.FromMap(map[string]int64{dim: amount - old}), 1)
+	if amount > old && s.schedulable(id) {
+		return s.assignOnIDs([]int32{id})
 	}
 	return nil
 }
@@ -174,17 +254,16 @@ func (s *Scheduler) SetVirtualResource(machine, dim string, amount int64) []Deci
 // so paper-scale runs can afford to call it every scheduling round.
 func (s *Scheduler) CheckInvariants() []string {
 	var bad []string
-	// One pass over all grants builds the per-machine usage map; the same
+	// One pass over all grants builds the per-machine usage table; the same
 	// pass checks held == sum(granted) and held <= MaxCount per unit.
-	used := make(map[string]resource.Vector, len(s.free))
+	used := make([]resource.Vector, s.nMach)
 	for name, st := range s.apps {
-		for _, u := range st.units {
+		for ui := range st.unitArr {
+			u := &st.unitArr[ui]
 			sum := 0
 			for m, n := range u.granted {
 				sum += n
-				uv := used[m]
-				(&uv).AddScaledInPlace(u.def.Size, int64(n))
-				used[m] = uv
+				(&used[m]).AddScaledInPlace(u.def.Size, int64(n))
 			}
 			if sum != u.held {
 				bad = append(bad, "app "+name+": unit held mismatch")
@@ -197,33 +276,32 @@ func (s *Scheduler) CheckInvariants() []string {
 	// Per machine: free + granted == capacity, physical free non-negative,
 	// and the rack/cluster aggregates agree with the per-machine pool.
 	var sumFree resource.Vector
-	rackSum := make(map[string]resource.Vector, len(s.rackFree))
-	for _, m := range s.top.Machines() {
-		rack := s.rackOf[m]
-		rs := rackSum[rack]
-		(&rs).AddScaledInPlace(s.free[m], 1)
-		rackSum[rack] = rs
-		(&sumFree).AddScaledInPlace(s.free[m], 1)
-		if s.down[m] {
+	rackSum := make([]resource.Vector, s.nRack)
+	for id := int32(0); id < s.nMach; id++ {
+		rack := s.top.RackIDOf(id)
+		(&rackSum[rack]).AddScaledInPlace(s.free[id], 1)
+		(&sumFree).AddScaledInPlace(s.free[id], 1)
+		if s.down[id] {
 			continue
 		}
-		cap := s.top.Machine(m).Capacity
-		if !s.free[m].Add(used[m]).Equal(cap) {
-			bad = append(bad, "machine "+m+": free+used != capacity: "+s.free[m].String()+" + "+used[m].String()+" != "+cap.String())
+		name := s.top.MachineName(id)
+		cap := s.top.MachineByID(id).Capacity
+		if !s.free[id].Add(used[id]).Equal(cap) {
+			bad = append(bad, "machine "+name+": free+used != capacity: "+s.free[id].String()+" + "+used[id].String()+" != "+cap.String())
 		}
-		if s.free[m].CPUMilli() < 0 || s.free[m].MemoryMB() < 0 {
+		if s.free[id].CPUMilli() < 0 || s.free[id].MemoryMB() < 0 {
 			// Physical dimensions may never go negative; virtual ones may
 			// (administratively lowering a virtual resource below current
 			// usage leaves the dimension oversubscribed by design).
-			bad = append(bad, "machine "+m+": negative physical free "+s.free[m].String())
+			bad = append(bad, "machine "+name+": negative physical free "+s.free[id].String())
 		}
 	}
 	if !sumFree.Equal(s.totalFree) {
 		bad = append(bad, "cluster aggregate free "+s.totalFree.String()+" != sum "+sumFree.String())
 	}
-	for rack, rs := range rackSum {
-		if !rs.Equal(s.rackFree[rack]) {
-			bad = append(bad, "rack "+rack+" aggregate free "+s.rackFree[rack].String()+" != sum "+rs.String())
+	for rack := int32(0); rack < s.nRack; rack++ {
+		if !rackSum[rack].Equal(s.rackFree[rack]) {
+			bad = append(bad, "rack "+s.top.RackName(rack)+" aggregate free "+s.rackFree[rack].String()+" != sum "+rackSum[rack].String())
 		}
 	}
 	// Group usage equals sum of member grants.
@@ -234,7 +312,8 @@ func (s *Scheduler) CheckInvariants() []string {
 			if st == nil {
 				continue
 			}
-			for _, u := range st.units {
+			for ui := range st.unitArr {
+				u := &st.unitArr[ui]
 				(&sum).AddScaledInPlace(u.def.Size, int64(u.held))
 			}
 		}
@@ -268,22 +347,25 @@ func (s *Scheduler) PreemptionEnabled() bool { return s.opts.EnablePreemption }
 
 // GrantedByMachine builds machine -> app -> unit -> count from the grant
 // ledger — the master-side view the cluster-wide invariant checker compares
-// against each FuxiAgent's capacity table.
+// against each FuxiAgent's capacity table. Names at the boundary.
 func (s *Scheduler) GrantedByMachine() map[string]map[string]map[int]int {
 	out := make(map[string]map[string]map[int]int)
 	for name, st := range s.apps {
-		for id, u := range st.units {
+		for ui := range st.unitArr {
+			u := &st.unitArr[ui]
+			id := u.def.ID
 			for m, n := range u.granted {
 				if n <= 0 {
 					continue
 				}
-				if out[m] == nil {
-					out[m] = make(map[string]map[int]int)
+				mn := s.top.MachineName(m)
+				if out[mn] == nil {
+					out[mn] = make(map[string]map[int]int)
 				}
-				if out[m][name] == nil {
-					out[m][name] = make(map[int]int)
+				if out[mn][name] == nil {
+					out[mn][name] = make(map[int]int)
 				}
-				out[m][name][id] = n
+				out[mn][name][id] = n
 			}
 		}
 	}

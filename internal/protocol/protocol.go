@@ -5,6 +5,16 @@
 // sync messages repair any divergence ("as a safety measurement, application
 // masters exchange with FuxiMaster the full state of resources periodically
 // to fix any possible inconsistency").
+//
+// Identifier convention: messages on the per-decision hot paths (grants,
+// returns, capacity deltas, heartbeats) carry machines as dense int32 IDs —
+// the topology-derived index every process computes identically from the
+// shared sorted machine list — so receivers index slices instead of hashing
+// names. Application names stay strings on the wire: app identity must
+// survive master failover (a successor assigns fresh internal IDs), so apps
+// are resolved to interned state once per message at the receiving
+// component's edge. Worker-management messages (WorkPlan, WorkerStatus)
+// keep machine names: they cross into the job layer, which speaks names.
 package protocol
 
 import (
@@ -46,7 +56,7 @@ type DemandUpdate struct {
 type GrantReturn struct {
 	App     string
 	UnitID  int
-	Machine string
+	Machine int32 // dense machine ID
 	Count   int
 	Seq     uint64
 }
@@ -55,7 +65,7 @@ type GrantReturn struct {
 // GrantReturnBatch.
 type ReturnEntry struct {
 	UnitID  int
-	Machine string
+	Machine int32 // dense machine ID
 	Count   int
 }
 
@@ -72,9 +82,10 @@ type GrantReturnBatch struct {
 
 // MachineDelta is one (machine, ±count) entry of a grant response, matching
 // the paper's "(M1,3), (M2,4), ..., (Mn,1)" notation; negative counts are
-// revocations.
+// revocations. Machines travel as dense IDs (see the package doc's
+// identifier convention).
 type MachineDelta struct {
-	Machine string
+	Machine int32 // dense machine ID
 	Delta   int
 }
 
@@ -92,15 +103,23 @@ type GrantUpdate struct {
 
 // FullDemandSync is the periodic full-state safety message from an
 // application master: the complete current demand and held grants. The
-// receiver reconciles its view to match exactly.
+// receiver reconciles its view to match exactly — unless grants it sent are
+// still in flight toward the app (SeenGrantSeq below the master's last sent
+// grant sequence), in which case the demand/held views are stale snapshots
+// and reconciling against them would re-raise demand the in-flight grants
+// already consumed; such syncs are skipped and the next one reconciles.
 type FullDemandSync struct {
 	App        string
 	QuotaGroup string
 	Units      []resource.ScheduleUnit
+	// SeenGrantSeq is the highest GrantUpdate sequence number the app has
+	// observed from the current primary (0 before the first grant).
+	SeenGrantSeq uint64
 	// Demand[unitID] lists the full (not delta) per-locality wanted counts.
 	Demand map[int][]resource.LocalityHint
-	// Held[unitID][machine] is the application's view of current grants.
-	Held map[int]map[string]int
+	// Held[unitID][machineID] is the application's view of current grants,
+	// keyed by dense machine ID.
+	Held map[int]map[int32]int
 	Seq  uint64
 }
 
@@ -137,7 +156,7 @@ type UnregisterAck struct {
 // the resource allocation on this machine for each application master");
 // the deltas keep the steady-state beat allocation-free at 5,000 machines.
 type AgentHeartbeat struct {
-	Machine string
+	Machine int32 // dense machine ID
 	// Full marks an anchor beat: Allocations is the complete table and a
 	// recovering master may restore from it. Non-anchor beats leave
 	// Allocations nil.
@@ -214,7 +233,7 @@ type MasterHello struct {
 // "the full granted resource amount from FuxiMaster for each application"
 // (paper §4.3.1, FuxiAgent failover).
 type CapacityQuery struct {
-	Machine string
+	Machine int32 // dense machine ID
 	Seq     uint64
 }
 
@@ -230,7 +249,7 @@ type CapacityEntry struct {
 // CapacitySync answers a CapacityQuery with the machine's full granted
 // capacity table.
 type CapacitySync struct {
-	Machine string
+	Machine int32 // dense machine ID
 	Entries []CapacityEntry
 	// Epoch fences syncs from a deposed primary (see GrantUpdate.Epoch).
 	Epoch int
@@ -239,7 +258,7 @@ type CapacitySync struct {
 
 // WireSize implements transport.Sizer.
 func (m CapacitySync) WireSize() int {
-	return headerBytes + len(m.Machine) + len(m.Entries)*unitBytes
+	return headerBytes + 4 + len(m.Entries)*unitBytes
 }
 
 // ---------------------------------------------------------------------------
@@ -283,7 +302,7 @@ const GatewayEndpoint = "gateway"
 // JobMasters").
 type BadMachineReport struct {
 	App     string
-	Machine string
+	Machine int32 // dense machine ID
 	Seq     uint64
 }
 
@@ -395,15 +414,11 @@ func (m DemandUpdate) WireSize() int {
 }
 
 // WireSize implements transport.Sizer.
-func (m GrantReturn) WireSize() int { return headerBytes + len(m.App) + len(m.Machine) + 8 }
+func (m GrantReturn) WireSize() int { return headerBytes + len(m.App) + 4 + 8 }
 
 // WireSize implements transport.Sizer.
 func (m GrantReturnBatch) WireSize() int {
-	n := headerBytes + len(m.App)
-	for _, r := range m.Returns {
-		n += perEntryBytes + len(r.Machine)
-	}
-	return n
+	return headerBytes + len(m.App) + len(m.Returns)*perEntryBytes
 }
 
 // WireSize implements transport.Sizer.
@@ -430,7 +445,7 @@ func (m FullDemandSync) WireSize() int {
 
 // WireSize implements transport.Sizer.
 func (m AgentHeartbeat) WireSize() int {
-	return headerBytes + len(m.Machine) + (len(m.Allocations)+len(m.Changes))*perEntryBytes
+	return headerBytes + 4 + (len(m.Allocations)+len(m.Changes))*perEntryBytes
 }
 
 // WireSize implements transport.Sizer.

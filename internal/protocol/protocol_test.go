@@ -147,7 +147,7 @@ func TestWireSizesPositiveAndProportional(t *testing.T) {
 		App:    "a",
 		Units:  []resource.ScheduleUnit{{ID: 1}},
 		Demand: map[int][]resource.LocalityHint{1: make([]resource.LocalityHint, 10)},
-		Held:   map[int]map[string]int{1: {"m1": 2, "m2": 3}},
+		Held:   map[int]map[int32]int{1: {0: 2, 1: 3}},
 	}
 	if full.WireSize() <= small.WireSize() {
 		t.Error("full sync should outweigh a small delta")
@@ -155,9 +155,9 @@ func TestWireSizesPositiveAndProportional(t *testing.T) {
 
 	msgs := []interface{ WireSize() int }{
 		RegisterApp{App: "a"},
-		GrantReturn{App: "a", Machine: "m"},
-		GrantUpdate{App: "a", Changes: []MachineDelta{{Machine: "m", Delta: 1}}},
-		AgentHeartbeat{Machine: "m", Allocations: []AllocDelta{{App: "a", UnitID: 1, Count: 2}}},
+		GrantReturn{App: "a", Machine: 0},
+		GrantUpdate{App: "a", Changes: []MachineDelta{{Machine: 0, Delta: 1}}},
+		AgentHeartbeat{Machine: 0, Allocations: []AllocDelta{{App: "a", UnitID: 1, Count: 2}}},
 		CapacityUpdate{App: "a"},
 		WorkPlan{App: "a", WorkerID: "w"},
 		WorkerStatus{App: "a", WorkerID: "w"},

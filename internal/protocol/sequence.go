@@ -17,11 +17,11 @@ func (s *Sequencer) Next() uint64 {
 func (s *Sequencer) Current() uint64 { return s.next }
 
 // Chan enumerates the per-sender logical channels multiplexed over one
-// Dedup. Hot paths key the high-water map by (sender, Chan) instead of
-// concatenating a channel suffix onto the sender per message — at paper
-// scale those concatenations were a measurable slice of the control-plane
-// allocation and hashing budget. Free-form string channels (e.g. per-worker
-// plan channels) remain available through Observe.
+// Dedup. Hot paths key the high-water map by (sender endpoint ID, Chan)
+// instead of hashing sender name strings per message — at paper scale that
+// hashing was a measurable slice of the control-plane budget. Free-form
+// string channels (e.g. per-worker plan channels) remain available through
+// Observe.
 type Chan uint8
 
 const (
@@ -41,8 +41,10 @@ const (
 	ChanGrant
 )
 
+// chanKey packs (sender endpoint ID, Chan) into one integer-keyed map key:
+// no string hashing on the per-message dedup path.
 type chanKey struct {
-	sender string
+	sender int32
 	ch     Chan
 }
 
@@ -56,9 +58,11 @@ type Dedup struct {
 	gaps   uint64
 }
 
-// NewDedup returns an empty tracker.
+// NewDedup returns an empty tracker (maps are created on first use, so an
+// idle receiver — e.g. one of a hundred thousand short-lived application
+// masters — costs nothing).
 func NewDedup() *Dedup {
-	return &Dedup{last: make(map[string]uint64), lastCh: make(map[chanKey]uint64)}
+	return &Dedup{}
 }
 
 // Verdict classifies an incoming sequence number.
@@ -83,27 +87,40 @@ func (d *Dedup) Observe(sender string, seq uint64) Verdict {
 	case seq <= last:
 		return Duplicate
 	case seq == last+1:
+		if d.last == nil {
+			d.last = make(map[string]uint64)
+		}
 		d.last[sender] = seq
 		return Accept
 	default:
+		if d.last == nil {
+			d.last = make(map[string]uint64)
+		}
 		d.last[sender] = seq
 		d.gaps++
 		return Gap
 	}
 }
 
-// ObserveCh is Observe keyed by (sender, channel) — the allocation-free
-// form for the protocol's fixed channels.
-func (d *Dedup) ObserveCh(sender string, ch Chan, seq uint64) Verdict {
+// ObserveCh is Observe keyed by (sender endpoint ID, channel) — the
+// hashing-free form for the protocol's fixed channels. The sender is the
+// transport-layer EndpointID of the peer (cast to int32).
+func (d *Dedup) ObserveCh(sender int32, ch Chan, seq uint64) Verdict {
 	k := chanKey{sender, ch}
 	last := d.lastCh[k]
 	switch {
 	case seq <= last:
 		return Duplicate
 	case seq == last+1:
+		if d.lastCh == nil {
+			d.lastCh = make(map[chanKey]uint64)
+		}
 		d.lastCh[k] = seq
 		return Accept
 	default:
+		if d.lastCh == nil {
+			d.lastCh = make(map[chanKey]uint64)
+		}
 		d.lastCh[k] = seq
 		d.gaps++
 		return Gap
@@ -115,14 +132,30 @@ func (d *Dedup) ObserveCh(sender string, ch Chan, seq uint64) Verdict {
 func (d *Dedup) Reset(sender string) { delete(d.last, sender) }
 
 // ResetCh forgets one (sender, channel) high-water mark.
-func (d *Dedup) ResetCh(sender string, ch Chan) { delete(d.lastCh, chanKey{sender, ch}) }
+func (d *Dedup) ResetCh(sender int32, ch Chan) { delete(d.lastCh, chanKey{sender, ch}) }
 
 // ResetTo sets the high-water mark for a sender, used when a full sync
 // carries the sender's current sequence number.
-func (d *Dedup) ResetTo(sender string, seq uint64) { d.last[sender] = seq }
+func (d *Dedup) ResetTo(sender string, seq uint64) {
+	if d.last == nil {
+		d.last = make(map[string]uint64)
+	}
+	d.last[sender] = seq
+}
 
 // ResetToCh sets the high-water mark for one (sender, channel).
-func (d *Dedup) ResetToCh(sender string, ch Chan, seq uint64) { d.lastCh[chanKey{sender, ch}] = seq }
+func (d *Dedup) ResetToCh(sender int32, ch Chan, seq uint64) {
+	if d.lastCh == nil {
+		d.lastCh = make(map[chanKey]uint64)
+	}
+	d.lastCh[chanKey{sender, ch}] = seq
+}
+
+// LastCh returns the high-water mark for one (sender, channel) — e.g. the
+// highest grant sequence an application master has observed, which the
+// full-state sync carries so the master can fence reconciliation against
+// its own in-flight grants.
+func (d *Dedup) LastCh(sender int32, ch Chan) uint64 { return d.lastCh[chanKey{sender, ch}] }
 
 // Gaps returns the number of gaps observed since construction.
 func (d *Dedup) Gaps() uint64 { return d.gaps }
@@ -160,8 +193,8 @@ func (g *EpochGate) Stale(epoch int, d *Dedup, channel string) bool {
 	return false
 }
 
-// StaleCh is Stale for a (sender, Chan)-keyed dedup channel.
-func (g *EpochGate) StaleCh(epoch int, d *Dedup, sender string, ch Chan) bool {
+// StaleCh is Stale for a (sender endpoint ID, Chan)-keyed dedup channel.
+func (g *EpochGate) StaleCh(epoch int, d *Dedup, sender int32, ch Chan) bool {
 	if epoch == 0 {
 		return false
 	}

@@ -1,0 +1,125 @@
+package scale
+
+// Steady-state churn mode: the benchmark section that measures the
+// scheduler where its cost actually lives in production — the long-horizon
+// release/re-demand cycle, with no arrivals, no completions and no
+// failovers inside the measurement window. Every granted container is held
+// for HoldTime, returned, and immediately re-demanded at cluster scope, so
+// the cluster sits in the saturated regime where each scheduling round is:
+// coalesced releases → one wide assignment sweep over the freed machines →
+// merged demand placement → batched fan-out. Decision throughput and
+// allocations per decision are measured strictly after ChurnWarmup, over a
+// ChurnMeasure-long window, so registration and cold-cache effects are
+// excluded — this is the section the tightened allocs/decision budget
+// gates in CI.
+
+import (
+	"repro/internal/resource"
+	"repro/internal/sim"
+)
+
+// DefaultChurnConfig is the paper-scale steady-state churn run: 5,000
+// machines, 100k schedule units cycling hold/return/re-demand forever,
+// measured for a minute of virtual time after a warmup that covers arrival
+// and two full hold cycles.
+func DefaultChurnConfig() Config {
+	c := DefaultConfig()
+	c.Churn = true
+	c.FailoverEvery = 0 // steady state: no machine failovers
+	// High churn: containers cycle every 5s, so the measured minute covers
+	// twelve full hold cycles of the whole cluster.
+	c.HoldTime = 5 * sim.Second
+	c.FullSyncEvery = 30 * sim.Second
+	c.ArrivalWindow = 20 * sim.Second
+	c.ChurnWarmup = 40 * sim.Second
+	c.ChurnMeasure = 60 * sim.Second
+	c.Horizon = c.ChurnWarmup + c.ChurnMeasure
+	c.RoundWindow = DefaultRoundWindow
+	return c
+}
+
+// SmokeChurnConfig is the CI-sized churn run: 100 machines, 2,000 units.
+func SmokeChurnConfig() Config {
+	c := DefaultChurnConfig()
+	c.Racks, c.MachinesPerRack = 10, 10
+	c.Apps, c.UnitsPerApp = 100, 20
+	c.ArrivalWindow = 5 * sim.Second
+	c.ChurnWarmup = 20 * sim.Second
+	c.ChurnMeasure = 30 * sim.Second
+	c.Horizon = c.ChurnWarmup + c.ChurnMeasure
+	return c
+}
+
+// holdRec is one pooled hold-expiry record: the churn driver schedules one
+// per grant through the engine's closure-free Post path, so the steady
+// state allocates no per-grant timer closures.
+type holdRec struct {
+	app     *scaleApp
+	unit    int
+	machine int32
+	count   int
+}
+
+func (h *harness) getHold() *holdRec {
+	if n := len(h.holdFree); n > 0 {
+		rec := h.holdFree[n-1]
+		h.holdFree[n-1] = nil
+		h.holdFree = h.holdFree[:n-1]
+		return rec
+	}
+	return &holdRec{}
+}
+
+// holdExpire is the churn cycle's second half: return the held containers
+// and restate the demand at cluster scope, keeping the cluster in its
+// saturated steady state. The re-demand is deferred to the end of the
+// instant so that all of an instant's expiries coalesce: every app's
+// returns merge into one GrantReturnBatch before its first demand update
+// flushes them, and the master still applies the whole round's releases
+// before its demand phase.
+func (h *harness) holdExpire(a any) {
+	rec := a.(*holdRec)
+	app, unit, mc, n := rec.app, rec.unit, rec.machine, rec.count
+	if held := app.am.Held(unit, mc); held < n {
+		n = held
+	}
+	if n <= 0 {
+		rec.app = nil
+		h.holdFree = append(h.holdFree, rec)
+		return
+	}
+	app.am.ReturnContainers(unit, mc, n)
+	for unit >= len(app.reqCount) {
+		app.reqCount = append(app.reqCount, 0)
+	}
+	if app.reqCount[unit] == 0 {
+		rec.count = 0 // rec now just marks the (app, unit) pair
+		h.reqPend = append(h.reqPend, rec)
+	} else {
+		rec.app = nil
+		h.holdFree = append(h.holdFree, rec)
+	}
+	app.reqCount[unit] += n
+	if !h.reqArmed {
+		h.reqArmed = true
+		h.eng.PostFunc(0, h.flushRedemand)
+	}
+}
+
+// flushRedemand issues the deferred re-demands of one instant, one
+// DemandUpdate per (app, unit), and recycles the hold records.
+func (h *harness) flushRedemand() {
+	h.reqArmed = false
+	for _, rec := range h.reqPend {
+		app, unit := rec.app, rec.unit
+		n := app.reqCount[unit]
+		app.reqCount[unit] = 0
+		if app.pendingReq[unit] == 0 {
+			app.pendingReq[unit] = h.eng.Now()
+		}
+		app.am.Request(unit, resource.LocalityHint{Type: resource.LocalityCluster, Count: n})
+		rec.app = nil
+		h.holdFree = append(h.holdFree, rec)
+	}
+	h.reqPend = h.reqPend[:0]
+}

@@ -11,8 +11,8 @@ package scale
 // BENCH_scale.json.
 
 import (
-	"fmt"
 	"hash/fnv"
+	"strconv"
 
 	"repro/internal/appmaster"
 	"repro/internal/gateway"
@@ -38,6 +38,11 @@ func DefaultGatewayConfig() Config {
 	c.GatewayHotSharePct = 30
 	c.GatewayServicePct = 20
 	c.CheckInvariants = true
+	// Most gateway jobs live a few seconds; a 10s safety-sync cadence made
+	// the periodic full state exchange a per-job cost instead of a rare
+	// repair path. 30s keeps the safety net (long-lived jobs still sync)
+	// at production-sane overhead.
+	c.FullSyncEvery = 30 * sim.Second
 	return c.WithMasterFailovers(1)
 }
 
@@ -57,6 +62,9 @@ func SmokeGatewayConfig() Config {
 // completed (classic mode), or every submission issued and settled to
 // completed-or-shed (gateway mode).
 func (h *harness) workloadDone() bool {
+	if h.cfg.Churn {
+		return false // steady state: the horizon is the only exit
+	}
 	if h.gw != nil {
 		return h.gwSubmitted >= h.cfg.GatewaySubmissions && h.gw.Drained()
 	}
@@ -82,17 +90,32 @@ func (h *harness) scheduleSubmissions() {
 			class = gateway.ClassService
 		}
 		h.gw.Submit(gateway.Job{
-			ID:     fmt.Sprintf("gw-%06d", i),
-			Tenant: fmt.Sprintf("u-%07d", idx),
+			ID:     gwName("gw-", i, 6),
+			Tenant: gwName("u-", idx, 7),
 			Class:  class,
 		})
 		h.gwSubmitted++
 		if h.gwSubmitted < cfg.GatewaySubmissions {
 			at := start + sim.Time(int64(cfg.ArrivalWindow)*int64(h.gwSubmitted)/int64(cfg.GatewaySubmissions))
-			h.eng.At(at, next)
+			h.eng.PostFunc(at-h.eng.Now(), next)
 		}
 	}
-	h.eng.At(start, next)
+	h.eng.PostFunc(start-h.eng.Now(), next)
+}
+
+// gwName builds "<prefix><zero-padded n>" with one allocation (the open-loop
+// generator mints two names per submission; fmt.Sprintf cost double and was
+// visible in the per-admission allocation budget).
+func gwName(prefix string, n, width int) string {
+	var num [12]byte
+	s := strconv.AppendInt(num[:0], int64(n), 10)
+	var buf [24]byte
+	b := append(buf[:0], prefix...)
+	for i := len(s); i < width; i++ {
+		b = append(b, '0')
+	}
+	b = append(b, s...)
+	return string(b)
 }
 
 func (h *harness) pickTenant() int {
@@ -115,6 +138,37 @@ func jobMix(id string) uint64 {
 	return h.Sum64()
 }
 
+// gwUnits returns the shared single-unit definition slice for a (priority,
+// size) combination — jobs never mutate their unit definitions, and both
+// the AM and the master copy what they keep, so a handful of shared
+// templates replaces one slice allocation per job. Multi-unit
+// configurations fall back to per-job slices.
+func (h *harness) gwUnits(prio, sizeIdx int) []resource.ScheduleUnit {
+	if h.cfg.UnitsPerApp != 1 {
+		units := make([]resource.ScheduleUnit, 0, h.cfg.UnitsPerApp)
+		for u := 0; u < h.cfg.UnitsPerApp; u++ {
+			units = append(units, resource.ScheduleUnit{
+				ID: u + 1, Priority: prio, Size: unitSize(sizeIdx + u),
+				MaxCount: h.cfg.ContainersPerUnit,
+			})
+		}
+		return units
+	}
+	key := prio*3 + sizeIdx
+	if h.gwUnitTmpl == nil {
+		h.gwUnitTmpl = make(map[int][]resource.ScheduleUnit)
+	}
+	if t := h.gwUnitTmpl[key]; t != nil {
+		return t
+	}
+	t := []resource.ScheduleUnit{{
+		ID: 1, Priority: prio, Size: unitSize(sizeIdx),
+		MaxCount: h.cfg.ContainersPerUnit,
+	}}
+	h.gwUnitTmpl[key] = t
+	return t
+}
+
 // spawnGatewayJob starts the application master for one registered job —
 // the gateway's OnRegistered callback. The job runs the same churn as the
 // classic workload: request with a locality mix, hold, return, re-request
@@ -128,32 +182,29 @@ func (h *harness) spawnGatewayJob(j gateway.Job) {
 	if j.Class == gateway.ClassService {
 		prio = 1
 	}
-	units := make([]resource.ScheduleUnit, 0, cfg.UnitsPerApp)
-	for u := 0; u < cfg.UnitsPerApp; u++ {
-		units = append(units, resource.ScheduleUnit{
-			ID:       u + 1,
-			Priority: prio,
-			Size:     unitSize(int((mix >> 8) % 3)),
-			MaxCount: cfg.ContainersPerUnit,
-		})
-	}
+	sizeIdx := int((mix >> 8) % 3)
+	units := h.gwUnits(prio, sizeIdx)
 	app := &scaleApp{
 		h:          h,
 		name:       j.ID,
 		remaining:  cfg.UnitsPerApp * cfg.ContainersPerUnit,
-		pendingReq: make(map[int]sim.Time, cfg.UnitsPerApp),
+		pendingReq: make([]sim.Time, cfg.UnitsPerApp+1),
 	}
 	h.apps = append(h.apps, app)
+	fullSync := cfg.FullSyncEvery
+	if fullSync == 0 {
+		fullSync = 10 * sim.Second
+	}
 	app.am = appmaster.New(appmaster.Config{
 		App: j.ID, QuotaGroup: j.Class.QuotaGroup(), Units: units,
-		FullSyncInterval: 10 * sim.Second,
+		FullSyncInterval: fullSync,
 	}, h.eng, h.net, h.top, appmaster.Callbacks{
 		OnGrant:  app.onGrant,
 		OnRevoke: app.onRevoke,
 	})
 	machines := h.top.Machines()
 	racks := h.top.Racks()
-	h.eng.After(sim.Millisecond, func() {
+	h.eng.PostFunc(sim.Millisecond, func() {
 		for u := 1; u <= cfg.UnitsPerApp; u++ {
 			var hints []resource.LocalityHint
 			rest := cfg.ContainersPerUnit

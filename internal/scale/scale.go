@@ -55,6 +55,13 @@ type Config struct {
 	HoldTime      sim.Time `json:"hold_time_us"`
 	ArrivalWindow sim.Time `json:"arrival_window_us"`
 
+	// FullSyncEvery is the application masters' periodic FullDemandSync
+	// safety period (0 takes the classic 10s default). The steady-state
+	// churn section widens it: the safety sync repairs loss, and the
+	// lossless benchmark network makes a 10s cadence pure reconciliation
+	// overhead.
+	FullSyncEvery sim.Time `json:"full_sync_every_us,omitempty"`
+
 	// FailoverEvery crashes a random machine at this period (0 disables);
 	// the machine restarts after FailoverDowntime. Downtime must exceed
 	// the master's heartbeat timeout for the crash to surface as a
@@ -80,6 +87,14 @@ type Config struct {
 	// Horizon hard-stops the simulation even if apps are still running.
 	Horizon sim.Time `json:"horizon_us"`
 	Seed    int64    `json:"seed"`
+
+	// Churn switches to the steady-state churn benchmark (see churn.go):
+	// apps never complete — each returned container is immediately
+	// re-demanded — and measurement starts only after ChurnWarmup, running
+	// for ChurnMeasure of virtual time (Horizon should equal their sum).
+	Churn        bool     `json:"churn,omitempty"`
+	ChurnWarmup  sim.Time `json:"churn_warmup_us,omitempty"`
+	ChurnMeasure sim.Time `json:"churn_measure_us,omitempty"`
 
 	// LegacyScan replays the workload against the original linear-scan
 	// locality tree (the pre-optimization baseline).
@@ -248,6 +263,11 @@ type Result struct {
 	MessagesPerAdmission float64 `json:"messages_per_admission,omitempty"`
 	// GatewayDecisions is the full decision stream (parity tests only).
 	GatewayDecisions []gateway.Decision `json:"-"`
+	// VsRoundsSpeedup is the churn section's decisions/s over the best
+	// recorded rounds-path section (parallel-* / optimized) of the -prev
+	// baseline — the "≥1.5× on this container" claim, measured, not
+	// asserted. scalesim fills it when -churn runs with -prev.
+	VsRoundsSpeedup float64 `json:"vs_rounds_speedup,omitempty"`
 	// Prev tags single-run payloads with the previous-baseline diff (see
 	// PrevDiff); scalesim fills it when -prev is given.
 	Prev *PrevDiff `json:"prev_diff,omitempty"`
@@ -278,6 +298,15 @@ type PrefixLatency struct {
 	Apps   int                `json:"apps"`
 	MeanMS map[string]float64 `json:"latency_mean_ms"`
 	MaxMS  map[string]float64 `json:"latency_max_ms"`
+	// RoundWindowMS records each section's scheduling-round width
+	// (master.Config.BatchWindow). Sections with a positive window buffer
+	// demand and returns for up to one window before scheduling, so their
+	// prefix latency carries that configured batching delay on top of pure
+	// scheduling time — e.g. the parallel sections' ~13 ms means next to
+	// the serial sections' sub-millisecond ones are the 20 ms round window,
+	// not a scheduling regression. The compare output attributes this
+	// explicitly so the gap cannot read as one.
+	RoundWindowMS map[string]float64 `json:"round_window_ms,omitempty"`
 }
 
 // Budgets are the perf regression gates scalesim enforces (and records in
@@ -289,6 +318,14 @@ type Budgets struct {
 	MaxMessagesPerGrant     float64 `json:"max_messages_per_grant"`
 	MaxAllocsPerAdmission   float64 `json:"max_allocs_per_admission,omitempty"`
 	MaxMessagesPerAdmission float64 `json:"max_messages_per_admission,omitempty"`
+	// MaxAllocsPerDecisionChurn gates the steady-state churn section, which
+	// excludes arrival/teardown costs and therefore holds a much tighter
+	// line than the whole-run per-decision budget.
+	MaxAllocsPerDecisionChurn float64 `json:"max_allocs_per_decision_churn,omitempty"`
+	// MaxAllocsPerDecisionFailover gates the master-failover scenario,
+	// whose decisions carry the recovery waves (full soft-state rebuilds,
+	// re-registration storms) on top of normal scheduling.
+	MaxAllocsPerDecisionFailover float64 `json:"max_allocs_per_decision_failover,omitempty"`
 }
 
 // CheckBudgets returns the budget violations of this run (nil when within
@@ -310,9 +347,22 @@ func (r *Result) CheckBudgets(b Budgets) []string {
 		}
 		return bad
 	}
-	if b.MaxAllocsPerDecision > 0 && r.AllocsPerDecision > b.MaxAllocsPerDecision {
-		bad = append(bad, fmt.Sprintf("allocs/decision %.1f exceeds budget %.1f",
-			r.AllocsPerDecision, b.MaxAllocsPerDecision))
+	switch {
+	case r.Config.Churn:
+		if b.MaxAllocsPerDecisionChurn > 0 && r.AllocsPerDecision > b.MaxAllocsPerDecisionChurn {
+			bad = append(bad, fmt.Sprintf("churn allocs/decision %.1f exceeds budget %.1f",
+				r.AllocsPerDecision, b.MaxAllocsPerDecisionChurn))
+		}
+	case len(r.Config.MasterFailoverAt) > 0:
+		if b.MaxAllocsPerDecisionFailover > 0 && r.AllocsPerDecision > b.MaxAllocsPerDecisionFailover {
+			bad = append(bad, fmt.Sprintf("failover allocs/decision %.1f exceeds budget %.1f",
+				r.AllocsPerDecision, b.MaxAllocsPerDecisionFailover))
+		}
+	default:
+		if b.MaxAllocsPerDecision > 0 && r.AllocsPerDecision > b.MaxAllocsPerDecision {
+			bad = append(bad, fmt.Sprintf("allocs/decision %.1f exceeds budget %.1f",
+				r.AllocsPerDecision, b.MaxAllocsPerDecision))
+		}
 	}
 	if b.MaxMessagesPerGrant > 0 && r.Grants > 0 {
 		if mpg := float64(r.MessagesSent) / float64(r.Grants); mpg > b.MaxMessagesPerGrant {
@@ -365,9 +415,13 @@ type scaleApp struct {
 	name      string
 	remaining int
 	done      bool
-	// pendingReq records, per unit, when the oldest unanswered demand was
-	// sent, for the demand-to-grant latency histogram.
-	pendingReq map[int]sim.Time
+	// pendingReq records, per unit (dense, 0 = none pending), when the
+	// oldest unanswered demand was sent, for the demand-to-grant latency
+	// histogram.
+	pendingReq []sim.Time
+	// reqCount accumulates one instant's churn re-demand per unit, so the
+	// expiries of several machines' containers merge into one DemandUpdate.
+	reqCount []int
 }
 
 type harness struct {
@@ -377,9 +431,11 @@ type harness struct {
 	top    *topology.Topology
 	agents []*agent.Agent
 	// gw is the submission front door (gateway mode only); gwSubmitted
-	// counts load-generator submissions issued so far.
+	// counts load-generator submissions issued so far; gwUnitTmpl caches
+	// shared single-unit definition slices (see gwUnits).
 	gw          *gateway.Gateway
 	gwSubmitted int
+	gwUnitTmpl  map[int][]resource.ScheduleUnit
 	// machineCrashes counts injected machine failovers, bounding the
 	// blacklist slice of the checkpoint write budget.
 	machineCrashes int
@@ -396,6 +452,14 @@ type harness struct {
 	revokes   uint64
 	completed int
 	names     []string
+
+	// Churn-mode hold-expiry pool (see churn.go): holdFn is bound once and
+	// every grant borrows a pooled record for its closure-free hold timer;
+	// reqPend defers one instant's re-demands past its returns.
+	holdFn   func(any)
+	holdFree []*holdRec
+	reqPend  []*holdRec
+	reqArmed bool
 
 	// Master-failover bookkeeping. crashAt is the last crash instant;
 	// pauseAt arms the scheduling-pause measurement (cleared by the first
@@ -524,6 +588,7 @@ func Run(cfg Config) (*Result, error) {
 		schedPause: reg.Histogram("scale.sched_pause_ms"),
 		appLat:     make(map[string]AppLat, cfg.Apps),
 	}
+	h.holdFn = h.holdExpire
 	if len(cfg.MasterFailoverAt) > 0 {
 		mcfg.OnRecovered = h.onRecovered
 	}
@@ -616,6 +681,26 @@ func Run(cfg Config) (*Result, error) {
 	runtime.ReadMemStats(&before)
 	start := time.Now()
 	slice := 500 * sim.Millisecond
+	evBase, msgBase, batchBase := uint64(0), uint64(0), uint64(0)
+	if cfg.Churn {
+		// Warmup: arrivals plus enough hold cycles to reach steady state.
+		// Everything measured — decisions, allocations, messages, events,
+		// latency — restarts at the warmup boundary, so the section reports
+		// pure steady-state cost.
+		for eng.Now() < cfg.ChurnWarmup {
+			eng.Run(eng.Now() + slice)
+			if cfg.WallBudget > 0 && time.Since(start) > cfg.WallBudget {
+				break
+			}
+		}
+		h.grants, h.revokes = 0, 0
+		h.latency.Reset()
+		evBase = eng.Fired()
+		s := net.Stats()
+		msgBase, batchBase = s.Sent, s.Batches
+		runtime.ReadMemStats(&before)
+		start = time.Now()
+	}
 	for eng.Now() < cfg.Horizon && !h.workloadDone() {
 		eng.Run(eng.Now() + slice)
 		if cfg.WallBudget > 0 && time.Since(start) > cfg.WallBudget {
@@ -658,9 +743,9 @@ func Run(cfg Config) (*Result, error) {
 		LatencyP50MS:   h.latency.Quantile(0.5),
 		LatencyP99MS:   h.latency.Quantile(0.99),
 		LatencyMaxMS:   h.latency.Max(),
-		EventsFired:    eng.Fired(),
-		MessagesSent:   net.Stats().Sent,
-		MessageBatches: net.Stats().Batches,
+		EventsFired:    eng.Fired() - evBase,
+		MessagesSent:   net.Stats().Sent - msgBase,
+		MessageBatches: net.Stats().Batches - batchBase,
 		CompletedApps:  h.completed,
 		SimSeconds:     eng.Now().Seconds(),
 	}
@@ -670,7 +755,7 @@ func Run(cfg Config) (*Result, error) {
 	}
 	res.Completed = h.names
 	res.AppLatency = h.appLat
-	res.Truncated = !h.workloadDone()
+	res.Truncated = !h.workloadDone() && !cfg.Churn
 	if gwMode {
 		res.Units = h.completed * cfg.UnitsPerApp
 		res.Gateway = h.gw.Snapshot()
@@ -781,11 +866,13 @@ func commonPrefixLatency(sections map[string]*Result) *PrefixLatency {
 		return nil
 	}
 	pl := &PrefixLatency{
-		Apps:   len(common),
-		MeanMS: make(map[string]float64, len(sections)),
-		MaxMS:  make(map[string]float64, len(sections)),
+		Apps:          len(common),
+		MeanMS:        make(map[string]float64, len(sections)),
+		MaxMS:         make(map[string]float64, len(sections)),
+		RoundWindowMS: make(map[string]float64, len(sections)),
 	}
 	for name, r := range sections {
+		pl.RoundWindowMS[name] = float64(r.Config.RoundWindow) / float64(sim.Millisecond)
 		var sum float64
 		var n int
 		var max float64
@@ -834,11 +921,15 @@ func (h *harness) spawnApp(idx int) {
 		h:          h,
 		name:       name,
 		remaining:  cfg.UnitsPerApp * cfg.ContainersPerUnit,
-		pendingReq: make(map[int]sim.Time, cfg.UnitsPerApp),
+		pendingReq: make([]sim.Time, cfg.UnitsPerApp+1),
 	}
 	h.apps = append(h.apps, app)
+	fullSync := cfg.FullSyncEvery
+	if fullSync == 0 {
+		fullSync = 10 * sim.Second
+	}
 	app.am = appmaster.New(appmaster.Config{
-		App: name, Units: units, FullSyncInterval: 10 * sim.Second,
+		App: name, Units: units, FullSyncInterval: fullSync,
 	}, h.eng, h.net, h.top, appmaster.Callbacks{
 		OnGrant:  app.onGrant,
 		OnRevoke: app.onRevoke,
@@ -874,7 +965,7 @@ func (h *harness) spawnApp(idx int) {
 	})
 }
 
-func (a *scaleApp) onGrant(unitID int, machine string, count int) {
+func (a *scaleApp) onGrant(unitID int, machine int32, count int) {
 	h := a.h
 	h.grants += uint64(count)
 	if h.pauseAt != 0 && h.eng.Now()-h.pauseAt > sim.Millisecond {
@@ -883,17 +974,30 @@ func (a *scaleApp) onGrant(unitID int, machine string, count int) {
 		h.schedPause.Observe(float64(h.eng.Now()-h.pauseAt) / float64(sim.Millisecond))
 		h.pauseAt = 0
 	}
-	if at, ok := a.pendingReq[unitID]; ok {
+	if at := a.pendingReq[unitID]; at != 0 {
 		ms := float64(h.eng.Now()-at) / float64(sim.Millisecond)
 		h.latency.Observe(ms)
-		al := h.appLat[a.name]
-		al.SumMS += ms
-		al.N++
-		if ms > al.MaxMS {
-			al.MaxMS = ms
+		if !h.cfg.Churn {
+			// Per-app latency feeds the cross-run common-prefix comparison;
+			// the churn section has no completion prefix to compare, so it
+			// skips the per-grant map update.
+			al := h.appLat[a.name]
+			al.SumMS += ms
+			al.N++
+			if ms > al.MaxMS {
+				al.MaxMS = ms
+			}
+			h.appLat[a.name] = al
 		}
-		h.appLat[a.name] = al
-		delete(a.pendingReq, unitID)
+		a.pendingReq[unitID] = 0
+	}
+	if h.cfg.Churn {
+		// Steady-state cycle: hold, then return-and-re-demand forever,
+		// through a pooled record on the closure-free timer path.
+		rec := h.getHold()
+		rec.app, rec.unit, rec.machine, rec.count = a, unitID, machine, count
+		h.eng.Post(h.cfg.HoldTime, h.holdFn, rec)
+		return
 	}
 	// Hold the containers, then return them; revoked containers skip the
 	// return (they re-enter via onRevoke's re-request).
@@ -919,12 +1023,12 @@ func (a *scaleApp) onGrant(unitID int, machine string, count int) {
 	})
 }
 
-func (a *scaleApp) onRevoke(unitID int, machine string, count int) {
+func (a *scaleApp) onRevoke(unitID int, machine int32, count int) {
 	h := a.h
 	h.revokes += uint64(count)
 	// Failover took the containers mid-hold: restate the demand so the
 	// churn completes (paper §3.1 step 7 — the JobMaster re-requests).
-	if _, ok := a.pendingReq[unitID]; !ok {
+	if a.pendingReq[unitID] == 0 {
 		a.pendingReq[unitID] = h.eng.Now()
 	}
 	a.am.Request(unitID, resource.LocalityHint{Type: resource.LocalityCluster, Count: count})

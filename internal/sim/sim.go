@@ -3,6 +3,15 @@
 // application masters, fault injectors) is an event handler driven by one
 // virtual clock; the control-plane code under test is real, only time and the
 // machines are simulated. A seeded RNG makes every experiment reproducible.
+//
+// The event queue is a calendar queue: a ring of fixed-width time slots,
+// each holding FIFO groups per distinct firing instant, with a small binary
+// heap for events beyond the ring's horizon. Scheduling an event is O(1)
+// (slot index + group append — sequence numbers are monotone, so appends
+// are already in order) and firing pays O(groups-in-slot) instead of the
+// O(log pending) sift of a global heap — at paper scale the pending set is
+// dominated by a hundred thousand container hold timers, which made every
+// heap operation walk a 17-level sift path.
 package sim
 
 import (
@@ -45,61 +54,110 @@ type event struct {
 	gone bool // set true when the event was cancelled
 }
 
-// eventQueue is a hand-rolled binary min-heap of events ordered by
-// (at, seq). Events are pooled on the engine's free list and recycled after
-// firing, so steady-state scheduling allocates only the handler closure.
-type eventQueue []*event
+// Calendar-queue geometry: 1024µs (~1ms) slots, 8192 slots — an 8.4s
+// horizon that comfortably covers delivery latencies, scheduling rounds,
+// heartbeats and container hold timers; longer-range timers (full syncs,
+// decay sweeps) wait in the far heap and migrate as the ring advances.
+const (
+	slotShift = 10
+	ringSlots = 8192
+	ringMask  = ringSlots - 1
+)
 
-func (q eventQueue) less(i, j int) bool {
+// timeGroup is the FIFO of events firing at one exact instant. Sequence
+// numbers are issued monotonically, so direct scheduling appends in order;
+// only far-heap migration (old seq entering a young slot) needs the
+// insertion path.
+type timeGroup struct {
+	at     Time
+	next   int // firing cursor
+	events []*event
+}
+
+// ringSlot holds one slot's groups, reused across ring laps.
+type ringSlot struct {
+	groups []timeGroup
+}
+
+// addGroup returns the slot's group for instant at, reviving a truncated
+// slot (and its events capacity) when available.
+func (s *ringSlot) group(at Time) *timeGroup {
+	for i := range s.groups {
+		if s.groups[i].at == at {
+			return &s.groups[i]
+		}
+	}
+	if len(s.groups) < cap(s.groups) {
+		s.groups = s.groups[:len(s.groups)+1]
+		g := &s.groups[len(s.groups)-1]
+		g.at = at
+		g.next = 0
+		g.events = g.events[:0]
+		return g
+	}
+	s.groups = append(s.groups, timeGroup{at: at})
+	return &s.groups[len(s.groups)-1]
+}
+
+// reset truncates the slot for its next ring lap, keeping capacities.
+func (s *ringSlot) reset() {
+	for i := range s.groups {
+		g := &s.groups[i]
+		for j := range g.events {
+			g.events[j] = nil
+		}
+		g.events = g.events[:0]
+		g.next = 0
+	}
+	s.groups = s.groups[:0]
+}
+
+// farQueue is the min-heap of events beyond the ring horizon, ordered by
+// (at, seq).
+type farQueue []*event
+
+func (q farQueue) less(i, j int) bool {
 	if q[i].at != q[j].at {
 		return q[i].at < q[j].at
 	}
 	return q[i].seq < q[j].seq
 }
 
-func (q eventQueue) siftUp(i int) {
+func (q *farQueue) push(e *event) {
+	*q = append(*q, e)
+	i := len(*q) - 1
+	h := *q
 	for i > 0 {
 		parent := (i - 1) / 2
-		if !q.less(i, parent) {
-			return
+		if !h.less(i, parent) {
+			break
 		}
-		q[i], q[parent] = q[parent], q[i]
+		h[i], h[parent] = h[parent], h[i]
 		i = parent
 	}
 }
 
-func (q eventQueue) siftDown(i int) {
-	n := len(q)
+func (q *farQueue) pop() *event {
+	h := *q
+	e := h[0]
+	n := len(h) - 1
+	h[0] = h[n]
+	h[n] = nil
+	*q = h[:n]
+	i := 0
 	for {
 		least := i
-		if l := 2*i + 1; l < n && q.less(l, least) {
+		if l := 2*i + 1; l < n && h.less(l, least) {
 			least = l
 		}
-		if r := 2*i + 2; r < n && q.less(r, least) {
+		if r := 2*i + 2; r < n && h.less(r, least) {
 			least = r
 		}
 		if least == i {
-			return
+			break
 		}
-		q[i], q[least] = q[least], q[i]
+		h[i], h[least] = h[least], h[i]
 		i = least
-	}
-}
-
-func (q *eventQueue) push(e *event) {
-	*q = append(*q, e)
-	q.siftUp(len(*q) - 1)
-}
-
-func (q *eventQueue) pop() *event {
-	old := *q
-	e := old[0]
-	n := len(old) - 1
-	old[0] = old[n]
-	old[n] = nil
-	*q = old[:n]
-	if n > 0 {
-		q.siftDown(0)
 	}
 	return e
 }
@@ -107,13 +165,16 @@ func (q *eventQueue) pop() *event {
 // Engine is a single-threaded discrete-event simulator. It is not safe for
 // concurrent use: all handlers run on the caller's goroutine inside Run.
 type Engine struct {
-	now    Time
-	queue  eventQueue
-	seq    uint64
-	rng    *rand.Rand
-	fired  uint64
-	halted bool
-	pool   []*event // recycled event structs
+	now     Time
+	nowSlot int64 // slot index of now (ring coverage starts here)
+	ring    [ringSlots]ringSlot
+	inRing  int // events currently queued in the ring
+	far     farQueue
+	seq     uint64
+	rng     *rand.Rand
+	fired   uint64
+	halted  bool
+	pool    []*event // recycled event structs
 }
 
 // NewEngine returns an engine whose RNG is seeded with seed, making runs
@@ -134,6 +195,47 @@ func (e *Engine) Rand() *rand.Rand { return e.rng }
 // no-op.
 type Cancel func()
 
+func (e *Engine) getEvent() *event {
+	if n := len(e.pool); n > 0 {
+		ev := e.pool[n-1]
+		e.pool[n-1] = nil
+		e.pool = e.pool[:n-1]
+		return ev
+	}
+	return &event{}
+}
+
+// schedule files ev into the ring or the far heap.
+func (e *Engine) schedule(ev *event) {
+	slot := int64(ev.at) >> slotShift
+	if slot-e.nowSlot >= ringSlots {
+		e.far.push(ev)
+		return
+	}
+	g := e.ring[slot&ringMask].group(ev.at)
+	g.events = append(g.events, ev)
+	e.inRing++
+}
+
+// migrate moves far events whose slot entered the ring horizon. Their
+// sequence numbers predate anything scheduled into the slot since, so they
+// insert by seq rather than appending.
+func (e *Engine) migrate() {
+	horizon := Time((e.nowSlot + ringSlots) << slotShift)
+	for len(e.far) > 0 && e.far[0].at < horizon {
+		ev := e.far.pop()
+		g := e.ring[(int64(ev.at)>>slotShift)&ringMask].group(ev.at)
+		i := len(g.events)
+		for i > g.next && g.events[i-1].seq > ev.seq {
+			i--
+		}
+		g.events = append(g.events, nil)
+		copy(g.events[i+1:], g.events[i:])
+		g.events[i] = ev
+		e.inRing++
+	}
+}
+
 // At schedules fn at absolute virtual time at. Scheduling in the past (or
 // present) fires the event at the current time but after already-queued
 // events for that time, preserving causal order.
@@ -141,17 +243,10 @@ func (e *Engine) At(at Time, fn func()) Cancel {
 	if at < e.now {
 		at = e.now
 	}
-	var ev *event
-	if n := len(e.pool); n > 0 {
-		ev = e.pool[n-1]
-		e.pool[n-1] = nil
-		e.pool = e.pool[:n-1]
-		*ev = event{at: at, seq: e.seq, fn: fn}
-	} else {
-		ev = &event{at: at, seq: e.seq, fn: fn}
-	}
+	ev := e.getEvent()
+	*ev = event{at: at, seq: e.seq, fn: fn}
 	e.seq++
-	e.queue.push(ev)
+	e.schedule(ev)
 	// The cancel closure pins the event's identity via seq: once the event
 	// fires and the struct is recycled for a later schedule, a stale cancel
 	// becomes a no-op instead of killing the new occupant.
@@ -182,22 +277,36 @@ func (e *Engine) Post(d Time, fn func(any), arg any) {
 	if d < 0 || at < e.now {
 		at = e.now
 	}
-	var ev *event
-	if n := len(e.pool); n > 0 {
-		ev = e.pool[n-1]
-		e.pool[n-1] = nil
-		e.pool = e.pool[:n-1]
-		*ev = event{at: at, seq: e.seq, fnA: fn, arg: arg}
-	} else {
-		ev = &event{at: at, seq: e.seq, fnA: fn, arg: arg}
-	}
+	ev := e.getEvent()
+	*ev = event{at: at, seq: e.seq, fnA: fn, arg: arg}
 	e.seq++
-	e.queue.push(ev)
+	e.schedule(ev)
 }
 
 // callFunc adapts a plain func() to the Post signature, so periodic timers
 // reschedule without allocating a cancel closure per tick.
 func callFunc(a any) { a.(func())() }
+
+// everyRec carries one periodic timer's state through the closure-free
+// Post path: one record and one cancel closure per Every call, instead of
+// a closure per tick.
+type everyRec struct {
+	e        *Engine
+	interval Time
+	fn       func()
+	stopped  bool
+}
+
+func everyTick(a any) {
+	r := a.(*everyRec)
+	if r.stopped {
+		return
+	}
+	r.fn()
+	if !r.stopped && !r.e.halted {
+		r.e.Post(r.interval, everyTick, r)
+	}
+}
 
 // PostFunc schedules fn after delay d with no cancellation handle: After
 // without the per-call Cancel closure, for high-volume fire-and-forget
@@ -210,19 +319,9 @@ func (e *Engine) Every(interval Time, fn func()) Cancel {
 	if interval <= 0 {
 		panic(fmt.Sprintf("sim: non-positive interval %d", interval))
 	}
-	stopped := false
-	var tick func()
-	tick = func() {
-		if stopped {
-			return
-		}
-		fn()
-		if !stopped && !e.halted {
-			e.Post(interval, callFunc, tick)
-		}
-	}
-	e.Post(interval, callFunc, tick)
-	return func() { stopped = true }
+	r := &everyRec{e: e, interval: interval, fn: fn}
+	e.Post(interval, everyTick, r)
+	return func() { r.stopped = true }
 }
 
 // Run executes events with firing times <= until, then advances the clock
@@ -232,33 +331,78 @@ func (e *Engine) Run(until Time) uint64 {
 	n := e.run(until)
 	if e.now < until && !e.halted {
 		e.now = until
+		if s := int64(until) >> slotShift; s > e.nowSlot {
+			e.advanceTo(s)
+		}
 	}
 	return n
+}
+
+// advanceTo moves the ring base forward to slot s, migrating far events as
+// the horizon extends. Skipped slots are empty by construction (run drains
+// a slot before advancing past it).
+func (e *Engine) advanceTo(s int64) {
+	e.nowSlot = s
+	e.migrate()
 }
 
 func (e *Engine) run(until Time) uint64 {
 	start := e.fired
 	e.halted = false
-	for len(e.queue) > 0 && !e.halted {
-		next := e.queue[0]
-		if next.at > until {
-			break
-		}
-		e.queue.pop()
-		gone, at := next.gone, next.at
-		fn, fnA, arg := next.fn, next.fnA, next.arg
-		next.fn, next.fnA, next.arg = nil, nil, nil
-		e.pool = append(e.pool, next)
-		if gone {
+	untilSlot := int64(until) >> slotShift
+	for !e.halted {
+		if e.inRing == 0 {
+			// Nothing inside the horizon: jump straight to the next far
+			// event (or finish).
+			if len(e.far) == 0 || e.far[0].at > until {
+				break
+			}
+			e.advanceTo(int64(e.far[0].at) >> slotShift)
 			continue
 		}
-		e.now = at
-		e.fired++
-		if fnA != nil {
-			fnA(arg)
-		} else {
-			fn()
+		slot := &e.ring[e.nowSlot&ringMask]
+		// Fire the slot's groups in (at, seq) order: repeatedly pick the
+		// earliest instant among unfinished groups. Groups are few (distinct
+		// instants inside ~1ms) and new same-slot arrivals join the scan.
+		for {
+			var g *timeGroup
+			for i := range slot.groups {
+				c := &slot.groups[i]
+				if c.next < len(c.events) && (g == nil || c.at < g.at) {
+					g = c
+				}
+			}
+			if g == nil || g.at > until {
+				break
+			}
+			ev := g.events[g.next]
+			g.events[g.next] = nil
+			g.next++
+			e.inRing--
+			gone, at := ev.gone, ev.at
+			fn, fnA, arg := ev.fn, ev.fnA, ev.arg
+			ev.fn, ev.fnA, ev.arg = nil, nil, nil
+			e.pool = append(e.pool, ev)
+			if gone {
+				continue
+			}
+			e.now = at
+			e.fired++
+			if fnA != nil {
+				fnA(arg)
+			} else {
+				fn()
+			}
+			if e.halted {
+				return e.fired - start
+			}
 		}
+		// Slot drained up to until: advance, or stop at the horizon.
+		if e.nowSlot >= untilSlot {
+			break
+		}
+		slot.reset()
+		e.advanceTo(e.nowSlot + 1)
 	}
 	return e.fired - start
 }
@@ -268,7 +412,7 @@ func (e *Engine) run(until Time) uint64 {
 func (e *Engine) Halt() { e.halted = true }
 
 // Pending returns the number of queued (possibly cancelled) events.
-func (e *Engine) Pending() int { return len(e.queue) }
+func (e *Engine) Pending() int { return e.inRing + len(e.far) }
 
 // Fired returns the total number of events executed so far.
 func (e *Engine) Fired() uint64 { return e.fired }

@@ -8,6 +8,7 @@ import (
 	"fmt"
 	"sort"
 
+	"repro/internal/ident"
 	"repro/internal/resource"
 )
 
@@ -16,6 +17,8 @@ type Machine struct {
 	Name     string
 	Rack     string
 	Capacity resource.Vector
+	// id is the dense topology ID, filled by New (ID() exposes it).
+	id int32
 	// Disks is the number of local data disks; used by the DFS placer and
 	// the sort workload's I/O model.
 	Disks int
@@ -27,12 +30,26 @@ type Machine struct {
 }
 
 // Topology is an immutable snapshot of the cluster layout.
+//
+// Besides the name-based accessors, every machine and rack carries a dense
+// integer ID — its index in the sorted name list — so hot paths can keep
+// per-machine state in slices instead of string-keyed maps. Because the IDs
+// derive from the sorted names, ID order and sorted-name order coincide,
+// and every process building the same topology assigns the same IDs (which
+// is what makes machine IDs safe to carry on the control-plane wire).
 type Topology struct {
 	machines map[string]*Machine
 	racks    map[string][]string // rack -> sorted machine names
 	names    []string            // sorted machine names
 	rackList []string            // sorted rack names
 	total    resource.Vector
+
+	machTbl   ident.Table // machine name -> dense ID (sorted order)
+	rackTbl   ident.Table // rack name -> dense ID (sorted order)
+	byID      []*Machine  // machine ID -> machine
+	rackOfID  []int32     // machine ID -> rack ID
+	rackIDs   [][]int32   // rack ID -> sorted machine IDs
+	rackNames []string    // alias of rackList (ID order)
 }
 
 // New builds a topology from a machine list. Machine names must be unique.
@@ -64,6 +81,23 @@ func New(machines []Machine) (*Topology, error) {
 		t.rackList = append(t.rackList, r)
 	}
 	sort.Strings(t.rackList)
+	// Dense IDs: machine/rack ID == index into the sorted name lists.
+	for _, r := range t.rackList {
+		t.rackTbl.Intern(r)
+	}
+	t.rackNames = t.rackList
+	t.rackIDs = make([][]int32, len(t.rackList))
+	t.byID = make([]*Machine, len(t.names))
+	t.rackOfID = make([]int32, len(t.names))
+	for _, name := range t.names {
+		id := t.machTbl.Intern(name)
+		m := t.machines[name]
+		m.id = id
+		t.byID[id] = m
+		rid := t.rackTbl.ID(m.Rack)
+		t.rackOfID[id] = rid
+		t.rackIDs[rid] = append(t.rackIDs[rid], id)
+	}
 	return t, nil
 }
 
@@ -113,6 +147,10 @@ func (t *Topology) Machine(name string) *Machine {
 	return t.machines[name]
 }
 
+// ID returns the machine's dense topology ID (0 for machines never passed
+// through New — only topology-owned Machine values carry a real ID).
+func (m *Machine) ID() int32 { return m.id }
+
 // RackOf returns the rack of machine name ("" if unknown).
 func (t *Topology) RackOf(name string) string {
 	if m := t.machines[name]; m != nil {
@@ -135,6 +173,37 @@ func (t *Topology) MachinesInRack(rack string) []string { return t.racks[rack] }
 
 // Size returns the machine count.
 func (t *Topology) Size() int { return len(t.names) }
+
+// ---------------------------------------------------------------------------
+// Dense integer IDs (machine/rack ID == index into the sorted name lists)
+// ---------------------------------------------------------------------------
+
+// MachineID returns the dense ID of a machine name, or ident.None when the
+// name is not part of the topology.
+func (t *Topology) MachineID(name string) int32 { return t.machTbl.ID(name) }
+
+// MachineName returns the name of a machine ID (panics on out-of-range IDs,
+// like a slice index).
+func (t *Topology) MachineName(id int32) string { return t.names[id] }
+
+// MachineByID returns the machine for a dense ID.
+func (t *Topology) MachineByID(id int32) *Machine { return t.byID[id] }
+
+// RackID returns the dense ID of a rack name, or ident.None when unknown.
+func (t *Topology) RackID(name string) int32 { return t.rackTbl.ID(name) }
+
+// RackName returns the name of a rack ID.
+func (t *Topology) RackName(id int32) string { return t.rackNames[id] }
+
+// RackIDOf returns the rack ID of a machine ID.
+func (t *Topology) RackIDOf(machine int32) int32 { return t.rackOfID[machine] }
+
+// MachineIDsInRack returns the sorted machine IDs of a rack. The caller
+// must not modify the returned slice.
+func (t *Topology) MachineIDsInRack(rack int32) []int32 { return t.rackIDs[rack] }
+
+// NumRacks returns the rack count; valid rack IDs are [0, NumRacks).
+func (t *Topology) NumRacks() int { return len(t.rackNames) }
 
 // TotalCapacity returns the summed capacity of all machines.
 func (t *Topology) TotalCapacity() resource.Vector { return t.total }

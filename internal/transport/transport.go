@@ -5,11 +5,20 @@
 // (paper §3.1: "we must ensure the idempotency of the handling of duplicated
 // delta messages, which could happen as a result of temporary communication
 // failure").
+//
+// Endpoints are interned: every endpoint name maps to a dense EndpointID at
+// first sight (registration, first send), and routing state — handlers, the
+// down set, in-flight delivery records — is indexed by ID, not hashed by
+// name. Hot senders resolve their peers once (at wiring/hello time) and use
+// the ID forms SendID/SendBatchID; the string forms remain as thin wrappers
+// for setup code and tests. Handlers receive the sender's EndpointID and
+// can recover the name with Name when they need it at a boundary.
 package transport
 
 import (
 	"fmt"
 
+	"repro/internal/ident"
 	"repro/internal/sim"
 )
 
@@ -21,8 +30,16 @@ type Message any
 // protocol-overhead ablation. Messages without Sizer count a nominal size.
 type Sizer interface{ WireSize() int }
 
-// Handler receives messages addressed to an endpoint.
-type Handler func(from string, msg Message)
+// EndpointID is the dense interned ID of one endpoint name on a Net. IDs
+// are per-Net and assigned in first-sight order; None marks "no endpoint".
+type EndpointID int32
+
+// None is the invalid EndpointID.
+const None EndpointID = -1
+
+// Handler receives messages addressed to an endpoint. from identifies the
+// sending endpoint; Name(from) recovers its string name.
+type Handler func(from EndpointID, msg Message)
 
 // Stats aggregates traffic counters, used by the incremental-vs-full
 // protocol ablation. Sent/Delivered/Dropped count logical messages; a
@@ -39,9 +56,10 @@ type Stats struct {
 // Net is the simulated network. All methods must be called from the
 // simulation goroutine.
 type Net struct {
-	eng  *sim.Engine
-	eps  map[string]Handler
-	down map[string]bool
+	eng *sim.Engine
+	tbl ident.Table // endpoint name -> EndpointID
+	eps []Handler   // by EndpointID; nil while unregistered
+	dwn []bool      // by EndpointID
 
 	// Latency is the one-way base delivery latency; Jitter adds a uniform
 	// random extra in [0, Jitter).
@@ -71,7 +89,7 @@ type Net struct {
 
 // delivery is one in-flight message (or batch) on the simulated wire.
 type delivery struct {
-	from, to string
+	from, to EndpointID
 	msg      Message
 	batch    []Message
 }
@@ -87,7 +105,7 @@ func (n *Net) getDelivery() *delivery {
 }
 
 func (n *Net) putDelivery(d *delivery) {
-	d.from, d.to, d.msg, d.batch = "", "", nil, nil
+	d.from, d.to, d.msg, d.batch = None, None, nil, nil
 	n.dpool = append(n.dpool, d)
 }
 
@@ -96,43 +114,63 @@ func (n *Net) putDelivery(d *delivery) {
 func NewNet(eng *sim.Engine) *Net {
 	n := &Net{
 		eng:     eng,
-		eps:     make(map[string]Handler),
-		down:    make(map[string]bool),
 		Latency: 200 * sim.Microsecond,
 	}
 	n.deliverFn = n.deliver
 	return n
 }
 
-// Register installs (or replaces) the handler for endpoint name. Replacing
-// is deliberate: a restarted component re-registers under its old name.
-func (n *Net) Register(name string, h Handler) {
+// Endpoint interns an endpoint name, returning its dense ID. Interning a
+// name does not register a handler; messages to an unregistered ID are
+// dropped on arrival exactly like before.
+func (n *Net) Endpoint(name string) EndpointID {
 	if name == "" {
 		panic("transport: empty endpoint name")
 	}
-	n.eps[name] = h
+	id := EndpointID(n.tbl.Intern(name))
+	for int(id) >= len(n.eps) {
+		n.eps = append(n.eps, nil)
+		n.dwn = append(n.dwn, false)
+	}
+	return id
 }
 
-// Unregister removes an endpoint; in-flight messages to it are dropped on
-// arrival.
-func (n *Net) Unregister(name string) { delete(n.eps, name) }
+// Name returns the string name of an interned endpoint ID.
+func (n *Net) Name(id EndpointID) string { return n.tbl.Name(int32(id)) }
 
-// Registered reports whether an endpoint exists.
-func (n *Net) Registered(name string) bool { _, ok := n.eps[name]; return ok }
+// Register installs (or replaces) the handler for endpoint name and returns
+// its EndpointID. Replacing is deliberate: a restarted component
+// re-registers under its old name (and keeps its ID).
+func (n *Net) Register(name string, h Handler) EndpointID {
+	id := n.Endpoint(name)
+	n.eps[id] = h
+	return id
+}
+
+// Unregister removes an endpoint's handler; in-flight messages to it are
+// dropped on arrival. The name keeps its ID for re-registration.
+func (n *Net) Unregister(name string) {
+	if id := n.tbl.ID(name); id >= 0 {
+		n.eps[id] = nil
+	}
+}
+
+// Registered reports whether an endpoint currently has a handler.
+func (n *Net) Registered(name string) bool {
+	id := n.tbl.ID(name)
+	return id >= 0 && n.eps[id] != nil
+}
 
 // SetDown marks an endpoint unreachable (both directions), simulating a
 // machine halt or network disconnection. Messages to or from a down
 // endpoint are silently dropped, like packets into a dead NIC.
-func (n *Net) SetDown(name string, down bool) {
-	if down {
-		n.down[name] = true
-	} else {
-		delete(n.down, name)
-	}
-}
+func (n *Net) SetDown(name string, down bool) { n.dwn[n.Endpoint(name)] = down }
 
 // IsDown reports whether the endpoint is marked unreachable.
-func (n *Net) IsDown(name string) bool { return n.down[name] }
+func (n *Net) IsDown(name string) bool {
+	id := n.tbl.ID(name)
+	return id >= 0 && n.dwn[id]
+}
 
 // Stats returns a copy of the traffic counters.
 func (n *Net) Stats() Stats { return n.stats }
@@ -147,16 +185,22 @@ func messageSize(msg Message) int {
 	return 64 // nominal header-ish size for unsized messages
 }
 
-// Send queues msg for asynchronous delivery from one endpoint to another.
-// Delivery is dropped when either side is down, when the destination is
-// unregistered at arrival time, or by random loss injection.
+// Send queues msg for asynchronous delivery between endpoint names — the
+// setup/test-path wrapper around SendID.
 func (n *Net) Send(from, to string, msg Message) {
+	n.SendID(n.Endpoint(from), n.Endpoint(to), msg)
+}
+
+// SendID queues msg for asynchronous delivery from one interned endpoint to
+// another. Delivery is dropped when either side is down, when the
+// destination is unregistered at arrival time, or by random loss injection.
+func (n *Net) SendID(from, to EndpointID, msg Message) {
 	if n.Tap != nil {
-		n.Tap(from, to, msg)
+		n.Tap(n.Name(from), n.Name(to), msg)
 	}
 	n.stats.Sent++
 	n.stats.Bytes += uint64(messageSize(msg))
-	if n.down[from] || n.down[to] {
+	if n.dwn[from] || n.dwn[to] {
 		n.stats.Dropped++
 		return
 	}
@@ -171,24 +215,29 @@ func (n *Net) Send(from, to string, msg Message) {
 	}
 }
 
-// SendBatch queues msgs for delivery from one endpoint to another as a
+// SendBatch is the endpoint-name wrapper around SendBatchID.
+func (n *Net) SendBatch(from, to string, msgs []Message) {
+	n.SendBatchID(n.Endpoint(from), n.Endpoint(to), msgs)
+}
+
+// SendBatchID queues msgs for delivery from one endpoint to another as a
 // single wire unit: one scheduled delivery event, one latency/jitter draw,
 // and one loss/duplication draw for the whole batch, with the messages
 // handed to the receiver individually and in order on arrival. The master
 // uses it to coalesce the per-decision grant and capacity fan-out (the
 // paper's "(M1,3), (M2,4)" roll-up applied to the agent side); at 5,000
 // machines the event-queue pressure drops by the batch factor.
-func (n *Net) SendBatch(from, to string, msgs []Message) {
+func (n *Net) SendBatchID(from, to EndpointID, msgs []Message) {
 	switch len(msgs) {
 	case 0:
 		return
 	case 1:
-		n.Send(from, to, msgs[0])
+		n.SendID(from, to, msgs[0])
 		return
 	}
 	if n.Tap != nil {
 		for _, msg := range msgs {
-			n.Tap(from, to, msg)
+			n.Tap(n.Name(from), n.Name(to), msg)
 		}
 	}
 	n.stats.Sent += uint64(len(msgs))
@@ -196,7 +245,7 @@ func (n *Net) SendBatch(from, to string, msgs []Message) {
 	for _, msg := range msgs {
 		n.stats.Bytes += uint64(messageSize(msg))
 	}
-	if n.down[from] || n.down[to] {
+	if n.dwn[from] || n.dwn[to] {
 		n.stats.Dropped += uint64(len(msgs))
 		return
 	}
@@ -232,7 +281,7 @@ func (n *Net) recycleBatch(batch []Message) {
 	n.batchPool = append(n.batchPool, batch[:0])
 }
 
-func (n *Net) deliverBatchAfterLatency(from, to string, batch []Message) {
+func (n *Net) deliverBatchAfterLatency(from, to EndpointID, batch []Message) {
 	d := n.Latency
 	if n.Jitter > 0 {
 		d += sim.Time(n.eng.Rand().Int63n(int64(n.Jitter)))
@@ -242,7 +291,7 @@ func (n *Net) deliverBatchAfterLatency(from, to string, batch []Message) {
 	n.eng.Post(d, n.deliverFn, rec)
 }
 
-func (n *Net) deliverAfterLatency(from, to string, msg Message) {
+func (n *Net) deliverAfterLatency(from, to EndpointID, msg Message) {
 	d := n.Latency
 	if n.Jitter > 0 {
 		d += sim.Time(n.eng.Rand().Int63n(int64(n.Jitter)))
@@ -260,8 +309,8 @@ func (n *Net) deliver(a any) {
 	if rec.batch != nil {
 		count = uint64(len(rec.batch))
 	}
-	h, ok := n.eps[to]
-	if n.down[to] || n.down[from] || !ok {
+	h := n.eps[to]
+	if n.dwn[to] || n.dwn[from] || h == nil {
 		n.stats.Dropped += count
 	} else {
 		n.stats.Delivered += count

@@ -15,8 +15,8 @@ func newNet(t *testing.T) (*sim.Engine, *Net) {
 func TestDelivery(t *testing.T) {
 	eng, net := newNet(t)
 	var got []string
-	net.Register("b", func(from string, msg Message) {
-		got = append(got, from+":"+msg.(string))
+	net.Register("b", func(from EndpointID, msg Message) {
+		got = append(got, net.Name(from)+":"+msg.(string))
 	})
 	net.Send("a", "b", "hello")
 	eng.RunUntilIdle()
@@ -29,7 +29,7 @@ func TestLatencyApplied(t *testing.T) {
 	eng, net := newNet(t)
 	net.Latency = 500 * sim.Microsecond
 	var at sim.Time = -1
-	net.Register("b", func(string, Message) { at = eng.Now() })
+	net.Register("b", func(EndpointID, Message) { at = eng.Now() })
 	net.Send("a", "b", "x")
 	eng.RunUntilIdle()
 	if at != 500 {
@@ -49,8 +49,8 @@ func TestUnregisteredDropped(t *testing.T) {
 func TestDownEndpointDropsBothDirections(t *testing.T) {
 	eng, net := newNet(t)
 	delivered := 0
-	net.Register("b", func(string, Message) { delivered++ })
-	net.Register("a", func(string, Message) { delivered++ })
+	net.Register("b", func(EndpointID, Message) { delivered++ })
+	net.Register("a", func(EndpointID, Message) { delivered++ })
 
 	net.SetDown("b", true)
 	net.Send("a", "b", "to-down")
@@ -77,7 +77,7 @@ func TestDownAtArrivalDrops(t *testing.T) {
 	eng, net := newNet(t)
 	net.Latency = 1000
 	delivered := 0
-	net.Register("b", func(string, Message) { delivered++ })
+	net.Register("b", func(EndpointID, Message) { delivered++ })
 	net.Send("a", "b", "x")
 	eng.At(500, func() { net.SetDown("b", true) })
 	eng.RunUntilIdle()
@@ -90,7 +90,7 @@ func TestDropRate(t *testing.T) {
 	eng, net := newNet(t)
 	net.DropRate = 0.5
 	delivered := 0
-	net.Register("b", func(string, Message) { delivered++ })
+	net.Register("b", func(EndpointID, Message) { delivered++ })
 	const n = 2000
 	for i := 0; i < n; i++ {
 		net.Send("a", "b", i)
@@ -109,7 +109,7 @@ func TestDupRate(t *testing.T) {
 	eng, net := newNet(t)
 	net.DupRate = 1.0 // every message duplicated
 	delivered := 0
-	net.Register("b", func(string, Message) { delivered++ })
+	net.Register("b", func(EndpointID, Message) { delivered++ })
 	for i := 0; i < 10; i++ {
 		net.Send("a", "b", i)
 	}
@@ -125,7 +125,7 @@ func (s sized) WireSize() int { return s.n }
 
 func TestByteAccounting(t *testing.T) {
 	eng, net := newNet(t)
-	net.Register("b", func(string, Message) {})
+	net.Register("b", func(EndpointID, Message) {})
 	net.Send("a", "b", sized{n: 100})
 	net.Send("a", "b", "unsized")
 	eng.RunUntilIdle()
@@ -141,8 +141,8 @@ func TestByteAccounting(t *testing.T) {
 func TestReRegisterReplacesHandler(t *testing.T) {
 	eng, net := newNet(t)
 	var got string
-	net.Register("b", func(string, Message) { got = "old" })
-	net.Register("b", func(string, Message) { got = "new" })
+	net.Register("b", func(EndpointID, Message) { got = "old" })
+	net.Register("b", func(EndpointID, Message) { got = "new" })
 	net.Send("a", "b", "x")
 	eng.RunUntilIdle()
 	if got != "new" {
@@ -161,14 +161,14 @@ func TestEmptyEndpointPanics(t *testing.T) {
 			t.Error("want panic")
 		}
 	}()
-	net.Register("", func(string, Message) {})
+	net.Register("", func(EndpointID, Message) {})
 }
 
 func TestJitterStaysOrderedPerStats(t *testing.T) {
 	eng, net := newNet(t)
 	net.Jitter = 100
 	count := 0
-	net.Register("b", func(string, Message) { count++ })
+	net.Register("b", func(EndpointID, Message) { count++ })
 	for i := 0; i < 50; i++ {
 		net.Send("a", "b", i)
 	}
