@@ -17,6 +17,14 @@
 // fold that section into an existing BENCH_scale.json without discarding
 // the other sections).
 //
+// With -dataplane the workload is the paper's data plane running on the
+// scheduled cluster (internal/scale dataplane mode): GraySort map/sort/merge
+// chains with Pangu chunk locality and sampled kernel verification, Figure 6
+// DAG pipelines, and long-running streamline service residents sharing the
+// cluster with batch through the gateway's priority classes. The
+// application-level measurements — job makespan, locality hit rate, shuffle
+// volume, per-class SLO attainment — land in the `dataplane` section.
+//
 // With -check-budgets the run is a CI regression gate: it exits non-zero
 // when allocs/decision, messages/grant, or (gateway mode) allocs/admission
 // and messages/admission exceed the budgets (which are also recorded in the
@@ -82,6 +90,8 @@ func run() int {
 		gwFailovers = flag.Int("gateway-failovers", 1, "number of mid-run master crashes in -gateway mode (0 disables)")
 		churn       = flag.Bool("churn", false,
 			"run the steady-state churn benchmark (long-horizon release/re-demand cycling, no failovers; measured after warmup)")
+		dataplane = flag.Bool("dataplane", false,
+			"run the data-plane scenario (GraySort chains, Figure 6 DAGs and streamline service residents on the scheduled cluster, with locality and kernel verification)")
 		gate          = flag.Bool("check-budgets", false, "exit non-zero when the run exceeds the perf budgets (CI regression gate)")
 		maxAllocs     = flag.Float64("max-allocs-per-decision", 10, "allocs/decision budget enforced by -check-budgets")
 		maxMsgPerG    = flag.Float64("max-messages-per-grant", 5.5, "messages/grant budget enforced by -check-budgets")
@@ -89,6 +99,9 @@ func run() int {
 		maxMsgAdm     = flag.Float64("max-messages-per-admission", 25, "messages/admission budget enforced by -check-budgets in -gateway mode")
 		maxAllocsChur = flag.Float64("max-allocs-per-decision-churn", 8, "steady-state allocs/decision budget enforced by -check-budgets in -churn mode")
 		maxAllocsFo   = flag.Float64("max-allocs-per-decision-failover", 15, "allocs/decision budget enforced by -check-budgets on master-failover scenarios")
+		minDpLocality = flag.Float64("min-dataplane-locality-pct", 40, "minimum locality hit rate enforced by -check-budgets in -dataplane mode")
+		maxDpMakespan = flag.Float64("max-dataplane-makespan-p99-ms", 0, "batch-job makespan p99 budget (virtual ms) enforced by -check-budgets in -dataplane mode (0 disables; -prev supplies the recorded value)")
+		minDpSLO      = flag.Float64("min-dataplane-service-slo-pct", 80, "minimum service-class demand-to-grant SLO attainment enforced by -check-budgets in -dataplane mode")
 		cpuProfile    = flag.String("cpuprofile", "", "write a CPU profile of the run to this file (go tool pprof)")
 		memProfile    = flag.String("memprofile", "", "write an end-of-run heap profile to this file (go tool pprof -sample_index=alloc_space for hot allocators)")
 	)
@@ -143,6 +156,18 @@ func run() int {
 	}
 	gwCfg = gwCfg.WithMasterFailovers(*gwFailovers)
 
+	dpCfg := scale.DefaultDataplaneConfig()
+	if *smoke {
+		dpCfg = scale.SmokeDataplaneConfig()
+	}
+	override(&dpCfg)
+	if *shards != 0 {
+		dpCfg.Shards = *shards
+		if dpCfg.Shards > 1 && dpCfg.RoundWindow == 0 {
+			dpCfg.RoundWindow = scale.DefaultRoundWindow
+		}
+	}
+
 	chCfg := scale.DefaultChurnConfig()
 	if *smoke {
 		chCfg = scale.SmokeChurnConfig()
@@ -189,6 +214,9 @@ func run() int {
 		MaxMessagesPerAdmission:      *maxMsgAdm,
 		MaxAllocsPerDecisionChurn:    *maxAllocsChur,
 		MaxAllocsPerDecisionFailover: *maxAllocsFo,
+		MinDataplaneLocalityPct:      *minDpLocality,
+		MaxDataplaneMakespanP99MS:    *maxDpMakespan,
+		MinDataplaneServiceSLOPct:    *minDpSLO,
 	}
 	prevSections, prevDiffBase := loadPrev(*prev, &budgets)
 
@@ -324,6 +352,20 @@ func run() int {
 		}
 		cmp.Prev = diffPrev(prevDiffBase, prevSections, produced)
 		payload = cmp
+	case *dataplane:
+		res, err := scale.Run(dpCfg)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "scalesim:", err)
+			return 1
+		}
+		res.Prev = diffPrev(prevDiffBase, prevSections, []string{"dataplane"})
+		payload = res
+		mergeKey = "dataplane"
+		printResult("dataplane", res)
+		gateViolations("dataplane", res)
+		// The scenario's contract: every job completes, every sampled kernel
+		// check passes, and the checker stays silent.
+		broken = broken || dataplaneBroken(res)
 	case *gw:
 		res, err := scale.Run(gwCfg)
 		if err != nil {
@@ -445,6 +487,16 @@ func gatewayBroken(r *scale.Result) bool {
 	return g.Completed+g.Shed != g.Submitted
 }
 
+// dataplaneBroken applies the data-plane scenario's pass/fail contract.
+func dataplaneBroken(r *scale.Result) bool {
+	if len(r.Invariants) > 0 || r.Truncated || r.Dataplane == nil {
+		return true
+	}
+	d := r.Dataplane
+	total := r.Config.GraySortJobs + r.Config.DAGJobs + r.Config.ServiceJobs
+	return d.CompletedJobs != total || d.VerifyFailures > 0 || d.ServiceOpFailures > 0
+}
+
 // writeOut writes the payload, either overwriting the file or — with
 // doMerge — folding the run's section into an existing JSON document under
 // mergeKey so e.g. a -gateway run extends BENCH_scale.json without
@@ -521,6 +573,15 @@ func loadPrev(path string, budgets *scale.Budgets) (map[string]json.RawMessage, 
 			}
 			if pb.MaxMessagesPerAdmission > 0 && !explicit["max-messages-per-admission"] {
 				budgets.MaxMessagesPerAdmission = pb.MaxMessagesPerAdmission
+			}
+			if pb.MinDataplaneLocalityPct > 0 && !explicit["min-dataplane-locality-pct"] {
+				budgets.MinDataplaneLocalityPct = pb.MinDataplaneLocalityPct
+			}
+			if pb.MaxDataplaneMakespanP99MS > 0 && !explicit["max-dataplane-makespan-p99-ms"] {
+				budgets.MaxDataplaneMakespanP99MS = pb.MaxDataplaneMakespanP99MS
+			}
+			if pb.MinDataplaneServiceSLOPct > 0 && !explicit["min-dataplane-service-slo-pct"] {
+				budgets.MinDataplaneServiceSLOPct = pb.MinDataplaneServiceSLOPct
 			}
 		}
 	}
@@ -621,6 +682,20 @@ func printResult(label string, r *scale.Result) {
 			g.Service.JainFairness, g.Service.Tenants, g.Batch.JainFairness, g.Batch.Tenants)
 		fmt.Printf("  %.0f allocs/admission, %.1f msgs/admission, %d admit retries, %d failover replays, decision hash %s\n",
 			r.AllocsPerAdmission, r.MessagesPerAdmission, g.AdmitRetries, g.FailoverReplays, g.DecisionHash)
+	}
+	if d := r.Dataplane; d != nil {
+		fmt.Printf("  dataplane: %d/%d jobs completed (%d graysort, %d dag, %d service); makespan p50 %.0fms p99 %.0fms max %.0fms (sim-time)\n",
+			d.CompletedJobs, d.GraySortJobs+d.DAGJobs+d.ServiceJobs,
+			d.GraySortJobs, d.DAGJobs, d.ServiceJobs,
+			d.MakespanP50MS, d.MakespanP99MS, d.MakespanMaxMS)
+		fmt.Printf("  locality: %.1f%% hit (%d machine, %d rack, %d remote); %.0f MB shuffled, %.0f MB read locally\n",
+			d.LocalityHitRatePct, d.LocalityMachineGrants, d.LocalityRackGrants, d.LocalityRemoteGrants,
+			d.ShuffledMB, d.LocalMB)
+		fmt.Printf("  verification: %d graysort partitions checked (%d failures), %d service ops (%d failures)\n",
+			d.VerifiedPartitions, d.VerifyFailures, d.ServiceOpsRun, d.ServiceOpFailures)
+		fmt.Printf("  service class: d2g p50 %.2fms p99 %.2fms, %.1f%% within %.0fms SLO; batch: d2g p99 %.2fms, %.1f%% within %.0fms\n",
+			d.Service.DemandToGrantP50MS, d.Service.DemandToGrantP99MS, d.Service.SLOAttainedPct, d.Service.SLOMS,
+			d.Batch.DemandToGrantP99MS, d.Batch.SLOAttainedPct, d.Batch.SLOMS)
 	}
 	if len(r.Invariants) > 0 {
 		fmt.Printf("  INVARIANT VIOLATIONS: %v\n", r.Invariants)

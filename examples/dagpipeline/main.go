@@ -45,7 +45,10 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	order, _ := desc.TopologicalOrder()
+	order, err := desc.TopologicalOrder()
+	if err != nil {
+		log.Fatal(err)
+	}
 	fmt.Printf("task topology order: %v\n\n", order)
 
 	handle, err := cluster.SubmitJob(desc, core.JobOptions{})

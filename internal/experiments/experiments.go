@@ -412,12 +412,20 @@ func MeasureGraySort(seed int64) (*GraySortResult, error) {
 	const streamlineOverlap = 0.22
 	r := &GraySortResult{FuxiOverhead: fuxiOver, BaselineOverhead: baseOver}
 	spec := graysort.SortSpec{DataTB: 100}
-	r.Fuxi = graysort.Estimate("Fuxi", graysort.PaperGraySortCluster, spec, fuxiOver, streamlineOverlap)
-	r.Baseline = graysort.Estimate("YARN-style", graysort.PaperGraySortCluster, spec, baseOver, 0)
-	r.Yahoo = graysort.Estimate("Yahoo-2012", graysort.YahooCluster,
-		graysort.SortSpec{DataTB: 102.5}, baseOver, 0)
-	r.PetaSort = graysort.Estimate("PetaSort", graysort.PaperPetaSortCluster,
-		graysort.SortSpec{DataTB: 1000, SpillCompression: 1}, fuxiOver, streamlineOverlap)
+	if r.Fuxi, err = graysort.Estimate("Fuxi", graysort.PaperGraySortCluster, spec, fuxiOver, streamlineOverlap); err != nil {
+		return nil, err
+	}
+	if r.Baseline, err = graysort.Estimate("YARN-style", graysort.PaperGraySortCluster, spec, baseOver, 0); err != nil {
+		return nil, err
+	}
+	if r.Yahoo, err = graysort.Estimate("Yahoo-2012", graysort.YahooCluster,
+		graysort.SortSpec{DataTB: 102.5}, baseOver, 0); err != nil {
+		return nil, err
+	}
+	if r.PetaSort, err = graysort.Estimate("PetaSort", graysort.PaperPetaSortCluster,
+		graysort.SortSpec{DataTB: 1000, SpillCompression: 1}, fuxiOver, streamlineOverlap); err != nil {
+		return nil, err
+	}
 	if r.Baseline.ThroughputTB > 0 {
 		r.ImprovementPct = 100 * (r.Fuxi.ThroughputTB - r.Baseline.ThroughputTB) / r.Baseline.ThroughputTB
 	}

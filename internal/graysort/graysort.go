@@ -64,7 +64,8 @@ func (p PhaseTimes) TotalSec() float64 { return p.ReadSortSec + p.ShuffleSec + p
 
 // diskEfficiency derates aggregate JBOD bandwidth for seek interference and
 // filesystem overhead; netEfficiency derates the NIC for all-to-all
-// incast. Both are documented modeling constants (EXPERIMENTS.md).
+// incast. Both are documented modeling constants (EXPERIMENTS.md,
+// "Modeling constants").
 const (
 	diskEfficiency = 0.5
 	netEfficiency  = 0.7
@@ -110,8 +111,19 @@ func (r Result) String() string {
 // Estimate combines the hardware model with a measured framework overhead
 // factor. overlap in [0,1) credits pipeline overlap between phases (reading
 // the next partition while shuffling the previous): 0 = strictly serial
-// phases.
-func Estimate(system string, c ClusterSpec, s SortSpec, overhead, overlap float64) Result {
+// phases. Degenerate specs (no nodes, no disks, no bandwidth, no data) are
+// rejected rather than producing a zero elapsed time and +Inf throughput.
+func Estimate(system string, c ClusterSpec, s SortSpec, overhead, overlap float64) (Result, error) {
+	if c.Nodes <= 0 {
+		return Result{}, fmt.Errorf("graysort: estimate %q: cluster needs a positive node count, got %d", system, c.Nodes)
+	}
+	if c.DisksPerNode <= 0 || c.DiskMBps <= 0 || c.NetMBps <= 0 {
+		return Result{}, fmt.Errorf("graysort: estimate %q: cluster needs positive disk and network bandwidth (disks=%d diskMBps=%d netMBps=%d)",
+			system, c.DisksPerNode, c.DiskMBps, c.NetMBps)
+	}
+	if s.DataTB <= 0 {
+		return Result{}, fmt.Errorf("graysort: estimate %q: data size must be positive, got %v TB", system, s.DataTB)
+	}
 	p := HardwareModel(c, s)
 	base := p.TotalSec() * (1 - overlap)
 	if min := maxPhase(p); base < min {
@@ -126,7 +138,7 @@ func Estimate(system string, c ClusterSpec, s SortSpec, overhead, overlap float6
 		HardwareSec: p.TotalSec(), Overhead: overhead,
 		ElapsedSec:   elapsed,
 		ThroughputTB: s.DataTB / (elapsed / 60),
-	}
+	}, nil
 }
 
 func maxPhase(p PhaseTimes) float64 {
@@ -198,11 +210,14 @@ func Sorted(r Records) bool {
 }
 
 // Merge merges pre-sorted runs into one sorted buffer — the reduce-side
-// kernel of the sort pipeline.
+// kernel of the sort pipeline. A trailing partial record (a run whose length
+// is not a multiple of RecordSize) is dropped: only whole records merge.
 func Merge(runs []Records) Records {
 	total := 0
 	for _, r := range runs {
-		total += len(r)
+		// Count whole records only: consumption below advances in Count()
+		// units, so counting raw len(r) would make the target unreachable.
+		total += r.Count() * RecordSize
 	}
 	out := make([]byte, 0, total)
 	pos := make([]int, len(runs))

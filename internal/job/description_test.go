@@ -67,6 +67,33 @@ func TestTopologicalOrder(t *testing.T) {
 	}
 }
 
+// TestTopologicalOrderRejectsCycle exercises cycle detection directly (not
+// through Validate): callers like examples/dagpipeline consume
+// TopologicalOrder's error themselves, and a cyclic description must never
+// yield a bogus partial order.
+func TestTopologicalOrderRejectsCycle(t *testing.T) {
+	d := &Description{
+		Name: "cyclic",
+		Tasks: map[string]TaskSpec{
+			"A": {Instances: 1, CPUMilli: 1, MemoryMB: 1, DurationMS: 1},
+			"B": {Instances: 1, CPUMilli: 1, MemoryMB: 1, DurationMS: 1},
+			"C": {Instances: 1, CPUMilli: 1, MemoryMB: 1, DurationMS: 1},
+		},
+		Pipes: []Pipe{
+			{Source: AccessPoint{AccessPoint: "A:o"}, Destination: AccessPoint{AccessPoint: "B:i"}},
+			{Source: AccessPoint{AccessPoint: "B:o"}, Destination: AccessPoint{AccessPoint: "C:i"}},
+			{Source: AccessPoint{AccessPoint: "C:o"}, Destination: AccessPoint{AccessPoint: "A:i"}},
+		},
+	}
+	order, err := d.TopologicalOrder()
+	if err == nil {
+		t.Fatalf("cycle accepted, order = %v", order)
+	}
+	if len(order) != 0 {
+		t.Errorf("cyclic description returned partial order %v", order)
+	}
+}
+
 func TestValidateRejectsCycle(t *testing.T) {
 	d := &Description{
 		Name: "cyclic",

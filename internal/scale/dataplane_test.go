@@ -1,0 +1,181 @@
+package scale
+
+import (
+	"testing"
+
+	"repro/internal/sim"
+)
+
+// tinyDataplane is a seconds-scale data-plane run: a 20-machine cluster with
+// a small GraySort/DAG/service mix and full kernel verification.
+func tinyDataplane() Config {
+	c := SmokeDataplaneConfig()
+	c.Racks, c.MachinesPerRack = 4, 5
+	c.GraySortJobs = 2
+	c.GraySortDataMB = 512 // 2 chunks -> 2-wide stages
+	c.DAGJobs = 2
+	c.ServiceJobs = 2
+	c.ServiceWorkers = 1
+	c.ServiceOps = 2
+	c.ServiceOpEvery = 500 * sim.Millisecond
+	c.VerifyRecords = 256
+	c.VerifySampleEvery = 1
+	c.ArrivalWindow = 2 * sim.Second
+	c.FailoverEvery = 0
+	c.Horizon = 2 * sim.Minute
+	return c
+}
+
+func TestDataplaneSmoke(t *testing.T) {
+	cfg := tinyDataplane()
+	r, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Truncated {
+		t.Fatalf("dataplane run truncated at sim %.1fs: %d/%d jobs",
+			r.SimSeconds, r.Dataplane.CompletedJobs, cfg.GraySortJobs+cfg.DAGJobs+cfg.ServiceJobs)
+	}
+	if len(r.Invariants) > 0 {
+		t.Fatalf("invariant violations: %v", r.Invariants)
+	}
+	d := r.Dataplane
+	if d == nil {
+		t.Fatal("no dataplane section")
+	}
+	total := cfg.GraySortJobs + cfg.DAGJobs + cfg.ServiceJobs
+	if d.CompletedJobs != total {
+		t.Fatalf("completed %d/%d jobs", d.CompletedJobs, total)
+	}
+	if r.Gateway == nil || int(r.Gateway.Completed) != total {
+		t.Fatalf("gateway section missing or incomplete: %+v", r.Gateway)
+	}
+	// Every GraySort job is sampled at VerifySampleEvery=1 and must pass the
+	// real kernel check; every service op must conserve records.
+	if d.VerifiedPartitions != cfg.GraySortJobs || d.VerifyFailures != 0 {
+		t.Errorf("verified %d (want %d), failures %d", d.VerifiedPartitions, cfg.GraySortJobs, d.VerifyFailures)
+	}
+	wantOps := cfg.ServiceJobs * cfg.ServiceOps
+	if d.ServiceOpsRun != wantOps || d.ServiceOpFailures != 0 {
+		t.Errorf("service ops %d (want %d), failures %d", d.ServiceOpsRun, wantOps, d.ServiceOpFailures)
+	}
+	// Locality demand must be exercised and mostly honored on an idle tiny
+	// cluster; shuffle accounting must see cross-stage volume.
+	grants := d.LocalityMachineGrants + d.LocalityRackGrants + d.LocalityRemoteGrants
+	if grants == 0 {
+		t.Fatal("no locality-tracked grants")
+	}
+	if d.LocalityHitRatePct < 50 {
+		t.Errorf("locality hit rate %.1f%% on an uncontended cluster", d.LocalityHitRatePct)
+	}
+	if d.ShuffledMB+d.LocalMB <= 0 {
+		t.Error("no shuffle volume accounted")
+	}
+	if d.MakespanP50MS <= 0 || d.MakespanMaxMS < d.MakespanP50MS {
+		t.Errorf("makespan percentiles inconsistent: p50 %.1f max %.1f", d.MakespanP50MS, d.MakespanMaxMS)
+	}
+	if d.Service.Jobs != cfg.ServiceJobs || d.Batch.Jobs != cfg.GraySortJobs+cfg.DAGJobs {
+		t.Errorf("class job counts: service %d batch %d", d.Service.Jobs, d.Batch.Jobs)
+	}
+	if d.Service.SLOAttainedPct <= 0 {
+		t.Error("service SLO attainment not measured")
+	}
+}
+
+// TestDataplaneShardParity pins the decision-stream determinism contract in
+// dataplane mode: the sharded parallel scheduler must produce the same
+// grants, revocations, completions, locality classification, shuffle volume
+// and gateway decision hash as the serial scheduler.
+func TestDataplaneShardParity(t *testing.T) {
+	base := tinyDataplane()
+	// Same 20ms scheduling rounds everywhere: the contract is that the shard
+	// count never changes outcomes, not that batched rounds equal unbatched
+	// scheduling.
+	base.RoundWindow = DefaultRoundWindow
+	run := func(shards int) *Result {
+		cfg := base
+		cfg.Shards = shards
+		r, err := Run(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return r
+	}
+	serial := run(0)
+	// Shard counts beyond the sweep width must not change any outcome.
+	for _, shards := range []int{2, 4} {
+		par := run(shards)
+		if par.Truncated || serial.Truncated {
+			t.Fatal("parity run truncated")
+		}
+		if par.Dataplane.CompletedJobs != serial.Dataplane.CompletedJobs {
+			t.Errorf("shards=%d completed %d, serial %d", shards, par.Dataplane.CompletedJobs, serial.Dataplane.CompletedJobs)
+		}
+		if par.Gateway.DecisionHash != serial.Gateway.DecisionHash {
+			t.Errorf("shards=%d gateway decision hash %s, serial %s", shards, par.Gateway.DecisionHash, serial.Gateway.DecisionHash)
+		}
+		if par.Grants != serial.Grants || par.Revokes != serial.Revokes {
+			t.Errorf("shards=%d grants/revokes %d/%d, serial %d/%d",
+				shards, par.Grants, par.Revokes, serial.Grants, serial.Revokes)
+		}
+		ps, ss := par.Dataplane, serial.Dataplane
+		if ps.LocalityMachineGrants != ss.LocalityMachineGrants ||
+			ps.LocalityRackGrants != ss.LocalityRackGrants ||
+			ps.LocalityRemoteGrants != ss.LocalityRemoteGrants {
+			t.Errorf("shards=%d locality %d/%d/%d, serial %d/%d/%d", shards,
+				ps.LocalityMachineGrants, ps.LocalityRackGrants, ps.LocalityRemoteGrants,
+				ss.LocalityMachineGrants, ss.LocalityRackGrants, ss.LocalityRemoteGrants)
+		}
+		if ps.ShuffledMB != ss.ShuffledMB || ps.LocalMB != ss.LocalMB {
+			t.Errorf("shards=%d shuffle %f/%f, serial %f/%f", shards, ps.ShuffledMB, ps.LocalMB, ss.ShuffledMB, ss.LocalMB)
+		}
+		if ps.VerifyFailures != 0 || ps.ServiceOpFailures != 0 {
+			t.Errorf("shards=%d kernel failures: verify %d ops %d", shards, ps.VerifyFailures, ps.ServiceOpFailures)
+		}
+	}
+}
+
+// TestDataplaneSurvivesMachineFailover exercises the revoke → re-demand path:
+// with machines crashing every second, every job must still complete and
+// every sampled kernel check still pass.
+func TestDataplaneSurvivesMachineFailover(t *testing.T) {
+	cfg := tinyDataplane()
+	cfg.FailoverEvery = 1 * sim.Second
+	cfg.FailoverDowntime = 4 * sim.Second
+	cfg.Horizon = 4 * sim.Minute
+	r, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Truncated {
+		t.Fatalf("failover dataplane run truncated: %d jobs done at sim %.1fs",
+			r.Dataplane.CompletedJobs, r.SimSeconds)
+	}
+	if len(r.Invariants) > 0 {
+		t.Fatalf("invariant violations: %v", r.Invariants)
+	}
+	d := r.Dataplane
+	total := cfg.GraySortJobs + cfg.DAGJobs + cfg.ServiceJobs
+	if d.CompletedJobs != total {
+		t.Fatalf("completed %d/%d jobs under failover churn", d.CompletedJobs, total)
+	}
+	if d.VerifyFailures != 0 || d.ServiceOpFailures != 0 {
+		t.Errorf("kernel failures under failover: verify %d ops %d", d.VerifyFailures, d.ServiceOpFailures)
+	}
+	if r.Revokes == 0 {
+		t.Error("failover run saw no revocations — crash injection inert")
+	}
+}
+
+func TestDataplaneConfigValidation(t *testing.T) {
+	cfg := tinyDataplane()
+	cfg.GraySortJobs, cfg.DAGJobs, cfg.ServiceJobs = 0, 0, 0
+	if _, err := Run(cfg); err == nil {
+		t.Error("empty dataplane workload accepted")
+	}
+	cfg = tinyDataplane()
+	cfg.ServiceOpEvery = 0
+	if _, err := Run(cfg); err == nil {
+		t.Error("zero service op period accepted")
+	}
+}

@@ -139,6 +139,37 @@ type Config struct {
 	// RecordGatewayDecisions keeps the full admit/shed decision stream in
 	// Result.GatewayDecisions (parity tests only — it is large).
 	RecordGatewayDecisions bool `json:"-"`
+
+	// Dataplane switches the workload to data-plane mode (see dataplane.go):
+	// instead of synthetic hold/return churn, the jobs submitted through the
+	// gateway are GraySort chains, Figure 6 DAG pipelines and long-running
+	// streamline service residents, with locality demand resolved against
+	// Pangu chunk placement and sampled kernel-level output verification.
+	// Apps and the synthetic gateway load generator are ignored in this mode.
+	Dataplane bool `json:"dataplane,omitempty"`
+	// GraySortJobs jobs each sort GraySortDataMB of simulated input; the
+	// input file's chunk count (GraySortDataMB / 256) is the width of every
+	// stage in the job's map → sort → merge chain.
+	GraySortJobs   int   `json:"graysort_jobs,omitempty"`
+	GraySortDataMB int64 `json:"graysort_data_mb,omitempty"`
+	// DAGJobs jobs run the paper's Figure 6 diamond (T1 → {T2,T3} → T4).
+	DAGJobs int `json:"dag_jobs,omitempty"`
+	// ServiceJobs long-running residents each hold ServiceWorkers containers
+	// in the gateway's service class and run ServiceOps streamline operation
+	// rounds, one every ServiceOpEvery.
+	ServiceJobs    int      `json:"service_jobs,omitempty"`
+	ServiceWorkers int      `json:"service_workers,omitempty"`
+	ServiceOps     int      `json:"service_ops,omitempty"`
+	ServiceOpEvery sim.Time `json:"service_op_every_us,omitempty"`
+	// VerifyRecords is the per-map-task record count of the sampled GraySort
+	// kernel verification (0 disables); every VerifySampleEvery-th job is
+	// verified.
+	VerifyRecords     int `json:"verify_records,omitempty"`
+	VerifySampleEvery int `json:"verify_sample_every,omitempty"`
+	// ServiceSLOMS / BatchSLOMS are the per-class demand-to-grant SLOs
+	// (virtual milliseconds) the dataplane section reports attainment for.
+	ServiceSLOMS float64 `json:"service_slo_ms,omitempty"`
+	BatchSLOMS   float64 `json:"batch_slo_ms,omitempty"`
 }
 
 // DefaultConfig is the paper-scale run: 5,000 machines across 125 racks and
@@ -256,6 +287,10 @@ type Result struct {
 	// Gateway holds the submission gateway's measurement snapshot — the
 	// `gateway` section of BENCH_scale.json (gateway mode only).
 	Gateway *gateway.Stats `json:"gateway,omitempty"`
+	// Dataplane holds the application-level data-plane measurements —
+	// makespan, locality hit rate, shuffle volume, per-class SLO attainment
+	// (dataplane mode only; the `dataplane` section of BENCH_scale.json).
+	Dataplane *DataplaneStats `json:"dataplane,omitempty"`
 	// AllocsPerAdmission and MessagesPerAdmission are the whole run's
 	// allocation and message volume per registered job (gateway mode only;
 	// the budget gates in CI enforce them).
@@ -326,6 +361,12 @@ type Budgets struct {
 	// whose decisions carry the recovery waves (full soft-state rebuilds,
 	// re-registration storms) on top of normal scheduling.
 	MaxAllocsPerDecisionFailover float64 `json:"max_allocs_per_decision_failover,omitempty"`
+	// Dataplane gates (dataplane mode only): minimum locality hit rate over
+	// locality-tracked grants, maximum batch-job makespan p99, and minimum
+	// service-class demand-to-grant SLO attainment.
+	MinDataplaneLocalityPct   float64 `json:"min_dataplane_locality_pct,omitempty"`
+	MaxDataplaneMakespanP99MS float64 `json:"max_dataplane_makespan_p99_ms,omitempty"`
+	MinDataplaneServiceSLOPct float64 `json:"min_dataplane_service_slo_pct,omitempty"`
 }
 
 // CheckBudgets returns the budget violations of this run (nil when within
@@ -336,6 +377,26 @@ type Budgets struct {
 // per-grant budgets were calibrated on.
 func (r *Result) CheckBudgets(b Budgets) []string {
 	var bad []string
+	if r.Dataplane != nil {
+		// Dataplane runs are gated on the application-level metrics: the few
+		// heavy jobs behind the gateway make the per-admission (and
+		// per-decision) allocation profiles incomparable to the synthetic
+		// sections those budgets were calibrated on.
+		d := r.Dataplane
+		if b.MinDataplaneLocalityPct > 0 && d.LocalityHitRatePct < b.MinDataplaneLocalityPct {
+			bad = append(bad, fmt.Sprintf("dataplane locality %.1f%% below budget %.1f%%",
+				d.LocalityHitRatePct, b.MinDataplaneLocalityPct))
+		}
+		if b.MaxDataplaneMakespanP99MS > 0 && d.MakespanP99MS > b.MaxDataplaneMakespanP99MS {
+			bad = append(bad, fmt.Sprintf("dataplane makespan p99 %.0f ms exceeds budget %.0f ms",
+				d.MakespanP99MS, b.MaxDataplaneMakespanP99MS))
+		}
+		if b.MinDataplaneServiceSLOPct > 0 && d.Service.SLOAttainedPct < b.MinDataplaneServiceSLOPct {
+			bad = append(bad, fmt.Sprintf("dataplane service SLO attainment %.1f%% below budget %.1f%%",
+				d.Service.SLOAttainedPct, b.MinDataplaneServiceSLOPct))
+		}
+		return bad
+	}
 	if r.Gateway != nil {
 		if b.MaxAllocsPerAdmission > 0 && r.AllocsPerAdmission > b.MaxAllocsPerAdmission {
 			bad = append(bad, fmt.Sprintf("allocs/admission %.1f exceeds budget %.1f",
@@ -436,6 +497,8 @@ type harness struct {
 	gw          *gateway.Gateway
 	gwSubmitted int
 	gwUnitTmpl  map[int][]resource.ScheduleUnit
+	// dp is the data-plane workload state (dataplane mode only).
+	dp *dpState
 	// machineCrashes counts injected machine failovers, bounding the
 	// blacklist slice of the checkpoint write budget.
 	machineCrashes int
@@ -537,13 +600,41 @@ func (h *harness) onRecovered(epoch, reissuedGrants int) {
 			}
 		}
 	}
+	if h.dp != nil {
+		for _, j := range h.dp.jobs {
+			if j.am == nil || j.done {
+				continue
+			}
+			held := j.am.HeldSnapshot()
+			for unitID, machines := range held {
+				granted := s.Granted(j.id, unitID)
+				for m, n := range machines {
+					if d := n - granted[m]; d > 0 {
+						h.lost += uint64(d)
+					}
+				}
+			}
+		}
+	}
 }
 
 // Run executes one stress run and returns its measurements.
 func Run(cfg Config) (*Result, error) {
-	gwMode := cfg.GatewayUsers > 0
+	gwMode := cfg.GatewayUsers > 0 || cfg.Dataplane
 	if cfg.Racks <= 0 || cfg.MachinesPerRack <= 0 || cfg.UnitsPerApp <= 0 {
 		return nil, fmt.Errorf("scale: non-positive cluster or workload dimension")
+	}
+	if cfg.Dataplane {
+		// Data-plane jobs ride the gateway admission path; the submission
+		// count workloadDone waits for is the job count.
+		total := cfg.GraySortJobs + cfg.DAGJobs + cfg.ServiceJobs
+		if total <= 0 {
+			return nil, fmt.Errorf("scale: dataplane mode needs at least one job")
+		}
+		if cfg.ServiceJobs > 0 && (cfg.ServiceOps < 0 || cfg.ServiceOpEvery <= 0) {
+			return nil, fmt.Errorf("scale: dataplane service jobs need a positive op period")
+		}
+		cfg.GatewaySubmissions = total
 	}
 	if gwMode && cfg.GatewaySubmissions <= 0 {
 		return nil, fmt.Errorf("scale: gateway mode needs a positive submission count")
@@ -589,6 +680,9 @@ func Run(cfg Config) (*Result, error) {
 		appLat:     make(map[string]AppLat, cfg.Apps),
 	}
 	h.holdFn = h.holdExpire
+	if cfg.Dataplane {
+		h.dp = newDPState(h)
+	}
 	if len(cfg.MasterFailoverAt) > 0 {
 		mcfg.OnRecovered = h.onRecovered
 	}
@@ -599,9 +693,13 @@ func Run(cfg Config) (*Result, error) {
 		if cfg.GatewayLimits != nil {
 			lim = *cfg.GatewayLimits
 		}
+		onReg := h.spawnGatewayJob
+		if cfg.Dataplane {
+			onReg = h.spawnDataplaneJob
+		}
 		h.gw = gateway.New(gateway.Config{
 			Limits:          lim,
-			OnRegistered:    h.spawnGatewayJob,
+			OnRegistered:    onReg,
 			RecordDecisions: cfg.RecordGatewayDecisions,
 		}, eng, net)
 	}
@@ -635,6 +733,13 @@ func Run(cfg Config) (*Result, error) {
 						ams = append(ams, a.am)
 					}
 				}
+				if h.dp != nil {
+					for _, j := range h.dp.jobs {
+						if j.am != nil && !j.done {
+							ams = append(ams, j.am)
+						}
+					}
+				}
 				return ams
 			},
 			Ckpt:    ckpt,
@@ -651,7 +756,11 @@ func Run(cfg Config) (*Result, error) {
 		})
 	}
 
-	if gwMode {
+	if cfg.Dataplane {
+		if err := h.scheduleDataplane(); err != nil {
+			return nil, err
+		}
+	} else if gwMode {
 		h.scheduleSubmissions()
 	} else {
 		// Schedule app arrivals uniformly across the window.
@@ -764,6 +873,10 @@ func Run(cfg Config) (*Result, error) {
 			res.AllocsPerAdmission = float64(after.Mallocs-before.Mallocs) / float64(res.Gateway.Registered)
 			res.MessagesPerAdmission = float64(res.MessagesSent) / float64(res.Gateway.Registered)
 		}
+	}
+	if h.dp != nil {
+		res.Units = h.dp.units
+		res.Dataplane = h.dp.snapshot(h)
 	}
 	if s := h.primarySched(); s != nil {
 		if ps := s.ParallelStats(); ps.Sweeps > 0 {

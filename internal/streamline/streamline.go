@@ -70,9 +70,17 @@ func fnv32(b []byte) uint32 {
 }
 
 // RangePartition splits records into p contiguous key ranges given p-1
-// sorted split points — Terasort's partitioner: concatenating the sorted
-// buckets yields a globally sorted output.
-func RangePartition(records []Record, splits [][]byte) []Run {
+// strictly increasing split points — Terasort's partitioner: concatenating
+// the sorted buckets yields a globally sorted output. Unsorted or duplicate
+// splits violate the binary-search precondition and would silently misroute
+// records, so they fail loudly, matching MergeSort's contract.
+func RangePartition(records []Record, splits [][]byte) ([]Run, error) {
+	for i := 1; i < len(splits); i++ {
+		if bytes.Compare(splits[i-1], splits[i]) >= 0 {
+			return nil, fmt.Errorf("streamline: splits must be strictly increasing: splits[%d] %q >= splits[%d] %q",
+				i-1, splits[i-1], i, splits[i])
+		}
+	}
 	out := make([]Run, len(splits)+1)
 	for _, rec := range records {
 		b := sort.Search(len(splits), func(i int) bool {
@@ -80,7 +88,7 @@ func RangePartition(records []Record, splits [][]byte) []Run {
 		})
 		out[b] = append(out[b], rec)
 	}
-	return out
+	return out, nil
 }
 
 // MergeSort merges pre-sorted runs into one sorted run — the reduce-side

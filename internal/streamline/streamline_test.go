@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"fmt"
 	"math/rand"
+	"sort"
 	"strconv"
 	"testing"
 	"testing/quick"
@@ -66,7 +67,10 @@ func TestRangePartitionGloballySorted(t *testing.T) {
 	rng := rand.New(rand.NewSource(2))
 	records := randomRecords(rng, 400, 1000)
 	splits := [][]byte{[]byte("k0250"), []byte("k0500"), []byte("k0750")}
-	parts := RangePartition(records, splits)
+	parts, err := RangePartition(records, splits)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if len(parts) != 4 {
 		t.Fatalf("parts = %d", len(parts))
 	}
@@ -78,6 +82,96 @@ func TestRangePartitionGloballySorted(t *testing.T) {
 	if !all.Sorted() {
 		t.Fatal("concatenated range partitions not globally sorted")
 	}
+}
+
+// TestRangePartitionRejectsBadSplits is the regression test for the silent
+// misrouting bug: unsorted or duplicate splits break the binary-search
+// precondition, so they must be rejected, not partitioned wrongly.
+func TestRangePartitionRejectsBadSplits(t *testing.T) {
+	records := []Record{rec("a", "1"), rec("m", "2"), rec("z", "3")}
+	cases := []struct {
+		name   string
+		splits [][]byte
+	}{
+		{"unsorted", [][]byte{[]byte("m"), []byte("c")}},
+		{"duplicate", [][]byte{[]byte("c"), []byte("c")}},
+		{"duplicate later", [][]byte{[]byte("b"), []byte("m"), []byte("m")}},
+	}
+	for _, tc := range cases {
+		if _, err := RangePartition(records, tc.splits); err == nil {
+			t.Errorf("%s splits accepted", tc.name)
+		}
+	}
+	// Empty and single splits stay valid.
+	if _, err := RangePartition(records, nil); err != nil {
+		t.Errorf("nil splits rejected: %v", err)
+	}
+	if _, err := RangePartition(records, [][]byte{[]byte("m")}); err != nil {
+		t.Errorf("single split rejected: %v", err)
+	}
+}
+
+// TestPropRangePartitionConcatenationResorts: for random records and random
+// valid (strictly increasing) splits, every record lands in exactly one
+// bucket, each bucket respects its key range, and concatenating the sorted
+// buckets equals a direct global sort of the input.
+func TestPropRangePartitionConcatenationResorts(t *testing.T) {
+	f := func(keys []uint8, rawSplits []uint8) bool {
+		var records []Record
+		for i, k := range keys {
+			records = append(records, rec(fmt.Sprintf("k%03d", k), strconv.Itoa(i)))
+		}
+		// Dedup + sort rawSplits into a valid strictly increasing split set.
+		seen := map[uint8]bool{}
+		var splits [][]byte
+		for _, s := range rawSplits {
+			if !seen[s] {
+				seen[s] = true
+				splits = append(splits, []byte(fmt.Sprintf("k%03d", s)))
+			}
+		}
+		sortSplits(splits)
+		parts, err := RangePartition(records, splits)
+		if err != nil {
+			return false
+		}
+		if len(parts) != len(splits)+1 {
+			return false
+		}
+		var all Run
+		for b := range parts {
+			// Bucket b holds keys in [splits[b-1], splits[b]).
+			for _, r := range parts[b] {
+				if b > 0 && bytes.Compare(r.Key, splits[b-1]) < 0 {
+					return false
+				}
+				if b < len(splits) && bytes.Compare(r.Key, splits[b]) >= 0 {
+					return false
+				}
+			}
+			Sort(parts[b])
+			all = append(all, parts[b]...)
+		}
+		if !all.Sorted() || len(all) != len(records) {
+			return false
+		}
+		direct := make(Run, len(records))
+		copy(direct, records)
+		Sort(direct)
+		for i := range all {
+			if !bytes.Equal(all[i].Key, direct[i].Key) || !bytes.Equal(all[i].Value, direct[i].Value) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func sortSplits(splits [][]byte) {
+	sort.Slice(splits, func(i, j int) bool { return bytes.Compare(splits[i], splits[j]) < 0 })
 }
 
 func TestMergeSortValidatesInput(t *testing.T) {
@@ -237,5 +331,34 @@ func TestPropMergeSortEquivalentToGlobalSort(t *testing.T) {
 	}
 	if err := quick.Check(f, nil); err != nil {
 		t.Error(err)
+	}
+}
+
+// Kernel benchmarks for the CI -benchtime 1x smoke lane: the map-side
+// partition+sort half and the reduce-side k-way merge, the two halves the
+// data-plane service residents exercise.
+func BenchmarkMapSide(b *testing.B) {
+	rng := rand.New(rand.NewSource(8))
+	records := randomRecords(rng, 10_000, 500)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := MapSide(records, 8, nil); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkMergeSort(b *testing.B) {
+	rng := rand.New(rand.NewSource(9))
+	runs := make([]Run, 8)
+	for i := range runs {
+		runs[i] = Run(randomRecords(rng, 1_000, 500))
+		Sort(runs[i])
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := MergeSort(runs); err != nil {
+			b.Fatal(err)
+		}
 	}
 }
