@@ -25,6 +25,16 @@
 // application-level measurements — job makespan, locality hit rate, shuffle
 // volume, per-class SLO attainment — land in the `dataplane` section.
 //
+// With -replay the workload is a trace-driven diurnal replay (internal/scale
+// replay mode): a nonhomogeneous-Poisson session process sweeps a sinusoidal
+// day over the million-tenant population, each session submitting a
+// correlated burst of heavy-tailed jobs, with machine-failure storms
+// (internal/faults campaigns) landing mid-replay and one master failover.
+// Per-class admission and demand-to-grant SLO attainment, shed and
+// preemption rates, and per-phase (peak/trough/storm) utilization land in
+// the `replay` section, with the deterministic decision hash pinned across
+// scheduler shard counts.
+//
 // With -check-budgets the run is a CI regression gate: it exits non-zero
 // when allocs/decision, messages/grant, or (gateway mode) allocs/admission
 // and messages/admission exceed the budgets (which are also recorded in the
@@ -92,6 +102,12 @@ func run() int {
 			"run the steady-state churn benchmark (long-horizon release/re-demand cycling, no failovers; measured after warmup)")
 		dataplane = flag.Bool("dataplane", false,
 			"run the data-plane scenario (GraySort chains, Figure 6 DAGs and streamline service residents on the scheduled cluster, with locality and kernel verification)")
+		replay = flag.Bool("replay", false,
+			"run the trace-driven replay scenario (diurnal million-tenant workload with burst sessions, heavy-tailed job shapes, failure storms and per-class SLO gates)")
+		rpDays        = flag.Int("replay-days", 0, "override the number of simulated days in -replay mode")
+		rpDaySec      = flag.Int("replay-day-sec", 0, "override the simulated day length (seconds) in -replay mode")
+		rpRate        = flag.Float64("replay-sessions-per-sec", 0, "override the day-average session arrival rate in -replay mode")
+		rpStorm       = flag.Float64("replay-storm-pct", 0, "override the storm victim percentage in -replay mode")
 		gate          = flag.Bool("check-budgets", false, "exit non-zero when the run exceeds the perf budgets (CI regression gate)")
 		maxAllocs     = flag.Float64("max-allocs-per-decision", 10, "allocs/decision budget enforced by -check-budgets")
 		maxMsgPerG    = flag.Float64("max-messages-per-grant", 5.5, "messages/grant budget enforced by -check-budgets")
@@ -102,6 +118,9 @@ func run() int {
 		minDpLocality = flag.Float64("min-dataplane-locality-pct", 40, "minimum locality hit rate enforced by -check-budgets in -dataplane mode")
 		maxDpMakespan = flag.Float64("max-dataplane-makespan-p99-ms", 0, "batch-job makespan p99 budget (virtual ms) enforced by -check-budgets in -dataplane mode (0 disables; -prev supplies the recorded value)")
 		minDpSLO      = flag.Float64("min-dataplane-service-slo-pct", 80, "minimum service-class demand-to-grant SLO attainment enforced by -check-budgets in -dataplane mode")
+		minRpSLO      = flag.Float64("min-replay-service-slo-pct", 80, "minimum service-class demand-to-grant SLO attainment enforced by -check-budgets in -replay mode")
+		maxRpAdmP99   = flag.Float64("max-replay-service-admission-p99-ms", 0, "service-class admission p99 budget (virtual ms) enforced by -check-budgets in -replay mode (0 disables; -prev supplies the recorded value)")
+		maxRpShed     = flag.Float64("max-replay-shed-pct", 15, "maximum overall gateway shed rate enforced by -check-budgets in -replay mode")
 		cpuProfile    = flag.String("cpuprofile", "", "write a CPU profile of the run to this file (go tool pprof)")
 		memProfile    = flag.String("memprofile", "", "write an end-of-run heap profile to this file (go tool pprof -sample_index=alloc_space for hot allocators)")
 	)
@@ -168,6 +187,33 @@ func run() int {
 		}
 	}
 
+	rpCfg := scale.DefaultReplayConfig()
+	if *smoke {
+		rpCfg = scale.SmokeReplayConfig()
+	}
+	override(&rpCfg)
+	if *rpDays > 0 {
+		rpCfg.ReplayDays = *rpDays
+	}
+	if *rpDaySec > 0 {
+		rpCfg.ReplayDayLength = sim.Time(*rpDaySec) * sim.Second
+	}
+	if *rpRate > 0 {
+		rpCfg.ReplaySessionsPerSec = *rpRate
+	}
+	if *rpStorm > 0 {
+		rpCfg.ReplayStormPct = *rpStorm
+	}
+	if *gwUsers > 0 {
+		rpCfg.GatewayUsers = *gwUsers
+	}
+	if *shards != 0 {
+		rpCfg.Shards = *shards
+		if rpCfg.Shards > 1 && rpCfg.RoundWindow == 0 {
+			rpCfg.RoundWindow = scale.DefaultRoundWindow
+		}
+	}
+
 	chCfg := scale.DefaultChurnConfig()
 	if *smoke {
 		chCfg = scale.SmokeChurnConfig()
@@ -208,15 +254,18 @@ func run() int {
 	}
 
 	budgets := scale.Budgets{
-		MaxAllocsPerDecision:         *maxAllocs,
-		MaxMessagesPerGrant:          *maxMsgPerG,
-		MaxAllocsPerAdmission:        *maxAllocsAdm,
-		MaxMessagesPerAdmission:      *maxMsgAdm,
-		MaxAllocsPerDecisionChurn:    *maxAllocsChur,
-		MaxAllocsPerDecisionFailover: *maxAllocsFo,
-		MinDataplaneLocalityPct:      *minDpLocality,
-		MaxDataplaneMakespanP99MS:    *maxDpMakespan,
-		MinDataplaneServiceSLOPct:    *minDpSLO,
+		MaxAllocsPerDecision:           *maxAllocs,
+		MaxMessagesPerGrant:            *maxMsgPerG,
+		MaxAllocsPerAdmission:          *maxAllocsAdm,
+		MaxMessagesPerAdmission:        *maxMsgAdm,
+		MaxAllocsPerDecisionChurn:      *maxAllocsChur,
+		MaxAllocsPerDecisionFailover:   *maxAllocsFo,
+		MinDataplaneLocalityPct:        *minDpLocality,
+		MaxDataplaneMakespanP99MS:      *maxDpMakespan,
+		MinDataplaneServiceSLOPct:      *minDpSLO,
+		MinReplayServiceSLOPct:         *minRpSLO,
+		MaxReplayServiceAdmissionP99MS: *maxRpAdmP99,
+		MaxReplayShedPct:               *maxRpShed,
 	}
 	prevSections, prevDiffBase := loadPrev(*prev, &budgets)
 
@@ -366,6 +415,21 @@ func run() int {
 		// The scenario's contract: every job completes, every sampled kernel
 		// check passes, and the checker stays silent.
 		broken = broken || dataplaneBroken(res)
+	case *replay:
+		res, err := scale.Run(rpCfg)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "scalesim:", err)
+			return 1
+		}
+		res.Prev = diffPrev(prevDiffBase, prevSections, []string{"replay"})
+		payload = res
+		mergeKey = "replay"
+		printResult("replay", res)
+		gateViolations("replay", res)
+		// The scenario's contract: the trace drains (every submission
+		// completed or deterministically shed) through the storms and the
+		// failover, and the checker stays silent.
+		broken = broken || replayBroken(res)
 	case *gw:
 		res, err := scale.Run(gwCfg)
 		if err != nil {
@@ -487,6 +551,17 @@ func gatewayBroken(r *scale.Result) bool {
 	return g.Completed+g.Shed != g.Submitted
 }
 
+// replayBroken applies the replay scenario's pass/fail contract.
+func replayBroken(r *scale.Result) bool {
+	if len(r.Invariants) > 0 || r.Truncated || r.Replay == nil || r.Gateway == nil {
+		return true
+	}
+	g := r.Gateway
+	rp := r.Replay
+	return g.Completed+g.Shed != g.Submitted || rp.Submissions == 0 ||
+		rp.Injections-rp.InjectionsSkipped == 0
+}
+
 // dataplaneBroken applies the data-plane scenario's pass/fail contract.
 func dataplaneBroken(r *scale.Result) bool {
 	if len(r.Invariants) > 0 || r.Truncated || r.Dataplane == nil {
@@ -582,6 +657,15 @@ func loadPrev(path string, budgets *scale.Budgets) (map[string]json.RawMessage, 
 			}
 			if pb.MinDataplaneServiceSLOPct > 0 && !explicit["min-dataplane-service-slo-pct"] {
 				budgets.MinDataplaneServiceSLOPct = pb.MinDataplaneServiceSLOPct
+			}
+			if pb.MinReplayServiceSLOPct > 0 && !explicit["min-replay-service-slo-pct"] {
+				budgets.MinReplayServiceSLOPct = pb.MinReplayServiceSLOPct
+			}
+			if pb.MaxReplayServiceAdmissionP99MS > 0 && !explicit["max-replay-service-admission-p99-ms"] {
+				budgets.MaxReplayServiceAdmissionP99MS = pb.MaxReplayServiceAdmissionP99MS
+			}
+			if pb.MaxReplayShedPct > 0 && !explicit["max-replay-shed-pct"] {
+				budgets.MaxReplayShedPct = pb.MaxReplayShedPct
 			}
 		}
 	}
@@ -696,6 +780,24 @@ func printResult(label string, r *scale.Result) {
 		fmt.Printf("  service class: d2g p50 %.2fms p99 %.2fms, %.1f%% within %.0fms SLO; batch: d2g p99 %.2fms, %.1f%% within %.0fms\n",
 			d.Service.DemandToGrantP50MS, d.Service.DemandToGrantP99MS, d.Service.SLOAttainedPct, d.Service.SLOMS,
 			d.Batch.DemandToGrantP99MS, d.Batch.SLOAttainedPct, d.Batch.SLOMS)
+	}
+	if rp := r.Replay; rp != nil {
+		fmt.Printf("  replay: %d sessions, %d submissions over %d×%.0fs days (peak %d / trough %d), mean burst %.2f\n",
+			rp.Sessions, rp.Submissions, rp.Days, rp.DayLengthSec,
+			rp.SubmissionsPeak, rp.SubmissionsTrough, rp.MeanBurstLen)
+		fmt.Printf("  storms: %d (%d injections, %d skipped): %d killed, %d broken, %d slowed; %d launch failures, %d stretched holds\n",
+			rp.Storms, rp.Injections, rp.InjectionsSkipped,
+			rp.MachinesKilled, rp.MachinesBroken, rp.MachinesSlowed,
+			rp.LaunchFailures, rp.SlowHolds)
+		fmt.Printf("  service: admission p99 %.1fms, d2g p99 %.2fms, %.1f%% within %.0fms SLO, preemption %.2f%%, shed %.2f%%\n",
+			rp.Service.AdmissionP99MS, rp.Service.DemandToGrantP99MS,
+			rp.Service.SLOAttainedPct, rp.Service.SLOMS, rp.Service.PreemptionPct, rp.Service.ShedPct)
+		fmt.Printf("  batch:   admission p99 %.1fms, d2g p99 %.2fms, %.1f%% within %.0fms SLO, preemption %.2f%%, shed %.2f%%\n",
+			rp.Batch.AdmissionP99MS, rp.Batch.DemandToGrantP99MS,
+			rp.Batch.SLOAttainedPct, rp.Batch.SLOMS, rp.Batch.PreemptionPct, rp.Batch.ShedPct)
+		fmt.Printf("  utilization (cpu): peak %.1f%%, trough %.1f%%, storm %.1f%%; overall shed %.2f%%, decision hash %s\n",
+			rp.Peak.CPUUtilPct, rp.Trough.CPUUtilPct, rp.Storm.CPUUtilPct,
+			rp.ShedPct, rp.DecisionHash)
 	}
 	if len(r.Invariants) > 0 {
 		fmt.Printf("  INVARIANT VIOLATIONS: %v\n", r.Invariants)

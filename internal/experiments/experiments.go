@@ -306,7 +306,10 @@ func RunFaultMatrix(opt FaultOptions) ([]FaultRow, error) {
 			campaign := *camp
 			campaign.Start = 10 * sim.Second
 			campaign.Window = sim.Minute
-			faults.Apply(c, campaign)
+			if _, skipped := faults.Apply(c, campaign); skipped > 0 {
+				return 0, fmt.Errorf("experiments: campaign skipped %d injections (cluster smaller than %d victims)",
+					skipped, campaign.Total())
+			}
 		}
 		limit := 4 * sim.Hour
 		for !h.Done() && c.Now() < limit {

@@ -2,8 +2,9 @@
 // §5.4 (Table 3): NodeDown (random machine halts), PartialWorkerFailure
 // (corrupted disks that refuse to launch processes), SlowMachine
 // (deliberately stretched execution), and FuxiMasterFailure (killing the
-// primary master). Campaigns are applied to a core.Cluster and are fully
-// deterministic given the cluster's seed.
+// primary master). Campaigns are applied to any Target — the core.Cluster
+// facade of the worker-level experiments, or the paper-scale replay harness
+// (internal/scale) — and are fully deterministic given the target's seed.
 package faults
 
 import (
@@ -46,23 +47,83 @@ func Paper10Percent() Campaign {
 	return Campaign{NodeDown: 2, PartialWorkerFailure: 4, SlowMachine: 23, SlowFactor: 8}
 }
 
+// CampaignFor scales the paper's 5% fault mix to an arbitrary cluster: pct
+// percent of machines become victims, split in Table 3's 2:2:11 NodeDown :
+// PartialWorkerFailure : SlowMachine ratio with at least one victim per
+// kind. The replay harness uses it to size failure storms.
+func CampaignFor(machines int, pct, slowFactor float64) Campaign {
+	victims := int(float64(machines)*pct/100 + 0.5)
+	if victims < 3 {
+		victims = 3
+	}
+	nd := victims * 2 / 15
+	if nd < 1 {
+		nd = 1
+	}
+	slow := victims - 2*nd
+	if slow < 1 {
+		slow = 1
+	}
+	return Campaign{
+		NodeDown:             nd,
+		PartialWorkerFailure: nd,
+		SlowMachine:          slow,
+		SlowFactor:           slowFactor,
+	}
+}
+
 // Total returns the number of machines the campaign degrades.
 func (c Campaign) Total() int { return c.NodeDown + c.PartialWorkerFailure + c.SlowMachine }
 
-// Injection records one applied fault, for experiment logs.
+// Injection records one planned fault, for experiment logs. A Skipped entry
+// (Machine empty) records a fault the campaign could not place because the
+// pool of distinct victim machines ran out.
 type Injection struct {
 	At      sim.Time
 	Kind    string
 	Machine string
+	Skipped bool
 }
 
-// Apply schedules the campaign's faults onto the cluster: distinct victim
-// machines are drawn with the cluster's seeded RNG and each fault fires at
-// a random point inside [Start, Start+Window). It returns the planned
-// injections.
-func Apply(c *core.Cluster, camp Campaign) []Injection {
-	rng := c.Eng.Rand()
-	machines := c.Top.Machines()
+// Target abstracts the cluster a campaign is injected into, so campaigns can
+// drive both the core.Cluster facade and harnesses that manage their agents
+// and masters directly.
+type Target interface {
+	// Rand is the seeded stream victims and fire times are drawn from.
+	Rand() *rand.Rand
+	// At schedules fn at virtual time t.
+	At(t sim.Time, fn func())
+	// Machines lists the victim pool in a deterministic order.
+	Machines() []string
+	// KillMachine halts a machine (NodeDown).
+	KillMachine(m string)
+	// BreakMachine corrupts a machine's disks so it refuses to launch new
+	// worker processes; existing workers crash (PartialWorkerFailure).
+	BreakMachine(m string)
+	// SlowMachine stretches execution on m by factor (SlowMachine).
+	SlowMachine(m string, factor float64)
+	// KillPrimaryMaster crashes the primary FuxiMaster (FuxiMasterFailure).
+	KillPrimaryMaster()
+}
+
+// Apply schedules the campaign's faults onto the cluster. See ApplyTo.
+func Apply(c *core.Cluster, camp Campaign) ([]Injection, int) {
+	return ApplyTo(clusterTarget{c}, camp)
+}
+
+// ApplyTo schedules the campaign's faults onto the target: distinct victim
+// machines are drawn with the target's seeded RNG and each fault fires at a
+// random point inside [Start, Start+Window). All randomness is consumed at
+// call time, so the plan never interleaves with other seeded streams.
+//
+// It returns the planned injections and the number of faults that could not
+// be placed because distinct victims ran out. Skipped faults appear in the
+// plan as Skipped entries — they are never silently dropped (the old
+// behaviour truncated the current fault kind and starved every kind
+// scheduled after it on small clusters).
+func ApplyTo(tgt Target, camp Campaign) ([]Injection, int) {
+	rng := tgt.Rand()
+	machines := tgt.Machines()
 	perm := rng.Perm(len(machines))
 	next := 0
 	pick := func() string {
@@ -80,49 +141,69 @@ func Apply(c *core.Cluster, camp Campaign) []Injection {
 	at := func() sim.Time { return camp.Start + sim.Time(rng.Int63n(int64(window))) }
 
 	var plan []Injection
+	skipped := 0
 	schedule := func(kind string, n int, fire func(m string)) {
 		for i := 0; i < n; i++ {
 			m := pick()
 			if m == "" {
-				return
+				// Out of distinct victims: record the skip (no rng draw,
+				// so the remaining placements stay seed-stable) and keep
+				// going so later kinds still get their share.
+				plan = append(plan, Injection{Kind: kind, Skipped: true})
+				skipped++
+				continue
 			}
 			t := at()
 			plan = append(plan, Injection{At: t, Kind: kind, Machine: m})
 			victim := m
-			c.Eng.At(t, func() { fire(victim) })
+			tgt.At(t, func() { fire(victim) })
 		}
 	}
-	schedule("NodeDown", camp.NodeDown, func(m string) { c.KillMachine(m) })
-	schedule("PartialWorkerFailure", camp.PartialWorkerFailure, func(m string) {
-		if a := c.Agents[m]; a != nil {
-			a.SetBroken(true)
-			// Existing processes on a machine with hung disks degrade too:
-			// crash them so their instances migrate.
-			ids := make([]string, 0, len(a.Procs()))
-			for id := range a.Procs() {
-				ids = append(ids, id)
-			}
-			// Crash in a fixed order: map iteration order must not leak
-			// into the simulation schedule (runs are seed-reproducible).
-			sort.Strings(ids)
-			for _, id := range ids {
-				a.CrashWorker(id, "disk I/O hang")
-			}
-		}
-	})
+	schedule("NodeDown", camp.NodeDown, tgt.KillMachine)
+	schedule("PartialWorkerFailure", camp.PartialWorkerFailure, tgt.BreakMachine)
 	schedule("SlowMachine", camp.SlowMachine, func(m string) {
 		factor := camp.SlowFactor
 		if factor <= 1 {
 			factor = 3
 		}
-		c.SetSlowdown(m, factor)
+		tgt.SlowMachine(m, factor)
 	})
 	if camp.KillFuxiMaster {
 		t := at()
 		plan = append(plan, Injection{At: t, Kind: "FuxiMasterFailure"})
-		c.Eng.At(t, func() { c.KillPrimaryMaster() })
+		tgt.At(t, tgt.KillPrimaryMaster)
 	}
-	return plan
+	return plan, skipped
+}
+
+// clusterTarget adapts the core.Cluster facade to the Target interface.
+type clusterTarget struct{ c *core.Cluster }
+
+func (t clusterTarget) Rand() *rand.Rand                { return t.c.Eng.Rand() }
+func (t clusterTarget) At(at sim.Time, fn func())       { t.c.Eng.At(at, fn) }
+func (t clusterTarget) Machines() []string              { return t.c.Top.Machines() }
+func (t clusterTarget) KillMachine(m string)            { t.c.KillMachine(m) }
+func (t clusterTarget) SlowMachine(m string, f float64) { t.c.SetSlowdown(m, f) }
+func (t clusterTarget) KillPrimaryMaster()              { t.c.KillPrimaryMaster() }
+
+func (t clusterTarget) BreakMachine(m string) {
+	a := t.c.Agents[m]
+	if a == nil {
+		return
+	}
+	a.SetBroken(true)
+	// Existing processes on a machine with hung disks degrade too: crash
+	// them so their instances migrate.
+	ids := make([]string, 0, len(a.Procs()))
+	for id := range a.Procs() {
+		ids = append(ids, id)
+	}
+	// Crash in a fixed order: map iteration order must not leak into the
+	// simulation schedule (runs are seed-reproducible).
+	sort.Strings(ids)
+	for _, id := range ids {
+		a.CrashWorker(id, "disk I/O hang")
+	}
 }
 
 // Shuffle is a tiny helper for deterministic victim sampling in tests.

@@ -32,9 +32,12 @@ func TestApplyInjectsAllKinds(t *testing.T) {
 		NodeDown: 2, PartialWorkerFailure: 3, SlowMachine: 4, SlowFactor: 5,
 		Start: sim.Second, Window: 10 * sim.Second, KillFuxiMaster: true,
 	}
-	plan := Apply(c, camp)
+	plan, skipped := Apply(c, camp)
 	if len(plan) != 10 {
 		t.Fatalf("plan size = %d, want 10 (9 machines + master kill)", len(plan))
+	}
+	if skipped != 0 {
+		t.Fatalf("skipped = %d on a 40-machine cluster, want 0", skipped)
 	}
 	// Victims are distinct machines.
 	seen := map[string]bool{}
@@ -79,7 +82,8 @@ func TestApplyInjectsAllKinds(t *testing.T) {
 func TestApplyDeterministic(t *testing.T) {
 	planOf := func() []Injection {
 		c := newCluster(t, 3, 10, 7)
-		return Apply(c, Paper5Percent())
+		plan, _ := Apply(c, Paper5Percent())
+		return plan
 	}
 	a, b := planOf(), planOf()
 	if len(a) != len(b) {
@@ -94,9 +98,58 @@ func TestApplyDeterministic(t *testing.T) {
 
 func TestApplyMoreVictimsThanMachines(t *testing.T) {
 	c := newCluster(t, 1, 2, 3)
-	plan := Apply(c, Campaign{NodeDown: 10, Window: sim.Second})
-	if len(plan) != 2 {
-		t.Errorf("plan = %d injections on a 2-machine cluster, want 2", len(plan))
+	plan, skipped := Apply(c, Campaign{NodeDown: 10, Window: sim.Second})
+	if len(plan) != 10 {
+		t.Fatalf("plan = %d entries on a 2-machine cluster, want all 10 accounted for", len(plan))
+	}
+	if skipped != 8 {
+		t.Errorf("skipped = %d, want 8", skipped)
+	}
+	real, skips := 0, 0
+	for _, inj := range plan {
+		if inj.Skipped {
+			skips++
+			if inj.Machine != "" {
+				t.Errorf("skipped injection carries machine %q", inj.Machine)
+			}
+		} else {
+			real++
+		}
+	}
+	if real != 2 || skips != 8 {
+		t.Errorf("real=%d skips=%d, want 2/8", real, skips)
+	}
+}
+
+// Regression: the old Apply returned early when distinct victims ran out —
+// the truncated kind AND every kind scheduled after it were silently
+// dropped from both the plan and the cluster. On a 3-machine cluster a
+// {NodeDown: 2, PartialWorkerFailure: 2, SlowMachine: 2} campaign planned
+// only 3 of 6 faults and SlowMachine never fired at all. Every configured
+// fault must now be accounted for: placed or explicitly skipped.
+func TestApplySkipsReportedNotSilent(t *testing.T) {
+	c := newCluster(t, 1, 3, 5)
+	camp := Campaign{NodeDown: 2, PartialWorkerFailure: 2, SlowMachine: 2, SlowFactor: 4, Window: sim.Second}
+	plan, skipped := Apply(c, camp)
+	if len(plan) != camp.Total() {
+		t.Fatalf("plan = %d entries, want every one of the %d configured faults accounted for", len(plan), camp.Total())
+	}
+	real := 0
+	perKind := map[string]int{}
+	for _, inj := range plan {
+		perKind[inj.Kind]++
+		if !inj.Skipped {
+			real++
+		}
+	}
+	if real != 3 || skipped != 3 {
+		t.Errorf("real=%d skipped=%d on a 3-machine cluster, want 3/3", real, skipped)
+	}
+	// Later kinds must not be starved: each kind keeps its plan share.
+	for kind, n := range map[string]int{"NodeDown": 2, "PartialWorkerFailure": 2, "SlowMachine": 2} {
+		if perKind[kind] != n {
+			t.Errorf("%s has %d plan entries, want %d", kind, perKind[kind], n)
+		}
 	}
 }
 
@@ -105,11 +158,95 @@ func TestBrokenMachineRefusesWorkers(t *testing.T) {
 	a := c.Agents["r000m000"]
 	a.SetBroken(true)
 	// Try to start a worker through the normal path.
-	plan := Apply(c, Campaign{}) // no-op campaign
-	_ = plan
+	_, _ = Apply(c, Campaign{}) // no-op campaign
 	c.Run(sim.Second)
 	if len(a.Procs()) != 0 {
 		t.Error("broken machine started a process")
+	}
+}
+
+// fakeTarget records what ApplyTo drives through the Target interface.
+type fakeTarget struct {
+	rng       *rand.Rand
+	killed    []string
+	broken    []string
+	slowed    map[string]float64
+	masterHit bool
+}
+
+func (f *fakeTarget) Rand() *rand.Rand { return f.rng }
+func (f *fakeTarget) At(t sim.Time, fn func()) {
+	// Fire immediately: the fake has no event loop.
+	fn()
+}
+func (f *fakeTarget) Machines() []string {
+	return []string{"m0", "m1", "m2", "m3", "m4", "m5"}
+}
+func (f *fakeTarget) KillMachine(m string)  { f.killed = append(f.killed, m) }
+func (f *fakeTarget) BreakMachine(m string) { f.broken = append(f.broken, m) }
+func (f *fakeTarget) SlowMachine(m string, factor float64) {
+	if f.slowed == nil {
+		f.slowed = map[string]float64{}
+	}
+	f.slowed[m] = factor
+}
+func (f *fakeTarget) KillPrimaryMaster() { f.masterHit = true }
+
+func TestApplyToCustomTarget(t *testing.T) {
+	f := &fakeTarget{rng: rand.New(rand.NewSource(21))}
+	camp := Campaign{
+		NodeDown: 1, PartialWorkerFailure: 2, SlowMachine: 2, SlowFactor: 6,
+		KillFuxiMaster: true, Window: sim.Second,
+	}
+	plan, skipped := ApplyTo(f, camp)
+	if skipped != 0 {
+		t.Fatalf("skipped = %d, want 0", skipped)
+	}
+	if len(plan) != 6 {
+		t.Fatalf("plan = %d entries, want 6", len(plan))
+	}
+	if len(f.killed) != 1 || len(f.broken) != 2 || len(f.slowed) != 2 || !f.masterHit {
+		t.Errorf("target saw killed=%v broken=%v slowed=%v master=%v",
+			f.killed, f.broken, f.slowed, f.masterHit)
+	}
+	for m, factor := range f.slowed {
+		if factor != 6 {
+			t.Errorf("slow factor on %s = %v, want 6", m, factor)
+		}
+	}
+	// Victims distinct across kinds.
+	seen := map[string]bool{}
+	for _, m := range append(append(append([]string{}, f.killed...), f.broken...), "") {
+		if m == "" {
+			continue
+		}
+		if seen[m] {
+			t.Errorf("victim %s reused", m)
+		}
+		seen[m] = true
+	}
+	for m := range f.slowed {
+		if seen[m] {
+			t.Errorf("victim %s reused", m)
+		}
+	}
+}
+
+func TestCampaignFor(t *testing.T) {
+	// 300 machines at 5% reproduces Table 3's column exactly.
+	c := CampaignFor(300, 5, 8)
+	if c != (Campaign{NodeDown: 2, PartialWorkerFailure: 2, SlowMachine: 11, SlowFactor: 8}) {
+		t.Errorf("CampaignFor(300, 5%%) = %+v, want the Paper5Percent mix", c)
+	}
+	// Small clusters still get at least one victim of each kind.
+	small := CampaignFor(10, 5, 4)
+	if small.NodeDown < 1 || small.PartialWorkerFailure < 1 || small.SlowMachine < 1 {
+		t.Errorf("small-cluster campaign starves a kind: %+v", small)
+	}
+	// Scales roughly with cluster size.
+	big := CampaignFor(5000, 5, 4)
+	if big.Total() < 240 || big.Total() > 260 {
+		t.Errorf("5000-machine 5%% campaign totals %d victims, want ≈ 250", big.Total())
 	}
 }
 

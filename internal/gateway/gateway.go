@@ -174,6 +174,11 @@ type Limits struct {
 	// RetryEvery re-sends outstanding JobAdmits (the safety net behind the
 	// MasterHello-triggered replay).
 	RetryEvery sim.Time `json:"retry_every_us"`
+	// SessionGap turns on burst-session tracking: a tenant's consecutive
+	// submissions at most SessionGap apart count as one session (the
+	// correlated-burst shape of a production trace, surfaced in Stats).
+	// 0 disables tracking.
+	SessionGap sim.Time `json:"session_gap_us,omitempty"`
 }
 
 // DefaultLimits returns production-flavoured defaults: half a job per
@@ -217,6 +222,12 @@ type tenant struct {
 
 	submitted uint32
 	admitted  uint32
+
+	// Burst-session tracking (Limits.SessionGap > 0): sessAt is the last
+	// submission instant (distinct from the token bucket's refill marker),
+	// sessLen the running length of the current session.
+	sessAt  sim.Time
+	sessLen uint32
 }
 
 func (t *tenant) qlen() int { return len(t.q) - t.qh }
@@ -296,6 +307,8 @@ type Gateway struct {
 	cSub, cAdm, cReg, cComp                    [NumClasses]uint64
 	cShed                                      [NumClasses][4]uint64
 	retries, replays                           uint64
+	sessions, sessionJobs                      uint64
+	maxSessLen                                 uint32
 
 	hash       uint64
 	nDecisions uint64
@@ -374,6 +387,18 @@ func (g *Gateway) Submit(j Job) DecisionKind {
 	g.submitted++
 	g.cSub[j.Class]++
 	tn.submitted++
+	if gap := g.cfg.SessionGap; gap > 0 {
+		if tn.sessLen == 0 || now-tn.sessAt > gap {
+			g.sessions++
+			tn.sessLen = 0
+		}
+		tn.sessLen++
+		g.sessionJobs++
+		if tn.sessLen > g.maxSessLen {
+			g.maxSessLen = tn.sessLen
+		}
+		tn.sessAt = now
+	}
 	if _, dup := g.jobs[j.ID]; dup {
 		g.dupSubmits++
 		return g.shedDecision(now, j, DecisionShedDuplicate, false)
@@ -689,6 +714,12 @@ type Stats struct {
 	// Decisions and DecisionHash pin the deterministic decision stream.
 	Decisions    uint64 `json:"decisions"`
 	DecisionHash string `json:"decision_hash"`
+	// Burst-session shape measured at the front door (Limits.SessionGap
+	// tracking): a tenant's consecutive submissions within the gap form one
+	// session. Zero when tracking is off.
+	Sessions       uint64  `json:"sessions,omitempty"`
+	MeanSessionLen float64 `json:"mean_session_len,omitempty"`
+	MaxSessionLen  int     `json:"max_session_len,omitempty"`
 
 	Service ClassStats `json:"service"`
 	Batch   ClassStats `json:"batch"`
@@ -748,6 +779,11 @@ func (g *Gateway) Snapshot() *Stats {
 	s.Shed = s.ShedRateLimit + s.ShedTenantQueue + s.ShedBacklog + s.ShedDuplicate
 	if s.Submitted > 0 {
 		s.ShedRate = float64(s.Shed) / float64(s.Submitted)
+	}
+	if g.sessions > 0 {
+		s.Sessions = g.sessions
+		s.MeanSessionLen = float64(g.sessionJobs) / float64(g.sessions)
+		s.MaxSessionLen = int(g.maxSessLen)
 	}
 	return s
 }

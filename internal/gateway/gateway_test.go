@@ -323,3 +323,47 @@ func TestConservationCatchesTampering(t *testing.T) {
 		t.Fatal("forged registration count not detected")
 	}
 }
+
+func TestBurstSessionTracking(t *testing.T) {
+	lim := DefaultLimits()
+	lim.RefillEvery = 0 // no rate limiting: every submission counts
+	lim.SessionGap = sim.Second
+	f := newFixture(t, lim)
+
+	// Tenant A: a 3-job burst, a gap beyond SessionGap, then a 2-job burst.
+	submit := func(id, tenant string) { f.gw.Submit(Job{ID: id, Tenant: tenant, Class: ClassBatch}) }
+	submit("a0", "A")
+	f.run(100 * sim.Millisecond)
+	submit("a1", "A")
+	f.run(100 * sim.Millisecond)
+	submit("a2", "A")
+	f.run(5 * sim.Second) // gap: session ends
+	submit("a3", "A")
+	f.run(100 * sim.Millisecond)
+	submit("a4", "A")
+	// Tenant B: one lone submission inside A's window — its own session.
+	submit("b0", "B")
+
+	f.run(2 * sim.Second)
+	st := f.gw.Snapshot()
+	if st.Sessions != 3 {
+		t.Errorf("sessions = %d, want 3 (A burst, A burst, B single)", st.Sessions)
+	}
+	if st.MaxSessionLen != 3 {
+		t.Errorf("max session len = %d, want 3", st.MaxSessionLen)
+	}
+	if want := 6.0 / 3.0; st.MeanSessionLen != want {
+		t.Errorf("mean session len = %v, want %v", st.MeanSessionLen, want)
+	}
+	f.check(t, false)
+}
+
+func TestSessionTrackingOffByDefault(t *testing.T) {
+	f := newFixture(t, DefaultLimits())
+	f.gw.Submit(Job{ID: "j0", Tenant: "T", Class: ClassBatch})
+	f.run(sim.Second)
+	st := f.gw.Snapshot()
+	if st.Sessions != 0 || st.MeanSessionLen != 0 || st.MaxSessionLen != 0 {
+		t.Errorf("session stats populated with tracking off: %+v", st)
+	}
+}

@@ -65,6 +65,11 @@ func (h *harness) workloadDone() bool {
 	if h.cfg.Churn {
 		return false // steady state: the horizon is the only exit
 	}
+	if h.rp != nil {
+		// Replay: the diurnal generator has passed its last day, every
+		// scheduled burst submission has fired, and the gateway drained.
+		return h.rp.genDone && h.rp.pendingBurst == 0 && h.gw.Drained()
+	}
 	if h.gw != nil {
 		return h.gwSubmitted >= h.cfg.GatewaySubmissions && h.gw.Drained()
 	}

@@ -1,0 +1,196 @@
+package scale
+
+import (
+	"testing"
+
+	"repro/internal/sim"
+)
+
+// rpTiny returns a replay configuration small enough for unit tests: two
+// 20-second days on a 20-machine cluster, one failure storm at the first
+// day's peak, one master failover in the second day's shoulder.
+func rpTiny() Config {
+	c := SmokeReplayConfig()
+	c.Racks, c.MachinesPerRack = 4, 5
+	c.GatewayUsers = 20_000
+	c.GatewayHotTenants = 20
+	c.ReplayDays = 2
+	c.ReplayDayLength = 20 * sim.Second
+	c.ReplaySessionsPerSec = 8
+	if testing.Short() {
+		c.ReplaySessionsPerSec = 5
+	}
+	c.ReplayBurstGap = 100 * sim.Millisecond
+	c.ReplayWidthMax = 8
+	c.ReplayHoldMin = 200 * sim.Millisecond
+	c.ReplayHoldMax = 2 * sim.Second
+	c.ReplayStormAt = []sim.Time{3 * sim.Second}
+	c.ReplayStormWindow = 2 * sim.Second
+	c.ReplayStormDowntime = 8 * sim.Second
+	c.MasterFailoverAt = []sim.Time{28 * sim.Second}
+	c.Horizon = 2 * sim.Minute
+	return c
+}
+
+func TestReplayRunCompletes(t *testing.T) {
+	cfg := rpTiny()
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Truncated {
+		t.Fatalf("replay run did not drain (sim %.1fs)", res.SimSeconds)
+	}
+	if len(res.Invariants) > 0 {
+		t.Errorf("invariant violations: %v", res.Invariants)
+	}
+	rp := res.Replay
+	if rp == nil {
+		t.Fatal("no replay section in the result")
+	}
+	g := res.Gateway
+	if g == nil {
+		t.Fatal("no gateway section in the result")
+	}
+
+	// The open-loop trace fed the gateway: every submission accounted for.
+	if rp.Submissions <= 0 || uint64(rp.Submissions) != g.Submitted {
+		t.Errorf("replay submissions %d vs gateway submitted %d", rp.Submissions, g.Submitted)
+	}
+	if rp.Sessions == 0 || uint64(rp.Submissions) < rp.Sessions {
+		t.Errorf("sessions %d > submissions %d", rp.Sessions, rp.Submissions)
+	}
+	if g.Completed+g.Shed != g.Submitted {
+		t.Errorf("completed %d + shed %d != submitted %d", g.Completed, g.Shed, g.Submitted)
+	}
+	if rp.MeanBurstLen <= 1 {
+		t.Errorf("mean burst length %.2f, want > 1 (correlated sessions)", rp.MeanBurstLen)
+	}
+
+	// Diurnal shape: the peak quarter-day must carry well more traffic than
+	// the trough quarter (rate ratio is 4 at ±60% amplitude).
+	if rp.SubmissionsPeak <= 2*rp.SubmissionsTrough {
+		t.Errorf("diurnal shape missing: peak %d vs trough %d submissions",
+			rp.SubmissionsPeak, rp.SubmissionsTrough)
+	}
+
+	// The storm landed: one victim of each kind on a 20-machine cluster.
+	if rp.Storms != 1 || rp.Injections != 3 || rp.InjectionsSkipped != 0 {
+		t.Errorf("storms=%d injections=%d skipped=%d, want 1/3/0",
+			rp.Storms, rp.Injections, rp.InjectionsSkipped)
+	}
+	if rp.MachinesKilled != 1 || rp.MachinesBroken != 1 || rp.MachinesSlowed != 1 {
+		t.Errorf("killed=%d broken=%d slowed=%d, want 1/1/1",
+			rp.MachinesKilled, rp.MachinesBroken, rp.MachinesSlowed)
+	}
+	if rp.LaunchFailures == 0 {
+		t.Error("no launch failures: the broken machine never bounced a grant")
+	}
+	if rp.SlowHolds == 0 {
+		t.Error("no stretched holds: the slow machine never received a grant")
+	}
+
+	// Per-class SLO measurements exist for both classes.
+	for _, cs := range []ReplayClassStats{rp.Service, rp.Batch} {
+		if cs.Jobs == 0 {
+			t.Errorf("class saw no jobs: %+v", cs)
+		}
+		if cs.AdmissionP50MS <= 0 || cs.DemandToGrantP50MS <= 0 {
+			t.Errorf("class missing latency data: %+v", cs)
+		}
+		if cs.SLOMS <= 0 || cs.SLOAttainedPct <= 0 {
+			t.Errorf("class missing SLO attainment: %+v", cs)
+		}
+		if cs.Grants == 0 {
+			t.Errorf("class saw no grants: %+v", cs)
+		}
+	}
+	// Service jobs are latency-sensitive: their demand-to-grant p99 must
+	// not exceed batch's (they schedule at higher priority).
+	if rp.Service.DemandToGrantP99MS > 2*rp.Batch.DemandToGrantP99MS+1 {
+		t.Errorf("service d2g p99 %.1f ms far above batch %.1f ms",
+			rp.Service.DemandToGrantP99MS, rp.Batch.DemandToGrantP99MS)
+	}
+
+	// Utilization was sampled in every phase, and the storm + failover
+	// actually revoked work somewhere.
+	for name, ps := range map[string]ReplayPhaseStats{
+		"peak": rp.Peak, "trough": rp.Trough, "storm": rp.Storm,
+	} {
+		if ps.Samples == 0 {
+			t.Errorf("no utilization samples in %s phase", name)
+		}
+		if ps.CPUUtilPct < 0 || ps.CPUUtilPct > 100 {
+			t.Errorf("%s CPU utilization out of range: %+v", name, ps)
+		}
+	}
+	if rp.Service.Revokes+rp.Batch.Revokes == 0 {
+		t.Error("no revocations through a NodeDown storm and a master failover")
+	}
+	if rp.DecisionHash == "" {
+		t.Error("no decision hash pinned")
+	}
+	if res.MasterFailovers != 1 {
+		t.Errorf("master failovers %d, want 1", res.MasterFailovers)
+	}
+}
+
+// TestReplayDeterminismAndShardParity runs the identical replay trace twice
+// at shards=1 and once at shards=4: every virtual-time measurement — the
+// decision hash, per-class SLO numbers, phase utilization, storm accounting —
+// must be identical. The whole ReplayStats struct is comparable, so the runs
+// must agree field for field.
+func TestReplayDeterminismAndShardParity(t *testing.T) {
+	base := rpTiny()
+	base.ReplayDays = 1
+	base.ReplayDayLength = 12 * sim.Second
+	base.ReplaySessionsPerSec = 6
+	base.ReplayStormAt = []sim.Time{2 * sim.Second}
+	base.MasterFailoverAt = nil
+
+	var ref *ReplayStats
+	for _, variant := range []struct {
+		name   string
+		shards int
+	}{
+		{"shards-1-a", 1}, {"shards-1-b", 1}, {"shards-4", 4},
+	} {
+		cfg := base
+		cfg.Shards = variant.shards
+		cfg.RoundWindow = DefaultRoundWindow
+		res, err := Run(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Truncated {
+			t.Fatalf("%s: run did not drain", variant.name)
+		}
+		if res.Replay == nil {
+			t.Fatalf("%s: no replay section", variant.name)
+		}
+		if ref == nil {
+			ref = res.Replay
+			if ref.Submissions == 0 || ref.DecisionHash == "" {
+				t.Fatalf("reference run measured nothing: %+v", ref)
+			}
+			continue
+		}
+		if *res.Replay != *ref {
+			t.Errorf("%s: replay stats diverge:\n got %+v\nwant %+v",
+				variant.name, *res.Replay, *ref)
+		}
+	}
+}
+
+func TestReplayRejectsBadConfig(t *testing.T) {
+	cfg := rpTiny()
+	cfg.ReplayDays = 0
+	if _, err := Run(cfg); err == nil {
+		t.Error("expected error for replay mode without days")
+	}
+	cfg = rpTiny()
+	cfg.Dataplane = true
+	if _, err := Run(cfg); err == nil {
+		t.Error("expected error for replay + dataplane")
+	}
+}

@@ -167,9 +167,51 @@ type Config struct {
 	VerifyRecords     int `json:"verify_records,omitempty"`
 	VerifySampleEvery int `json:"verify_sample_every,omitempty"`
 	// ServiceSLOMS / BatchSLOMS are the per-class demand-to-grant SLOs
-	// (virtual milliseconds) the dataplane section reports attainment for.
+	// (virtual milliseconds) the dataplane and replay sections report
+	// attainment for.
 	ServiceSLOMS float64 `json:"service_slo_ms,omitempty"`
 	BatchSLOMS   float64 `json:"batch_slo_ms,omitempty"`
+
+	// Replay switches the workload to trace-driven replay mode (see
+	// replay.go): an Alibaba-cluster-trace-style synthetic day — diurnal
+	// session arrivals over the GatewayUsers tenant population, correlated
+	// per-tenant submission bursts, heavy-tailed job widths and hold
+	// durations — played open-loop through the gateway and scheduler, with
+	// machine-failure storms injected mid-replay through internal/faults
+	// campaigns. Apps and the synthetic gateway generator are ignored.
+	Replay bool `json:"replay_mode,omitempty"`
+	// ReplayDays simulated days of ReplayDayLength each are generated; the
+	// run then drains.
+	ReplayDays      int      `json:"replay_days,omitempty"`
+	ReplayDayLength sim.Time `json:"replay_day_length_us,omitempty"`
+	// ReplaySessionsPerSec is the day-average session arrival rate;
+	// ReplayAmplitudePct the sinusoidal diurnal modulation (peak = base ×
+	// (1 + A/100), trough = base × (1 − A/100)).
+	ReplaySessionsPerSec float64 `json:"replay_sessions_per_sec,omitempty"`
+	ReplayAmplitudePct   float64 `json:"replay_amplitude_pct,omitempty"`
+	// Each session is one tenant submitting a geometric burst of
+	// ReplayBurstMean jobs spaced exponentially with mean ReplayBurstGap.
+	ReplayBurstMean float64  `json:"replay_burst_mean,omitempty"`
+	ReplayBurstGap  sim.Time `json:"replay_burst_gap_us,omitempty"`
+	// Job widths (containers) are bounded-Pareto(ReplayWidthAlpha) on
+	// [1, ReplayWidthMax]; container hold times bounded-Pareto
+	// (ReplayHoldAlpha) on [ReplayHoldMin, ReplayHoldMax]. Both are drawn
+	// from the job-ID hash, independent of scheduling timing.
+	ReplayWidthMax   int      `json:"replay_width_max,omitempty"`
+	ReplayWidthAlpha float64  `json:"replay_width_alpha,omitempty"`
+	ReplayHoldAlpha  float64  `json:"replay_hold_alpha,omitempty"`
+	ReplayHoldMin    sim.Time `json:"replay_hold_min_us,omitempty"`
+	ReplayHoldMax    sim.Time `json:"replay_hold_max_us,omitempty"`
+	// ReplayStormAt lists the start times of machine-failure storms: each
+	// storm applies a faults.CampaignFor(machines, ReplayStormPct,
+	// ReplaySlowFactor) campaign — NodeDown, PartialWorkerFailure,
+	// SlowMachine in the paper's Table 3 ratio — spread over
+	// ReplayStormWindow; every effect clears after ReplayStormDowntime.
+	ReplayStormAt       []sim.Time `json:"replay_storm_at_us,omitempty"`
+	ReplayStormPct      float64    `json:"replay_storm_pct,omitempty"`
+	ReplayStormWindow   sim.Time   `json:"replay_storm_window_us,omitempty"`
+	ReplayStormDowntime sim.Time   `json:"replay_storm_downtime_us,omitempty"`
+	ReplaySlowFactor    float64    `json:"replay_slow_factor,omitempty"`
 }
 
 // DefaultConfig is the paper-scale run: 5,000 machines across 125 racks and
@@ -291,6 +333,11 @@ type Result struct {
 	// makespan, locality hit rate, shuffle volume, per-class SLO attainment
 	// (dataplane mode only; the `dataplane` section of BENCH_scale.json).
 	Dataplane *DataplaneStats `json:"dataplane,omitempty"`
+	// Replay holds the trace-replay measurements — per-class SLO
+	// attainment, shed and preemption rates, per-phase utilization, storm
+	// accounting (replay mode only; the `replay` section of
+	// BENCH_scale.json).
+	Replay *ReplayStats `json:"replay,omitempty"`
 	// AllocsPerAdmission and MessagesPerAdmission are the whole run's
 	// allocation and message volume per registered job (gateway mode only;
 	// the budget gates in CI enforce them).
@@ -367,6 +414,12 @@ type Budgets struct {
 	MinDataplaneLocalityPct   float64 `json:"min_dataplane_locality_pct,omitempty"`
 	MaxDataplaneMakespanP99MS float64 `json:"max_dataplane_makespan_p99_ms,omitempty"`
 	MinDataplaneServiceSLOPct float64 `json:"min_dataplane_service_slo_pct,omitempty"`
+	// Replay gates (replay mode only): minimum service-class demand-to-
+	// grant SLO attainment through the diurnal cycles and failure storms,
+	// maximum service-class admission p99, and maximum overall shed rate.
+	MinReplayServiceSLOPct         float64 `json:"min_replay_service_slo_pct,omitempty"`
+	MaxReplayServiceAdmissionP99MS float64 `json:"max_replay_service_admission_p99_ms,omitempty"`
+	MaxReplayShedPct               float64 `json:"max_replay_shed_pct,omitempty"`
 }
 
 // CheckBudgets returns the budget violations of this run (nil when within
@@ -377,6 +430,25 @@ type Budgets struct {
 // per-grant budgets were calibrated on.
 func (r *Result) CheckBudgets(b Budgets) []string {
 	var bad []string
+	if r.Replay != nil {
+		// Replay runs are gated on workload-level SLO attainment: the
+		// diurnal open-loop shape makes alloc-per-decision incomparable to
+		// the synthetic sections.
+		rp := r.Replay
+		if b.MinReplayServiceSLOPct > 0 && rp.Service.SLOAttainedPct < b.MinReplayServiceSLOPct {
+			bad = append(bad, fmt.Sprintf("replay service SLO attainment %.1f%% below budget %.1f%%",
+				rp.Service.SLOAttainedPct, b.MinReplayServiceSLOPct))
+		}
+		if b.MaxReplayServiceAdmissionP99MS > 0 && rp.Service.AdmissionP99MS > b.MaxReplayServiceAdmissionP99MS {
+			bad = append(bad, fmt.Sprintf("replay service admission p99 %.0f ms exceeds budget %.0f ms",
+				rp.Service.AdmissionP99MS, b.MaxReplayServiceAdmissionP99MS))
+		}
+		if b.MaxReplayShedPct > 0 && rp.ShedPct > b.MaxReplayShedPct {
+			bad = append(bad, fmt.Sprintf("replay shed rate %.1f%% exceeds budget %.1f%%",
+				rp.ShedPct, b.MaxReplayShedPct))
+		}
+		return bad
+	}
 	if r.Dataplane != nil {
 		// Dataplane runs are gated on the application-level metrics: the few
 		// heavy jobs behind the gateway make the per-admission (and
@@ -476,6 +548,11 @@ type scaleApp struct {
 	name      string
 	remaining int
 	done      bool
+	// hold and class are replay-mode per-job shape: how long granted
+	// containers are held (drawn from the heavy-tailed hold distribution)
+	// and the gateway service class the job was admitted under.
+	hold  sim.Time
+	class gateway.Class
 	// pendingReq records, per unit (dense, 0 = none pending), when the
 	// oldest unanswered demand was sent, for the demand-to-grant latency
 	// histogram.
@@ -499,6 +576,11 @@ type harness struct {
 	gwUnitTmpl  map[int][]resource.ScheduleUnit
 	// dp is the data-plane workload state (dataplane mode only).
 	dp *dpState
+	// rp is the trace-replay workload state (replay mode only); mcfg is the
+	// primary master's configuration, kept so replay fault campaigns can
+	// crash the primary through the same path as scheduled failovers.
+	rp   *rpState
+	mcfg master.Config
 	// machineCrashes counts injected machine failovers, bounding the
 	// blacklist slice of the checkpoint write budget.
 	machineCrashes int
@@ -620,9 +702,20 @@ func (h *harness) onRecovered(epoch, reissuedGrants int) {
 
 // Run executes one stress run and returns its measurements.
 func Run(cfg Config) (*Result, error) {
-	gwMode := cfg.GatewayUsers > 0 || cfg.Dataplane
+	gwMode := cfg.GatewayUsers > 0 || cfg.Dataplane || cfg.Replay
 	if cfg.Racks <= 0 || cfg.MachinesPerRack <= 0 || cfg.UnitsPerApp <= 0 {
 		return nil, fmt.Errorf("scale: non-positive cluster or workload dimension")
+	}
+	if cfg.Replay {
+		if cfg.Dataplane {
+			return nil, fmt.Errorf("scale: replay and dataplane modes are mutually exclusive")
+		}
+		if cfg.ReplayDays <= 0 || cfg.ReplayDayLength <= 0 || cfg.ReplaySessionsPerSec <= 0 {
+			return nil, fmt.Errorf("scale: replay mode needs positive days, day length, and session rate")
+		}
+		if cfg.GatewayUsers <= 0 {
+			return nil, fmt.Errorf("scale: replay mode needs a tenant population")
+		}
 	}
 	if cfg.Dataplane {
 		// Data-plane jobs ride the gateway admission path; the submission
@@ -636,7 +729,9 @@ func Run(cfg Config) (*Result, error) {
 		}
 		cfg.GatewaySubmissions = total
 	}
-	if gwMode && cfg.GatewaySubmissions <= 0 {
+	if gwMode && !cfg.Replay && cfg.GatewaySubmissions <= 0 {
+		// Replay is open-loop: the submission count follows from the arrival
+		// process rather than a preset target.
 		return nil, fmt.Errorf("scale: gateway mode needs a positive submission count")
 	}
 	if !gwMode && cfg.Apps <= 0 {
@@ -680,8 +775,12 @@ func Run(cfg Config) (*Result, error) {
 		appLat:     make(map[string]AppLat, cfg.Apps),
 	}
 	h.holdFn = h.holdExpire
+	h.mcfg = mcfg
 	if cfg.Dataplane {
 		h.dp = newDPState(h)
+	}
+	if cfg.Replay {
+		h.rp = newRPState(h, top.Size())
 	}
 	if len(cfg.MasterFailoverAt) > 0 {
 		mcfg.OnRecovered = h.onRecovered
@@ -693,9 +792,16 @@ func Run(cfg Config) (*Result, error) {
 		if cfg.GatewayLimits != nil {
 			lim = *cfg.GatewayLimits
 		}
+		if cfg.Replay && lim.SessionGap == 0 && cfg.ReplayBurstGap > 0 {
+			// Track burst sessions at the gateway: a gap of several mean
+			// intra-burst spacings separates sessions.
+			lim.SessionGap = 5 * cfg.ReplayBurstGap
+		}
 		onReg := h.spawnGatewayJob
 		if cfg.Dataplane {
 			onReg = h.spawnDataplaneJob
+		} else if cfg.Replay {
+			onReg = h.spawnReplayJob
 		}
 		h.gw = gateway.New(gateway.Config{
 			Limits:          lim,
@@ -760,6 +866,8 @@ func Run(cfg Config) (*Result, error) {
 		if err := h.scheduleDataplane(); err != nil {
 			return nil, err
 		}
+	} else if cfg.Replay {
+		h.scheduleReplay()
 	} else if gwMode {
 		h.scheduleSubmissions()
 	} else {
@@ -877,6 +985,9 @@ func Run(cfg Config) (*Result, error) {
 	if h.dp != nil {
 		res.Units = h.dp.units
 		res.Dataplane = h.dp.snapshot(h)
+	}
+	if h.rp != nil {
+		res.Replay = h.rp.snapshot(h)
 	}
 	if s := h.primarySched(); s != nil {
 		if ps := s.ParallelStats(); ps.Sweeps > 0 {
@@ -1090,7 +1201,9 @@ func (a *scaleApp) onGrant(unitID int, machine int32, count int) {
 	if at := a.pendingReq[unitID]; at != 0 {
 		ms := float64(h.eng.Now()-at) / float64(sim.Millisecond)
 		h.latency.Observe(ms)
-		if !h.cfg.Churn {
+		if h.rp != nil {
+			h.rp.observeD2G(a.class, ms)
+		} else if !h.cfg.Churn {
 			// Per-app latency feeds the cross-run common-prefix comparison;
 			// the churn section has no completion prefix to compare, so it
 			// skips the per-grant map update.
@@ -1103,6 +1216,10 @@ func (a *scaleApp) onGrant(unitID int, machine int32, count int) {
 			h.appLat[a.name] = al
 		}
 		a.pendingReq[unitID] = 0
+	}
+	if h.rp != nil {
+		h.rp.grant(a, unitID, machine, count)
+		return
 	}
 	if h.cfg.Churn {
 		// Steady-state cycle: hold, then return-and-re-demand forever,
@@ -1139,6 +1256,9 @@ func (a *scaleApp) onGrant(unitID int, machine int32, count int) {
 func (a *scaleApp) onRevoke(unitID int, machine int32, count int) {
 	h := a.h
 	h.revokes += uint64(count)
+	if h.rp != nil {
+		h.rp.revokes[a.class] += uint64(count)
+	}
 	// Failover took the containers mid-hold: restate the demand so the
 	// churn completes (paper §3.1 step 7 — the JobMaster re-requests).
 	if a.pendingReq[unitID] == 0 {

@@ -1,0 +1,140 @@
+package trace
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/sim"
+)
+
+func TestBoundedParetoQuantile(t *testing.T) {
+	p := BoundedPareto{Alpha: 1.1, Min: 10, Max: 600}
+	if got := p.Quantile(0); got != p.Min {
+		t.Errorf("Quantile(0) = %v, want Min %v", got, p.Min)
+	}
+	if got := p.Quantile(1); got < p.Max*0.999 || got > p.Max {
+		t.Errorf("Quantile(1) = %v, want ≈ Max %v", got, p.Max)
+	}
+	prev := 0.0
+	for u := 0.0; u < 1; u += 0.01 {
+		x := p.Quantile(u)
+		if x < p.Min || x > p.Max {
+			t.Fatalf("Quantile(%v) = %v outside [Min, Max]", u, x)
+		}
+		if x < prev {
+			t.Fatalf("Quantile not monotonic at u=%v: %v < %v", u, x, prev)
+		}
+		prev = x
+	}
+	// Degenerate range collapses to Min.
+	d := BoundedPareto{Alpha: 2, Min: 5, Max: 5}
+	if got := d.Quantile(0.7); got != 5 {
+		t.Errorf("degenerate Quantile = %v, want 5", got)
+	}
+}
+
+func TestBoundedParetoSampleMeanMatchesAnalytic(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for _, p := range []BoundedPareto{
+		{Alpha: 1.1, Min: 10_000, Max: 600_000},
+		{Alpha: 0.75, Min: 2000, Max: 99_937},
+		{Alpha: 2.5, Min: 1, Max: 96},
+	} {
+		var sum float64
+		const n = 200_000
+		for i := 0; i < n; i++ {
+			sum += p.Sample(rng)
+		}
+		got := sum / n
+		want := p.Mean()
+		if math.Abs(got-want)/want > 0.05 {
+			t.Errorf("α=%v: sample mean %.1f vs analytic %.1f", p.Alpha, got, want)
+		}
+	}
+}
+
+func TestDiurnalRateShape(t *testing.T) {
+	d := DiurnalRate{BaseRatePerSec: 100, AmplitudePct: 60, Day: 24 * sim.Minute}
+	peak := d.At(d.Day / 4)
+	trough := d.At(3 * d.Day / 4)
+	if math.Abs(peak-160) > 1e-6 {
+		t.Errorf("peak rate = %v, want 160", peak)
+	}
+	if math.Abs(trough-40) > 1e-6 {
+		t.Errorf("trough rate = %v, want 40", trough)
+	}
+	if d.Peak() != 160 {
+		t.Errorf("Peak() = %v, want 160", d.Peak())
+	}
+	// Rate is periodic over Day.
+	if math.Abs(d.At(d.Day/8)-d.At(d.Day+d.Day/8)) > 1e-9 {
+		t.Error("rate not periodic over Day")
+	}
+	// Flat when Day unset.
+	flat := DiurnalRate{BaseRatePerSec: 7}
+	if flat.At(12345) != 7 {
+		t.Errorf("flat rate = %v", flat.At(12345))
+	}
+}
+
+func TestDiurnalNextArrivalThinning(t *testing.T) {
+	d := DiurnalRate{BaseRatePerSec: 200, AmplitudePct: 60, Day: 60 * sim.Second}
+	rng := rand.New(rand.NewSource(12))
+	// Count arrivals in the peak quarter vs the trough quarter over many
+	// days: the ratio should approach (1+A)/(1−A) = 4.
+	var peakN, troughN int
+	t0 := sim.Time(0)
+	for t0 < 200*d.Day {
+		t1 := d.NextArrival(rng, t0)
+		if t1 <= t0 {
+			t.Fatalf("NextArrival not strictly increasing: %d -> %d", t0, t1)
+		}
+		phase := t1 % d.Day
+		switch {
+		case phase >= d.Day/8 && phase < 3*d.Day/8: // centered on Day/4
+			peakN++
+		case phase >= 5*d.Day/8 && phase < 7*d.Day/8: // centered on 3Day/4
+			troughN++
+		}
+		t0 = t1
+	}
+	ratio := float64(peakN) / float64(troughN)
+	if ratio < 2.5 || ratio > 5.5 {
+		t.Errorf("peak/trough arrival ratio = %.2f, want ≈ 4 (diurnal modulation missing?)", ratio)
+	}
+}
+
+func TestBurstSessionsShape(t *testing.T) {
+	b := BurstSessions{MeanJobs: 2.2, MeanGap: 200 * sim.Millisecond}
+	rng := rand.New(rand.NewSource(13))
+	var jobs int
+	const n = 100_000
+	for i := 0; i < n; i++ {
+		s := b.SampleSize(rng)
+		if s < 1 {
+			t.Fatalf("session size %d < 1", s)
+		}
+		jobs += s
+	}
+	mean := float64(jobs) / n
+	if math.Abs(mean-2.2) > 0.1 {
+		t.Errorf("mean session size = %.2f, want 2.2", mean)
+	}
+	var gap sim.Time
+	for i := 0; i < n; i++ {
+		g := b.SampleGap(rng)
+		if g < 1 {
+			t.Fatalf("gap %d < 1µs", g)
+		}
+		gap += g
+	}
+	if got := float64(gap) / n / float64(sim.Millisecond); got < 180 || got > 220 {
+		t.Errorf("mean gap = %.1f ms, want ≈ 200", got)
+	}
+	// Degenerate configs stay sane.
+	one := BurstSessions{MeanJobs: 1}
+	if one.SampleSize(rng) != 1 {
+		t.Error("MeanJobs=1 must always give size 1")
+	}
+}

@@ -169,17 +169,41 @@ func DefaultProductionConfig() ProductionConfig {
 	return ProductionConfig{Jobs: 920, MaxTasksPerJob: 150, MaxInstancesPerTask: 99_937}
 }
 
-// Generate draws a production-shaped trace: tasks per job follow a
-// geometric-ish distribution with mean ~2 (Table 1: avg 2.0 tasks/job), and
-// instances per task a heavy-tailed distribution with mean ~228 (Table 1:
-// avg 228 instances/task).
+// prodDuration is the per-task execution-time distribution: bounded Pareto
+// over the documented 10 s – 10 min range. α = 1.1 puts the median near
+// 19 s and the mean near 37 s with a genuine polynomial tail to 10 min —
+// the "heavy-tailed" shape the package doc promises (the old code drew
+// uniformly from 10–70 s, so no task could ever run longer than 70 s).
+var prodDuration = BoundedPareto{Alpha: 1.1, Min: 10_000, Max: 600_000}
+
+const (
+	// prodWideDAGProb is the probability a job is a very wide DAG, drawn
+	// uniformly from [MaxTasksPerJob/3, MaxTasksPerJob]. Under a pure
+	// geometric with p = 0.5 a 150-task job has probability 2^-149 —
+	// "occasional very wide DAGs" were unreachable in practice.
+	prodWideDAGProb = 0.004
+	// prodGeomCont is the geometric bulk's continuation probability,
+	// mean 1/(1−q) ≈ 1.606, chosen so the blend stays at Table 1's 2.0
+	// tasks/job: 0.996·1.606 + 0.004·(2/3·150) ≈ 2.0.
+	prodGeomCont = 0.3775
+)
+
+// Generate draws a production-shaped trace: tasks per job mix a geometric
+// bulk with a small uniform wide-DAG tail (blended mean 2.0, Table 1's avg
+// tasks/job, with the paper's 150-task width actually reachable), durations
+// are bounded-Pareto over 10 s – 10 min, and instances per task follow a
+// heavy-tailed mixture with mean ~228 (Table 1: avg 228 instances/task).
 func (c ProductionConfig) Generate(rng *rand.Rand) []*job.Description {
 	jobs := make([]*job.Description, 0, c.Jobs)
 	for i := 0; i < c.Jobs; i++ {
 		nTasks := 1
-		// Geometric with p = 0.5 gives mean 2.
-		for nTasks < c.MaxTasksPerJob && rng.Float64() < 0.5 {
-			nTasks++
+		if c.MaxTasksPerJob >= 3 && rng.Float64() < prodWideDAGProb {
+			lo := c.MaxTasksPerJob / 3
+			nTasks = lo + rng.Intn(c.MaxTasksPerJob-lo+1)
+		} else {
+			for nTasks < c.MaxTasksPerJob && rng.Float64() < prodGeomCont {
+				nTasks++
+			}
 		}
 		d := &job.Description{
 			Name:  fmt.Sprintf("prod-%06d", i),
@@ -191,7 +215,7 @@ func (c ProductionConfig) Generate(rng *rand.Rand) []*job.Description {
 			d.Tasks[name] = job.TaskSpec{
 				Instances: c.sampleInstances(rng),
 				CPUMilli:  500, MemoryMB: 2048,
-				DurationMS: 10_000 + rng.Int63n(60_000),
+				DurationMS: int64(prodDuration.Sample(rng)),
 				MaxWorkers: c.sampleWorkerCap(rng),
 			}
 			if prev != "" {
@@ -208,21 +232,28 @@ func (c ProductionConfig) Generate(rng *rand.Rand) []*job.Description {
 	return jobs
 }
 
-// sampleInstances draws a heavy-tailed instance count: 80% small (mean 30),
-// 19% medium (mean ~700), 1% huge (mean ~20k). Overall mean ≈ 228, the
-// Table 1 average.
+// sampleInstances draws a heavy-tailed instance count: 80% small (uniform
+// 1–60, mean 30.5), 19% medium (uniform 100–939, mean 519.5), 1% huge
+// (bounded Pareto α=0.75 over [2000, MaxInstancesPerTask], mean ≈ 10.5k at
+// the default ~100k cap). Blended mean 0.80·30.5 + 0.19·519.5 + 0.01·10.5k
+// ≈ 228, the Table 1 average (the old mixture's actual mean was ≈ 357
+// despite claiming 228), with the tail reaching the Table 1 ~100k max.
 func (c ProductionConfig) sampleInstances(rng *rand.Rand) int {
 	var n int
 	switch r := rng.Float64(); {
 	case r < 0.80:
 		n = 1 + rng.Intn(60)
 	case r < 0.99:
-		n = 100 + rng.Intn(1200)
+		n = 100 + rng.Intn(840)
 	default:
-		n = 5000 + rng.Intn(30000)
+		huge := BoundedPareto{Alpha: 0.75, Min: 2000, Max: float64(c.MaxInstancesPerTask)}
+		n = int(huge.Sample(rng))
 	}
 	if n > c.MaxInstancesPerTask {
 		n = c.MaxInstancesPerTask
+	}
+	if n < 1 {
+		n = 1
 	}
 	return n
 }

@@ -2,6 +2,7 @@ package trace
 
 import (
 	"math/rand"
+	"sort"
 	"testing"
 
 	"repro/internal/job"
@@ -123,7 +124,7 @@ func TestProductionShapeMatchesTable1(t *testing.T) {
 	if s.AvgTasksPerJob < 1.5 || s.AvgTasksPerJob > 2.6 {
 		t.Errorf("avg tasks/job = %.2f, want ~2.0", s.AvgTasksPerJob)
 	}
-	if s.AvgInstances < 120 || s.AvgInstances > 420 {
+	if s.AvgInstances < 170 || s.AvgInstances > 290 {
 		t.Errorf("avg instances/task = %.1f, want ~228", s.AvgInstances)
 	}
 	if s.AvgWorkers >= s.AvgInstances {
@@ -131,6 +132,64 @@ func TestProductionShapeMatchesTable1(t *testing.T) {
 	}
 	if s.MaxInstances > cfg.MaxInstancesPerTask {
 		t.Errorf("max instances %d exceeds cap", s.MaxInstances)
+	}
+}
+
+// Regression: the old generator drew durations uniformly from 10–70 s,
+// contradicting the package doc's "10 s to 10 min" heavy-tailed range — no
+// task could ever exceed 70 s. The bounded-Pareto fix must produce tasks
+// beyond 70 s, stay inside [10 s, 10 min], and be right-skewed (mean well
+// above median).
+func TestProductionDurationsHeavyTailed(t *testing.T) {
+	cfg := DefaultProductionConfig()
+	cfg.Jobs = 2000
+	jobs := cfg.Generate(rand.New(rand.NewSource(8)))
+	var durs []float64
+	over70s := 0
+	for _, d := range jobs {
+		for _, spec := range d.Tasks {
+			if spec.DurationMS < 10_000 || spec.DurationMS > 600_000 {
+				t.Fatalf("duration %d ms outside documented [10s, 10min]", spec.DurationMS)
+			}
+			if spec.DurationMS > 70_000 {
+				over70s++
+			}
+			durs = append(durs, float64(spec.DurationMS))
+		}
+	}
+	if over70s == 0 {
+		t.Fatalf("no task duration above 70 s in %d tasks: tail missing (old uniform 10–70 s bug)", len(durs))
+	}
+	sort.Float64s(durs)
+	median := durs[len(durs)/2]
+	var mean float64
+	for _, v := range durs {
+		mean += v
+	}
+	mean /= float64(len(durs))
+	if mean < 1.2*median {
+		t.Errorf("mean %.0f ms vs median %.0f ms: distribution not right-skewed", mean, median)
+	}
+}
+
+// Regression: the old generator's "occasional very wide DAGs" were
+// unreachable — geometric p=0.5 makes a 150-task job 2^-149 rare. The
+// wide-DAG mixture must actually produce jobs at MaxTasksPerJob/3 or wider.
+func TestProductionWideDAGsReachable(t *testing.T) {
+	cfg := DefaultProductionConfig()
+	cfg.Jobs = 2000
+	jobs := cfg.Generate(rand.New(rand.NewSource(9)))
+	wide := 0
+	for _, d := range jobs {
+		if len(d.Tasks) >= cfg.MaxTasksPerJob/3 {
+			wide++
+		}
+		if len(d.Tasks) > cfg.MaxTasksPerJob {
+			t.Fatalf("job %s has %d tasks, above the %d cap", d.Name, len(d.Tasks), cfg.MaxTasksPerJob)
+		}
+	}
+	if wide == 0 {
+		t.Fatalf("no very wide DAG (≥ %d tasks) in %d jobs", cfg.MaxTasksPerJob/3, len(jobs))
 	}
 }
 
