@@ -35,6 +35,16 @@
 // the `replay` section, with the deterministic decision hash pinned across
 // scheduler shard counts.
 //
+// With -chaos the steady-state churn workload runs under an adversarial
+// network schedule (internal/scale chaos mode): partition storms isolating
+// agent groups from the control plane — one longer than the heartbeat
+// timeout, one shorter — link flaps, delay spikes, and a lock-service
+// partition of the primary master forcing a dueling-masters promotion. The
+// run must keep the invariant checker silent and reconverge every victim
+// machine's ledger after each heal; convergence-time percentiles,
+// lost/reissued grant counts and per-link loss attribution land in the
+// `chaos` section and are budget-gated.
+//
 // With -check-budgets the run is a CI regression gate: it exits non-zero
 // when allocs/decision, messages/grant, or (gateway mode) allocs/admission
 // and messages/admission exceed the budgets (which are also recorded in the
@@ -104,10 +114,13 @@ func run() int {
 			"run the data-plane scenario (GraySort chains, Figure 6 DAGs and streamline service residents on the scheduled cluster, with locality and kernel verification)")
 		replay = flag.Bool("replay", false,
 			"run the trace-driven replay scenario (diurnal million-tenant workload with burst sessions, heavy-tailed job shapes, failure storms and per-class SLO gates)")
-		rpDays        = flag.Int("replay-days", 0, "override the number of simulated days in -replay mode")
-		rpDaySec      = flag.Int("replay-day-sec", 0, "override the simulated day length (seconds) in -replay mode")
-		rpRate        = flag.Float64("replay-sessions-per-sec", 0, "override the day-average session arrival rate in -replay mode")
-		rpStorm       = flag.Float64("replay-storm-pct", 0, "override the storm victim percentage in -replay mode")
+		rpDays   = flag.Int("replay-days", 0, "override the number of simulated days in -replay mode")
+		rpDaySec = flag.Int("replay-day-sec", 0, "override the simulated day length (seconds) in -replay mode")
+		rpRate   = flag.Float64("replay-sessions-per-sec", 0, "override the day-average session arrival rate in -replay mode")
+		rpStorm  = flag.Float64("replay-storm-pct", 0, "override the storm victim percentage in -replay mode")
+		chaos    = flag.Bool("chaos", false,
+			"run the churn workload under an adversarial network schedule (partition storms, link flaps, delay spikes, lock-service partition) with convergence-after-heal gates")
+		czPct         = flag.Float64("chaos-partition-pct", 0, "override the partitioned machine percentage per storm in -chaos mode")
 		gate          = flag.Bool("check-budgets", false, "exit non-zero when the run exceeds the perf budgets (CI regression gate)")
 		maxAllocs     = flag.Float64("max-allocs-per-decision", 10, "allocs/decision budget enforced by -check-budgets")
 		maxMsgPerG    = flag.Float64("max-messages-per-grant", 5.5, "messages/grant budget enforced by -check-budgets")
@@ -121,6 +134,8 @@ func run() int {
 		minRpSLO      = flag.Float64("min-replay-service-slo-pct", 80, "minimum service-class demand-to-grant SLO attainment enforced by -check-budgets in -replay mode")
 		maxRpAdmP99   = flag.Float64("max-replay-service-admission-p99-ms", 0, "service-class admission p99 budget (virtual ms) enforced by -check-budgets in -replay mode (0 disables; -prev supplies the recorded value)")
 		maxRpShed     = flag.Float64("max-replay-shed-pct", 15, "maximum overall gateway shed rate enforced by -check-budgets in -replay mode")
+		maxCzConvP99  = flag.Float64("max-chaos-convergence-p99-ms", 0, "convergence-after-heal p99 budget (virtual ms) enforced by -check-budgets in -chaos mode (0 disables; -prev supplies the recorded value)")
+		maxCzReissued = flag.Uint64("max-chaos-reissued", 0, "maximum grants reissued during heal windows enforced by -check-budgets in -chaos mode (0 disables; -prev supplies the recorded value)")
 		cpuProfile    = flag.String("cpuprofile", "", "write a CPU profile of the run to this file (go tool pprof)")
 		memProfile    = flag.String("memprofile", "", "write an end-of-run heap profile to this file (go tool pprof -sample_index=alloc_space for hot allocators)")
 	)
@@ -232,6 +247,27 @@ func run() int {
 		chCfg.Shards = *shards
 	}
 
+	czCfg := scale.DefaultChaosConfig()
+	if *smoke {
+		czCfg = scale.SmokeChaosConfig()
+	}
+	override(&czCfg)
+	if *horizonS == 0 {
+		czCfg.Horizon = czCfg.ChurnWarmup + czCfg.ChurnMeasure
+	}
+	if *apps > 0 {
+		czCfg.Apps = *apps
+	}
+	if *units > 0 {
+		czCfg.UnitsPerApp = *units
+	}
+	if *shards != 0 {
+		czCfg.Shards = *shards
+	}
+	if *czPct > 0 {
+		czCfg.ChaosPartitionPct = *czPct
+	}
+
 	shardCounts, err := parseShardCounts(*shardList)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "scalesim:", err)
@@ -266,6 +302,8 @@ func run() int {
 		MinReplayServiceSLOPct:         *minRpSLO,
 		MaxReplayServiceAdmissionP99MS: *maxRpAdmP99,
 		MaxReplayShedPct:               *maxRpShed,
+		MaxChaosConvergenceP99MS:       *maxCzConvP99,
+		MaxChaosReissued:               *maxCzReissued,
 	}
 	prevSections, prevDiffBase := loadPrev(*prev, &budgets)
 
@@ -312,6 +350,20 @@ func run() int {
 		}
 	}
 	switch {
+	case *chaos:
+		res, err := scale.Run(czCfg)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "scalesim:", err)
+			return 1
+		}
+		res.Prev = diffPrev(prevDiffBase, prevSections, []string{"chaos"})
+		payload = res
+		mergeKey = "chaos"
+		printResult("chaos (adversarial network)", res)
+		gateViolations("chaos", res)
+		// The scenario's contract: every scheduled storm landed and healed,
+		// every heal window reconverged, and the checker stays silent.
+		broken = broken || chaosBroken(res)
 	case *churn:
 		res, err := scale.Run(chCfg)
 		if err != nil {
@@ -562,6 +614,16 @@ func replayBroken(r *scale.Result) bool {
 		rp.Injections-rp.InjectionsSkipped == 0
 }
 
+// chaosBroken applies the chaos scenario's pass/fail contract.
+func chaosBroken(r *scale.Result) bool {
+	if len(r.Invariants) > 0 || r.Chaos == nil {
+		return true
+	}
+	cz := r.Chaos
+	return cz.Partitions == 0 || cz.Heals != cz.Partitions ||
+		cz.Unconverged > 0 || cz.InjectionsSkipped > 0
+}
+
 // dataplaneBroken applies the data-plane scenario's pass/fail contract.
 func dataplaneBroken(r *scale.Result) bool {
 	if len(r.Invariants) > 0 || r.Truncated || r.Dataplane == nil {
@@ -666,6 +728,12 @@ func loadPrev(path string, budgets *scale.Budgets) (map[string]json.RawMessage, 
 			}
 			if pb.MaxReplayShedPct > 0 && !explicit["max-replay-shed-pct"] {
 				budgets.MaxReplayShedPct = pb.MaxReplayShedPct
+			}
+			if pb.MaxChaosConvergenceP99MS > 0 && !explicit["max-chaos-convergence-p99-ms"] {
+				budgets.MaxChaosConvergenceP99MS = pb.MaxChaosConvergenceP99MS
+			}
+			if pb.MaxChaosReissued > 0 && !explicit["max-chaos-reissued"] {
+				budgets.MaxChaosReissued = pb.MaxChaosReissued
 			}
 		}
 	}
@@ -798,6 +866,16 @@ func printResult(label string, r *scale.Result) {
 		fmt.Printf("  utilization (cpu): peak %.1f%%, trough %.1f%%, storm %.1f%%; overall shed %.2f%%, decision hash %s\n",
 			rp.Peak.CPUUtilPct, rp.Trough.CPUUtilPct, rp.Storm.CPUUtilPct,
 			rp.ShedPct, rp.DecisionHash)
+	}
+	if cz := r.Chaos; cz != nil {
+		fmt.Printf("  chaos: %d partition storms (%d machines), %d heals, %d flap windows, %d delay spikes, %d lock partitions (epoch %d)\n",
+			cz.Partitions, cz.MachinesPartitioned, cz.Heals, cz.LinkFlaps, cz.DelaySpikes,
+			cz.LockPartitions, cz.MasterEpoch)
+		fmt.Printf("  convergence after heal: p50 %.0fms p99 %.0fms max %.0fms (sim-time), %d unconverged\n",
+			cz.ConvergenceP50MS, cz.ConvergenceP99MS, cz.ConvergenceMaxMS, cz.Unconverged)
+		fmt.Printf("  %d grants lost in storms, %d reissued on heal; link loss: %d links dropped %d msgs (worst %s: %d)\n",
+			cz.LostGrants, cz.ReissuedGrants, cz.LinksWithLoss, cz.LinkMsgsDropped,
+			cz.WorstLink, cz.WorstLinkDropped)
 	}
 	if len(r.Invariants) > 0 {
 		fmt.Printf("  INVARIANT VIOLATIONS: %v\n", r.Invariants)

@@ -91,6 +91,26 @@
 // percentiles, shed rates and per-class Jain fairness in the `gateway`
 // section of BENCH_scale.json.
 //
+// # Partition tolerance: adversarial network schedules
+//
+// internal/transport models per-link network conditions on top of its
+// ordering contract (per ordered pair, messages deliver in send order —
+// pinned by a dedicated test): Partition/Isolate/Heal split the endpoint
+// set, SetLinkDown/SetLinkDelay/SetLinkRule drop, delay or duplicate
+// traffic on individual links, and per-link counters (off the hot path
+// unless enabled) attribute loss. internal/faults drives them as scheduled
+// campaigns (NetworkPartition, LinkFlap, DelaySpike) from a dedicated
+// random stream. The protocol layers are hardened to survive them:
+// receivers detect sequence gaps and force an immediate anchor/sync
+// instead of waiting out the epoch, gateway and appmaster retries back off
+// exponentially with deterministic FNV jitter, and the master's
+// lease-expiry fence self-demotes a primary partitioned from the lock
+// service so the promoted standby (higher epoch) is the only writer.
+// scalesim -chaos runs steady-state churn under a partition-storm schedule
+// and gates convergence-after-heal — heal instant until every victim
+// agent's allocation table equals the primary's ledger — in the `chaos`
+// section of BENCH_scale.json.
+//
 // See README.md for a tour (including the measured Seed → PR 1 → PR 3 → PR
 // 5 numbers), DESIGN.md for the system inventory, and EXPERIMENTS.md for
 // paper-vs-measured results.

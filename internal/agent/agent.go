@@ -124,6 +124,10 @@ type Agent struct {
 	seq    protocol.Sequencer
 	dedup  protocol.Dedup
 	timers []sim.Cancel
+	// nextAnchorReq throttles gap-repair capacity queries: a partition that
+	// eats a burst of deltas must produce one query per throttle window,
+	// not one per surviving delta.
+	nextAnchorReq sim.Time
 
 	// Delta-heartbeat state: dirty marks capacity entries whose count
 	// changed since the last beat, sinceAnchor counts beats since the last
@@ -309,6 +313,25 @@ func (a *Agent) sendAnchorBeat() {
 	a.sendHeartbeat()
 }
 
+// anchorRequestMin is the minimum spacing between gap-repair capacity
+// queries (see requestAnchor).
+const anchorRequestMin = 250 * sim.Millisecond
+
+// requestAnchor asks the master for a full CapacitySync because a sequence
+// gap showed a capacity delta to this machine was lost. Throttled: a storm
+// that eats many deltas yields one query per window, and the sync that
+// answers any of them re-baselines the whole ledger.
+func (a *Agent) requestAnchor() {
+	now := a.eng.Now()
+	if now < a.nextAnchorReq {
+		return
+	}
+	a.nextAnchorReq = now + anchorRequestMin
+	a.net.SendID(a.epID, a.masterID, protocol.CapacityQuery{
+		Machine: a.id, Repair: true, Seq: a.seq.Next(),
+	})
+}
+
 // enforceOverload kills processes while measured physical usage (CPU,
 // memory) exceeds machine capacity, choosing "the process whose real
 // resource usage exceeds its own resource usage most" (paper §2.2).
@@ -366,8 +389,18 @@ func (a *Agent) handle(from transport.EndpointID, msg transport.Message) {
 		if a.staleEpoch(t.Epoch) {
 			return
 		}
-		if a.dedup.ObserveCh(int32(from), protocol.ChanCap, t.Seq) == protocol.Duplicate {
+		switch a.dedup.ObserveCh(int32(from), protocol.ChanCap, t.Seq) {
+		case protocol.Duplicate:
 			return
+		case protocol.Gap:
+			// The master numbers this agent's capacity stream per agent, so
+			// a gap means a delta to THIS machine was lost (a dropped or
+			// partitioned-away message). The entries in hand are still
+			// fresh deltas and are applied below, but the ledger is now
+			// missing the lost ones — request an immediate anchor instead
+			// of drifting until someone notices (the agent has no periodic
+			// repair sync of its own).
+			a.requestAnchor()
 		}
 		// One intern per run of equal app names: a round's delta lists the
 		// same app's units contiguously, and string equality short-circuits
@@ -381,6 +414,15 @@ func (a *Agent) handle(from transport.EndpointID, msg transport.Message) {
 		}
 	case protocol.CapacitySync:
 		if a.staleEpoch(t.Epoch) {
+			return
+		}
+		// The sync shares the per-agent capacity sequence with the delta
+		// stream: one that arrives behind the high-water mark (reordered
+		// under jitter past deltas sent after it, or a duplicate) is a stale
+		// snapshot, and replacing the table with it would erase the newer
+		// deltas for good. Seq 0 (direct test injection) bypasses the check.
+		if t.Seq != 0 &&
+			a.dedup.ObserveCh(int32(from), protocol.ChanCap, t.Seq) == protocol.Duplicate {
 			return
 		}
 		a.applyCapacitySync(t)

@@ -104,6 +104,9 @@ type AM struct {
 	// end-of-instant flush event as scheduled.
 	pendRet  []protocol.ReturnEntry
 	retArmed bool
+	// nextGrantSync throttles gap-triggered early full syncs (see handle's
+	// GrantUpdate case).
+	nextGrantSync sim.Time
 	// gate fences grant updates from a deposed primary (see
 	// protocol.EpochGate).
 	gate protocol.EpochGate
@@ -358,14 +361,45 @@ func (a *AM) ReportBadMachine(machine string) {
 	})
 }
 
-// unregRetry is the re-send period for an unacknowledged UnregisterApp and
-// unregMaxTries bounds the attempts (so an application on a cluster whose
-// masters never return still terminates, accepting the strand a dead
-// control plane implies anyway).
+// unregRetry is the initial re-send delay for an unacknowledged
+// UnregisterApp; the delay doubles per attempt up to unregRetryCap, with
+// deterministic per-app jitter, so a mass teardown during a master outage
+// does not re-send in lockstep when the master returns. unregMaxTries bounds
+// the attempts (so an application on a cluster whose masters never return
+// still terminates, accepting the strand a dead control plane implies
+// anyway).
 const (
 	unregRetry    = 2 * sim.Second
+	unregRetryCap = 10 * sim.Second
 	unregMaxTries = 30
 )
+
+// FNV-1a constants for the jitter hash. Jitter must NOT come from the
+// engine's random stream: retry timing would then perturb every other
+// consumer's draws and change unrelated recorded results.
+const (
+	fnvOffset uint64 = 14695981039346656037
+	fnvPrime  uint64 = 1099511628211
+)
+
+// unregDelay returns the backoff before the next unregister attempt:
+// exponential from unregRetry, capped at unregRetryCap, plus up to 25%
+// jitter hashed from (app name, attempt) so concurrent teardowns desync.
+func (a *AM) unregDelay() sim.Time {
+	d := unregRetry
+	for i := 1; i < a.unregTries && d < unregRetryCap; i++ {
+		d *= 2
+	}
+	if d > unregRetryCap {
+		d = unregRetryCap
+	}
+	h := fnvOffset
+	for i := 0; i < len(a.cfg.App); i++ {
+		h = (h ^ uint64(a.cfg.App[i])) * fnvPrime
+	}
+	h = (h ^ uint64(a.unregTries)) * fnvPrime
+	return d + sim.Time(h%uint64(d/4+1))
+}
 
 // Unregister ends the application: all resources return to the cluster.
 // The endpoint stays registered until FuxiMaster acknowledges — an
@@ -402,7 +436,7 @@ func (a *AM) sendUnregister() {
 		if a.unregFn == nil {
 			a.unregFn = a.unregTick
 		}
-		a.eng.PostFunc(unregRetry, a.unregFn)
+		a.eng.PostFunc(a.unregDelay(), a.unregFn)
 	}
 }
 
@@ -557,10 +591,19 @@ func (a *AM) handle(from transport.EndpointID, msg transport.Message) {
 		if a.staleEpoch(t.Epoch) {
 			return
 		}
-		if a.dedup.ObserveCh(int32(from), protocol.ChanGrant, t.Seq) == protocol.Duplicate {
+		v := a.dedup.ObserveCh(int32(from), protocol.ChanGrant, t.Seq)
+		if v == protocol.Duplicate {
 			return
 		}
 		a.applyGrant(t)
+		if v == protocol.Gap {
+			// Grant updates are sequenced per application, so a gap means an
+			// update to THIS app was lost on the wire. Push the full picture
+			// now (after applying the carried changes, so the snapshot is
+			// current) instead of drifting until the periodic safety sync —
+			// on a lossy link that wait would dominate reconvergence.
+			a.requestGrantSync()
+		}
 	case protocol.WorkerStatus:
 		a.applyWorkerStatus(t)
 	case protocol.MasterHello:
@@ -673,6 +716,22 @@ func (a *AM) replyWorkerList(machine string) {
 	a.send(protocol.AgentEndpoint(machine), protocol.WorkerListReply{
 		App: a.cfg.App, Workers: plans, Seq: a.seq.Next(),
 	})
+}
+
+// grantSyncMin throttles gap-triggered early syncs: one full sync per window
+// repairs everything the window's losses broke, so piling on more per lost
+// message only burns wire.
+const grantSyncMin = 500 * sim.Millisecond
+
+// requestGrantSync pushes a full sync immediately after a grant-stream gap,
+// throttled so a burst of losses costs one repair.
+func (a *AM) requestGrantSync() {
+	now := a.eng.Now()
+	if now < a.nextGrantSync {
+		return
+	}
+	a.nextGrantSync = now + grantSyncMin
+	a.fullSync()
 }
 
 // fullSync sends the complete demand and grant picture to FuxiMaster.

@@ -66,7 +66,8 @@ func TestRunFaultMatrixShape(t *testing.T) {
 	// ordering property — more faults, more slowdown; all runs complete —
 	// is what matters. This is by far the slowest test in the repo, so
 	// short mode (CI) runs a downsized cluster and workload that still
-	// exercises all four fault scenarios.
+	// exercises all five fault scenarios (the paper's process faults plus
+	// the network-chaos row).
 	opts := FaultOptions{
 		Racks: 15, MachinesPerRack: 10,
 		Instances: 2400, Workers: 600, DurationMS: 10_000,
@@ -86,7 +87,7 @@ func TestRunFaultMatrixShape(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(rows) != 4 {
+	if len(rows) != 5 {
 		t.Fatalf("rows = %d", len(rows))
 	}
 	normal := rows[0].ElapsedSec

@@ -12,6 +12,7 @@ import (
 	"sort"
 
 	"repro/internal/core"
+	"repro/internal/protocol"
 	"repro/internal/sim"
 )
 
@@ -27,6 +28,28 @@ type Campaign struct {
 	// KillFuxiMaster additionally crashes the primary master once,
 	// mid-run (the §5.4 FuxiMasterFailure scenario).
 	KillFuxiMaster bool
+
+	// NetworkPartition is the number of partition storms. Each storm
+	// isolates a fresh random group of PartitionMachines machines from the
+	// rest of the cluster for PartitionFor, then heals. Groups are drawn
+	// independently per storm (a partition is a transient condition, not a
+	// permanent degradation, so storms may revisit machines).
+	NetworkPartition  int
+	PartitionMachines int
+	PartitionFor      sim.Time
+	// LinkFlap victims have their network link cycle down/up FlapCycles
+	// times: FlapDown down then FlapUp up per cycle. Machines stay alive —
+	// only the wire misbehaves.
+	LinkFlap   int
+	FlapDown   sim.Time
+	FlapUp     sim.Time
+	FlapCycles int
+	// DelaySpike victims get SpikeDelay added to every message crossing
+	// their link for SpikeFor.
+	DelaySpike int
+	SpikeDelay sim.Time
+	SpikeFor   sim.Time
+
 	// Window is the span after Start over which injections are spread.
 	Start  sim.Time
 	Window sim.Time
@@ -75,6 +98,10 @@ func CampaignFor(machines int, pct, slowFactor float64) Campaign {
 // Total returns the number of machines the campaign degrades.
 func (c Campaign) Total() int { return c.NodeDown + c.PartialWorkerFailure + c.SlowMachine }
 
+// NetworkTotal returns the number of network conditions the campaign
+// schedules (partition storms + link flaps + delay spikes).
+func (c Campaign) NetworkTotal() int { return c.NetworkPartition + c.LinkFlap + c.DelaySpike }
+
 // Injection records one planned fault, for experiment logs. A Skipped entry
 // (Machine empty) records a fault the campaign could not place because the
 // pool of distinct victim machines ran out.
@@ -104,6 +131,21 @@ type Target interface {
 	SlowMachine(m string, factor float64)
 	// KillPrimaryMaster crashes the primary FuxiMaster (FuxiMasterFailure).
 	KillPrimaryMaster()
+}
+
+// NetworkTarget is the optional extension a Target implements when its
+// transport supports scheduled per-link conditions. Campaigns with network
+// faults applied to a Target without it record those faults as Skipped.
+type NetworkTarget interface {
+	// PartitionMachines cuts the group off from the rest of the cluster
+	// (intra-group links stay up) and heals after dur.
+	PartitionMachines(group []string, dur sim.Time)
+	// FlapMachineLink cycles m's link down for down / up for up, cycles
+	// times, starting now.
+	FlapMachineLink(m string, down, up sim.Time, cycles int)
+	// SpikeMachineLink adds extra one-way delay to every message crossing
+	// m's link for dur.
+	SpikeMachineLink(m string, extra, dur sim.Time)
 }
 
 // Apply schedules the campaign's faults onto the cluster. See ApplyTo.
@@ -173,6 +215,84 @@ func ApplyTo(tgt Target, camp Campaign) ([]Injection, int) {
 		plan = append(plan, Injection{At: t, Kind: "FuxiMasterFailure"})
 		tgt.At(t, tgt.KillPrimaryMaster)
 	}
+
+	// Network conditions come last so campaigns without them produce plans
+	// byte-identical to the pre-network format. A Target that does not
+	// implement NetworkTarget gets Skipped entries with no rng draws, same
+	// as the out-of-victims convention above.
+	if camp.NetworkTotal() > 0 {
+		net, _ := tgt.(NetworkTarget)
+		for i := 0; i < camp.NetworkPartition; i++ {
+			if net == nil {
+				plan = append(plan, Injection{Kind: "NetworkPartition", Skipped: true})
+				skipped++
+				continue
+			}
+			k := camp.PartitionMachines
+			if k < 1 {
+				k = 1
+			}
+			if k > len(machines) {
+				k = len(machines)
+			}
+			idx := rng.Perm(len(machines))[:k]
+			group := make([]string, k)
+			for j, gi := range idx {
+				group[j] = machines[gi]
+			}
+			sort.Strings(group)
+			dur := camp.PartitionFor
+			if dur <= 0 {
+				dur = 5 * sim.Second
+			}
+			t := at()
+			plan = append(plan, Injection{At: t, Kind: "NetworkPartition", Machine: group[0]})
+			g := group
+			tgt.At(t, func() { net.PartitionMachines(g, dur) })
+		}
+		schedNet := func(kind string, n int, fire func(m string)) {
+			for i := 0; i < n; i++ {
+				var m string
+				if net != nil {
+					m = pick()
+				}
+				if m == "" {
+					plan = append(plan, Injection{Kind: kind, Skipped: true})
+					skipped++
+					continue
+				}
+				t := at()
+				plan = append(plan, Injection{At: t, Kind: kind, Machine: m})
+				victim := m
+				tgt.At(t, func() { fire(victim) })
+			}
+		}
+		schedNet("LinkFlap", camp.LinkFlap, func(m string) {
+			down, up := camp.FlapDown, camp.FlapUp
+			if down <= 0 {
+				down = 500 * sim.Millisecond
+			}
+			if up <= 0 {
+				up = 500 * sim.Millisecond
+			}
+			cycles := camp.FlapCycles
+			if cycles < 1 {
+				cycles = 3
+			}
+			net.FlapMachineLink(m, down, up, cycles)
+		})
+		schedNet("DelaySpike", camp.DelaySpike, func(m string) {
+			extra := camp.SpikeDelay
+			if extra <= 0 {
+				extra = 5 * sim.Millisecond
+			}
+			dur := camp.SpikeFor
+			if dur <= 0 {
+				dur = sim.Second
+			}
+			net.SpikeMachineLink(m, extra, dur)
+		})
+	}
 	return plan, skipped
 }
 
@@ -185,6 +305,40 @@ func (t clusterTarget) Machines() []string              { return t.c.Top.Machine
 func (t clusterTarget) KillMachine(m string)            { t.c.KillMachine(m) }
 func (t clusterTarget) SlowMachine(m string, f float64) { t.c.SetSlowdown(m, f) }
 func (t clusterTarget) KillPrimaryMaster()              { t.c.KillPrimaryMaster() }
+
+// The network fault kinds act on the cluster's transport: a partitioned or
+// flapped machine's process keeps running — unlike the machine faults above,
+// it goes on acting on state the rest of the cluster can no longer see.
+func (t clusterTarget) PartitionMachines(group []string, dur sim.Time) {
+	eps := make([]string, len(group))
+	for i, m := range group {
+		eps[i] = protocol.AgentEndpoint(m)
+	}
+	t.c.Net.Isolate(eps)
+	t.c.Eng.After(dur, t.c.Net.Heal)
+}
+
+func (t clusterTarget) FlapMachineLink(m string, down, up sim.Time, cycles int) {
+	ep := protocol.AgentEndpoint(m)
+	var cycle func(k int)
+	cycle = func(k int) {
+		if k >= cycles {
+			return
+		}
+		t.c.Net.SetLinkDown(ep, true)
+		t.c.Eng.After(down, func() {
+			t.c.Net.SetLinkDown(ep, false)
+			t.c.Eng.After(up, func() { cycle(k + 1) })
+		})
+	}
+	cycle(0)
+}
+
+func (t clusterTarget) SpikeMachineLink(m string, extra, dur sim.Time) {
+	ep := protocol.AgentEndpoint(m)
+	t.c.Net.SetLinkDelay(ep, extra)
+	t.c.Eng.After(dur, func() { t.c.Net.SetLinkDelay(ep, 0) })
+}
 
 func (t clusterTarget) BreakMachine(m string) {
 	a := t.c.Agents[m]

@@ -250,6 +250,108 @@ func TestCampaignFor(t *testing.T) {
 	}
 }
 
+// fakeNetTarget extends fakeTarget with the NetworkTarget surface.
+type fakeNetTarget struct {
+	fakeTarget
+	partitions [][]string
+	flapped    []string
+	spiked     []string
+}
+
+func (f *fakeNetTarget) PartitionMachines(group []string, dur sim.Time) {
+	f.partitions = append(f.partitions, group)
+}
+func (f *fakeNetTarget) FlapMachineLink(m string, down, up sim.Time, cycles int) {
+	f.flapped = append(f.flapped, m)
+}
+func (f *fakeNetTarget) SpikeMachineLink(m string, extra, dur sim.Time) {
+	f.spiked = append(f.spiked, m)
+}
+
+func TestApplyToNetworkFaults(t *testing.T) {
+	f := &fakeNetTarget{fakeTarget: fakeTarget{rng: rand.New(rand.NewSource(9))}}
+	camp := Campaign{
+		NodeDown:         1,
+		NetworkPartition: 2, PartitionMachines: 2, PartitionFor: 3 * sim.Second,
+		LinkFlap: 1, FlapDown: sim.Second, FlapUp: sim.Second, FlapCycles: 2,
+		DelaySpike: 1, SpikeDelay: sim.Millisecond, SpikeFor: sim.Second,
+		Window: sim.Second,
+	}
+	if camp.NetworkTotal() != 4 {
+		t.Fatalf("NetworkTotal = %d, want 4", camp.NetworkTotal())
+	}
+	plan, skipped := ApplyTo(f, camp)
+	if skipped != 0 {
+		t.Fatalf("skipped = %d, want 0", skipped)
+	}
+	if len(plan) != 5 {
+		t.Fatalf("plan = %d entries, want 5", len(plan))
+	}
+	if len(f.partitions) != 2 {
+		t.Fatalf("partitions = %v, want 2 storms", f.partitions)
+	}
+	for _, g := range f.partitions {
+		if len(g) != 2 {
+			t.Errorf("partition group %v, want 2 machines", g)
+		}
+	}
+	if len(f.flapped) != 1 || len(f.spiked) != 1 {
+		t.Errorf("flapped=%v spiked=%v, want one each", f.flapped, f.spiked)
+	}
+	// Flap/spike victims come from the distinct pool shared with machine
+	// faults.
+	if f.flapped[0] == f.killed[0] || f.spiked[0] == f.killed[0] || f.flapped[0] == f.spiked[0] {
+		t.Errorf("victim reuse across kinds: killed=%v flapped=%v spiked=%v", f.killed, f.flapped, f.spiked)
+	}
+}
+
+// A target without the NetworkTarget surface must get explicit Skipped
+// entries for every network fault, never a panic or silent drop.
+func TestApplyToNetworkFaultsUnsupported(t *testing.T) {
+	f := &fakeTarget{rng: rand.New(rand.NewSource(9))}
+	camp := Campaign{NetworkPartition: 2, LinkFlap: 1, DelaySpike: 1, Window: sim.Second}
+	plan, skipped := ApplyTo(f, camp)
+	if skipped != 4 {
+		t.Fatalf("skipped = %d, want all 4 network faults", skipped)
+	}
+	if len(plan) != 4 {
+		t.Fatalf("plan = %d entries, want 4", len(plan))
+	}
+	for _, inj := range plan {
+		if !inj.Skipped {
+			t.Errorf("injection %+v not marked skipped on a network-less target", inj)
+		}
+	}
+}
+
+// Campaigns without network faults must plan byte-identically to the
+// pre-network code: the network block may not consume randomness when its
+// counts are zero.
+func TestNetworkFaultsDoNotPerturbMachinePlans(t *testing.T) {
+	planOf := func(camp Campaign) []Injection {
+		f := &fakeNetTarget{fakeTarget: fakeTarget{rng: rand.New(rand.NewSource(11))}}
+		plan, _ := ApplyTo(f, camp)
+		return plan
+	}
+	base := Campaign{NodeDown: 2, SlowMachine: 2, SlowFactor: 3, Window: sim.Second}
+	a := planOf(base)
+	withNet := base
+	withNet.NetworkPartition = 1
+	withNet.PartitionMachines = 2
+	b := planOf(withNet)
+	if len(b) != len(a)+1 {
+		t.Fatalf("plan lengths %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("machine-fault plan perturbed at %d: %+v vs %+v", i, a[i], b[i])
+		}
+	}
+	if b[len(b)-1].Kind != "NetworkPartition" {
+		t.Errorf("network fault not scheduled last: %+v", b[len(b)-1])
+	}
+}
+
 func TestShuffleHelper(t *testing.T) {
 	items := []string{"a", "b", "c", "d"}
 	out := Shuffle(rand.New(rand.NewSource(1)), items)

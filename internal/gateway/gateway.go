@@ -268,6 +268,12 @@ type jobRec struct {
 	job         Job
 	state       State
 	submittedAt sim.Time
+	// retryAt/attempts drive the per-job re-send backoff: a fixed sweep
+	// period would re-send every outstanding admit in lockstep, and after a
+	// long interregnum a large unacked set would hammer the recovering
+	// primary with synchronized storms.
+	retryAt  sim.Time
+	attempts uint8
 }
 
 // Gateway is the submission front door. All methods must be called from the
@@ -536,7 +542,32 @@ func (g *Gateway) admitOneFrom(c Class) bool {
 	return false
 }
 
+// admitBackoffCap bounds the exponential re-send backoff, in multiples of
+// RetryEvery (500 ms default base -> 4 s cap).
+const admitBackoffCap = 8
+
+// sendAdmit ships one JobAdmit and arms the job's next retry: exponential
+// backoff from RetryEvery, capped at admitBackoffCap multiples, plus up to
+// 25% jitter hashed from (job ID, attempt). The jitter must not come from
+// the engine's random stream — retry timing would then perturb every other
+// consumer's draws.
 func (g *Gateway) sendAdmit(rec *jobRec) {
+	if rec.attempts < 255 {
+		rec.attempts++
+	}
+	d := g.cfg.RetryEvery
+	for i := uint8(1); i < rec.attempts && d < admitBackoffCap*g.cfg.RetryEvery; i++ {
+		d *= 2
+	}
+	if d > admitBackoffCap*g.cfg.RetryEvery {
+		d = admitBackoffCap * g.cfg.RetryEvery
+	}
+	h := uint64(fnvOffset)
+	for i := 0; i < len(rec.job.ID); i++ {
+		h = (h ^ uint64(rec.job.ID[i])) * fnvPrime
+	}
+	h = (h ^ uint64(rec.attempts)) * fnvPrime
+	rec.retryAt = g.eng.Now() + d + sim.Time(h%uint64(d/4+1))
 	g.net.Send(protocol.GatewayEndpoint, protocol.MasterEndpoint, protocol.JobAdmit{
 		JobID:      rec.job.ID,
 		Tenant:     rec.job.Tenant,
@@ -546,12 +577,14 @@ func (g *Gateway) sendAdmit(rec *jobRec) {
 	})
 }
 
-// retrySweep re-sends every outstanding JobAdmit — the safety net for
-// admits or acks lost without a master failover (e.g. sent into an
-// interregnum). Acked entries are compacted out.
+// retrySweep re-sends outstanding JobAdmits that are due — the safety net
+// for admits or acks lost without a master failover (e.g. sent into an
+// interregnum). Each job backs off independently (see sendAdmit), so the
+// sweep only ships the due subset. Acked entries are compacted out.
 func (g *Gateway) retrySweep() { g.flushUnacked(false) }
 
 func (g *Gateway) flushUnacked(replay bool) {
+	now := g.eng.Now()
 	w := 0
 	for _, id := range g.unacked {
 		rec := g.jobs[id]
@@ -561,8 +594,15 @@ func (g *Gateway) flushUnacked(replay bool) {
 		g.unacked[w] = id
 		w++
 		if replay {
+			// A freshly-promoted primary: send regardless of schedule and
+			// restart the backoff — the earlier attempts failed against a
+			// dead master, which says nothing about the new one.
+			rec.attempts = 0
 			g.replays++
 		} else {
+			if now < rec.retryAt {
+				continue
+			}
 			g.retries++
 		}
 		g.sendAdmit(rec)

@@ -146,3 +146,75 @@ func TestExpiryThenReacquireByThirdParty(t *testing.T) {
 		t.Error("acquire after expiry failed")
 	}
 }
+
+// TestPartitionedHolderFenced models the split-brain half of a partition: the
+// holder is cut off from the lock service (modelled as simply no longer
+// renewing), its lease expires, a new holder acquires, and when the old
+// holder comes back its writes — guarded by the fencing token it recorded at
+// acquire time — are rejected.
+func TestPartitionedHolderFenced(t *testing.T) {
+	eng := sim.NewEngine(1)
+	s := New(eng)
+	if !s.TryAcquire("master", "A", 100) {
+		t.Fatal("A acquire failed")
+	}
+	tokA := s.Token("master")
+	if !s.Validate("master", "A", tokA) {
+		t.Fatal("A's fresh token invalid")
+	}
+
+	// B queues for the lock; A is partitioned away and stops renewing.
+	var bTok uint64
+	acquired := false
+	s.AcquireOrWait("master", "B", 100, func() {
+		acquired = true
+		bTok = s.Token("master")
+	})
+	eng.Run(150) // past A's lease deadline
+
+	if !acquired {
+		t.Fatal("lease did not expire for the waiting standby")
+	}
+	if s.Holder("master") != "B" {
+		t.Fatalf("holder = %q, want B", s.Holder("master"))
+	}
+	if bTok <= tokA {
+		t.Fatalf("token did not advance across ownership change: A=%d B=%d", tokA, bTok)
+	}
+
+	// Partition heals: A tries to write with its stale token. A guarded
+	// store must reject it while accepting B's.
+	if s.Validate("master", "A", tokA) {
+		t.Error("deposed holder's stale token validated after heal")
+	}
+	if !s.Validate("master", "B", bTok) {
+		t.Error("current holder's token rejected")
+	}
+
+	// Even if A later reacquires legitimately, the old token stays dead.
+	s.Release("master", "B")
+	if !s.TryAcquire("master", "A", 100) {
+		t.Fatal("A re-acquire after release failed")
+	}
+	if s.Validate("master", "A", tokA) {
+		t.Error("pre-partition token resurrected by re-acquire")
+	}
+	if !s.Validate("master", "A", s.Token("master")) {
+		t.Error("A's new token invalid")
+	}
+}
+
+// A self-renewal must not burn a token: the fence only moves when ownership
+// actually changes hands.
+func TestRenewKeepsToken(t *testing.T) {
+	eng := sim.NewEngine(1)
+	s := New(eng)
+	s.TryAcquire("l", "A", 100)
+	tok := s.Token("l")
+	eng.Run(50)
+	s.Renew("l", "A")
+	s.TryAcquire("l", "A", 100) // re-acquire path renews too
+	if s.Token("l") != tok {
+		t.Errorf("token moved on renewal: %d -> %d", tok, s.Token("l"))
+	}
+}

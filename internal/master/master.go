@@ -23,6 +23,16 @@ type Config struct {
 	// LockTTL is the lease duration; RenewEvery the renewal period.
 	LockTTL    sim.Time
 	RenewEvery sim.Time
+	// LockReachable, when set, reports whether this process can currently
+	// reach the lock service — the hook a partition harness uses to model a
+	// master cut off from coordination. While unreachable the process cannot
+	// renew (or compete for) the lease; a primary that stays unreachable
+	// past its lease deadline self-demotes, because the server side has
+	// expired the lease and promoted the standby. Without the self-demotion
+	// a partitioned primary that still reaches the agents keeps acting as
+	// master alongside its successor (split brain). Nil means always
+	// reachable.
+	LockReachable func() bool
 	// HeartbeatTimeout declares an agent dead when silent this long.
 	HeartbeatTimeout sim.Time
 	// HeartbeatScan is the period of the dead-agent scan (the paper's
@@ -131,11 +141,22 @@ type Master struct {
 	gwID    tr
 	agentEP []tr // by machine ID
 
-	seq      protocol.Sequencer
-	dedup    protocol.Dedup
-	lastBeat []sim.Time // by machine ID
-	wheel    *beatWheel // lazy timer wheel over lastBeat (dead-agent scan)
-	strikes  []int      // by machine ID
+	seq   protocol.Sequencer
+	dedup protocol.Dedup
+	// capSeq numbers each agent's CapacityDelta/CapacitySync stream and
+	// appState.grantSeq each app's GrantUpdate stream (per receiver, not the
+	// shared m.seq): a receiver-side sequence gap then genuinely means a
+	// lost message, which is what lets agents request an immediate anchor
+	// instead of waiting for the periodic sync.
+	capSeq []protocol.Sequencer // by machine ID
+	// leaseDeadline is when the lease last acquired/renewed by this process
+	// expires server-side; fenceArmed tracks the pending self-demotion check
+	// armed while the lock service is unreachable.
+	leaseDeadline sim.Time
+	fenceArmed    bool
+	lastBeat      []sim.Time // by machine ID
+	wheel         *beatWheel // lazy timer wheel over lastBeat (dead-agent scan)
+	strikes       []int      // by machine ID
 	// flap is the cluster-level machine health score (see Config.Flap*):
 	// master-observed deaths raise it, the decay timer lowers it, and
 	// flapBlack marks machines blacklisted by it (so heartbeat-score
@@ -258,8 +279,17 @@ func (m *Master) appEndpoint(st *appState) tr {
 	return st.ep
 }
 
-// compete (re-)enters the election.
+// compete (re-)enters the election. While partitioned from the lock service
+// the process cannot reach the election at all; it polls reachability at the
+// renewal period instead of queueing a waiter it could not have registered.
 func (m *Master) compete() {
+	if m.crashed {
+		return
+	}
+	if m.cfg.LockReachable != nil && !m.cfg.LockReachable() {
+		m.eng.After(m.cfg.RenewEvery, m.compete)
+		return
+	}
 	m.lockAbort = m.lock.AcquireOrWait(m.cfg.LockName, m.cfg.ProcessName, m.cfg.LockTTL, m.promote)
 }
 
@@ -271,6 +301,8 @@ func (m *Master) promote() {
 		return
 	}
 	m.primary = true
+	m.leaseDeadline = m.eng.Now() + m.cfg.LockTTL
+	m.capSeq = make([]protocol.Sequencer, m.top.Size())
 	m.epoch = m.ckpt.BumpEpoch()
 	sched := m.cfg.Sched
 	if sched.Clock == nil {
@@ -376,8 +408,40 @@ func (m *Master) renew() {
 	if m.crashed || !m.primary {
 		return
 	}
+	if m.cfg.LockReachable != nil && !m.cfg.LockReachable() {
+		// Partitioned from the lock service: the renewal cannot be sent. The
+		// server side will expire the lease at leaseDeadline and promote the
+		// standby, so this process must stop acting as primary by then —
+		// arm the self-demotion check at exactly that instant (a renewal
+		// that succeeds in the meantime moves the deadline forward and the
+		// armed check no-ops).
+		if m.eng.Now() >= m.leaseDeadline {
+			m.demote()
+			return
+		}
+		if !m.fenceArmed {
+			m.fenceArmed = true
+			m.eng.At(m.leaseDeadline, m.fenceCheck)
+		}
+		return
+	}
 	if !m.lock.Renew(m.cfg.LockName, m.cfg.ProcessName) {
 		// Deposed (e.g. a long GC pause let the lease lapse): stand down.
+		m.demote()
+		return
+	}
+	m.leaseDeadline = m.eng.Now() + m.cfg.LockTTL
+}
+
+// fenceCheck fires at the lease deadline armed while the lock service was
+// unreachable: if no renewal moved the deadline since, the lease has expired
+// server-side and this process demotes itself.
+func (m *Master) fenceCheck() {
+	m.fenceArmed = false
+	if m.crashed || !m.primary {
+		return
+	}
+	if m.eng.Now() >= m.leaseDeadline {
 		m.demote()
 	}
 }
@@ -730,7 +794,7 @@ func (m *Master) applyReleases(rets []protocol.GrantReturn) []int32 {
 		}
 		m.net.SendID(m.epID, m.agentEP[ag.machine], protocol.CapacityDelta{
 			Entries: m.ownEntries(ag.entries),
-			Epoch:   m.epoch, Seq: m.seq.Next(),
+			Epoch:   m.epoch, Seq: m.capSeq[ag.machine].Next(),
 		})
 	}
 	return m.touched
@@ -772,7 +836,7 @@ func (m *Master) handleUnregister(t protocol.UnregisterApp) {
 		ag := &d.agents[i]
 		m.net.SendID(m.epID, m.agentEP[ag.machine], protocol.CapacityDelta{
 			Entries: m.ownEntries(ag.entries),
-			Epoch:   m.epoch, Seq: m.seq.Next(),
+			Epoch:   m.epoch, Seq: m.capSeq[ag.machine].Next(),
 		})
 	}
 	ds := m.sched.UnregisterApp(t.App)
@@ -986,7 +1050,7 @@ func (m *Master) reconcileHeld(st *appState, unitID int, appView map[int32]int) 
 		// Sort by machine ID so the fix order is reproducible (the ledgers
 		// are maps; iteration order must not reach the wire).
 		sort.Slice(fixes, func(i, j int) bool { return fixes[i].Machine < fixes[j].Machine })
-		seq := m.seq.Next()
+		seq := st.grantSeq.Next()
 		st.lastGrantSeq = seq
 		st.lastGrantAt = m.eng.Now()
 		m.net.SendID(m.epID, m.appEndpoint(st), protocol.GrantUpdate{
@@ -1005,6 +1069,13 @@ func (m *Master) handleHeartbeat(t *protocol.AgentHeartbeat) {
 	if m.sched.downID(mc) {
 		// The node recovered (or its network partition healed).
 		m.dispatch(m.sched.machineUpID(mc))
+		// A machine declared dead across a partition never restarted: its
+		// agent still carries every pre-partition grant, including ones the
+		// master has since revoked and reissued elsewhere. Re-baseline its
+		// ledger with a full sync (which also covers the grants just
+		// re-dispatched above — the sync snapshot is taken after them, and
+		// the per-agent sequence makes the overlap dedup away cleanly).
+		m.sendCapacitySync(mc)
 	}
 	if m.recovering && !m.restored[mc] {
 		if t.Full {
@@ -1121,10 +1192,19 @@ func (m *Master) handleCapacityQuery(t protocol.CapacityQuery) {
 	// A capacity query from a machine the master never declared dead is a
 	// surprise agent restart — the second flap signal besides heartbeat
 	// timeouts (a timeout-declared death was already scored when the scan
-	// found it, and its recovery query must not count twice).
-	if !m.sched.downID(mc) {
+	// found it, and its recovery query must not count twice). Gap-repair
+	// queries are explicitly exempt: a lossy link is the transport's fault,
+	// and scoring it would blacklist healthy machines under chaos.
+	if !t.Repair && !m.sched.downID(mc) {
 		m.noteFlap(mc)
 	}
+	m.sendCapacitySync(mc)
+}
+
+// sendCapacitySync replies to mc with its full granted capacity table — the
+// anchor that re-baselines an agent's ledger after a restart, a detected
+// delta gap, or a healed partition.
+func (m *Master) sendCapacitySync(mc int32) {
 	var entries []protocol.CapacityEntry
 	for _, app := range m.sched.appsSorted {
 		st := m.sched.apps[app]
@@ -1138,7 +1218,7 @@ func (m *Master) handleCapacityQuery(t protocol.CapacityQuery) {
 		}
 	}
 	m.net.SendID(m.epID, m.agentEP[mc], protocol.CapacitySync{
-		Machine: mc, Entries: entries, Epoch: m.epoch, Seq: m.seq.Next(),
+		Machine: mc, Entries: entries, Epoch: m.epoch, Seq: m.capSeq[mc].Next(),
 	})
 }
 
@@ -1326,7 +1406,7 @@ func (m *Master) dispatch(ds []Decision) {
 		ag := &d.agents[i]
 		m.net.SendID(m.epID, m.agentEP[ag.machine], protocol.CapacityDelta{
 			Entries: m.ownEntries(ag.entries),
-			Epoch:   m.epoch, Seq: m.seq.Next(),
+			Epoch:   m.epoch, Seq: m.capSeq[ag.machine].Next(),
 		})
 	}
 	for i := range d.apps {
@@ -1334,7 +1414,7 @@ func (m *Master) dispatch(ds []Decision) {
 		batch := d.batch[:0]
 		for j := range aa.units {
 			ua := &aa.units[j]
-			seq := m.seq.Next()
+			seq := aa.st.grantSeq.Next()
 			aa.st.lastGrantSeq = seq
 			aa.st.lastGrantAt = m.eng.Now()
 			batch = append(batch, protocol.GrantUpdate{

@@ -23,6 +23,7 @@ import (
 	"sort"
 
 	"repro/internal/ident"
+	"repro/internal/protocol"
 	"repro/internal/resource"
 	"repro/internal/sim"
 	"repro/internal/topology"
@@ -143,6 +144,12 @@ type appState struct {
 	// grant was LOST, and reconciling is exactly the repair the sync is for.
 	lastGrantSeq uint64
 	lastGrantAt  sim.Time
+	// grantSeq numbers this app's GrantUpdate stream. Grants are sequenced
+	// per app (and capacity deltas per agent) rather than from the master's
+	// global sequencer so that a receiver's Gap verdict actually means "a
+	// message to ME was lost" — under a shared sequencer every receiver saw
+	// permanent artificial gaps and loss was undetectable.
+	grantSeq protocol.Sequencer
 }
 
 // unit returns the state of one unit ID (nil when unknown): binary search

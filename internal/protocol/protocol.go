@@ -231,9 +231,13 @@ type MasterHello struct {
 
 // CapacityQuery is sent by a restarting FuxiAgent to FuxiMaster to re-learn
 // "the full granted resource amount from FuxiMaster for each application"
-// (paper §4.3.1, FuxiAgent failover).
+// (paper §4.3.1, FuxiAgent failover). Repair marks a gap-repair query from a
+// running agent that detected a lost CapacityDelta — unlike a restart query
+// it is no evidence of a machine flap, so the master answers it without
+// scoring the machine's health.
 type CapacityQuery struct {
 	Machine int32 // dense machine ID
+	Repair  bool
 	Seq     uint64
 }
 

@@ -1,0 +1,425 @@
+package scale
+
+// Chaos mode: the steady-state churn workload run under an adversarial
+// network schedule. Partition storms isolate a random group of agents from
+// the rest of the control plane (master, standby, applications) and heal
+// after a configured duration — one storm longer than the master's
+// heartbeat timeout (dead-declaration, revocation wave, reissue, and the
+// heal-time capacity resync), one shorter (pure sequence-gap repair, no
+// deaths). Link-flap windows bounce individual agent links, delay spikes
+// stretch and reorder their traffic, and an optional lock-service partition
+// cuts the primary from the lease while it still reaches every agent — the
+// dueling-masters shape the split-brain fencing exists for. The headline
+// metric is convergence-after-heal: from each heal instant, how long until
+// every partitioned machine's agent ledger again equals the primary's grant
+// ledger, polled on a fixed virtual-time cadence so the measurement is
+// deterministic. Results land in the `chaos` section of BENCH_scale.json
+// and are budget-gated in CI.
+
+import (
+	"math/rand"
+
+	"repro/internal/faults"
+	"repro/internal/metrics"
+	"repro/internal/protocol"
+	"repro/internal/sim"
+)
+
+// DefaultChaosConfig is the paper-scale chaos run: the 5,000-machine churn
+// workload with two partition storms inside the measurement window — 6 s
+// (beyond the 3 s heartbeat timeout) and 2 s (below it) over 2% of the
+// cluster — a link-flap window, delay spikes, and a 5 s lock-service
+// partition of the primary.
+func DefaultChaosConfig() Config {
+	c := DefaultChurnConfig()
+	c.Chaos = true
+	c.CheckInvariants = true
+	c.ChaosPartitionAt = []sim.Time{50 * sim.Second, 65 * sim.Second}
+	c.ChaosPartitionFor = []sim.Time{6 * sim.Second, 2 * sim.Second}
+	c.ChaosPartitionPct = 2
+	c.ChaosFlapAt = []sim.Time{72 * sim.Second}
+	c.ChaosFlaps = 4
+	c.ChaosSpikeAt = []sim.Time{75 * sim.Second}
+	c.ChaosSpikes = 4
+	c.ChaosSpikeDelay = 5 * sim.Millisecond
+	c.ChaosLockPartitionAt = 80 * sim.Second
+	c.ChaosLockPartitionFor = 5 * sim.Second
+	return c
+}
+
+// SmokeChaosConfig is the CI-sized chaos run: the 100-machine churn smoke
+// with the same storm shapes compressed into its 50-second horizon.
+func SmokeChaosConfig() Config {
+	c := SmokeChurnConfig()
+	c.Chaos = true
+	c.CheckInvariants = true
+	c.ChaosPartitionAt = []sim.Time{24 * sim.Second, 33 * sim.Second}
+	c.ChaosPartitionFor = []sim.Time{6 * sim.Second, 2 * sim.Second}
+	c.ChaosPartitionPct = 5
+	c.ChaosFlapAt = []sim.Time{37 * sim.Second}
+	c.ChaosFlaps = 2
+	c.ChaosSpikeAt = []sim.Time{40 * sim.Second}
+	c.ChaosSpikes = 2
+	c.ChaosSpikeDelay = 5 * sim.Millisecond
+	c.ChaosLockPartitionAt = 42 * sim.Second
+	c.ChaosLockPartitionFor = 5 * sim.Second
+	return c
+}
+
+const (
+	// chaosConvergePoll is the convergence probe cadence after each heal. A
+	// fixed virtual-time grid keeps the recorded convergence times exact
+	// multiples of the poll period and identical across shard counts.
+	chaosConvergePoll = 5 * sim.Millisecond
+	// chaosConvergeTimeout caps one heal's probe; a window that never
+	// converges records the cap and counts in Unconverged (which fails the
+	// budget check unconditionally).
+	chaosConvergeTimeout = 30 * sim.Second
+	// chaosDefaultPartitionFor is the storm duration when the config lists
+	// none for a storm index.
+	chaosDefaultPartitionFor = 5 * sim.Second
+)
+
+// czState is the chaos-mode bookkeeping.
+type czState struct {
+	h *harness
+	// frng is the dedicated fault stream (victim draws, fire times), so
+	// storm placement cannot perturb the workload's random draws.
+	frng *rand.Rand
+
+	plan    []faults.Injection
+	skipped int
+
+	// victimActive marks machines inside a heal→converged window (by dense
+	// ID): grants arriving on them count as reissued repair traffic.
+	victimActive []bool
+	// partActive counts currently-open partitions: revocations observed
+	// while one is open are grants the partition cost the applications.
+	partActive int
+
+	partitions          int
+	machinesPartitioned int
+	heals               int
+	flapped             int
+	spiked              int
+	lockPartitions      int
+	unconverged         int
+	lost                uint64
+	reissued            uint64
+
+	conv *metrics.Histogram
+}
+
+func newCZState(h *harness, machines int) *czState {
+	return &czState{
+		h:            h,
+		frng:         rand.New(rand.NewSource(h.cfg.Seed + 5)),
+		victimActive: make([]bool, machines),
+		conv:         h.reg.Histogram("scale.chaos_convergence_ms"),
+	}
+}
+
+// scheduleChaos arms the whole adversarial schedule up front. Every random
+// draw (partition groups, flap/spike victims, fire times) happens now on the
+// dedicated fault stream, through the same faults.ApplyTo planner the
+// standalone fault driver uses.
+func (h *harness) scheduleChaos() {
+	cz := h.cz
+	cfg := h.cfg
+	h.net.EnableLinkStats()
+
+	apply := func(camp faults.Campaign) {
+		plan, skipped := faults.ApplyTo(chaosTarget{h}, camp)
+		cz.plan = append(cz.plan, plan...)
+		cz.skipped += skipped
+	}
+	k := int(float64(h.top.Size()) * cfg.ChaosPartitionPct / 100)
+	if k < 1 {
+		k = 1
+	}
+	for i, at := range cfg.ChaosPartitionAt {
+		dur := chaosDefaultPartitionFor
+		if i < len(cfg.ChaosPartitionFor) && cfg.ChaosPartitionFor[i] > 0 {
+			dur = cfg.ChaosPartitionFor[i]
+		}
+		apply(faults.Campaign{
+			Start: at, Window: sim.Millisecond,
+			NetworkPartition: 1, PartitionMachines: k, PartitionFor: dur,
+		})
+	}
+	for _, at := range cfg.ChaosFlapAt {
+		apply(faults.Campaign{Start: at, Window: sim.Millisecond, LinkFlap: cfg.ChaosFlaps})
+	}
+	for _, at := range cfg.ChaosSpikeAt {
+		apply(faults.Campaign{
+			Start: at, Window: sim.Millisecond,
+			DelaySpike: cfg.ChaosSpikes, SpikeDelay: cfg.ChaosSpikeDelay,
+		})
+	}
+	if cfg.ChaosLockPartitionAt > 0 && cfg.ChaosLockPartitionFor > 0 {
+		h.eng.At(cfg.ChaosLockPartitionAt, cz.lockPartition)
+	}
+}
+
+// chaosTarget adapts the harness to faults.Target + faults.NetworkTarget.
+// Chaos campaigns carry network faults only, so the machine-fault hooks are
+// deliberately inert (the churn workload keeps every machine alive).
+type chaosTarget struct{ h *harness }
+
+func (t chaosTarget) Rand() *rand.Rand            { return t.h.cz.frng }
+func (t chaosTarget) At(at sim.Time, fn func())   { t.h.eng.At(at, fn) }
+func (t chaosTarget) Machines() []string          { return t.h.top.Machines() }
+func (t chaosTarget) KillMachine(string)          {}
+func (t chaosTarget) BreakMachine(string)         {}
+func (t chaosTarget) SlowMachine(string, float64) {}
+func (t chaosTarget) KillPrimaryMaster()          {}
+
+func (t chaosTarget) PartitionMachines(group []string, dur sim.Time) {
+	t.h.cz.beginPartition(group, dur)
+}
+
+func (t chaosTarget) FlapMachineLink(m string, down, up sim.Time, cycles int) {
+	t.h.cz.flap(m, down, up, cycles)
+}
+
+func (t chaosTarget) SpikeMachineLink(m string, extra, dur sim.Time) {
+	t.h.cz.spike(m, extra, dur)
+}
+
+// beginPartition isolates the group's agents from the rest of the control
+// plane (the transport holds one partition at a time, so an overlapping
+// storm retries until the previous one healed) and schedules the heal.
+func (cz *czState) beginPartition(group []string, dur sim.Time) {
+	h := cz.h
+	if h.net.Partitioned() {
+		h.eng.After(500*sim.Millisecond, func() { cz.beginPartition(group, dur) })
+		return
+	}
+	cz.partitions++
+	cz.machinesPartitioned += len(group)
+	cz.partActive++
+	eps := make([]string, len(group))
+	ids := make([]int32, len(group))
+	for i, m := range group {
+		eps[i] = protocol.AgentEndpoint(m)
+		ids[i] = h.top.MachineID(m)
+	}
+	h.net.Isolate(eps)
+	h.eng.After(dur, func() { cz.heal(ids) })
+}
+
+// heal lifts the partition and starts the convergence probe: every
+// chaosConvergePoll, compare each victim machine's agent allocation table
+// against the primary's grant ledger until they all match (or the timeout
+// records the window as unconverged).
+func (cz *czState) heal(victims []int32) {
+	h := cz.h
+	cz.partActive--
+	h.net.Heal()
+	cz.heals++
+	for _, id := range victims {
+		cz.victimActive[id] = true
+	}
+	healAt := h.eng.Now()
+	deadline := healAt + chaosConvergeTimeout
+	finish := func(ms float64) {
+		cz.conv.Observe(ms)
+		for _, id := range victims {
+			cz.victimActive[id] = false
+		}
+	}
+	var poll func()
+	poll = func() {
+		if cz.convergedAll(victims) {
+			finish(float64(h.eng.Now()-healAt) / float64(sim.Millisecond))
+			return
+		}
+		if h.eng.Now() >= deadline {
+			cz.unconverged++
+			finish(float64(chaosConvergeTimeout) / float64(sim.Millisecond))
+			return
+		}
+		h.eng.After(chaosConvergePoll, poll)
+	}
+	h.eng.After(chaosConvergePoll, poll)
+}
+
+// convergedAll reports whether every victim machine's agent-side allocation
+// table equals the primary master's grant ledger for that machine. During an
+// interregnum there is no authoritative ledger, so nothing converges.
+func (cz *czState) convergedAll(victims []int32) bool {
+	h := cz.h
+	s := h.primarySched()
+	if s == nil {
+		return false
+	}
+	byMachine := s.GrantedByMachine()
+	for _, id := range victims {
+		if !ledgerEqual(byMachine[h.top.MachineName(id)], h.agents[id].Allocations()) {
+			return false
+		}
+	}
+	return true
+}
+
+// ledgerEqual compares two app → unit → count tables (both sides omit zero
+// counts, so length equality plus entry equality is exact).
+func ledgerEqual(a, b map[string]map[int]int) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for app, ua := range a {
+		ub := b[app]
+		if len(ua) != len(ub) {
+			return false
+		}
+		for unit, n := range ua {
+			if ub[unit] != n {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// flap cycles one agent's link down/up without touching its process state.
+func (cz *czState) flap(m string, down, up sim.Time, cycles int) {
+	h := cz.h
+	cz.flapped++
+	ep := protocol.AgentEndpoint(m)
+	var cycle func(k int)
+	cycle = func(k int) {
+		if k >= cycles {
+			return
+		}
+		h.net.SetLinkDown(ep, true)
+		h.eng.After(down, func() {
+			h.net.SetLinkDown(ep, false)
+			h.eng.After(up, func() { cycle(k + 1) })
+		})
+	}
+	cycle(0)
+}
+
+// spike adds extra one-way delay on one agent's links for dur. Spiked
+// messages land out of order relative to un-spiked ones — exactly the
+// reordering the stale-sync and gap machinery must absorb.
+func (cz *czState) spike(m string, extra, dur sim.Time) {
+	h := cz.h
+	cz.spiked++
+	ep := protocol.AgentEndpoint(m)
+	h.net.SetLinkDelay(ep, extra)
+	h.eng.After(dur, func() { h.net.SetLinkDelay(ep, 0) })
+}
+
+// lockPartition cuts the current primary from the lock service while it
+// still reaches every agent: the lease expires server-side, the standby
+// promotes, and the deposed primary must self-demote at its lease deadline —
+// exactly one master may win. Fired during an interregnum it retries.
+func (cz *czState) lockPartition() {
+	h := cz.h
+	for i, m := range h.masters {
+		if m != nil && m.IsPrimary() {
+			cz.lockPartitions++
+			idx := i
+			h.lockReach[idx] = false
+			h.eng.After(h.cfg.ChaosLockPartitionFor, func() { h.lockReach[idx] = true })
+			return
+		}
+	}
+	h.eng.After(500*sim.Millisecond, cz.lockPartition)
+}
+
+// noteGrant/noteRevoke are the scaleApp callbacks' chaos hooks. A revoke
+// while a partition is open is a grant the storm cost the application (the
+// master declared the unreachable machine dead and evacuated it); a grant
+// landing on a victim machine between heal and convergence is repair
+// traffic re-establishing the pre-storm allocation.
+func (cz *czState) noteGrant(machine int32, count int) {
+	if cz.victimActive[machine] {
+		cz.reissued += uint64(count)
+	}
+}
+
+func (cz *czState) noteRevoke(count int) {
+	if cz.partActive > 0 {
+		cz.lost += uint64(count)
+	}
+}
+
+// ChaosStats is the `chaos` section of BENCH_scale.json. The struct is
+// comparable (flat fields only) so determinism tests assert whole-struct
+// equality across repeated runs and shard counts.
+type ChaosStats struct {
+	Partitions          int `json:"partitions"`
+	MachinesPartitioned int `json:"machines_partitioned"`
+	Heals               int `json:"heals"`
+	LinkFlaps           int `json:"link_flaps"`
+	DelaySpikes         int `json:"delay_spikes"`
+	LockPartitions      int `json:"lock_partitions"`
+	Injections          int `json:"injections"`
+	InjectionsSkipped   int `json:"injections_skipped,omitempty"`
+
+	// Convergence-after-heal: heal instant → every victim machine's agent
+	// ledger equals the primary's grant ledger, in virtual milliseconds.
+	ConvergenceP50MS float64 `json:"convergence_p50_ms"`
+	ConvergenceP99MS float64 `json:"convergence_p99_ms"`
+	ConvergenceMaxMS float64 `json:"convergence_max_ms"`
+	// Unconverged counts heal windows that hit the probe timeout (must be
+	// 0; CheckBudgets fails it unconditionally).
+	Unconverged int `json:"unconverged,omitempty"`
+
+	// LostGrants are revocations applications observed while a partition
+	// was open; ReissuedGrants are grants landing on victim machines during
+	// their heal→convergence window.
+	LostGrants     uint64 `json:"lost_grants"`
+	ReissuedGrants uint64 `json:"reissued_grants"`
+
+	// MasterEpoch is the final election epoch (> 1 iff the lock partition
+	// forced a promotion).
+	MasterEpoch int `json:"master_epoch"`
+
+	// Per-link loss attribution (transport link stats, chaos runs only):
+	// how many ordered endpoint pairs dropped traffic, the total dropped,
+	// and the worst pair.
+	LinksWithLoss    int    `json:"links_with_loss"`
+	LinkMsgsDropped  uint64 `json:"link_msgs_dropped"`
+	WorstLink        string `json:"worst_link,omitempty"`
+	WorstLinkDropped uint64 `json:"worst_link_dropped,omitempty"`
+}
+
+func (cz *czState) snapshot(h *harness) *ChaosStats {
+	cs := &ChaosStats{
+		Partitions:          cz.partitions,
+		MachinesPartitioned: cz.machinesPartitioned,
+		Heals:               cz.heals,
+		LinkFlaps:           cz.flapped,
+		DelaySpikes:         cz.spiked,
+		LockPartitions:      cz.lockPartitions,
+		Injections:          len(cz.plan),
+		InjectionsSkipped:   cz.skipped,
+		ConvergenceP50MS:    cz.conv.Quantile(0.5),
+		ConvergenceP99MS:    cz.conv.Quantile(0.99),
+		ConvergenceMaxMS:    cz.conv.Max(),
+		Unconverged:         cz.unconverged,
+		LostGrants:          cz.lost,
+		ReissuedGrants:      cz.reissued,
+	}
+	for _, m := range h.masters {
+		if m != nil && m.Epoch() > cs.MasterEpoch {
+			cs.MasterEpoch = m.Epoch()
+		}
+	}
+	for _, ls := range h.net.LinkStats() {
+		if ls.Dropped == 0 {
+			continue
+		}
+		cs.LinksWithLoss++
+		cs.LinkMsgsDropped += ls.Dropped
+		if ls.Dropped > cs.WorstLinkDropped {
+			cs.WorstLinkDropped = ls.Dropped
+			cs.WorstLink = ls.From + "->" + ls.To
+		}
+	}
+	return cs
+}

@@ -212,6 +212,37 @@ type Config struct {
 	ReplayStormWindow   sim.Time   `json:"replay_storm_window_us,omitempty"`
 	ReplayStormDowntime sim.Time   `json:"replay_storm_downtime_us,omitempty"`
 	ReplaySlowFactor    float64    `json:"replay_slow_factor,omitempty"`
+
+	// Chaos runs the workload under an adversarial network schedule (see
+	// chaos.go): partition storms isolating agent groups, link flaps, delay
+	// spikes, and an optional lock-service partition of the primary master —
+	// faults the machine-crash modes above never produce, because crashed
+	// processes stop talking whereas partitioned ones keep acting on stale
+	// state. Results land in the `chaos` section of BENCH_scale.json.
+	Chaos bool `json:"chaos,omitempty"`
+	// ChaosPartitionAt lists partition-storm start times; the parallel
+	// ChaosPartitionFor lists each storm's duration (default 5 s). Every
+	// storm isolates ChaosPartitionPct percent of the machines (default 1
+	// machine) from the rest of the control plane.
+	ChaosPartitionAt  []sim.Time `json:"chaos_partition_at_us,omitempty"`
+	ChaosPartitionFor []sim.Time `json:"chaos_partition_for_us,omitempty"`
+	ChaosPartitionPct float64    `json:"chaos_partition_pct,omitempty"`
+	// ChaosFlapAt lists link-flap windows: at each, ChaosFlaps machines have
+	// their links bounced down/up (transport defaults: 500 ms / 500 ms × 3).
+	ChaosFlapAt []sim.Time `json:"chaos_flap_at_us,omitempty"`
+	ChaosFlaps  int        `json:"chaos_flaps,omitempty"`
+	// ChaosSpikeAt lists delay-spike windows: at each, ChaosSpikes machines
+	// get ChaosSpikeDelay of extra one-way latency for 1 s — enough to land
+	// their traffic out of order relative to un-spiked links.
+	ChaosSpikeAt    []sim.Time `json:"chaos_spike_at_us,omitempty"`
+	ChaosSpikes     int        `json:"chaos_spikes,omitempty"`
+	ChaosSpikeDelay sim.Time   `json:"chaos_spike_delay_us,omitempty"`
+	// ChaosLockPartitionAt cuts the current primary master from the lock
+	// service for ChaosLockPartitionFor while it still reaches every agent:
+	// the lease expires, the standby promotes, and the deposed primary must
+	// fence itself at its lease deadline (0 disables).
+	ChaosLockPartitionAt  sim.Time `json:"chaos_lock_partition_at_us,omitempty"`
+	ChaosLockPartitionFor sim.Time `json:"chaos_lock_partition_for_us,omitempty"`
 }
 
 // DefaultConfig is the paper-scale run: 5,000 machines across 125 racks and
@@ -338,6 +369,11 @@ type Result struct {
 	// accounting (replay mode only; the `replay` section of
 	// BENCH_scale.json).
 	Replay *ReplayStats `json:"replay,omitempty"`
+	// Chaos holds the adversarial-network measurements — storm accounting,
+	// convergence-after-heal percentiles, lost/reissued grant counts, link
+	// loss attribution (chaos mode only; the `chaos` section of
+	// BENCH_scale.json).
+	Chaos *ChaosStats `json:"chaos,omitempty"`
 	// AllocsPerAdmission and MessagesPerAdmission are the whole run's
 	// allocation and message volume per registered job (gateway mode only;
 	// the budget gates in CI enforce them).
@@ -420,6 +456,12 @@ type Budgets struct {
 	MinReplayServiceSLOPct         float64 `json:"min_replay_service_slo_pct,omitempty"`
 	MaxReplayServiceAdmissionP99MS float64 `json:"max_replay_service_admission_p99_ms,omitempty"`
 	MaxReplayShedPct               float64 `json:"max_replay_shed_pct,omitempty"`
+	// Chaos gates (chaos mode only): maximum convergence-after-heal p99 and
+	// maximum grants reissued during heal windows. Any unconverged heal
+	// window fails the check unconditionally — that is a correctness signal,
+	// not a calibrated budget.
+	MaxChaosConvergenceP99MS float64 `json:"max_chaos_convergence_p99_ms,omitempty"`
+	MaxChaosReissued         uint64  `json:"max_chaos_reissued,omitempty"`
 }
 
 // CheckBudgets returns the budget violations of this run (nil when within
@@ -430,6 +472,25 @@ type Budgets struct {
 // per-grant budgets were calibrated on.
 func (r *Result) CheckBudgets(b Budgets) []string {
 	var bad []string
+	if r.Chaos != nil {
+		// Chaos runs are gated on recovery behaviour: any heal window that
+		// never reconverged is a hard failure, and the convergence-time and
+		// repair-traffic budgets hold the recovery path's regression line.
+		cz := r.Chaos
+		if cz.Unconverged > 0 {
+			bad = append(bad, fmt.Sprintf("%d heal window(s) never reconverged within the probe timeout",
+				cz.Unconverged))
+		}
+		if b.MaxChaosConvergenceP99MS > 0 && cz.ConvergenceP99MS > b.MaxChaosConvergenceP99MS {
+			bad = append(bad, fmt.Sprintf("chaos convergence p99 %.0f ms exceeds budget %.0f ms",
+				cz.ConvergenceP99MS, b.MaxChaosConvergenceP99MS))
+		}
+		if b.MaxChaosReissued > 0 && cz.ReissuedGrants > b.MaxChaosReissued {
+			bad = append(bad, fmt.Sprintf("chaos reissued grants %d exceed budget %d",
+				cz.ReissuedGrants, b.MaxChaosReissued))
+		}
+		return bad
+	}
 	if r.Replay != nil {
 		// Replay runs are gated on workload-level SLO attainment: the
 		// diurnal open-loop shape makes alloc-per-decision incomparable to
@@ -581,6 +642,11 @@ type harness struct {
 	// crash the primary through the same path as scheduled failovers.
 	rp   *rpState
 	mcfg master.Config
+	// cz is the chaos-mode state (chaos mode only); lockReach is the
+	// per-master lock-service reachability the chaos lock partition toggles
+	// (index matches h.masters).
+	cz        *czState
+	lockReach [2]bool
 	// machineCrashes counts injected machine failovers, bounding the
 	// blacklist slice of the checkpoint write budget.
 	machineCrashes int
@@ -706,6 +772,9 @@ func Run(cfg Config) (*Result, error) {
 	if cfg.Racks <= 0 || cfg.MachinesPerRack <= 0 || cfg.UnitsPerApp <= 0 {
 		return nil, fmt.Errorf("scale: non-positive cluster or workload dimension")
 	}
+	if cfg.Chaos && gwMode {
+		return nil, fmt.Errorf("scale: chaos mode runs the classic or churn workload, not a gateway mode")
+	}
 	if cfg.Replay {
 		if cfg.Dataplane {
 			return nil, fmt.Errorf("scale: replay and dataplane modes are mutually exclusive")
@@ -782,6 +851,14 @@ func Run(cfg Config) (*Result, error) {
 	if cfg.Replay {
 		h.rp = newRPState(h, top.Size())
 	}
+	if cfg.Chaos {
+		h.cz = newCZState(h, top.Size())
+		// Route both masters' lease reachability through the harness so the
+		// chaos lock partition can cut the primary from the lock service
+		// while its data-plane links stay up.
+		h.lockReach = [2]bool{true, true}
+		mcfg.LockReachable = func() bool { return h.lockReach[0] }
+	}
 	if len(cfg.MasterFailoverAt) > 0 {
 		mcfg.OnRecovered = h.onRecovered
 	}
@@ -810,10 +887,17 @@ func Run(cfg Config) (*Result, error) {
 		}, eng, net)
 	}
 	h.masters = append(h.masters, master.NewMaster(mcfg, eng, net, lock, top, ckpt, reg))
-	if len(cfg.MasterFailoverAt) > 0 {
+	needStandby := len(cfg.MasterFailoverAt) > 0 ||
+		(cfg.Chaos && cfg.ChaosLockPartitionAt > 0 && cfg.ChaosLockPartitionFor > 0)
+	if needStandby {
 		m2 := mcfg
 		m2.ProcessName = "fm-scale-2"
+		if cfg.Chaos {
+			m2.LockReachable = func() bool { return h.lockReach[1] }
+		}
 		h.masters = append(h.masters, master.NewMaster(m2, eng, net, lock, top, ckpt, reg))
+	}
+	if len(cfg.MasterFailoverAt) > 0 {
 		for _, at := range cfg.MasterFailoverAt {
 			eng.At(at, func() { h.crashPrimary(mcfg) })
 		}
@@ -877,6 +961,9 @@ func Run(cfg Config) (*Result, error) {
 			idx := i
 			eng.At(at, func() { h.spawnApp(idx) })
 		}
+	}
+	if cfg.Chaos {
+		h.scheduleChaos()
 	}
 
 	// Failover churn: crash a random up machine, restart after the
@@ -988,6 +1075,9 @@ func Run(cfg Config) (*Result, error) {
 	}
 	if h.rp != nil {
 		res.Replay = h.rp.snapshot(h)
+	}
+	if h.cz != nil {
+		res.Chaos = h.cz.snapshot(h)
 	}
 	if s := h.primarySched(); s != nil {
 		if ps := s.ParallelStats(); ps.Sweeps > 0 {
@@ -1192,6 +1282,9 @@ func (h *harness) spawnApp(idx int) {
 func (a *scaleApp) onGrant(unitID int, machine int32, count int) {
 	h := a.h
 	h.grants += uint64(count)
+	if h.cz != nil {
+		h.cz.noteGrant(machine, count)
+	}
 	if h.pauseAt != 0 && h.eng.Now()-h.pauseAt > sim.Millisecond {
 		// First grant from the promoted successor (the dead master's
 		// in-flight deliveries all land within one message latency).
@@ -1256,6 +1349,9 @@ func (a *scaleApp) onGrant(unitID int, machine int32, count int) {
 func (a *scaleApp) onRevoke(unitID int, machine int32, count int) {
 	h := a.h
 	h.revokes += uint64(count)
+	if h.cz != nil {
+		h.cz.noteRevoke(count)
+	}
 	if h.rp != nil {
 		h.rp.revokes[a.class] += uint64(count)
 	}

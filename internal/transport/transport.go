@@ -13,10 +13,30 @@
 // the ID forms SendID/SendBatchID; the string forms remain as thin wrappers
 // for setup code and tests. Handlers receive the sender's EndpointID and
 // can recover the name with Name when they need it at a boundary.
+//
+// Beyond the uniform loss/jitter knobs, the network carries scheduled
+// per-link conditions for chaos campaigns (internal/faults NetworkPartition
+// / LinkFlap / DelaySpike): Partition/Isolate/Heal split the endpoint set
+// into unreachable groups, SetLinkDown flaps one endpoint's links without
+// touching its SetDown crash state, SetLinkDelay adds a per-endpoint delay
+// spike, and SetLinkRule installs per-(from,to) drop/dup/delay/jitter rules.
+// All of it is evaluated only while some condition is active, so the clean
+// hot path pays a single boolean check.
+//
+// Ordering contract: messages queued with separate Send/SendID calls on the
+// same (from,to) link deliver in send order ONLY when their delivery delays
+// are equal — with Jitter (global, per-link rule, or a delay spike raised
+// mid-flight) each message draws its own delay, so separate sends may
+// reorder. SendBatch/SendBatchID is the exception: one batch is one wire
+// unit with a single delay draw and a single delivery event, and its
+// messages are handed to the receiver in order, always. Protocol code that
+// needs FIFO within one instant must batch; everything else must tolerate
+// reordering (the dedup/gap machinery in internal/protocol does).
 package transport
 
 import (
 	"fmt"
+	"sort"
 
 	"repro/internal/ident"
 	"repro/internal/sim"
@@ -53,6 +73,34 @@ type Stats struct {
 	Batches    uint64
 }
 
+// LinkRule is a per-(from,to) network condition: extra drop/duplication
+// probability, extra fixed delay, extra uniform jitter, and a hard cut.
+// Rules compose with the global knobs (both are applied).
+type LinkRule struct {
+	Drop   float64
+	Dup    float64
+	Delay  sim.Time
+	Jitter sim.Time
+	Cut    bool
+}
+
+// LinkStat is one ordered endpoint pair's traffic counters, collected only
+// while per-link stats are enabled (EnableLinkStats). Delayed counts
+// messages that carried chaos-condition extra delay.
+type LinkStat struct {
+	From, To  string
+	Sent      uint64
+	Delivered uint64
+	Dropped   uint64
+	Delayed   uint64
+}
+
+// linkKey identifies one ordered endpoint pair.
+type linkKey struct{ from, to EndpointID }
+
+// linkCnt is the mutable counter cell behind one LinkStat.
+type linkCnt struct{ sent, delivered, dropped, delayed uint64 }
+
 // Net is the simulated network. All methods must be called from the
 // simulation goroutine.
 type Net struct {
@@ -73,6 +121,31 @@ type Net struct {
 	Tap func(from, to string, msg Message)
 
 	stats Stats
+
+	// Scheduled network conditions. side assigns endpoints to partition
+	// groups (0 = in no group); isolate flags Isolate semantics (group 1 is
+	// cut from everyone else) versus Partition semantics (groups 1 and 2 are
+	// cut from each other, unassigned endpoints reach both). flapDown cuts
+	// every link of one endpoint — a flapping NIC — without touching the
+	// SetDown crash state, so link flaps and machine crashes compose.
+	// linkDelay adds per-endpoint extra one-way delay (delay spikes); rules
+	// holds per-(from,to) conditions. chaos caches whether any condition is
+	// active: the clean hot path pays exactly one boolean check.
+	side       []int8
+	flapDown   []bool
+	linkDelay  []sim.Time
+	rules      map[linkKey]LinkRule
+	partActive bool
+	isolate    bool
+	flapN      int
+	delayN     int
+	chaos      bool
+
+	// Per-link counters, kept behind a flag so the hot path stays
+	// alloc-free when nobody is attributing loss.
+	linkStatsOn bool
+	linkStats   map[linkKey]*linkCnt
+
 	// batchPool recycles the in-flight []Message copies SendBatch makes:
 	// a batch's backing array returns to the pool after its delivery event
 	// hands the messages to the receiver, so steady-state batched fan-out
@@ -131,6 +204,9 @@ func (n *Net) Endpoint(name string) EndpointID {
 	for int(id) >= len(n.eps) {
 		n.eps = append(n.eps, nil)
 		n.dwn = append(n.dwn, false)
+		n.side = append(n.side, 0)
+		n.flapDown = append(n.flapDown, false)
+		n.linkDelay = append(n.linkDelay, 0)
 	}
 	return id
 }
@@ -178,6 +254,229 @@ func (n *Net) Stats() Stats { return n.stats }
 // ResetStats zeroes the traffic counters.
 func (n *Net) ResetStats() { n.stats = Stats{} }
 
+// ---------------------------------------------------------------------------
+// Scheduled network conditions
+// ---------------------------------------------------------------------------
+
+// Partition splits the network into two groups that cannot reach each
+// other: messages between a and b are dropped at send time, and messages
+// already in flight across the cut are dropped at arrival (a partition
+// starting mid-flight loses them, like a real wire). Endpoints in neither
+// group keep connectivity to both sides — the asymmetric shape behind
+// split-brain scenarios (master and standby cut from each other but both
+// reachable from agents). A new Partition or Isolate replaces any earlier
+// one; Heal clears it.
+func (n *Net) Partition(a, b []string) {
+	n.clearSides()
+	for _, name := range a {
+		n.side[n.Endpoint(name)] = 1
+	}
+	for _, name := range b {
+		n.side[n.Endpoint(name)] = 2
+	}
+	n.partActive, n.isolate = true, false
+	n.recomputeChaos()
+}
+
+// Isolate cuts the given endpoints off from everyone outside the group;
+// links within the group stay up. This is the partition-storm shape: a rack
+// or machine set drops off the control plane while the rest of the cluster
+// keeps running. A new Partition or Isolate replaces any earlier one; Heal
+// clears it.
+func (n *Net) Isolate(group []string) {
+	n.clearSides()
+	for _, name := range group {
+		n.side[n.Endpoint(name)] = 1
+	}
+	n.partActive, n.isolate = true, true
+	n.recomputeChaos()
+}
+
+// Heal clears the active partition (only — link flaps, delay spikes, and
+// per-link rules are separate conditions with their own clears).
+func (n *Net) Heal() {
+	n.clearSides()
+	n.partActive = false
+	n.recomputeChaos()
+}
+
+// Partitioned reports whether a partition is currently active.
+func (n *Net) Partitioned() bool { return n.partActive }
+
+func (n *Net) clearSides() {
+	for i := range n.side {
+		n.side[i] = 0
+	}
+}
+
+// SetLinkDown cuts (or restores) every link of one endpoint — a flapping
+// NIC. Distinct from SetDown, which models the machine itself halting, so a
+// fault campaign's flaps never mask or clear a concurrent crash.
+func (n *Net) SetLinkDown(name string, down bool) {
+	id := n.Endpoint(name)
+	if n.flapDown[id] == down {
+		return
+	}
+	n.flapDown[id] = down
+	if down {
+		n.flapN++
+	} else {
+		n.flapN--
+	}
+	n.recomputeChaos()
+}
+
+// SetLinkDelay adds extra one-way delay to every message into or out of one
+// endpoint — a delay spike. Zero clears it. The extra applies per message
+// on top of Latency/Jitter; in-flight messages keep the delay they were
+// queued with.
+func (n *Net) SetLinkDelay(name string, extra sim.Time) {
+	id := n.Endpoint(name)
+	if (n.linkDelay[id] > 0) != (extra > 0) {
+		if extra > 0 {
+			n.delayN++
+		} else {
+			n.delayN--
+		}
+	}
+	n.linkDelay[id] = extra
+	n.recomputeChaos()
+}
+
+// SetLinkRule installs a per-(from,to) condition evaluated on top of the
+// global knobs. A zero LinkRule clears the pair.
+func (n *Net) SetLinkRule(from, to string, r LinkRule) {
+	k := linkKey{n.Endpoint(from), n.Endpoint(to)}
+	if r == (LinkRule{}) {
+		delete(n.rules, k)
+	} else {
+		if n.rules == nil {
+			n.rules = make(map[linkKey]LinkRule)
+		}
+		n.rules[k] = r
+	}
+	n.recomputeChaos()
+}
+
+// ClearConditions resets every scheduled condition — partition, flaps,
+// delay spikes, and per-link rules — returning the network to clean state.
+func (n *Net) ClearConditions() {
+	n.clearSides()
+	n.partActive = false
+	for i := range n.flapDown {
+		n.flapDown[i] = false
+	}
+	for i := range n.linkDelay {
+		n.linkDelay[i] = 0
+	}
+	n.flapN, n.delayN = 0, 0
+	n.rules = nil
+	n.recomputeChaos()
+}
+
+func (n *Net) recomputeChaos() {
+	n.chaos = n.partActive || n.flapN > 0 || n.delayN > 0 || len(n.rules) > 0
+}
+
+// cut reports whether the (from,to) link is severed by an active condition.
+// Checked at send AND at arrival, so messages in flight when a partition or
+// flap starts are lost with it.
+func (n *Net) cut(from, to EndpointID) bool {
+	if n.flapDown[from] || n.flapDown[to] {
+		return true
+	}
+	if n.partActive {
+		a, b := n.side[from], n.side[to]
+		if n.isolate {
+			if (a == 1) != (b == 1) {
+				return true
+			}
+		} else if a != 0 && b != 0 && a != b {
+			return true
+		}
+	}
+	if len(n.rules) > 0 && n.rules[linkKey{from, to}].Cut {
+		return true
+	}
+	return false
+}
+
+// linkCheck evaluates the active conditions for one message on (from,to):
+// whether it is dropped, whether a per-link rule duplicates it, and how
+// much extra one-way delay it carries. Called only while chaos is active;
+// randomness is drawn only for the probabilistic rule fields.
+func (n *Net) linkCheck(from, to EndpointID) (drop, dup bool, extra sim.Time) {
+	if n.cut(from, to) {
+		return true, false, 0
+	}
+	extra = n.linkDelay[from] + n.linkDelay[to]
+	if len(n.rules) > 0 {
+		if r, ok := n.rules[linkKey{from, to}]; ok {
+			if r.Drop > 0 && n.eng.Rand().Float64() < r.Drop {
+				return true, false, 0
+			}
+			extra += r.Delay
+			if r.Jitter > 0 {
+				extra += sim.Time(n.eng.Rand().Int63n(int64(r.Jitter)))
+			}
+			if r.Dup > 0 && n.eng.Rand().Float64() < r.Dup {
+				dup = true
+			}
+		}
+	}
+	return false, dup, extra
+}
+
+// EnableLinkStats turns on per-link counters (sent/delivered/dropped/
+// delayed per ordered endpoint pair). Off by default: the counters cost a
+// map operation per message.
+func (n *Net) EnableLinkStats() {
+	n.linkStatsOn = true
+	if n.linkStats == nil {
+		n.linkStats = make(map[linkKey]*linkCnt)
+	}
+}
+
+// ResetLinkStats zeroes the per-link counters.
+func (n *Net) ResetLinkStats() {
+	if n.linkStats != nil {
+		n.linkStats = make(map[linkKey]*linkCnt)
+	}
+}
+
+func (n *Net) linkCnt(from, to EndpointID) *linkCnt {
+	k := linkKey{from, to}
+	c := n.linkStats[k]
+	if c == nil {
+		c = &linkCnt{}
+		n.linkStats[k] = c
+	}
+	return c
+}
+
+// LinkStats returns the per-link counters sorted by (From, To) name — the
+// deterministic loss-attribution view chaos runs surface. Nil unless
+// EnableLinkStats was called.
+func (n *Net) LinkStats() []LinkStat {
+	if n.linkStats == nil {
+		return nil
+	}
+	out := make([]LinkStat, 0, len(n.linkStats))
+	for k, c := range n.linkStats {
+		out = append(out, LinkStat{
+			From: n.Name(k.from), To: n.Name(k.to),
+			Sent: c.sent, Delivered: c.delivered, Dropped: c.dropped, Delayed: c.delayed,
+		})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].From != out[j].From {
+			return out[i].From < out[j].From
+		}
+		return out[i].To < out[j].To
+	})
+	return out
+}
+
 func messageSize(msg Message) int {
 	if s, ok := msg.(Sizer); ok {
 		return s.WireSize()
@@ -192,26 +491,49 @@ func (n *Net) Send(from, to string, msg Message) {
 }
 
 // SendID queues msg for asynchronous delivery from one interned endpoint to
-// another. Delivery is dropped when either side is down, when the
-// destination is unregistered at arrival time, or by random loss injection.
+// another. Delivery is dropped when either side is down, when the link is
+// cut by an active partition/flap condition (at send or at arrival), when
+// the destination is unregistered at arrival time, or by random loss
+// injection (global or per-link rule).
 func (n *Net) SendID(from, to EndpointID, msg Message) {
 	if n.Tap != nil {
 		n.Tap(n.Name(from), n.Name(to), msg)
 	}
 	n.stats.Sent++
 	n.stats.Bytes += uint64(messageSize(msg))
+	if n.linkStatsOn {
+		n.linkCnt(from, to).sent++
+	}
 	if n.dwn[from] || n.dwn[to] {
-		n.stats.Dropped++
+		n.dropped(from, to, 1)
 		return
+	}
+	var extra sim.Time
+	ruleDup := false
+	if n.chaos {
+		var drop bool
+		drop, ruleDup, extra = n.linkCheck(from, to)
+		if drop {
+			n.dropped(from, to, 1)
+			return
+		}
 	}
 	if n.DropRate > 0 && n.eng.Rand().Float64() < n.DropRate {
-		n.stats.Dropped++
+		n.dropped(from, to, 1)
 		return
 	}
-	n.deliverAfterLatency(from, to, msg)
-	if n.DupRate > 0 && n.eng.Rand().Float64() < n.DupRate {
+	n.deliverAfterLatency(from, to, msg, extra)
+	if ruleDup || (n.DupRate > 0 && n.eng.Rand().Float64() < n.DupRate) {
 		n.stats.Duplicated++
-		n.deliverAfterLatency(from, to, msg)
+		n.deliverAfterLatency(from, to, msg, extra)
+	}
+}
+
+// dropped accounts count messages lost on (from,to).
+func (n *Net) dropped(from, to EndpointID, count uint64) {
+	n.stats.Dropped += count
+	if n.linkStatsOn {
+		n.linkCnt(from, to).dropped += count
 	}
 }
 
@@ -245,20 +567,35 @@ func (n *Net) SendBatchID(from, to EndpointID, msgs []Message) {
 	for _, msg := range msgs {
 		n.stats.Bytes += uint64(messageSize(msg))
 	}
+	if n.linkStatsOn {
+		n.linkCnt(from, to).sent += uint64(len(msgs))
+	}
 	if n.dwn[from] || n.dwn[to] {
-		n.stats.Dropped += uint64(len(msgs))
+		n.dropped(from, to, uint64(len(msgs)))
 		return
 	}
+	var extra sim.Time
+	ruleDup := false
+	if n.chaos {
+		// One draw per batch, like the global knobs: a batch is one wire
+		// unit, so per-link loss and delay apply to it as a whole.
+		var drop bool
+		drop, ruleDup, extra = n.linkCheck(from, to)
+		if drop {
+			n.dropped(from, to, uint64(len(msgs)))
+			return
+		}
+	}
 	if n.DropRate > 0 && n.eng.Rand().Float64() < n.DropRate {
-		n.stats.Dropped += uint64(len(msgs))
+		n.dropped(from, to, uint64(len(msgs)))
 		return
 	}
 	// Senders may reuse msgs, so each delivery gets its own pooled copy
 	// (returned to the pool once the receiver has consumed it).
-	n.deliverBatchAfterLatency(from, to, n.copyBatch(msgs))
-	if n.DupRate > 0 && n.eng.Rand().Float64() < n.DupRate {
+	n.deliverBatchAfterLatency(from, to, n.copyBatch(msgs), extra)
+	if ruleDup || (n.DupRate > 0 && n.eng.Rand().Float64() < n.DupRate) {
 		n.stats.Duplicated += uint64(len(msgs))
-		n.deliverBatchAfterLatency(from, to, n.copyBatch(msgs))
+		n.deliverBatchAfterLatency(from, to, n.copyBatch(msgs), extra)
 	}
 }
 
@@ -281,20 +618,26 @@ func (n *Net) recycleBatch(batch []Message) {
 	n.batchPool = append(n.batchPool, batch[:0])
 }
 
-func (n *Net) deliverBatchAfterLatency(from, to EndpointID, batch []Message) {
-	d := n.Latency
+func (n *Net) deliverBatchAfterLatency(from, to EndpointID, batch []Message, extra sim.Time) {
+	d := n.Latency + extra
 	if n.Jitter > 0 {
 		d += sim.Time(n.eng.Rand().Int63n(int64(n.Jitter)))
+	}
+	if extra > 0 && n.linkStatsOn {
+		n.linkCnt(from, to).delayed += uint64(len(batch))
 	}
 	rec := n.getDelivery()
 	rec.from, rec.to, rec.batch = from, to, batch
 	n.eng.Post(d, n.deliverFn, rec)
 }
 
-func (n *Net) deliverAfterLatency(from, to EndpointID, msg Message) {
-	d := n.Latency
+func (n *Net) deliverAfterLatency(from, to EndpointID, msg Message, extra sim.Time) {
+	d := n.Latency + extra
 	if n.Jitter > 0 {
 		d += sim.Time(n.eng.Rand().Int63n(int64(n.Jitter)))
+	}
+	if extra > 0 && n.linkStatsOn {
+		n.linkCnt(from, to).delayed++
 	}
 	rec := n.getDelivery()
 	rec.from, rec.to, rec.msg = from, to, msg
@@ -302,6 +645,8 @@ func (n *Net) deliverAfterLatency(from, to EndpointID, msg Message) {
 }
 
 // deliver lands one in-flight record: the arrival half of Send/SendBatch.
+// The down and cut checks repeat here — an endpoint that crashed, or a
+// partition that started, after the message was queued still loses it.
 func (n *Net) deliver(a any) {
 	rec := a.(*delivery)
 	from, to := rec.from, rec.to
@@ -310,10 +655,13 @@ func (n *Net) deliver(a any) {
 		count = uint64(len(rec.batch))
 	}
 	h := n.eps[to]
-	if n.dwn[to] || n.dwn[from] || h == nil {
-		n.stats.Dropped += count
+	if n.dwn[to] || n.dwn[from] || h == nil || (n.chaos && n.cut(from, to)) {
+		n.dropped(from, to, count)
 	} else {
 		n.stats.Delivered += count
+		if n.linkStatsOn {
+			n.linkCnt(from, to).delivered += count
+		}
 		if rec.batch != nil {
 			for _, msg := range rec.batch {
 				h(from, msg)
