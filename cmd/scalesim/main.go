@@ -45,6 +45,19 @@
 // lost/reissued grant counts and per-link loss attribution land in the
 // `chaos` section and are budget-gated.
 //
+// With -obs the churn workload runs with the observability plane enabled
+// (internal/scale obs mode): the master records a ring-buffered in-memory
+// time-series of per-round cluster state — free/granted capacity per rack,
+// queue depths per size class, preemption and flap totals, per-link loss on
+// watched machine links, checkpoint write/byte counters — with a strictly
+// alloc-free record path, while a query client interrogates it live over the
+// simulated transport (windowed scans with last/min/max/p50/p99 downsampling
+// and rack/class group-by). The master checkpoints through the incremental
+// delta log (anchor snapshots plus per-mutation deltas, periodic
+// compaction), and the measured byte saving over snapshot-per-write is
+// gated. Ring shape, query conversation totals and checksum, link-loss
+// attribution and checkpoint accounting land in the `obs` section.
+//
 // With -check-budgets the run is a CI regression gate: it exits non-zero
 // when allocs/decision, messages/grant, or (gateway mode) allocs/admission
 // and messages/admission exceed the budgets (which are also recorded in the
@@ -61,6 +74,7 @@
 //	go run ./cmd/scalesim -smoke -check-budgets   # perf regression gate
 //	go run ./cmd/scalesim -gateway -merge -out BENCH_scale.json
 //	go run ./cmd/scalesim -gateway -smoke -check-budgets -prev BENCH_scale.json
+//	go run ./cmd/scalesim -obs -merge -out BENCH_scale.json
 package main
 
 import (
@@ -120,8 +134,13 @@ func run() int {
 		rpStorm  = flag.Float64("replay-storm-pct", 0, "override the storm victim percentage in -replay mode")
 		chaos    = flag.Bool("chaos", false,
 			"run the churn workload under an adversarial network schedule (partition storms, link flaps, delay spikes, lock-service partition) with convergence-after-heal gates")
-		czPct         = flag.Float64("chaos-partition-pct", 0, "override the partitioned machine percentage per storm in -chaos mode")
+		czPct = flag.Float64("chaos-partition-pct", 0, "override the partitioned machine percentage per storm in -chaos mode")
+		obsM  = flag.Bool("obs", false,
+			"run the churn workload with the observability plane (ring-buffered master time-series, live queries over transport, incremental delta checkpoints) and record the `obs` section")
+		obsRetain     = flag.Int("obs-retain", 0, "override the time-series ring capacity (rows) in -obs mode")
 		gate          = flag.Bool("check-budgets", false, "exit non-zero when the run exceeds the perf budgets (CI regression gate)")
+		maxObsAllocs  = flag.Float64("max-obs-allocs-per-sample", 0.004, "obs record-path allocs/sample budget enforced by -check-budgets in -obs mode (default trips on any allocation during calibration)")
+		maxCkptBpj    = flag.Float64("max-checkpoint-bytes-per-job", 0, "checkpoint bytes per registered job budget enforced by -check-budgets in -obs mode (0 disables; -prev supplies the recorded value)")
 		maxAllocs     = flag.Float64("max-allocs-per-decision", 10, "allocs/decision budget enforced by -check-budgets")
 		maxMsgPerG    = flag.Float64("max-messages-per-grant", 5.5, "messages/grant budget enforced by -check-budgets")
 		maxAllocsAdm  = flag.Float64("max-allocs-per-admission", 60, "allocs/admission budget enforced by -check-budgets in -gateway mode")
@@ -268,6 +287,27 @@ func run() int {
 		czCfg.ChaosPartitionPct = *czPct
 	}
 
+	obCfg := scale.DefaultObsConfig()
+	if *smoke {
+		obCfg = scale.SmokeObsConfig()
+	}
+	override(&obCfg)
+	if *horizonS == 0 {
+		obCfg.Horizon = obCfg.ChurnWarmup + obCfg.ChurnMeasure
+	}
+	if *apps > 0 {
+		obCfg.Apps = *apps
+	}
+	if *units > 0 {
+		obCfg.UnitsPerApp = *units
+	}
+	if *shards != 0 {
+		obCfg.Shards = *shards
+	}
+	if *obsRetain > 0 {
+		obCfg.ObsRetain = *obsRetain
+	}
+
 	shardCounts, err := parseShardCounts(*shardList)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "scalesim:", err)
@@ -304,6 +344,8 @@ func run() int {
 		MaxReplayShedPct:               *maxRpShed,
 		MaxChaosConvergenceP99MS:       *maxCzConvP99,
 		MaxChaosReissued:               *maxCzReissued,
+		MaxObsAllocsPerSample:          *maxObsAllocs,
+		MaxCheckpointBytesPerJob:       *maxCkptBpj,
 	}
 	prevSections, prevDiffBase := loadPrev(*prev, &budgets)
 
@@ -350,6 +392,22 @@ func run() int {
 		}
 	}
 	switch {
+	case *obsM:
+		res, err := scale.Run(obCfg)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "scalesim:", err)
+			return 1
+		}
+		res.Prev = diffPrev(prevDiffBase, prevSections, []string{"obs"})
+		payload = res
+		mergeKey = "obs"
+		printResult("obs (observability plane)", res)
+		gateViolations("obs", res)
+		// The scenario's contract: samples were recorded and the ring
+		// wrapped, live queries were answered mid-run, flap loss showed up
+		// on the watched links, the delta log beat snapshot-per-write by
+		// the acceptance margin, and the checker stays silent.
+		broken = broken || obsBroken(res)
 	case *chaos:
 		res, err := scale.Run(czCfg)
 		if err != nil {
@@ -614,6 +672,18 @@ func replayBroken(r *scale.Result) bool {
 		rp.Injections-rp.InjectionsSkipped == 0
 }
 
+// obsBroken applies the observability scenario's pass/fail contract.
+func obsBroken(r *scale.Result) bool {
+	if len(r.Invariants) > 0 || r.Obs == nil {
+		return true
+	}
+	o := r.Obs
+	return o.SamplesTotal == 0 || o.Queries == 0 || o.Responses == 0 ||
+		o.QueryResults == 0 ||
+		(o.FlapWindows > 0 && o.LinkDropsObserved == 0) ||
+		o.CheckpointSavingsX < 5
+}
+
 // chaosBroken applies the chaos scenario's pass/fail contract.
 func chaosBroken(r *scale.Result) bool {
 	if len(r.Invariants) > 0 || r.Chaos == nil {
@@ -734,6 +804,12 @@ func loadPrev(path string, budgets *scale.Budgets) (map[string]json.RawMessage, 
 			}
 			if pb.MaxChaosReissued > 0 && !explicit["max-chaos-reissued"] {
 				budgets.MaxChaosReissued = pb.MaxChaosReissued
+			}
+			if pb.MaxObsAllocsPerSample > 0 && !explicit["max-obs-allocs-per-sample"] {
+				budgets.MaxObsAllocsPerSample = pb.MaxObsAllocsPerSample
+			}
+			if pb.MaxCheckpointBytesPerJob > 0 && !explicit["max-checkpoint-bytes-per-job"] {
+				budgets.MaxCheckpointBytesPerJob = pb.MaxCheckpointBytesPerJob
 			}
 		}
 	}
@@ -876,6 +952,17 @@ func printResult(label string, r *scale.Result) {
 		fmt.Printf("  %d grants lost in storms, %d reissued on heal; link loss: %d links dropped %d msgs (worst %s: %d)\n",
 			cz.LostGrants, cz.ReissuedGrants, cz.LinksWithLoss, cz.LinkMsgsDropped,
 			cz.WorstLink, cz.WorstLinkDropped)
+	}
+	if o := r.Obs; o != nil {
+		fmt.Printf("  obs: %d series × %d-row ring (%d B/row), %d samples recorded (%d retained), %.3f allocs/sample\n",
+			o.Series, o.RingCapacity, o.BytesPerSample, o.SamplesTotal, o.SamplesRetained, o.AllocsPerSample)
+		fmt.Printf("  queries: %d issued, %d answered, %d group-by rows, checksum %016x; server p50 %.0fµs p99 %.0fµs (wall)\n",
+			o.Queries, o.Responses, o.QueryResults, o.QueryChecksum, o.QueryP50US, o.QueryP99US)
+		fmt.Printf("  links: %d watched, %d flap windows, %d msgs dropped and attributed\n",
+			o.WatchedLinks, o.FlapWindows, o.LinkDropsObserved)
+		fmt.Printf("  checkpoint: %d writes, %d delta B + %d anchor B (%d compactions), %.0f B/job vs %.0f full-snapshot — %.1fx saving\n",
+			o.CheckpointWrites, o.CheckpointDeltaBytes, o.CheckpointAnchorBytes,
+			o.CheckpointCompactions, o.CheckpointBytesPerJob, o.FullSnapshotBytesPerJob, o.CheckpointSavingsX)
 	}
 	if len(r.Invariants) > 0 {
 		fmt.Printf("  INVARIANT VIOLATIONS: %v\n", r.Invariants)

@@ -659,6 +659,17 @@ func (g *Gateway) JobCompleted(id string) bool {
 	return true
 }
 
+// ShedTotal returns the cumulative shed count across every reason — an O(1)
+// alloc-free read for the observability sampler (Snapshot materializes the
+// full per-reason breakdown and allocates).
+func (g *Gateway) ShedTotal() uint64 {
+	var shed uint64
+	for _, n := range g.shed {
+		shed += n
+	}
+	return shed
+}
+
 // Drained reports whether every submission reached a terminal state
 // (completed or shed) — the run-loop exit condition for open-loop drivers.
 func (g *Gateway) Drained() bool {

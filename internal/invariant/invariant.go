@@ -222,6 +222,25 @@ func (c *Checker) CheckCheckpointWrites(budget int) []string {
 	return c.record(nil)
 }
 
+// CheckCheckpointBytes asserts the checkpoint store's cumulative byte
+// volume (delta log plus compaction anchors) stays under budget — the
+// incremental-checkpoint companion to CheckCheckpointWrites: write *counts*
+// prove the fast path stays off durable storage, byte volume proves each
+// write stays proportional to the mutation it records rather than to
+// cluster state. Callers compute the budget from the churned-job count and
+// per-record size, not from the number of registered applications.
+func (c *Checker) CheckCheckpointBytes(budget int64) []string {
+	if c.Ckpt == nil {
+		return c.record(nil)
+	}
+	if got := c.Ckpt.Bytes(); got > budget {
+		return c.record([]string{fmt.Sprintf(
+			"checkpoint: %d bytes (delta %d + anchor %d) exceed the churn-proportional budget %d",
+			got, c.Ckpt.DeltaBytes, c.Ckpt.AnchorBytes, budget)})
+	}
+	return c.record(nil)
+}
+
 // CheckAll runs every check appropriate for the moment: scheduler and
 // admission checks always, ledger and quota checks only when settled is
 // true.

@@ -6,6 +6,7 @@ import (
 
 	"repro/internal/lockservice"
 	"repro/internal/metrics"
+	"repro/internal/obs"
 	"repro/internal/protocol"
 	"repro/internal/resource"
 	"repro/internal/sim"
@@ -90,6 +91,17 @@ type Config struct {
 	// number of containers granted by the post-recovery assignment pass —
 	// demand that was queued or re-sent during the interregnum.
 	OnRecovered func(epoch int, reissuedGrants int)
+	// Obs, when set, turns on the observability plane: the primary records
+	// one sample row into this store at the end of every scheduling round
+	// (BatchWindow mode) and answers obs.QueryRequest messages over the
+	// transport. Both hot-standby processes may share one store; series
+	// registration is idempotent across promotions.
+	Obs *obs.Store
+	// ObsSampler, when set alongside Obs, fires after each master sample
+	// row is recorded, letting the embedding harness add its own series
+	// (per-link loss counters, gateway shed, workload rates) to the same
+	// row. It runs on the simulation goroutine.
+	ObsSampler func(now sim.Time)
 }
 
 // DefaultConfig returns production-flavoured defaults for a process name.
@@ -204,6 +216,9 @@ type Master struct {
 	recUnreg  []protocol.UnregisterApp
 	timers    []sim.Cancel
 	lockAbort sim.Cancel
+	// obs holds the pre-resolved series handles of the observability plane
+	// (obssample.go); inert unless cfg.Obs is set.
+	obs obsRec
 }
 
 // tr abbreviates the transport endpoint ID in struct fields.
@@ -319,6 +334,9 @@ func (m *Master) promote() {
 	}
 	for _, b := range snap.Blacklist {
 		m.sched.SetBlacklisted(b, true, false)
+	}
+	if m.cfg.Obs != nil {
+		m.initObs()
 	}
 	if m.cfg.OnPromote != nil {
 		m.cfg.OnPromote(m.epoch)
@@ -569,6 +587,8 @@ func (m *Master) handle(from tr, msg transport.Message) {
 		m.handleBadReport(t)
 	case protocol.JobAdmit:
 		m.handleJobAdmit(t)
+	case obs.QueryRequest:
+		m.handleObsQuery(from, t)
 	}
 	m.reg.Histogram("master.request_ms").Observe(float64(time.Since(start).Nanoseconds()) / 1e6)
 }
@@ -713,6 +733,9 @@ func (m *Master) flushRound() {
 	m.reg.Histogram("master.sched_ms").Observe(float64(time.Since(start).Nanoseconds()) / 1e6)
 	m.dispatch(ds)
 	m.dsBuf = ds[:0]
+	if m.cfg.Obs != nil {
+		m.sampleObs()
+	}
 }
 
 // handleReturnBatch unpacks a coalesced return batch into the shared path

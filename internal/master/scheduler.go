@@ -230,6 +230,9 @@ type Scheduler struct {
 	par       []*shardScratch
 	parStats  ParallelStats
 
+	// preempted counts units revoked by quota preemption (obs time-series).
+	preempted int64
+
 	// asg is the reusable serial-assignment walk state: binding the
 	// candidate callback to a long-lived struct keeps the per-machine sweep
 	// from allocating a fresh escape-to-heap closure on every free-up.

@@ -345,6 +345,45 @@ func (s *Scheduler) GroupMin(group string) resource.Vector {
 // PreemptionEnabled reports whether two-level preemption is active.
 func (s *Scheduler) PreemptionEnabled() bool { return s.opts.EnablePreemption }
 
+// Preemptions returns the cumulative count of resource units revoked by the
+// two-level quota preemption path since the scheduler was built. The obs
+// sampler differences successive reads to derive a per-round preemption rate.
+func (s *Scheduler) Preemptions() int64 { return s.preempted }
+
+// ForEachRackFree visits every rack's aggregate free vector by dense rack
+// ID. The callback receives the scheduler-owned vector; callers must not
+// retain or mutate it. Alloc-free — it sits on the per-round obs record
+// path.
+func (s *Scheduler) ForEachRackFree(fn func(rack int32, free resource.Vector)) {
+	for rack := int32(0); rack < s.nRack; rack++ {
+		fn(rack, s.rackFree[rack])
+	}
+}
+
+// ClusterQueueDepths visits the cluster-level waiting queue grouped by size
+// class: fn receives the class shape (CPU milli, memory MB, opaque for
+// virtual-dimension units) and the number of live waiting (app, unit)
+// entries of that shape. Only classes with live demand are reported. The
+// walk is O(priorities × classes), alloc-free, and a no-op on non-locality
+// tree implementations.
+func (s *Scheduler) ClusterQueueDepths(fn func(cpuMilli, memMB int64, opaque bool, depth int)) {
+	t, ok := s.tree.(*localityTree)
+	if !ok || t.cq == nil {
+		return
+	}
+	for _, prio := range t.cq.prios {
+		b := t.cq.buckets[prio]
+		if b == nil {
+			continue
+		}
+		for _, c := range b.classes {
+			if c.nLive > 0 {
+				fn(c.cpu, c.mem, c.opaque, c.nLive)
+			}
+		}
+	}
+}
+
 // GrantedByMachine builds machine -> app -> unit -> count from the grant
 // ledger — the master-side view the cluster-wide invariant checker compares
 // against each FuxiAgent's capacity table. Names at the boundary.

@@ -1,0 +1,129 @@
+package obs
+
+import (
+	"testing"
+
+	"repro/internal/sim"
+)
+
+func TestRingEvictionIsExact(t *testing.T) {
+	// Capacity 4, six samples: rows 1 and 2 must be evicted exactly — not
+	// approximately aged out — and the retained window must be [3, 6].
+	s := NewStore(4)
+	id := s.Register("m", "g")
+	for i := 1; i <= 6; i++ {
+		s.Advance(sim.Time(i) * sim.Second)
+		s.Set(id, int64(10*i))
+	}
+	if s.Len() != 4 || s.Cap() != 4 {
+		t.Fatalf("Len=%d Cap=%d, want 4/4", s.Len(), s.Cap())
+	}
+	if s.Total() != 6 {
+		t.Fatalf("Total=%d, want 6", s.Total())
+	}
+	if got, want := s.OldestTime(), 3*sim.Second; got != want {
+		t.Fatalf("OldestTime=%v, want %v", got, want)
+	}
+	if got, want := s.NewestTime(), 6*sim.Second; got != want {
+		t.Fatalf("NewestTime=%v, want %v", got, want)
+	}
+	// A query over all time sees only retained rows: 30+40+50+60.
+	a, ok := s.Aggregate(id, 0, 0)
+	if !ok || a.Count != 4 || a.Sum != 180 || a.Min != 30 || a.Max != 60 || a.Last != 60 {
+		t.Fatalf("full-window aggregate = %+v ok=%v", a, ok)
+	}
+	// A window entirely inside the evicted past returns nothing.
+	if _, ok := s.Aggregate(id, sim.Second, 2*sim.Second); ok {
+		t.Fatalf("window over evicted rows returned samples")
+	}
+}
+
+func TestWindowStraddlesWrapPoint(t *testing.T) {
+	// With capacity 4 and 6 samples, the ring slots hold (by slot index)
+	// rows 5, 6, 3, 4 — chronological order straddles the wrap. A window
+	// [4s, 5s] must pick exactly rows 4 and 5 across that seam.
+	s := NewStore(4)
+	id := s.Register("m", "g")
+	for i := 1; i <= 6; i++ {
+		s.Advance(sim.Time(i) * sim.Second)
+		s.Set(id, int64(i))
+	}
+	a, ok := s.Aggregate(id, 4*sim.Second, 5*sim.Second)
+	if !ok || a.Count != 2 || a.Min != 4 || a.Max != 5 || a.Sum != 9 || a.Last != 5 {
+		t.Fatalf("straddling window aggregate = %+v ok=%v", a, ok)
+	}
+	// Half-open past: from before retention picks everything retained.
+	a, ok = s.Aggregate(id, 0, 4*sim.Second)
+	if !ok || a.Count != 2 || a.Sum != 7 {
+		t.Fatalf("left-clamped window aggregate = %+v ok=%v", a, ok)
+	}
+}
+
+func TestRegisterIdempotentAndLateSeriesReadZero(t *testing.T) {
+	s := NewStore(8)
+	a := s.Register("m", "g")
+	if b := s.Register("m", "g"); b != a {
+		t.Fatalf("re-registering returned %d, want %d", b, a)
+	}
+	s.Advance(sim.Second)
+	s.Set(a, 7)
+	late := s.Register("m", "late")
+	s.Advance(2 * sim.Second)
+	s.Set(late, 9)
+	// The late series' first row (t=1s) reads as zero.
+	got, ok := s.Aggregate(late, 0, 0)
+	if !ok || got.Count != 2 || got.Sum != 9 || got.Min != 0 {
+		t.Fatalf("late series aggregate = %+v ok=%v", got, ok)
+	}
+	if _, ok := s.Lookup("m", "nope"); ok {
+		t.Fatalf("Lookup invented a series")
+	}
+}
+
+func TestAddAccumulatesWithinRow(t *testing.T) {
+	s := NewStore(4)
+	id := s.Register("queue.depth", "c500x2048")
+	s.Advance(sim.Second)
+	s.Add(id, 3)
+	s.Add(id, 4)
+	if got := s.Get(id); got != 7 {
+		t.Fatalf("Get after two Adds = %d, want 7", got)
+	}
+	s.Advance(2 * sim.Second)
+	if got := s.Get(id); got != 0 {
+		t.Fatalf("new row not zeroed: %d", got)
+	}
+}
+
+func TestRecordPathIsAllocFree(t *testing.T) {
+	// The HTAP constraint in miniature: after warmup, Advance+Set+Add must
+	// not allocate — the same zero-alloc discipline the CI budget pins on
+	// the full sampler.
+	s := NewStore(64)
+	ids := make([]SeriesID, 32)
+	for i := range ids {
+		ids[i] = s.Register("m", string(rune('a'+i)))
+	}
+	now := sim.Time(0)
+	record := func() {
+		now += sim.Millisecond
+		s.Advance(now)
+		for _, id := range ids {
+			s.Set(id, int64(now))
+			s.Add(id, 1)
+		}
+	}
+	record() // warm
+	if avg := testing.AllocsPerRun(200, record); avg != 0 {
+		t.Fatalf("record path allocates %.2f/sample, want 0", avg)
+	}
+}
+
+func TestBytesPerSample(t *testing.T) {
+	s := NewStore(16)
+	s.Register("a", "")
+	s.Register("b", "")
+	if got := s.BytesPerSample(); got != 24 { // 2 series + shared timestamp
+		t.Fatalf("BytesPerSample=%d, want 24", got)
+	}
+}

@@ -154,6 +154,38 @@ func (v Vector) Dimensions() []string {
 	return out
 }
 
+// NumDimensions reports how many non-zero dimensions ForEachDimension will
+// visit, without allocating.
+func (v Vector) NumDimensions() int {
+	n := len(v.extras)
+	if v.cpu != 0 {
+		n++
+	}
+	if v.mem != 0 {
+		n++
+	}
+	return n
+}
+
+// ForEachDimension calls fn for every non-zero dimension in the same sorted
+// order Dimensions returns. Alloc-free when the vector carries no extra
+// dimensions (every vector the scheduler and checkpoint codec touch);
+// extras fall back to the sorted copy. CPU sorts before Memory.
+func (v Vector) ForEachDimension(fn func(dim string, amount int64)) {
+	if len(v.extras) == 0 {
+		if v.cpu != 0 {
+			fn(CPU, v.cpu)
+		}
+		if v.mem != 0 {
+			fn(Memory, v.mem)
+		}
+		return
+	}
+	for _, d := range v.Dimensions() {
+		fn(d, v.Get(d))
+	}
+}
+
 // IsZero reports whether every dimension is zero.
 func (v Vector) IsZero() bool { return v.cpu == 0 && v.mem == 0 && len(v.extras) == 0 }
 

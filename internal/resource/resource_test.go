@@ -270,3 +270,41 @@ func TestLocalityStrings(t *testing.T) {
 		t.Error("cluster hint string mismatch")
 	}
 }
+
+func TestForEachDimensionMatchesDimensions(t *testing.T) {
+	cases := []Vector{
+		{},
+		New(600, 0),
+		New(0, 2048),
+		New(600, 2048),
+		New(600, 2048).With("gpu", 2).With("disk_mb", 4096),
+	}
+	for _, v := range cases {
+		var gotDims []string
+		var gotAmts []int64
+		v.ForEachDimension(func(d string, a int64) {
+			gotDims = append(gotDims, d)
+			gotAmts = append(gotAmts, a)
+		})
+		want := v.Dimensions()
+		if len(gotDims) != len(want) || v.NumDimensions() != len(want) {
+			t.Errorf("%v: visited %v (n=%d), want %v", v, gotDims, v.NumDimensions(), want)
+			continue
+		}
+		for i, d := range want {
+			if gotDims[i] != d || gotAmts[i] != v.Get(d) {
+				t.Errorf("%v: dim %d = (%s,%d), want (%s,%d)", v, i, gotDims[i], gotAmts[i], d, v.Get(d))
+			}
+		}
+	}
+}
+
+func TestForEachDimensionAllocFree(t *testing.T) {
+	v := New(600, 2048)
+	sink := int64(0)
+	if n := testing.AllocsPerRun(100, func() {
+		v.ForEachDimension(func(_ string, a int64) { sink += a })
+	}); n != 0 {
+		t.Errorf("ForEachDimension allocated %.1f times per run on an extras-free vector", n)
+	}
+}

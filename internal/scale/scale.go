@@ -243,6 +243,19 @@ type Config struct {
 	// fence itself at its lease deadline (0 disables).
 	ChaosLockPartitionAt  sim.Time `json:"chaos_lock_partition_at_us,omitempty"`
 	ChaosLockPartitionFor sim.Time `json:"chaos_lock_partition_for_us,omitempty"`
+
+	// Obs enables the observability plane (see obs.go): the primary master
+	// records a ring-buffered time-series sample every scheduling round
+	// (requires RoundWindow > 0), the harness flaps watched links to make
+	// per-link loss queryable over time, and a live query client
+	// interrogates the store over the transport mid-run. Results land in
+	// the `obs` section of BENCH_scale.json.
+	Obs bool `json:"obs,omitempty"`
+	// ObsRetain is the ring capacity in samples (default 1024; the run is
+	// expected to wrap it, proving eviction).
+	ObsRetain int `json:"obs_retain,omitempty"`
+	// ObsQueryEvery is the live query cadence (0 disables queries).
+	ObsQueryEvery sim.Time `json:"obs_query_every_us,omitempty"`
 }
 
 // DefaultConfig is the paper-scale run: 5,000 machines across 125 racks and
@@ -356,6 +369,12 @@ type Result struct {
 	// granted by the promoted masters' post-recovery assignment passes.
 	GrantsLost     uint64 `json:"grants_lost_on_failover,omitempty"`
 	GrantsReissued uint64 `json:"grants_reissued,omitempty"`
+	// Checkpoint byte accounting (failover scenarios), the durable-storage
+	// cost of the run: write count, cumulative bytes (delta log plus
+	// compaction anchors), and bytes per registered job.
+	CheckpointWrites      int     `json:"checkpoint_writes,omitempty"`
+	CheckpointBytes       int64   `json:"checkpoint_bytes,omitempty"`
+	CheckpointBytesPerJob float64 `json:"checkpoint_bytes_per_job,omitempty"`
 
 	// Gateway holds the submission gateway's measurement snapshot — the
 	// `gateway` section of BENCH_scale.json (gateway mode only).
@@ -374,6 +393,10 @@ type Result struct {
 	// loss attribution (chaos mode only; the `chaos` section of
 	// BENCH_scale.json).
 	Chaos *ChaosStats `json:"chaos,omitempty"`
+	// Obs holds the observability-plane measurements — ring shape, live
+	// query conversation, loss attribution, incremental checkpoint byte
+	// accounting (obs mode only; the `obs` section of BENCH_scale.json).
+	Obs *ObsStats `json:"obs,omitempty"`
 	// AllocsPerAdmission and MessagesPerAdmission are the whole run's
 	// allocation and message volume per registered job (gateway mode only;
 	// the budget gates in CI enforce them).
@@ -462,6 +485,13 @@ type Budgets struct {
 	// not a calibrated budget.
 	MaxChaosConvergenceP99MS float64 `json:"max_chaos_convergence_p99_ms,omitempty"`
 	MaxChaosReissued         uint64  `json:"max_chaos_reissued,omitempty"`
+	// Obs gates (obs mode only): maximum allocations per time-series sample
+	// (the record path must stay alloc-free in steady state; the calibrated
+	// value is gated at a fraction of one) and maximum checkpoint bytes per
+	// registered job (the incremental-checkpoint regression line: a
+	// snapshot-per-write regression multiplies it by the job count).
+	MaxObsAllocsPerSample    float64 `json:"max_obs_allocs_per_sample,omitempty"`
+	MaxCheckpointBytesPerJob float64 `json:"max_checkpoint_bytes_per_job,omitempty"`
 }
 
 // CheckBudgets returns the budget violations of this run (nil when within
@@ -472,6 +502,19 @@ type Budgets struct {
 // per-grant budgets were calibrated on.
 func (r *Result) CheckBudgets(b Budgets) []string {
 	var bad []string
+	if r.Obs != nil {
+		// Obs gates come first and do not dispatch away: an obs run is the
+		// churn workload underneath, so it faces the churn budgets too.
+		o := r.Obs
+		if b.MaxObsAllocsPerSample > 0 && o.AllocsPerSample > b.MaxObsAllocsPerSample {
+			bad = append(bad, fmt.Sprintf("obs allocs/sample %.3f exceeds budget %.3f",
+				o.AllocsPerSample, b.MaxObsAllocsPerSample))
+		}
+		if b.MaxCheckpointBytesPerJob > 0 && o.CheckpointBytesPerJob > b.MaxCheckpointBytesPerJob {
+			bad = append(bad, fmt.Sprintf("checkpoint bytes/job %.0f exceeds budget %.0f",
+				o.CheckpointBytesPerJob, b.MaxCheckpointBytesPerJob))
+		}
+	}
 	if r.Chaos != nil {
 		// Chaos runs are gated on recovery behaviour: any heal window that
 		// never reconverged is a hard failure, and the convergence-time and
@@ -647,6 +690,10 @@ type harness struct {
 	// (index matches h.masters).
 	cz        *czState
 	lockReach [2]bool
+	// ob is the observability-mode state (obs mode only); ckpt is the
+	// shared durable checkpoint store, kept for byte accounting.
+	ob   *obsState
+	ckpt *master.CheckpointStore
 	// machineCrashes counts injected machine failovers, bounding the
 	// blacklist slice of the checkpoint write budget.
 	machineCrashes int
@@ -775,6 +822,9 @@ func Run(cfg Config) (*Result, error) {
 	if cfg.Chaos && gwMode {
 		return nil, fmt.Errorf("scale: chaos mode runs the classic or churn workload, not a gateway mode")
 	}
+	if cfg.Obs && cfg.RoundWindow <= 0 {
+		return nil, fmt.Errorf("scale: obs mode samples per scheduling round and needs RoundWindow > 0")
+	}
 	if cfg.Replay {
 		if cfg.Dataplane {
 			return nil, fmt.Errorf("scale: replay and dataplane modes are mutually exclusive")
@@ -844,6 +894,15 @@ func Run(cfg Config) (*Result, error) {
 		appLat:     make(map[string]AppLat, cfg.Apps),
 	}
 	h.holdFn = h.holdExpire
+	h.ckpt = ckpt
+	if cfg.Obs {
+		h.ob = newObsState(h)
+		mcfg.Obs = h.ob.store
+		mcfg.ObsSampler = h.ob.sample
+		// Track what full-snapshot-per-write would have cost, so the obs
+		// section reports the delta log's measured saving.
+		ckpt.TrackFullCost = true
+	}
 	h.mcfg = mcfg
 	if cfg.Dataplane {
 		h.dp = newDPState(h)
@@ -965,6 +1024,9 @@ func Run(cfg Config) (*Result, error) {
 	if cfg.Chaos {
 		h.scheduleChaos()
 	}
+	if h.ob != nil {
+		h.ob.schedule()
+	}
 
 	// Failover churn: crash a random up machine, restart after the
 	// downtime (long enough for the heartbeat timeout to declare it dead
@@ -1031,8 +1093,17 @@ func Run(cfg Config) (*Result, error) {
 			saved = int(h.gw.Snapshot().Registered)
 		}
 		blkBudget := 2 * h.machineCrashes * (1 + len(cfg.MasterFailoverAt))
-		h.checker.CheckCheckpointWrites(saved + h.completed + 1 +
-			len(cfg.MasterFailoverAt) + blkBudget)
+		writeBudget := saved + h.completed + 1 + len(cfg.MasterFailoverAt) + blkBudget
+		h.checker.CheckCheckpointWrites(writeBudget)
+		// Byte budget: each delta record is bounded by one app config (a
+		// small header plus UnitsPerApp unit records), and compaction adds
+		// one full anchor — at most saved+2 app records — every CompactEvery
+		// writes. A snapshot-per-write regression re-appears as O(apps) bytes
+		// per record and blows this line immediately.
+		perRec := int64(128 + 96*cfg.UnitsPerApp)
+		anchors := int64(writeBudget/h.ckpt.CompactionCadence() + 1)
+		anchorCap := int64(saved+2) * perRec
+		h.checker.CheckCheckpointBytes(int64(writeBudget)*perRec + anchors*anchorCap)
 	}
 
 	res := &Result{
@@ -1079,6 +1150,9 @@ func Run(cfg Config) (*Result, error) {
 	if h.cz != nil {
 		res.Chaos = h.cz.snapshot(h)
 	}
+	if h.ob != nil {
+		res.Obs = h.ob.snapshot(h)
+	}
 	if s := h.primarySched(); s != nil {
 		if ps := s.ParallelStats(); ps.Sweeps > 0 {
 			res.ParallelSweeps = ps.Sweeps
@@ -1104,6 +1178,11 @@ func Run(cfg Config) (*Result, error) {
 		res.SchedPauseMaxMS = h.schedPause.Max()
 		res.GrantsLost = h.lost
 		res.GrantsReissued = h.reissued
+		res.CheckpointWrites = h.ckpt.Writes
+		res.CheckpointBytes = h.ckpt.Bytes()
+		if saved := cfg.Apps; saved > 0 {
+			res.CheckpointBytesPerJob = float64(h.ckpt.Bytes()) / float64(saved)
+		}
 	}
 	return res, nil
 }

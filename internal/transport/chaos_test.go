@@ -197,6 +197,20 @@ func TestLinkStatsAttributeLoss(t *testing.T) {
 	if ac.Sent != 1 || ac.Dropped != 1 || ac.Delivered != 0 {
 		t.Errorf("a>c = %+v", ac)
 	}
+
+	// The ID form reads the same counters without materializing the sorted
+	// name view — and without allocating (it sits on the obs record path).
+	a, c := net.Endpoint("a"), net.Endpoint("c")
+	sent, delivered, dropped, _ := net.LinkCountsID(a, c)
+	if sent != 1 || dropped != 1 || delivered != 0 {
+		t.Errorf("LinkCountsID(a,c) = %d/%d/%d, want 1/0/1", sent, delivered, dropped)
+	}
+	if s2, _, _, _ := net.LinkCountsID(c, a); s2 != 0 {
+		t.Errorf("untrafficked link reported sent=%d", s2)
+	}
+	if avg := testing.AllocsPerRun(100, func() { net.LinkCountsID(a, c) }); avg != 0 {
+		t.Errorf("LinkCountsID allocates %.2f/read, want 0", avg)
+	}
 }
 
 // TestOrderingContract pins the transport's documented ordering semantics:

@@ -454,6 +454,18 @@ func (n *Net) linkCnt(from, to EndpointID) *linkCnt {
 	return c
 }
 
+// LinkCountsID reads one ordered endpoint pair's counters without
+// allocating — the form the observability sampler reads every scheduling
+// round (LinkStats below materializes names and sorts; fine at run end,
+// unusable on a zero-alloc record path). Zeroes when per-link stats are
+// off or the pair has carried no traffic.
+func (n *Net) LinkCountsID(from, to EndpointID) (sent, delivered, dropped, delayed uint64) {
+	if c := n.linkStats[linkKey{from, to}]; c != nil {
+		return c.sent, c.delivered, c.dropped, c.delayed
+	}
+	return 0, 0, 0, 0
+}
+
 // LinkStats returns the per-link counters sorted by (From, To) name — the
 // deterministic loss-attribution view chaos runs surface. Nil unless
 // EnableLinkStats was called.
