@@ -137,7 +137,14 @@ func run() int {
 		czPct = flag.Float64("chaos-partition-pct", 0, "override the partitioned machine percentage per storm in -chaos mode")
 		obsM  = flag.Bool("obs", false,
 			"run the churn workload with the observability plane (ring-buffered master time-series, live queries over transport, incremental delta checkpoints) and record the `obs` section")
-		obsRetain     = flag.Int("obs-retain", 0, "override the time-series ring capacity (rows) in -obs mode")
+		obsRetain = flag.Int("obs-retain", 0, "override the time-series ring capacity (rows) in -obs mode")
+		smpMode   = flag.Bool("smp", false,
+			"run the SMP bench lane (core-kernel + rounds + churn at each -smp-shard-counts entry, decision-stream parity, wall-clock speedups); writes BENCH_scale_smp.json unless -out is set")
+		smpShards = flag.String("smp-shard-counts", "1,2,4,8", "comma-separated shard counts for the -smp sweep (first entry is the speedup baseline)")
+		tenx      = flag.Bool("tenx", false,
+			"run the 10x footprint (50k machines, 1M schedule units) churn workload with the invariant checker attached and record the `tenx` section")
+		minSMPSpeedup = flag.Float64("min-smp-core-speedup", 2.0,
+			"minimum core-lane wall-clock speedup at shards=4 enforced by -check-budgets in -smp mode on hosts with >= 4 cores (skipped with a tagged note otherwise)")
 		gate          = flag.Bool("check-budgets", false, "exit non-zero when the run exceeds the perf budgets (CI regression gate)")
 		maxObsAllocs  = flag.Float64("max-obs-allocs-per-sample", 0.004, "obs record-path allocs/sample budget enforced by -check-budgets in -obs mode (default trips on any allocation during calibration)")
 		maxCkptBpj    = flag.Float64("max-checkpoint-bytes-per-job", 0, "checkpoint bytes per registered job budget enforced by -check-budgets in -obs mode (0 disables; -prev supplies the recorded value)")
@@ -313,6 +320,11 @@ func run() int {
 		fmt.Fprintln(os.Stderr, "scalesim:", err)
 		return 2
 	}
+	smpCounts, err := parseShardCounts(*smpShards)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "scalesim:", err)
+		return 2
+	}
 	// Give the worker goroutines cores to run on when the host has them —
 	// unless the operator pinned GOMAXPROCS explicitly (the CI matrix runs
 	// the same commands at GOMAXPROCS=1 to exercise single-core
@@ -321,6 +333,11 @@ func run() int {
 		want := *shards
 		for _, p := range shardCounts {
 			if *compare && p > want {
+				want = p
+			}
+		}
+		for _, p := range smpCounts {
+			if *smpMode && p > want {
 				want = p
 			}
 		}
@@ -346,6 +363,7 @@ func run() int {
 		MaxChaosReissued:               *maxCzReissued,
 		MaxObsAllocsPerSample:          *maxObsAllocs,
 		MaxCheckpointBytesPerJob:       *maxCkptBpj,
+		MinSMPCoreSpeedupP4:            *minSMPSpeedup,
 	}
 	prevSections, prevDiffBase := loadPrev(*prev, &budgets)
 
@@ -392,6 +410,82 @@ func run() int {
 		}
 	}
 	switch {
+	case *smpMode:
+		// The SMP lane defaults to its own artifact: CI gates it with its
+		// own -prev baseline, independent of BENCH_scale.json.
+		if *out == "BENCH_scale.json" {
+			*out = "BENCH_scale_smp.json"
+		}
+		opts := scale.DefaultSMPOptions()
+		if *smoke {
+			opts = scale.SmokeSMPOptions()
+		}
+		override(&opts.Rounds)
+		override(&opts.Churn)
+		if *horizonS == 0 {
+			opts.Churn.Horizon = opts.Churn.ChurnWarmup + opts.Churn.ChurnMeasure
+		}
+		if *apps > 0 {
+			opts.Rounds.Apps, opts.Churn.Apps = *apps, *apps
+		}
+		if *units > 0 {
+			opts.Rounds.UnitsPerApp, opts.Churn.UnitsPerApp = *units, *units
+		}
+		opts.ShardCounts = smpCounts
+		res, err := scale.RunSMP(opts)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "scalesim:", err)
+			return 1
+		}
+		payload = res
+		mergeKey = "smp"
+		printSMP(res)
+		// Decision-stream divergence across shard counts is a correctness
+		// failure regardless of budgets; the speedup budget only applies on
+		// hosts that can actually exhibit one.
+		if !res.ParityOK() {
+			broken = true
+			fmt.Fprintln(os.Stderr, "scalesim: smp: DECISION STREAMS DIVERGED across shard counts")
+		}
+		for i := range res.Core {
+			if res.Core[i].Invariants > 0 {
+				broken = true
+				fmt.Fprintf(os.Stderr, "scalesim: smp: core shards=%d: %d invariant violations\n",
+					res.Core[i].Shards, res.Core[i].Invariants)
+			}
+		}
+		for i := range res.Rounds {
+			broken = broken || len(res.Rounds[i].Invariants) > 0 || len(res.Churn[i].Invariants) > 0
+		}
+		if *gate && budgets.MinSMPCoreSpeedupP4 > 0 {
+			switch {
+			case !res.MultiCore:
+				fmt.Printf("smp: speedup gate SKIPPED: %s\n", res.Note)
+			case res.CoreSpeedupP4 == 0:
+				fmt.Println("smp: speedup gate SKIPPED: shards=4 not in the sweep")
+			case res.CoreSpeedupP4 < budgets.MinSMPCoreSpeedupP4:
+				broken = true
+				fmt.Fprintf(os.Stderr, "scalesim: smp: BUDGET EXCEEDED: core speedup at shards=4 %.2fx below budget %.2fx\n",
+					res.CoreSpeedupP4, budgets.MinSMPCoreSpeedupP4)
+			}
+		}
+	case *tenx:
+		txCfg := scale.TenXChurnConfig()
+		txCfg.Seed = *seed
+		if *shards != 0 {
+			txCfg.Shards = *shards
+		}
+		res, err := scale.Run(txCfg)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "scalesim:", err)
+			return 1
+		}
+		res.Prev = diffPrev(prevDiffBase, prevSections, []string{"tenx"})
+		payload = res
+		mergeKey = "tenx"
+		printResult("tenx (10x footprint: 50k machines, 1M units)", res)
+		gateViolations("tenx", res)
+		broken = broken || len(res.Invariants) > 0
 	case *obsM:
 		res, err := scale.Run(obCfg)
 		if err != nil {
@@ -811,6 +905,9 @@ func loadPrev(path string, budgets *scale.Budgets) (map[string]json.RawMessage, 
 			if pb.MaxCheckpointBytesPerJob > 0 && !explicit["max-checkpoint-bytes-per-job"] {
 				budgets.MaxCheckpointBytesPerJob = pb.MaxCheckpointBytesPerJob
 			}
+			if pb.MinSMPCoreSpeedupP4 > 0 && !explicit["min-smp-core-speedup"] {
+				budgets.MinSMPCoreSpeedupP4 = pb.MinSMPCoreSpeedupP4
+			}
 		}
 	}
 	return sections, &scale.PrevDiff{Path: path}
@@ -892,6 +989,12 @@ func printResult(label string, r *scale.Result) {
 	if r.ParallelSweeps > 0 {
 		fmt.Printf("  %d sharded sweeps, %.0f%% of machines committed from speculative proposals\n",
 			r.ParallelSweeps, 100*r.ParallelCommitRatio)
+		fmt.Printf("  %d blocks, %d stolen (%.1f%%), score imbalance %.2f, %d shard rebalances\n",
+			r.ParallelBlocks, r.ParallelSteals, 100*r.ParallelStealRate,
+			r.ParallelImbalance, r.ParallelRebalances)
+	}
+	if r.DecisionStreamHash != "" {
+		fmt.Printf("  decision stream hash %s\n", r.DecisionStreamHash)
 	}
 	if r.MasterFailovers > 0 {
 		fmt.Printf("  %d master failovers: recovery p50 %.0fms p99 %.0fms max %.0fms (sim-time)\n",
@@ -966,5 +1069,37 @@ func printResult(label string, r *scale.Result) {
 	}
 	if len(r.Invariants) > 0 {
 		fmt.Printf("  INVARIANT VIOLATIONS: %v\n", r.Invariants)
+	}
+}
+
+// printSMP summarizes the three-lane shard-count sweep: one line per lane
+// per shard count, then the parity verdict.
+func printSMP(r *scale.SMPResult) {
+	fmt.Printf("smp: %d cores, GOMAXPROCS %d\n", r.Cores, r.GOMAXPROCS)
+	if r.Note != "" {
+		fmt.Printf("  note: %s\n", r.Note)
+	}
+	for i, p := range r.ShardCounts {
+		c := &r.Core[i]
+		fmt.Printf("  core   shards=%d: %d decisions over %d rounds in %.2fs wall (%.0f/s, %.2fx), commit %.0f%%, steal %.1f%%, imbalance %.2f\n",
+			p, c.Decisions, c.Rounds, c.WallSeconds, c.DecisionsPerSec, c.SpeedupVsP1,
+			100*c.CommitRatio, 100*c.StealRate, c.Imbalance)
+	}
+	for i, p := range r.ShardCounts {
+		h := &r.Rounds[i]
+		fmt.Printf("  rounds shards=%d: %d decisions in %.2fs wall (%.2fx), commit %.0f%%\n",
+			p, h.Decisions, h.WallSeconds, r.RoundsSpeedup[i], 100*h.ParallelCommitRatio)
+	}
+	for i, p := range r.ShardCounts {
+		h := &r.Churn[i]
+		fmt.Printf("  churn  shards=%d: %d decisions in %.2fs wall (%.2fx), commit %.0f%%\n",
+			p, h.Decisions, h.WallSeconds, r.ChurnSpeedup[i], 100*h.ParallelCommitRatio)
+	}
+	if r.ParityOK() {
+		fmt.Printf("  parity: decision streams byte-identical across all shard counts (core %s)\n",
+			r.Core[0].DecisionHash)
+	} else {
+		fmt.Printf("  parity: DIVERGED (core %v, rounds %v, churn %v)\n",
+			r.CoreParityOK, r.RoundsParityOK, r.ChurnParityOK)
 	}
 }

@@ -416,6 +416,14 @@ func replayDeltas(s *Snapshot, log []byte) error {
 			}
 		case opSetBlacklist:
 			n := r.uvarint()
+			if uint64(len(r.b)) < n {
+				// Every machine name costs at least its one-byte length
+				// prefix, so a count past the remaining log is corruption;
+				// reject it before the preallocation below turns an
+				// attacker-controlled size into a makeslice panic.
+				r.err = fmt.Errorf("master: corrupt snapshot (blacklist count %d exceeds %d remaining bytes)", n, len(r.b))
+				break
+			}
 			black := make([]string, 0, n)
 			for i := uint64(0); i < n && r.err == nil; i++ {
 				black = append(black, r.string())

@@ -58,8 +58,12 @@ func TestParallelParityFuzz(t *testing.T) {
 		"gold":   resource.New(96_000, 768*1024),
 		"bronze": resource.New(48_000, 384*1024),
 	}
-	shardCounts := []int{0, 0, 1, 4, 8} // 0 = legacy / plain serial
-	names := []string{"legacy", "serial", "par1", "par4", "par8"}
+	// 0 = legacy / plain serial; the two steal members run the balanced
+	// assignment policy with every block forced through the steal path, so
+	// the reducer's per-block taint handling sees maximal interference.
+	shardCounts := []int{0, 0, 1, 4, 8, 4, 8}
+	forceSteal := []bool{false, false, false, false, false, true, true}
+	names := []string{"legacy", "serial", "par1", "par4", "par8", "par4-steal", "par8-steal"}
 	newFleet := func() *fuzzFleet {
 		f := &fuzzFleet{t: t, names: names}
 		for i, p := range shardCounts {
@@ -68,6 +72,7 @@ func TestParallelParityFuzz(t *testing.T) {
 				Groups:           groups,
 				LegacyScan:       i == 0,
 				Shards:           p,
+				ForceSteal:       forceSteal[i],
 			}))
 		}
 		return f
@@ -76,9 +81,9 @@ func TestParallelParityFuzz(t *testing.T) {
 	// standby does (hard state from the checkpoint, grants from agent
 	// reports, demand from app full syncs), returning the decisions the
 	// soft-state replay produced.
-	rebuild := func(s *Scheduler, legacy bool, shards int, groupOf map[string]string, unitsOf map[string][]resource.ScheduleUnit) (*Scheduler, []Decision) {
+	rebuild := func(s *Scheduler, legacy bool, shards int, steal bool, groupOf map[string]string, unitsOf map[string][]resource.ScheduleUnit) (*Scheduler, []Decision) {
 		n := NewScheduler(s.top, Options{
-			EnablePreemption: true, Groups: groups, LegacyScan: legacy, Shards: shards,
+			EnablePreemption: true, Groups: groups, LegacyScan: legacy, Shards: shards, ForceSteal: steal,
 		})
 		apps := s.Apps()
 		for _, app := range apps {
@@ -236,7 +241,7 @@ func TestParallelParityFuzz(t *testing.T) {
 			case op < 12: // master failover: promote fresh schedulers
 				outs := make([][]Decision, len(f.scheds))
 				for i := range f.scheds {
-					f.scheds[i], outs[i] = rebuild(f.scheds[i], i == 0, shardCounts[i], groupOf, unitsOf)
+					f.scheds[i], outs[i] = rebuild(f.scheds[i], i == 0, shardCounts[i], forceSteal[i], groupOf, unitsOf)
 				}
 				f.compare(seed, step, "master-failover", outs)
 			default: // app churn
@@ -263,8 +268,8 @@ func TestParallelParityFuzz(t *testing.T) {
 // 40-rack cluster frees scattered capacity, and the P ∈ {1, 4, 8} sweeps
 // must reproduce the serial decision stream exactly.
 func TestParallelSweepMatchesSerialAtScale(t *testing.T) {
-	build := func(shards int) *Scheduler {
-		s := NewScheduler(testTop(t, 40, 4), Options{Shards: shards})
+	build := func(shards int, steal bool) *Scheduler {
+		s := NewScheduler(testTop(t, 40, 4), Options{Shards: shards, ForceSteal: steal})
 		for i, app := range []string{"a", "b", "c", "d", "e", "f", "g", "h"} {
 			mustRegister(t, s, app, "", unit(1, 10+i%3, 10_000, 1000, 4096))
 			mustDemand(t, s, app, 1, clusterHint(400))
@@ -290,30 +295,85 @@ func TestParallelSweepMatchesSerialAtScale(t *testing.T) {
 			}
 		}
 	}
-	streams := map[int][]Decision{}
-	for _, p := range []int{1, 4, 8} {
-		s := build(p)
+	type cfg struct {
+		shards int
+		steal  bool
+		name   string
+	}
+	cfgs := []cfg{
+		{1, false, "P=1"},
+		{4, false, "P=4"},
+		{8, false, "P=8"},
+		{4, true, "P=4-steal"},
+		{8, true, "P=8-steal"},
+	}
+	streams := map[string][]Decision{}
+	for _, c := range cfgs {
+		s := build(c.shards, c.steal)
 		rng := rand.New(rand.NewSource(7))
 		var log []Decision
 		for round := 0; round < 5; round++ {
 			release(s, rng)
 			log = append(log, s.AssignOn(s.top.Machines())...)
 		}
-		streams[p] = log
+		streams[c.name] = log
 		checkInv(t, s)
+		if c.steal {
+			st := s.ParallelStats()
+			if st.Steals == 0 || st.Steals != st.Blocks {
+				t.Fatalf("%s: ForceSteal scored %d/%d blocks via the steal path", c.name, st.Steals, st.Blocks)
+			}
+		}
 	}
-	base := streams[1]
+	base := streams["P=1"]
 	if len(base) == 0 {
 		t.Fatal("sweeps produced no decisions; the scenario is not exercising the parallel path")
 	}
-	for _, p := range []int{4, 8} {
-		if len(streams[p]) != len(base) {
-			t.Fatalf("P=%d: %d decisions != serial %d", p, len(streams[p]), len(base))
+	for _, c := range cfgs[1:] {
+		got := streams[c.name]
+		if len(got) != len(base) {
+			t.Fatalf("%s: %d decisions != serial %d", c.name, len(got), len(base))
 		}
 		for i := range base {
-			if streams[p][i] != base[i] {
-				t.Fatalf("P=%d: decision %d = %+v, serial has %+v", p, i, streams[p][i], base[i])
+			if got[i] != base[i] {
+				t.Fatalf("%s: decision %d = %+v, serial has %+v", c.name, i, got[i], base[i])
 			}
 		}
+	}
+}
+
+// TestParallelBalancedAssignmentAndStats pins the new machinery's
+// bookkeeping: the LPT rebalance runs and covers every shard, sweeps are
+// chunked into blocks, and the forced-steal path accounts its handoffs.
+func TestParallelBalancedAssignmentAndStats(t *testing.T) {
+	s := NewScheduler(testTop(t, 16, 4), Options{Shards: 4})
+	for i, app := range []string{"a", "b", "c", "d"} {
+		mustRegister(t, s, app, "", unit(1, 10+i, 8_000, 1000, 4096))
+		mustDemand(t, s, app, 1, clusterHint(200))
+	}
+	for round := 0; round < 3; round++ {
+		s.AssignOn(s.top.Machines())
+	}
+	st := s.ParallelStats()
+	if st.Sweeps == 0 || st.Blocks == 0 {
+		t.Fatalf("parallel path did not run: %+v", st)
+	}
+	if st.Rebalances == 0 {
+		t.Fatalf("no LPT rebalance applied: %+v", st)
+	}
+	// Every shard must own at least one rack after rebalancing (16 racks,
+	// 4 shards, near-uniform seed costs).
+	owned := map[int32]bool{}
+	for _, sh := range s.rackShard {
+		owned[sh] = true
+	}
+	if len(owned) != 4 {
+		t.Fatalf("LPT assignment left shards empty: rackShard=%v", s.rackShard)
+	}
+	if st.Committed+st.Reruns == 0 {
+		t.Fatalf("reducer processed no machines: %+v", st)
+	}
+	if r := st.CommitRatio(); r < 0 || r > 1 {
+		t.Fatalf("commit ratio out of range: %v", r)
 	}
 }

@@ -99,12 +99,21 @@ type Options struct {
 	// pre-optimization baseline; production paths leave it false.
 	LegacyScan bool
 	// Shards > 1 scores wide assignment sweeps in parallel across that many
-	// worker goroutines, one contiguous rack block per shard, with a
-	// deterministic reducer committing grants in serial order — the decision
-	// stream is byte-identical to Shards == 1 (see parallel.go). Values
-	// above the rack count are clamped; LegacyScan and aging force the
-	// serial path.
+	// worker goroutines — racks are cut into contiguous shard spans
+	// balanced by observed sweep cost and idle workers steal unscored
+	// blocks from loaded shards
+	// — with a deterministic reducer committing grants in serial order: the
+	// decision stream is byte-identical to Shards == 1 (see parallel.go).
+	// Values above the rack count are clamped; LegacyScan and aging force
+	// the serial path.
 	Shards int
+	// ForceSteal routes every scoring block (home shards included) through
+	// the work-stealing path with a fresh per-block overlay. Decisions are
+	// unchanged (the reducer validates every proposal); this exists so
+	// tests and benches can hammer the steal handoff and the per-block
+	// taint logic deterministically hard, and to measure the commit-ratio
+	// cost of stealing in isolation.
+	ForceSteal bool
 }
 
 // DefaultGroup is the quota group used when an app registers with "".
@@ -222,13 +231,18 @@ type Scheduler struct {
 	extMach ident.Table
 	extRack ident.Table
 
-	// Sharded parallel sweeps (parallel.go): racks are partitioned into
-	// shards contiguous blocks; par holds each shard's reusable scoring
-	// scratch. shards == 1 means fully serial.
-	shards    int
-	rackShard []int32 // rack ID -> shard
-	par       []*shardScratch
-	parStats  ParallelStats
+	// Sharded parallel sweeps (parallel.go): racks are LPT-assigned to
+	// shards by EWMA'd observed sweep cost and rebalanced periodically;
+	// par holds each shard's reusable scoring scratch, parBlocks the
+	// per-sweep claimable steal blocks. shards == 1 means fully serial.
+	shards       int
+	rackShard    []int32 // rack ID -> shard (rewritten by rebalanceShards)
+	rackCost     []int64 // rack ID -> EWMA of observed sweep cost
+	rackWork     []int64 // rack ID -> work observed since the last rebalance
+	par          []*shardScratch
+	parBlocks    []parBlock
+	parBlockSize int
+	parStats     ParallelStats
 
 	// preempted counts units revoked by quota preemption (obs time-series).
 	preempted int64

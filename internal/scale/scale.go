@@ -105,6 +105,18 @@ type Config struct {
 	// to Shards <= 1 by construction.
 	Shards int `json:"shards,omitempty"`
 
+	// ForceSteal routes every parallel scoring block through the
+	// work-stealing handoff with a fresh per-block overlay
+	// (master.Options.ForceSteal) — a measurement knob that isolates the
+	// commit-ratio cost of stealing; decisions are unchanged.
+	ForceSteal bool `json:"force_steal,omitempty"`
+
+	// RecordDecisionHash accumulates an FNV-1a hash over the grant/revoke
+	// stream observed by the application masters (classic and churn
+	// workloads). The SMP lane compares it across shard counts as the
+	// byte-identity witness for the committed decision stream.
+	RecordDecisionHash bool `json:"record_decision_hash,omitempty"`
+
 	// RoundWindow > 0 batches demand and returns into scheduling rounds of
 	// this width (master.Config.BatchWindow) — the configuration under
 	// which wide sweeps exist for the shards to parallelize.
@@ -347,9 +359,24 @@ type Result struct {
 
 	// Sharded-sweep reducer outcomes (Shards > 1 only): sweeps taken
 	// parallel, and the fraction of machines committed straight from
-	// validated speculative proposals (the rest re-ran serially).
+	// validated speculative proposals (the rest re-ran serially). Blocks /
+	// Steals / StealRate count work-stealing block handoffs, Rebalances
+	// the cost-balanced cut-point recomputations, and Imbalance the mean per-sweep
+	// (slowest worker / mean worker) scoring wall-time ratio. StealRate
+	// and Imbalance describe the hardware run (they vary with real
+	// scheduling interleavings); the decision stream does not.
 	ParallelSweeps      uint64  `json:"parallel_sweeps,omitempty"`
 	ParallelCommitRatio float64 `json:"parallel_commit_ratio,omitempty"`
+	ParallelBlocks      uint64  `json:"parallel_blocks,omitempty"`
+	ParallelSteals      uint64  `json:"parallel_steals,omitempty"`
+	ParallelStealRate   float64 `json:"parallel_steal_rate,omitempty"`
+	ParallelImbalance   float64 `json:"parallel_score_imbalance,omitempty"`
+	ParallelRebalances  uint64  `json:"parallel_rebalances,omitempty"`
+
+	// DecisionStreamHash is the FNV-1a hash over the observed grant/revoke
+	// stream (Config.RecordDecisionHash) — equal across shard counts iff
+	// the committed decision streams are byte-identical.
+	DecisionStreamHash string `json:"decision_stream_hash,omitempty"`
 
 	// Master-failover measurements (virtual milliseconds), present when
 	// MasterFailoverAt is non-empty. Recovery is crash → soft state rebuilt
@@ -492,6 +519,10 @@ type Budgets struct {
 	// snapshot-per-write regression multiplies it by the job count).
 	MaxObsAllocsPerSample    float64 `json:"max_obs_allocs_per_sample,omitempty"`
 	MaxCheckpointBytesPerJob float64 `json:"max_checkpoint_bytes_per_job,omitempty"`
+	// MinSMPCoreSpeedupP4 gates the SMP lane's core-kernel wall-clock
+	// speedup at shards=4 — enforced only on hosts with >= 4 cores and
+	// GOMAXPROCS >= 4 (single-core runs are tagged and skipped).
+	MinSMPCoreSpeedupP4 float64 `json:"min_smp_core_speedup_p4,omitempty"`
 }
 
 // CheckBudgets returns the budget violations of this run (nil when within
@@ -711,6 +742,10 @@ type harness struct {
 	completed int
 	names     []string
 
+	// decHash is the running FNV-1a over the observed decision stream
+	// (Config.RecordDecisionHash); 0 means disabled.
+	decHash uint64
+
 	// Churn-mode hold-expiry pool (see churn.go): holdFn is bound once and
 	// every grant borrows a pooled record for its closure-free hold timer;
 	// reqPend defers one instant's re-demands past its returns.
@@ -876,6 +911,7 @@ func Run(cfg Config) (*Result, error) {
 	mcfg := master.DefaultConfig("fm-scale-1")
 	mcfg.Sched.LegacyScan = cfg.LegacyScan
 	mcfg.Sched.Shards = cfg.Shards
+	mcfg.Sched.ForceSteal = cfg.ForceSteal
 	mcfg.BatchWindow = cfg.RoundWindow
 	if gwMode {
 		// Gateway priority classes map onto scheduler quota groups (zero
@@ -895,6 +931,9 @@ func Run(cfg Config) (*Result, error) {
 	}
 	h.holdFn = h.holdExpire
 	h.ckpt = ckpt
+	if cfg.RecordDecisionHash {
+		h.decHash = fnvOffset
+	}
 	if cfg.Obs {
 		h.ob = newObsState(h)
 		mcfg.Obs = h.ob.store
@@ -1156,10 +1195,16 @@ func Run(cfg Config) (*Result, error) {
 	if s := h.primarySched(); s != nil {
 		if ps := s.ParallelStats(); ps.Sweeps > 0 {
 			res.ParallelSweeps = ps.Sweeps
-			if ps.Committed+ps.Reruns > 0 {
-				res.ParallelCommitRatio = float64(ps.Committed) / float64(ps.Committed+ps.Reruns)
-			}
+			res.ParallelCommitRatio = ps.CommitRatio()
+			res.ParallelBlocks = ps.Blocks
+			res.ParallelSteals = ps.Steals
+			res.ParallelStealRate = ps.StealRate()
+			res.ParallelImbalance = ps.Imbalance()
+			res.ParallelRebalances = ps.Rebalances
 		}
+	}
+	if h.decHash != 0 {
+		res.DecisionStreamHash = fmt.Sprintf("%016x", h.decHash)
 	}
 	if h.checker != nil {
 		res.Invariants = h.checker.Violations
@@ -1358,9 +1403,39 @@ func (h *harness) spawnApp(idx int) {
 	})
 }
 
+// hashDecision folds one grant/revoke the application masters observe
+// into the running FNV-1a decision-stream hash, in delivery order (the
+// simulator delivers deterministically): equal hashes across shard counts
+// and steal policies witness byte-identical decision streams. Constants
+// are shared with the observability checksum (obs.go).
+func (h *harness) hashDecision(name string, unitID int, machine int32, count int, revoke bool) {
+	if h.decHash == 0 {
+		return
+	}
+	x := h.decHash
+	for i := 0; i < len(name); i++ {
+		x = (x ^ uint64(name[i])) * fnvPrime
+	}
+	fold := func(v uint64) {
+		for s := 0; s < 64; s += 8 {
+			x = (x ^ (v >> s & 0xff)) * fnvPrime
+		}
+	}
+	fold(uint64(unitID))
+	fold(uint64(uint32(machine)))
+	fold(uint64(count))
+	if revoke {
+		fold(1)
+	} else {
+		fold(0)
+	}
+	h.decHash = x
+}
+
 func (a *scaleApp) onGrant(unitID int, machine int32, count int) {
 	h := a.h
 	h.grants += uint64(count)
+	h.hashDecision(a.name, unitID, machine, count, false)
 	if h.cz != nil {
 		h.cz.noteGrant(machine, count)
 	}
@@ -1428,6 +1503,7 @@ func (a *scaleApp) onGrant(unitID int, machine int32, count int) {
 func (a *scaleApp) onRevoke(unitID int, machine int32, count int) {
 	h := a.h
 	h.revokes += uint64(count)
+	h.hashDecision(a.name, unitID, machine, count, true)
 	if h.cz != nil {
 		h.cz.noteRevoke(count)
 	}

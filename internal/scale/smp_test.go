@@ -1,0 +1,114 @@
+package scale
+
+import (
+	"testing"
+
+	"repro/internal/sim"
+)
+
+// tinySMP shrinks every lane to unit-test size: the point is exercising
+// the sweep mechanics and the parity witnesses, not measuring anything.
+func tinySMP() SMPOptions {
+	o := DefaultSMPOptions()
+	o.Rounds = tiny()
+	ch := DefaultChurnConfig()
+	ch.Racks, ch.MachinesPerRack = 4, 5
+	ch.Apps, ch.UnitsPerApp, ch.ContainersPerUnit = 20, 5, 2
+	ch.ArrivalWindow = 5 * sim.Second
+	ch.ChurnWarmup = 10 * sim.Second
+	ch.ChurnMeasure = 10 * sim.Second
+	ch.Horizon = ch.ChurnWarmup + ch.ChurnMeasure
+	o.Churn = ch
+	o.ShardCounts = []int{1, 2, 4}
+	o.CoreRacks, o.CoreMachinesPerRack = 8, 5
+	o.CoreApps = 4
+	o.CoreRounds = 12
+	return o
+}
+
+// TestRunSMPParityAndShape runs the tiny three-lane sweep and checks the
+// contract the CI gate relies on: decision-stream parity across every
+// shard count in every lane, populated speedup slices, and zero invariant
+// violations in the kernel lane.
+func TestRunSMPParityAndShape(t *testing.T) {
+	opts := tinySMP()
+	res, err := RunSMP(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.ParityOK() {
+		t.Fatalf("decision streams diverged: core=%v rounds=%v churn=%v",
+			res.CoreParityOK, res.RoundsParityOK, res.ChurnParityOK)
+	}
+	n := len(opts.ShardCounts)
+	if len(res.Core) != n || len(res.Rounds) != n || len(res.Churn) != n {
+		t.Fatalf("lane lengths %d/%d/%d, want %d each", len(res.Core), len(res.Rounds), len(res.Churn), n)
+	}
+	if len(res.CoreSpeedup) != n || res.CoreSpeedup[0] != 1 {
+		t.Errorf("core speedup slice %v, want length %d with baseline 1", res.CoreSpeedup, n)
+	}
+	for i, c := range res.Core {
+		if c.Decisions == 0 || c.DecisionHash == "" {
+			t.Errorf("core[%d]: %d decisions, hash %q", i, c.Decisions, c.DecisionHash)
+		}
+		if c.Invariants != 0 {
+			t.Errorf("core[%d]: %d invariant violations", i, c.Invariants)
+		}
+		if c.Shards > 1 && c.CommitRatio <= 0 {
+			t.Errorf("core[%d] shards=%d: commit ratio %.2f, want > 0", i, c.Shards, c.CommitRatio)
+		}
+	}
+	for i := range res.Rounds {
+		if res.Rounds[i].DecisionStreamHash == "" || res.Churn[i].DecisionStreamHash == "" {
+			t.Errorf("lane %d: empty harness decision hash", i)
+		}
+		if len(res.Rounds[i].Invariants) > 0 || len(res.Churn[i].Invariants) > 0 {
+			t.Errorf("lane %d: invariant violations %v / %v",
+				i, res.Rounds[i].Invariants, res.Churn[i].Invariants)
+		}
+	}
+	// The harness hash must be sensitive to the stream, not a constant:
+	// a different seed must produce a different decision stream hash.
+	seeded := opts
+	seeded.ShardCounts = []int{1}
+	seeded.Rounds.Seed = opts.Rounds.Seed + 7
+	seeded.Churn.Seed = opts.Churn.Seed + 7
+	other, err := RunSMP(seeded)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if other.Rounds[0].DecisionStreamHash == res.Rounds[0].DecisionStreamHash {
+		t.Error("rounds decision hash did not change with the seed")
+	}
+}
+
+// TestForceStealMatchesPlain pins the steal knob's decision-neutrality at
+// the harness level: the same workload with every block routed through
+// the work-stealing handoff must produce the identical decision stream.
+func TestForceStealMatchesPlain(t *testing.T) {
+	// The saturated smoke churn: every hold cycle frees wide swaths of
+	// the cluster at once, so the batched rounds actually take the
+	// parallel sweep path (sweeps narrower than the parallel threshold
+	// run serial and would make this test vacuous).
+	cfg := SmokeChurnConfig()
+	cfg.Shards = 4
+	cfg.RoundWindow = DefaultRoundWindow
+	cfg.RecordDecisionHash = true
+	plain, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.ForceSteal = true
+	stolen, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plain.DecisionStreamHash == "" || plain.DecisionStreamHash != stolen.DecisionStreamHash {
+		t.Errorf("decision streams diverge under ForceSteal: %q vs %q",
+			plain.DecisionStreamHash, stolen.DecisionStreamHash)
+	}
+	if stolen.ParallelSteals == 0 || stolen.ParallelSteals != stolen.ParallelBlocks {
+		t.Errorf("ForceSteal run stole %d of %d blocks, want all",
+			stolen.ParallelSteals, stolen.ParallelBlocks)
+	}
+}
